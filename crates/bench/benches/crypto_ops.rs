@@ -1,0 +1,60 @@
+//! Criterion bench behind Table 2: per-operation crypto costs.
+//!
+//! Keys are 512-bit here to keep `cargo bench` wall-time reasonable;
+//! the `table2` binary measures the paper's 1024-bit configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privapprox_crypto::gm::GmKeyPair;
+use privapprox_crypto::paillier::PaillierKeyPair;
+use privapprox_crypto::rsa::RsaKeyPair;
+use privapprox_crypto::ubig::UBig;
+use privapprox_crypto::xor::{combine, encode_answer, XorSplitter};
+use privapprox_types::ids::AnalystId;
+use privapprox_types::{BitVec, QueryId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let answer = BitVec::one_hot(11, 3);
+    let message = encode_answer(QueryId::new(AnalystId(1), 1), &answer);
+
+    let mut group = c.benchmark_group("table2_crypto");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let splitter = XorSplitter::new(2);
+    group.bench_function("xor_split", |b| {
+        b.iter(|| splitter.split(&message, &mut rng))
+    });
+    let shares = splitter.split(&message, &mut rng);
+    group.bench_function("xor_combine", |b| b.iter(|| combine(&shares).unwrap()));
+
+    let rsa = RsaKeyPair::generate(512, &mut rng);
+    let m = UBig::from_bytes_be(&message);
+    group.bench_function("rsa_encrypt", |b| b.iter(|| rsa.encrypt(&m)));
+    let ct = rsa.encrypt(&m);
+    group.bench_function("rsa_decrypt", |b| b.iter(|| rsa.decrypt(&ct)));
+
+    let gm = GmKeyPair::generate(512, &mut rng);
+    group.bench_function("gm_encrypt_bit", |b| {
+        b.iter(|| gm.encrypt_bit(true, &mut rng))
+    });
+    let bit_ct = gm.encrypt_bit(true, &mut rng);
+    group.bench_function("gm_decrypt_bit", |b| b.iter(|| gm.decrypt_bit(&bit_ct)));
+
+    let paillier = PaillierKeyPair::generate(512, &mut rng);
+    group.bench_function("paillier_encrypt", |b| {
+        b.iter(|| paillier.encrypt(&m, &mut rng))
+    });
+    let pct = paillier.encrypt(&m, &mut rng);
+    group.bench_function("paillier_decrypt", |b| b.iter(|| paillier.decrypt(&pct)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

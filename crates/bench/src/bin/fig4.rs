@@ -1,0 +1,46 @@
+//! Regenerates Figure 4: (a) loss vs sampling fraction per (p, q);
+//! (b) the error decomposition; (c) loss vs client count.
+
+use privapprox_bench::experiments::fig4;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    // (a)
+    let series = fig4::run_4a(1);
+    println!("Figure 4(a) — accuracy loss (%) vs sampling fraction\n");
+    let mut header = vec!["p".to_string(), "q".to_string()];
+    header.extend(fig4::FRACTIONS.iter().map(|f| format!("{f}%")));
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for s in &series {
+        let mut row = vec![format!("{:.1}", s.p), format!("{:.1}", s.q)];
+        row.extend(s.loss_pct.iter().map(|l| format!("{l:.2}")));
+        table.row(row);
+    }
+    println!("{}", table.render());
+    save_json("fig4a", &series).expect("write results");
+
+    // (b)
+    let rows = fig4::run_4b(2);
+    println!("\nFigure 4(b) — error decomposition (%, RR at p=0.3, q=0.6)\n");
+    let mut table = Table::new(&["fraction", "sampling-only", "RR-only(s=1)", "combined"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{}%", r.fraction_pct),
+            format!("{:.2}", r.sampling_only),
+            format!("{:.2}", r.rr_only),
+            format!("{:.2}", r.combined),
+        ]);
+    }
+    println!("{}", table.render());
+    save_json("fig4b", &rows).expect("write results");
+
+    // (c)
+    let rows = fig4::run_4c(3);
+    println!("\nFigure 4(c) — accuracy loss (%) vs number of clients (s=0.9, p=0.9, q=0.6)\n");
+    let mut table = Table::new(&["clients", "loss %"]);
+    for r in &rows {
+        table.row(vec![r.clients.to_string(), format!("{:.3}", r.loss_pct)]);
+    }
+    println!("{}", table.render());
+    save_json("fig4c", &rows).expect("write results");
+}

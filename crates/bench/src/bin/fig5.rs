@@ -1,0 +1,45 @@
+//! Regenerates Figure 5: (a) query inversion, (b) proxy throughput vs
+//! answer width, (c) the RAPPOR privacy comparison.
+
+use privapprox_bench::experiments::fig5;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    let rows = fig5::run_5a(1);
+    println!("Figure 5(a) — native vs inverted query loss (%) by truthful-yes fraction\n");
+    let mut table = Table::new(&["yes %", "native", "inverse"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{}", r.yes_pct),
+            format!("{:.2}", r.native_pct),
+            format!("{:.2}", r.inverse_pct),
+        ]);
+    }
+    println!("{}", table.render());
+    save_json("fig5a", &rows).expect("write results");
+
+    let rows = fig5::run_5b(200_000);
+    println!("\nFigure 5(b) — proxy throughput vs answer bit-vector size\n");
+    let mut table = Table::new(&["bits", "K responses/sec"]);
+    for r in &rows {
+        table.row(vec![
+            r.bits.to_string(),
+            format!("{:.0}", r.kresponses_per_sec),
+        ]);
+    }
+    println!("{}", table.render());
+    save_json("fig5b", &rows).expect("write results");
+
+    let rows = fig5::run_5c();
+    println!("\nFigure 5(c) — differential privacy level vs sampling fraction (f = 0.5, h = 1)\n");
+    let mut table = Table::new(&["fraction", "PrivApprox ε", "RAPPOR ε"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{}%", r.fraction_pct),
+            format!("{:.4}", r.privapprox_eps),
+            format!("{:.4}", r.rappor_eps),
+        ]);
+    }
+    println!("{}", table.render());
+    save_json("fig5c", &rows).expect("write results");
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figure 6: proxy latency, SplitX vs PrivApprox,
+//! 10²..10⁸ clients (real execution to 10⁶, calibrated simulation
+//! beyond).
+
+use privapprox_bench::calibrate::calibrate;
+use privapprox_bench::experiments::fig6;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    let max: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000_000);
+    println!("calibrating per-answer costs on this host…");
+    let calibration = calibrate();
+    println!("{calibration:#?}\n");
+    let rows = fig6::run(&calibration, max);
+    println!("Figure 6 — proxy latency (seconds), SplitX vs PrivApprox\n");
+    let mut table = Table::new(&[
+        "clients",
+        "SplitX total",
+        "transmission",
+        "computation",
+        "shuffling",
+        "PrivApprox",
+        "speedup",
+        "mode",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.clients.to_string(),
+            format!("{:.4}", r.splitx_s),
+            format!("{:.4}", r.splitx_transmission_s),
+            format!("{:.4}", r.splitx_computation_s),
+            format!("{:.4}", r.splitx_shuffle_s),
+            format!("{:.4}", r.privapprox_s),
+            format!("{:.1}×", r.splitx_s / r.privapprox_s),
+            if r.simulated { "sim" } else { "real" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    save_json("fig6", &rows).expect("write results");
+    save_json("calibration", &calibration).expect("write calibration");
+}

@@ -1,0 +1,62 @@
+//! Regenerates Figure 7: the NYC-taxi case-study sweep — utility (a),
+//! privacy (b), and the utility/privacy frontier (c).
+
+use privapprox_bench::experiments::fig7;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    let clients: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    println!("running the NYC-taxi sweep with {clients} clients…\n");
+    let points = fig7::run(clients, 11);
+
+    println!("Figure 7(a) — accuracy loss (%) vs sampling fraction\n");
+    let mut header = vec!["p".to_string(), "q".to_string()];
+    header.extend(fig7::FRACTIONS.iter().map(|f| format!("{f}%")));
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &(p, q) in &privapprox_bench::experiments::fig4::PQ {
+        let mut row = vec![format!("{p:.1}"), format!("{q:.1}")];
+        for &f in &fig7::FRACTIONS {
+            let pt = points
+                .iter()
+                .find(|pt| pt.p == p && pt.q == q && pt.fraction_pct == f)
+                .unwrap();
+            row.push(format!("{:.3}", pt.loss_pct));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    println!("\nFigure 7(b) — privacy level ε_zk vs sampling fraction\n");
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &(p, q) in &privapprox_bench::experiments::fig4::PQ {
+        let mut row = vec![format!("{p:.1}"), format!("{q:.1}")];
+        for &f in &fig7::FRACTIONS {
+            let pt = points
+                .iter()
+                .find(|pt| pt.p == p && pt.q == q && pt.fraction_pct == f)
+                .unwrap();
+            row.push(format!("{:.3}", pt.eps_zk));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    println!("\nFigure 7(c) — utility vs privacy frontier (all sweep points)\n");
+    let mut table = Table::new(&["ε_zk", "loss %", "s", "p", "q"]);
+    let mut sorted = points.clone();
+    sorted.sort_by(|a, b| a.eps_zk.partial_cmp(&b.eps_zk).unwrap());
+    for pt in sorted.iter().step_by(4) {
+        table.row(vec![
+            format!("{:.3}", pt.eps_zk),
+            format!("{:.3}", pt.loss_pct),
+            format!("{:.1}", pt.fraction_pct as f64 / 100.0),
+            format!("{:.1}", pt.p),
+            format!("{:.1}", pt.q),
+        ]);
+    }
+    println!("{}", table.render());
+    save_json("fig7", &points).expect("write results");
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 8: proxy and aggregator throughput, scale-up
+//! and scale-out (calibrated cluster simulation).
+
+use privapprox_bench::calibrate::calibrate;
+use privapprox_bench::experiments::fig8;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    println!("calibrating per-message costs on this host…");
+    let calibration = calibrate();
+    let rows = fig8::run(&calibration);
+    for component in ["proxy", "aggregator"] {
+        println!("\nFigure 8 ({component}) — throughput (K responses/sec)\n");
+        let mut table = Table::new(&["case", "nodes", "cores/node", "K resp/s"]);
+        for r in rows.iter().filter(|r| r.component == component) {
+            table.row(vec![
+                format!("{:?}", r.case),
+                r.nodes.to_string(),
+                r.cores.to_string(),
+                format!("{:.0}", r.kresponses_per_sec),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    save_json("fig8", &rows).expect("write results");
+}

@@ -1,0 +1,43 @@
+//! Regenerates Figure 9: network traffic and latency vs sampling
+//! fraction for both case studies (real end-to-end runs).
+
+use privapprox_bench::experiments::fig9;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    let clients: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    println!("running both case studies with {clients} clients per epoch…\n");
+    let rows = fig9::run(clients, 17);
+    for case in ["nyc-taxi", "electricity"] {
+        println!("Figure 9 — {case}\n");
+        let baseline = rows
+            .iter()
+            .find(|r| r.case == case && r.fraction_pct == 100)
+            .expect("full-sampling row");
+        let mut table = Table::new(&[
+            "fraction",
+            "traffic (MB)",
+            "traffic reduction",
+            "latency (s)",
+            "latency reduction",
+        ]);
+        for r in rows.iter().filter(|r| r.case == case) {
+            table.row(vec![
+                format!("{}%", r.fraction_pct),
+                format!("{:.2}", r.traffic_bytes as f64 / 1e6),
+                format!(
+                    "{:.2}×",
+                    baseline.traffic_bytes as f64 / r.traffic_bytes as f64
+                ),
+                format!("{:.3}", r.latency_s),
+                format!("{:.2}×", baseline.latency_s / r.latency_s),
+            ]);
+        }
+        println!("{}", table.render());
+        println!();
+    }
+    save_json("fig9", &rows).expect("write results");
+}

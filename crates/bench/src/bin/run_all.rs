@@ -1,0 +1,118 @@
+//! Regenerates every table and figure in one pass, writing
+//! `results/*.json` and `results/SUMMARY.md`.
+//!
+//! Usage: `cargo run --release -p privapprox-bench --bin run_all`
+//! (add `--quick` for a reduced-scale pass).
+
+use privapprox_bench::calibrate::calibrate;
+use privapprox_bench::experiments::{fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3};
+use privapprox_bench::save_json;
+use std::fmt::Write as _;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut summary = String::from("# PrivApprox — regenerated results\n\n");
+
+    let stamp = |name: &str| println!("▶ {name}");
+
+    stamp("calibration");
+    let calibration = calibrate();
+    save_json("calibration", &calibration).unwrap();
+    let _ = writeln!(summary, "## Calibration\n\n```\n{calibration:#?}\n```\n");
+
+    stamp("table 1");
+    let t1 = table1::run(1);
+    save_json("table1", &t1).unwrap();
+    let _ = writeln!(summary, "## Table 1 (measured loss / ε_zk vs paper)\n");
+    for r in &t1 {
+        let _ = writeln!(
+            summary,
+            "- p={:.1} q={:.1}: η={:.4} (paper {:.4}), ε_zk={:.4} (paper {:.4})",
+            r.p, r.q, r.accuracy_loss, r.paper_loss, r.eps_zk, r.paper_eps
+        );
+    }
+
+    stamp("table 2");
+    let key_bits = if quick { 256 } else { 1024 };
+    let t2 = table2::run(key_bits, if quick { 8 } else { 40 }, 42);
+    save_json("table2", &t2).unwrap();
+    let _ = writeln!(summary, "\n## Table 2 ({key_bits}-bit keys)\n");
+    for r in &t2 {
+        let _ = writeln!(
+            summary,
+            "- {}: {:.0} enc/s, {:.0} dec/s ({:.0}× / {:.0}× slower than XOR)",
+            r.scheme,
+            r.enc_ops_per_sec,
+            r.dec_ops_per_sec,
+            r.enc_slowdown_vs_xor,
+            r.dec_slowdown_vs_xor
+        );
+    }
+
+    stamp("table 3");
+    let t3 = table3::run(if quick { 300 } else { 2_000 }, 7);
+    save_json("table3", &t3).unwrap();
+    let _ = writeln!(summary, "\n## Table 3\n");
+    for r in &t3 {
+        let _ = writeln!(summary, "- {}: {:.0} ops/s", r.operation, r.ops_per_sec);
+    }
+
+    stamp("figure 4");
+    save_json("fig4a", &fig4::run_4a(1)).unwrap();
+    save_json("fig4b", &fig4::run_4b(2)).unwrap();
+    save_json("fig4c", &fig4::run_4c(3)).unwrap();
+
+    stamp("figure 5");
+    save_json("fig5a", &fig5::run_5a(1)).unwrap();
+    save_json("fig5b", &fig5::run_5b(if quick { 50_000 } else { 200_000 })).unwrap();
+    save_json("fig5c", &fig5::run_5c()).unwrap();
+
+    stamp("figure 6");
+    let max6 = if quick { 1_000_000 } else { 100_000_000 };
+    let f6 = fig6::run(&calibration, max6);
+    save_json("fig6", &f6).unwrap();
+    let _ = writeln!(summary, "\n## Figure 6 (SplitX vs PrivApprox)\n");
+    for r in &f6 {
+        let _ = writeln!(
+            summary,
+            "- {} clients: SplitX {:.3}s vs PrivApprox {:.3}s ({:.1}×, {})",
+            r.clients,
+            r.splitx_s,
+            r.privapprox_s,
+            r.splitx_s / r.privapprox_s,
+            if r.simulated { "sim" } else { "real" }
+        );
+    }
+
+    stamp("figure 7");
+    let f7 = fig7::run(if quick { 5_000 } else { 20_000 }, 11);
+    save_json("fig7", &f7).unwrap();
+
+    stamp("figure 8");
+    save_json("fig8", &fig8::run(&calibration)).unwrap();
+
+    stamp("figure 9");
+    let f9 = fig9::run(if quick { 10_000 } else { 50_000 }, 17);
+    save_json("fig9", &f9).unwrap();
+    let _ = writeln!(summary, "\n## Figure 9 (traffic/latency vs sampling)\n");
+    for case in ["nyc-taxi", "electricity"] {
+        let full = f9
+            .iter()
+            .find(|r| r.case == case && r.fraction_pct == 100)
+            .unwrap();
+        let s60 = f9
+            .iter()
+            .find(|r| r.case == case && r.fraction_pct == 60)
+            .unwrap();
+        let _ = writeln!(
+            summary,
+            "- {case}: s=60% cuts traffic {:.2}× and latency {:.2}× (paper: 1.62×/1.68× taxi, 1.58×/1.66× electricity)",
+            full.traffic_bytes as f64 / s60.traffic_bytes as f64,
+            full.latency_s / s60.latency_s,
+        );
+    }
+
+    std::fs::create_dir_all("results").unwrap();
+    std::fs::write("results/SUMMARY.md", &summary).unwrap();
+    println!("\nall results regenerated under results/ (see results/SUMMARY.md)");
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table 1: utility and privacy across (p, q).
+
+use privapprox_bench::experiments::table1;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    let rows = table1::run(1);
+    let mut table = Table::new(&[
+        "p",
+        "q",
+        "loss η",
+        "paper η",
+        "ε_zk (ours)",
+        "paper ε",
+        "ε_rr (Eq 8)",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:.1}", r.p),
+            format!("{:.1}", r.q),
+            format!("{:.4}", r.accuracy_loss),
+            format!("{:.4}", r.paper_loss),
+            format!("{:.4}", r.eps_zk),
+            format!("{:.4}", r.paper_eps),
+            format!("{:.4}", r.eps_rr),
+        ]);
+    }
+    println!(
+        "Table 1 — utility and privacy of query results (s = {}, N = 10,000, 60% yes)\n",
+        table1::S
+    );
+    println!("{}", table.render());
+    let path = save_json("table1", &rows).expect("write results");
+    println!("results written to {}", path.display());
+}

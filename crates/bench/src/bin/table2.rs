@@ -1,0 +1,33 @@
+//! Regenerates Table 2: crypto operation throughput, XOR vs RSA /
+//! Goldwasser-Micali / Paillier (1024-bit keys, as in the paper).
+
+use privapprox_bench::report::with_commas;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    let key_bits = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    println!("Table 2 — crypto operations/sec ({key_bits}-bit keys, 11-bucket answers)\n");
+    let rows = privapprox_bench::experiments::table2::run(key_bits, 40, 42);
+    let mut table = Table::new(&[
+        "Scheme",
+        "Enc ops/s",
+        "Dec ops/s",
+        "Enc slowdown",
+        "Dec slowdown",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.scheme.clone(),
+            with_commas(r.enc_ops_per_sec as u64),
+            with_commas(r.dec_ops_per_sec as u64),
+            format!("{:.0}×", r.enc_slowdown_vs_xor),
+            format!("{:.0}×", r.dec_slowdown_vs_xor),
+        ]);
+    }
+    println!("{}", table.render());
+    let path = save_json("table2", &rows).expect("write results");
+    println!("results written to {}", path.display());
+}

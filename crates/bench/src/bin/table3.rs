@@ -1,0 +1,16 @@
+//! Regenerates Table 3: client-side throughput per pipeline stage.
+
+use privapprox_bench::report::with_commas;
+use privapprox_bench::{save_json, Table};
+
+fn main() {
+    println!("Table 3 — client throughput (ops/sec), 256-row local store\n");
+    let rows = privapprox_bench::experiments::table3::run(2_000, 7);
+    let mut table = Table::new(&["Operation", "ops/sec"]);
+    for r in &rows {
+        table.row(vec![r.operation.clone(), with_commas(r.ops_per_sec as u64)]);
+    }
+    println!("{}", table.render());
+    let path = save_json("table3", &rows).expect("write results");
+    println!("results written to {}", path.display());
+}

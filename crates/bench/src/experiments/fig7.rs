@@ -1,0 +1,131 @@
+//! Figure 7: the NYC-taxi case study — (a) utility and (b) privacy
+//! across sampling fractions and randomization parameters, and (c)
+//! the utility/privacy frontier.
+//!
+//! Runs the *full system* (clients with local SQL stores, XOR shares
+//! through two proxies, windowed aggregation) over the synthetic taxi
+//! workload, then measures the histogram accuracy loss against the
+//! exact (non-private) computation:
+//! `loss = Σ_b |est_b − exact_b| / Σ_b exact_b` — the per-bucket
+//! Equation 6 aggregated over the 11 distance buckets, weighted by
+//! the true counts.
+
+use crate::experiments::fig4::PQ;
+use privapprox_core::system::System;
+use privapprox_datasets::taxi::{taxi_answer_spec, TaxiGenerator};
+use privapprox_rr::privacy::epsilon_zk;
+use privapprox_types::ExecutionParams;
+use serde::Serialize;
+
+/// Sampling fractions swept (percent).
+pub const FRACTIONS: [u32; 6] = [10, 20, 40, 60, 80, 90];
+
+/// One (s, p, q) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Point {
+    /// Sampling fraction (%).
+    pub fraction_pct: u32,
+    /// First-coin bias.
+    pub p: f64,
+    /// Second-coin bias.
+    pub q: f64,
+    /// Histogram accuracy loss (%).
+    pub loss_pct: f64,
+    /// Zero-knowledge privacy level.
+    pub eps_zk: f64,
+}
+
+/// Runs the sweep with `clients` simulated vehicles.
+pub fn run(clients: u64, seed: u64) -> Vec<Fig7Point> {
+    // Generate one ride per client; the exact histogram is the ground
+    // truth every configuration is scored against.
+    let mut generator = TaxiGenerator::new(seed, 100.0);
+    let distances: Vec<f64> = (0..clients)
+        .map(|_| generator.next_ride().distance_miles)
+        .collect();
+    let spec = taxi_answer_spec();
+    let mut exact = vec![0f64; spec.len()];
+    for &d in &distances {
+        exact[spec.bucketize_num(d).expect("all distances bucketize")] += 1.0;
+    }
+    let exact_total: f64 = exact.iter().sum();
+
+    let mut out = Vec::new();
+    for &pct in &FRACTIONS {
+        for &(p, q) in &PQ {
+            let mut system = System::builder()
+                .clients(clients)
+                .proxies(2)
+                .seed(seed ^ ((pct as u64) << 32) ^ ((p * 10.0) as u64))
+                .build();
+            let dist_ref = &distances;
+            system.load_numeric_column("rides", "distance", |i| dist_ref[i]);
+            let params = ExecutionParams::checked(pct as f64 / 100.0, p, q);
+            let query = system
+                .analyst()
+                .query("SELECT distance FROM rides")
+                .buckets(spec.clone())
+                .params(params)
+                .submit()
+                .expect("query accepted");
+            let result = system.run_epoch(&query).expect("epoch runs");
+            let l1: f64 = result
+                .buckets
+                .iter()
+                .zip(&exact)
+                .map(|(b, &e)| (b.estimate - e).abs())
+                .sum();
+            out.push(Fig7Point {
+                fraction_pct: pct,
+                p,
+                q,
+                loss_pct: 100.0 * l1 / exact_total,
+                eps_zk: epsilon_zk(pct as f64 / 100.0, p, q),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxi_sweep_shows_the_paper_trends() {
+        // Small population keeps the debug-mode test quick; trends are
+        // what matters.
+        let points = run(2_000, 11);
+        assert_eq!(points.len(), FRACTIONS.len() * PQ.len());
+
+        // Utility improves (loss falls) from s = 10 % to s = 90 % for
+        // the high-p settings.
+        let loss_at = |pct: u32, p: f64, q: f64| {
+            points
+                .iter()
+                .find(|pt| pt.fraction_pct == pct && pt.p == p && pt.q == q)
+                .unwrap()
+                .loss_pct
+        };
+        assert!(
+            loss_at(10, 0.9, 0.6) > loss_at(90, 0.9, 0.6),
+            "loss(10%)={} should exceed loss(90%)={}",
+            loss_at(10, 0.9, 0.6),
+            loss_at(90, 0.9, 0.6)
+        );
+
+        // Privacy level rises with s and p.
+        let eps_at = |pct: u32, p: f64, q: f64| {
+            points
+                .iter()
+                .find(|pt| pt.fraction_pct == pct && pt.p == p && pt.q == q)
+                .unwrap()
+                .eps_zk
+        };
+        assert!(eps_at(90, 0.9, 0.6) > eps_at(10, 0.9, 0.6));
+        assert!(eps_at(60, 0.9, 0.3) > eps_at(60, 0.3, 0.3));
+
+        // All losses are finite percentages.
+        assert!(points.iter().all(|p| p.loss_pct.is_finite()));
+    }
+}

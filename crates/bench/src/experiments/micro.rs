@@ -1,0 +1,111 @@
+//! Shared microbenchmark machinery: the sampling + randomized-response
+//! pipeline over a synthetic answer population, as used by §6 #I–#IV.
+
+use privapprox_rr::estimate::estimate_true_yes;
+use privapprox_rr::randomize::Randomizer;
+use rand::Rng;
+
+/// Runs one sampling+randomization round over a boolean population
+/// and returns the population-scaled estimate of the true yes-count
+/// (Equations 2 + 5 composed).
+///
+/// `p = 1` disables randomization, `s = 1` disables sampling — the
+/// degenerate modes the paper's Figure 4b isolates.
+pub fn pipeline_estimate<R: Rng + ?Sized>(
+    answers: &[bool],
+    s: f64,
+    p: f64,
+    q: f64,
+    rng: &mut R,
+) -> f64 {
+    assert!(!answers.is_empty());
+    let randomizer = if p < 1.0 {
+        Some(Randomizer::new(p, q))
+    } else {
+        None
+    };
+    let mut sampled = 0u64;
+    let mut ry = 0u64;
+    for &truth in answers {
+        if s < 1.0 && rng.gen::<f64>() >= s {
+            continue;
+        }
+        sampled += 1;
+        let response = match &randomizer {
+            Some(r) => r.randomize_bit(truth, rng),
+            None => truth,
+        };
+        if response {
+            ry += 1;
+        }
+    }
+    if sampled == 0 {
+        return 0.0;
+    }
+    let ey = match &randomizer {
+        Some(_) => estimate_true_yes(ry, sampled, p, q),
+        None => ry as f64,
+    };
+    ey * answers.len() as f64 / sampled as f64
+}
+
+/// Mean relative accuracy loss (Equation 6) of the pipeline over
+/// `runs` repetitions.
+pub fn mean_loss<R: Rng + ?Sized>(
+    answers: &[bool],
+    true_yes: u64,
+    s: f64,
+    p: f64,
+    q: f64,
+    runs: u32,
+    rng: &mut R,
+) -> f64 {
+    assert!(true_yes > 0, "loss is undefined for a zero yes-count");
+    let mut total = 0.0;
+    for _ in 0..runs {
+        let est = pipeline_estimate(answers, s, p, q, rng);
+        total += ((est - true_yes as f64) / true_yes as f64).abs();
+    }
+    total / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privapprox_datasets::micro::MicroAnswers;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_mode_has_zero_loss() {
+        let pop = MicroAnswers::generate(1_000, 0.6, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let loss = mean_loss(pop.answers(), pop.yes_count(), 1.0, 1.0, 0.5, 3, &mut rng);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn loss_shrinks_with_sampling_fraction() {
+        let pop = MicroAnswers::paper_default(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let lo = mean_loss(pop.answers(), pop.yes_count(), 0.1, 1.0, 0.5, 10, &mut rng);
+        let hi = mean_loss(pop.answers(), pop.yes_count(), 0.9, 1.0, 0.5, 10, &mut rng);
+        assert!(hi < lo, "s=0.9 loss {hi} should beat s=0.1 loss {lo}");
+    }
+
+    #[test]
+    fn estimates_are_unbiased_in_combined_mode() {
+        let pop = MicroAnswers::paper_default(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut total = 0.0;
+        let runs = 30;
+        for _ in 0..runs {
+            total += pipeline_estimate(pop.answers(), 0.6, 0.6, 0.6, &mut rng);
+        }
+        let mean = total / runs as f64;
+        assert!(
+            (mean - 6_000.0).abs() < 100.0,
+            "mean estimate {mean} drifts from 6000"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per paper table/figure.
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod micro;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Number of repeated runs averaged per measurement point ("For all
+/// measurements, we report the average over 10 runs", paper §7.1).
+pub const RUNS: u32 = 10;

@@ -1,0 +1,124 @@
+//! Table 3: client-side throughput — local SQL read, randomized
+//! response, XOR encryption, and the composed total.
+//!
+//! "The result indicates that the performance bottleneck in the
+//! answering process is actually the database read operation."
+
+use privapprox_crypto::xor::{encode_answer, XorSplitter};
+use privapprox_rr::randomize::Randomizer;
+use privapprox_sql::{execute, parse_select, ColumnType, Database, Schema, Value};
+use privapprox_types::ids::AnalystId;
+use privapprox_types::{BitVec, QueryId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One Table 3 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Operation name.
+    pub operation: String,
+    /// Operations per second on this host.
+    pub ops_per_sec: f64,
+}
+
+/// Rows per client table (the paper's clients store a bounded local
+/// stream; 256 rows of recent history is representative).
+pub const CLIENT_ROWS: usize = 256;
+
+/// Runs the client-throughput measurement.
+pub fn run(iters: u32, seed: u64) -> Vec<Table3Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // A representative client store.
+    let mut db = Database::new();
+    db.create_table(
+        "rides",
+        Schema::new(vec![
+            ("ts", ColumnType::Int),
+            ("distance", ColumnType::Float),
+        ]),
+    );
+    for i in 0..CLIENT_ROWS {
+        db.insert(
+            "rides",
+            vec![Value::Int(i as i64), Value::Float((i % 11) as f64 + 0.5)],
+        )
+        .unwrap();
+    }
+    let stmt = parse_select("SELECT distance FROM rides WHERE ts >= 128").unwrap();
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(execute(&stmt, &db).unwrap());
+    }
+    let sql_rate = iters as f64 / t.elapsed().as_secs_f64();
+
+    let randomizer = Randomizer::new(0.9, 0.6);
+    let answer = BitVec::one_hot(11, 3);
+    let rr_iters = iters.saturating_mul(20);
+    let t = Instant::now();
+    for _ in 0..rr_iters {
+        std::hint::black_box(randomizer.randomize_vec(&answer, &mut rng));
+    }
+    let rr_rate = rr_iters as f64 / t.elapsed().as_secs_f64();
+
+    let splitter = XorSplitter::new(2);
+    let qid = QueryId::new(AnalystId(1), 1);
+    let t = Instant::now();
+    for _ in 0..rr_iters {
+        let message = encode_answer(qid, &answer);
+        std::hint::black_box(splitter.split(&message, &mut rng));
+    }
+    let xor_rate = rr_iters as f64 / t.elapsed().as_secs_f64();
+
+    // The pipeline runs the three stages in sequence, so the composed
+    // rate is harmonic.
+    let total = 1.0 / (1.0 / sql_rate + 1.0 / rr_rate + 1.0 / xor_rate);
+
+    vec![
+        Table3Row {
+            operation: "SQL read".into(),
+            ops_per_sec: sql_rate,
+        },
+        Table3Row {
+            operation: "Randomized response".into(),
+            ops_per_sec: rr_rate,
+        },
+        Table3Row {
+            operation: "XOR encryption".into(),
+            ops_per_sec: xor_rate,
+        },
+        Table3Row {
+            operation: "Total".into(),
+            ops_per_sec: total,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_read_is_the_bottleneck() {
+        let rows = run(200, 1);
+        assert_eq!(rows.len(), 4);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.operation == name)
+                .unwrap()
+                .ops_per_sec
+        };
+        let sql = get("SQL read");
+        let rr = get("Randomized response");
+        let xor = get("XOR encryption");
+        let total = get("Total");
+        assert!(sql < rr, "SQL {sql} should be slower than RR {rr}");
+        assert!(sql < xor, "SQL {sql} should be slower than XOR {xor}");
+        // Total is gated by the slowest stage.
+        assert!(total < sql);
+        assert!(total > sql * 0.5, "total {total} vs sql {sql}");
+    }
+}

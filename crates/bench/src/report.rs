@@ -1,0 +1,134 @@
+//! Result formatting and persistence.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// A simple aligned text table for terminal output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored Markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Serializes a result struct as pretty JSON under `results/`.
+///
+/// Creates the directory if needed. Returns the written path.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Formats a count as the paper does (e.g. `1,351,937`).
+pub fn with_commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["p", "q", "loss"]);
+        t.row(vec!["0.3".into(), "0.6".into(), "0.0262".into()]);
+        t.row(vec!["0.9".into(), "0.3".into(), "0.0098".into()]);
+        let s = t.render();
+        assert!(s.contains("p"));
+        assert!(s.lines().count() == 4);
+        // Columns align: every line has equal length rows.
+        let lens: Vec<usize> = s.lines().skip(2).map(|l| l.len()).collect();
+        assert_eq!(lens[0], lens[1]);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn comma_formatting() {
+        assert_eq!(with_commas(0), "0");
+        assert_eq!(with_commas(999), "999");
+        assert_eq!(with_commas(1_000), "1,000");
+        assert_eq!(with_commas(1_351_937), "1,351,937");
+    }
+}

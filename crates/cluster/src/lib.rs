@@ -1,0 +1,64 @@
+//! Discrete-event cluster simulator.
+//!
+//! The paper's scalability experiments (Figures 6, 8 and the
+//! 10⁶–10⁸-client points) ran on a 44-node cluster. This reproduction
+//! executes on a single core, so testbed-scale parallelism is supplied
+//! by a *calibrated simulator*: per-message service times are measured
+//! from the real single-node implementation (see
+//! `privapprox-bench::calibrate`), and this crate schedules those
+//! costs over simulated multi-core nodes, links and synchronization
+//! barriers. The shapes the paper reports — near-linear proxy
+//! scale-up, the SplitX synchronization penalty — emerge from the
+//! measured constants plus the scheduling structure, not from curve
+//! fitting.
+//!
+//! * [`pool`] — multi-core earliest-free-core scheduling (the basic
+//!   throughput model for proxies and aggregator nodes);
+//! * [`net`] — link latency/bandwidth delays;
+//! * [`phases`] — barrier-synchronized phase execution (SplitX's
+//!   noise/intersect/shuffle pipeline);
+//! * [`events`] — a general event queue for ad-hoc models and tests.
+
+pub mod events;
+pub mod net;
+pub mod phases;
+pub mod pool;
+
+pub use events::EventQueue;
+pub use net::Link;
+pub use phases::{run_phases, Phase};
+pub use pool::{ClusterSpec, ServerPool};
+
+/// Simulated time in microseconds.
+pub type SimTime = u64;
+
+/// Converts an operations-per-second throughput measurement into a
+/// per-operation service time in microseconds.
+///
+/// # Panics
+///
+/// Panics if `ops_per_sec` is not positive finite.
+pub fn service_us_from_ops_per_sec(ops_per_sec: f64) -> f64 {
+    assert!(
+        ops_per_sec.is_finite() && ops_per_sec > 0.0,
+        "throughput must be positive, got {ops_per_sec}"
+    );
+    1_000_000.0 / ops_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_conversion() {
+        assert_eq!(service_us_from_ops_per_sec(1_000_000.0), 1.0);
+        assert_eq!(service_us_from_ops_per_sec(500.0), 2_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_rejected() {
+        let _ = service_us_from_ops_per_sec(0.0);
+    }
+}

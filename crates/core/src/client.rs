@@ -1,0 +1,279 @@
+//! The PrivApprox client (paper §3.2.1–§3.2.3, Figure 3 left).
+//!
+//! Each client stores its user's private data locally (here: the
+//! in-process SQL engine standing in for SQLite), subscribes to
+//! queries, and per epoch: (i) flips the participation coin, (ii) if
+//! participating, executes the SQL over its local rows and bucketizes
+//! the answer into the `A[n]` bit-vector, (iii) randomizes every bit
+//! with the two-coin mechanism, and (iv) splits the encoded message
+//! into XOR shares, one per proxy.
+
+use crate::error::CoreError;
+use privapprox_crypto::xor::{encode_answer, Share, XorSplitter};
+use privapprox_rr::randomize::Randomizer;
+use privapprox_sampling::srs::ParticipationCoin;
+use privapprox_sql::{execute, parse_select, Database, Value};
+use privapprox_types::{BitVec, ClientId, ExecutionParams, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One client's produced answer: `n` shares destined for `n` proxies.
+#[derive(Debug, Clone)]
+pub struct ClientAnswer {
+    /// Share `i` goes to proxy `i`.
+    pub shares: Vec<Share>,
+}
+
+/// A client device holding one user's private data.
+pub struct Client {
+    id: ClientId,
+    db: Database,
+    rng: StdRng,
+    /// Analyst public keys this client trusts (keyed verification of
+    /// query signatures, §3.1).
+    analyst_key: u64,
+}
+
+impl Client {
+    /// Creates a client with a deterministic RNG seed and the analyst
+    /// verification key it trusts.
+    pub fn new(id: ClientId, seed: u64, analyst_key: u64) -> Client {
+        Client {
+            id,
+            db: Database::new(),
+            rng: StdRng::seed_from_u64(seed ^ id.0.rotate_left(32)),
+            analyst_key,
+        }
+    }
+
+    /// The client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The private local database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the private local database.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Executes the query's SQL locally and bucketizes the newest
+    /// matching value into the truthful `A[n]` vector.
+    ///
+    /// Returns the all-zero vector when the query matches no local
+    /// rows (the client has no answer in range — every bucket is
+    /// truthfully "no").
+    pub fn truthful_answer(&self, query: &Query) -> Result<BitVec, CoreError> {
+        let stmt = parse_select(&query.sql)?;
+        let rs = execute(&stmt, &self.db)?;
+        let column = rs.single_column()?;
+        let mut vec = BitVec::zeros(query.answer.len());
+        // The newest row is the client's current state (clients append
+        // their stream in time order).
+        let Some(value) = column.last() else {
+            return Ok(vec);
+        };
+        let bucket = match value {
+            Value::Null => None,
+            Value::Text(s) => query.answer.bucketize_text(s),
+            other => match other.as_f64() {
+                Some(v) => query.answer.bucketize_num(v),
+                None => None,
+            },
+        };
+        match bucket {
+            Some(b) => {
+                vec.set(b, true);
+                Ok(vec)
+            }
+            None => Err(CoreError::Unbucketizable(value.to_string())),
+        }
+    }
+
+    /// Runs one full epoch of the query-answering pipeline.
+    ///
+    /// Returns `Ok(None)` when the participation coin (bias `s`) says
+    /// to sit this epoch out — the low-latency half of the paper's
+    /// marriage. Otherwise returns the XOR shares to transmit, one per
+    /// proxy.
+    pub fn answer_query(
+        &mut self,
+        query: &Query,
+        params: &ExecutionParams,
+        n_proxies: usize,
+    ) -> Result<Option<ClientAnswer>, CoreError> {
+        if !query.verify(self.analyst_key) {
+            return Err(CoreError::BadSignature);
+        }
+        // Step I: sampling at the client (§3.2.1).
+        let coin = ParticipationCoin::new(params.s);
+        if !coin.flip(&mut self.rng) {
+            return Ok(None);
+        }
+        // Step II: truthful answer + randomized response (§3.2.2).
+        let truth = self.truthful_answer(query)?;
+        let randomized = if params.p >= 1.0 {
+            truth // degenerate no-randomization mode (Fig 4b)
+        } else {
+            Randomizer::new(params.p, params.q).randomize_vec(&truth, &mut self.rng)
+        };
+        // Step III: encode and split (§3.2.3).
+        let message = encode_answer(query.id, &randomized);
+        let splitter = XorSplitter::new(n_proxies);
+        let shares = splitter.split(&message, &mut self.rng);
+        Ok(Some(ClientAnswer { shares }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privapprox_crypto::xor::{combine, decode_answer};
+    use privapprox_sql::{ColumnType, Schema};
+    use privapprox_types::ids::AnalystId;
+    use privapprox_types::{AnswerSpec, QueryBuilder, QueryId};
+
+    const KEY: u64 = 0xA11CE;
+
+    fn speed_query() -> Query {
+        QueryBuilder::new(
+            QueryId::new(AnalystId(1), 1),
+            "SELECT speed FROM vehicle WHERE location = 'SF'",
+        )
+        .answer(AnswerSpec::ranges_with_overflow(0.0, 110.0, 11))
+        .frequency(1_000)
+        .window(60_000, 60_000)
+        .sign_and_build(KEY)
+    }
+
+    fn client_with_speed(speed: f64) -> Client {
+        let mut c = Client::new(ClientId(1), 42, KEY);
+        c.db_mut().create_table(
+            "vehicle",
+            Schema::new(vec![
+                ("ts", ColumnType::Int),
+                ("speed", ColumnType::Float),
+                ("location", ColumnType::Text),
+            ]),
+        );
+        c.db_mut()
+            .insert(
+                "vehicle",
+                vec![Value::Int(0), Value::Float(speed), "SF".into()],
+            )
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn truthful_answer_is_one_hot_on_the_right_bucket() {
+        let c = client_with_speed(15.0);
+        let truth = c.truthful_answer(&speed_query()).unwrap();
+        assert_eq!(truth.count_ones(), 1);
+        assert!(truth.get(1), "15 mph is in [10,20)");
+    }
+
+    #[test]
+    fn no_matching_rows_is_all_zero() {
+        let mut c = client_with_speed(15.0);
+        // Overwrite location so the WHERE filters everything out.
+        c.db_mut().table_mut("vehicle").unwrap().clear();
+        c.db_mut()
+            .insert(
+                "vehicle",
+                vec![Value::Int(0), Value::Float(15.0), "Oakland".into()],
+            )
+            .unwrap();
+        let truth = c.truthful_answer(&speed_query()).unwrap();
+        assert_eq!(truth.count_ones(), 0);
+    }
+
+    #[test]
+    fn newest_row_wins() {
+        let mut c = client_with_speed(15.0);
+        c.db_mut()
+            .insert(
+                "vehicle",
+                vec![Value::Int(1), Value::Float(95.0), "SF".into()],
+            )
+            .unwrap();
+        let truth = c.truthful_answer(&speed_query()).unwrap();
+        assert!(truth.get(9), "95 mph is in [90,100)");
+    }
+
+    #[test]
+    fn full_pipeline_round_trips_without_randomization() {
+        // p = 1 disables randomization; shares must recombine to the
+        // truthful answer.
+        let mut c = client_with_speed(15.0);
+        let q = speed_query();
+        let params = ExecutionParams::checked(1.0, 1.0, 0.5);
+        let answer = c
+            .answer_query(&q, &params, 2)
+            .unwrap()
+            .expect("s = 1 always participates");
+        assert_eq!(answer.shares.len(), 2);
+        let msg = combine(&answer.shares).unwrap();
+        let (qid, decoded) = decode_answer(&msg).unwrap();
+        assert_eq!(qid, q.id);
+        assert_eq!(decoded, c.truthful_answer(&q).unwrap());
+    }
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        let mut c = client_with_speed(15.0);
+        let q = speed_query();
+        let params = ExecutionParams::checked(0.3, 1.0, 0.5);
+        let n = 2_000;
+        let mut participated = 0;
+        for _ in 0..n {
+            if c.answer_query(&q, &params, 2).unwrap().is_some() {
+                participated += 1;
+            }
+        }
+        let rate = participated as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.04, "participation rate {rate}");
+    }
+
+    #[test]
+    fn forged_queries_are_rejected() {
+        let mut c = client_with_speed(15.0);
+        let mut q = speed_query();
+        q.sql = "SELECT speed FROM vehicle".into(); // tampered post-signing
+        let params = ExecutionParams::checked(1.0, 0.9, 0.5);
+        assert_eq!(
+            c.answer_query(&q, &params, 2).unwrap_err(),
+            CoreError::BadSignature
+        );
+    }
+
+    #[test]
+    fn unbucketizable_values_error() {
+        let c = client_with_speed(-5.0); // negative speed: no bucket
+        let q = speed_query();
+        assert!(matches!(
+            c.truthful_answer(&q),
+            Err(CoreError::Unbucketizable(_))
+        ));
+    }
+
+    #[test]
+    fn randomized_answers_vary_but_decode_to_valid_vectors() {
+        let mut c = client_with_speed(15.0);
+        let q = speed_query();
+        let params = ExecutionParams::checked(1.0, 0.5, 0.5);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let ans = c.answer_query(&q, &params, 2).unwrap().unwrap();
+            let msg = combine(&ans.shares).unwrap();
+            let (_, decoded) = decode_answer(&msg).expect("valid wire format");
+            assert_eq!(decoded.len(), 12);
+            distinct.insert(decoded.to_string());
+        }
+        assert!(distinct.len() > 1, "randomization must vary answers");
+    }
+}

@@ -1,0 +1,49 @@
+//! Errors surfaced by the PrivApprox system layer.
+
+use privapprox_sql::SqlError;
+use privapprox_types::budget::ParamError;
+
+/// System-level failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The client's local SQL execution failed.
+    Sql(SqlError),
+    /// Execution parameters were out of range.
+    Params(ParamError),
+    /// The query's signature did not verify at the client.
+    BadSignature,
+    /// A query referenced an unknown query id.
+    UnknownQuery,
+    /// The answer column could not be bucketized (no matching bucket).
+    Unbucketizable(String),
+    /// The budget cannot be met (e.g. latency target below the
+    /// per-answer floor even at the minimum sampling fraction).
+    InfeasibleBudget(String),
+}
+
+impl From<SqlError> for CoreError {
+    fn from(e: SqlError) -> CoreError {
+        CoreError::Sql(e)
+    }
+}
+
+impl From<ParamError> for CoreError {
+    fn from(e: ParamError) -> CoreError {
+        CoreError::Params(e)
+    }
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::Sql(e) => write!(f, "client SQL error: {e}"),
+            CoreError::Params(e) => write!(f, "parameter error: {e}"),
+            CoreError::BadSignature => write!(f, "query signature verification failed"),
+            CoreError::UnknownQuery => write!(f, "unknown query id"),
+            CoreError::Unbucketizable(v) => write!(f, "value '{v}' matches no answer bucket"),
+            CoreError::InfeasibleBudget(m) => write!(f, "infeasible budget: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

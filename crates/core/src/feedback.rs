@@ -1,0 +1,169 @@
+//! The adaptive feedback loop (paper §5).
+//!
+//! "If the error exceeds the error bound target, a feedback mechanism
+//! is activated to re-tune the sampling and randomization parameters
+//! to provide higher utility in the subsequent epochs." The controller
+//! below is a damped multiplicative-increase rule on the sampling
+//! fraction: error variance shrinks like `1/U′`, so the relative bound
+//! shrinks like `1/√(s)`; to cut the bound by a factor `r` the
+//! fraction must grow by `r²`. When even `s = 1` cannot meet the
+//! target, the controller raises `p` (trading privacy for utility) as
+//! a second, explicit stage.
+
+use privapprox_types::ExecutionParams;
+
+/// Damped controller re-tuning `(s, p)` from observed error.
+#[derive(Debug, Clone)]
+pub struct FeedbackController {
+    target_rel_error: f64,
+    /// Damping in (0, 1]: 1 jumps straight to the model's answer.
+    gain: f64,
+    /// Hard privacy stop: `p` never exceeds this.
+    max_p: f64,
+}
+
+impl FeedbackController {
+    /// Creates a controller aiming at `target_rel_error` with damping
+    /// `gain` and a privacy stop at `max_p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range arguments.
+    pub fn new(target_rel_error: f64, gain: f64, max_p: f64) -> FeedbackController {
+        assert!(target_rel_error > 0.0, "target error must be positive");
+        assert!(gain > 0.0 && gain <= 1.0, "gain must be in (0,1]");
+        assert!(max_p > 0.0 && max_p < 1.0, "max_p must be in (0,1)");
+        FeedbackController {
+            target_rel_error,
+            gain,
+            max_p,
+        }
+    }
+
+    /// The error target.
+    pub fn target(&self) -> f64 {
+        self.target_rel_error
+    }
+
+    /// Computes next-epoch parameters from the observed relative
+    /// error bound of the last window.
+    ///
+    /// Returns the (possibly unchanged) parameters and whether a
+    /// change was made.
+    pub fn retune(
+        &self,
+        current: ExecutionParams,
+        observed_rel_error: f64,
+    ) -> (ExecutionParams, bool) {
+        if !observed_rel_error.is_finite() {
+            // Degenerate window (too few answers): jump to full
+            // sampling, the strongest corrective available.
+            let next = ExecutionParams::checked(1.0, current.p, current.q);
+            return (next, next != current);
+        }
+        let ratio = observed_rel_error / self.target_rel_error;
+        if ratio <= 1.0 {
+            // Within budget: decay s gently toward the cheapest
+            // setting that still meets the target (ratio² model),
+            // never below half the model's answer per epoch.
+            let ideal = (current.s * ratio * ratio).max(current.s * 0.5);
+            let next_s = (current.s + self.gain * (ideal - current.s)).clamp(0.01, 1.0);
+            let next = ExecutionParams::checked(next_s, current.p, current.q);
+            let changed = (next.s - current.s).abs() > 1e-6;
+            return (next, changed);
+        }
+        // Over budget: grow s by ratio² (damped).
+        let ideal_s = (current.s * ratio * ratio).min(1.0);
+        let next_s = (current.s + self.gain * (ideal_s - current.s)).clamp(0.01, 1.0);
+        if next_s < 1.0 - 1e-9 || current.s < 1.0 - 1e-9 {
+            let next = ExecutionParams::checked(next_s, current.p, current.q);
+            return (next, true);
+        }
+        // Already at full sampling: raise p toward the privacy stop.
+        let next_p = (current.p + self.gain * (self.max_p - current.p)).min(self.max_p);
+        let next = ExecutionParams::checked(1.0, next_p, current.q);
+        let changed = (next.p - current.p).abs() > 1e-9;
+        (next, changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(s: f64, p: f64) -> ExecutionParams {
+        ExecutionParams::checked(s, p, 0.6)
+    }
+
+    #[test]
+    fn error_over_target_grows_sampling() {
+        let c = FeedbackController::new(0.05, 1.0, 0.95);
+        let (next, changed) = c.retune(params(0.2, 0.9), 0.10);
+        assert!(changed);
+        // ratio = 2 → ideal s = 0.8.
+        assert!((next.s - 0.8).abs() < 1e-9, "s = {}", next.s);
+        assert_eq!(next.p, 0.9, "p untouched while s can still grow");
+    }
+
+    #[test]
+    fn damping_softens_the_jump() {
+        let c = FeedbackController::new(0.05, 0.5, 0.95);
+        let (next, _) = c.retune(params(0.2, 0.9), 0.10);
+        // Half-way between 0.2 and 0.8.
+        assert!((next.s - 0.5).abs() < 1e-9, "s = {}", next.s);
+    }
+
+    #[test]
+    fn error_within_target_relaxes_sampling() {
+        let c = FeedbackController::new(0.05, 1.0, 0.95);
+        let (next, changed) = c.retune(params(0.8, 0.9), 0.01);
+        assert!(changed);
+        assert!(next.s < 0.8, "s should decay, got {}", next.s);
+        assert!(next.s >= 0.4, "decay is bounded per epoch");
+    }
+
+    #[test]
+    fn saturated_sampling_escalates_to_p() {
+        let c = FeedbackController::new(0.05, 1.0, 0.95);
+        let (next, changed) = c.retune(params(1.0, 0.6), 0.2);
+        assert!(changed);
+        assert_eq!(next.s, 1.0);
+        assert!((next.p - 0.95).abs() < 1e-9, "p = {}", next.p);
+    }
+
+    #[test]
+    fn p_never_exceeds_the_privacy_stop() {
+        let c = FeedbackController::new(0.05, 1.0, 0.95);
+        let (next, changed) = c.retune(params(1.0, 0.95), 0.5);
+        assert!(!changed, "at the stop, nothing more to give");
+        assert_eq!(next.p, 0.95);
+    }
+
+    #[test]
+    fn infinite_error_jumps_to_full_sampling() {
+        let c = FeedbackController::new(0.05, 0.3, 0.95);
+        let (next, changed) = c.retune(params(0.05, 0.9), f64::INFINITY);
+        assert!(changed);
+        assert_eq!(next.s, 1.0);
+    }
+
+    #[test]
+    fn convergence_under_the_sqrt_model() {
+        // Simulate the 1/√(s·U) error model: err(s) = k/√s with
+        // k chosen so the target needs s ≈ 0.64.
+        let c = FeedbackController::new(0.05, 0.7, 0.95);
+        let mut p = params(0.05, 0.9);
+        let k = 0.04; // err(1.0) = 0.04 < target
+        for _ in 0..30 {
+            let err = k / p.s.sqrt();
+            let (next, _) = c.retune(p, err);
+            p = next;
+        }
+        let final_err = k / p.s.sqrt();
+        assert!(
+            final_err <= 0.05 * 1.1,
+            "converged error {final_err} misses target"
+        );
+        assert!(p.s < 0.95, "should not overshoot to census, s = {}", p.s);
+    }
+}

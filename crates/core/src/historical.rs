@@ -1,0 +1,275 @@
+//! Historical (batch) analytics over stored responses (paper §3.3.1).
+//!
+//! "The analyst can analyze users' responses stored in a fault-tolerant
+//! distributed storage (e.g., HDFS) at the aggregator to get the
+//! aggregate query result over the desired time period … we can
+//! perform an additional round of sampling at the aggregator to ensure
+//! that the batch analytics computation remains within the query
+//! budget."
+//!
+//! The warehouse stores *randomized* answers only — the aggregator
+//! never sees truthful data, so at-rest storage inherits the streaming
+//! pipeline's privacy guarantees. Batch queries re-sample the stored
+//! stream with a reservoir, then run the same Equation 5 + Equation 2
+//! estimation with the combined two-stage scaling.
+
+use crate::aggregator::{BucketResult, QueryResult};
+use privapprox_rr::estimate::{estimate_true_yes, rr_estimator_variance, BucketEstimator};
+use privapprox_rr::privacy::PrivacyReport;
+use privapprox_sampling::reservoir::Reservoir;
+use privapprox_stats::estimate::ConfidenceInterval;
+use privapprox_stats::normal::normal_quantile;
+use privapprox_stats::tdist::t_critical;
+use privapprox_types::{BitVec, ExecutionParams, QueryId, Timestamp, Window};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A stored randomized answer.
+#[derive(Debug, Clone)]
+struct StoredAnswer {
+    answer: BitVec,
+}
+
+/// The append-only response warehouse for one query.
+pub struct Warehouse {
+    query: QueryId,
+    buckets: usize,
+    params: ExecutionParams,
+    population: u64,
+    /// Time-ordered storage (BTreeMap keyed by timestamp, then
+    /// arrival sequence to keep duplicates at one instant).
+    store: BTreeMap<(Timestamp, u64), StoredAnswer>,
+    seq: u64,
+}
+
+impl Warehouse {
+    /// Creates a warehouse for a query's randomized answers.
+    pub fn new(
+        query: QueryId,
+        buckets: usize,
+        params: ExecutionParams,
+        population: u64,
+    ) -> Warehouse {
+        assert!(buckets > 0);
+        Warehouse {
+            query,
+            buckets,
+            params,
+            population,
+            store: BTreeMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Appends one randomized answer observed at `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch (the streaming pipeline validates
+    /// widths before storage).
+    pub fn append(&mut self, ts: Timestamp, answer: BitVec) {
+        assert_eq!(answer.len(), self.buckets, "answer width mismatch");
+        self.store.insert((ts, self.seq), StoredAnswer { answer });
+        self.seq += 1;
+    }
+
+    /// Number of stored answers.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Runs a batch query over `[range.start, range.end)`, re-sampling
+    /// down to at most `batch_budget` stored answers (the §3.3.1
+    /// second sampling round). `rng` drives the reservoir.
+    pub fn batch_query<R: Rng + ?Sized>(
+        &self,
+        range: Window,
+        batch_budget: usize,
+        confidence: f64,
+        rng: &mut R,
+    ) -> QueryResult {
+        assert!(batch_budget > 0, "batch budget must be positive");
+        // Pass 1: count the in-range stored answers (the batch
+        // population) while reservoir-sampling them.
+        let mut reservoir: Reservoir<&StoredAnswer> = Reservoir::new(batch_budget);
+        let mut in_range: u64 = 0;
+        for ((ts, _), stored) in &self.store {
+            if range.contains(*ts) {
+                in_range += 1;
+                reservoir.offer(stored, rng);
+            }
+        }
+        let mut est = BucketEstimator::new(self.buckets, self.params.p.min(1.0), self.params.q);
+        for stored in reservoir.sample() {
+            est.push(&stored.answer);
+        }
+        let m = est.total(); // second-stage sample size
+                             // Two-stage scaling: stored answers already represent
+                             // `population` clients through the client-side fraction; the
+                             // reservoir keeps m of the `in_range` stored answers.
+        let stage2_scale = if m > 0 {
+            in_range as f64 / m as f64
+        } else {
+            0.0
+        };
+        let stage1_scale = if in_range > 0 {
+            self.population as f64 / in_range as f64
+        } else {
+            0.0
+        };
+        let scale = stage1_scale * stage2_scale; // = population / m
+        let z = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
+        let u = self.population as f64;
+        let buckets = est
+            .raw_counts()
+            .iter()
+            .map(|&ry| {
+                let e_sample = if m > 0 {
+                    if self.params.p >= 1.0 {
+                        ry as f64
+                    } else {
+                        estimate_true_yes(ry, m, self.params.p, self.params.q)
+                    }
+                } else {
+                    0.0
+                };
+                let estimate = e_sample * scale;
+                let rr_error = if m > 0 && self.params.p < 1.0 {
+                    z * rr_estimator_variance(ry, m, self.params.p).sqrt() * scale
+                } else {
+                    0.0
+                };
+                let sampling_error = if m >= 2 && (m as f64) < u {
+                    let r = (e_sample / m as f64).clamp(0.0, 1.0);
+                    let sigma2 = r * (1.0 - r) * m as f64 / (m as f64 - 1.0);
+                    let var = u * u / m as f64 * sigma2 * ((u - m as f64).max(0.0) / u);
+                    t_critical(confidence, (m - 1) as f64) * var.sqrt()
+                } else if m < 2 && self.population > 0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                BucketResult {
+                    raw_yes: ry,
+                    estimate_sample: e_sample,
+                    estimate,
+                    ci: ConfidenceInterval {
+                        estimate,
+                        bound: sampling_error + rr_error,
+                        confidence,
+                    },
+                    sampling_error,
+                    rr_error,
+                }
+            })
+            .collect();
+        QueryResult {
+            query: self.query,
+            window: range,
+            sample_size: m,
+            population: self.population,
+            buckets,
+            privacy: PrivacyReport::for_params(self.params.s, self.params.p, self.params.q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privapprox_types::ids::AnalystId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn qid() -> QueryId {
+        QueryId::new(AnalystId(1), 1)
+    }
+
+    fn fill_warehouse(p: f64) -> Warehouse {
+        // 10,000 answers over timestamps 0..10_000: bucket 0 for the
+        // first 60 %, bucket 1 for the rest. Randomization applied
+        // per `p` (q = 0.5).
+        let params = ExecutionParams::checked(1.0, p, 0.5);
+        let mut w = Warehouse::new(qid(), 2, params, 10_000);
+        let mut rng = StdRng::seed_from_u64(11);
+        let randomizer = privapprox_rr::randomize::Randomizer::new(p.min(0.999_999), 0.5);
+        for i in 0..10_000u64 {
+            let truth = BitVec::one_hot(2, if i % 10 < 6 { 0 } else { 1 });
+            let stored = if p >= 1.0 {
+                truth
+            } else {
+                randomizer.randomize_vec(&truth, &mut rng)
+            };
+            w.append(Timestamp(i), stored);
+        }
+        w
+    }
+
+    #[test]
+    fn full_range_census_recovers_counts() {
+        let w = fill_warehouse(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = w.batch_query(Window::of(Timestamp(0), 10_000), 10_000, 0.95, &mut rng);
+        assert_eq!(r.sample_size, 10_000);
+        assert_eq!(r.buckets[0].estimate, 6_000.0);
+        assert_eq!(r.buckets[1].estimate, 4_000.0);
+    }
+
+    #[test]
+    fn budgeted_batch_estimates_with_bounded_error() {
+        let w = fill_warehouse(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Second-round sampling down to 1,000 of 10,000.
+        let r = w.batch_query(Window::of(Timestamp(0), 10_000), 1_000, 0.95, &mut rng);
+        assert_eq!(r.sample_size, 1_000);
+        let est = r.buckets[0].estimate;
+        assert!((est - 6_000.0).abs() < 400.0, "estimate {est}");
+        assert!(r.buckets[0].ci.contains(6_000.0));
+        assert!(r.buckets[0].sampling_error > 0.0);
+    }
+
+    #[test]
+    fn randomized_storage_still_estimates() {
+        let w = fill_warehouse(0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = w.batch_query(Window::of(Timestamp(0), 10_000), 2_000, 0.95, &mut rng);
+        let est = r.buckets[0].estimate;
+        assert!((est - 6_000.0).abs() < 600.0, "estimate {est}");
+        assert!(r.buckets[0].rr_error > 0.0);
+        assert!(r.privacy.eps_zk.is_finite());
+    }
+
+    #[test]
+    fn time_range_restricts_the_population() {
+        let w = fill_warehouse(1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Only the first 1,000 timestamps.
+        let r = w.batch_query(Window::of(Timestamp(0), 1_000), 10_000, 0.95, &mut rng);
+        assert_eq!(r.sample_size, 1_000);
+        // Estimates scale to the full population (10,000) from the
+        // range's 1,000 stored answers.
+        let total: f64 = r.buckets.iter().map(|b| b.estimate).sum();
+        assert!((total - 10_000.0).abs() < 1.0, "total {total}");
+    }
+
+    #[test]
+    fn empty_range_yields_zero_sample() {
+        let w = fill_warehouse(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = w.batch_query(Window::of(Timestamp(1_000_000), 10), 100, 0.95, &mut rng);
+        assert_eq!(r.sample_size, 0);
+        assert!(r.buckets.iter().all(|b| b.estimate == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut w = fill_warehouse(1.0);
+        w.append(Timestamp(0), BitVec::zeros(5));
+    }
+}

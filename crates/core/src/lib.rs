@@ -1,0 +1,44 @@
+//! The PrivApprox system: clients, proxies, aggregator, analyst
+//! sessions, and the SplitX baseline.
+//!
+//! This crate wires the substrates (SQL engine, sampling, randomized
+//! response, XOR crypto, stream broker, windowed dataflow) into the
+//! end-to-end architecture of the paper's Figures 1 and 3:
+//!
+//! ```text
+//! analyst ──query+budget──► initializer ──(s,p,q)+query──► clients
+//! clients ──sample→answer→randomize→split──► proxies (n ≥ 2)
+//! proxies ──forward only──► aggregator ──join→decode→window→estimate──► analyst
+//! ```
+//!
+//! * [`client`] — local store, participation coin, query answering,
+//!   randomization, share splitting (§3.2.1–§3.2.3);
+//! * [`proxy`] — forwarding relays over broker topics (§3.2.3);
+//! * [`aggregator`] — share join, decode, sliding-window aggregation,
+//!   Equation 5 inversion, Equation 2 scaling, error bounds (§3.2.4);
+//! * [`initializer`] — budget → `(s, p, q)` conversion (§3.1);
+//! * [`feedback`] — the adaptive re-tuning loop (§5);
+//! * [`historical`] — the batch-analytics warehouse with second-round
+//!   sampling (§3.3.1);
+//! * [`splitx`] — the synchronized-proxy baseline of Figure 6;
+//! * [`system`] — an in-process deployment harness used by examples,
+//!   integration tests and benchmarks.
+
+pub mod aggregator;
+pub mod client;
+pub mod error;
+pub mod feedback;
+pub mod historical;
+pub mod initializer;
+pub mod proxy;
+pub mod splitx;
+pub mod system;
+
+pub use aggregator::{Aggregator, BucketResult, QueryResult};
+pub use client::{Client, ClientAnswer};
+pub use error::CoreError;
+pub use feedback::FeedbackController;
+pub use historical::Warehouse;
+pub use initializer::Initializer;
+pub use proxy::Proxy;
+pub use system::{System, SystemBuilder, SystemConfig};

@@ -1,0 +1,151 @@
+//! The PrivApprox proxy: a forward-only relay (paper §3.2.3).
+//!
+//! "In PRIVAPPROX, the processing at proxies contains only the answer
+//! transmission" — that single sentence is the system's performance
+//! story (Figure 6). A proxy consumes the shares clients addressed to
+//! it and republishes them on its aggregator-facing topic. It never
+//! inspects payloads (they are XOR pads or encrypted answers —
+//! indistinguishable), never synchronizes with other proxies, and
+//! keeps no per-client state: source rewriting means the records it
+//! sees carry no client identity at all.
+
+use privapprox_stream::broker::{Broker, Consumer, Producer};
+use privapprox_types::ProxyId;
+
+/// Naming convention for the client→proxy topic.
+pub fn inbound_topic(id: ProxyId) -> String {
+    format!("proxy-{}-in", id.0)
+}
+
+/// Naming convention for the proxy→aggregator topic.
+pub fn outbound_topic(id: ProxyId) -> String {
+    format!("proxy-{}-out", id.0)
+}
+
+/// A forwarding proxy bound to one broker.
+pub struct Proxy {
+    id: ProxyId,
+    consumer: Consumer,
+    producer: Producer,
+    out_topic: String,
+    forwarded: u64,
+}
+
+impl Proxy {
+    /// Creates proxy `id` on the broker, subscribing to its inbound
+    /// topic.
+    pub fn new(id: ProxyId, broker: &Broker) -> Proxy {
+        let in_topic = inbound_topic(id);
+        Proxy {
+            id,
+            consumer: broker.consumer(&format!("proxy-{}", id.0), &[&in_topic]),
+            producer: broker.producer(),
+            out_topic: outbound_topic(id),
+            forwarded: 0,
+        }
+    }
+
+    /// The proxy id.
+    pub fn id(&self) -> ProxyId {
+        self.id
+    }
+
+    /// Drains pending inbound shares and forwards them unchanged.
+    /// Returns the number forwarded in this pump.
+    pub fn pump(&mut self) -> u64 {
+        let mut n = 0;
+        loop {
+            let batch = self.consumer.poll(1024);
+            if batch.is_empty() {
+                break;
+            }
+            for (_, record) in batch {
+                // Forward-only: key and value pass through untouched.
+                self.producer
+                    .send(&self.out_topic, record.key, record.value, record.timestamp);
+                n += 1;
+            }
+        }
+        self.forwarded += n;
+        n
+    }
+
+    /// Total shares forwarded over the proxy's lifetime.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privapprox_types::Timestamp;
+
+    #[test]
+    fn topics_are_stable() {
+        assert_eq!(inbound_topic(ProxyId(0)), "proxy-0-in");
+        assert_eq!(outbound_topic(ProxyId(3)), "proxy-3-out");
+    }
+
+    #[test]
+    fn pump_forwards_everything_in_order() {
+        let broker = Broker::new(1);
+        let producer = broker.producer();
+        for i in 0..5u8 {
+            producer.send("proxy-0-in", None, vec![i], Timestamp(i as u64));
+        }
+        let mut proxy = Proxy::new(ProxyId(0), &broker);
+        assert_eq!(proxy.pump(), 5);
+        assert_eq!(proxy.forwarded(), 5);
+
+        let agg = broker.consumer("agg", &["proxy-0-out"]);
+        let got = agg.poll(100);
+        assert_eq!(got.len(), 5);
+        let values: Vec<u8> = got.iter().map(|(_, r)| r.value[0]).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn payloads_and_timestamps_pass_through_unchanged() {
+        let broker = Broker::new(1);
+        broker.producer().send(
+            "proxy-1-in",
+            Some(b"mid".to_vec()),
+            b"opaque-share".to_vec(),
+            Timestamp(777),
+        );
+        let mut proxy = Proxy::new(ProxyId(1), &broker);
+        proxy.pump();
+        let got = broker.consumer("agg", &["proxy-1-out"]).poll(10);
+        assert_eq!(got[0].1.value, b"opaque-share");
+        assert_eq!(got[0].1.key, Some(b"mid".to_vec()));
+        assert_eq!(got[0].1.timestamp, Timestamp(777));
+    }
+
+    #[test]
+    fn proxies_are_independent() {
+        // Shares sent to proxy 0 never appear on proxy 1's output —
+        // the unlinkability path separation.
+        let broker = Broker::new(1);
+        broker
+            .producer()
+            .send("proxy-0-in", None, b"for-0".to_vec(), Timestamp(0));
+        let mut p0 = Proxy::new(ProxyId(0), &broker);
+        let mut p1 = Proxy::new(ProxyId(1), &broker);
+        assert_eq!(p0.pump(), 1);
+        assert_eq!(p1.pump(), 0);
+        assert_eq!(broker.topic_len("proxy-1-out"), 0);
+    }
+
+    #[test]
+    fn repeated_pumps_do_not_duplicate() {
+        let broker = Broker::new(1);
+        broker
+            .producer()
+            .send("proxy-0-in", None, b"x".to_vec(), Timestamp(0));
+        let mut proxy = Proxy::new(ProxyId(0), &broker);
+        assert_eq!(proxy.pump(), 1);
+        assert_eq!(proxy.pump(), 0);
+        assert_eq!(broker.topic_len("proxy-0-out"), 1);
+    }
+}

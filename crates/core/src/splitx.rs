@@ -1,0 +1,223 @@
+//! SplitX baseline: synchronized proxies (paper §6 #VIII, Figure 6).
+//!
+//! SplitX (Chen et al., SIGCOMM '13) shares PrivApprox's architecture
+//! but its proxies must *cooperate* per epoch: "the processing at
+//! proxies consists of a few sub-processes including adding noise to
+//! answers, answer transmission, answer intersection, and answer
+//! shuffling; whereas, in PRIVAPPROX, the processing at proxies
+//! contains only the answer transmission."
+//!
+//! This module actually executes both pipelines over a batch of
+//! answers — two proxy threads with real barriers for SplitX, a plain
+//! forward loop for PrivApprox — and reports per-phase wall-clock
+//! times. The bench harness uses these measurements to calibrate the
+//! cluster simulator for Figure 6's client counts beyond what one
+//! machine can execute.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Per-phase wall-clock breakdown of one SplitX epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitxTiming {
+    /// Noise addition over every answer.
+    pub noise: Duration,
+    /// Answer transmission (copy into the peer-facing buffer).
+    pub transmission: Duration,
+    /// Answer intersection (MID set intersection between proxies).
+    pub intersection: Duration,
+    /// Answer shuffling (Fisher-Yates over the batch).
+    pub shuffling: Duration,
+    /// End-to-end epoch latency.
+    pub total: Duration,
+}
+
+/// Deterministic xorshift for noise generation (cheap, measurable).
+#[inline]
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Runs one SplitX epoch over `answers` with two proxy threads
+/// synchronized by barriers between the four phases; returns the
+/// timing breakdown measured on proxy 0.
+pub fn run_splitx_epoch(answers: &[Vec<u8>], seed: u64) -> SplitxTiming {
+    let barrier = Arc::new(Barrier::new(2));
+    // Each proxy holds its own copy of the batch (SplitX replicates
+    // the blinded answer stream at both proxies).
+    let phase_ns: Arc<[AtomicU64; 4]> = Arc::new([
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ]);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for proxy_idx in 0..2u64 {
+            let barrier = Arc::clone(&barrier);
+            let phase_ns = Arc::clone(&phase_ns);
+            let answers_ref = answers;
+            scope.spawn(move || {
+                let mut batch: Vec<Vec<u8>> = answers_ref.to_vec();
+                let mut rng_state = seed ^ (proxy_idx + 1).wrapping_mul(0x9E37_79B9);
+
+                // Phase 1: noise addition.
+                let t = Instant::now();
+                for answer in &mut batch {
+                    for b in answer.iter_mut() {
+                        *b ^= (xorshift64(&mut rng_state) & 1) as u8;
+                    }
+                }
+                barrier.wait();
+                if proxy_idx == 0 {
+                    phase_ns[0].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+
+                // Phase 2: answer transmission (peer-facing copy).
+                let t = Instant::now();
+                let transmitted: Vec<Vec<u8>> = batch.clone();
+                barrier.wait();
+                if proxy_idx == 0 {
+                    phase_ns[1].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+
+                // Phase 3: answer intersection (hash-set of message
+                // fingerprints; SplitX intersects the two proxies'
+                // views to drop mismatched halves).
+                let t = Instant::now();
+                let mut set = std::collections::HashSet::with_capacity(transmitted.len());
+                for answer in &transmitted {
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    for &b in answer.iter().take(16) {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    set.insert(h);
+                }
+                let hits = transmitted
+                    .iter()
+                    .filter(|a| {
+                        let mut h = 0xcbf2_9ce4_8422_2325u64;
+                        for &b in a.iter().take(16) {
+                            h ^= b as u64;
+                            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                        }
+                        set.contains(&h)
+                    })
+                    .count();
+                assert_eq!(hits, transmitted.len());
+                barrier.wait();
+                if proxy_idx == 0 {
+                    phase_ns[2].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+
+                // Phase 4: answer shuffling (Fisher-Yates).
+                let t = Instant::now();
+                let mut shuffled = transmitted;
+                let n = shuffled.len();
+                for i in (1..n).rev() {
+                    let j = (xorshift64(&mut rng_state) % (i as u64 + 1)) as usize;
+                    shuffled.swap(i, j);
+                }
+                std::hint::black_box(&shuffled);
+                barrier.wait();
+                if proxy_idx == 0 {
+                    phase_ns[3].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let total = start.elapsed();
+    SplitxTiming {
+        noise: Duration::from_nanos(phase_ns[0].load(Ordering::Relaxed)),
+        transmission: Duration::from_nanos(phase_ns[1].load(Ordering::Relaxed)),
+        intersection: Duration::from_nanos(phase_ns[2].load(Ordering::Relaxed)),
+        shuffling: Duration::from_nanos(phase_ns[3].load(Ordering::Relaxed)),
+        total,
+    }
+}
+
+/// Runs one PrivApprox proxy epoch over the same batch: transmission
+/// only (the §6 comparison's fast path). Returns the forward latency.
+pub fn run_privapprox_epoch(answers: &[Vec<u8>]) -> Duration {
+    let start = Instant::now();
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(answers.len());
+    for answer in answers {
+        out.push(answer.clone()); // forward untouched
+    }
+    std::hint::black_box(&out);
+    start.elapsed()
+}
+
+/// Builds a synthetic batch of `n` answers of `bytes` bytes each.
+pub fn synthetic_batch(n: usize, bytes: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            (0..bytes)
+                .map(|_| (xorshift64(&mut state) & 0xFF) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitx_epoch_reports_all_phases() {
+        let batch = synthetic_batch(5_000, 13, 1);
+        let timing = run_splitx_epoch(&batch, 42);
+        assert!(timing.noise > Duration::ZERO);
+        assert!(timing.transmission > Duration::ZERO);
+        assert!(timing.intersection > Duration::ZERO);
+        assert!(timing.shuffling > Duration::ZERO);
+        assert!(timing.total >= timing.noise);
+    }
+
+    #[test]
+    fn splitx_is_slower_than_privapprox_forwarding() {
+        // The Figure 6 headline, in miniature: synchronized multi-
+        // phase processing costs more than forward-only.
+        let batch = synthetic_batch(20_000, 13, 2);
+        // Warm up and take the best of 3 to de-noise CI machines.
+        let mut splitx_best = Duration::MAX;
+        let mut pa_best = Duration::MAX;
+        for _ in 0..3 {
+            splitx_best = splitx_best.min(run_splitx_epoch(&batch, 7).total);
+            pa_best = pa_best.min(run_privapprox_epoch(&batch));
+        }
+        assert!(
+            splitx_best > pa_best,
+            "SplitX {splitx_best:?} should exceed PrivApprox {pa_best:?}"
+        );
+    }
+
+    #[test]
+    fn synthetic_batch_shape() {
+        let batch = synthetic_batch(10, 13, 3);
+        assert_eq!(batch.len(), 10);
+        assert!(batch.iter().all(|a| a.len() == 13));
+        assert_ne!(batch[0], batch[1], "rows should differ");
+    }
+
+    #[test]
+    fn timings_scale_with_batch_size() {
+        let small = synthetic_batch(2_000, 13, 4);
+        let large = synthetic_batch(40_000, 13, 4);
+        let t_small = run_splitx_epoch(&small, 9).total;
+        let t_large = run_splitx_epoch(&large, 9).total;
+        assert!(
+            t_large > t_small,
+            "20× batch should take longer: {t_small:?} vs {t_large:?}"
+        );
+    }
+}

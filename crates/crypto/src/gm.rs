@@ -1,0 +1,131 @@
+//! Goldwasser-Micali probabilistic encryption — the per-bit public-key
+//! baseline of Table 2 (the scheme of "Towards statistical queries
+//! over distributed private user data", NSDI '12).
+//!
+//! GM encrypts one bit per ciphertext: a 0 becomes a random quadratic
+//! residue modulo `n = p·q`, a 1 a random non-residue with Jacobi
+//! symbol +1. Decryption tests quadratic residuosity modulo `p`. Its
+//! per-bit blowup (one full modulus per answer bit) is exactly why the
+//! paper's XOR scheme wins by orders of magnitude.
+
+use crate::prime::random_blum_prime;
+use crate::ubig::UBig;
+use privapprox_types::BitVec;
+use rand::Rng;
+
+/// A Goldwasser-Micali key pair.
+#[derive(Debug, Clone)]
+pub struct GmKeyPair {
+    /// Modulus `n = p·q` with Blum primes.
+    pub n: UBig,
+    /// Public non-residue `x` with Jacobi symbol +1 (here `n − 1`).
+    pub x: UBig,
+    /// Secret prime factor.
+    p: UBig,
+}
+
+impl GmKeyPair {
+    /// Generates a key pair with a `bits`-wide modulus.
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> GmKeyPair {
+        loop {
+            let p = random_blum_prime(bits / 2, 16, rng);
+            let q = random_blum_prime(bits - bits / 2, 16, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            // With p ≡ q ≡ 3 (mod 4), −1 is a non-residue modulo both
+            // primes, so x = n − 1 has Jacobi symbol (+1)·(−1)² … i.e.
+            // (−1/p)(−1/q) = (−1)(−1) = +1 while being a non-residue.
+            let x = n.sub(&UBig::one());
+            debug_assert_eq!(UBig::jacobi(&x, &n), 1);
+            return GmKeyPair { n, x, p };
+        }
+    }
+
+    /// Encrypts one bit: `c = y²·x^bit mod n` for random `y ∈ Z_n*`.
+    pub fn encrypt_bit<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> UBig {
+        let y = loop {
+            let y = UBig::random_below(&self.n, rng);
+            if !y.is_zero() && y.gcd(&self.n).is_one() {
+                break y;
+            }
+        };
+        let y2 = y.mod_mul(&y, &self.n);
+        if bit {
+            y2.mod_mul(&self.x, &self.n)
+        } else {
+            y2
+        }
+    }
+
+    /// Decrypts one bit by testing quadratic residuosity modulo `p`
+    /// with Euler's criterion.
+    pub fn decrypt_bit(&self, c: &UBig) -> bool {
+        let exp = self.p.sub(&UBig::one()).shr(1);
+        let legendre = c.mod_pow(&exp, &self.p);
+        // Residue → c^((p−1)/2) ≡ 1 → bit 0; non-residue → bit 1.
+        !legendre.is_one()
+    }
+
+    /// Encrypts an answer bit-vector, one ciphertext per bit — the
+    /// cost model Table 2 measures.
+    pub fn encrypt_bits<R: Rng + ?Sized>(&self, bits: &BitVec, rng: &mut R) -> Vec<UBig> {
+        (0..bits.len())
+            .map(|i| self.encrypt_bit(bits.get(i), rng))
+            .collect()
+    }
+
+    /// Decrypts a vector of per-bit ciphertexts.
+    pub fn decrypt_bits(&self, cts: &[UBig]) -> BitVec {
+        BitVec::from_bools(cts.iter().map(|c| self.decrypt_bit(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_bit_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = GmKeyPair::generate(128, &mut rng);
+        for _ in 0..10 {
+            assert!(!key.decrypt_bit(&key.encrypt_bit(false, &mut rng)));
+            assert!(key.decrypt_bit(&key.encrypt_bit(true, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = GmKeyPair::generate(128, &mut rng);
+        let c1 = key.encrypt_bit(true, &mut rng);
+        let c2 = key.encrypt_bit(true, &mut rng);
+        assert_ne!(c1, c2, "same bit must encrypt differently");
+    }
+
+    #[test]
+    fn ciphertexts_have_jacobi_plus_one() {
+        // Both residues and x-multiplied non-residues keep Jacobi +1 —
+        // the IND-CPA property rests on this indistinguishability.
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = GmKeyPair::generate(128, &mut rng);
+        for bit in [false, true] {
+            let c = key.encrypt_bit(bit, &mut rng);
+            assert_eq!(UBig::jacobi(&c, &key.n), 1, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn bitvec_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = GmKeyPair::generate(128, &mut rng);
+        let answer = BitVec::from_bools((0..24).map(|i| i % 3 == 0));
+        let cts = key.encrypt_bits(&answer, &mut rng);
+        assert_eq!(cts.len(), 24);
+        assert_eq!(key.decrypt_bits(&cts), answer);
+    }
+}

@@ -1,0 +1,137 @@
+//! Paillier additively homomorphic encryption — the Table 2 baseline
+//! used by "Differentially private aggregation of distributed
+//! time-series" (SIGMOD '10).
+//!
+//! Ciphertexts live modulo `n²`; `Enc(m₁)·Enc(m₂) = Enc(m₁+m₂)`, which
+//! is why aggregation systems liked it — and its `n²` exponentiations
+//! are why it is orders of magnitude slower than PrivApprox's XOR.
+
+use crate::prime::random_prime;
+use crate::ubig::UBig;
+use rand::Rng;
+
+/// A Paillier key pair (using the standard `g = n + 1` simplification).
+#[derive(Debug, Clone)]
+pub struct PaillierKeyPair {
+    /// Public modulus `n = p·q`.
+    pub n: UBig,
+    /// Cached `n²`.
+    pub n2: UBig,
+    /// Secret `λ = lcm(p−1, q−1)`.
+    lambda: UBig,
+    /// Secret `μ = L(g^λ mod n²)⁻¹ mod n`.
+    mu: UBig,
+}
+
+impl PaillierKeyPair {
+    /// Generates a key pair with a `bits`-wide modulus `n`.
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> PaillierKeyPair {
+        loop {
+            let p = random_prime(bits / 2, 16, rng);
+            let q = random_prime(bits - bits / 2, 16, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let n2 = n.mul(&n);
+            let pm1 = p.sub(&UBig::one());
+            let qm1 = q.sub(&UBig::one());
+            let lambda = pm1.mul(&qm1).div_rem(&pm1.gcd(&qm1)).0; // lcm
+                                                                  // With g = n+1: g^λ mod n² = 1 + λ·n (binomial), so
+                                                                  // L(g^λ) = λ mod n; μ = λ⁻¹ mod n.
+            let Some(mu) = lambda.rem(&n).mod_inverse(&n) else {
+                continue;
+            };
+            return PaillierKeyPair { n, n2, lambda, mu };
+        }
+    }
+
+    /// `L(u) = (u − 1) / n`.
+    fn l_function(&self, u: &UBig) -> UBig {
+        u.sub(&UBig::one()).div_rem(&self.n).0
+    }
+
+    /// Encrypts `m < n`: `c = (1 + m·n)·rⁿ mod n²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m ≥ n`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &UBig, rng: &mut R) -> UBig {
+        assert!(
+            m.cmp_val(&self.n) == core::cmp::Ordering::Less,
+            "plaintext must be below n"
+        );
+        let r = loop {
+            let r = UBig::random_below(&self.n, rng);
+            if !r.is_zero() && r.gcd(&self.n).is_one() {
+                break r;
+            }
+        };
+        // g^m = (n+1)^m = 1 + m·n (mod n²).
+        let gm = UBig::one().add(&m.mul(&self.n)).rem(&self.n2);
+        let rn = r.mod_pow(&self.n, &self.n2);
+        gm.mod_mul(&rn, &self.n2)
+    }
+
+    /// Decrypts `c`: `m = L(c^λ mod n²)·μ mod n`.
+    pub fn decrypt(&self, c: &UBig) -> UBig {
+        let u = c.mod_pow(&self.lambda, &self.n2);
+        self.l_function(&u).mod_mul(&self.mu, &self.n)
+    }
+
+    /// Homomorphic addition: `Enc(m₁)·Enc(m₂) mod n² = Enc(m₁+m₂)`.
+    pub fn add_ciphertexts(&self, c1: &UBig, c2: &UBig) -> UBig {
+        c1.mod_mul(c2, &self.n2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = PaillierKeyPair::generate(128, &mut rng);
+        for m in [0u64, 1, 255, 1_000_000] {
+            let m = UBig::from_u64(m);
+            let c = key.encrypt(&m, &mut rng);
+            assert_eq!(key.decrypt(&c), m);
+        }
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = PaillierKeyPair::generate(128, &mut rng);
+        let m = UBig::from_u64(7);
+        assert_ne!(key.encrypt(&m, &mut rng), key.encrypt(&m, &mut rng));
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = PaillierKeyPair::generate(128, &mut rng);
+        let c1 = key.encrypt(&UBig::from_u64(123), &mut rng);
+        let c2 = key.encrypt(&UBig::from_u64(456), &mut rng);
+        let sum = key.add_ciphertexts(&c1, &c2);
+        assert_eq!(key.decrypt(&sum), UBig::from_u64(579));
+    }
+
+    #[test]
+    fn homomorphic_aggregation_of_many_counts() {
+        // The SIGMOD '10 use case: aggregate per-client counts without
+        // decrypting individuals.
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = PaillierKeyPair::generate(128, &mut rng);
+        let counts = [3u64, 0, 7, 2, 9, 1];
+        let mut acc = key.encrypt(&UBig::zero(), &mut rng);
+        for &c in &counts {
+            let ct = key.encrypt(&UBig::from_u64(c), &mut rng);
+            acc = key.add_ciphertexts(&acc, &ct);
+        }
+        assert_eq!(key.decrypt(&acc), UBig::from_u64(counts.iter().sum()));
+    }
+}

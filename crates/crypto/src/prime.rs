@@ -1,0 +1,169 @@
+//! Primality testing and random prime generation.
+//!
+//! Used by the Table 2 baselines: RSA and Goldwasser-Micali need random
+//! primes `p, q` with `p ≡ 3 (mod 4)` variants for GM; Paillier needs
+//! safe-ish primes of equal length. Miller-Rabin with random bases
+//! gives error probability `4^{-rounds}`.
+
+use crate::ubig::UBig;
+use rand::Rng;
+
+/// Small primes for cheap trial division before Miller-Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211,
+];
+
+/// Miller-Rabin probabilistic primality test with `rounds` random
+/// bases (error probability ≤ 4^−rounds for odd composites).
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &UBig, rounds: u32, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    if !n.is_odd() {
+        return n.cmp_val(&UBig::from_u64(2)) == core::cmp::Ordering::Equal;
+    }
+    if n.cmp_val(&UBig::from_u64(3)) == core::cmp::Ordering::Equal {
+        return true;
+    }
+    // Trial division.
+    for &p in &SMALL_PRIMES {
+        let pv = UBig::from_u64(p);
+        if n.cmp_val(&pv) == core::cmp::Ordering::Equal {
+            return true;
+        }
+        if n.rem(&pv).is_zero() {
+            return false;
+        }
+    }
+    // Write n − 1 = d · 2^r.
+    let n_minus_1 = n.sub(&UBig::one());
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        r += 1;
+    }
+    let two = UBig::from_u64(2);
+    let n_minus_3 = n.sub(&UBig::from_u64(3));
+    'witness: for _ in 0..rounds {
+        // a ∈ [2, n−2].
+        let a = UBig::random_below(&n_minus_3, rng).add(&two);
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x.cmp_val(&n_minus_1) == core::cmp::Ordering::Equal {
+            continue 'witness;
+        }
+        for _ in 0..r - 1 {
+            x = x.mod_mul(&x, n);
+            if x.cmp_val(&n_minus_1) == core::cmp::Ordering::Equal {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn random_prime<R: Rng + ?Sized>(bits: usize, rounds: u32, rng: &mut R) -> UBig {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = UBig::random_bits(bits, rng);
+        // Force odd (except the degenerate 2-bit case handles itself).
+        if !candidate.is_odd() {
+            candidate = candidate.add(&UBig::one());
+            if candidate.bit_len() > bits {
+                continue;
+            }
+        }
+        if is_probable_prime(&candidate, rounds, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random probable prime congruent to 3 mod 4 (a Blum
+/// prime), as Goldwasser-Micali prefers: −1 is then a quadratic
+/// non-residue with Jacobi symbol +1 modulo `p·q`.
+pub fn random_blum_prime<R: Rng + ?Sized>(bits: usize, rounds: u32, rng: &mut R) -> UBig {
+    loop {
+        let p = random_prime(bits, rounds, rng);
+        if p.low_u64() & 3 == 3 {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ub(v: u64) -> UBig {
+        UBig::from_u64(v)
+    }
+
+    #[test]
+    fn small_known_primes_and_composites() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 211, 213 - 2, 65_537, 1_000_003] {
+            assert!(is_probable_prime(&ub(p), 20, &mut rng), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 9, 221, 65_535, 1_000_001] {
+            assert!(!is_probable_prime(&ub(c), 20, &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_are_rejected() {
+        // 561, 1105, 1729 fool Fermat but not Miller-Rabin.
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(!is_probable_prime(&ub(c), 20, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_accepted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m61 = ub((1u64 << 61) - 1);
+        assert!(is_probable_prime(&m61, 20, &mut rng));
+        // 2^67 − 1 = 193707721 × 761838257287 is composite.
+        let m67 = UBig::one().shl(67).sub(&UBig::one());
+        assert!(!is_probable_prime(&m67, 20, &mut rng));
+    }
+
+    #[test]
+    fn random_primes_have_requested_width() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [16usize, 32, 64, 128] {
+            let p = random_prime(bits, 16, &mut rng);
+            assert_eq!(p.bit_len(), bits, "requested {bits} bits");
+            assert!(is_probable_prime(&p, 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn blum_primes_are_3_mod_4() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let p = random_blum_prime(48, 16, &mut rng);
+            assert_eq!(p.low_u64() & 3, 3);
+        }
+    }
+
+    #[test]
+    fn fermat_check_on_generated_prime() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = random_prime(96, 16, &mut rng);
+        let pm1 = p.sub(&UBig::one());
+        assert_eq!(ub(2).mod_pow(&pm1, &p), UBig::one());
+        assert_eq!(ub(3).mod_pow(&pm1, &p), UBig::one());
+    }
+}

@@ -1,0 +1,121 @@
+//! Textbook RSA — the public-key baseline of the paper's Table 2
+//! (compared there as "RSA [10]", the scheme used by non-tracking web
+//! analytics).
+//!
+//! This is deliberately *textbook* (no OAEP): Table 2 measures raw
+//! modular-exponentiation cost, which padding does not change
+//! materially. Do not reuse this for real confidentiality.
+
+use crate::prime::random_prime;
+use crate::ubig::UBig;
+use rand::Rng;
+
+/// An RSA key pair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// Modulus `n = p·q`.
+    pub n: UBig,
+    /// Public exponent (65537).
+    pub e: UBig,
+    /// Private exponent `d = e⁻¹ mod φ(n)`.
+    d: UBig,
+    /// Modulus width in bits.
+    pub bits: usize,
+}
+
+impl RsaKeyPair {
+    /// Generates a key pair with a `bits`-wide modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 32` (too small to hold the exponent math).
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> RsaKeyPair {
+        assert!(bits >= 32, "modulus must be at least 32 bits");
+        let e = UBig::from_u64(65_537);
+        loop {
+            let p = random_prime(bits / 2, 16, rng);
+            let q = random_prime(bits - bits / 2, 16, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&UBig::one()).mul(&q.sub(&UBig::one()));
+            if let Some(d) = e.mod_inverse(&phi) {
+                return RsaKeyPair { n, e, d, bits };
+            }
+        }
+    }
+
+    /// Encrypts `m < n`: `c = m^e mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m ≥ n`.
+    pub fn encrypt(&self, m: &UBig) -> UBig {
+        assert!(
+            m.cmp_val(&self.n) == core::cmp::Ordering::Less,
+            "plaintext must be below the modulus"
+        );
+        m.mod_pow(&self.e, &self.n)
+    }
+
+    /// Decrypts `c`: `m = c^d mod n`.
+    pub fn decrypt(&self, c: &UBig) -> UBig {
+        c.mod_pow(&self.d, &self.n)
+    }
+
+    /// Encrypts a byte message (must fit below the modulus).
+    pub fn encrypt_bytes(&self, msg: &[u8]) -> UBig {
+        self.encrypt(&UBig::from_bytes_be(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_small_key() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = RsaKeyPair::generate(128, &mut rng);
+        for m in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let m = UBig::from_u64(m);
+            assert_eq!(key.decrypt(&key.encrypt(&m)), m);
+        }
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = RsaKeyPair::generate(256, &mut rng);
+        let msg = b"PrivApprox answer bits";
+        let c = key.encrypt_bytes(msg);
+        assert_eq!(key.decrypt(&c).to_bytes_be(), msg.to_vec());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = RsaKeyPair::generate(128, &mut rng);
+        let m = UBig::from_u64(123_456_789);
+        assert_ne!(key.encrypt(&m), m);
+    }
+
+    #[test]
+    fn modulus_has_requested_width() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = RsaKeyPair::generate(192, &mut rng);
+        // p is 96 bits and q is 96 bits → n is 191 or 192 bits.
+        assert!(key.n.bit_len() >= 191 && key.n.bit_len() <= 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the modulus")]
+    fn oversized_plaintext_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = RsaKeyPair::generate(64, &mut rng);
+        let _ = key.encrypt(&key.n.add(&UBig::one()));
+    }
+}

@@ -1,0 +1,329 @@
+//! The XOR-based split encryption scheme (paper §3.2.3, Figure 2).
+//!
+//! A client message `M = ⟨QID, randomized answer⟩` is split into `n`
+//! computationally indistinguishable shares: `n − 1` pseudorandom key
+//! strings `MK₂ … MKₙ` (ChaCha20 keystream from a fresh random seed)
+//! and the encrypted message `M_E = M ⊕ MK₂ ⊕ … ⊕ MKₙ`. Each share
+//! travels to a different proxy under the same fresh random message
+//! identifier `MID`; the aggregator XORs all `n` shares with matching
+//! `MID` to recover `M`. Because every share individually is uniform
+//! random, no proxy learns whether it carries the answer or a pad.
+
+use crate::chacha::ChaCha20;
+use privapprox_types::{BitVec, MessageId, QueryId};
+use rand::Rng;
+
+/// Current wire-format version byte.
+pub const WIRE_VERSION: u8 = 1;
+
+/// One share of a split message: what a single proxy sees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// Join key: identical across the `n` shares of one message.
+    pub mid: MessageId,
+    /// `M_E` or one of the `MKᵢ` — indistinguishable by design.
+    pub payload: Vec<u8>,
+}
+
+/// Errors from share recombination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombineError {
+    /// No shares supplied.
+    Empty,
+    /// Shares carry different message identifiers.
+    MixedIds,
+    /// Shares have inconsistent payload lengths.
+    LengthMismatch,
+}
+
+impl core::fmt::Display for CombineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CombineError::Empty => write!(f, "no shares to combine"),
+            CombineError::MixedIds => write!(f, "shares have mixed message ids"),
+            CombineError::LengthMismatch => write!(f, "shares have mismatched lengths"),
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
+/// Splits messages into `n` XOR shares for `n` proxies.
+#[derive(Debug, Clone, Copy)]
+pub struct XorSplitter {
+    n: usize,
+}
+
+impl XorSplitter {
+    /// Creates a splitter for `n ≥ 2` proxies ("PrivApprox includes at
+    /// least two proxies", §2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` — a single proxy would see the plaintext.
+    pub fn new(n: usize) -> XorSplitter {
+        assert!(n >= 2, "XOR splitting needs at least 2 proxies, got {n}");
+        XorSplitter { n }
+    }
+
+    /// Number of shares produced per message.
+    pub fn shares(&self) -> usize {
+        self.n
+    }
+
+    /// Splits `message` into `n` shares under a fresh random `MID`.
+    ///
+    /// Share 0 is `M_E`; shares 1…n−1 are the key strings. Callers
+    /// should shuffle or route them to distinct proxies — the payloads
+    /// themselves carry no marker of which is which.
+    pub fn split<R: Rng + ?Sized>(&self, message: &[u8], rng: &mut R) -> Vec<Share> {
+        let mid = MessageId(rng.gen());
+        self.split_with_mid(message, mid, rng)
+    }
+
+    /// Splits with an explicit message identifier (used by tests and
+    /// the duplicate-defence logic).
+    pub fn split_with_mid<R: Rng + ?Sized>(
+        &self,
+        message: &[u8],
+        mid: MessageId,
+        rng: &mut R,
+    ) -> Vec<Share> {
+        let mut encrypted = message.to_vec();
+        let mut shares = Vec::with_capacity(self.n);
+        for i in 1..self.n {
+            // Fresh ChaCha20 keystream per key string, seeded from the
+            // caller's RNG ("seeded with a cryptographically strong
+            // random number").
+            let mut stream = ChaCha20::from_seed(rng.gen(), i as u64);
+            let key = stream.next_bytes(message.len());
+            for (e, k) in encrypted.iter_mut().zip(&key) {
+                *e ^= *k;
+            }
+            shares.push(Share { mid, payload: key });
+        }
+        shares.insert(
+            0,
+            Share {
+                mid,
+                payload: encrypted,
+            },
+        );
+        shares
+    }
+}
+
+/// Recombines shares by XOR; the inverse of [`XorSplitter::split`].
+///
+/// The aggregator "cannot identify which of the received messages is
+/// M_E, it just XORs all the n received messages to decrypt M" — order
+/// is irrelevant.
+pub fn combine(shares: &[Share]) -> Result<Vec<u8>, CombineError> {
+    let first = shares.first().ok_or(CombineError::Empty)?;
+    let mut out = vec![0u8; first.payload.len()];
+    for share in shares {
+        if share.mid != first.mid {
+            return Err(CombineError::MixedIds);
+        }
+        if share.payload.len() != out.len() {
+            return Err(CombineError::LengthMismatch);
+        }
+        for (o, b) in out.iter_mut().zip(&share.payload) {
+            *o ^= *b;
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes an answer message `M = ⟨QID, randomized answer⟩` (Eq. 9).
+///
+/// Wire layout: `version:u8 ‖ qid:u64be ‖ buckets:u16be ‖ bit bytes`.
+pub fn encode_answer(qid: QueryId, answer: &BitVec) -> Vec<u8> {
+    assert!(answer.len() <= u16::MAX as usize, "answer too wide");
+    let bits = answer.to_bytes();
+    let mut out = Vec::with_capacity(11 + bits.len());
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&qid.to_u64().to_be_bytes());
+    out.extend_from_slice(&(answer.len() as u16).to_be_bytes());
+    out.extend_from_slice(&bits);
+    out
+}
+
+/// Decodes an answer message; `None` on any malformation (bad version,
+/// truncation, trailing bytes, or set padding bits).
+pub fn decode_answer(bytes: &[u8]) -> Option<(QueryId, BitVec)> {
+    if bytes.len() < 11 || bytes[0] != WIRE_VERSION {
+        return None;
+    }
+    let qid = QueryId::from_u64(u64::from_be_bytes(bytes[1..9].try_into().ok()?));
+    let n = u16::from_be_bytes(bytes[9..11].try_into().ok()?) as usize;
+    if n == 0 {
+        return None;
+    }
+    let body = &bytes[11..];
+    if body.len() != n.div_ceil(8) {
+        return None;
+    }
+    let answer = BitVec::from_bytes(n, body)?;
+    Some((qid, answer))
+}
+
+/// Expected wire size in bytes of an encoded answer with `buckets`
+/// buckets — used by the bandwidth accounting of Figure 9a.
+pub fn answer_wire_size(buckets: usize) -> usize {
+    11 + buckets.div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privapprox_types::ids::AnalystId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn qid() -> QueryId {
+        QueryId::new(AnalystId(3), 17)
+    }
+
+    #[test]
+    fn split_combine_round_trip_two_proxies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let splitter = XorSplitter::new(2);
+        let msg = encode_answer(qid(), &BitVec::one_hot(11, 4));
+        let shares = splitter.split(&msg, &mut rng);
+        assert_eq!(shares.len(), 2);
+        assert_eq!(combine(&shares).unwrap(), msg);
+    }
+
+    #[test]
+    fn split_combine_round_trip_many_proxies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in 2..=6 {
+            let splitter = XorSplitter::new(n);
+            let msg: Vec<u8> = (0..137).map(|i| (i * 7) as u8).collect();
+            let shares = splitter.split(&msg, &mut rng);
+            assert_eq!(shares.len(), n);
+            assert_eq!(combine(&shares).unwrap(), msg, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn combine_is_order_invariant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let splitter = XorSplitter::new(4);
+        let msg = b"the aggregator cannot identify M_E".to_vec();
+        let mut shares = splitter.split(&msg, &mut rng);
+        shares.reverse();
+        assert_eq!(combine(&shares).unwrap(), msg);
+        shares.swap(0, 2);
+        assert_eq!(combine(&shares).unwrap(), msg);
+    }
+
+    #[test]
+    fn single_share_reveals_nothing() {
+        // Statistical smoke test of indistinguishability: for a fixed
+        // all-zeros message, every individual share should still look
+        // uniformly random (≈50 % ones).
+        let mut rng = StdRng::seed_from_u64(4);
+        let splitter = XorSplitter::new(2);
+        let msg = vec![0u8; 1000];
+        let mut per_share_ones = [0u64; 2];
+        let trials = 200;
+        for _ in 0..trials {
+            let shares = splitter.split(&msg, &mut rng);
+            for (i, s) in shares.iter().enumerate() {
+                per_share_ones[i] += s.payload.iter().map(|b| b.count_ones() as u64).sum::<u64>();
+            }
+        }
+        let total_bits = (trials * msg.len() * 8) as f64;
+        for (i, ones) in per_share_ones.iter().enumerate() {
+            let rate = *ones as f64 / total_bits;
+            assert!(
+                (rate - 0.5).abs() < 0.005,
+                "share {i} bit rate {rate} — pad leaking structure?"
+            );
+        }
+    }
+
+    #[test]
+    fn all_shares_carry_the_same_fresh_mid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let splitter = XorSplitter::new(3);
+        let a = splitter.split(b"x", &mut rng);
+        let b = splitter.split(b"x", &mut rng);
+        assert!(a.iter().all(|s| s.mid == a[0].mid));
+        assert!(b.iter().all(|s| s.mid == b[0].mid));
+        assert_ne!(a[0].mid, b[0].mid, "every message gets a fresh MID");
+    }
+
+    #[test]
+    fn combine_rejects_mixed_ids_and_lengths() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let splitter = XorSplitter::new(2);
+        let mut shares = splitter.split(b"hello", &mut rng);
+        let other = splitter.split(b"hello", &mut rng);
+        assert_eq!(combine(&[]).unwrap_err(), CombineError::Empty);
+
+        let mut mixed = shares.clone();
+        mixed[1] = other[1].clone();
+        assert_eq!(combine(&mixed).unwrap_err(), CombineError::MixedIds);
+
+        shares[1].payload.pop();
+        assert_eq!(combine(&shares).unwrap_err(), CombineError::LengthMismatch);
+    }
+
+    #[test]
+    fn answer_codec_round_trips() {
+        for buckets in [1usize, 7, 8, 11, 100, 10_000] {
+            let v = BitVec::one_hot(buckets, buckets / 2);
+            let bytes = encode_answer(qid(), &v);
+            assert_eq!(bytes.len(), answer_wire_size(buckets));
+            let (q, back) = decode_answer(&bytes).expect("decodes");
+            assert_eq!(q, qid());
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_messages() {
+        let good = encode_answer(qid(), &BitVec::one_hot(11, 4));
+        // Truncated.
+        assert_eq!(decode_answer(&good[..10]), None);
+        assert_eq!(decode_answer(&good[..good.len() - 1]), None);
+        // Wrong version.
+        let mut bad = good.clone();
+        bad[0] = 9;
+        assert_eq!(decode_answer(&bad), None);
+        // Trailing junk.
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(decode_answer(&long), None);
+        // Zero buckets.
+        let mut zero = good.clone();
+        zero[9] = 0;
+        zero[10] = 0;
+        assert_eq!(decode_answer(&zero[..11]), None);
+        // Set padding bit beyond bucket 11 (bits 11..16 of 2 bytes).
+        let mut pad = good.clone();
+        let last = pad.len() - 1;
+        pad[last] |= 0b1000_0000;
+        assert_eq!(decode_answer(&pad), None);
+    }
+
+    #[test]
+    fn corrupting_one_share_garbles_the_answer() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let splitter = XorSplitter::new(2);
+        let msg = encode_answer(qid(), &BitVec::one_hot(11, 4));
+        let mut shares = splitter.split(&msg, &mut rng);
+        shares[1].payload[3] ^= 0xFF;
+        let combined = combine(&shares).unwrap();
+        assert_ne!(combined, msg, "corruption must not cancel out");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 proxies")]
+    fn one_proxy_is_rejected() {
+        let _ = XorSplitter::new(1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Minimal distribution sampling toolkit.
+//!
+//! `rand` is on the allowed dependency list but `rand_distr` is not,
+//! so the generators carry their own classical samplers: Box-Muller
+//! for the normal, Marsaglia-Tsang for the gamma, inverse-CDF for the
+//! exponential, and exponentiation for the log-normal.
+
+use rand::Rng;
+
+/// Standard normal sample (Box-Muller, one branch).
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn sample_normal_with<R: Rng + ?Sized>(mean: f64, sd: f64, rng: &mut R) -> f64 {
+    mean + sd * sample_normal(rng)
+}
+
+/// Log-normal sample: `exp(μ + σ·Z)`.
+pub fn sample_lognormal<R: Rng + ?Sized>(mu: f64, sigma: f64, rng: &mut R) -> f64 {
+    (mu + sigma * sample_normal(rng)).exp()
+}
+
+/// Exponential sample with the given rate `λ` (mean `1/λ`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+pub fn sample_exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            return -u.ln() / rate;
+        }
+    }
+}
+
+/// Gamma sample with shape `k > 0` and scale `θ > 0`
+/// (Marsaglia-Tsang squeeze method, with the boost trick for `k < 1`).
+pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma needs positive shape/scale"
+    );
+    if shape < 1.0 {
+        // Boost: Gamma(k) = Gamma(k+1) · U^{1/k}.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, scale, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v * scale;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..100_000).map(|_| sample_normal(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn scaled_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| sample_normal_with(10.0, 3.0, &mut rng))
+            .collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| sample_exponential(0.5, &mut rng))
+            .collect();
+        let (mean, _) = moments(&xs);
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn gamma_moments() {
+        // Gamma(k, θ): mean kθ, variance kθ².
+        let mut rng = StdRng::seed_from_u64(4);
+        for &(k, theta) in &[(2.0, 1.5), (5.0, 0.4), (0.5, 2.0)] {
+            let xs: Vec<f64> = (0..60_000)
+                .map(|_| sample_gamma(k, theta, &mut rng))
+                .collect();
+            let (mean, var) = moments(&xs);
+            assert!(
+                (mean - k * theta).abs() < 0.08 * (k * theta).max(1.0),
+                "k={k} θ={theta}: mean {mean}"
+            );
+            assert!(
+                (var - k * theta * theta).abs() < 0.15 * (k * theta * theta).max(1.0),
+                "k={k} θ={theta}: var {var}"
+            );
+            assert!(xs.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        // Median of LogNormal(μ, σ) is e^μ.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs: Vec<f64> = (0..50_001)
+            .map(|_| sample_lognormal(0.5306, 0.78, &mut rng))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.7).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| sample_gamma(2.0, 1.0, &mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| sample_gamma(2.0, 1.0, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,176 @@
+//! Household electricity-consumption generator.
+//!
+//! The second case study analyzes "the electricity usage distribution
+//! of households over the past 30 minutes" with six half-kWh buckets:
+//! `[0, 0.5], (0.5, 1], …, (2.5, 3]` kWh (paper §7.1). Readings here
+//! are Gamma-distributed around a day-shaped load curve (morning and
+//! evening peaks), the standard shape for residential smart-meter
+//! data; the Gamma keeps readings positive and right-skewed.
+
+use crate::dist::sample_gamma;
+use privapprox_types::query::BucketRule;
+use privapprox_types::{AnswerSpec, Timestamp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One smart-meter reading: kWh consumed over a 30-minute interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeterReading {
+    /// Interval end time.
+    pub ts: Timestamp,
+    /// Household identifier.
+    pub household: u64,
+    /// Energy used in the interval, kWh.
+    pub kwh: f64,
+}
+
+/// The paper's 6-bucket answer format: `[0, 0.5], (0.5, 1], …,
+/// (2.5, 3]` kWh.
+///
+/// Encoded as half-open `[lo, hi)` ranges shifted by an epsilon so the
+/// paper's closed-upper intervals map onto [`BucketRule::Range`]; a
+/// final catch-all absorbs rare readings above 3 kWh so every reading
+/// is answerable.
+pub fn electricity_answer_spec() -> AnswerSpec {
+    let mut buckets: Vec<BucketRule> = (0..6)
+        .map(|i| BucketRule::Range {
+            lo: i as f64 * 0.5,
+            hi: (i + 1) as f64 * 0.5,
+        })
+        .collect();
+    buckets.push(BucketRule::Range {
+        lo: 3.0,
+        hi: f64::INFINITY,
+    });
+    AnswerSpec::new(buckets)
+}
+
+/// Mean half-hour consumption (kWh) by hour of day: overnight trough,
+/// morning bump, evening peak.
+fn load_curve(hour: f64) -> f64 {
+    // Base 0.25 kWh + morning bump around 07:30 + evening peak ~19:00.
+    let morning = 0.35 * (-((hour - 7.5) * (hour - 7.5)) / 4.5).exp();
+    let evening = 0.75 * (-((hour - 19.0) * (hour - 19.0)) / 6.0).exp();
+    0.25 + morning + evening
+}
+
+/// Deterministic generator of per-household readings every 30 minutes.
+#[derive(Debug)]
+pub struct ElectricityGenerator {
+    rng: StdRng,
+    households: u64,
+    interval_ms: u64,
+    tick: u64,
+}
+
+impl ElectricityGenerator {
+    /// Creates a generator for `households` meters reporting every 30
+    /// minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `households` is zero.
+    pub fn new(seed: u64, households: u64) -> ElectricityGenerator {
+        assert!(households > 0, "need at least one household");
+        ElectricityGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            households,
+            interval_ms: 30 * 60 * 1000,
+            tick: 0,
+        }
+    }
+
+    /// Produces the next full interval: one reading per household.
+    pub fn next_interval(&mut self) -> Vec<MeterReading> {
+        let ts = Timestamp(self.tick * self.interval_ms);
+        let hour = (self.tick as f64 * 0.5) % 24.0;
+        let mean = load_curve(hour);
+        // Gamma with shape 4 ⇒ CV = 0.5; scale = mean / shape.
+        let shape = 4.0;
+        let scale = mean / shape;
+        let readings = (0..self.households)
+            .map(|household| MeterReading {
+                ts,
+                household,
+                kwh: sample_gamma(shape, scale, &mut self.rng),
+            })
+            .collect();
+        self.tick += 1;
+        readings
+    }
+
+    /// Number of households.
+    pub fn households(&self) -> u64 {
+        self.households
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_spec_covers_the_paper_buckets() {
+        let spec = electricity_answer_spec();
+        assert_eq!(spec.len(), 7); // 6 paper buckets + overflow
+        assert_eq!(spec.bucketize_num(0.0), Some(0));
+        assert_eq!(spec.bucketize_num(0.49), Some(0));
+        assert_eq!(spec.bucketize_num(0.75), Some(1));
+        assert_eq!(spec.bucketize_num(2.9), Some(5));
+        assert_eq!(spec.bucketize_num(5.0), Some(6));
+    }
+
+    #[test]
+    fn one_reading_per_household_per_interval() {
+        let mut g = ElectricityGenerator::new(1, 250);
+        let batch = g.next_interval();
+        assert_eq!(batch.len(), 250);
+        let mut ids: Vec<u64> = batch.iter().map(|r| r.household).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 250, "each household reports once");
+        assert!(batch.iter().all(|r| r.ts == Timestamp(0)));
+        let batch2 = g.next_interval();
+        assert!(batch2.iter().all(|r| r.ts == Timestamp(30 * 60 * 1000)));
+    }
+
+    #[test]
+    fn readings_are_positive_and_mostly_under_3kwh() {
+        let mut g = ElectricityGenerator::new(2, 100);
+        let mut all = Vec::new();
+        for _ in 0..48 {
+            all.extend(g.next_interval());
+        }
+        assert!(all.iter().all(|r| r.kwh > 0.0));
+        let over3 = all.iter().filter(|r| r.kwh > 3.0).count() as f64;
+        let over3_frac = over3 / all.len() as f64;
+        assert!(
+            over3_frac < 0.01,
+            "too many readings above the paper's top bucket"
+        );
+    }
+
+    #[test]
+    fn evening_peak_exceeds_overnight_trough() {
+        let mut g = ElectricityGenerator::new(3, 2000);
+        let mut hourly_mean = vec![0.0f64; 48];
+        for i in 0..48 {
+            let batch = g.next_interval();
+            hourly_mean[i] = batch.iter().map(|r| r.kwh).sum::<f64>() / batch.len() as f64;
+        }
+        // Tick 38 = hour 19 (evening peak); tick 6 = hour 3 (trough).
+        assert!(
+            hourly_mean[38] > 2.0 * hourly_mean[6],
+            "peak {} vs trough {}",
+            hourly_mean[38],
+            hourly_mean[6]
+        );
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = ElectricityGenerator::new(9, 10).next_interval();
+        let b = ElectricityGenerator::new(9, 10).next_interval();
+        assert_eq!(a, b);
+    }
+}

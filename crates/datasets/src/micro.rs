@@ -1,0 +1,106 @@
+//! Microbenchmark answer populations (paper §6).
+//!
+//! "In the experiment, we randomly generated 10,000 original answers,
+//! 60% of which are 'Yes' answers." This module produces exactly such
+//! populations, deterministically under a seed, with the yes-answers
+//! randomly permuted through the population (so client-side sampling
+//! sees an exchangeable stream).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A generated population of boolean answers.
+#[derive(Debug, Clone)]
+pub struct MicroAnswers {
+    answers: Vec<bool>,
+    yes_count: u64,
+}
+
+impl MicroAnswers {
+    /// Generates `n` answers with an (exact, rounded) `yes_fraction`,
+    /// shuffled by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `yes_fraction ∈ [0, 1]`.
+    pub fn generate(n: u64, yes_fraction: f64, seed: u64) -> MicroAnswers {
+        assert!(
+            (0.0..=1.0).contains(&yes_fraction),
+            "yes_fraction must be in [0,1]"
+        );
+        let yes_count = (n as f64 * yes_fraction).round() as u64;
+        let mut answers: Vec<bool> = (0..n).map(|i| i < yes_count).collect();
+        answers.shuffle(&mut StdRng::seed_from_u64(seed));
+        MicroAnswers { answers, yes_count }
+    }
+
+    /// The paper's standard setting: 10,000 answers, 60 % yes.
+    pub fn paper_default(seed: u64) -> MicroAnswers {
+        MicroAnswers::generate(10_000, 0.6, seed)
+    }
+
+    /// The answers.
+    pub fn answers(&self) -> &[bool] {
+        &self.answers
+    }
+
+    /// Population size `N`.
+    pub fn len(&self) -> u64 {
+        self.answers.len() as u64
+    }
+
+    /// True for an empty population.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// Exact number of truthful-Yes answers `A_y`.
+    pub fn yes_count(&self) -> u64 {
+        self.yes_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let m = MicroAnswers::paper_default(7);
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m.yes_count(), 6_000);
+        assert_eq!(m.answers().iter().filter(|&&b| b).count(), 6_000);
+    }
+
+    #[test]
+    fn yes_fraction_is_exact_after_rounding() {
+        let m = MicroAnswers::generate(1_000, 0.335, 1);
+        assert_eq!(m.yes_count(), 335);
+        let m = MicroAnswers::generate(3, 0.5, 1);
+        assert_eq!(m.yes_count(), 2); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn shuffle_is_seeded_and_nontrivial() {
+        let a = MicroAnswers::generate(100, 0.5, 1);
+        let b = MicroAnswers::generate(100, 0.5, 1);
+        let c = MicroAnswers::generate(100, 0.5, 2);
+        assert_eq!(a.answers(), b.answers(), "same seed, same order");
+        assert_ne!(a.answers(), c.answers(), "different seed, different order");
+        // Not sorted (shuffle actually happened).
+        let sorted: Vec<bool> = {
+            let mut v = a.answers().to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_ne!(a.answers(), &sorted[..]);
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(MicroAnswers::generate(50, 0.0, 1).yes_count(), 0);
+        assert_eq!(MicroAnswers::generate(50, 1.0, 1).yes_count(), 50);
+        assert!(MicroAnswers::generate(0, 0.5, 1).is_empty());
+    }
+}

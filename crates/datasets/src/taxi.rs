@@ -1,0 +1,168 @@
+//! NYC-taxi-like ride generator (the DEBS 2015 Grand Challenge
+//! stand-in).
+//!
+//! The case-study query is "What is the distance distribution of taxi
+//! rides in New York?" with 11 one-mile buckets (paper §7.1). Only the
+//! distance histogram drives the experiments, and the paper pins one
+//! calibration point: the dominant bucket holds 33.57 % of rides
+//! (§7.2 #III, where `q = 0.3` is closest to the truthful-yes
+//! fraction). Trip distances here are log-normal — the standard shape
+//! for taxi trips — with `μ = ln 1.7, σ = 0.78`, which puts ≈33.5 % of
+//! rides in the `[1, 2)`-mile bucket.
+
+use crate::dist::{sample_exponential, sample_lognormal};
+use privapprox_types::query::BucketRule;
+use privapprox_types::{AnswerSpec, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Log-normal μ for trip distances.
+pub const DISTANCE_MU: f64 = 0.530_628; // ln 1.7
+/// Log-normal σ for trip distances.
+pub const DISTANCE_SIGMA: f64 = 0.78;
+
+/// One synthetic taxi ride.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxiRide {
+    /// Drop-off event time.
+    pub ts: Timestamp,
+    /// Trip distance in miles.
+    pub distance_miles: f64,
+    /// Coarse pickup zone id (0–62, Manhattan-weighted).
+    pub zone: u8,
+}
+
+/// The paper's 11-bucket answer format: `[0,1), [1,2), …, [9,10),
+/// [10, ∞)` miles.
+pub fn taxi_answer_spec() -> AnswerSpec {
+    let mut buckets: Vec<BucketRule> = (0..10)
+        .map(|i| BucketRule::Range {
+            lo: i as f64,
+            hi: (i + 1) as f64,
+        })
+        .collect();
+    buckets.push(BucketRule::Range {
+        lo: 10.0,
+        hi: f64::INFINITY,
+    });
+    AnswerSpec::new(buckets)
+}
+
+/// A deterministic stream of taxi rides.
+#[derive(Debug)]
+pub struct TaxiGenerator {
+    rng: StdRng,
+    clock_ms: f64,
+    /// Mean rides per second across the fleet.
+    rate_per_sec: f64,
+}
+
+impl TaxiGenerator {
+    /// Creates a generator seeded with `seed`, producing rides at
+    /// `rate_per_sec` mean arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not positive.
+    pub fn new(seed: u64, rate_per_sec: f64) -> TaxiGenerator {
+        assert!(rate_per_sec > 0.0, "ride rate must be positive");
+        TaxiGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            clock_ms: 0.0,
+            rate_per_sec,
+        }
+    }
+
+    /// Generates the next ride (exponential inter-arrival times).
+    pub fn next_ride(&mut self) -> TaxiRide {
+        self.clock_ms += sample_exponential(self.rate_per_sec, &mut self.rng) * 1_000.0;
+        let distance = sample_lognormal(DISTANCE_MU, DISTANCE_SIGMA, &mut self.rng);
+        // Manhattan-weighted zones: 70 % in zones 0–19.
+        let zone = if self.rng.gen::<f64>() < 0.7 {
+            self.rng.gen_range(0..20)
+        } else {
+            self.rng.gen_range(20..63)
+        };
+        TaxiRide {
+            ts: Timestamp(self.clock_ms as u64),
+            distance_miles: distance,
+            zone,
+        }
+    }
+
+    /// Generates a batch of `n` rides.
+    pub fn take(&mut self, n: usize) -> Vec<TaxiRide> {
+        (0..n).map(|_| self.next_ride()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_spec_matches_the_paper() {
+        let spec = taxi_answer_spec();
+        assert_eq!(spec.len(), 11);
+        assert_eq!(spec.bucketize_num(0.5), Some(0));
+        assert_eq!(spec.bucketize_num(1.5), Some(1));
+        assert_eq!(spec.bucketize_num(9.99), Some(9));
+        assert_eq!(spec.bucketize_num(10.0), Some(10));
+        assert_eq!(spec.bucketize_num(42.0), Some(10));
+    }
+
+    #[test]
+    fn dominant_bucket_is_calibrated_to_the_paper() {
+        // §7.2 #III: 33.57 % of answers in the dominant bucket.
+        let mut generator = TaxiGenerator::new(42, 100.0);
+        let spec = taxi_answer_spec();
+        let n = 60_000;
+        let mut counts = vec![0u32; spec.len()];
+        for _ in 0..n {
+            let ride = generator.next_ride();
+            counts[spec.bucketize_num(ride.distance_miles).unwrap()] += 1;
+        }
+        let frac1 = counts[1] as f64 / n as f64;
+        assert!(
+            (frac1 - 0.3357).abs() < 0.02,
+            "bucket [1,2) fraction {frac1}, want ≈ 0.3357"
+        );
+        // The [1,2) bucket dominates.
+        let max = counts.iter().max().unwrap();
+        assert_eq!(counts[1], *max, "bucket [1,2) must dominate: {counts:?}");
+    }
+
+    #[test]
+    fn timestamps_increase_at_the_configured_rate() {
+        let mut g = TaxiGenerator::new(1, 1000.0); // 1000 rides/sec
+        let rides = g.take(10_000);
+        for pair in rides.windows(2) {
+            assert!(pair[1].ts >= pair[0].ts, "timestamps must be monotone");
+        }
+        let span_s = rides.last().unwrap().ts.0 as f64 / 1000.0;
+        let rate = rides.len() as f64 / span_s;
+        assert!((rate - 1000.0).abs() < 50.0, "observed rate {rate}");
+    }
+
+    #[test]
+    fn zones_are_manhattan_weighted() {
+        let mut g = TaxiGenerator::new(2, 100.0);
+        let rides = g.take(20_000);
+        let downtown = rides.iter().filter(|r| r.zone < 20).count() as f64;
+        let frac = downtown / rides.len() as f64;
+        assert!((frac - 0.7).abs() < 0.02, "downtown fraction {frac}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = TaxiGenerator::new(7, 10.0).take(50);
+        let b = TaxiGenerator::new(7, 10.0).take(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distances_are_positive() {
+        let mut g = TaxiGenerator::new(3, 10.0);
+        assert!(g.take(1000).iter().all(|r| r.distance_miles > 0.0));
+    }
+}

@@ -1,0 +1,286 @@
+//! Inverting randomized response: Equations 5 and 6.
+//!
+//! From `N` randomized answers of which `R_y` were "Yes", the number of
+//! *truthful* "Yes" answers is estimated as
+//!
+//! ```text
+//! E_y = (R_y − (1−p)·q·N) / p                          (Eq. 5)
+//! ```
+//!
+//! and the utility is measured by the accuracy loss
+//!
+//! ```text
+//! η = |A_y − E_y| / A_y                                (Eq. 6)
+//! ```
+//!
+//! [`BucketEstimator`] lifts Equation 5 to whole `A[n]` histograms and
+//! attaches normal-approximation confidence bounds per bucket.
+
+use privapprox_stats::estimate::ConfidenceInterval;
+use privapprox_stats::normal::normal_quantile;
+use privapprox_types::BitVec;
+
+/// Equation 5: estimated truthful-"Yes" count from randomized counts.
+///
+/// `ry` is the observed "Yes" count among `n` randomized answers.
+/// The estimate is unbiased but not range-restricted: sampling noise
+/// can push it slightly below 0 or above `n`; callers that need a
+/// physical count may clamp.
+///
+/// # Panics
+///
+/// Panics if `p` is zero/negative (division blows up) or `ry > n`.
+pub fn estimate_true_yes(ry: u64, n: u64, p: f64, q: f64) -> f64 {
+    assert!(p > 0.0, "p must be positive");
+    assert!(ry <= n, "yes-count {ry} exceeds total {n}");
+    (ry as f64 - (1.0 - p) * q * n as f64) / p
+}
+
+/// Equation 6: relative accuracy loss between the actual and estimated
+/// truthful-Yes counts.
+///
+/// Returns `0.0` when both are zero, `f64::INFINITY` when only the
+/// actual count is zero (the paper's definition divides by `A_y`).
+pub fn accuracy_loss(actual: f64, estimated: f64) -> f64 {
+    if actual == 0.0 {
+        if estimated == 0.0 {
+            return 0.0;
+        }
+        return f64::INFINITY;
+    }
+    ((actual - estimated) / actual).abs()
+}
+
+/// Variance of the Equation 5 estimator under the randomized-response
+/// channel, using the plug-in yes-rate `r̂ = ry/n`:
+/// `Var(E_y) = n·r̂(1−r̂) / p²`.
+pub fn rr_estimator_variance(ry: u64, n: u64, p: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let r = ry as f64 / n as f64;
+    n as f64 * r * (1.0 - r) / (p * p)
+}
+
+/// Per-bucket histogram estimator: accumulates randomized `A[n]`
+/// vectors and inverts each bucket count with Equation 5.
+#[derive(Debug, Clone)]
+pub struct BucketEstimator {
+    p: f64,
+    q: f64,
+    yes_counts: Vec<u64>,
+    total: u64,
+}
+
+impl BucketEstimator {
+    /// Creates an estimator for `buckets`-wide answers randomized with
+    /// `(p, q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or the parameters are out of range.
+    pub fn new(buckets: usize, p: f64, q: f64) -> BucketEstimator {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(p > 0.0 && p <= 1.0, "p={p} outside (0,1]");
+        assert!(q > 0.0 && q < 1.0, "q={q} outside (0,1)");
+        BucketEstimator {
+            p,
+            q,
+            yes_counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Feeds one randomized answer vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector width does not match the bucket count — a
+    /// malformed message should have been rejected upstream.
+    pub fn push(&mut self, answer: &BitVec) {
+        assert_eq!(answer.len(), self.yes_counts.len(), "answer width mismatch");
+        for i in answer.iter_ones() {
+            self.yes_counts[i] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Merges another estimator over the same bucket space.
+    pub fn merge(&mut self, other: &BucketEstimator) {
+        assert_eq!(self.yes_counts.len(), other.yes_counts.len());
+        for (a, b) in self.yes_counts.iter_mut().zip(&other.yes_counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of answers accumulated.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw randomized "Yes" counts per bucket.
+    pub fn raw_counts(&self) -> &[u64] {
+        &self.yes_counts
+    }
+
+    /// Equation 5 estimates per bucket (not clamped).
+    pub fn estimates(&self) -> Vec<f64> {
+        self.yes_counts
+            .iter()
+            .map(|&ry| estimate_true_yes(ry, self.total, self.p, self.q))
+            .collect()
+    }
+
+    /// Per-bucket confidence intervals from the normal approximation
+    /// of the randomization channel.
+    pub fn intervals(&self, confidence: f64) -> Vec<ConfidenceInterval> {
+        let z = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
+        self.yes_counts
+            .iter()
+            .map(|&ry| {
+                let est = estimate_true_yes(ry, self.total, self.p, self.q);
+                let var = rr_estimator_variance(ry, self.total, self.p);
+                ConfidenceInterval {
+                    estimate: est,
+                    bound: z * var.sqrt(),
+                    confidence,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randomize::Randomizer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn eq5_inverts_the_expected_channel_exactly() {
+        // If exactly the expected number of yeses arrives, Eq 5
+        // recovers the truth exactly: E[R_y] = A_y(p+(1−p)q) +
+        // (N−A_y)(1−p)q.
+        let (p, q) = (0.6, 0.3);
+        let n = 10_000u64;
+        let ay = 6_000u64;
+        let expected_ry = ay as f64 * (p + (1.0 - p) * q) + (n - ay) as f64 * (1.0 - p) * q;
+        let est = estimate_true_yes(expected_ry.round() as u64, n, p, q);
+        close(est, ay as f64, 1.0);
+    }
+
+    #[test]
+    fn eq5_monte_carlo_is_unbiased() {
+        let (p, q) = (0.3, 0.6);
+        let r = Randomizer::new(p, q);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000u64;
+        let ay = 6_000u64;
+        let trials = 60;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let ry = (0..n)
+                .filter(|&i| r.randomize_bit(i < ay, &mut rng))
+                .count() as u64;
+            sum += estimate_true_yes(ry, n, p, q);
+        }
+        let mean = sum / trials as f64;
+        // Var(E_y) ≈ n·r(1−r)/p² with r ≈ 0.57 → sd ≈ 165; the mean of
+        // 60 trials has sd ≈ 21, so ±4σ ≈ 85.
+        close(mean, ay as f64, 90.0);
+    }
+
+    #[test]
+    fn accuracy_loss_definition() {
+        close(accuracy_loss(100.0, 97.0), 0.03, 1e-12);
+        close(accuracy_loss(100.0, 103.0), 0.03, 1e-12);
+        assert_eq!(accuracy_loss(0.0, 0.0), 0.0);
+        assert!(accuracy_loss(0.0, 5.0).is_infinite());
+    }
+
+    #[test]
+    fn bucket_estimator_recovers_histogram() {
+        // 3 buckets, known truth, deterministic channel expectation.
+        let (p, q) = (0.9, 0.6);
+        let r = Randomizer::new(p, q);
+        let mut rng = StdRng::seed_from_u64(11);
+        let truth_counts = [5_000u64, 3_000, 2_000];
+        let n: u64 = truth_counts.iter().sum();
+        let mut est = BucketEstimator::new(3, p, q);
+        for (bucket, &count) in truth_counts.iter().enumerate() {
+            for _ in 0..count {
+                let truth = BitVec::one_hot(3, bucket);
+                est.push(&r.randomize_vec(&truth, &mut rng));
+            }
+        }
+        assert_eq!(est.total(), n);
+        let estimates = est.estimates();
+        for (bucket, &truth) in truth_counts.iter().enumerate() {
+            let loss = accuracy_loss(truth as f64, estimates[bucket]);
+            assert!(
+                loss < 0.05,
+                "bucket {bucket}: est {} vs truth {truth} (loss {loss})",
+                estimates[bucket]
+            );
+        }
+    }
+
+    #[test]
+    fn intervals_cover_truth_most_of_the_time() {
+        let (p, q) = (0.6, 0.6);
+        let r = Randomizer::new(p, q);
+        let mut rng = StdRng::seed_from_u64(13);
+        let ay = 4_000u64;
+        let n = 10_000u64;
+        let mut covered = 0;
+        let trials = 40;
+        for _ in 0..trials {
+            let mut est = BucketEstimator::new(1, p, q);
+            for i in 0..n {
+                let truth = i < ay;
+                let mut v = BitVec::zeros(1);
+                v.set(0, r.randomize_bit(truth, &mut rng));
+                est.push(&v);
+            }
+            if est.intervals(0.95)[0].contains(ay as f64) {
+                covered += 1;
+            }
+        }
+        // 95 % nominal coverage; demand at least 80 % over 40 trials
+        // (binomial 5σ slack).
+        assert!(covered >= 32, "only {covered}/{trials} intervals covered");
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_sequential_pushes() {
+        let mut a = BucketEstimator::new(2, 0.5, 0.5);
+        let mut b = BucketEstimator::new(2, 0.5, 0.5);
+        let v0 = BitVec::one_hot(2, 0);
+        let v1 = BitVec::one_hot(2, 1);
+        a.push(&v0);
+        a.push(&v1);
+        b.push(&v1);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.raw_counts(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut est = BucketEstimator::new(3, 0.5, 0.5);
+        est.push(&BitVec::zeros(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total")]
+    fn eq5_rejects_impossible_counts() {
+        let _ = estimate_true_yes(11, 10, 0.5, 0.5);
+    }
+}

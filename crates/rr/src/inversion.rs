@@ -1,0 +1,187 @@
+//! The query-inversion mechanism (paper §3.3.2).
+//!
+//! When the fraction of truthful "Yes" answers is far from the second
+//! randomization parameter `q`, utility suffers (Figure 5a). The fix:
+//! "the analysts can invert the query to calculate the truthful 'No'
+//! answers instead of the truthful 'Yes' answers. In this way, the
+//! fraction of truthful 'No' answers gets closer to q, resulting in a
+//! higher utility of the query result."
+//!
+//! Concretely, the analyst re-phrases each bucket predicate as its
+//! complement; clients randomize the complemented truth with the same
+//! `(p, q)` channel, and the reported query result becomes the
+//! estimated *No* count. The relative accuracy loss is now measured
+//! against the (large) truthful-No population, which is what Figure 5a
+//! plots. Note that simply re-processing the *same* randomized
+//! responses through a complemented estimator is an algebraic no-op —
+//! the inversion only helps because the complemented *question* is
+//! answered afresh, changing which truth value enjoys the
+//! high-probability channel.
+
+use crate::estimate::{accuracy_loss, estimate_true_yes};
+use crate::randomize::Randomizer;
+use rand::Rng;
+
+/// Decides whether inverting the query improves utility: invert when
+/// the anticipated truthful-"No" fraction is closer to `q` than the
+/// truthful-"Yes" fraction is.
+///
+/// `yes_rate_hint` is the analyst's (or previous window's) estimate of
+/// the truthful-Yes fraction.
+pub fn should_invert(yes_rate_hint: f64, q: f64) -> bool {
+    let yes_gap = (yes_rate_hint - q).abs();
+    let no_gap = ((1.0 - yes_rate_hint) - q).abs();
+    no_gap < yes_gap
+}
+
+/// Simulation/estimation helper pairing a native query with its
+/// inverted re-phrasing over the same truthful population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvertibleCount {
+    /// Observed randomized "Yes" count (for whichever phrasing ran).
+    pub ry: u64,
+    /// Total randomized answers.
+    pub n: u64,
+}
+
+impl InvertibleCount {
+    /// Collects randomized responses to the *native* question from a
+    /// population with `ay` truthful-Yes members out of `n`.
+    pub fn collect_native<R: Rng + ?Sized>(
+        randomizer: &Randomizer,
+        ay: u64,
+        n: u64,
+        rng: &mut R,
+    ) -> InvertibleCount {
+        let ry = (0..n)
+            .filter(|&i| randomizer.randomize_bit(i < ay, rng))
+            .count() as u64;
+        InvertibleCount { ry, n }
+    }
+
+    /// Collects randomized responses to the *inverted* question (truth
+    /// complemented) from the same population.
+    pub fn collect_inverted<R: Rng + ?Sized>(
+        randomizer: &Randomizer,
+        ay: u64,
+        n: u64,
+        rng: &mut R,
+    ) -> InvertibleCount {
+        let ry = (0..n)
+            .filter(|&i| randomizer.randomize_bit(i >= ay, rng))
+            .count() as u64;
+        InvertibleCount { ry, n }
+    }
+
+    /// Equation 5 estimate of the truthful count for this phrasing.
+    pub fn estimate(&self, p: f64, q: f64) -> f64 {
+        estimate_true_yes(self.ry, self.n, p, q)
+    }
+}
+
+/// One Fig 5a-style measurement: the mean relative accuracy loss of
+/// the native and inverted phrasings over `trials` randomizations of a
+/// population with truthful-Yes fraction `yes_rate`.
+///
+/// Returns `(native_loss, inverted_loss)`.
+pub fn compare_native_vs_inverted<R: Rng + ?Sized>(
+    p: f64,
+    q: f64,
+    n: u64,
+    yes_rate: f64,
+    trials: u32,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&yes_rate));
+    let randomizer = Randomizer::new(p, q);
+    let ay = (yes_rate * n as f64).round() as u64;
+    let a_no = n - ay;
+    let (mut native, mut inverted) = (0.0, 0.0);
+    for _ in 0..trials {
+        let nat = InvertibleCount::collect_native(&randomizer, ay, n, rng);
+        native += accuracy_loss(ay as f64, nat.estimate(p, q));
+        let inv = InvertibleCount::collect_inverted(&randomizer, ay, n, rng);
+        inverted += accuracy_loss(a_no as f64, inv.estimate(p, q));
+    }
+    (native / trials as f64, inverted / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inversion_decision_follows_distance_to_q() {
+        // q = 0.6: a 10 % yes-rate is far (gap .5); no-rate 90 % has
+        // gap .3 → invert.
+        assert!(should_invert(0.1, 0.6));
+        // 60 % yes-rate matches q exactly → never invert.
+        assert!(!should_invert(0.6, 0.6));
+        // 90 % yes-rate: gap .3 vs no-rate 10 % gap .5 → keep native.
+        assert!(!should_invert(0.9, 0.6));
+    }
+
+    #[test]
+    fn native_estimate_is_unbiased() {
+        let (p, q) = (0.9, 0.6);
+        let r = Randomizer::new(p, q);
+        let mut rng = StdRng::seed_from_u64(17);
+        let (n, ay) = (10_000u64, 1_000u64);
+        let mut sum = 0.0;
+        let trials = 40;
+        for _ in 0..trials {
+            sum += InvertibleCount::collect_native(&r, ay, n, &mut rng).estimate(p, q);
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - ay as f64).abs() < 60.0,
+            "mean {mean} too far from {ay}"
+        );
+    }
+
+    #[test]
+    fn inverted_estimate_targets_the_no_count() {
+        let (p, q) = (0.9, 0.6);
+        let r = Randomizer::new(p, q);
+        let mut rng = StdRng::seed_from_u64(19);
+        let (n, ay) = (10_000u64, 1_000u64);
+        let mut sum = 0.0;
+        let trials = 40;
+        for _ in 0..trials {
+            sum += InvertibleCount::collect_inverted(&r, ay, n, &mut rng).estimate(p, q);
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - 9_000.0).abs() < 60.0,
+            "mean {mean} too far from 9000"
+        );
+    }
+
+    #[test]
+    fn inversion_reduces_loss_for_rare_yes() {
+        // The Fig 5a effect: y = 0.1, q = 0.6, p = 0.9 — the paper
+        // reports native ≈ 2.5 % vs inverted ≈ 0.4 %.
+        let mut rng = StdRng::seed_from_u64(21);
+        let (native, inverted) = compare_native_vs_inverted(0.9, 0.6, 10_000, 0.1, 30, &mut rng);
+        assert!(
+            inverted < native / 2.0,
+            "inverted {inverted} should be well below native {native}"
+        );
+        // Coarse magnitude check against the paper's numbers.
+        assert!(native > 0.01 && native < 0.06, "native loss {native}");
+        assert!(inverted < 0.01, "inverted loss {inverted}");
+    }
+
+    #[test]
+    fn inversion_is_useless_when_yes_rate_matches_q() {
+        // y = 0.6 = q: the native phrasing is already optimal.
+        let mut rng = StdRng::seed_from_u64(23);
+        let (native, inverted) = compare_native_vs_inverted(0.9, 0.6, 10_000, 0.6, 30, &mut rng);
+        assert!(
+            native < inverted * 1.6,
+            "native {native} should not lose badly to inverted {inverted}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Randomized response and privacy accounting (paper §3.2.2, §4).
+//!
+//! Clients that pass the sampling coin perturb their answers with the
+//! classic two-coin randomized response mechanism: with probability
+//! `p` answer truthfully; otherwise answer "Yes" with probability `q`
+//! and "No" with `1 − q`. The aggregate is inverted with Equation 5,
+//! the utility loss is Equation 6, and the mechanism is
+//! `ε`-differentially private with `ε = ln((p+(1−p)q)/((1−p)q))`
+//! (Equation 8). Combined with client-side sampling the guarantee
+//! tightens (amplification by sampling) and, per the paper's §4,
+//! becomes zero-knowledge privacy.
+//!
+//! Modules:
+//!
+//! * [`randomize`] — the client-side mechanism over single bits and
+//!   `A[n]` bit-vectors;
+//! * [`estimate`] — Equations 5 and 6 plus bucket-count inversion with
+//!   confidence bounds;
+//! * [`privacy`] — ε accounting: Eq 8, the sampled amplification
+//!   bound, and the zero-knowledge reconstruction (see DESIGN.md §1
+//!   for the Eq 19 substitution note);
+//! * [`inversion`] — the query-inversion mechanism of §3.3.2;
+//! * [`rappor`] — Google's RAPPOR randomizer as the Fig 5c baseline.
+
+pub mod estimate;
+pub mod inversion;
+pub mod privacy;
+pub mod randomize;
+pub mod rappor;
+
+pub use estimate::{accuracy_loss, estimate_true_yes, BucketEstimator};
+pub use inversion::{should_invert, InvertibleCount};
+pub use privacy::{
+    epsilon_dp_sampled, epsilon_rr, epsilon_rr_strict, epsilon_zk, p_for_epsilon, s_for_epsilon_zk,
+    PrivacyReport,
+};
+pub use randomize::Randomizer;
+pub use rappor::Rappor;

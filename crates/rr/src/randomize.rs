@@ -1,0 +1,149 @@
+//! The two-coin randomized response mechanism (paper §3.2.2).
+//!
+//! "The client flips a coin, if it comes up heads, then the client
+//! responds its truthful answer; otherwise, the client flips a second
+//! coin and responds 'Yes' if it comes up heads or 'No' if it comes up
+//! tails." The first coin lands heads with probability `p`, the second
+//! with probability `q`.
+
+use privapprox_types::BitVec;
+use rand::Rng;
+
+/// A configured randomized-response mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Randomizer {
+    p: f64,
+    q: f64,
+}
+
+impl Randomizer {
+    /// Creates a mechanism with first-coin bias `p` and second-coin
+    /// bias `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (0, 1]` and `q ∈ (0, 1)`. `p = 1` is the
+    /// degenerate truthful mechanism (used by the paper's error
+    /// decomposition experiment, Fig 4b); `q ∈ {0, 1}` would make one
+    /// response value impossible and Equation 8 vacuous.
+    pub fn new(p: f64, q: f64) -> Randomizer {
+        assert!(p > 0.0 && p <= 1.0, "p={p} outside (0,1]");
+        assert!(q > 0.0 && q < 1.0, "q={q} outside (0,1)");
+        Randomizer { p, q }
+    }
+
+    /// First-coin bias `p` (probability of truthful response).
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Second-coin bias `q` (probability of a "Yes" lie).
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Randomizes one truthful bit.
+    pub fn randomize_bit<R: Rng + ?Sized>(&self, truth: bool, rng: &mut R) -> bool {
+        if rng.gen::<f64>() < self.p {
+            truth
+        } else {
+            rng.gen::<f64>() < self.q
+        }
+    }
+
+    /// Randomizes every bit of an `A[n]` answer vector independently.
+    ///
+    /// Per-bit independence is what lets the aggregator invert each
+    /// bucket count separately with Equation 5.
+    pub fn randomize_vec<R: Rng + ?Sized>(&self, truth: &BitVec, rng: &mut R) -> BitVec {
+        BitVec::from_bools((0..truth.len()).map(|i| self.randomize_bit(truth.get(i), rng)))
+    }
+
+    /// Probability that the randomized response is "Yes" given the
+    /// truthful answer: `p + (1−p)·q` for a truthful Yes, `(1−p)·q`
+    /// for a truthful No.
+    pub fn yes_probability(&self, truth: bool) -> f64 {
+        if truth {
+            self.p + (1.0 - self.p) * self.q
+        } else {
+            (1.0 - self.p) * self.q
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn truthful_mechanism_is_identity() {
+        let r = Randomizer::new(1.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(r.randomize_bit(true, &mut rng));
+            assert!(!r.randomize_bit(false, &mut rng));
+        }
+    }
+
+    #[test]
+    fn empirical_yes_rates_match_theory() {
+        let r = Randomizer::new(0.6, 0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let yes_from_true =
+            (0..n).filter(|_| r.randomize_bit(true, &mut rng)).count() as f64 / n as f64;
+        let yes_from_false =
+            (0..n).filter(|_| r.randomize_bit(false, &mut rng)).count() as f64 / n as f64;
+        // Theory: 0.6 + 0.4·0.3 = 0.72 and 0.4·0.3 = 0.12.
+        assert!((yes_from_true - r.yes_probability(true)).abs() < 0.006);
+        assert!((yes_from_false - r.yes_probability(false)).abs() < 0.006);
+        assert!((r.yes_probability(true) - 0.72).abs() < 1e-12);
+        assert!((r.yes_probability(false) - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_randomization_preserves_length() {
+        let r = Randomizer::new(0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth = BitVec::one_hot(11, 4);
+        let noisy = r.randomize_vec(&truth, &mut rng);
+        assert_eq!(noisy.len(), 11);
+    }
+
+    #[test]
+    fn vector_bits_are_perturbed_independently() {
+        // With p = 0.5, q = 0.5 each output bit is 1 w.p. between 0.25
+        // (truth 0) and 0.75 (truth 1); measure both.
+        let r = Randomizer::new(0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let truth = BitVec::one_hot(2, 0); // bit0 = 1, bit1 = 0
+        let n = 100_000;
+        let mut ones = [0u32; 2];
+        for _ in 0..n {
+            let v = r.randomize_vec(&truth, &mut rng);
+            for (b, count) in ones.iter_mut().enumerate() {
+                if v.get(b) {
+                    *count += 1;
+                }
+            }
+        }
+        let r0 = ones[0] as f64 / n as f64;
+        let r1 = ones[1] as f64 / n as f64;
+        assert!((r0 - 0.75).abs() < 0.01, "truth-1 bit rate {r0}");
+        assert!((r1 - 0.25).abs() < 0.01, "truth-0 bit rate {r1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn zero_p_rejected() {
+        let _ = Randomizer::new(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1)")]
+    fn unit_q_rejected() {
+        let _ = Randomizer::new(0.5, 1.0);
+    }
+}

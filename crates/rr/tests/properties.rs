@@ -1,0 +1,126 @@
+//! Property-based tests for randomized response and its privacy
+//! accounting.
+
+use privapprox_rr::estimate::{accuracy_loss, estimate_true_yes};
+use privapprox_rr::privacy::{
+    epsilon_dp_sampled, epsilon_rr, epsilon_rr_strict, epsilon_zk, p_for_epsilon, s_for_epsilon_zk,
+};
+use privapprox_rr::randomize::Randomizer;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Equation 5 exactly inverts the expected channel: feeding the
+    /// expected randomized count recovers the true count (up to
+    /// rounding).
+    #[test]
+    fn eq5_inverts_expected_channel(
+        n in 100u64..50_000,
+        yes_frac in 0.0f64..1.0,
+        p in 0.05f64..0.99,
+        q in 0.05f64..0.95,
+    ) {
+        let ay = (n as f64 * yes_frac).round();
+        let expected_ry = ay * (p + (1.0 - p) * q) + (n as f64 - ay) * (1.0 - p) * q;
+        let est = estimate_true_yes(expected_ry.round() as u64, n, p, q);
+        // Rounding the expected count costs at most 1/p in the
+        // estimate.
+        prop_assert!((est - ay).abs() <= 1.0 / p + 1e-9, "est {est} vs ay {ay}");
+    }
+
+    /// The estimator is a linear function of R_y with slope 1/p —
+    /// no surprises anywhere in the domain.
+    #[test]
+    fn eq5_linearity(
+        n in 10u64..10_000,
+        ry in 0u64..10_000,
+        p in 0.05f64..1.0,
+        q in 0.05f64..0.95,
+    ) {
+        let ry = ry.min(n);
+        prop_assume!(ry + 1 <= n);
+        let e1 = estimate_true_yes(ry, n, p, q);
+        let e2 = estimate_true_yes(ry + 1, n, p, q);
+        prop_assert!((e2 - e1 - 1.0 / p).abs() < 1e-9);
+    }
+
+    /// Empirical yes-rates stay within 5σ of the channel probability.
+    #[test]
+    fn randomizer_matches_channel(
+        p in 0.05f64..0.95,
+        q in 0.05f64..0.95,
+        truth in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let r = Randomizer::new(p, q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 20_000;
+        let yes = (0..n).filter(|_| r.randomize_bit(truth, &mut rng)).count() as f64;
+        let expect = r.yes_probability(truth);
+        let sigma = (expect * (1.0 - expect) / n as f64).sqrt();
+        prop_assert!(
+            (yes / n as f64 - expect).abs() < 5.0 * sigma + 1e-9,
+            "rate {} vs expected {expect}",
+            yes / n as f64
+        );
+    }
+
+    /// Equation 8 is monotone: increasing in p, decreasing in q.
+    #[test]
+    fn eq8_monotonicity(
+        p1 in 0.05f64..0.9,
+        dp in 0.01f64..0.09,
+        q1 in 0.05f64..0.85,
+        dq in 0.01f64..0.1,
+    ) {
+        prop_assert!(epsilon_rr(p1 + dp, q1) > epsilon_rr(p1, q1));
+        prop_assert!(epsilon_rr(p1, q1 + dq) < epsilon_rr(p1, q1));
+    }
+
+    /// The strict (two-sided) ε dominates the Equation 8 ε.
+    #[test]
+    fn strict_epsilon_dominates(p in 0.05f64..0.95, q in 0.05f64..0.95) {
+        prop_assert!(epsilon_rr_strict(p, q) >= epsilon_rr(p, q) - 1e-12);
+    }
+
+    /// Amplification: ε_dp(s) < ε_rr for s < 1, equals it at s = 1,
+    /// and is monotone in s.
+    #[test]
+    fn amplification_laws(
+        s1 in 0.05f64..0.9,
+        ds in 0.01f64..0.09,
+        p in 0.05f64..0.95,
+        q in 0.05f64..0.95,
+    ) {
+        prop_assert!(epsilon_dp_sampled(s1, p, q) < epsilon_rr(p, q));
+        prop_assert!(epsilon_dp_sampled(s1 + ds, p, q) > epsilon_dp_sampled(s1, p, q));
+        prop_assert!((epsilon_dp_sampled(1.0, p, q) - epsilon_rr(p, q)).abs() < 1e-12);
+    }
+
+    /// The closed-form inverses round-trip.
+    #[test]
+    fn privacy_inverses_round_trip(
+        eps in 0.05f64..5.0,
+        q in 0.05f64..0.95,
+        p in 0.3f64..0.95,
+    ) {
+        let pp = p_for_epsilon(eps, q);
+        prop_assert!((epsilon_rr(pp, q) - eps).abs() < 1e-9);
+        // s inverse (only reachable targets).
+        let full = epsilon_rr(p, q);
+        if eps < full {
+            let s = s_for_epsilon_zk(eps, p, q).unwrap();
+            prop_assert!(s > 0.0 && s <= 1.0);
+            prop_assert!((epsilon_zk(s, p, q) - eps).abs() < 1e-9);
+        }
+    }
+
+    /// Accuracy loss is scale-invariant and zero iff exact.
+    #[test]
+    fn accuracy_loss_properties(actual in 1.0f64..1e6, rel in -0.5f64..0.5) {
+        let est = actual * (1.0 + rel);
+        prop_assert!((accuracy_loss(actual, est) - rel.abs()).abs() < 1e-9);
+        prop_assert_eq!(accuracy_loss(actual, actual), 0.0);
+    }
+}

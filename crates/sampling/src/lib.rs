@@ -1,0 +1,31 @@
+//! Client-side sampling for approximate computation (paper §3.2.1).
+//!
+//! PrivApprox applies input sampling *at the data source*: "each client
+//! flips a coin with the probability based on the sampling parameter
+//! (s), and decides whether to participate in answering a query". This
+//! crate provides:
+//!
+//! * [`srs`] — the Bernoulli participation coin of Simple Random
+//!   Sampling, plus deterministic per-epoch variants;
+//! * [`stratified`] — the stratified-sampling extension the paper
+//!   defers to its technical report (per-stratum rates and the combined
+//!   estimator);
+//! * [`reservoir`] — reservoir sampling used for the second,
+//!   aggregator-side sampling round of historical analytics (§3.3.1);
+//! * [`planner`] — inverse planning: the sample size / sampling
+//!   fraction needed to hit a target error bound (drives the
+//!   budget-to-parameter conversion and the adaptive feedback loop).
+//!
+//! The sum estimator itself (Equations 2–4) lives in
+//! [`privapprox_stats::estimate`] and is re-exported here.
+
+pub mod planner;
+pub mod reservoir;
+pub mod srs;
+pub mod stratified;
+
+pub use planner::{required_sample_size, sampling_fraction_for};
+pub use privapprox_stats::estimate::{ConfidenceInterval, SrsSumEstimate};
+pub use reservoir::Reservoir;
+pub use srs::ParticipationCoin;
+pub use stratified::{StratifiedEstimate, Stratum};

@@ -1,0 +1,140 @@
+//! Inverse planning: from error targets to sample sizes and fractions.
+//!
+//! The aggregator's initializer converts an analyst budget into the
+//! sampling parameter `s` (paper §3.1); the adaptive feedback loop
+//! re-tunes `s` when a window's measured error exceeds the target
+//! (§5). Both need the inverse of Equation 3: *how many samples until
+//! the bound is small enough?*
+
+use privapprox_stats::normal::normal_quantile;
+
+/// Minimum sample size for the CLT-based bounds to be meaningful
+/// (paper §3.2.4 cites the usual `≥ 30` rule).
+pub const MIN_CLT_SAMPLE: u64 = 30;
+
+/// Required sample size for a target *absolute* margin of error on the
+/// estimated sum over a population of `population` clients whose
+/// per-client answers have variance `sigma2`.
+///
+/// Solves Equation 3 for `U′` using the normal critical value and the
+/// finite-population correction:
+///
+/// ```text
+/// n₀ = (z·U·σ / e)²  (infinite-population first pass)
+/// n  = n₀ / (1 + n₀/U)      (finite-population correction)
+/// ```
+///
+/// The result is clamped to `[MIN_CLT_SAMPLE, population]`.
+///
+/// # Panics
+///
+/// Panics if `population == 0`, `margin <= 0`, or `confidence ∉ (0,1)`.
+pub fn required_sample_size(population: u64, sigma2: f64, margin: f64, confidence: f64) -> u64 {
+    assert!(population > 0, "population must be positive");
+    assert!(margin > 0.0, "margin of error must be positive");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let sigma2 = sigma2.max(0.0);
+    if sigma2 == 0.0 {
+        return MIN_CLT_SAMPLE.min(population);
+    }
+    let z = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
+    let u = population as f64;
+    // From Eq 3/4 with variance (U²/n)·σ²·(U−n)/U ≤ e²/z²:
+    // first pass without the correction, then apply it.
+    let n0 = (z * u * sigma2.sqrt() / margin).powi(2);
+    let n = n0 / (1.0 + n0 / u);
+    (n.ceil() as u64).clamp(MIN_CLT_SAMPLE.min(population), population)
+}
+
+/// The sampling fraction `s` achieving a target *relative* error on a
+/// per-bucket count estimate.
+///
+/// `yes_rate` is the anticipated fraction of ones in the bucket (use
+/// the previous window's estimate, or 0.5 for a worst-case prior). The
+/// per-client answer is Bernoulli, so `σ² = r(1−r)`; the margin is
+/// `rel_err · r · U` (relative to the true count).
+pub fn sampling_fraction_for(population: u64, yes_rate: f64, rel_err: f64, confidence: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&yes_rate), "yes_rate must be in [0,1]");
+    let r = yes_rate.clamp(1e-6, 1.0 - 1e-6);
+    let sigma2 = r * (1.0 - r);
+    let margin = rel_err * r * population as f64;
+    let n = required_sample_size(population, sigma2, margin, confidence);
+    (n as f64 / population as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privapprox_stats::estimate::SrsSumEstimate;
+
+    #[test]
+    fn bigger_margins_need_fewer_samples() {
+        let loose = required_sample_size(100_000, 0.25, 5_000.0, 0.95);
+        let tight = required_sample_size(100_000, 0.25, 500.0, 0.95);
+        assert!(tight > loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn higher_confidence_needs_more_samples() {
+        let c90 = required_sample_size(100_000, 0.25, 1_000.0, 0.90);
+        let c99 = required_sample_size(100_000, 0.25, 1_000.0, 0.99);
+        assert!(c99 > c90, "c99={c99} c90={c90}");
+    }
+
+    #[test]
+    fn zero_variance_needs_only_the_clt_minimum() {
+        assert_eq!(required_sample_size(1_000, 0.0, 1.0, 0.95), 30);
+        // Tiny populations cap at the population itself.
+        assert_eq!(required_sample_size(10, 0.0, 1.0, 0.95), 10);
+    }
+
+    #[test]
+    fn sample_size_never_exceeds_population() {
+        // Absurdly tight margin → census.
+        assert_eq!(required_sample_size(500, 0.25, 1e-9, 0.95), 500);
+    }
+
+    #[test]
+    fn planned_size_actually_achieves_the_margin() {
+        // Plan for a ±300 margin on a half-ones population of 10⁵,
+        // then verify Eq 3's bound at that sample size is ≤ the target.
+        let population = 100_000u64;
+        let sigma2 = 0.25;
+        let margin = 300.0;
+        let n = required_sample_size(population, sigma2, margin, 0.95);
+        // Build a worst-case sample of that size (alternating 0/1 has
+        // variance ≈ 0.25, matching the plan).
+        let sample: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let est = SrsSumEstimate::from_sample(population, &sample);
+        let bound = est.error_bound(0.95);
+        assert!(
+            bound <= margin * 1.05,
+            "planned n={n} gives bound {bound}, wanted ≤ {margin}"
+        );
+    }
+
+    #[test]
+    fn fraction_for_rare_buckets_is_higher() {
+        // Rare answers need a larger fraction for the same relative
+        // error.
+        let common = sampling_fraction_for(100_000, 0.5, 0.05, 0.95);
+        let rare = sampling_fraction_for(100_000, 0.01, 0.05, 0.95);
+        assert!(rare > common, "rare={rare} common={common}");
+    }
+
+    #[test]
+    fn fraction_is_clamped_to_one() {
+        let s = sampling_fraction_for(100, 0.01, 0.001, 0.99);
+        assert!(s <= 1.0);
+        assert!(s > 0.9, "tiny population with tight target → census");
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn zero_margin_rejected() {
+        let _ = required_sample_size(100, 0.25, 0.0, 0.95);
+    }
+}

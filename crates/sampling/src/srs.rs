@@ -1,0 +1,139 @@
+//! Simple Random Sampling: the client participation coin.
+//!
+//! "SRS is considered as a fair way of selecting a sample from a given
+//! population since each individual in the population has the same
+//! chance of being included in the sample" (paper §3.2.1). Each client
+//! holds a coin with bias `s`; one flip per epoch decides whether it
+//! answers the query in that epoch.
+
+use rand::Rng;
+
+/// A Bernoulli participation coin with bias `s ∈ (0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParticipationCoin {
+    s: f64,
+}
+
+impl ParticipationCoin {
+    /// Creates a coin with participation probability `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `s ∈ (0, 1]` — a zero sampling fraction would
+    /// starve every query forever, which is a configuration error.
+    pub fn new(s: f64) -> ParticipationCoin {
+        assert!(
+            s > 0.0 && s <= 1.0,
+            "sampling parameter s={s} outside (0,1]"
+        );
+        ParticipationCoin { s }
+    }
+
+    /// The sampling parameter.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Flips the coin: `true` means the client participates this epoch.
+    pub fn flip<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // `gen::<f64>()` is uniform in [0, 1); strict `<` keeps the
+        // participation probability exactly `s` and makes `s = 1.0`
+        // deterministic.
+        rng.gen::<f64>() < self.s
+    }
+
+    /// Deterministic pseudo-flip for (client, query, epoch) triples.
+    ///
+    /// Some deployments want participation decisions reproducible
+    /// across client restarts within an epoch (so a crashing client
+    /// cannot re-roll its coin and answer twice). This hashes the
+    /// triple through SplitMix64 and compares against `s`.
+    pub fn flip_deterministic(&self, client: u64, query: u64, epoch: u64) -> bool {
+        let mut z = client
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(query.rotate_left(17))
+            .wrapping_add(epoch.rotate_left(43));
+        // SplitMix64 finalizer.
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Map to [0, 1) with 53-bit precision.
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_sampling_always_participates() {
+        let coin = ParticipationCoin::new(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| coin.flip(&mut rng)));
+    }
+
+    #[test]
+    fn empirical_rate_matches_s() {
+        let coin = ParticipationCoin::new(0.6);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| coin.flip(&mut rng)).count();
+        let rate = hits as f64 / n as f64;
+        // 5σ tolerance: σ = sqrt(0.6·0.4/1e5) ≈ 0.0015.
+        assert!((rate - 0.6).abs() < 0.008, "rate {rate} too far from s=0.6");
+    }
+
+    #[test]
+    fn deterministic_flip_is_stable() {
+        let coin = ParticipationCoin::new(0.5);
+        for c in 0..50u64 {
+            for e in 0..4u64 {
+                assert_eq!(
+                    coin.flip_deterministic(c, 7, e),
+                    coin.flip_deterministic(c, 7, e),
+                    "same triple must give same decision"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_flip_varies_across_epochs() {
+        // A client skipped in one epoch must have a fresh chance later:
+        // over many epochs roughly s of them participate.
+        let coin = ParticipationCoin::new(0.3);
+        let epochs = 10_000u64;
+        let hits = (0..epochs)
+            .filter(|&e| coin.flip_deterministic(123, 9, e))
+            .count();
+        let rate = hits as f64 / epochs as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    fn deterministic_flip_rate_across_clients() {
+        let coin = ParticipationCoin::new(0.6);
+        let clients = 100_000u64;
+        let hits = (0..clients)
+            .filter(|&c| coin.flip_deterministic(c, 1, 0))
+            .count();
+        let rate = hits as f64 / clients as f64;
+        assert!((rate - 0.6).abs() < 0.01, "rate {rate} too far from 0.6");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn zero_s_rejected() {
+        let _ = ParticipationCoin::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn oversized_s_rejected() {
+        let _ = ParticipationCoin::new(1.5);
+    }
+}

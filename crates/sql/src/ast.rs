@@ -1,0 +1,145 @@
+//! Abstract syntax tree for the supported SELECT dialect.
+
+use crate::value::Value;
+
+/// Binary operators in precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+    /// `=`.
+    Eq,
+    /// `!=` / `<>`.
+    Neq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference.
+    Column(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// Value being matched.
+        expr: Box<Expr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, …)`.
+    InList {
+        /// Needle.
+        expr: Box<Expr>,
+        /// Haystack.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested value.
+        expr: Box<Expr>,
+        /// Inclusive lower bound.
+        lo: Box<Expr>,
+        /// Inclusive upper bound.
+        hi: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested value.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output column name override.
+        alias: Option<String>,
+    },
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Source table name.
+    pub table: String,
+    /// Optional filter predicate.
+    pub where_clause: Option<Expr>,
+    /// Optional row-count cap.
+    pub limit: Option<u64>,
+}
+
+impl SelectStmt {
+    /// The output column name for projection item `i` (aliases win,
+    /// then bare column names, then a positional `col<i>` fallback).
+    pub fn output_name(&self, i: usize) -> String {
+        match &self.items[i] {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::Expr { alias: Some(a), .. } => a.clone(),
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            } => c.clone(),
+            _ => format!("col{i}"),
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! SQL tokenizer.
+
+use crate::error::SqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased at lex time).
+    Keyword(String),
+    /// Identifier (case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// `=`.
+    Eq,
+    /// `!=` or `<>`.
+    Neq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+}
+
+const KEYWORDS: [&str; 16] = [
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "LIKE", "IN", "BETWEEN", "IS", "NULL", "TRUE",
+    "FALSE", "LIMIT", "AS", "DISTINCT",
+];
+
+/// Tokenizes `input` into a vector of tokens.
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // `--` line comment.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        pos: i,
+                        msg: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                pos: i,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            // '' is an escaped quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (b == 'e' || b == 'E') && !saw_exp && i > start {
+                        saw_exp = true;
+                        i += 1;
+                        if matches!(bytes.get(i), Some(&b'+') | Some(&b'-')) {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                if text == "." {
+                    return Err(SqlError::Lex {
+                        pos: start,
+                        msg: "lone '.'".into(),
+                    });
+                }
+                if saw_dot || saw_exp {
+                    let v: f64 = text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        msg: format!("bad float '{text}'"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        msg: format!("bad integer '{text}'"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: i,
+                    msg: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_example() {
+        let toks = lex("SELECT speed FROM vehicle WHERE location='San Francisco'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Ident("speed".into()),
+                Token::Keyword("FROM".into()),
+                Token::Ident("vehicle".into()),
+                Token::Keyword("WHERE".into()),
+                Token::Ident("location".into()),
+                Token::Eq,
+                Token::Str("San Francisco".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("select x from t").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[2], Token::Keyword("FROM".into()));
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let toks = lex("1 2.5 .5 3e2 1.5e-3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(0.5),
+                Token::Float(300.0),
+                Token::Float(0.0015),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        let toks = lex("= != <> < <= > >= + - * / ( ) , ;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Neq,
+                Token::Neq,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let toks = lex("SELECT x -- the column\nFROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn lex_errors_carry_positions() {
+        match lex("SELECT @") {
+            Err(SqlError::Lex { pos, .. }) => assert_eq!(pos, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn qualified_identifiers_keep_dots() {
+        let toks = lex("t.col").unwrap();
+        assert_eq!(toks, vec![Token::Ident("t.col".into())]);
+    }
+}

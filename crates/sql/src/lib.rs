@@ -1,0 +1,41 @@
+//! The client-local SQL engine — PrivApprox's SQLite stand-in.
+//!
+//! "PRIVAPPROX supports the SQL query language for analysts to
+//! formulate streaming queries, which are executed periodically at the
+//! clients" (paper §2.2) against "the local user's private data stored
+//! in SQLite" (§5). This crate is a from-scratch engine sufficient for
+//! that role: a lexer, a recursive-descent parser, an in-memory table
+//! store with time-based retention (clients keep a bounded window of
+//! their own stream), and an executor for filtered projections.
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! SELECT <expr-list | *> FROM <table> [WHERE <expr>] [LIMIT <n>]
+//! expr := literal | column | (expr)
+//!       | expr (= | != | <> | < | <= | > | >=) expr
+//!       | expr (+ | - | * | /) expr
+//!       | expr [NOT] LIKE pattern
+//!       | expr [NOT] IN (expr, ...)
+//!       | expr [NOT] BETWEEN expr AND expr
+//!       | expr IS [NOT] NULL
+//!       | NOT expr | expr AND expr | expr OR expr | -expr
+//! ```
+//!
+//! Semantics follow SQL three-valued logic for NULL, with int/float
+//! coercion on comparison and arithmetic.
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod table;
+pub mod value;
+
+pub use ast::{BinaryOp, Expr, SelectItem, SelectStmt, UnaryOp};
+pub use error::SqlError;
+pub use exec::{execute, ResultSet};
+pub use parser::parse_select;
+pub use table::{ColumnType, Database, Schema, Table};
+pub use value::Value;

@@ -1,0 +1,472 @@
+//! Recursive-descent parser for the supported SELECT dialect.
+//!
+//! Precedence (loosest to tightest): OR, AND, NOT, comparison /
+//! LIKE / IN / BETWEEN / IS, additive, multiplicative, unary minus,
+//! atoms.
+
+use crate::ast::{BinaryOp, Expr, SelectItem, SelectStmt, UnaryOp};
+use crate::error::SqlError;
+use crate::lexer::{lex, Token};
+use crate::value::Value;
+
+/// Parses a single SELECT statement (a trailing `;` is tolerated).
+pub fn parse_select(input: &str) -> Result<SelectStmt, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.eat_if(&Token::Semi);
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {kw}, got {other:?}"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.is_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_keyword("SELECT")?;
+        self.eat_keyword("DISTINCT"); // accepted, treated as plain SELECT
+        let mut items = Vec::new();
+        loop {
+            if self.eat_if(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("AS") {
+                    match self.next() {
+                        Some(Token::Ident(a)) => Some(a),
+                        other => {
+                            return Err(SqlError::Parse(format!(
+                                "expected alias after AS, got {other:?}"
+                            )))
+                        }
+                    }
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let table = match self.next() {
+            Some(Token::Ident(t)) => t,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected table name, got {other:?}"
+                )))
+            }
+        };
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected non-negative LIMIT, got {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            table,
+            where_clause,
+            limit,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        let lhs = self.additive()?;
+        // Optional postfix predicates.
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "LIKE needs a string pattern, got {other:?}"
+                    )))
+                }
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_keyword("IN") {
+            if !self.eat_if(&Token::LParen) {
+                return Err(SqlError::Parse("IN needs a parenthesized list".into()));
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            if !self.eat_if(&Token::RParen) {
+                return Err(SqlError::Parse("unclosed IN list".into()));
+            }
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_keyword("AND")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if negated {
+            return Err(SqlError::Parse(
+                "NOT must precede LIKE / IN / BETWEEN here".into(),
+            ));
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::Neq) => Some(BinaryOp::Neq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::Le) => Some(BinaryOp::Le),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            return Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_if(&Token::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(Value::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Literal(Value::Float(v))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Literal(Value::Null)),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Value::Bool(true))),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Value::Bool(false))),
+            Some(Token::Ident(name)) => Ok(Expr::Column(name)),
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                if !self.eat_if(&Token::RParen) {
+                    return Err(SqlError::Parse("unclosed parenthesis".into()));
+                }
+                Ok(inner)
+            }
+            other => Err(SqlError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let stmt =
+            parse_select("SELECT speed FROM vehicle WHERE location='San Francisco'").unwrap();
+        assert_eq!(stmt.table, "vehicle");
+        assert_eq!(stmt.items.len(), 1);
+        assert!(matches!(
+            &stmt.items[0],
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                alias: None
+            } if c == "speed"
+        ));
+        assert!(matches!(
+            stmt.where_clause,
+            Some(Expr::Binary {
+                op: BinaryOp::Eq,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn parses_wildcard_and_limit() {
+        let stmt = parse_select("SELECT * FROM t LIMIT 10;").unwrap();
+        assert_eq!(stmt.items, vec![SelectItem::Wildcard]);
+        assert_eq!(stmt.limit, Some(10));
+    }
+
+    #[test]
+    fn precedence_or_and_not() {
+        // NOT a AND b OR c parses as ((NOT a) AND b) OR c.
+        let stmt = parse_select("SELECT * FROM t WHERE NOT a AND b OR c").unwrap();
+        let Expr::Binary {
+            op: BinaryOp::Or,
+            lhs,
+            ..
+        } = stmt.where_clause.unwrap()
+        else {
+            panic!("top must be OR");
+        };
+        let Expr::Binary {
+            op: BinaryOp::And,
+            lhs: and_lhs,
+            ..
+        } = *lhs
+        else {
+            panic!("left of OR must be AND");
+        };
+        assert!(matches!(
+            *and_lhs,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn precedence_arithmetic() {
+        // 1 + 2 * 3 parses as 1 + (2*3).
+        let stmt = parse_select("SELECT 1 + 2 * 3 FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &stmt.items[0] else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            rhs,
+            ..
+        } = expr
+        else {
+            panic!("top must be Add, got {expr:?}");
+        };
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_like_in_between_isnull() {
+        let stmt = parse_select(
+            "SELECT * FROM t WHERE a LIKE 'x%' AND b IN (1,2,3) AND \
+             c BETWEEN 0 AND 9 AND d IS NOT NULL AND e NOT LIKE '%y'",
+        )
+        .unwrap();
+        // Just verify it parses and the top level is a chain of ANDs.
+        let mut ands = 0;
+        let mut stack = vec![stmt.where_clause.unwrap()];
+        while let Some(e) = stack.pop() {
+            if let Expr::Binary {
+                op: BinaryOp::And,
+                lhs,
+                rhs,
+            } = e
+            {
+                ands += 1;
+                stack.push(*lhs);
+                stack.push(*rhs);
+            }
+        }
+        assert_eq!(ands, 4);
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let stmt = parse_select("SELECT speed * 2 AS double_speed FROM v").unwrap();
+        assert_eq!(stmt.output_name(0), "double_speed");
+    }
+
+    #[test]
+    fn negative_numbers_and_parens() {
+        let stmt = parse_select("SELECT -x FROM t WHERE (a + b) * -2 < 4").unwrap();
+        assert!(stmt.where_clause.is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse_select("SELECT FROM t").is_err());
+        assert!(parse_select("SELECT * FROM").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE").is_err());
+        assert!(parse_select("SELECT * FROM t LIMIT x").is_err());
+        assert!(parse_select("SELECT * FROM t extra junk").is_err());
+        assert!(parse_select("SELECT a IN 1 FROM t").is_err());
+        assert!(parse_select("SELECT (a FROM t").is_err());
+        assert!(parse_select("SELECT a NOT b FROM t").is_err());
+    }
+
+    #[test]
+    fn output_names() {
+        let stmt = parse_select("SELECT a, b AS bee, a+1 FROM t").unwrap();
+        assert_eq!(stmt.output_name(0), "a");
+        assert_eq!(stmt.output_name(1), "bee");
+        assert_eq!(stmt.output_name(2), "col2");
+    }
+}

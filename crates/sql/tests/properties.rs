@@ -1,0 +1,145 @@
+//! Property-based tests for the SQL engine: the executor must agree
+//! with a direct Rust evaluation of the same predicate over the same
+//! rows, and the parser must be total (no panics) on arbitrary input.
+
+use privapprox_sql::{execute, parse_select, ColumnType, Database, Schema, Value};
+use proptest::prelude::*;
+
+fn table_with(values: &[(i64, f64)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Float)]),
+    );
+    for &(a, b) in values {
+        db.insert("t", vec![Value::Int(a), Value::Float(b)])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    /// Numeric comparison filters agree with direct evaluation.
+    #[test]
+    fn comparison_filters_match_oracle(
+        rows in proptest::collection::vec((-50i64..50, -5.0f64..5.0), 0..40),
+        threshold in -50i64..50,
+        op_idx in 0usize..6,
+    ) {
+        let db = table_with(&rows);
+        let ops = ["=", "!=", "<", "<=", ">", ">="];
+        let op = ops[op_idx];
+        let sql = format!("SELECT a FROM t WHERE a {op} {threshold}");
+        let rs = execute(&parse_select(&sql).unwrap(), &db).unwrap();
+        let expect: Vec<i64> = rows
+            .iter()
+            .map(|(a, _)| *a)
+            .filter(|a| match op {
+                "=" => *a == threshold,
+                "!=" => *a != threshold,
+                "<" => *a < threshold,
+                "<=" => *a <= threshold,
+                ">" => *a > threshold,
+                ">=" => *a >= threshold,
+                _ => unreachable!(),
+            })
+            .collect();
+        let got: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(v) => v,
+                _ => panic!("int column"),
+            })
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// AND / OR / NOT over two predicates agree with Rust booleans.
+    #[test]
+    fn boolean_connectives_match_oracle(
+        rows in proptest::collection::vec((-20i64..20, -5.0f64..5.0), 0..30),
+        t1 in -20i64..20,
+        t2 in -5.0f64..5.0,
+        connective in 0usize..3,
+    ) {
+        let db = table_with(&rows);
+        let sql = match connective {
+            0 => format!("SELECT a FROM t WHERE a > {t1} AND b < {t2}"),
+            1 => format!("SELECT a FROM t WHERE a > {t1} OR b < {t2}"),
+            _ => format!("SELECT a FROM t WHERE NOT (a > {t1})"),
+        };
+        let rs = execute(&parse_select(&sql).unwrap(), &db).unwrap();
+        let expect = rows
+            .iter()
+            .filter(|(a, b)| match connective {
+                0 => *a > t1 && *b < t2,
+                1 => *a > t1 || *b < t2,
+                _ => *a <= t1,
+            })
+            .count();
+        prop_assert_eq!(rs.rows.len(), expect);
+    }
+
+    /// BETWEEN is the closed-interval filter.
+    #[test]
+    fn between_matches_oracle(
+        rows in proptest::collection::vec((-30i64..30, 0.0f64..1.0), 0..30),
+        lo in -30i64..0,
+        hi in 0i64..30,
+    ) {
+        let db = table_with(&rows);
+        let sql = format!("SELECT a FROM t WHERE a BETWEEN {lo} AND {hi}");
+        let rs = execute(&parse_select(&sql).unwrap(), &db).unwrap();
+        let expect = rows.iter().filter(|(a, _)| *a >= lo && *a <= hi).count();
+        prop_assert_eq!(rs.rows.len(), expect);
+    }
+
+    /// Arithmetic projections compute what Rust computes (integer ops
+    /// on in-range operands).
+    #[test]
+    fn arithmetic_projection_matches_oracle(
+        a in -1000i64..1000,
+        b in 1i64..1000,
+        op_idx in 0usize..4,
+    ) {
+        let db = table_with(&[(a, 0.0)]);
+        let ops = ["+", "-", "*", "/"];
+        let op = ops[op_idx];
+        let sql = format!("SELECT a {op} {b} FROM t");
+        let rs = execute(&parse_select(&sql).unwrap(), &db).unwrap();
+        let expect = match op {
+            "+" => a + b,
+            "-" => a - b,
+            "*" => a * b,
+            "/" => a / b,
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(&rs.rows[0][0], &Value::Int(expect));
+    }
+
+    /// LIMIT caps row counts exactly.
+    #[test]
+    fn limit_is_exact(
+        rows in proptest::collection::vec((-5i64..5, 0.0f64..1.0), 0..30),
+        limit in 0u64..40,
+    ) {
+        let db = table_with(&rows);
+        let sql = format!("SELECT * FROM t LIMIT {limit}");
+        let rs = execute(&parse_select(&sql).unwrap(), &db).unwrap();
+        prop_assert_eq!(rs.rows.len() as u64, limit.min(rows.len() as u64));
+    }
+
+    /// The parser is total: arbitrary garbage returns Err, never
+    /// panics.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,60}") {
+        let _ = parse_select(&input);
+    }
+
+    /// Parsing is deterministic.
+    #[test]
+    fn parser_is_deterministic(input in "\\PC{0,60}") {
+        prop_assert_eq!(parse_select(&input), parse_select(&input));
+    }
+}

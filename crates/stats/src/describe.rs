@@ -1,0 +1,165 @@
+//! Descriptive statistics: batch and online (Welford) moments.
+
+/// Arithmetic mean of a sample; `0.0` for an empty slice.
+pub fn sample_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1 denominator) sample variance; `0.0` when fewer than
+/// two observations exist.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = sample_mean(xs);
+    xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Numerically stable online accumulator for mean and variance
+/// (Welford's algorithm). Used by the aggregator so windows never need
+/// to retain raw answer values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator (parallel Welford / Chan et al.).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; `0.0` with fewer than two points.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sum of observations (`mean × count`).
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn batch_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        close(sample_mean(&xs), 5.0, 1e-12);
+        // Sum of squared deviations = 32, n−1 = 7.
+        close(sample_variance(&xs), 32.0 / 7.0, 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(sample_mean(&[]), 0.0);
+        assert_eq!(sample_variance(&[]), 0.0);
+        assert_eq!(sample_variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        close(w.mean(), sample_mean(&xs), 1e-9);
+        close(w.variance(), sample_variance(&xs), 1e-9);
+        assert_eq!(w.count(), 1000);
+        close(w.sum(), xs.iter().sum::<f64>(), 1e-6);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let (left, right) = xs.split_at(123);
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        left.iter().for_each(|&x| a.push(x));
+        right.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+
+        let mut seq = Welford::new();
+        xs.iter().for_each(|&x| seq.push(x));
+
+        close(a.mean(), seq.mean(), 1e-9);
+        close(a.variance(), seq.variance(), 1e-9);
+        assert_eq!(a.count(), seq.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a.clone();
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        close(empty.mean(), before.mean(), 1e-12);
+    }
+
+    #[test]
+    fn welford_constant_stream_has_zero_variance() {
+        let mut w = Welford::new();
+        for _ in 0..100 {
+            w.push(42.0);
+        }
+        close(w.variance(), 0.0, 1e-12);
+        close(w.mean(), 42.0, 1e-12);
+    }
+}

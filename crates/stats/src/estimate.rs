@@ -1,0 +1,272 @@
+//! The paper's sampling estimators: Equations 2, 3 and 4.
+//!
+//! For a population of `U` clients of which `U′` were sampled, the sum
+//! of answers is estimated as
+//!
+//! ```text
+//! τ̂ = (U / U′) · Σᵢ aᵢ  ±  error                       (Eq. 2)
+//! error = t · sqrt(V̂ar(τ̂))                             (Eq. 3)
+//! V̂ar(τ̂) = (U² / U′) · σ² · (U − U′)/U                 (Eq. 4)
+//! ```
+//!
+//! where `σ²` is the sample variance of the answers and `t` is the
+//! Student-t critical value with `U′ − 1` degrees of freedom at the
+//! `1 − α/2` significance level.
+
+use crate::describe::Welford;
+use crate::tdist::t_critical;
+
+/// A two-sided confidence interval `estimate ± bound`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Half-width of the interval (the paper's `errorBound`).
+    pub bound: f64,
+    /// Confidence level the bound was computed at.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.estimate - self.bound
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.estimate + self.bound
+    }
+
+    /// True if `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+
+    /// Half-width relative to the estimate (`bound / |estimate|`);
+    /// infinite for a zero estimate with a non-zero bound.
+    pub fn relative_bound(&self) -> f64 {
+        if self.estimate == 0.0 {
+            if self.bound == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.bound / self.estimate.abs()
+        }
+    }
+}
+
+impl core::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} ({}% CI)",
+            self.estimate,
+            self.bound,
+            self.confidence * 100.0
+        )
+    }
+}
+
+/// The simple-random-sampling sum estimator of paper §3.2.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrsSumEstimate {
+    population: u64,
+    acc: Welford,
+}
+
+impl SrsSumEstimate {
+    /// Starts an estimator for a population of `U` clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is zero.
+    pub fn new(population: u64) -> SrsSumEstimate {
+        assert!(population > 0, "population must be positive");
+        SrsSumEstimate {
+            population,
+            acc: Welford::new(),
+        }
+    }
+
+    /// Builds the estimator directly from a slice of sampled answers.
+    pub fn from_sample(population: u64, sample: &[f64]) -> SrsSumEstimate {
+        let mut e = SrsSumEstimate::new(population);
+        for &a in sample {
+            e.push(a);
+        }
+        e
+    }
+
+    /// Feeds one sampled answer `aᵢ`.
+    pub fn push(&mut self, a: f64) {
+        self.acc.push(a);
+    }
+
+    /// Population size `U`.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Sample size `U′`.
+    pub fn sample_size(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// The point estimate `τ̂ = (U/U′)·Σ aᵢ` (Equation 2).
+    ///
+    /// Returns `0.0` for an empty sample.
+    pub fn estimate(&self) -> f64 {
+        if self.acc.count() == 0 {
+            return 0.0;
+        }
+        self.population as f64 / self.acc.count() as f64 * self.acc.sum()
+    }
+
+    /// Finite-population-corrected variance of `τ̂` (Equation 4).
+    ///
+    /// `V̂ar(τ̂) = (U²/U′)·σ²·(U−U′)/U`. Zero when the whole population
+    /// was sampled (the correction term vanishes) or when fewer than
+    /// two observations exist.
+    pub fn variance(&self) -> f64 {
+        let u = self.population as f64;
+        let u_prime = self.acc.count() as f64;
+        if self.acc.count() < 2 {
+            return 0.0;
+        }
+        let sigma2 = self.acc.variance();
+        let fpc = (u - u_prime).max(0.0) / u;
+        u * u / u_prime * sigma2 * fpc
+    }
+
+    /// The error bound `t·sqrt(V̂ar(τ̂))` at the given confidence level
+    /// (Equation 3), with `t` from Student-t(U′−1).
+    ///
+    /// Returns `f64::INFINITY` when the sample is too small (`U′ < 2`)
+    /// to estimate a variance — callers must widen the sample, which is
+    /// exactly the feedback the paper's adaptive executor acts on.
+    pub fn error_bound(&self, confidence: f64) -> f64 {
+        if self.acc.count() < 2 {
+            return f64::INFINITY;
+        }
+        if self.sample_size() >= self.population {
+            return 0.0; // census: no sampling error
+        }
+        let t = t_critical(confidence, (self.acc.count() - 1) as f64);
+        t * self.variance().sqrt()
+    }
+
+    /// The full `queryResult ± errorBound` interval of §3.2.4.
+    pub fn interval(&self, confidence: f64) -> ConfidenceInterval {
+        ConfidenceInterval {
+            estimate: self.estimate(),
+            bound: self.error_bound(confidence),
+            confidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn census_is_exact() {
+        // Sampling everyone: estimate equals the true sum, zero error.
+        let answers: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let e = SrsSumEstimate::from_sample(100, &answers);
+        close(e.estimate(), 50.0, 1e-9);
+        assert_eq!(e.error_bound(0.95), 0.0);
+        assert_eq!(e.variance(), 0.0);
+    }
+
+    #[test]
+    fn estimate_scales_by_inverse_sampling_fraction() {
+        // 40 of 100 sampled, 10 ones → τ̂ = 100/40 · 10 = 25.
+        let mut sample = vec![1.0; 10];
+        sample.extend(vec![0.0; 30]);
+        let e = SrsSumEstimate::from_sample(100, &sample);
+        close(e.estimate(), 25.0, 1e-9);
+        assert_eq!(e.sample_size(), 40);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // U = 10, sample = [1, 0, 1, 0] → σ² = 1/3, U′ = 4.
+        let e = SrsSumEstimate::from_sample(10, &[1.0, 0.0, 1.0, 0.0]);
+        // Eq 4: (100/4)·(1/3)·((10−4)/10) = 25·(1/3)·0.6 = 5.
+        close(e.variance(), 5.0, 1e-9);
+        // Eq 3 at 95 %, df = 3: t = 3.182.
+        let bound = e.error_bound(0.95);
+        close(bound, 3.182 * 5.0f64.sqrt(), 0.01);
+    }
+
+    #[test]
+    fn interval_contains_truth_for_balanced_sample() {
+        // A representative 50 % sample of a half-ones population.
+        let sample: Vec<f64> = (0..500).map(|i| (i % 2) as f64).collect();
+        let e = SrsSumEstimate::from_sample(1000, &sample);
+        let ci = e.interval(0.95);
+        assert!(ci.contains(500.0), "true sum inside CI: {ci}");
+        assert!(ci.bound > 0.0);
+        assert!(ci.relative_bound() < 0.1);
+    }
+
+    #[test]
+    fn tiny_samples_yield_infinite_bound() {
+        let mut e = SrsSumEstimate::new(100);
+        assert_eq!(e.error_bound(0.95), f64::INFINITY);
+        e.push(1.0);
+        assert_eq!(e.error_bound(0.95), f64::INFINITY);
+        e.push(0.0);
+        assert!(e.error_bound(0.95).is_finite());
+    }
+
+    #[test]
+    fn empty_sample_estimates_zero() {
+        let e = SrsSumEstimate::new(50);
+        assert_eq!(e.estimate(), 0.0);
+    }
+
+    #[test]
+    fn interval_endpoints() {
+        let ci = ConfidenceInterval {
+            estimate: 10.0,
+            bound: 2.0,
+            confidence: 0.95,
+        };
+        assert_eq!(ci.lo(), 8.0);
+        assert_eq!(ci.hi(), 12.0);
+        assert!(ci.contains(8.0) && ci.contains(12.0));
+        assert!(!ci.contains(7.99));
+        close(ci.relative_bound(), 0.2, 1e-12);
+    }
+
+    #[test]
+    fn zero_estimate_relative_bound() {
+        let ci = ConfidenceInterval {
+            estimate: 0.0,
+            bound: 1.0,
+            confidence: 0.95,
+        };
+        assert!(ci.relative_bound().is_infinite());
+        let ci0 = ConfidenceInterval {
+            estimate: 0.0,
+            bound: 0.0,
+            confidence: 0.95,
+        };
+        assert_eq!(ci0.relative_bound(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn zero_population_rejected() {
+        let _ = SrsSumEstimate::new(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Statistics substrate for the PrivApprox reproduction.
+//!
+//! The paper's aggregator estimates error bounds with the statistical
+//! theory of simple random sampling (Equations 2–4) and interprets them
+//! through Student-t confidence intervals, implemented there with
+//! Apache Commons Math. This crate is the from-scratch replacement:
+//!
+//! * [`special`] — log-gamma, error function, regularized incomplete
+//!   beta (the classical building blocks);
+//! * [`normal`] — standard normal CDF and quantile;
+//! * [`tdist`] — Student-t CDF and quantile;
+//! * [`describe`] — mean/variance, Welford online accumulators;
+//! * [`estimate`] — the paper's Equations 2–4: the scaled sample-sum
+//!   estimator with finite-population-corrected variance and
+//!   t-distribution error bounds.
+//!
+//! All routines are deterministic, allocation-free, and pure.
+
+pub mod describe;
+pub mod estimate;
+pub mod normal;
+pub mod special;
+pub mod tdist;
+
+pub use describe::{sample_mean, sample_variance, Welford};
+pub use estimate::{ConfidenceInterval, SrsSumEstimate};
+pub use normal::{normal_cdf, normal_quantile};
+pub use special::{erf, erfc, ln_gamma, reg_inc_beta};
+pub use tdist::{t_cdf, t_quantile};

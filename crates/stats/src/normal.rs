@@ -1,0 +1,118 @@
+//! Standard normal CDF and quantile.
+
+use crate::special::erfc;
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` (Acklam's rational approximation,
+/// relative error below 1.15e-9, polished with one Halley step).
+///
+/// # Panics
+///
+/// Panics unless `p ∈ (0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile needs p in (0,1), got {p}"
+    );
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step using the exact CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        close(normal_cdf(0.0), 0.5, 1e-12);
+        close(normal_cdf(1.959_963_984_540_054), 0.975, 1e-7);
+        close(normal_cdf(-1.959_963_984_540_054), 0.025, 1e-7);
+        close(normal_cdf(1.0), 0.841_344_746_068_543, 1e-7);
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        close(normal_quantile(0.5), 0.0, 1e-9);
+        close(normal_quantile(0.975), 1.959_963_984_540_054, 1e-7);
+        close(normal_quantile(0.95), 1.644_853_626_951_472, 1e-7);
+        close(normal_quantile(0.995), 2.575_829_303_548_901, 1e-7);
+        close(normal_quantile(0.025), -1.959_963_984_540_054, 1e-7);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            close(normal_cdf(normal_quantile(p)), p, 1e-8);
+        }
+    }
+
+    #[test]
+    fn quantile_tails() {
+        close(normal_cdf(normal_quantile(1e-6)), 1e-6, 1e-9);
+        close(normal_cdf(normal_quantile(1.0 - 1e-6)), 1.0 - 1e-6, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_zero() {
+        let _ = normal_quantile(0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Student-t distribution: CDF and quantile.
+//!
+//! The paper's Equation 3 takes "a value of the t-distribution with
+//! U′−1 degrees of freedom at the 1−α/2 level of significance"; this
+//! module supplies exactly that value.
+
+use crate::normal::normal_quantile;
+use crate::special::reg_inc_beta;
+
+/// Student-t cumulative distribution function with `df` degrees of
+/// freedom.
+///
+/// Uses the classical identity
+/// `P(T ≤ t) = 1 − ½·I_{ν/(ν+t²)}(ν/2, ½)` for `t ≥ 0` and symmetry
+/// for `t < 0`.
+///
+/// # Panics
+///
+/// Panics if `df <= 0`.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "t_cdf needs df > 0, got {df}");
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * reg_inc_beta(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Student-t quantile (inverse CDF) with `df` degrees of freedom.
+///
+/// Starts from the normal quantile (exact as `df → ∞`) and refines by
+/// bisection + Newton on the monotone CDF to ~1e-12.
+///
+/// # Panics
+///
+/// Panics unless `p ∈ (0, 1)` and `df > 0`.
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "t_quantile needs p in (0,1), got {p}");
+    assert!(df > 0.0, "t_quantile needs df > 0, got {df}");
+    if (p - 0.5).abs() < 1e-15 {
+        return 0.0;
+    }
+
+    // Bracket the root. The t quantile is farther in the tail than the
+    // normal quantile, so expand outward from the normal start.
+    let z = normal_quantile(p);
+    let (mut lo, mut hi);
+    if z >= 0.0 {
+        lo = 0.0;
+        hi = z.max(1.0);
+        while t_cdf(hi, df) < p {
+            hi *= 2.0;
+            if hi > 1e12 {
+                break;
+            }
+        }
+    } else {
+        hi = 0.0;
+        lo = z.min(-1.0);
+        while t_cdf(lo, df) > p {
+            lo *= 2.0;
+            if lo < -1e12 {
+                break;
+            }
+        }
+    }
+
+    // Bisection to get close, then Newton to polish.
+    let mut mid = 0.5 * (lo + hi);
+    for _ in 0..200 {
+        mid = 0.5 * (lo + hi);
+        let c = t_cdf(mid, df);
+        if (c - p).abs() < 1e-14 || (hi - lo) < 1e-13 * mid.abs().max(1.0) {
+            break;
+        }
+        if c < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    mid
+}
+
+/// The two-sided critical value `t*` such that a fraction `confidence`
+/// of the distribution lies within `[−t*, t*]` — i.e. the quantile at
+/// `1 − α/2` with `α = 1 − confidence` (paper Equation 3).
+///
+/// # Panics
+///
+/// Panics unless `confidence ∈ (0, 1)` and `df > 0`.
+pub fn t_critical(confidence: f64, df: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    t_quantile(1.0 - (1.0 - confidence) / 2.0, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn cdf_symmetry_and_median() {
+        for df in [1.0, 3.0, 10.0, 30.0] {
+            close(t_cdf(0.0, df), 0.5, 1e-12);
+            for t in [0.3, 1.0, 2.5] {
+                close(t_cdf(t, df) + t_cdf(-t, df), 1.0, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_cauchy_case() {
+        // df = 1 is the Cauchy distribution: F(t) = 1/2 + atan(t)/π.
+        for t in [-2.0f64, -0.5, 0.7, 3.0] {
+            let expect = 0.5 + t.atan() / std::f64::consts::PI;
+            close(t_cdf(t, 1.0), expect, 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_matches_published_table() {
+        // Classic two-sided 95 % critical values (α = 0.05).
+        close(t_quantile(0.975, 1.0), 12.706, 2e-3);
+        close(t_quantile(0.975, 5.0), 2.571, 1e-3);
+        close(t_quantile(0.975, 10.0), 2.228, 1e-3);
+        close(t_quantile(0.975, 30.0), 2.042, 1e-3);
+        close(t_quantile(0.975, 100.0), 1.984, 1e-3);
+        // One-sided 95 %.
+        close(t_quantile(0.95, 10.0), 1.812, 1e-3);
+        // 99 % two-sided.
+        close(t_quantile(0.995, 10.0), 3.169, 1e-3);
+    }
+
+    #[test]
+    fn quantile_approaches_normal_for_large_df() {
+        close(t_quantile(0.975, 1e6), 1.959_963_98, 1e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for df in [2.0, 7.0, 29.0] {
+            for i in [1, 5, 25, 50, 75, 95, 99] {
+                let p = i as f64 / 100.0;
+                close(t_cdf(t_quantile(p, df), df), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_value_is_two_sided() {
+        // 95 % confidence with df=30 → the 0.975 quantile.
+        close(t_critical(0.95, 30.0), t_quantile(0.975, 30.0), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "df > 0")]
+    fn cdf_rejects_bad_df() {
+        let _ = t_cdf(1.0, 0.0);
+    }
+}

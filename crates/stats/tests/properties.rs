@@ -1,0 +1,122 @@
+//! Property-based tests for the statistics substrate.
+
+use privapprox_stats::describe::{sample_mean, sample_variance, Welford};
+use privapprox_stats::estimate::SrsSumEstimate;
+use privapprox_stats::normal::{normal_cdf, normal_quantile};
+use privapprox_stats::special::reg_inc_beta;
+use privapprox_stats::tdist::{t_cdf, t_quantile};
+use proptest::prelude::*;
+
+proptest! {
+    /// Φ⁻¹ inverts Φ across the practical range.
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.0001f64..0.9999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-8, "p={p}, x={x}");
+    }
+
+    /// The normal CDF is monotone.
+    #[test]
+    fn normal_cdf_monotone(a in -6.0f64..6.0, delta in 0.001f64..3.0) {
+        prop_assert!(normal_cdf(a + delta) >= normal_cdf(a));
+    }
+
+    /// Student-t quantile inverts its CDF for every df.
+    #[test]
+    fn t_quantile_inverts_cdf(p in 0.001f64..0.999, df in 1.0f64..200.0) {
+        let x = t_quantile(p, df);
+        prop_assert!((t_cdf(x, df) - p).abs() < 1e-8, "p={p} df={df} x={x}");
+    }
+
+    /// The t distribution is symmetric: Q(p) = −Q(1−p).
+    #[test]
+    fn t_quantile_symmetry(p in 0.01f64..0.5, df in 1.0f64..100.0) {
+        let lo = t_quantile(p, df);
+        let hi = t_quantile(1.0 - p, df);
+        prop_assert!((lo + hi).abs() < 1e-7, "Q({p})={lo}, Q({})={hi}", 1.0 - p);
+    }
+
+    /// t critical values dominate normal ones and converge with df.
+    #[test]
+    fn t_dominates_normal(p in 0.55f64..0.995, df in 2.0f64..500.0) {
+        let t = t_quantile(p, df);
+        let z = normal_quantile(p);
+        prop_assert!(t >= z - 1e-9, "t={t} z={z} at df={df}");
+        let t_huge = t_quantile(p, 1e7);
+        prop_assert!((t_huge - z).abs() < 1e-3);
+    }
+
+    /// The regularized incomplete beta is within [0,1] and monotone
+    /// in x.
+    #[test]
+    fn inc_beta_range_and_monotonicity(
+        a in 0.1f64..20.0,
+        b in 0.1f64..20.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let flo = reg_inc_beta(a, b, lo);
+        let fhi = reg_inc_beta(a, b, hi);
+        prop_assert!((0.0..=1.0).contains(&flo));
+        prop_assert!((0.0..=1.0).contains(&fhi));
+        prop_assert!(fhi >= flo - 1e-12);
+    }
+
+    /// Welford matches the two-pass formulas on arbitrary data.
+    #[test]
+    fn welford_matches_batch(xs in proptest::collection::vec(-1e4f64..1e4, 0..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        prop_assert!((w.mean() - sample_mean(&xs)).abs() < 1e-6);
+        prop_assert!((w.variance() - sample_variance(&xs)).abs() < 1e-4);
+    }
+
+    /// Welford merge is order-independent (any split point).
+    #[test]
+    fn welford_merge_any_split(
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..100),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let split = split.min(xs.len());
+        let (left, right) = xs.split_at(split);
+        let mut a = Welford::new();
+        left.iter().for_each(|&x| a.push(x));
+        let mut b = Welford::new();
+        right.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        let mut seq = Welford::new();
+        xs.iter().for_each(|&x| seq.push(x));
+        prop_assert!((a.mean() - seq.mean()).abs() < 1e-8);
+        prop_assert!((a.variance() - seq.variance()).abs() < 1e-6);
+    }
+
+    /// The SRS estimator scales linearly: doubling every answer
+    /// doubles the estimate; the error bound is non-negative and
+    /// shrinks (weakly) with more samples from the same distribution.
+    #[test]
+    fn srs_estimator_scaling(
+        sample in proptest::collection::vec(0.0f64..10.0, 2..100),
+        factor in 1.0f64..10.0,
+    ) {
+        let population = (sample.len() as u64) * 10;
+        let base = SrsSumEstimate::from_sample(population, &sample);
+        let scaled: Vec<f64> = sample.iter().map(|x| x * factor).collect();
+        let big = SrsSumEstimate::from_sample(population, &scaled);
+        prop_assert!((big.estimate() - factor * base.estimate()).abs() < 1e-6);
+        prop_assert!(base.error_bound(0.95) >= 0.0);
+    }
+
+    /// A census (sample == population) has zero variance regardless of
+    /// the data.
+    #[test]
+    fn census_has_zero_bound(sample in proptest::collection::vec(0.0f64..1.0, 2..50)) {
+        let est = SrsSumEstimate::from_sample(sample.len() as u64, &sample);
+        prop_assert_eq!(est.error_bound(0.95), 0.0);
+        let total: f64 = sample.iter().sum();
+        prop_assert!((est.estimate() - total).abs() < 1e-9);
+    }
+}

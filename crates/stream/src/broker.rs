@@ -1,0 +1,473 @@
+//! An in-process pub/sub message broker (the Kafka stand-in).
+//!
+//! Topics hold ordered partitions of records; producers append (keyed
+//! records hash to a partition, unkeyed ones round-robin); consumers
+//! poll sequentially from per-(group, topic, partition) offsets with
+//! optional blocking. All state lives behind `parking_lot` locks and a
+//! condvar so many client/proxy/aggregator threads can share one
+//! broker, exactly like the paper's proxies share a Kafka cluster.
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use privapprox_types::Timestamp;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One record in a partition log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Position within the partition.
+    pub offset: u64,
+    /// Optional partitioning key.
+    pub key: Option<Vec<u8>>,
+    /// Payload bytes.
+    pub value: Vec<u8>,
+    /// Event timestamp assigned by the producer.
+    pub timestamp: Timestamp,
+}
+
+impl Record {
+    /// Wire size used for traffic accounting: key + value + a fixed
+    /// 16-byte frame (offset + timestamp), mirroring a compact Kafka
+    /// record frame.
+    pub fn wire_size(&self) -> u64 {
+        16 + self.key.as_ref().map(|k| k.len()).unwrap_or(0) as u64 + self.value.len() as u64
+    }
+}
+
+#[derive(Debug, Default)]
+struct Partition {
+    records: Vec<Record>,
+}
+
+struct Topic {
+    partitions: Vec<Mutex<Partition>>,
+    /// Signalled whenever any partition receives data.
+    data_ready: Condvar,
+    /// Paired mutex for `data_ready` (condvar protocol only).
+    signal: Mutex<()>,
+    round_robin: AtomicU64,
+}
+
+impl Topic {
+    fn new(partitions: usize) -> Topic {
+        Topic {
+            partitions: (0..partitions)
+                .map(|_| Mutex::new(Partition::default()))
+                .collect(),
+            data_ready: Condvar::new(),
+            signal: Mutex::new(()),
+            round_robin: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Cumulative broker-side traffic counters (drives Figure 9a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Records appended by producers.
+    pub records_in: u64,
+    /// Bytes appended by producers.
+    pub bytes_in: u64,
+    /// Records delivered to consumers.
+    pub records_out: u64,
+    /// Bytes delivered to consumers.
+    pub bytes_out: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    records_in: AtomicU64,
+    bytes_in: AtomicU64,
+    records_out: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+struct BrokerInner {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    group_offsets: Mutex<HashMap<(String, String, usize), u64>>,
+    stats: Stats,
+    default_partitions: usize,
+}
+
+/// A shared, thread-safe message broker.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+impl Broker {
+    /// Creates a broker whose auto-created topics have
+    /// `default_partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default_partitions` is zero.
+    pub fn new(default_partitions: usize) -> Broker {
+        assert!(default_partitions > 0, "topics need at least 1 partition");
+        Broker {
+            inner: Arc::new(BrokerInner {
+                topics: RwLock::new(HashMap::new()),
+                group_offsets: Mutex::new(HashMap::new()),
+                stats: Stats::default(),
+                default_partitions,
+            }),
+        }
+    }
+
+    /// Creates a topic explicitly with a partition count; a no-op if
+    /// the topic already exists.
+    pub fn create_topic(&self, name: &str, partitions: usize) {
+        assert!(partitions > 0, "topics need at least 1 partition");
+        let mut topics = self.inner.topics.write();
+        topics
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Topic::new(partitions)));
+    }
+
+    fn topic(&self, name: &str) -> Arc<Topic> {
+        if let Some(t) = self.inner.topics.read().get(name) {
+            return Arc::clone(t);
+        }
+        let mut topics = self.inner.topics.write();
+        Arc::clone(
+            topics
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Topic::new(self.inner.default_partitions))),
+        )
+    }
+
+    /// Number of partitions of a topic (auto-creating it if absent).
+    pub fn partitions(&self, topic: &str) -> usize {
+        self.topic(topic).partitions.len()
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> BrokerStats {
+        BrokerStats {
+            records_in: self.inner.stats.records_in.load(Ordering::Relaxed),
+            bytes_in: self.inner.stats.bytes_in.load(Ordering::Relaxed),
+            records_out: self.inner.stats.records_out.load(Ordering::Relaxed),
+            bytes_out: self.inner.stats.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total records currently stored in a topic across partitions.
+    pub fn topic_len(&self, topic: &str) -> u64 {
+        let t = self.topic(topic);
+        t.partitions
+            .iter()
+            .map(|p| p.lock().records.len() as u64)
+            .sum()
+    }
+
+    /// Creates a producer handle.
+    pub fn producer(&self) -> Producer {
+        Producer {
+            broker: self.clone(),
+        }
+    }
+
+    /// Creates a consumer in `group` subscribed to `topics`.
+    pub fn consumer(&self, group: &str, topics: &[&str]) -> Consumer {
+        // Materialize the topics so partition counts are stable.
+        for t in topics {
+            let _ = self.topic(t);
+        }
+        Consumer {
+            broker: self.clone(),
+            group: group.to_string(),
+            topics: topics.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Appends records to topics.
+#[derive(Clone)]
+pub struct Producer {
+    broker: Broker,
+}
+
+impl Producer {
+    /// Sends a record; returns `(partition, offset)`.
+    pub fn send(
+        &self,
+        topic: &str,
+        key: Option<Vec<u8>>,
+        value: Vec<u8>,
+        timestamp: Timestamp,
+    ) -> (usize, u64) {
+        let t = self.broker.topic(topic);
+        let n = t.partitions.len();
+        let partition = match &key {
+            Some(k) => (fnv1a(k) % n as u64) as usize,
+            None => (t.round_robin.fetch_add(1, Ordering::Relaxed) % n as u64) as usize,
+        };
+        let (offset, size) = {
+            let mut p = t.partitions[partition].lock();
+            let offset = p.records.len() as u64;
+            let rec = Record {
+                offset,
+                key,
+                value,
+                timestamp,
+            };
+            let size = rec.wire_size();
+            p.records.push(rec);
+            (offset, size)
+        };
+        self.broker
+            .inner
+            .stats
+            .records_in
+            .fetch_add(1, Ordering::Relaxed);
+        self.broker
+            .inner
+            .stats
+            .bytes_in
+            .fetch_add(size, Ordering::Relaxed);
+        // Wake blocked consumers.
+        let _guard = t.signal.lock();
+        t.data_ready.notify_all();
+        (partition, offset)
+    }
+}
+
+/// Sequentially consumes records from subscribed topics.
+pub struct Consumer {
+    broker: Broker,
+    group: String,
+    topics: Vec<String>,
+}
+
+impl Consumer {
+    /// Non-blocking poll: drains up to `max` available records across
+    /// all subscribed topic-partitions, advancing group offsets.
+    pub fn poll(&self, max: usize) -> Vec<(String, Record)> {
+        let mut out = Vec::new();
+        let mut offsets = self.broker.inner.group_offsets.lock();
+        for topic_name in &self.topics {
+            let topic = self.broker.topic(topic_name);
+            for (pi, pmutex) in topic.partitions.iter().enumerate() {
+                if out.len() >= max {
+                    break;
+                }
+                let key = (self.group.clone(), topic_name.clone(), pi);
+                let start = offsets.get(&key).copied().unwrap_or(0);
+                let p = pmutex.lock();
+                let available = p.records.len() as u64;
+                let take = ((available - start.min(available)) as usize).min(max - out.len());
+                if take == 0 {
+                    continue;
+                }
+                for rec in &p.records[start as usize..start as usize + take] {
+                    self.broker
+                        .inner
+                        .stats
+                        .records_out
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.broker
+                        .inner
+                        .stats
+                        .bytes_out
+                        .fetch_add(rec.wire_size(), Ordering::Relaxed);
+                    out.push((topic_name.clone(), rec.clone()));
+                }
+                offsets.insert(key, start + take as u64);
+            }
+        }
+        out
+    }
+
+    /// Blocking poll: waits up to `timeout` for at least one record.
+    pub fn poll_blocking(&self, max: usize, timeout: Duration) -> Vec<(String, Record)> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let batch = self.poll(max);
+            if !batch.is_empty() {
+                return batch;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            // Wait on the first topic's condvar (all producers notify
+            // their own topic; a short timeout re-checks the rest).
+            let topic = self.broker.topic(&self.topics[0]);
+            let mut guard = topic.signal.lock();
+            let wait = (deadline - now).min(Duration::from_millis(10));
+            topic.data_ready.wait_for(&mut guard, wait);
+        }
+    }
+
+    /// The consumer group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn produce_consume_round_trip() {
+        let broker = Broker::new(1);
+        let producer = broker.producer();
+        let consumer = broker.consumer("g", &["answers"]);
+        producer.send("answers", None, b"a".to_vec(), ts(1));
+        producer.send("answers", None, b"b".to_vec(), ts(2));
+        let got = consumer.poll(10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1.value, b"a");
+        assert_eq!(got[1].1.value, b"b");
+        // Offsets advanced: nothing left.
+        assert!(consumer.poll(10).is_empty());
+    }
+
+    #[test]
+    fn offsets_are_per_group() {
+        let broker = Broker::new(1);
+        broker.producer().send("t", None, b"x".to_vec(), ts(1));
+        let c1 = broker.consumer("g1", &["t"]);
+        let c2 = broker.consumer("g2", &["t"]);
+        assert_eq!(c1.poll(10).len(), 1);
+        assert_eq!(c2.poll(10).len(), 1, "independent group sees the record");
+        assert!(c1.poll(10).is_empty());
+    }
+
+    #[test]
+    fn keyed_records_stick_to_partitions() {
+        let broker = Broker::new(4);
+        let producer = broker.producer();
+        let (p1, _) = producer.send("t", Some(b"alpha".to_vec()), b"1".to_vec(), ts(1));
+        let (p2, _) = producer.send("t", Some(b"alpha".to_vec()), b"2".to_vec(), ts(2));
+        assert_eq!(p1, p2, "same key must land in the same partition");
+    }
+
+    #[test]
+    fn unkeyed_records_round_robin() {
+        let broker = Broker::new(4);
+        let producer = broker.producer();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4 {
+            let (p, _) = producer.send("t", None, vec![i], ts(i as u64));
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 4, "round robin should cover all partitions");
+    }
+
+    #[test]
+    fn per_partition_order_is_preserved() {
+        let broker = Broker::new(2);
+        let producer = broker.producer();
+        for i in 0..100u8 {
+            producer.send("t", Some(b"k".to_vec()), vec![i], ts(i as u64));
+        }
+        let consumer = broker.consumer("g", &["t"]);
+        let got = consumer.poll(1000);
+        let values: Vec<u8> = got.iter().map(|(_, r)| r.value[0]).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(values, sorted, "single-key stream must stay ordered");
+        // Offsets are contiguous from zero.
+        for (i, (_, r)) in got.iter().enumerate() {
+            assert_eq!(r.offset, i as u64);
+        }
+    }
+
+    #[test]
+    fn poll_respects_max() {
+        let broker = Broker::new(1);
+        let producer = broker.producer();
+        for i in 0..10u8 {
+            producer.send("t", None, vec![i], ts(0));
+        }
+        let consumer = broker.consumer("g", &["t"]);
+        assert_eq!(consumer.poll(3).len(), 3);
+        assert_eq!(consumer.poll(3).len(), 3);
+        assert_eq!(consumer.poll(100).len(), 4);
+    }
+
+    #[test]
+    fn traffic_stats_accumulate() {
+        let broker = Broker::new(1);
+        let producer = broker.producer();
+        producer.send("t", None, vec![0u8; 100], ts(0));
+        let consumer = broker.consumer("g", &["t"]);
+        let _ = consumer.poll(10);
+        let stats = broker.stats();
+        assert_eq!(stats.records_in, 1);
+        assert_eq!(stats.records_out, 1);
+        assert_eq!(stats.bytes_in, 116); // 100 + 16 frame
+        assert_eq!(stats.bytes_out, 116);
+    }
+
+    #[test]
+    fn blocking_poll_wakes_on_data() {
+        let broker = Broker::new(1);
+        let consumer = broker.consumer("g", &["t"]);
+        let producer = broker.producer();
+        let handle = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            producer.send("t", None, b"wake".to_vec(), ts(1));
+        });
+        let got = consumer.poll_blocking(10, Duration::from_secs(5));
+        handle.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.value, b"wake");
+    }
+
+    #[test]
+    fn blocking_poll_times_out_empty() {
+        let broker = Broker::new(1);
+        let consumer = broker.consumer("g", &["empty"]);
+        let start = std::time::Instant::now();
+        let got = consumer.poll_blocking(10, Duration::from_millis(50));
+        assert!(got.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let broker = Broker::new(4);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let producer = broker.producer();
+            handles.push(thread::spawn(move || {
+                for i in 0..250u64 {
+                    producer.send("t", None, (t * 1000 + i).to_le_bytes().to_vec(), ts(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(broker.topic_len("t"), 1000);
+        let consumer = broker.consumer("g", &["t"]);
+        let mut total = 0;
+        loop {
+            let batch = consumer.poll(128);
+            if batch.is_empty() {
+                break;
+            }
+            total += batch.len();
+        }
+        assert_eq!(total, 1000);
+    }
+}

@@ -1,0 +1,198 @@
+//! Thread-per-operator pipeline helpers.
+//!
+//! The aggregator's dataflow (join → decode → window-aggregate →
+//! estimate) runs as a small pipeline of operator threads connected by
+//! bounded crossbeam channels — the same shape as a Flink task chain,
+//! minus the cluster. Operators stop when their input closes, so a
+//! pipeline drains cleanly by dropping the source sender.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Default channel capacity between operators (backpressure bound).
+pub const DEFAULT_CHANNEL_CAP: usize = 1024;
+
+/// Creates a bounded operator channel.
+pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    bounded(cap)
+}
+
+/// Spawns a map operator: applies `f` to each input and forwards it.
+///
+/// The thread ends when the input channel closes; it closes its output
+/// by dropping the sender.
+pub fn spawn_map<I, O, F>(name: &str, input: Receiver<I>, output: Sender<O>, f: F) -> JoinHandle<()>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: Fn(I) -> O + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("op-map-{name}"))
+        .spawn(move || {
+            for item in input.iter() {
+                if output.send(f(item)).is_err() {
+                    break; // downstream hung up
+                }
+            }
+        })
+        .expect("spawn map operator")
+}
+
+/// Spawns a filter-map operator: forwards `Some` results only.
+pub fn spawn_filter_map<I, O, F>(
+    name: &str,
+    input: Receiver<I>,
+    output: Sender<O>,
+    f: F,
+) -> JoinHandle<()>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: Fn(I) -> Option<O> + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("op-filtermap-{name}"))
+        .spawn(move || {
+            for item in input.iter() {
+                if let Some(out) = f(item) {
+                    if output.send(out).is_err() {
+                        break;
+                    }
+                }
+            }
+        })
+        .expect("spawn filter-map operator")
+}
+
+/// Spawns a stateful operator: `f` may emit any number of outputs per
+/// input through the provided sender, and owns mutable state across
+/// inputs (the shape used for joins and windowed folds).
+pub fn spawn_stateful<I, O, S, F>(
+    name: &str,
+    input: Receiver<I>,
+    output: Sender<O>,
+    state: S,
+    f: F,
+) -> JoinHandle<()>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    S: Send + 'static,
+    F: Fn(&mut S, I, &Sender<O>) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("op-stateful-{name}"))
+        .spawn(move || {
+            let mut state = state;
+            for item in input.iter() {
+                f(&mut state, item, &output);
+            }
+        })
+        .expect("spawn stateful operator")
+}
+
+/// Spawns a sink that folds every input into a final value, returned
+/// through the join handle.
+pub fn spawn_sink<I, A, F>(name: &str, input: Receiver<I>, init: A, f: F) -> JoinHandle<A>
+where
+    I: Send + 'static,
+    A: Send + 'static,
+    F: Fn(&mut A, I) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("op-sink-{name}"))
+        .spawn(move || {
+            let mut acc = init;
+            for item in input.iter() {
+                f(&mut acc, item);
+            }
+            acc
+        })
+        .expect("spawn sink operator")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_pipeline_transforms_everything() {
+        let (src, rx) = channel::<u64>(8);
+        let (tx2, rx2) = channel::<u64>(8);
+        let h1 = spawn_map("double", rx, tx2, |x| x * 2);
+        let sink = spawn_sink("sum", rx2, 0u64, |acc, x| *acc += x);
+        for i in 1..=100 {
+            src.send(i).unwrap();
+        }
+        drop(src);
+        h1.join().unwrap();
+        assert_eq!(sink.join().unwrap(), 2 * (100 * 101) / 2);
+    }
+
+    #[test]
+    fn filter_map_drops_nones() {
+        let (src, rx) = channel::<u64>(8);
+        let (tx2, rx2) = channel::<u64>(8);
+        let h = spawn_filter_map("odd", rx, tx2, |x| if x % 2 == 1 { Some(x) } else { None });
+        let sink = spawn_sink("count", rx2, 0u64, |acc, _| *acc += 1);
+        for i in 0..10 {
+            src.send(i).unwrap();
+        }
+        drop(src);
+        h.join().unwrap();
+        assert_eq!(sink.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn stateful_operator_can_fan_out() {
+        // Emit the running count after every input, plus a flush of
+        // nothing at the end (state dropped with the thread).
+        let (src, rx) = channel::<u8>(8);
+        let (tx2, rx2) = channel::<u64>(8);
+        let h = spawn_stateful("counter", rx, tx2, 0u64, |count, _item, out| {
+            *count += 1;
+            let _ = out.send(*count);
+        });
+        let sink = spawn_sink("collect", rx2, Vec::new(), |v: &mut Vec<u64>, x| v.push(x));
+        for _ in 0..4 {
+            src.send(0).unwrap();
+        }
+        drop(src);
+        h.join().unwrap();
+        assert_eq!(sink.join().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pipeline_drains_on_source_close() {
+        // Three-stage chain; everything joins cleanly when the source
+        // closes — no deadlocks with bounded channels.
+        let (src, rx) = channel::<u64>(2);
+        let (tx2, rx2) = channel::<u64>(2);
+        let (tx3, rx3) = channel::<u64>(2);
+        let h1 = spawn_map("a", rx, tx2, |x| x + 1);
+        let h2 = spawn_map("b", rx2, tx3, |x| x * 10);
+        let sink = spawn_sink("last", rx3, 0u64, |acc, x| *acc = x);
+        for i in 0..1000 {
+            src.send(i).unwrap();
+        }
+        drop(src);
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert_eq!(sink.join().unwrap(), 10_000);
+    }
+
+    #[test]
+    fn downstream_hangup_stops_upstream() {
+        let (src, rx) = channel::<u64>(1);
+        let (tx2, rx2) = channel::<u64>(1);
+        let h = spawn_map("into-void", rx, tx2, |x| x);
+        drop(rx2); // sink goes away
+                   // The operator must exit rather than block forever.
+        let _ = src.send(1);
+        let _ = src.send(2);
+        let _ = src.send(3);
+        drop(src);
+        h.join().unwrap();
+    }
+}

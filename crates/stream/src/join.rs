@@ -1,0 +1,293 @@
+//! The MID-keyed share join (paper §3.2.4, first step).
+//!
+//! "At the aggregator, all data streams (⟨MID, M_E⟩ and ⟨MID, MKᵢ⟩)
+//! are received, and can be joined together … the associated M_E and
+//! MKᵢ are paired by using the message identifier MID." The joiner
+//! buffers shares until all `n` arrive, then emits the XOR combination.
+//! Incomplete groups are evicted after a timeout (a proxy may have
+//! dropped a share); groups that receive *more* than `n` shares are
+//! flagged — that is the duplicate-answer defence the paper addresses
+//! with triple splitting.
+
+use privapprox_types::{MessageId, Timestamp};
+use std::collections::HashMap;
+
+/// Outcome of offering one share to the joiner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinOutcome {
+    /// Still waiting for more shares of this MID.
+    Pending,
+    /// All `n` shares arrived: the XOR-combined message.
+    Complete(Vec<u8>),
+    /// More than `n` shares arrived for this MID — a duplicate or
+    /// forgery; the MID is quarantined and the message dropped.
+    Duplicate,
+    /// Share length differed from earlier shares of the same MID.
+    Malformed,
+}
+
+struct Pending {
+    acc: Vec<u8>,
+    /// Bitmask of source (proxy) indices already seen for this MID.
+    seen: u64,
+    first_seen: Timestamp,
+}
+
+/// Joins XOR shares by message identifier.
+pub struct MidJoiner {
+    expected: usize,
+    timeout: u64,
+    pending: HashMap<MessageId, Pending>,
+    quarantined: HashMap<MessageId, Timestamp>,
+    /// Counters for observability/tests.
+    completed: u64,
+    expired: u64,
+    duplicates: u64,
+}
+
+impl MidJoiner {
+    /// Creates a joiner expecting `n` shares per message, evicting
+    /// incomplete groups `timeout_ms` after their first share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, timeout_ms: u64) -> MidJoiner {
+        assert!(n >= 2, "XOR join needs at least 2 shares");
+        MidJoiner {
+            expected: n,
+            timeout: timeout_ms,
+            pending: HashMap::new(),
+            quarantined: HashMap::new(),
+            completed: 0,
+            expired: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Offers one share observed at `now` from proxy stream `source`
+    /// (`0 ≤ source < n`).
+    ///
+    /// Provenance matters: a message's shares must arrive one per
+    /// proxy, so a second share from the same source under the same
+    /// MID is an adversarial replay and is rejected before it can
+    /// XOR-poison the accumulator.
+    pub fn offer(
+        &mut self,
+        mid: MessageId,
+        source: usize,
+        payload: &[u8],
+        now: Timestamp,
+    ) -> JoinOutcome {
+        if source >= self.expected {
+            return JoinOutcome::Malformed;
+        }
+        if self.quarantined.contains_key(&mid) {
+            self.duplicates += 1;
+            return JoinOutcome::Duplicate;
+        }
+        let entry = self.pending.entry(mid).or_insert_with(|| Pending {
+            acc: vec![0u8; payload.len()],
+            seen: 0,
+            first_seen: now,
+        });
+        if entry.seen & (1 << source) != 0 {
+            self.duplicates += 1;
+            return JoinOutcome::Duplicate;
+        }
+        if entry.acc.len() != payload.len() {
+            // Remove the poisoned group entirely.
+            self.pending.remove(&mid);
+            self.quarantined.insert(mid, now);
+            return JoinOutcome::Malformed;
+        }
+        for (a, b) in entry.acc.iter_mut().zip(payload) {
+            *a ^= *b;
+        }
+        entry.seen |= 1 << source;
+        if entry.seen.count_ones() as usize == self.expected {
+            let done = self.pending.remove(&mid).expect("present");
+            self.completed += 1;
+            // Remember the MID briefly so late duplicates are caught.
+            self.quarantined.insert(mid, now);
+            JoinOutcome::Complete(done.acc)
+        } else {
+            JoinOutcome::Pending
+        }
+    }
+
+    /// Evicts groups whose first share is older than the timeout, and
+    /// expires old quarantine entries. Returns the number of pending
+    /// groups dropped.
+    pub fn sweep(&mut self, now: Timestamp) -> usize {
+        let timeout = self.timeout;
+        let before = self.pending.len();
+        self.pending
+            .retain(|_, p| now.0.saturating_sub(p.first_seen.0) < timeout);
+        let dropped = before - self.pending.len();
+        self.expired += dropped as u64;
+        // Quarantine horizon: 4× the join timeout.
+        self.quarantined
+            .retain(|_, t| now.0.saturating_sub(t.0) < timeout.saturating_mul(4));
+        dropped
+    }
+
+    /// Number of messages fully joined so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of pending groups evicted by timeouts.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Number of shares rejected as duplicates.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Current number of incomplete groups (memory watermark).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privapprox_crypto::XorSplitter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn joins_two_shares_into_the_message() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let splitter = XorSplitter::new(2);
+        let msg = b"QID+answer".to_vec();
+        let shares = splitter.split(&msg, &mut rng);
+        let mut joiner = MidJoiner::new(2, 1000);
+        assert_eq!(
+            joiner.offer(shares[0].mid, 0, &shares[0].payload, ts(0)),
+            JoinOutcome::Pending
+        );
+        assert_eq!(
+            joiner.offer(shares[1].mid, 1, &shares[1].payload, ts(1)),
+            JoinOutcome::Complete(msg)
+        );
+        assert_eq!(joiner.completed(), 1);
+    }
+
+    #[test]
+    fn join_order_does_not_matter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let splitter = XorSplitter::new(3);
+        let msg = vec![7u8; 40];
+        let shares = splitter.split(&msg, &mut rng);
+        let mut joiner = MidJoiner::new(3, 1000);
+        assert_eq!(
+            joiner.offer(shares[2].mid, 2, &shares[2].payload, ts(0)),
+            JoinOutcome::Pending
+        );
+        assert_eq!(
+            joiner.offer(shares[0].mid, 0, &shares[0].payload, ts(0)),
+            JoinOutcome::Pending
+        );
+        assert_eq!(
+            joiner.offer(shares[1].mid, 1, &shares[1].payload, ts(0)),
+            JoinOutcome::Complete(msg)
+        );
+    }
+
+    #[test]
+    fn interleaved_messages_join_independently() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let splitter = XorSplitter::new(2);
+        let m1 = b"first".to_vec();
+        let m2 = b"second!".to_vec();
+        let s1 = splitter.split(&m1, &mut rng);
+        let s2 = splitter.split(&m2, &mut rng);
+        let mut joiner = MidJoiner::new(2, 1000);
+        joiner.offer(s1[0].mid, 0, &s1[0].payload, ts(0));
+        joiner.offer(s2[0].mid, 0, &s2[0].payload, ts(0));
+        assert_eq!(
+            joiner.offer(s2[1].mid, 1, &s2[1].payload, ts(1)),
+            JoinOutcome::Complete(m2)
+        );
+        assert_eq!(
+            joiner.offer(s1[1].mid, 1, &s1[1].payload, ts(1)),
+            JoinOutcome::Complete(m1)
+        );
+    }
+
+    #[test]
+    fn extra_share_after_completion_is_a_duplicate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let splitter = XorSplitter::new(2);
+        let shares = splitter.split(b"msg", &mut rng);
+        let mut joiner = MidJoiner::new(2, 1000);
+        joiner.offer(shares[0].mid, 0, &shares[0].payload, ts(0));
+        joiner.offer(shares[1].mid, 1, &shares[1].payload, ts(0));
+        // A replayed share (adversarial client answering many times).
+        assert_eq!(
+            joiner.offer(shares[0].mid, 0, &shares[0].payload, ts(1)),
+            JoinOutcome::Duplicate
+        );
+        assert_eq!(joiner.duplicates(), 1);
+    }
+
+    #[test]
+    fn mismatched_lengths_quarantine_the_mid() {
+        let mid = MessageId(42);
+        let mut joiner = MidJoiner::new(2, 1000);
+        assert_eq!(
+            joiner.offer(mid, 0, &[1, 2, 3], ts(0)),
+            JoinOutcome::Pending
+        );
+        assert_eq!(joiner.offer(mid, 1, &[1, 2], ts(0)), JoinOutcome::Malformed);
+        // Subsequent shares with that MID are rejected too.
+        assert_eq!(
+            joiner.offer(mid, 0, &[9, 9, 9], ts(1)),
+            JoinOutcome::Duplicate
+        );
+    }
+
+    #[test]
+    fn sweep_evicts_stale_groups() {
+        let mut joiner = MidJoiner::new(2, 100);
+        joiner.offer(MessageId(1), 0, &[1], ts(0));
+        joiner.offer(MessageId(2), 0, &[2], ts(90));
+        assert_eq!(joiner.pending_len(), 2);
+        let dropped = joiner.sweep(ts(150));
+        assert_eq!(dropped, 1, "only the old group expires");
+        assert_eq!(joiner.pending_len(), 1);
+        assert_eq!(joiner.expired(), 1);
+        // The evicted message can never complete now.
+        assert_eq!(
+            joiner.offer(MessageId(1), 0, &[1], ts(151)),
+            JoinOutcome::Pending
+        );
+    }
+
+    #[test]
+    fn quarantine_expires_eventually() {
+        let mut joiner = MidJoiner::new(2, 100);
+        let mid = MessageId(7);
+        joiner.offer(mid, 0, &[1], ts(0));
+        joiner.offer(mid, 1, &[1], ts(0)); // completes (XOR = 0)
+        assert_eq!(joiner.offer(mid, 0, &[1], ts(1)), JoinOutcome::Duplicate);
+        // After 4× timeout the quarantine entry ages out.
+        joiner.sweep(ts(500));
+        assert_eq!(joiner.offer(mid, 0, &[1], ts(501)), JoinOutcome::Pending);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_share_join_rejected() {
+        let _ = MidJoiner::new(1, 100);
+    }
+}

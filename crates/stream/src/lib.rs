@@ -1,0 +1,27 @@
+//! Stream-processing substrate: the Kafka + Flink stand-in.
+//!
+//! PrivApprox's proxies are "implemented … based on Apache Kafka" as
+//! plain pub/sub relays over two topics (`key` and `answer`), and its
+//! aggregator runs on Apache Flink using exactly three streaming
+//! features: a keyed two-stream join (by message id), sliding-window
+//! assignment, and windowed aggregation (paper §5). This crate
+//! implements those pieces natively:
+//!
+//! * [`broker`] — an in-process, thread-safe topic/partition/offset
+//!   log with producers, consumer groups, blocking polls, and byte
+//!   accounting (the Figure 9a traffic numbers come from here);
+//! * [`join`] — the MID-keyed share joiner with timeout eviction and
+//!   duplicate-defence;
+//! * [`window`] — event-time sliding-window folding with watermarks
+//!   and allowed lateness;
+//! * [`dataflow`] — small thread-per-operator pipeline helpers over
+//!   crossbeam channels.
+
+pub mod broker;
+pub mod dataflow;
+pub mod join;
+pub mod window;
+
+pub use broker::{Broker, BrokerStats, Consumer, Producer, Record};
+pub use join::{JoinOutcome, MidJoiner};
+pub use window::WindowedFold;

@@ -1,0 +1,259 @@
+//! Event-time sliding-window folding with watermarks.
+//!
+//! "The joined answer stream is processed to produce the query results
+//! as a sliding window. For each window, the aggregator first adapts
+//! the computation window to the current start time t by removing all
+//! old data items … then adds the newly incoming data items … The
+//! entire process is repeated for every window" (paper §3.2.4).
+//!
+//! [`WindowedFold`] assigns each event to its `⌈w/δ⌉` sliding windows,
+//! folds it into a per-window accumulator, and emits finalized windows
+//! when the watermark passes their end (plus allowed lateness). Events
+//! older than the watermark are counted as late and dropped, matching
+//! the paper's removal of old data items.
+
+use privapprox_types::{Millis, Timestamp, Window, WindowSpec};
+use std::collections::BTreeMap;
+
+/// An event-time sliding-window fold over values of type `V` into
+/// per-window accumulators `A`.
+pub struct WindowedFold<V, A, Init, Fold>
+where
+    Init: Fn() -> A,
+    Fold: Fn(&mut A, V),
+{
+    spec: WindowSpec,
+    init: Init,
+    fold: Fold,
+    allowed_lateness: Millis,
+    watermark: Timestamp,
+    /// Open windows keyed by start time (BTreeMap keeps emission in
+    /// window order).
+    open: BTreeMap<Timestamp, A>,
+    late_events: u64,
+    _marker: core::marker::PhantomData<V>,
+}
+
+impl<V, A, Init, Fold> WindowedFold<V, A, Init, Fold>
+where
+    Init: Fn() -> A,
+    Fold: Fn(&mut A, V),
+{
+    /// Creates a windowed fold.
+    pub fn new(spec: WindowSpec, allowed_lateness: Millis, init: Init, fold: Fold) -> Self {
+        WindowedFold {
+            spec,
+            init,
+            fold,
+            allowed_lateness,
+            watermark: Timestamp(0),
+            open: BTreeMap::new(),
+            late_events: 0,
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Feeds one event. Returns `false` if the event was dropped as
+    /// late (its newest containing window already closed).
+    pub fn push(&mut self, ts: Timestamp, value: V) -> bool
+    where
+        V: Clone,
+    {
+        let windows = self.spec.assign(ts);
+        // Late if even the latest window containing ts has been
+        // emitted already.
+        let newest_end = windows.last().map(|w| w.end).unwrap_or(Timestamp(0));
+        if newest_end.0 + self.allowed_lateness <= self.watermark.0 {
+            self.late_events += 1;
+            return false;
+        }
+        for w in windows {
+            // Skip windows that individually closed already.
+            if w.end.0 + self.allowed_lateness <= self.watermark.0 {
+                continue;
+            }
+            let acc = self.open.entry(w.start).or_insert_with(&self.init);
+            (self.fold)(acc, value.clone());
+        }
+        true
+    }
+
+    /// Advances the watermark, emitting every window whose end (plus
+    /// lateness) is now behind it, in start order.
+    pub fn advance_watermark(&mut self, to: Timestamp) -> Vec<(Window, A)> {
+        if to.0 <= self.watermark.0 {
+            return Vec::new();
+        }
+        self.watermark = to;
+        let mut emitted = Vec::new();
+        let closes: Vec<Timestamp> = self
+            .open
+            .keys()
+            .copied()
+            .filter(|start| start.0 + self.spec.size + self.allowed_lateness <= to.0)
+            .collect();
+        for start in closes {
+            let acc = self.open.remove(&start).expect("key just listed");
+            emitted.push((Window::of(start, self.spec.size), acc));
+        }
+        emitted
+    }
+
+    /// Current watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Number of events dropped as late.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Number of currently open windows (memory watermark).
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Tracks the minimum watermark across several input sources (the
+/// aggregator consumes one stream per proxy and must not close windows
+/// until *all* proxies have passed them).
+#[derive(Debug, Clone)]
+pub struct WatermarkTracker {
+    sources: Vec<Timestamp>,
+}
+
+impl WatermarkTracker {
+    /// Creates a tracker for `n` sources, all starting at zero.
+    pub fn new(n: usize) -> WatermarkTracker {
+        assert!(n > 0, "need at least one source");
+        WatermarkTracker {
+            sources: vec![Timestamp(0); n],
+        }
+    }
+
+    /// Updates source `i`'s watermark (monotonic: regressions ignored)
+    /// and returns the combined (minimum) watermark.
+    pub fn update(&mut self, i: usize, ts: Timestamp) -> Timestamp {
+        if ts.0 > self.sources[i].0 {
+            self.sources[i] = ts;
+        }
+        self.combined()
+    }
+
+    /// The minimum across sources.
+    pub fn combined(&self) -> Timestamp {
+        *self.sources.iter().min().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_fold(
+        spec: WindowSpec,
+        lateness: Millis,
+    ) -> WindowedFold<u64, u64, impl Fn() -> u64, impl Fn(&mut u64, u64)> {
+        WindowedFold::new(spec, lateness, || 0u64, |acc, v| *acc += v)
+    }
+
+    #[test]
+    fn tumbling_counts_per_window() {
+        let mut wf = counter_fold(WindowSpec::tumbling(100), 0);
+        for t in [5u64, 20, 99, 100, 150, 250] {
+            assert!(wf.push(Timestamp(t), 1));
+        }
+        let emitted = wf.advance_watermark(Timestamp(300));
+        assert_eq!(emitted.len(), 3);
+        assert_eq!(emitted[0].0, Window::of(Timestamp(0), 100));
+        assert_eq!(emitted[0].1, 3);
+        assert_eq!(emitted[1].1, 2);
+        assert_eq!(emitted[2].1, 1);
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        // w=100, δ=50: event at t=120 lands in [50,150) and [100,200).
+        let mut wf = counter_fold(WindowSpec::sliding(100, 50), 0);
+        wf.push(Timestamp(120), 1);
+        let emitted = wf.advance_watermark(Timestamp(500));
+        assert_eq!(emitted.len(), 2);
+        assert_eq!(emitted[0].0.start, Timestamp(50));
+        assert_eq!(emitted[1].0.start, Timestamp(100));
+        assert!(emitted.iter().all(|(_, c)| *c == 1));
+    }
+
+    #[test]
+    fn emission_is_ordered_and_once() {
+        let mut wf = counter_fold(WindowSpec::sliding(100, 25), 0);
+        for t in 0..300u64 {
+            wf.push(Timestamp(t), 1);
+        }
+        let first = wf.advance_watermark(Timestamp(200));
+        let starts: Vec<u64> = first.iter().map(|(w, _)| w.start.0).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "emitted in start order");
+        // Re-advancing to the same watermark emits nothing.
+        assert!(wf.advance_watermark(Timestamp(200)).is_empty());
+        // Full interior windows count exactly w events.
+        for (w, c) in &first {
+            if w.start.0 >= 100 {
+                assert_eq!(*c, 100, "window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn late_events_are_dropped_and_counted() {
+        let mut wf = counter_fold(WindowSpec::tumbling(100), 0);
+        wf.push(Timestamp(50), 1);
+        wf.advance_watermark(Timestamp(200));
+        assert!(!wf.push(Timestamp(50), 1), "event behind watermark");
+        assert_eq!(wf.late_events(), 1);
+    }
+
+    #[test]
+    fn allowed_lateness_keeps_windows_open() {
+        let mut wf = counter_fold(WindowSpec::tumbling(100), 50);
+        wf.push(Timestamp(50), 1);
+        // Watermark at 120: window [0,100) would close without
+        // lateness, but lateness 50 holds it until 150.
+        assert!(wf.advance_watermark(Timestamp(120)).is_empty());
+        assert!(wf.push(Timestamp(60), 1), "late-but-allowed event");
+        let emitted = wf.advance_watermark(Timestamp(151));
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].1, 2, "late event included");
+    }
+
+    #[test]
+    fn watermark_never_regresses() {
+        let mut wf = counter_fold(WindowSpec::tumbling(10), 0);
+        wf.advance_watermark(Timestamp(100));
+        assert!(wf.advance_watermark(Timestamp(50)).is_empty());
+        assert_eq!(wf.watermark(), Timestamp(100));
+    }
+
+    #[test]
+    fn open_window_count_is_bounded_by_activity() {
+        let mut wf = counter_fold(WindowSpec::sliding(100, 25), 0);
+        for t in 0..1000u64 {
+            wf.push(Timestamp(t), 1);
+            if t % 100 == 0 {
+                wf.advance_watermark(Timestamp(t));
+            }
+        }
+        // Open windows: only those overlapping [watermark−w, now].
+        assert!(wf.open_windows() <= 10, "open {}", wf.open_windows());
+    }
+
+    #[test]
+    fn tracker_takes_the_minimum() {
+        let mut t = WatermarkTracker::new(2);
+        assert_eq!(t.update(0, Timestamp(100)), Timestamp(0));
+        assert_eq!(t.update(1, Timestamp(60)), Timestamp(60));
+        assert_eq!(t.update(0, Timestamp(50)), Timestamp(60), "no regression");
+        assert_eq!(t.update(1, Timestamp(200)), Timestamp(100));
+    }
+}

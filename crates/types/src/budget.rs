@@ -1,0 +1,174 @@
+//! Query execution budgets and the derived system parameters.
+//!
+//! "Analysts publish streaming queries to the system, and also specify
+//! a query execution budget … either in the form of latency
+//! guarantees/SLAs, output quality/accuracy, or the computing resources
+//! for query processing" (paper §2.1). The aggregator's initializer
+//! converts a budget into the sampling parameter `s` and the
+//! randomization parameters `(p, q)` (§3.1, §5); the conversion logic
+//! itself lives in `privapprox-core::initializer` — this module only
+//! defines the vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Millis;
+
+/// An analyst-specified query execution budget (paper §2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Budget {
+    /// Latency SLA: each windowed result must be produced within the
+    /// given number of milliseconds.
+    LatencySla(Millis),
+    /// Output-quality target: the half-width of the confidence
+    /// interval, relative to the estimate, must stay below
+    /// `target_error` at the given `confidence` level (e.g. 0.05 at
+    /// 0.95).
+    Accuracy {
+        /// Maximum tolerated relative error.
+        target_error: f64,
+        /// Confidence level in (0, 1), typically 0.95.
+        confidence: f64,
+    },
+    /// Resource cap: at most this many client answers may be processed
+    /// per window (drives the sampling parameter directly).
+    Resources {
+        /// Maximum answers per window the aggregator may ingest.
+        max_answers_per_window: u64,
+    },
+}
+
+impl Budget {
+    /// A conventional default: 5 % relative error at 95 % confidence.
+    pub fn default_accuracy() -> Budget {
+        Budget::Accuracy {
+            target_error: 0.05,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// The system parameters the initializer derives from a budget:
+/// sampling fraction `s` and randomization coin biases `(p, q)`
+/// (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionParams {
+    /// Sampling parameter: probability that a client participates in a
+    /// given epoch (§3.2.1).
+    pub s: f64,
+    /// First-coin bias: probability of answering truthfully (§3.2.2).
+    pub p: f64,
+    /// Second-coin bias: probability of answering "Yes" when lying.
+    pub q: f64,
+}
+
+impl ExecutionParams {
+    /// Creates parameters, validating each lies in its legal range.
+    ///
+    /// `s ∈ (0, 1]`, `p ∈ (0, 1]`, `q ∈ (0, 1)`. `p = 1` disables
+    /// randomization (used by the error-decomposition experiments);
+    /// `q` must avoid 0 and 1 or Equation 8's ε diverges trivially.
+    pub fn new(s: f64, p: f64, q: f64) -> Result<ExecutionParams, ParamError> {
+        if !(s > 0.0 && s <= 1.0) {
+            return Err(ParamError::Sampling(s));
+        }
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(ParamError::FirstCoin(p));
+        }
+        if !(q > 0.0 && q < 1.0) {
+            return Err(ParamError::SecondCoin(q));
+        }
+        Ok(ExecutionParams { s, p, q })
+    }
+
+    /// Unvalidated constructor for compile-time-known constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid values (same domain as [`ExecutionParams::new`]).
+    pub fn checked(s: f64, p: f64, q: f64) -> ExecutionParams {
+        ExecutionParams::new(s, p, q).expect("invalid execution parameters")
+    }
+}
+
+impl Default for ExecutionParams {
+    /// The paper's most common microbenchmark setting:
+    /// `s = 0.6, p = 0.6, q = 0.6`.
+    fn default() -> Self {
+        ExecutionParams {
+            s: 0.6,
+            p: 0.6,
+            q: 0.6,
+        }
+    }
+}
+
+/// Rejection reasons for out-of-range execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamError {
+    /// `s` outside (0, 1].
+    Sampling(f64),
+    /// `p` outside (0, 1].
+    FirstCoin(f64),
+    /// `q` outside (0, 1).
+    SecondCoin(f64),
+}
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParamError::Sampling(s) => write!(f, "sampling parameter s={s} outside (0, 1]"),
+            ParamError::FirstCoin(p) => write!(f, "randomization parameter p={p} outside (0, 1]"),
+            ParamError::SecondCoin(q) => write!(f, "randomization parameter q={q} outside (0, 1)"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_accepted() {
+        let p = ExecutionParams::new(0.6, 0.9, 0.3).unwrap();
+        assert_eq!(p.s, 0.6);
+        assert_eq!(p.p, 0.9);
+        assert_eq!(p.q, 0.3);
+    }
+
+    #[test]
+    fn boundary_params() {
+        assert!(ExecutionParams::new(1.0, 1.0, 0.5).is_ok());
+        assert!(ExecutionParams::new(0.0, 0.5, 0.5).is_err());
+        assert!(ExecutionParams::new(0.5, 0.0, 0.5).is_err());
+        assert!(ExecutionParams::new(0.5, 0.5, 0.0).is_err());
+        assert!(ExecutionParams::new(0.5, 0.5, 1.0).is_err());
+        assert!(ExecutionParams::new(1.1, 0.5, 0.5).is_err());
+        assert!(ExecutionParams::new(f64::NAN, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_offender() {
+        let e = ExecutionParams::new(2.0, 0.5, 0.5).unwrap_err();
+        assert!(e.to_string().contains("s=2"));
+        let e = ExecutionParams::new(0.5, 2.0, 0.5).unwrap_err();
+        assert!(e.to_string().contains("p=2"));
+        let e = ExecutionParams::new(0.5, 0.5, 2.0).unwrap_err();
+        assert!(e.to_string().contains("q=2"));
+    }
+
+    #[test]
+    fn default_budget_is_95_confidence() {
+        match Budget::default_accuracy() {
+            Budget::Accuracy {
+                target_error,
+                confidence,
+            } => {
+                assert_eq!(target_error, 0.05);
+                assert_eq!(confidence, 0.95);
+            }
+            other => panic!("unexpected default budget {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the shared types.
+
+use privapprox_types::query::like_match;
+use privapprox_types::{BitVec, Timestamp, WindowSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Byte serialization round-trips for arbitrary bit patterns and
+    /// lengths.
+    #[test]
+    fn bitvec_bytes_round_trip(bits in proptest::collection::vec(any::<bool>(), 1..512)) {
+        let v = BitVec::from_bools(bits.iter().copied());
+        let bytes = v.to_bytes();
+        let back = BitVec::from_bytes(bits.len(), &bytes).expect("round trip");
+        prop_assert_eq!(back, v);
+    }
+
+    /// XOR is an involution: (a ⊕ k) ⊕ k = a, for any equal lengths.
+    #[test]
+    fn bitvec_xor_involution(
+        a in proptest::collection::vec(any::<bool>(), 1..256),
+        seed in any::<u64>(),
+    ) {
+        let v = BitVec::from_bools(a.iter().copied());
+        // Derive a key of the same length from the seed.
+        let key = BitVec::from_bools((0..a.len()).map(|i| {
+            (seed.rotate_left((i % 64) as u32) ^ i as u64) & 1 == 1
+        }));
+        let enc = v.xor(&key);
+        prop_assert_eq!(enc.xor(&key), v);
+    }
+
+    /// count_ones equals the number of true inputs.
+    #[test]
+    fn bitvec_count_ones_matches(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        if bits.is_empty() {
+            return Ok(()); // zero-length vectors are not constructible from_bools? they are; check anyway
+        }
+        let v = BitVec::from_bools(bits.iter().copied());
+        prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    /// Every window assigned to an event contains it, the count is
+    /// ⌈w/δ⌉ (away from the origin), and no containing window is
+    /// missed.
+    #[test]
+    fn window_assignment_invariants(
+        size in 1u64..1000,
+        slide_frac in 1u64..1000,
+        t in 0u64..100_000,
+    ) {
+        let slide = (slide_frac % size).max(1);
+        let spec = WindowSpec::sliding(size, slide);
+        let ts = Timestamp(t);
+        let windows = spec.assign(ts);
+        for w in &windows {
+            prop_assert!(w.contains(ts), "window {w} must contain t={t}");
+            prop_assert_eq!(w.size(), size);
+            prop_assert_eq!(w.start.0 % slide, 0);
+        }
+        // Count, away from the origin: ⌈w/δ⌉ when δ divides w;
+        // otherwise alignment decides between ⌊w/δ⌋ and ⌈w/δ⌉.
+        if t >= size {
+            let hi = spec.windows_per_event();
+            let lo = (size / slide).max(1) as usize;
+            prop_assert!(
+                (lo..=hi).contains(&windows.len()),
+                "len {} outside [{lo}, {hi}]",
+                windows.len()
+            );
+            if size % slide == 0 {
+                prop_assert_eq!(windows.len(), hi);
+            }
+        }
+        // Starts strictly increase by slide.
+        for pair in windows.windows(2) {
+            prop_assert_eq!(pair[1].start.0 - pair[0].start.0, slide);
+        }
+    }
+
+    /// LIKE with no wildcards is exact string equality.
+    #[test]
+    fn like_without_wildcards_is_equality(s in "[a-z]{0,12}", t in "[a-z]{0,12}") {
+        prop_assert_eq!(like_match(&s, &t), s == t);
+    }
+
+    /// `%s%` matches exactly the strings containing `s`.
+    #[test]
+    fn like_contains_semantics(needle in "[a-z]{1,5}", hay in "[a-z]{0,20}") {
+        let pattern = format!("%{needle}%");
+        prop_assert_eq!(like_match(&pattern, &hay), hay.contains(&needle));
+    }
+
+    /// `s%` is prefix matching; `%s` is suffix matching.
+    #[test]
+    fn like_prefix_suffix_semantics(affix in "[a-z]{1,5}", hay in "[a-z]{0,20}") {
+        prop_assert_eq!(like_match(&format!("{affix}%"), &hay), hay.starts_with(&affix));
+        prop_assert_eq!(like_match(&format!("%{affix}"), &hay), hay.ends_with(&affix));
+    }
+
+    /// `_` consumes exactly one character.
+    #[test]
+    fn like_underscore_counts_length(hay in "[a-z]{0,10}") {
+        let pattern = "_".repeat(hay.chars().count());
+        prop_assert!(like_match(&pattern, &hay));
+        let longer = "_".repeat(hay.chars().count() + 1);
+        prop_assert!(!like_match(&longer, &hay));
+    }
+}

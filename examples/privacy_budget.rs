@@ -1,0 +1,108 @@
+//! Exploring the privacy/utility/latency trade-off space (paper §2.1,
+//! §3.1): how the initializer turns analyst budgets into `(s, p, q)`,
+//! and what each choice costs.
+//!
+//! Run with: `cargo run --release --example privacy_budget`
+
+use privapprox::core::initializer::Initializer;
+use privapprox::core::system::System;
+use privapprox::rr::privacy::epsilon_zk;
+use privapprox::types::{AnswerSpec, Budget};
+
+const CLIENTS: u64 = 50_000;
+
+fn main() {
+    println!("population: {CLIENTS} clients\n");
+
+    // 1. How different budgets translate into system parameters.
+    println!("budget → derived parameters");
+    println!(
+        "{:>44}  {:>7}  {:>5}  {:>5}  {:>7}",
+        "budget", "s", "p", "q", "ε_zk"
+    );
+    let budgets: Vec<(String, Budget)> = vec![
+        (
+            "accuracy ±5% @95%".into(),
+            Budget::Accuracy {
+                target_error: 0.05,
+                confidence: 0.95,
+            },
+        ),
+        (
+            "accuracy ±1% @99%".into(),
+            Budget::Accuracy {
+                target_error: 0.01,
+                confidence: 0.99,
+            },
+        ),
+        ("latency SLA 100ms".into(), Budget::LatencySla(100)),
+        ("latency SLA 1s".into(), Budget::LatencySla(1_000)),
+        (
+            "resources ≤10k answers".into(),
+            Budget::Resources {
+                max_answers_per_window: 10_000,
+            },
+        ),
+    ];
+    let init = Initializer::new();
+    for (label, budget) in &budgets {
+        match init.derive(budget, CLIENTS) {
+            Ok(p) => println!(
+                "{label:>44}  {:>7.4}  {:>5.2}  {:>5.2}  {:>7.3}",
+                p.s,
+                p.p,
+                p.q,
+                epsilon_zk(p.s, p.p, p.q)
+            ),
+            Err(e) => println!("{label:>44}  infeasible: {e}"),
+        }
+    }
+
+    // 2. A privacy ceiling re-shapes the parameters: ask for ε_zk ≤ 1
+    //    while demanding the full population.
+    println!("\nwith a privacy ceiling of ε_zk ≤ 1.0 at full sampling:");
+    let strict = Initializer::new().with_max_epsilon_zk(1.0);
+    let p = strict
+        .derive(
+            &Budget::Resources {
+                max_answers_per_window: CLIENTS,
+            },
+            CLIENTS,
+        )
+        .expect("feasible");
+    println!(
+        "  s = {:.2}, p = {:.3}, q = {:.2} → ε_zk = {:.3}",
+        p.s,
+        p.p,
+        p.q,
+        epsilon_zk(p.s, p.p, p.q)
+    );
+
+    // 3. Measure what that privacy actually costs in utility.
+    println!("\nutility at each operating point (60%-yes synthetic data):");
+    let mut points = vec![("default (0.9, 0.6), s=0.6", 0.6, 0.9, 0.6)];
+    points.push(("privacy-capped", 1.0, p.p, p.q));
+    for (label, s, pp, q) in points {
+        let mut system = System::builder()
+            .clients(CLIENTS)
+            .proxies(2)
+            .seed(1)
+            .build();
+        system.load_numeric_column("data", "v", |i| if i % 10 < 6 { 1.0 } else { 3.0 });
+        let query = system
+            .analyst()
+            .query("SELECT v FROM data")
+            .buckets(AnswerSpec::ranges_with_overflow(0.0, 4.0, 2))
+            .params(privapprox::types::ExecutionParams::checked(s, pp, q))
+            .submit()
+            .expect("accepted");
+        let result = system.run_epoch(&query).expect("ran");
+        let truth = 0.6 * CLIENTS as f64;
+        let est = result.buckets[0].estimate;
+        println!(
+            "  {label}: estimate {est:.0} vs truth {truth:.0} (loss {:.2}%), ε_zk = {:.3}",
+            100.0 * (est - truth).abs() / truth,
+            result.privacy.eps_zk
+        );
+    }
+}

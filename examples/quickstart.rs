@@ -1,0 +1,70 @@
+//! Quickstart: a complete PrivApprox run in ~40 lines.
+//!
+//! Builds an in-process deployment (1,000 clients, 2 proxies), loads
+//! each client with a private speed reading, submits the paper's
+//! driving-speed query, and prints the privacy-preserving histogram
+//! with confidence intervals.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use privapprox::core::system::System;
+use privapprox::types::{AnswerSpec, Budget};
+
+fn main() {
+    // 1. An in-process deployment: clients hold their own data;
+    //    two non-colluding proxies relay XOR shares.
+    let mut system = System::builder().clients(1_000).proxies(2).seed(7).build();
+
+    // 2. Each client's private datum: its current driving speed.
+    system.load_numeric_column("vehicle", "speed", |i| {
+        // A bimodal city: 70 % around 25 mph, 30 % around 65 mph.
+        if i % 10 < 7 {
+            20.0 + (i % 11) as f64
+        } else {
+            60.0 + (i % 11) as f64
+        }
+    });
+
+    // 3. The analyst publishes the paper's query with an accuracy
+    //    budget; the initializer derives (s, p, q) automatically.
+    let query = system
+        .analyst()
+        .query("SELECT speed FROM vehicle")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 110.0, 11))
+        .budget(Budget::Accuracy {
+            target_error: 0.05,
+            confidence: 0.95,
+        })
+        .submit()
+        .expect("query accepted");
+
+    let params = system.params(query.id).expect("params derived");
+    println!(
+        "derived parameters: s = {:.3}, p = {:.2}, q = {:.2}\n",
+        params.s, params.p, params.q
+    );
+
+    // 4. One epoch: sample → answer → randomize → split → forward →
+    //    join → decode → window → estimate.
+    let result = system.run_epoch(&query).expect("epoch ran");
+
+    println!(
+        "window {} | {} of {} clients answered | ε_zk = {:.3}\n",
+        result.window, result.sample_size, result.population, result.privacy.eps_zk
+    );
+    println!(
+        "{:>12}  {:>10}  {:>22}",
+        "speed (mph)", "estimate", "95% confidence"
+    );
+    for (i, bucket) in result.buckets.iter().enumerate() {
+        let label = if i < 11 {
+            format!("[{},{})", i * 10, (i + 1) * 10)
+        } else {
+            "[110,∞)".to_string()
+        };
+        println!(
+            "{:>12}  {:>10.1}  {:>10.1} ± {:<8.1}",
+            label, bucket.estimate, bucket.ci.estimate, bucket.ci.bound
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Cross-crate integration tests: the full client → proxy →
+//! aggregator → analyst pipeline through the public facade.
+
+use privapprox::core::system::System;
+use privapprox::datasets::taxi::{taxi_answer_spec, TaxiGenerator};
+use privapprox::types::{AnswerSpec, Budget, ExecutionParams, Timestamp, Window};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exact mode (s = 1, p = 1) must equal a direct computation of the
+/// histogram — the entire distributed pipeline is then a no-op
+/// permutation of the data.
+#[test]
+fn exact_mode_equals_direct_computation() {
+    let clients = 500u64;
+    let values: Vec<f64> = (0..clients).map(|i| (i % 97) as f64 / 10.0).collect();
+    let spec = AnswerSpec::ranges_with_overflow(0.0, 10.0, 10);
+    let mut direct = vec![0f64; spec.len()];
+    for &v in &values {
+        direct[spec.bucketize_num(v).unwrap()] += 1.0;
+    }
+
+    let mut system = System::builder()
+        .clients(clients)
+        .proxies(2)
+        .seed(1)
+        .build();
+    let vals = &values;
+    system.load_numeric_column("t", "v", |i| vals[i]);
+    let query = system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(spec)
+        .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+        .submit()
+        .unwrap();
+    let result = system.run_epoch(&query).unwrap();
+
+    let estimates: Vec<f64> = result.buckets.iter().map(|b| b.estimate).collect();
+    assert_eq!(estimates, direct);
+    assert!(result.buckets.iter().all(|b| b.ci.bound == 0.0));
+}
+
+/// The randomized pipeline is approximately unbiased: across epochs
+/// the mean estimate converges to the truth.
+#[test]
+fn private_mode_is_unbiased_across_epochs() {
+    let clients = 2_000u64;
+    let mut system = System::builder()
+        .clients(clients)
+        .proxies(2)
+        .seed(2)
+        .build();
+    system.load_numeric_column("t", "v", |i| if i % 4 == 0 { 0.5 } else { 1.5 });
+    let query = system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 2.0, 2))
+        .params(ExecutionParams::checked(0.8, 0.7, 0.5))
+        .submit()
+        .unwrap();
+    let truth = clients as f64 / 4.0;
+    let epochs = 15;
+    let mut sum = 0.0;
+    for _ in 0..epochs {
+        let r = system.run_epoch(&query).unwrap();
+        sum += r.buckets[0].estimate;
+    }
+    let mean = sum / epochs as f64;
+    assert!(
+        (mean - truth).abs() < truth * 0.08,
+        "mean estimate {mean} vs truth {truth}"
+    );
+}
+
+/// Confidence intervals cover the truth at roughly their nominal rate.
+#[test]
+fn confidence_intervals_cover_the_truth() {
+    let clients = 1_500u64;
+    let truth = (clients / 3) as f64;
+    let mut covered = 0;
+    let trials = 20;
+    for seed in 0..trials {
+        let mut system = System::builder()
+            .clients(clients)
+            .proxies(2)
+            .seed(100 + seed)
+            .build();
+        system.load_numeric_column("t", "v", |i| if i % 3 == 0 { 0.5 } else { 1.5 });
+        let query = system
+            .analyst()
+            .query("SELECT v FROM t")
+            .buckets(AnswerSpec::ranges_with_overflow(0.0, 2.0, 2))
+            .params(ExecutionParams::checked(0.7, 0.8, 0.5))
+            .submit()
+            .unwrap();
+        let r = system.run_epoch(&query).unwrap();
+        if r.buckets[0].ci.contains(truth) {
+            covered += 1;
+        }
+    }
+    // Nominal 95 %; with the conservative summed bound the empirical
+    // rate should be high. Demand ≥ 80 % over 20 trials.
+    assert!(
+        covered >= 16,
+        "only {covered}/{trials} runs covered the truth"
+    );
+}
+
+/// Multiple concurrent queries flow through the same deployment
+/// without crosstalk.
+#[test]
+fn concurrent_queries_do_not_interfere() {
+    let mut system = System::builder().clients(300).proxies(2).seed(3).build();
+    system.load_numeric_column("speeds", "v", |i| (i % 50) as f64);
+    // Second table for the second query.
+    let schema = privapprox::sql::Schema::new(vec![
+        ("ts", privapprox::sql::ColumnType::Int),
+        ("kwh", privapprox::sql::ColumnType::Float),
+    ]);
+    system.load_rows("power", schema, |i| {
+        vec![vec![
+            privapprox::sql::Value::Int(0),
+            privapprox::sql::Value::Float((i % 3) as f64),
+        ]]
+    });
+
+    let q1 = system
+        .analyst()
+        .query("SELECT v FROM speeds")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 50.0, 5))
+        .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+        .submit()
+        .unwrap();
+    let q2 = system
+        .analyst()
+        .query("SELECT kwh FROM power")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 3.0, 3))
+        .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+        .submit()
+        .unwrap();
+    assert_ne!(q1.id, q2.id);
+
+    let r1 = system.run_epoch(&q1).unwrap();
+    let r2 = system.run_epoch(&q2).unwrap();
+    assert_eq!(r1.buckets.len(), 6);
+    assert_eq!(r2.buckets.len(), 4);
+    assert_eq!(r1.sample_size, 300);
+    assert_eq!(r2.sample_size, 300);
+    // q2's per-bucket counts: values 0,1,2 evenly → 100 each.
+    assert_eq!(r2.buckets[0].estimate, 100.0);
+    assert_eq!(r2.buckets[1].estimate, 100.0);
+    assert_eq!(r2.buckets[2].estimate, 100.0);
+    let (undec, unrout, _, _) = system.aggregator_health();
+    assert_eq!((undec, unrout), (0, 0));
+}
+
+/// The taxi workload flows end to end with plausible quality — a
+/// compact version of the paper's §7 case study.
+#[test]
+fn taxi_case_study_small() {
+    let clients = 3_000u64;
+    let mut generator = TaxiGenerator::new(4, 100.0);
+    let distances: Vec<f64> = (0..clients)
+        .map(|_| generator.next_ride().distance_miles)
+        .collect();
+    let spec = taxi_answer_spec();
+    let mut exact = vec![0f64; spec.len()];
+    for &d in &distances {
+        exact[spec.bucketize_num(d).unwrap()] += 1.0;
+    }
+    let mut system = System::builder()
+        .clients(clients)
+        .proxies(2)
+        .seed(4)
+        .build();
+    let dist = &distances;
+    system.load_numeric_column("rides", "distance", |i| dist[i]);
+    let query = system
+        .analyst()
+        .query("SELECT distance FROM rides")
+        .buckets(spec)
+        .params(ExecutionParams::checked(0.9, 0.9, 0.6))
+        .submit()
+        .unwrap();
+    let result = system.run_epoch(&query).unwrap();
+    let l1: f64 = result
+        .buckets
+        .iter()
+        .zip(&exact)
+        .map(|(b, e)| (b.estimate - e).abs())
+        .sum();
+    assert!(
+        l1 / clients as f64 <= 0.15,
+        "histogram L1 loss {} too high",
+        l1 / clients as f64
+    );
+}
+
+/// Streaming + warehouse + batch query agree with each other.
+#[test]
+fn historical_batch_matches_streaming() {
+    let clients = 1_000u64;
+    let mut system = System::builder()
+        .clients(clients)
+        .proxies(2)
+        .seed(5)
+        .warehouse(true)
+        .build();
+    system.load_numeric_column("t", "v", |i| if i % 2 == 0 { 0.5 } else { 1.5 });
+    let query = system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 2.0, 2))
+        .params(ExecutionParams::checked(1.0, 0.9, 0.5))
+        .submit()
+        .unwrap();
+    let mut stream_total = 0.0;
+    for _ in 0..4 {
+        stream_total += system.run_epoch(&query).unwrap().buckets[0].estimate;
+    }
+    let stream_mean = stream_total / 4.0;
+
+    let warehouse = system.warehouse(query.id).unwrap();
+    assert_eq!(warehouse.len(), 4_000);
+    let mut rng = StdRng::seed_from_u64(9);
+    let batch = warehouse.batch_query(
+        Window::of(Timestamp(0), 4 * 60_000),
+        1_000_000,
+        0.95,
+        &mut rng,
+    );
+    // The batch sees 4 answers per client; scaling reports in units of
+    // the client population, so bucket 0 ≈ 500 in both views.
+    let batch_est = batch.buckets[0].estimate;
+    assert!(
+        (batch_est - stream_mean).abs() < 60.0,
+        "batch {batch_est} vs streaming mean {stream_mean}"
+    );
+    assert!(batch.buckets[0].ci.contains(500.0));
+}
+
+/// Budget-driven submission produces a working configuration without
+/// manual parameters.
+#[test]
+fn accuracy_budget_end_to_end() {
+    let clients = 20_000u64;
+    let mut system = System::builder()
+        .clients(clients)
+        .proxies(2)
+        .seed(6)
+        .build();
+    system.load_numeric_column("t", "v", |i| if i % 5 < 2 { 0.5 } else { 1.5 });
+    let query = system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 2.0, 2))
+        .budget(Budget::Accuracy {
+            target_error: 0.05,
+            confidence: 0.95,
+        })
+        .submit()
+        .unwrap();
+    let result = system.run_epoch(&query).unwrap();
+    let truth = 0.4 * clients as f64;
+    let est = result.buckets[0].estimate;
+    assert!(
+        (est - truth).abs() / truth < 0.10,
+        "estimate {est} vs truth {truth}"
+    );
+    // The derived sampling fraction really did subsample.
+    assert!(result.sample_size < clients / 2);
+}

@@ -1,0 +1,207 @@
+//! Failure-injection integration tests: the pipeline must degrade
+//! gracefully, never corrupt results, and surface health counters.
+
+use privapprox::core::aggregator::Aggregator;
+use privapprox::core::client::Client;
+use privapprox::core::proxy::{inbound_topic, Proxy};
+use privapprox::crypto::xor::XorSplitter;
+use privapprox::sql::{ColumnType, Schema, Value};
+use privapprox::stream::broker::Broker;
+use privapprox::types::ids::AnalystId;
+use privapprox::types::{
+    AnswerSpec, ClientId, ExecutionParams, ProxyId, Query, QueryBuilder, QueryId, Timestamp,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KEY: u64 = 0xFA11;
+
+fn test_query() -> Query {
+    QueryBuilder::new(QueryId::new(AnalystId(1), 1), "SELECT v FROM t")
+        .answer(AnswerSpec::ranges_with_overflow(0.0, 10.0, 10))
+        .window(1_000, 1_000)
+        .sign_and_build(KEY)
+}
+
+fn make_client(i: u64, value: f64) -> Client {
+    let mut c = Client::new(ClientId(i), 50 + i, KEY);
+    c.db_mut()
+        .create_table("t", Schema::new(vec![("v", ColumnType::Float)]));
+    c.db_mut().insert("t", vec![Value::Float(value)]).unwrap();
+    c
+}
+
+struct Rig {
+    broker: Broker,
+    proxies: Vec<Proxy>,
+    aggregator: Aggregator,
+    query: Query,
+    params: ExecutionParams,
+}
+
+fn rig(population: u64) -> Rig {
+    let broker = Broker::new(1);
+    let query = test_query();
+    let proxies = (0..2).map(|i| Proxy::new(ProxyId(i), &broker)).collect();
+    let mut aggregator = Aggregator::new(&broker, 2, 0.95);
+    let params = ExecutionParams::checked(1.0, 1.0, 0.5);
+    aggregator.register_query(&query, params, population);
+    Rig {
+        broker,
+        proxies,
+        aggregator,
+        query,
+        params,
+    }
+}
+
+fn send_share(rig: &Rig, proxy: u16, share: &privapprox::crypto::Share, ts: u64) {
+    rig.broker.producer().send(
+        &inbound_topic(ProxyId(proxy)),
+        Some(share.mid.to_bytes().to_vec()),
+        share.payload.clone(),
+        Timestamp(ts),
+    );
+}
+
+fn pump_all(rig: &mut Rig) {
+    for p in &mut rig.proxies {
+        p.pump();
+    }
+    rig.aggregator.pump();
+}
+
+/// A dropped share (proxy never receives its half) must not block the
+/// rest of the stream: the incomplete join expires and every complete
+/// answer still counts.
+#[test]
+fn dropped_shares_expire_without_blocking() {
+    let mut r = rig(10);
+    for i in 0..10 {
+        let mut client = make_client(i, 5.0);
+        let answer = client
+            .answer_query(&r.query, &r.params, 2)
+            .unwrap()
+            .unwrap();
+        send_share(&r, 0, &answer.shares[0], 500);
+        // Client 3's second share is lost in transit.
+        if i != 3 {
+            send_share(&r, 1, &answer.shares[1], 500);
+        }
+    }
+    pump_all(&mut r);
+    // Advance far enough for the join timeout to expire the orphan.
+    let results = r.aggregator.advance_watermark(Timestamp(60_000));
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].sample_size, 9, "nine complete answers");
+    assert_eq!(results[0].buckets[5].estimate_sample, 9.0);
+    assert_eq!(r.aggregator.expired_joins(), 1, "one orphaned join");
+}
+
+/// An adversarial client replaying its shares many times is caught by
+/// the duplicate defence: the answer counts once.
+#[test]
+fn replayed_shares_count_once() {
+    let mut r = rig(2);
+    let mut honest = make_client(0, 5.0);
+    let answer = honest
+        .answer_query(&r.query, &r.params, 2)
+        .unwrap()
+        .unwrap();
+    // Send the same pair five times.
+    for _ in 0..5 {
+        send_share(&r, 0, &answer.shares[0], 100);
+        send_share(&r, 1, &answer.shares[1], 100);
+    }
+    pump_all(&mut r);
+    let results = r.aggregator.advance_watermark(Timestamp(60_000));
+    assert_eq!(results[0].sample_size, 1, "replays deduplicated");
+    assert!(r.aggregator.duplicates() > 0);
+}
+
+/// Garbage records (random bytes, wrong key sizes) are counted and
+/// skipped; the valid stream is unaffected.
+#[test]
+fn garbage_records_are_quarantined() {
+    let mut r = rig(2);
+    let producer = r.broker.producer();
+    // No key at all.
+    producer.send("proxy-0-out", None, vec![1, 2, 3], Timestamp(0));
+    // Key of the wrong width.
+    producer.send("proxy-0-out", Some(vec![9; 5]), vec![1], Timestamp(0));
+    // A valid client answer alongside.
+    let mut client = make_client(0, 5.0);
+    let answer = client
+        .answer_query(&r.query, &r.params, 2)
+        .unwrap()
+        .unwrap();
+    send_share(&r, 0, &answer.shares[0], 100);
+    send_share(&r, 1, &answer.shares[1], 100);
+    pump_all(&mut r);
+    let results = r.aggregator.advance_watermark(Timestamp(60_000));
+    assert_eq!(results[0].sample_size, 1);
+    assert_eq!(r.aggregator.undecodable(), 2);
+}
+
+/// Shares whose payloads were tampered in transit decode to garbage;
+/// the decode layer rejects them (padding/length checks) rather than
+/// producing phantom answers.
+#[test]
+fn tampered_payloads_do_not_become_answers() {
+    let mut r = rig(4);
+    let mut rng = StdRng::seed_from_u64(8);
+    let splitter = XorSplitter::new(2);
+    for _ in 0..20 {
+        // Random 13-byte garbage "shares" under matching MIDs.
+        let garbage: Vec<u8> = (0..13).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let shares = splitter.split(&garbage, &mut rng);
+        send_share(&r, 0, &shares[0], 100);
+        send_share(&r, 1, &shares[1], 100);
+    }
+    pump_all(&mut r);
+    let results = r.aggregator.advance_watermark(Timestamp(60_000));
+    // Either no window (nothing decoded) or zero-sample window.
+    let decoded: u64 = results.iter().map(|w| w.sample_size).sum();
+    assert_eq!(decoded, 0, "garbage must not decode into answers");
+    assert_eq!(r.aggregator.undecodable(), 20);
+}
+
+/// A stalled proxy (its queue backs up, pumps later) delays but never
+/// loses answers: once it recovers, the joins complete.
+#[test]
+fn stalled_proxy_recovers_without_loss() {
+    let mut r = rig(10);
+    for i in 0..10 {
+        let mut client = make_client(i, 5.0);
+        let answer = client
+            .answer_query(&r.query, &r.params, 2)
+            .unwrap()
+            .unwrap();
+        send_share(&r, 0, &answer.shares[0], 500);
+        send_share(&r, 1, &answer.shares[1], 500);
+    }
+    // Only proxy 0 pumps at first.
+    r.proxies[0].pump();
+    r.aggregator.pump();
+    // Nothing joins yet — watermark stays put, no results forced.
+    assert_eq!(r.aggregator.advance_watermark(Timestamp(900)).len(), 0);
+    // Proxy 1 recovers.
+    r.proxies[1].pump();
+    r.aggregator.pump();
+    let results = r.aggregator.advance_watermark(Timestamp(60_000));
+    assert_eq!(results[0].sample_size, 10, "all answers survived the stall");
+}
+
+/// Tampered queries (bad signature) are refused by every client, so
+/// a forged query observes nothing at all.
+#[test]
+fn forged_query_harvests_nothing() {
+    let mut tampered = test_query();
+    tampered.sql = "SELECT v FROM t WHERE v > 0".into();
+    let params = ExecutionParams::checked(1.0, 1.0, 0.5);
+    for i in 0..5 {
+        let mut client = make_client(i, 5.0);
+        let result = client.answer_query(&tampered, &params, 2);
+        assert!(result.is_err(), "client {i} must reject the forgery");
+    }
+}

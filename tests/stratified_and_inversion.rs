@@ -1,0 +1,135 @@
+//! Integration tests for the two extension mechanisms: stratified
+//! sampling (the tech-report extension of §3.2.1) and query inversion
+//! (§3.3.2), wired against realistic workloads.
+
+use privapprox::datasets::taxi::{taxi_answer_spec, TaxiGenerator};
+use privapprox::rr::inversion::{compare_native_vs_inverted, should_invert};
+use privapprox::sampling::stratified::{StratifiedEstimate, Stratum};
+use privapprox::sampling::SrsSumEstimate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stratifying taxi rides by zone beats pooled SRS when zones have
+/// different ride-length profiles — the scenario the tech-report
+/// extension exists for.
+#[test]
+fn stratified_sampling_beats_srs_on_heterogeneous_zones() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut generator = TaxiGenerator::new(8, 100.0);
+    let spec = taxi_answer_spec();
+
+    // Build a population where downtown zones (0..20) are short rides
+    // and outer zones long rides — per-zone distributions differ.
+    let mut population: Vec<(bool, f64)> = Vec::new(); // (downtown, answer)
+    for _ in 0..20_000 {
+        let ride = generator.next_ride();
+        let downtown = ride.zone < 20;
+        let distance = if downtown {
+            ride.distance_miles * 0.5
+        } else {
+            ride.distance_miles * 2.0
+        };
+        // Answer bit: "is this ride in bucket [1,2)?"
+        let in_bucket = spec.bucketize_num(distance) == Some(1);
+        population.push((downtown, if in_bucket { 1.0 } else { 0.0 }));
+    }
+    let truth: f64 = population.iter().map(|(_, a)| a).sum();
+
+    // Repeated sampling: compare squared errors of the two estimators
+    // at the same total sample budget.
+    let budget = 1_000usize;
+    let trials = 60;
+    let (mut se_srs, mut se_strat) = (0.0, 0.0);
+    for _ in 0..trials {
+        // Pooled SRS.
+        let mut srs = SrsSumEstimate::new(population.len() as u64);
+        for &(_, a) in population.iter() {
+            if rng.gen::<f64>() < budget as f64 / population.len() as f64 {
+                srs.push(a);
+            }
+        }
+        se_srs += (srs.estimate() - truth).powi(2);
+
+        // Stratified: same expected budget, split evenly by stratum
+        // share.
+        let downtown_pop = population.iter().filter(|(d, _)| *d).count() as u64;
+        let outer_pop = population.len() as u64 - downtown_pop;
+        let mut strat = StratifiedEstimate::new();
+        let di = strat.add_stratum(Stratum::new("downtown", downtown_pop));
+        let oi = strat.add_stratum(Stratum::new("outer", outer_pop));
+        for &(downtown, a) in population.iter() {
+            if rng.gen::<f64>() < budget as f64 / population.len() as f64 {
+                strat.stratum_mut(if downtown { di } else { oi }).push(a);
+            }
+        }
+        se_strat += (strat.estimate() - truth).powi(2);
+    }
+    // Proportional-allocation stratification never does worse than
+    // SRS in expectation; allow Monte Carlo slack.
+    assert!(
+        se_strat <= se_srs * 1.15,
+        "stratified MSE {se_strat} should not exceed SRS MSE {se_srs}"
+    );
+}
+
+/// The inversion decision rule and the measured losses agree on the
+/// taxi workload's rare buckets: rare buckets invert, the dominant
+/// bucket does not.
+#[test]
+fn inversion_policy_matches_measured_gains() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let q = 0.6;
+    // Rare bucket: ~5 % yes. Policy says invert; measurement agrees.
+    assert!(should_invert(0.05, q));
+    let (native, inverted) = compare_native_vs_inverted(0.9, q, 20_000, 0.05, 20, &mut rng);
+    assert!(
+        inverted < native,
+        "rare bucket: inverted {inverted} must beat native {native}"
+    );
+    // Dominant bucket near q: policy says stay native; measurement
+    // shows no large inversion win.
+    assert!(!should_invert(0.55, q));
+    let (native, inverted) = compare_native_vs_inverted(0.9, q, 20_000, 0.55, 20, &mut rng);
+    assert!(
+        native < inverted * 1.5,
+        "near-q bucket: native {native} should be competitive with {inverted}"
+    );
+}
+
+/// Neyman allocation concentrates budget where the variance is, and
+/// the resulting estimator still covers the truth.
+#[test]
+fn neyman_allocation_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(35);
+    // Stratum A: coin flips (max variance). Stratum B: constant.
+    let mut strat = StratifiedEstimate::new();
+    let a = strat.add_stratum(Stratum::new("volatile", 10_000));
+    let b = strat.add_stratum(Stratum::new("constant", 10_000));
+    // Pilot: 50 samples each.
+    for _ in 0..50 {
+        strat
+            .stratum_mut(a)
+            .push(if rng.gen::<bool>() { 1.0 } else { 0.0 });
+        strat.stratum_mut(b).push(1.0);
+    }
+    let alloc = strat.neyman_allocation(1_000);
+    assert!(
+        alloc[0] > alloc[1] * 10,
+        "volatile stratum should dominate the allocation: {alloc:?}"
+    );
+    // Feed the allocation and check the interval covers the truth
+    // (A: 5,000 expected ones; B: 10,000).
+    for _ in 0..alloc[0] {
+        strat
+            .stratum_mut(a)
+            .push(if rng.gen::<bool>() { 1.0 } else { 0.0 });
+    }
+    for _ in 0..alloc[1] {
+        strat.stratum_mut(b).push(1.0);
+    }
+    let ci = strat.interval(0.99);
+    assert!(
+        ci.contains(15_000.0),
+        "stratified CI {ci} should cover the true total 15000"
+    );
+}

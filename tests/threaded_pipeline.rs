@@ -1,0 +1,136 @@
+//! Concurrency integration test: the pipeline running as real threads
+//! over the broker's blocking polls — clients, two proxy threads and
+//! an aggregator thread, like the deployed topology (and unlike the
+//! deterministic epoch harness used elsewhere).
+
+use privapprox::core::aggregator::Aggregator;
+use privapprox::core::client::Client;
+use privapprox::core::proxy::{inbound_topic, Proxy};
+use privapprox::sql::{ColumnType, Schema, Value};
+use privapprox::stream::broker::Broker;
+use privapprox::types::ids::AnalystId;
+use privapprox::types::{
+    AnswerSpec, ClientId, ExecutionParams, ProxyId, QueryBuilder, QueryId, Timestamp,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEY: u64 = 0x7EA;
+
+#[test]
+fn threaded_proxies_and_aggregator_deliver_all_answers() {
+    let population = 400u64;
+    let broker = Broker::new(4);
+    let query = QueryBuilder::new(QueryId::new(AnalystId(1), 1), "SELECT v FROM t")
+        .answer(AnswerSpec::ranges_with_overflow(0.0, 10.0, 10))
+        .window(1_000, 1_000)
+        .sign_and_build(KEY);
+    let params = ExecutionParams::checked(1.0, 1.0, 0.5);
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Two proxy threads, forwarding until told to stop.
+    let mut proxy_handles = Vec::new();
+    for i in 0..2u16 {
+        let broker = broker.clone();
+        let stop = Arc::clone(&stop);
+        proxy_handles.push(std::thread::spawn(move || {
+            let mut proxy = Proxy::new(ProxyId(i), &broker);
+            let mut forwarded = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let n = proxy.pump();
+                forwarded += n;
+                if n == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            forwarded += proxy.pump(); // final drain
+            forwarded
+        }));
+    }
+
+    // Aggregator thread: pumps until it has decoded every answer.
+    let agg_handle = {
+        let broker = broker.clone();
+        let query = query.clone();
+        std::thread::spawn(move || {
+            let mut agg = Aggregator::new(&broker, 2, 0.95);
+            agg.register_query(&query, params, population);
+            let mut decoded = 0u64;
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            while decoded < population {
+                decoded += agg.pump();
+                if std::time::Instant::now() > deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            (decoded, agg.advance_watermark(Timestamp(10_000)))
+        })
+    };
+
+    // Main thread: clients answer concurrently with the pipeline.
+    let producer = broker.producer();
+    for i in 0..population {
+        let mut client = Client::new(ClientId(i), 900 + i, KEY);
+        client
+            .db_mut()
+            .create_table("t", Schema::new(vec![("v", ColumnType::Float)]));
+        client
+            .db_mut()
+            .insert("t", vec![Value::Float((i % 10) as f64 + 0.5)])
+            .unwrap();
+        let answer = client
+            .answer_query(&query, &params, 2)
+            .unwrap()
+            .expect("s = 1 participates");
+        for (pi, share) in answer.shares.iter().enumerate() {
+            producer.send(
+                &inbound_topic(ProxyId(pi as u16)),
+                Some(share.mid.to_bytes().to_vec()),
+                share.payload.clone(),
+                Timestamp(500),
+            );
+        }
+    }
+
+    let (decoded, results) = agg_handle.join().expect("aggregator thread");
+    stop.store(true, Ordering::Relaxed);
+    let forwarded: u64 = proxy_handles
+        .into_iter()
+        .map(|h| h.join().expect("proxy thread"))
+        .sum();
+
+    assert_eq!(decoded, population, "every answer decoded");
+    assert_eq!(forwarded, population * 2, "every share forwarded once");
+    assert_eq!(results.len(), 1);
+    let result = &results[0];
+    assert_eq!(result.sample_size, population);
+    // 400 clients over 10 value classes → 40 per bucket, exact.
+    for b in 0..10 {
+        assert_eq!(result.buckets[b].estimate, 40.0, "bucket {b}");
+    }
+}
+
+#[test]
+fn blocking_consumers_wake_across_threads() {
+    // A slow producer feeding a blocked consumer through the broker —
+    // the condvar path the threaded topology relies on.
+    let broker = Broker::new(1);
+    let consumer = broker.consumer("g", &["wake"]);
+    let producer = broker.producer();
+    let t = std::thread::spawn(move || {
+        for i in 0..5u8 {
+            std::thread::sleep(Duration::from_millis(5));
+            producer.send("wake", None, vec![i], Timestamp(i as u64));
+        }
+    });
+    let mut got = 0;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while got < 5 && std::time::Instant::now() < deadline {
+        got += consumer.poll_blocking(10, Duration::from_secs(1)).len();
+    }
+    t.join().unwrap();
+    assert_eq!(got, 5);
+}
