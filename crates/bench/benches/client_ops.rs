@@ -1,6 +1,6 @@
 //! Criterion bench behind Table 3: the client answering pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privapprox_core::client::Client;
 use privapprox_rr::randomize::Randomizer;
 use privapprox_sql::{execute, parse_select, ColumnType, Database, Schema, Value};
@@ -33,12 +33,19 @@ fn bench_client(c: &mut Criterion) {
     let stmt = parse_select("SELECT d FROM rides WHERE ts >= 128").unwrap();
     group.bench_function("sql_read", |b| b.iter(|| execute(&stmt, &db).unwrap()));
 
-    // Randomized response over an 11-bucket answer.
+    // Randomized response across the paper's answer widths
+    // (Figure 5b evaluates up to 10^4 buckets).
     let randomizer = Randomizer::new(0.9, 0.6);
-    let answer = BitVec::one_hot(11, 3);
-    group.bench_function("randomized_response", |b| {
-        b.iter(|| randomizer.randomize_vec(&answer, &mut rng))
-    });
+    for buckets in [11usize, 10_000] {
+        let answer = BitVec::one_hot(buckets, 3);
+        group.bench_function(BenchmarkId::new("randomized_response", buckets), |b| {
+            b.iter(|| randomizer.randomize_vec(&answer, &mut rng))
+        });
+        let mut out = BitVec::zeros(buckets);
+        group.bench_function(BenchmarkId::new("randomized_response_into", buckets), |b| {
+            b.iter(|| randomizer.randomize_vec_into(&answer, &mut out, &mut rng))
+        });
+    }
 
     // The full client pipeline (sample + SQL + RR + XOR split).
     let mut client = Client::new(ClientId(1), 3, KEY);

@@ -3,14 +3,14 @@
 //! Keys are 512-bit here to keep `cargo bench` wall-time reasonable;
 //! the `table2` binary measures the paper's 1024-bit configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privapprox_crypto::gm::GmKeyPair;
 use privapprox_crypto::paillier::PaillierKeyPair;
 use privapprox_crypto::rsa::RsaKeyPair;
 use privapprox_crypto::ubig::UBig;
-use privapprox_crypto::xor::{combine, encode_answer, XorSplitter};
+use privapprox_crypto::xor::{combine, combine_into, encode_answer, SplitScratch, XorSplitter};
 use privapprox_types::ids::AnalystId;
-use privapprox_types::{BitVec, QueryId};
+use privapprox_types::{BitVec, MessageId, QueryId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -26,12 +26,29 @@ fn bench_crypto(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
 
-    let splitter = XorSplitter::new(2);
-    group.bench_function("xor_split", |b| {
-        b.iter(|| splitter.split(&message, &mut rng))
-    });
-    let shares = splitter.split(&message, &mut rng);
-    group.bench_function("xor_combine", |b| b.iter(|| combine(&shares).unwrap()));
+    // XOR split/combine across answer widths (Figure 5b reaches 10^4
+    // buckets); the scratch variants measure the allocation-free path.
+    for buckets in [11usize, 10_000] {
+        let msg = encode_answer(QueryId::new(AnalystId(1), 1), &BitVec::one_hot(buckets, 3));
+        let splitter = XorSplitter::new(2);
+        group.bench_function(BenchmarkId::new("xor_split", buckets), |b| {
+            b.iter(|| splitter.split(&msg, &mut rng))
+        });
+        let mut scratch = SplitScratch::new();
+        group.bench_function(BenchmarkId::new("xor_split_into", buckets), |b| {
+            b.iter(|| {
+                splitter.split_into(&msg, MessageId(7), &mut rng, &mut scratch);
+            })
+        });
+        let shares = splitter.split(&msg, &mut rng);
+        group.bench_function(BenchmarkId::new("xor_combine", buckets), |b| {
+            b.iter(|| combine(&shares).unwrap())
+        });
+        let mut out = Vec::new();
+        group.bench_function(BenchmarkId::new("xor_combine_into", buckets), |b| {
+            b.iter(|| combine_into(&shares, &mut out).unwrap())
+        });
+    }
 
     let rsa = RsaKeyPair::generate(512, &mut rng);
     let m = UBig::from_bytes_be(&message);

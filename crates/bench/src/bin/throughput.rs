@@ -1,0 +1,155 @@
+//! Full-pipeline throughput benchmark: client randomize → encode →
+//! split, then aggregator join → decode → window fold, all through the
+//! allocation-free scratch APIs.
+//!
+//! Sweeps proxies n ∈ {2, 3} × buckets ∈ {11, 10⁴} and writes
+//! `BENCH_1.json` (machine-readable perf trajectory for later PRs)
+//! next to the working directory, plus the usual copy under
+//! `results/`.
+
+use privapprox_bench::report::{with_commas, Table};
+use privapprox_crypto::xor::{answer_wire_size, decode_answer_into, encode_answer_into};
+use privapprox_crypto::{SplitScratch, XorSplitter};
+use privapprox_rr::estimate::BucketEstimator;
+use privapprox_rr::randomize::Randomizer;
+use privapprox_stream::join::{JoinOutcome, MidJoiner};
+use privapprox_types::ids::AnalystId;
+use privapprox_types::{BitVec, MessageId, QueryId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One (proxies, buckets) sweep point.
+#[derive(Debug, Clone, Serialize)]
+struct ThroughputRow {
+    /// Number of XOR shares per message (= proxies).
+    proxies: usize,
+    /// Answer width in buckets.
+    buckets: usize,
+    /// Messages driven through the full pipeline.
+    messages: u64,
+    /// End-to-end messages per second.
+    msgs_per_sec: f64,
+    /// Share bytes moved per second (all `n` shares per message).
+    bytes_per_sec: f64,
+    /// Nanoseconds per message.
+    ns_per_msg: f64,
+}
+
+/// The whole run, as persisted to `BENCH_1.json`.
+#[derive(Debug, Clone, Serialize)]
+struct ThroughputReport {
+    /// Which PR's trajectory point this is.
+    bench_revision: u32,
+    /// What the numbers measure.
+    pipeline: String,
+    rows: Vec<ThroughputRow>,
+}
+
+/// Drives `messages` full client→aggregator round trips and returns
+/// the measurement row.
+fn run_point(proxies: usize, buckets: usize, messages: u64) -> ThroughputRow {
+    let mut rng = StdRng::seed_from_u64(0xBEEF ^ (proxies as u64) << 32 ^ buckets as u64);
+    let qid = QueryId::new(AnalystId(1), 1);
+    let randomizer = Randomizer::new(0.9, 0.6);
+    let splitter = XorSplitter::new(proxies);
+    let truth = BitVec::one_hot(buckets, buckets / 2);
+
+    // Client-side scratch.
+    let mut randomized = BitVec::zeros(buckets);
+    let mut message = Vec::new();
+    let mut split = SplitScratch::new();
+    // Aggregator-side state.
+    let mut joiner = MidJoiner::new(proxies, 60_000);
+    let mut estimator = BucketEstimator::new(buckets, 0.9, 0.6);
+    let mut decoded = BitVec::zeros(buckets);
+
+    // Warm the scratch buffers so the timed loop is steady-state.
+    let warmup = (messages / 10).clamp(10, 1_000);
+    // The event clock advances per message and the joiner is swept
+    // periodically, so its quarantine map stays bounded instead of
+    // growing (and rehashing) inside the timed loop.
+    let mut now = 0u64;
+    let mut pump = |rng: &mut StdRng, joiner: &mut MidJoiner, estimator: &mut BucketEstimator| {
+        randomizer.randomize_vec_into(&truth, &mut randomized, rng);
+        encode_answer_into(qid, &randomized, &mut message);
+        let mid = MessageId(rng.gen());
+        let shares = splitter.split_into(&message, mid, rng, &mut split);
+        for (source, share) in shares.iter().enumerate() {
+            if let JoinOutcome::Complete(joined) =
+                joiner.offer(share.mid, source, &share.payload, Timestamp(now))
+            {
+                let qid = decode_answer_into(&joined, &mut decoded).expect("round trip decodes");
+                assert_eq!(qid.serial, 1);
+                estimator.push(&decoded);
+                joiner.recycle(joined);
+            }
+        }
+        now += 1_000;
+        if now % 1_000_000 == 0 {
+            joiner.sweep(Timestamp(now));
+        }
+    };
+    for _ in 0..warmup {
+        pump(&mut rng, &mut joiner, &mut estimator);
+    }
+
+    let start = Instant::now();
+    for _ in 0..messages {
+        pump(&mut rng, &mut joiner, &mut estimator);
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(
+        estimator.total(),
+        warmup + messages,
+        "every message must survive the pipeline"
+    );
+
+    let secs = elapsed.as_secs_f64();
+    let share_bytes = (proxies * answer_wire_size(buckets)) as f64;
+    ThroughputRow {
+        proxies,
+        buckets,
+        messages,
+        msgs_per_sec: messages as f64 / secs,
+        bytes_per_sec: messages as f64 * share_bytes / secs,
+        ns_per_msg: elapsed.as_nanos() as f64 / messages as f64,
+    }
+}
+
+fn main() {
+    println!("Full-pipeline throughput (randomize → encode → split → join → decode → fold)\n");
+    let mut rows = Vec::new();
+    for &proxies in &[2usize, 3] {
+        for &buckets in &[11usize, 10_000] {
+            // Size message counts so each point runs a few hundred ms.
+            let messages = if buckets > 1_000 { 20_000 } else { 400_000 };
+            rows.push(run_point(proxies, buckets, messages));
+        }
+    }
+
+    let mut table = Table::new(&["proxies", "buckets", "msgs/sec", "MB/sec", "ns/msg"]);
+    for r in &rows {
+        table.row(vec![
+            r.proxies.to_string(),
+            r.buckets.to_string(),
+            with_commas(r.msgs_per_sec as u64),
+            format!("{:.1}", r.bytes_per_sec / 1e6),
+            format!("{:.0}", r.ns_per_msg),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let report = ThroughputReport {
+        bench_revision: 1,
+        pipeline: "client randomize→encode→split + aggregator join→decode→fold".to_string(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    println!("trajectory written to BENCH_1.json");
+    if let Ok(path) = privapprox_bench::save_json("throughput", &report) {
+        println!("results copy at {}", path.display());
+    }
+}

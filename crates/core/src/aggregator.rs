@@ -8,7 +8,7 @@
 //! independent error sources — sampling (Equations 3–4) and
 //! randomized response — exactly as §3.2.4 prescribes.
 
-use privapprox_crypto::xor::decode_answer;
+use privapprox_crypto::xor::decode_answer_into;
 use privapprox_rr::estimate::{estimate_true_yes, rr_estimator_variance, BucketEstimator};
 use privapprox_rr::privacy::PrivacyReport;
 use privapprox_rr::randomize::Randomizer;
@@ -86,7 +86,7 @@ impl QueryResult {
 }
 
 type BoxedInit = Box<dyn Fn() -> BucketEstimator + Send>;
-type BoxedFold = Box<dyn Fn(&mut BucketEstimator, BitVec) + Send>;
+type BoxedFold = Box<dyn Fn(&mut BucketEstimator, &BitVec) + Send>;
 
 struct QueryState {
     params: ExecutionParams,
@@ -104,6 +104,10 @@ pub struct Aggregator {
     joiner: MidJoiner,
     queries: HashMap<QueryId, QueryState>,
     confidence: f64,
+    /// Scratch `BitVec` every joined message decodes into; windows
+    /// fold it by reference, so the steady-state drain loop performs
+    /// no per-message allocation.
+    answer_scratch: BitVec,
     /// Records that failed decode (malformed / corrupt shares).
     undecodable: u64,
     /// Decoded answers for unregistered queries.
@@ -135,6 +139,7 @@ impl Aggregator {
             joiner: MidJoiner::new(n_proxies, JOIN_TIMEOUT_MS),
             queries: HashMap::new(),
             confidence,
+            answer_scratch: BitVec::zeros(0),
             undecodable: 0,
             unroutable: 0,
         }
@@ -152,7 +157,7 @@ impl Aggregator {
             let (p, q) = (params.p, params.q);
             Box::new(move || BucketEstimator::new(buckets, p.min(1.0), q))
         };
-        let fold: BoxedFold = Box::new(move |est, v| est.push(&v));
+        let fold: BoxedFold = Box::new(move |est, v| est.push(v));
         self.queries.insert(
             query.id,
             QueryState {
@@ -204,18 +209,26 @@ impl Aggregator {
                     .offer(mid, source, &record.value, record.timestamp)
                 {
                     JoinOutcome::Pending | JoinOutcome::Duplicate | JoinOutcome::Malformed => {}
-                    JoinOutcome::Complete(message) => match decode_answer(&message) {
-                        None => self.undecodable += 1,
-                        Some((qid, answer)) => match self.queries.get_mut(&qid) {
-                            None => self.unroutable += 1,
-                            Some(state) if answer.len() == state.buckets => {
-                                tee(qid, record.timestamp, &answer);
-                                state.windows.push(record.timestamp, answer);
-                                decoded_count += 1;
-                            }
-                            Some(_) => self.undecodable += 1,
-                        },
-                    },
+                    JoinOutcome::Complete(message) => {
+                        // Decode into the scratch vector and fold it
+                        // by reference; the joined buffer goes back to
+                        // the joiner's pool. Nothing is allocated per
+                        // message once the scratch buffers are warm.
+                        let answer = &mut self.answer_scratch;
+                        match decode_answer_into(&message, answer) {
+                            None => self.undecodable += 1,
+                            Some(qid) => match self.queries.get_mut(&qid) {
+                                None => self.unroutable += 1,
+                                Some(state) if answer.len() == state.buckets => {
+                                    tee(qid, record.timestamp, answer);
+                                    state.windows.push(record.timestamp, answer);
+                                    decoded_count += 1;
+                                }
+                                Some(_) => self.undecodable += 1,
+                            },
+                        }
+                        self.joiner.recycle(message);
+                    }
                 }
             }
         }

@@ -9,19 +9,49 @@
 //! into XOR shares, one per proxy.
 
 use crate::error::CoreError;
-use privapprox_crypto::xor::{encode_answer, Share, XorSplitter};
+use privapprox_crypto::xor::{encode_answer_into, Share, SplitScratch, XorSplitter};
 use privapprox_rr::randomize::Randomizer;
 use privapprox_sampling::srs::ParticipationCoin;
 use privapprox_sql::{execute, parse_select, Database, Value};
-use privapprox_types::{BitVec, ClientId, ExecutionParams, Query};
+use privapprox_types::{BitVec, ClientId, ExecutionParams, MessageId, Query};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// One client's produced answer: `n` shares destined for `n` proxies.
 #[derive(Debug, Clone)]
 pub struct ClientAnswer {
     /// Share `i` goes to proxy `i`.
     pub shares: Vec<Share>,
+}
+
+/// Caller-owned buffers for the client's per-epoch hot path
+/// (randomize → encode → split).
+///
+/// Reusing one `ClientScratch` across epochs makes those three stages
+/// allocation-free at steady state; only the SQL execution of the
+/// truthful answer still allocates (its result sets are variable
+/// sized by nature).
+#[derive(Debug, Clone, Default)]
+pub struct ClientScratch {
+    /// The randomized `A[n]` vector.
+    randomized: BitVec,
+    /// The encoded wire message `⟨QID, randomized answer⟩`.
+    message: Vec<u8>,
+    /// The XOR share buffers.
+    split: SplitScratch,
+}
+
+impl ClientScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> ClientScratch {
+        ClientScratch::default()
+    }
+
+    /// The shares produced by the most recent
+    /// [`Client::answer_query_into`].
+    pub fn shares(&self) -> &[Share] {
+        self.split.shares()
+    }
 }
 
 /// A client device holding one user's private data.
@@ -106,6 +136,28 @@ impl Client {
         params: &ExecutionParams,
         n_proxies: usize,
     ) -> Result<Option<ClientAnswer>, CoreError> {
+        let mut scratch = ClientScratch::new();
+        Ok(self
+            .answer_query_into(query, params, n_proxies, &mut scratch)?
+            .map(|shares| ClientAnswer {
+                shares: shares.to_vec(),
+            }))
+    }
+
+    /// [`Client::answer_query`] through caller-owned scratch buffers:
+    /// the randomize → encode → split stages run allocation-free once
+    /// `scratch` is warm, and the returned shares borrow from it.
+    pub fn answer_query_into<'a>(
+        &mut self,
+        query: &Query,
+        params: &ExecutionParams,
+        n_proxies: usize,
+        scratch: &'a mut ClientScratch,
+    ) -> Result<Option<&'a [Share]>, CoreError> {
+        // Until a split completes below, `scratch.shares()` must not
+        // expose the previous epoch's shares (a stale read could
+        // resubmit the old message).
+        scratch.split.invalidate();
         if !query.verify(self.analyst_key) {
             return Err(CoreError::BadSignature);
         }
@@ -117,15 +169,25 @@ impl Client {
         // Step II: truthful answer + randomized response (§3.2.2).
         let truth = self.truthful_answer(query)?;
         let randomized = if params.p >= 1.0 {
-            truth // degenerate no-randomization mode (Fig 4b)
+            &truth // degenerate no-randomization mode (Fig 4b)
         } else {
-            Randomizer::new(params.p, params.q).randomize_vec(&truth, &mut self.rng)
+            Randomizer::new(params.p, params.q).randomize_vec_into(
+                &truth,
+                &mut scratch.randomized,
+                &mut self.rng,
+            );
+            &scratch.randomized
         };
         // Step III: encode and split (§3.2.3).
-        let message = encode_answer(query.id, &randomized);
+        encode_answer_into(query.id, randomized, &mut scratch.message);
         let splitter = XorSplitter::new(n_proxies);
-        let shares = splitter.split(&message, &mut self.rng);
-        Ok(Some(ClientAnswer { shares }))
+        let mid = MessageId(self.rng.gen());
+        Ok(Some(splitter.split_into(
+            &scratch.message,
+            mid,
+            &mut self.rng,
+            &mut scratch.split,
+        )))
     }
 }
 
@@ -237,6 +299,29 @@ mod tests {
         }
         let rate = participated as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.04, "participation rate {rate}");
+    }
+
+    #[test]
+    fn sat_out_epoch_exposes_no_stale_shares() {
+        let mut c = client_with_speed(15.0);
+        let q = speed_query();
+        let mut scratch = ClientScratch::new();
+        // Populate the scratch with one real answer.
+        let always = ExecutionParams::checked(1.0, 1.0, 0.5);
+        assert!(c
+            .answer_query_into(&q, &always, 2, &mut scratch)
+            .unwrap()
+            .is_some());
+        assert_eq!(scratch.shares().len(), 2);
+        // A sat-out epoch (s ≈ 0 never wins the coin under this seed)
+        // must not leave last epoch's shares readable — a stale read
+        // would resubmit the previous message.
+        let never = ExecutionParams::checked(1e-12, 1.0, 0.5);
+        assert!(c
+            .answer_query_into(&q, &never, 2, &mut scratch)
+            .unwrap()
+            .is_none());
+        assert!(scratch.shares().is_empty());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod splitx;
 pub mod system;
 
 pub use aggregator::{Aggregator, BucketResult, QueryResult};
-pub use client::{Client, ClientAnswer};
+pub use client::{Client, ClientAnswer, ClientScratch};
 pub use error::CoreError;
 pub use feedback::FeedbackController;
 pub use historical::Warehouse;

@@ -10,7 +10,7 @@
 //! decodes, windows and estimates.
 
 use crate::aggregator::{Aggregator, QueryResult};
-use crate::client::Client;
+use crate::client::{Client, ClientScratch};
 use crate::error::CoreError;
 use crate::historical::Warehouse;
 use crate::initializer::Initializer;
@@ -123,6 +123,7 @@ impl SystemBuilder {
             now_ms: 0,
             next_serial: 1,
             pending: Vec::new(),
+            scratch: ClientScratch::new(),
         }
     }
 }
@@ -144,6 +145,10 @@ pub struct System {
     next_serial: u32,
     /// Closed windows not yet returned by `run_epoch`.
     pending: Vec<QueryResult>,
+    /// Reused buffers for every client's randomize → encode → split
+    /// stages (the broker clones payloads on send, so one scratch
+    /// serves the whole population allocation-free).
+    scratch: ClientScratch,
 }
 
 impl System {
@@ -251,8 +256,10 @@ impl System {
         // Clients answer and transmit shares to their proxies.
         let n_proxies = self.config.proxies as usize;
         for client in &mut self.clients {
-            if let Some(answer) = client.answer_query(query, &params, n_proxies)? {
-                for (pi, share) in answer.shares.iter().enumerate() {
+            if let Some(shares) =
+                client.answer_query_into(query, &params, n_proxies, &mut self.scratch)?
+            {
+                for (pi, share) in shares.iter().enumerate() {
                     self.producer.send(
                         &inbound_topic(ProxyId(pi as u16)),
                         Some(share.mid.to_bytes().to_vec()),

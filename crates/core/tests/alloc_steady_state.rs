@@ -1,0 +1,104 @@
+//! Verifies the headline property of the allocation-free hot path:
+//! once scratch buffers are warm, the steady-state client→aggregator
+//! pipeline (randomize → encode → split → join → decode → fold)
+//! performs **zero** heap allocations per message.
+//!
+//! This file deliberately contains a single test: the counting
+//! allocator is process-global, and a sibling test allocating on
+//! another thread would show up in the counters.
+
+use privapprox_crypto::xor::{decode_answer_into, encode_answer_into};
+use privapprox_crypto::{SplitScratch, XorSplitter};
+use privapprox_rr::estimate::BucketEstimator;
+use privapprox_rr::randomize::Randomizer;
+use privapprox_stream::join::{JoinOutcome, MidJoiner};
+use privapprox_types::ids::AnalystId;
+use privapprox_types::{BitVec, MessageId, QueryId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocator wrapper counting every allocation and reallocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_pipeline_allocates_nothing() {
+    for &(proxies, buckets) in &[(2usize, 11usize), (3, 10_000)] {
+        let mut rng = StdRng::seed_from_u64(42 + buckets as u64);
+        let qid = QueryId::new(AnalystId(1), 1);
+        let randomizer = Randomizer::new(0.9, 0.6);
+        let splitter = XorSplitter::new(proxies);
+        let truth = BitVec::one_hot(buckets, buckets / 2);
+
+        let mut randomized = BitVec::zeros(buckets);
+        let mut message = Vec::new();
+        let mut split = SplitScratch::new();
+        // Short join timeout so quarantine entries age out during the
+        // run instead of accumulating map growth.
+        let mut joiner = MidJoiner::new(proxies, 10);
+        let mut estimator = BucketEstimator::new(buckets, 0.9, 0.6);
+        let mut decoded = BitVec::zeros(buckets);
+
+        let mut epoch = |rng: &mut StdRng,
+                         joiner: &mut MidJoiner,
+                         estimator: &mut BucketEstimator,
+                         now: u64| {
+            randomizer.randomize_vec_into(&truth, &mut randomized, rng);
+            encode_answer_into(qid, &randomized, &mut message);
+            let mid = MessageId(rng.gen());
+            let shares = splitter.split_into(&message, mid, rng, &mut split);
+            for (source, share) in shares.iter().enumerate() {
+                if let JoinOutcome::Complete(joined) =
+                    joiner.offer(share.mid, source, &share.payload, Timestamp(now))
+                {
+                    decode_answer_into(&joined, &mut decoded).expect("decodes");
+                    estimator.push(&decoded);
+                    joiner.recycle(joined);
+                }
+            }
+            joiner.sweep(Timestamp(now));
+        };
+
+        // Warm every scratch buffer, hash-map table, and buffer pool.
+        for i in 0..2_000u64 {
+            epoch(&mut rng, &mut joiner, &mut estimator, i * 100);
+        }
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for i in 2_000..4_000u64 {
+            epoch(&mut rng, &mut joiner, &mut estimator, i * 100);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state pipeline allocated {} times over 2000 messages \
+             (proxies = {proxies}, buckets = {buckets})",
+            after - before
+        );
+        assert_eq!(estimator.total(), 4_000);
+    }
+}

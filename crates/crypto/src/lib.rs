@@ -33,5 +33,6 @@ pub use paillier::PaillierKeyPair;
 pub use rsa::RsaKeyPair;
 pub use ubig::UBig;
 pub use xor::{
-    answer_wire_size, combine, decode_answer, encode_answer, CombineError, Share, XorSplitter,
+    answer_wire_size, combine, combine_into, decode_answer, decode_answer_into, encode_answer,
+    encode_answer_into, CombineError, Share, SplitScratch, XorSplitter,
 };

@@ -10,7 +10,7 @@
 //! random, no proxy learns whether it carries the answer or a pad.
 
 use crate::chacha::ChaCha20;
-use privapprox_types::{BitVec, MessageId, QueryId};
+use privapprox_types::{words, BitVec, MessageId, QueryId};
 use rand::Rng;
 
 /// Current wire-format version byte.
@@ -83,33 +83,99 @@ impl XorSplitter {
 
     /// Splits with an explicit message identifier (used by tests and
     /// the duplicate-defence logic).
+    ///
+    /// Thin allocating wrapper over [`XorSplitter::split_into`].
     pub fn split_with_mid<R: Rng + ?Sized>(
         &self,
         message: &[u8],
         mid: MessageId,
         rng: &mut R,
     ) -> Vec<Share> {
-        let mut encrypted = message.to_vec();
-        let mut shares = Vec::with_capacity(self.n);
-        for i in 1..self.n {
+        let mut scratch = SplitScratch::new();
+        self.split_into(message, mid, rng, &mut scratch);
+        scratch.shares
+    }
+
+    /// Splits `message` into shares held in caller-owned scratch
+    /// buffers, and returns them as a slice.
+    ///
+    /// This is the steady-state client path: once `scratch` has been
+    /// warmed by one message of each size, no heap allocation occurs —
+    /// share 0's buffer accumulates `M_E` starting from a copy of the
+    /// message, each key string is written by ChaCha20 directly into
+    /// its reused share buffer, and the XOR accumulation runs in `u64`
+    /// words.
+    pub fn split_into<'a, R: Rng + ?Sized>(
+        &self,
+        message: &[u8],
+        mid: MessageId,
+        rng: &mut R,
+        scratch: &'a mut SplitScratch,
+    ) -> &'a [Share] {
+        scratch.valid = true;
+        let shares = &mut scratch.shares;
+        shares.truncate(self.n);
+        while shares.len() < self.n {
+            shares.push(Share {
+                mid,
+                payload: Vec::new(),
+            });
+        }
+        let (encrypted, keys) = shares.split_first_mut().expect("n >= 2");
+        encrypted.mid = mid;
+        encrypted.payload.clear();
+        encrypted.payload.extend_from_slice(message);
+        for (i, share) in keys.iter_mut().enumerate() {
+            share.mid = mid;
+            share.payload.resize(message.len(), 0);
             // Fresh ChaCha20 keystream per key string, seeded from the
             // caller's RNG ("seeded with a cryptographically strong
-            // random number").
-            let mut stream = ChaCha20::from_seed(rng.gen(), i as u64);
-            let key = stream.next_bytes(message.len());
-            for (e, k) in encrypted.iter_mut().zip(&key) {
-                *e ^= *k;
-            }
-            shares.push(Share { mid, payload: key });
+            // random number"), written straight into the share buffer.
+            let mut stream = ChaCha20::from_seed(rng.gen(), (i + 1) as u64);
+            stream.fill_bytes(&mut share.payload);
+            words::xor_into(&mut encrypted.payload, &share.payload);
         }
-        shares.insert(
-            0,
-            Share {
-                mid,
-                payload: encrypted,
-            },
-        );
         shares
+    }
+}
+
+/// Caller-owned share buffers for [`XorSplitter::split_into`].
+///
+/// Reusing one `SplitScratch` across messages keeps the client's
+/// split stage allocation-free at steady state.
+#[derive(Debug, Clone, Default)]
+pub struct SplitScratch {
+    shares: Vec<Share>,
+    /// Whether `shares` holds the result of a completed
+    /// [`XorSplitter::split_into`] (as opposed to leftovers from an
+    /// earlier message after an [`SplitScratch::invalidate`]).
+    valid: bool,
+}
+
+impl SplitScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> SplitScratch {
+        SplitScratch::default()
+    }
+
+    /// The shares produced by the most recent
+    /// [`XorSplitter::split_into`], or an empty slice if the scratch
+    /// has been invalidated since.
+    pub fn shares(&self) -> &[Share] {
+        if self.valid {
+            &self.shares
+        } else {
+            &[]
+        }
+    }
+
+    /// Marks the current contents stale without dropping the buffers:
+    /// [`SplitScratch::shares`] returns an empty slice until the next
+    /// `split_into`. Callers whose pipeline can skip a message (e.g. a
+    /// client sitting an epoch out) use this so a stale read cannot
+    /// resubmit the previous message's shares.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
     }
 }
 
@@ -119,39 +185,66 @@ impl XorSplitter {
 /// M_E, it just XORs all the n received messages to decrypt M" — order
 /// is irrelevant.
 pub fn combine(shares: &[Share]) -> Result<Vec<u8>, CombineError> {
+    let mut out = Vec::new();
+    combine_into(shares, &mut out)?;
+    Ok(out)
+}
+
+/// [`combine`] into a caller-owned buffer: `out` is overwritten with
+/// the recombined message. Allocation-free once `out`'s capacity
+/// covers the message size; the XOR runs in `u64` words.
+pub fn combine_into(shares: &[Share], out: &mut Vec<u8>) -> Result<(), CombineError> {
     let first = shares.first().ok_or(CombineError::Empty)?;
-    let mut out = vec![0u8; first.payload.len()];
-    for share in shares {
+    out.clear();
+    out.extend_from_slice(&first.payload);
+    for share in &shares[1..] {
         if share.mid != first.mid {
             return Err(CombineError::MixedIds);
         }
         if share.payload.len() != out.len() {
             return Err(CombineError::LengthMismatch);
         }
-        for (o, b) in out.iter_mut().zip(&share.payload) {
-            *o ^= *b;
-        }
+        words::xor_into(out, &share.payload);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Encodes an answer message `M = ⟨QID, randomized answer⟩` (Eq. 9).
 ///
 /// Wire layout: `version:u8 ‖ qid:u64be ‖ buckets:u16be ‖ bit bytes`.
 pub fn encode_answer(qid: QueryId, answer: &BitVec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(answer_wire_size(answer.len()));
+    encode_answer_into(qid, answer, &mut out);
+    out
+}
+
+/// [`encode_answer`] into a caller-owned buffer, overwritten in place.
+/// Allocation-free once `out`'s capacity covers the wire size — the
+/// bit bytes stream directly from the answer's limbs.
+pub fn encode_answer_into(qid: QueryId, answer: &BitVec, out: &mut Vec<u8>) {
     assert!(answer.len() <= u16::MAX as usize, "answer too wide");
-    let bits = answer.to_bytes();
-    let mut out = Vec::with_capacity(11 + bits.len());
+    out.clear();
     out.push(WIRE_VERSION);
     out.extend_from_slice(&qid.to_u64().to_be_bytes());
     out.extend_from_slice(&(answer.len() as u16).to_be_bytes());
-    out.extend_from_slice(&bits);
-    out
+    answer.extend_bytes_into(out);
 }
 
 /// Decodes an answer message; `None` on any malformation (bad version,
 /// truncation, trailing bytes, or set padding bits).
 pub fn decode_answer(bytes: &[u8]) -> Option<(QueryId, BitVec)> {
+    let mut answer = BitVec::zeros(0);
+    let qid = decode_answer_into(bytes, &mut answer)?;
+    Some((qid, answer))
+}
+
+/// [`decode_answer`] into a caller-owned `BitVec`, whose limb storage
+/// is reused. Returns the query id on success; on any malformation
+/// returns `None` and leaves `answer` in an unspecified valid state.
+///
+/// This is the aggregator's steady-state decode: one scratch `BitVec`
+/// absorbs every message in a window with no per-message allocation.
+pub fn decode_answer_into(bytes: &[u8], answer: &mut BitVec) -> Option<QueryId> {
     if bytes.len() < 11 || bytes[0] != WIRE_VERSION {
         return None;
     }
@@ -161,11 +254,10 @@ pub fn decode_answer(bytes: &[u8]) -> Option<(QueryId, BitVec)> {
         return None;
     }
     let body = &bytes[11..];
-    if body.len() != n.div_ceil(8) {
+    if !answer.assign_from_bytes(n, body) {
         return None;
     }
-    let answer = BitVec::from_bytes(n, body)?;
-    Some((qid, answer))
+    Some(qid)
 }
 
 /// Expected wire size in bytes of an encoded answer with `buckets`
@@ -270,6 +362,24 @@ mod tests {
 
         shares[1].payload.pop();
         assert_eq!(combine(&shares).unwrap_err(), CombineError::LengthMismatch);
+    }
+
+    #[test]
+    fn invalidated_scratch_exposes_no_stale_shares() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let splitter = XorSplitter::new(2);
+        let mut scratch = SplitScratch::new();
+        splitter.split_into(b"secret", MessageId(1), &mut rng, &mut scratch);
+        assert_eq!(scratch.shares().len(), 2);
+        scratch.invalidate();
+        assert!(
+            scratch.shares().is_empty(),
+            "stale shares must not be readable after invalidation"
+        );
+        // A new split re-validates.
+        splitter.split_into(b"fresh", MessageId(2), &mut rng, &mut scratch);
+        assert_eq!(scratch.shares().len(), 2);
+        assert_eq!(combine(scratch.shares()).unwrap(), b"fresh");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use privapprox_rr::privacy::{
     epsilon_dp_sampled, epsilon_rr, epsilon_rr_strict, epsilon_zk, p_for_epsilon, s_for_epsilon_zk,
 };
 use privapprox_rr::randomize::Randomizer;
+use privapprox_types::BitVec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -123,4 +124,88 @@ proptest! {
         prop_assert!((accuracy_loss(actual, est) - rel.abs()).abs() < 1e-9);
         prop_assert_eq!(accuracy_loss(actual, actual), 0.0);
     }
+
+    /// The bit-sliced vector path produces the same per-bit marginals
+    /// as the scalar two-coin mechanism for random `(p, q)` and random
+    /// truth patterns (5σ binomial tolerance per truth class).
+    #[test]
+    fn bit_sliced_marginals_match_scalar(
+        p in 0.05f64..1.0,
+        q in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let r = Randomizer::new(p, q);
+        let n = 20_000usize;
+        let truth = BitVec::from_bools((0..n).map(|i| i % 3 == 0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = BitVec::zeros(n);
+        r.randomize_vec_into(&truth, &mut out, &mut rng);
+        for class in [true, false] {
+            let total = (0..n).filter(|&i| truth.get(i) == class).count() as f64;
+            let yes = (0..n)
+                .filter(|&i| truth.get(i) == class && out.get(i))
+                .count() as f64;
+            let expect = r.yes_probability(class);
+            let sigma = (expect * (1.0 - expect) / total).sqrt();
+            prop_assert!(
+                (yes / total - expect).abs() < 5.0 * sigma + 2e-5,
+                "class {class}: rate {} vs {expect} (p={p}, q={q})",
+                yes / total
+            );
+        }
+    }
+}
+
+/// χ² goodness-of-fit of the bit-sliced randomizer against the exact
+/// two-coin channel, over ≥10⁵ bits for several `(p, q)` pairs
+/// (the paper's Table 1 settings plus boundary-ish cases).
+///
+/// For each truth class the responses are binomial; the statistic
+/// sums `(obs − exp)²/exp` over the four (truth × response) cells.
+/// With 2 effective degrees of freedom, 40 corresponds to a false
+/// alarm rate far below 10⁻⁸ per pair — and the RNG is seeded, so the
+/// test is deterministic anyway. The fixed-point quantization bias
+/// (≤ 2⁻¹⁷ per marginal) shifts each expectation by at most ~2
+/// counts at this sample size, well inside the tolerance.
+#[test]
+fn bit_sliced_randomizer_chi_squared() {
+    let n = 200_000usize; // 2 × 10⁵ bits per (p, q) pair
+    for (p, q) in [
+        (0.9, 0.6),
+        (0.6, 0.6),
+        (0.3, 0.6),
+        (0.5, 0.5),
+        (0.85, 0.25),
+        (0.05, 0.95),
+    ] {
+        let r = Randomizer::new(p, q);
+        let truth = BitVec::from_bools((0..n).map(|i| i % 2 == 0));
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (p * 1e4) as u64 ^ (q * 1e7) as u64);
+        let mut out = BitVec::zeros(n);
+        r.randomize_vec_into(&truth, &mut out, &mut rng);
+        let mut chi2 = 0.0;
+        for class in [true, false] {
+            let total = (n / 2) as f64;
+            let yes = (0..n)
+                .filter(|&i| truth.get(i) == class && out.get(i))
+                .count() as f64;
+            let expect_yes = r.yes_probability(class) * total;
+            let expect_no = total - expect_yes;
+            chi2 += (yes - expect_yes).powi(2) / expect_yes;
+            chi2 += ((total - yes) - expect_no).powi(2) / expect_no;
+        }
+        assert!(chi2 < 40.0, "χ² = {chi2} for (p, q) = ({p}, {q})");
+    }
+}
+
+/// The degenerate `p = 1` mechanism is the identity on the vector
+/// path, exactly (no quantization leak).
+#[test]
+fn bit_sliced_truthful_mechanism_is_identity() {
+    let r = Randomizer::new(1.0, 0.5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let truth = BitVec::from_bools((0..777).map(|i| i % 5 < 2));
+    let mut out = BitVec::zeros(777);
+    r.randomize_vec_into(&truth, &mut out, &mut rng);
+    assert_eq!(out, truth);
 }

@@ -1,0 +1,371 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches
+//! use — `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `iter`, `iter_batched`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! but careful wall-clock harness: per-sample iteration counts are
+//! calibrated so each sample runs ≥ ~1 ms, a warm-up phase precedes
+//! measurement, and the reported figure is the median over samples
+//! (robust to scheduler noise). Results are printed one line per
+//! benchmark:
+//!
+//! ```text
+//! group/name               time:  12.345 µs/iter   (thrpt: 810.1 Kelem/s)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for `iter_batched` (the shim uses one batch per
+/// sample regardless; the variants exist so call sites compile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (batch of one).
+    LargeInput,
+    /// Fresh state every iteration.
+    PerIteration,
+}
+
+/// Declared per-iteration work, used to derive throughput figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: core::fmt::Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter<P: core::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Types usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered `group/name` suffix.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured for the last sample set.
+    samples: Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill ~1 ms?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        // Warm up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+        }
+        // Measure.
+        let measure_start = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < self.sample_count && measure_start.elapsed() < self.measurement
+        {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        if self.samples.is_empty() {
+            // Routine slower than the whole measurement budget: one
+            // timed shot so we always report something.
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Times `routine` over per-sample state built by `setup`
+    /// (setup time is excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.samples.clear();
+        // Warm up with one batch.
+        black_box(routine(setup()));
+        let measure_start = Instant::now();
+        while self.samples.len() < self.sample_count && measure_start.elapsed() < self.measurement
+        {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+        if self.samples.is_empty() {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<N: IntoBenchmarkId, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_count: self.sample_count,
+        };
+        f(&mut bencher);
+        let ns = bencher.median_ns();
+        report(&self.name, &name.into_id(), ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<N: IntoBenchmarkId, I: ?Sized, F>(
+        &mut self,
+        name: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(name, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Command-line configuration hook (no-op in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_count: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(name, f);
+        self
+    }
+
+    /// Final summary hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(group: &str, name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    let mut line = format!("{label:<48} time: {:>12}/iter", fmt_time(ns_per_iter));
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Bytes(b) => (b as f64, "B"),
+            Throughput::Elements(e) => (e as f64, "elem"),
+        };
+        let per_sec = amount / (ns_per_iter / 1e9);
+        line.push_str(&format!("   thrpt: {:>12}/s", fmt_scaled(per_sec, unit)));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_scaled(v: f64, unit: &str) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G{unit}", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M{unit}", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K{unit}", v / 1e3)
+    } else {
+        format!("{v:.1} {unit}")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(12.3).contains("ns"));
+        assert!(fmt_time(12_300.0).contains("µs"));
+        assert!(fmt_time(12_300_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! `proptest!` macro over `arg in strategy` bindings, range and
+//! `any::<T>()` strategies, `proptest::collection::vec`, simple
+//! regex-style string strategies (`"[a-z]{1,5}"`, `"\\PC{0,60}"`),
+//! tuple strategies, and `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with
+//! the rendered failure message. Case generation is deterministic per
+//! test (seeded from the test's module path) so CI failures reproduce;
+//! set `PROPTEST_SEED` to explore a different corner of the space and
+//! `PROPTEST_CASES` to change the per-test case count (default 64).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the case does not apply.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail<S: Into<String>>(msg: S) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject<S: Into<String>>(msg: S) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo == hi { lo } else { rng.gen_range(lo..hi) }
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Marker strategy for [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Uniform draw over a type's whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain distribution.
+pub trait Arbitrary: Sized {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite doubles across a wide dynamic range (uniform bit
+        // patterns would be mostly astronomically large magnitudes).
+        let mantissa: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let exp = rng.gen_range(-300i32..300) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng),)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+/// Simple regex-style string strategy: one character class followed by
+/// a `{lo,hi}` repetition. Supported classes: `[a-z0-9_]`-style sets
+/// (literal chars and ranges) and `\PC` (printable).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (class, rest) = parse_char_class(self);
+        let (lo, hi) = parse_repetition(rest);
+        let len = if lo == hi { lo } else { rng.gen_range(lo..hi + 1) };
+        (0..len)
+            .map(|_| class[rng.gen_range(0..class.len())])
+            .collect()
+    }
+}
+
+fn parse_char_class(pattern: &str) -> (Vec<char>, &str) {
+    if let Some(rest) = pattern.strip_prefix("\\PC") {
+        // Printable: ASCII graphic + space (a practical subset of the
+        // Unicode class upstream uses).
+        return ((0x20u8..0x7F).map(|b| b as char).collect(), rest);
+    }
+    if let Some(body_start) = pattern.strip_prefix('[') {
+        let end = body_start.find(']').expect("unterminated char class");
+        let body: Vec<char> = body_start[..end].chars().collect();
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (a, b) = (body[i] as u32, body[i + 2] as u32);
+                for c in a..=b {
+                    set.push(char::from_u32(c).expect("valid range char"));
+                }
+                i += 3;
+            } else {
+                set.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty char class in {pattern}");
+        return (set, &body_start[end + 1..]);
+    }
+    panic!("proptest shim: unsupported string pattern {pattern:?}");
+}
+
+fn parse_repetition(rest: &str) -> (usize, usize) {
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("proptest shim: expected {{lo,hi}} repetition, got {rest:?}"));
+    match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("repetition lower bound"),
+            hi.trim().parse().expect("repetition upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy over `element` with `len` in `lengths`.
+    pub fn vec<S: Strategy>(element: S, lengths: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: lengths,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.start..self.len.end)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test deterministic RNG; `PROPTEST_SEED` perturbs it globally.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the fully qualified test name.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(s) = seed.parse::<u64>() {
+            h ^= s.rotate_left(32);
+        }
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Per-test case count (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Declares property tests, proptest-style.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::case_count();
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < cases.saturating_mul(50),
+                            "proptest shim: too many rejected cases in {}",
+                            stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} falsified: {}",
+                            stringify!($name),
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{} != {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (not counted as a failure) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Arbitrary, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in proptest::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn string_patterns_produce_class_members(s in "[a-c]{1,5}") {
+            prop_assert!(!s.is_empty() && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad {s}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = 0u64..1000;
+        let xs: Vec<u64> = (0..5).map(|_| s.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..5).map(|_| s.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

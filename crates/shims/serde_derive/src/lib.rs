@@ -1,0 +1,317 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the offline serde shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this crate parses the derive input with a small
+//! token-tree walker instead. It supports exactly the shapes the
+//! workspace uses: non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like — serialized with
+//! serde's external tagging convention.
+//!
+//! `Deserialize` is derived as a no-op: nothing in the workspace ever
+//! deserializes (results are written, never read back), so the derive
+//! only needs to satisfy the `use serde::{Deserialize, Serialize}`
+//! imports.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` (JSON value tree) impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs = fields
+                .iter()
+                .map(|f| pair(f, &format!("&self.{f}")))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| variant_arm(&item.name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// No-op `Deserialize` derive (see module docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn pair(name: &str, expr: &str) -> String {
+    format!(
+        "(::std::string::String::from(\"{name}\"), ::serde::Serialize::to_value({expr}))"
+    )
+}
+
+fn variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{vn} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{enum_name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![{}]),",
+            pair(vn, "__f0")
+        ),
+        VariantShape::Tuple(n) => {
+            let binders = (0..*n)
+                .map(|i| format!("__f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vn}({binders}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                  ::serde::Value::Array(::std::vec![{items}]))]),"
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binders = fields.join(", ");
+            let pairs = fields
+                .iter()
+                .map(|f| pair(f, f))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vn} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                  ::serde::Value::Object(::std::vec![{pairs}]))]),"
+            )
+        }
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!(\"{}\");", msg.replace('"', "\\\""))
+        .parse()
+        .unwrap()
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parses `(attrs)* (pub)? (struct|enum) Name (body)` from the derive
+/// input. Generic items are rejected — the workspace derives only on
+/// concrete types.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("serde_derive shim: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive shim: expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type {name} is not supported"
+        ));
+    }
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("serde_derive shim: bad struct body {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde_derive shim: bad enum body {other:?}")),
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+/// Advances past leading attributes (`#[...]`) and visibility
+/// (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-field body: for each top-level
+/// comma-separated segment, the identifier immediately before the
+/// first lone `:` (a joint `:` is half of a `::` path separator).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive shim: bad field start {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' && p.spacing() == Spacing::Alone => {}
+            other => return Err(format!("serde_derive shim: expected ':', got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type: everything to the next comma at angle depth 0.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated fields of a tuple body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde_derive shim: bad variant {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to the comma between variants (covers discriminants).
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}

@@ -9,8 +9,12 @@
 //! flagged — that is the duplicate-answer defence the paper addresses
 //! with triple splitting.
 
-use privapprox_types::{MessageId, Timestamp};
+use privapprox_types::{words, MessageId, Timestamp};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// Cap on recycled accumulator buffers held for reuse.
+const SPARE_BUFFER_CAP: usize = 4096;
 
 /// Outcome of offering one share to the joiner.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +43,10 @@ pub struct MidJoiner {
     timeout: u64,
     pending: HashMap<MessageId, Pending>,
     quarantined: HashMap<MessageId, Timestamp>,
+    /// Recycled accumulator buffers: evicted groups and buffers handed
+    /// back via [`MidJoiner::recycle`] are reused for new groups, so
+    /// the steady-state join allocates nothing per message.
+    spare: Vec<Vec<u8>>,
     /// Counters for observability/tests.
     completed: u64,
     expired: u64,
@@ -59,6 +67,7 @@ impl MidJoiner {
             timeout: timeout_ms,
             pending: HashMap::new(),
             quarantined: HashMap::new(),
+            spare: Vec::new(),
             completed: 0,
             expired: 0,
             duplicates: 0,
@@ -86,24 +95,36 @@ impl MidJoiner {
             self.duplicates += 1;
             return JoinOutcome::Duplicate;
         }
-        let entry = self.pending.entry(mid).or_insert_with(|| Pending {
-            acc: vec![0u8; payload.len()],
-            seen: 0,
-            first_seen: now,
-        });
+        let entry = match self.pending.entry(mid) {
+            Entry::Vacant(slot) => {
+                // First share of this MID: seed the accumulator from
+                // the payload directly (saves the zero-fill + XOR),
+                // reusing a recycled buffer when one is available.
+                let mut acc = self.spare.pop().unwrap_or_default();
+                acc.clear();
+                acc.extend_from_slice(payload);
+                slot.insert(Pending {
+                    acc,
+                    seen: 1 << source,
+                    first_seen: now,
+                });
+                return JoinOutcome::Pending;
+            }
+            Entry::Occupied(slot) => slot.into_mut(),
+        };
         if entry.seen & (1 << source) != 0 {
             self.duplicates += 1;
             return JoinOutcome::Duplicate;
         }
         if entry.acc.len() != payload.len() {
             // Remove the poisoned group entirely.
-            self.pending.remove(&mid);
+            if let Some(poisoned) = self.pending.remove(&mid) {
+                self.recycle(poisoned.acc);
+            }
             self.quarantined.insert(mid, now);
             return JoinOutcome::Malformed;
         }
-        for (a, b) in entry.acc.iter_mut().zip(payload) {
-            *a ^= *b;
-        }
+        words::xor_into(&mut entry.acc, payload);
         entry.seen |= 1 << source;
         if entry.seen.count_ones() as usize == self.expected {
             let done = self.pending.remove(&mid).expect("present");
@@ -116,14 +137,30 @@ impl MidJoiner {
         }
     }
 
+    /// Hands a completed message's buffer back for reuse by future
+    /// groups. Callers that decode [`JoinOutcome::Complete`] payloads
+    /// and drop them should recycle instead — it is what keeps the
+    /// steady-state join allocation-free.
+    pub fn recycle(&mut self, buffer: Vec<u8>) {
+        if self.spare.len() < SPARE_BUFFER_CAP {
+            self.spare.push(buffer);
+        }
+    }
+
     /// Evicts groups whose first share is older than the timeout, and
     /// expires old quarantine entries. Returns the number of pending
     /// groups dropped.
     pub fn sweep(&mut self, now: Timestamp) -> usize {
         let timeout = self.timeout;
         let before = self.pending.len();
-        self.pending
-            .retain(|_, p| now.0.saturating_sub(p.first_seen.0) < timeout);
+        let spare = &mut self.spare;
+        self.pending.retain(|_, p| {
+            let keep = now.0.saturating_sub(p.first_seen.0) < timeout;
+            if !keep && spare.len() < SPARE_BUFFER_CAP {
+                spare.push(core::mem::take(&mut p.acc));
+            }
+            keep
+        });
         let dropped = before - self.pending.len();
         self.expired += dropped as u64;
         // Quarantine horizon: 4× the join timeout.

@@ -11,6 +11,11 @@
 //! when the watermark passes their end (plus allowed lateness). Events
 //! older than the watermark are counted as late and dropped, matching
 //! the paper's removal of old data items.
+//!
+//! The fold consumes events *by reference*: an event landing in `k`
+//! overlapping sliding windows is folded `k` times from the same
+//! borrow, so the caller can push from a reused scratch buffer and
+//! nothing is cloned per window.
 
 use privapprox_types::{Millis, Timestamp, Window, WindowSpec};
 use std::collections::BTreeMap;
@@ -20,7 +25,7 @@ use std::collections::BTreeMap;
 pub struct WindowedFold<V, A, Init, Fold>
 where
     Init: Fn() -> A,
-    Fold: Fn(&mut A, V),
+    Fold: Fn(&mut A, &V),
 {
     spec: WindowSpec,
     init: Init,
@@ -37,7 +42,7 @@ where
 impl<V, A, Init, Fold> WindowedFold<V, A, Init, Fold>
 where
     Init: Fn() -> A,
-    Fold: Fn(&mut A, V),
+    Fold: Fn(&mut A, &V),
 {
     /// Creates a windowed fold.
     pub fn new(spec: WindowSpec, allowed_lateness: Millis, init: Init, fold: Fold) -> Self {
@@ -53,12 +58,11 @@ where
         }
     }
 
-    /// Feeds one event. Returns `false` if the event was dropped as
-    /// late (its newest containing window already closed).
-    pub fn push(&mut self, ts: Timestamp, value: V) -> bool
-    where
-        V: Clone,
-    {
+    /// Feeds one event by reference (it is folded into every
+    /// containing window from the same borrow). Returns `false` if the
+    /// event was dropped as late (its newest containing window already
+    /// closed).
+    pub fn push(&mut self, ts: Timestamp, value: &V) -> bool {
         let windows = self.spec.assign(ts);
         // Late if even the latest window containing ts has been
         // emitted already.
@@ -73,7 +77,7 @@ where
                 continue;
             }
             let acc = self.open.entry(w.start).or_insert_with(&self.init);
-            (self.fold)(acc, value.clone());
+            (self.fold)(acc, value);
         }
         true
     }
@@ -154,15 +158,15 @@ mod tests {
     fn counter_fold(
         spec: WindowSpec,
         lateness: Millis,
-    ) -> WindowedFold<u64, u64, impl Fn() -> u64, impl Fn(&mut u64, u64)> {
-        WindowedFold::new(spec, lateness, || 0u64, |acc, v| *acc += v)
+    ) -> WindowedFold<u64, u64, impl Fn() -> u64, impl Fn(&mut u64, &u64)> {
+        WindowedFold::new(spec, lateness, || 0u64, |acc, v| *acc += *v)
     }
 
     #[test]
     fn tumbling_counts_per_window() {
         let mut wf = counter_fold(WindowSpec::tumbling(100), 0);
         for t in [5u64, 20, 99, 100, 150, 250] {
-            assert!(wf.push(Timestamp(t), 1));
+            assert!(wf.push(Timestamp(t), &1));
         }
         let emitted = wf.advance_watermark(Timestamp(300));
         assert_eq!(emitted.len(), 3);
@@ -176,7 +180,7 @@ mod tests {
     fn sliding_windows_overlap() {
         // w=100, δ=50: event at t=120 lands in [50,150) and [100,200).
         let mut wf = counter_fold(WindowSpec::sliding(100, 50), 0);
-        wf.push(Timestamp(120), 1);
+        wf.push(Timestamp(120), &1);
         let emitted = wf.advance_watermark(Timestamp(500));
         assert_eq!(emitted.len(), 2);
         assert_eq!(emitted[0].0.start, Timestamp(50));
@@ -188,7 +192,7 @@ mod tests {
     fn emission_is_ordered_and_once() {
         let mut wf = counter_fold(WindowSpec::sliding(100, 25), 0);
         for t in 0..300u64 {
-            wf.push(Timestamp(t), 1);
+            wf.push(Timestamp(t), &1);
         }
         let first = wf.advance_watermark(Timestamp(200));
         let starts: Vec<u64> = first.iter().map(|(w, _)| w.start.0).collect();
@@ -208,20 +212,20 @@ mod tests {
     #[test]
     fn late_events_are_dropped_and_counted() {
         let mut wf = counter_fold(WindowSpec::tumbling(100), 0);
-        wf.push(Timestamp(50), 1);
+        wf.push(Timestamp(50), &1);
         wf.advance_watermark(Timestamp(200));
-        assert!(!wf.push(Timestamp(50), 1), "event behind watermark");
+        assert!(!wf.push(Timestamp(50), &1), "event behind watermark");
         assert_eq!(wf.late_events(), 1);
     }
 
     #[test]
     fn allowed_lateness_keeps_windows_open() {
         let mut wf = counter_fold(WindowSpec::tumbling(100), 50);
-        wf.push(Timestamp(50), 1);
+        wf.push(Timestamp(50), &1);
         // Watermark at 120: window [0,100) would close without
         // lateness, but lateness 50 holds it until 150.
         assert!(wf.advance_watermark(Timestamp(120)).is_empty());
-        assert!(wf.push(Timestamp(60), 1), "late-but-allowed event");
+        assert!(wf.push(Timestamp(60), &1), "late-but-allowed event");
         let emitted = wf.advance_watermark(Timestamp(151));
         assert_eq!(emitted.len(), 1);
         assert_eq!(emitted[0].1, 2, "late event included");
@@ -239,7 +243,7 @@ mod tests {
     fn open_window_count_is_bounded_by_activity() {
         let mut wf = counter_fold(WindowSpec::sliding(100, 25), 0);
         for t in 0..1000u64 {
-            wf.push(Timestamp(t), 1);
+            wf.push(Timestamp(t), &1);
             if t % 100 == 0 {
                 wf.advance_watermark(Timestamp(t));
             }

@@ -93,10 +93,10 @@ proptest! {
             WindowSpec::tumbling(size),
             0,
             || 0u64,
-            |acc: &mut u64, _v: ()| *acc += 1,
+            |acc: &mut u64, _v: &()| *acc += 1,
         );
         for &t in &sorted {
-            prop_assert!(wf.push(Timestamp(t), ()), "sorted events are never late");
+            prop_assert!(wf.push(Timestamp(t), &()), "sorted events are never late");
         }
         let emitted = wf.advance_watermark(Timestamp(10_000 + size * 2));
         let total: u64 = emitted.iter().map(|(_, c)| *c).sum();
@@ -117,13 +117,13 @@ proptest! {
     ) {
         let size = slide * mult;
         let spec = WindowSpec::sliding(size, slide);
-        let mut wf = WindowedFold::new(spec, 0, || 0u64, |acc: &mut u64, _v: ()| *acc += 1);
+        let mut wf = WindowedFold::new(spec, 0, || 0u64, |acc: &mut u64, _v: &()| *acc += 1);
         // Shift all events past one full window so origin truncation
         // is out of the picture.
         let mut times: Vec<u64> = offsets.iter().map(|o| o + size).collect();
         times.sort_unstable();
         for &t in &times {
-            wf.push(Timestamp(t), ());
+            wf.push(Timestamp(t), &());
         }
         let emitted = wf.advance_watermark(Timestamp(size + 1_000 + 2 * size));
         let total: u64 = emitted.iter().map(|(_, c)| *c).sum();

@@ -29,13 +29,26 @@ impl BitVec {
     }
 
     /// Creates a bit vector from an iterator of booleans.
+    ///
+    /// Limbs are packed directly as the iterator is consumed — no
+    /// intermediate buffer and no per-bit read-modify-write.
     pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        let bits: Vec<bool> = bits.into_iter().collect();
-        let mut v = BitVec::zeros(bits.len());
-        for (i, b) in bits.iter().enumerate() {
-            v.set(i, *b);
+        let iter = bits.into_iter();
+        let mut limbs = Vec::with_capacity(iter.size_hint().0.div_ceil(64));
+        let mut current = 0u64;
+        let mut len = 0usize;
+        for b in iter {
+            current |= (b as u64) << (len % 64);
+            len += 1;
+            if len % 64 == 0 {
+                limbs.push(current);
+                current = 0;
+            }
         }
-        v
+        if len % 64 != 0 {
+            limbs.push(current);
+        }
+        BitVec { len, limbs }
     }
 
     /// Creates a one-hot vector: `len` bits with only `index` set.
@@ -121,18 +134,46 @@ impl BitVec {
     }
 
     /// Iterates over the indices of set bits in increasing order.
+    ///
+    /// Word-wise: zero limbs are skipped in one comparison and set
+    /// bits are located with `trailing_zeros`, so sparse vectors cost
+    /// `O(limbs + ones)` rather than `O(len)`.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        self.limbs.iter().enumerate().flat_map(|(li, &limb)| {
+            core::iter::successors(
+                if limb == 0 { None } else { Some(limb) },
+                |&rest| {
+                    let next = rest & (rest - 1); // clear lowest set bit
+                    if next == 0 {
+                        None
+                    } else {
+                        Some(next)
+                    }
+                },
+            )
+            .map(move |rest| li * 64 + rest.trailing_zeros() as usize)
+        })
     }
 
     /// Serializes to little-endian bytes, `ceil(len/8)` of them.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.len.div_ceil(8));
-        for byte_idx in 0..self.len.div_ceil(8) {
-            let limb = self.limbs[byte_idx / 8];
-            out.push((limb >> ((byte_idx % 8) * 8)) as u8);
-        }
+        self.extend_bytes_into(&mut out);
         out
+    }
+
+    /// Appends the [`BitVec::to_bytes`] form to `out` without
+    /// allocating (beyond any growth of `out` itself): whole limbs are
+    /// appended as 8-byte little-endian chunks, the tail byte-by-byte.
+    pub fn extend_bytes_into(&self, out: &mut Vec<u8>) {
+        let total = self.len.div_ceil(8);
+        let whole_limbs = total / 8;
+        for &limb in &self.limbs[..whole_limbs] {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+        for byte_idx in whole_limbs * 8..total {
+            out.push((self.limbs[byte_idx / 8] >> ((byte_idx % 8) * 8)) as u8);
+        }
     }
 
     /// Deserializes from the [`BitVec::to_bytes`] form.
@@ -141,26 +182,95 @@ impl BitVec {
     /// trailing padding bits beyond `len` are set (which would indicate
     /// a corrupt or forged message).
     pub fn from_bytes(len: usize, bytes: &[u8]) -> Option<Self> {
-        if bytes.len() != len.div_ceil(8) {
-            return None;
-        }
         let mut v = BitVec::zeros(len);
-        for (byte_idx, &b) in bytes.iter().enumerate() {
-            v.limbs[byte_idx / 8] |= (b as u64) << ((byte_idx % 8) * 8);
+        if v.assign_from_bytes(len, bytes) {
+            Some(v)
+        } else {
+            None
         }
-        // Reject set bits in the padding region beyond `len`.
+    }
+
+    /// Reuses `self`'s limb storage to hold the vector encoded by
+    /// `bytes` (the [`BitVec::to_bytes`] form, `len` bits). Returns
+    /// `false` — leaving `self` in an unspecified but valid state — if
+    /// `bytes` has the wrong length or set padding bits.
+    ///
+    /// Allocation-free once `self`'s capacity covers `len`; this is
+    /// the decode path the aggregator drains windows through.
+    pub fn assign_from_bytes(&mut self, len: usize, bytes: &[u8]) -> bool {
+        if bytes.len() != len.div_ceil(8) {
+            return false;
+        }
+        self.len = len;
+        let limb_count = len.div_ceil(64);
+        self.limbs.clear();
+        self.limbs.reserve(limb_count);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.limbs
+                .push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.limbs.push(u64::from_le_bytes(tail));
+        }
+        debug_assert_eq!(self.limbs.len(), limb_count);
+        // Reject set bits in the padding region beyond `len` — but
+        // first clear them, so even the rejection path leaves `self`
+        // honoring the representation invariant (derived
+        // `PartialEq`/`Hash` compare raw limbs).
         if len % 64 != 0 {
             let valid_mask = (1u64 << (len % 64)) - 1;
-            if v.limbs.last().copied().unwrap_or(0) & !valid_mask != 0 {
-                return None;
+            if let Some(last) = self.limbs.last_mut() {
+                if *last & !valid_mask != 0 {
+                    *last &= valid_mask;
+                    return false;
+                }
             }
         }
-        Some(v)
+        true
     }
 
     /// Access to the raw limb slice (used by the XOR codec fast path).
     pub fn limbs(&self) -> &[u64] {
         &self.limbs
+    }
+
+    /// Mutable access to the raw limb slice (the word-level write path
+    /// of the bit-sliced randomizer).
+    ///
+    /// Callers must keep the invariant that bits at positions
+    /// `>= len()` in the last limb stay zero; [`BitVec::mask_padding`]
+    /// restores it after bulk limb writes.
+    pub fn limbs_mut(&mut self) -> &mut [u64] {
+        &mut self.limbs
+    }
+
+    /// Zeroes any bits at positions `>= len()` in the last limb,
+    /// restoring the representation invariant after raw limb writes.
+    pub fn mask_padding(&mut self) {
+        if self.len % 64 != 0 {
+            if let Some(last) = self.limbs.last_mut() {
+                *last &= (1u64 << (self.len % 64)) - 1;
+            }
+        }
+    }
+
+    /// Resets to an all-zero vector of `len` bits, reusing the limb
+    /// allocation when capacity allows.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.limbs.clear();
+        self.limbs.resize(len.div_ceil(64), 0);
+    }
+}
+
+impl Default for BitVec {
+    /// The empty (zero-bit) vector.
+    fn default() -> Self {
+        BitVec::zeros(0)
     }
 }
 
@@ -257,6 +367,18 @@ mod tests {
         // len = 4 needs 1 byte; bits 4..8 are padding and must be 0.
         assert!(BitVec::from_bytes(4, &[0b0001_0000]).is_none());
         assert!(BitVec::from_bytes(4, &[0b0000_1111]).is_some());
+    }
+
+    #[test]
+    fn rejected_assign_still_upholds_the_representation_invariant() {
+        let mut v = BitVec::zeros(4);
+        assert!(!v.assign_from_bytes(4, &[0b1000_0011]));
+        // Rejected — but `v` must stay a *valid* BitVec: padding bits
+        // cleared, so derived equality over raw limbs agrees with
+        // logical bit equality.
+        let logical = BitVec::from_bools(v.iter());
+        assert_eq!(v, logical, "padding bits leaked into limbs");
+        assert_eq!(v.to_bytes(), logical.to_bytes());
     }
 
     #[test]

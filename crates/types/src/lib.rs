@@ -13,6 +13,7 @@ pub mod budget;
 pub mod ids;
 pub mod query;
 pub mod time;
+pub mod words;
 
 pub use bitvec::BitVec;
 pub use budget::{Budget, ExecutionParams};
