@@ -1,24 +1,41 @@
-//! Full-pipeline throughput benchmark: client randomize → encode →
-//! split, then aggregator join → decode → window fold, all through the
-//! allocation-free scratch APIs.
+//! Full-pipeline throughput benchmark, two pipelines per sweep point:
+//!
+//! * `round_trip` — client randomize → encode → split, then
+//!   aggregator join → decode → window fold, all through the
+//!   allocation-free scratch APIs (the BENCH_1 pipeline, kept for
+//!   trajectory continuity);
+//! * `full_answer_pipeline` — the Table-3-style client answer path
+//!   *including the SQL stage*: prepared-plan scan over a 256-row
+//!   local store + bucketize + randomize + encode + split via
+//!   `Client::answer_query_into`.
 //!
 //! Sweeps proxies n ∈ {2, 3} × buckets ∈ {11, 10⁴} and writes
-//! `BENCH_1.json` (machine-readable perf trajectory for later PRs)
-//! next to the working directory, plus the usual copy under
-//! `results/`.
+//! `BENCH_2.json` (machine-readable perf trajectory for later PRs;
+//! schema documented in `docs/benchmarks.md`) next to the working
+//! directory, plus the usual copy under `results/`.
 
 use privapprox_bench::report::{with_commas, Table};
+use privapprox_core::client::{Client, ClientScratch};
 use privapprox_crypto::xor::{answer_wire_size, decode_answer_into, encode_answer_into};
 use privapprox_crypto::{SplitScratch, XorSplitter};
 use privapprox_rr::estimate::BucketEstimator;
 use privapprox_rr::randomize::Randomizer;
+use privapprox_sql::{ColumnType, Schema, Value};
 use privapprox_stream::join::{JoinOutcome, MidJoiner};
 use privapprox_types::ids::AnalystId;
-use privapprox_types::{BitVec, MessageId, QueryId, Timestamp};
+use privapprox_types::{
+    AnswerSpec, BitVec, ClientId, ExecutionParams, MessageId, QueryBuilder, QueryId, Timestamp,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::time::Instant;
+
+const KEY: u64 = 0xB0B;
+
+/// Rows in each client's local store (the paper's clients keep a
+/// bounded recent history; matches `experiments::table3::CLIENT_ROWS`).
+const CLIENT_ROWS: i64 = 256;
 
 /// One (proxies, buckets) sweep point.
 #[derive(Debug, Clone, Serialize)]
@@ -27,7 +44,7 @@ struct ThroughputRow {
     proxies: usize,
     /// Answer width in buckets.
     buckets: usize,
-    /// Messages driven through the full pipeline.
+    /// Messages driven through the pipeline.
     messages: u64,
     /// End-to-end messages per second.
     msgs_per_sec: f64,
@@ -37,19 +54,24 @@ struct ThroughputRow {
     ns_per_msg: f64,
 }
 
-/// The whole run, as persisted to `BENCH_1.json`.
+/// The whole run, as persisted to `BENCH_2.json`.
 #[derive(Debug, Clone, Serialize)]
 struct ThroughputReport {
     /// Which PR's trajectory point this is.
     bench_revision: u32,
-    /// What the numbers measure.
-    pipeline: String,
-    rows: Vec<ThroughputRow>,
+    /// What `round_trip` measures.
+    round_trip_pipeline: String,
+    /// What `full_answer_pipeline` measures.
+    full_answer_pipeline: String,
+    /// Round-trip rows (BENCH_1-comparable).
+    round_trip: Vec<ThroughputRow>,
+    /// Client answer-path rows (SQL stage included).
+    full_answer: Vec<ThroughputRow>,
 }
 
 /// Drives `messages` full client→aggregator round trips and returns
 /// the measurement row.
-fn run_point(proxies: usize, buckets: usize, messages: u64) -> ThroughputRow {
+fn run_round_trip(proxies: usize, buckets: usize, messages: u64) -> ThroughputRow {
     let mut rng = StdRng::seed_from_u64(0xBEEF ^ (proxies as u64) << 32 ^ buckets as u64);
     let qid = QueryId::new(AnalystId(1), 1);
     let randomizer = Randomizer::new(0.9, 0.6);
@@ -105,7 +127,61 @@ fn run_point(proxies: usize, buckets: usize, messages: u64) -> ThroughputRow {
         warmup + messages,
         "every message must survive the pipeline"
     );
+    row(proxies, buckets, messages, elapsed)
+}
 
+/// Drives `messages` client answer epochs — prepared SQL over a
+/// 256-row store, bucketize, randomize, encode, split — and returns
+/// the measurement row.
+fn run_full_answer(proxies: usize, buckets: usize, messages: u64) -> ThroughputRow {
+    let query = QueryBuilder::new(
+        QueryId::new(AnalystId(1), 2),
+        "SELECT d FROM rides WHERE ts >= 128",
+    )
+    .answer(AnswerSpec::ranges_with_overflow(0.0, 110.0, buckets - 1))
+    .frequency(1_000)
+    .window(60_000, 60_000)
+    .sign_and_build(KEY);
+    let params = ExecutionParams::checked(1.0, 0.9, 0.6);
+
+    let mut client = Client::new(ClientId(1), 0xC11E47 ^ buckets as u64, KEY);
+    client.db_mut().create_table(
+        "rides",
+        Schema::new(vec![("ts", ColumnType::Int), ("d", ColumnType::Float)]),
+    );
+    for i in 0..CLIENT_ROWS {
+        client
+            .db_mut()
+            .insert("rides", vec![Value::Int(i), Value::Float((i % 100) as f64)])
+            .unwrap();
+    }
+
+    let mut scratch = ClientScratch::new();
+    let warmup = (messages / 10).clamp(10, 1_000);
+    for _ in 0..warmup {
+        client
+            .answer_query_into(&query, &params, proxies, &mut scratch)
+            .unwrap()
+            .expect("s = 1 always participates");
+    }
+
+    let start = Instant::now();
+    for _ in 0..messages {
+        let shares = client
+            .answer_query_into(&query, &params, proxies, &mut scratch)
+            .unwrap()
+            .expect("s = 1 always participates");
+        std::hint::black_box(shares);
+    }
+    row(proxies, buckets, messages, start.elapsed())
+}
+
+fn row(
+    proxies: usize,
+    buckets: usize,
+    messages: u64,
+    elapsed: std::time::Duration,
+) -> ThroughputRow {
     let secs = elapsed.as_secs_f64();
     let share_bytes = (proxies * answer_wire_size(buckets)) as f64;
     ThroughputRow {
@@ -119,36 +195,49 @@ fn run_point(proxies: usize, buckets: usize, messages: u64) -> ThroughputRow {
 }
 
 fn main() {
-    println!("Full-pipeline throughput (randomize → encode → split → join → decode → fold)\n");
-    let mut rows = Vec::new();
+    println!("Throughput sweep — round trip and client full_answer_pipeline\n");
+    let mut round_trip = Vec::new();
+    let mut full_answer = Vec::new();
     for &proxies in &[2usize, 3] {
         for &buckets in &[11usize, 10_000] {
             // Size message counts so each point runs a few hundred ms.
             let messages = if buckets > 1_000 { 20_000 } else { 400_000 };
-            rows.push(run_point(proxies, buckets, messages));
+            round_trip.push(run_round_trip(proxies, buckets, messages));
+            full_answer.push(run_full_answer(proxies, buckets, messages));
         }
     }
 
-    let mut table = Table::new(&["proxies", "buckets", "msgs/sec", "MB/sec", "ns/msg"]);
-    for r in &rows {
-        table.row(vec![
-            r.proxies.to_string(),
-            r.buckets.to_string(),
-            with_commas(r.msgs_per_sec as u64),
-            format!("{:.1}", r.bytes_per_sec / 1e6),
-            format!("{:.0}", r.ns_per_msg),
-        ]);
+    for (name, rows) in [
+        ("round_trip", &round_trip),
+        ("full_answer_pipeline", &full_answer),
+    ] {
+        println!("{name}:");
+        let mut table = Table::new(&["proxies", "buckets", "msgs/sec", "MB/sec", "ns/msg"]);
+        for r in rows.iter() {
+            table.row(vec![
+                r.proxies.to_string(),
+                r.buckets.to_string(),
+                with_commas(r.msgs_per_sec as u64),
+                format!("{:.1}", r.bytes_per_sec / 1e6),
+                format!("{:.0}", r.ns_per_msg),
+            ]);
+        }
+        println!("{}", table.render());
     }
-    println!("{}", table.render());
 
     let report = ThroughputReport {
-        bench_revision: 1,
-        pipeline: "client randomize→encode→split + aggregator join→decode→fold".to_string(),
-        rows,
+        bench_revision: 2,
+        round_trip_pipeline: "client randomize→encode→split + aggregator join→decode→fold"
+            .to_string(),
+        full_answer_pipeline:
+            "client prepared-SQL (256-row store) + bucketize + randomize + encode + split"
+                .to_string(),
+        round_trip,
+        full_answer,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
-    println!("trajectory written to BENCH_1.json");
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("trajectory written to BENCH_2.json");
     if let Ok(path) = privapprox_bench::save_json("throughput", &report) {
         println!("results copy at {}", path.display());
     }

@@ -19,9 +19,11 @@ use privapprox_stats::tdist::t_critical;
 use privapprox_stream::broker::{Broker, Consumer};
 use privapprox_stream::join::{JoinOutcome, MidJoiner};
 use privapprox_stream::window::WindowedFold;
+use privapprox_types::ids::AnalystId;
 use privapprox_types::{BitVec, ExecutionParams, MessageId, QueryId, Timestamp, Window};
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Default join timeout: shares split across proxies should arrive
 /// within this many milliseconds of each other.
@@ -88,6 +90,15 @@ impl QueryResult {
 type BoxedInit = Box<dyn Fn() -> BucketEstimator + Send>;
 type BoxedFold = Box<dyn Fn(&mut BucketEstimator, &BitVec) + Send>;
 
+/// A shared pool of recycled [`BucketEstimator`]s keyed by bucket
+/// count. Every window *open* takes a warm estimator (resetting its
+/// counts in place) instead of allocating `vec![0; buckets]`, and
+/// every window *close* returns it after finalization — in steady
+/// state the open/close cycle touches the heap not at all. The pool
+/// is shared across every query registered on one aggregator, so
+/// same-width queries amortize each other's windows.
+type EstimatorPool = Arc<Mutex<HashMap<usize, Vec<BucketEstimator>>>>;
+
 struct QueryState {
     params: ExecutionParams,
     population: u64,
@@ -108,6 +119,14 @@ pub struct Aggregator {
     /// fold it by reference, so the steady-state drain loop performs
     /// no per-message allocation.
     answer_scratch: BitVec,
+    /// Recycled estimators, shared with every query's window-open
+    /// closure.
+    estimator_pool: EstimatorPool,
+    /// Scratch buffer closed windows drain into before finalization.
+    closed_scratch: Vec<(Window, BucketEstimator)>,
+    /// Recycled [`QueryResult`] shells (their `buckets` vectors keep
+    /// their capacity), refilled by [`Aggregator::recycle_results`].
+    spare_results: Vec<QueryResult>,
     /// Records that failed decode (malformed / corrupt shares).
     undecodable: u64,
     /// Decoded answers for unregistered queries.
@@ -140,6 +159,9 @@ impl Aggregator {
             queries: HashMap::new(),
             confidence,
             answer_scratch: BitVec::zeros(0),
+            estimator_pool: Arc::new(Mutex::new(HashMap::new())),
+            closed_scratch: Vec::new(),
+            spare_results: Vec::new(),
             undecodable: 0,
             unroutable: 0,
         }
@@ -154,8 +176,19 @@ impl Aggregator {
     ) {
         let buckets = query.answer.len();
         let init: BoxedInit = {
-            let (p, q) = (params.p, params.q);
-            Box::new(move || BucketEstimator::new(buckets, p.min(1.0), q))
+            let (p, q) = (params.p.min(1.0), params.q);
+            let pool = Arc::clone(&self.estimator_pool);
+            Box::new(move || {
+                // Window open: recycle a same-width estimator when the
+                // pool has one, allocate only on a cold pool.
+                match pool.lock().expect("pool lock").get_mut(&buckets).and_then(Vec::pop) {
+                    Some(mut est) => {
+                        est.reset(p, q);
+                        est
+                    }
+                    None => BucketEstimator::new(buckets, p, q),
+                }
+            })
         };
         let fold: BoxedFold = Box::new(move |est, v| est.push(v));
         self.queries.insert(
@@ -237,24 +270,68 @@ impl Aggregator {
 
     /// Advances event time, sweeping the joiner and emitting results
     /// for every window that closed.
+    ///
+    /// Allocating wrapper over
+    /// [`Aggregator::advance_watermark_into`]; the returned results
+    /// leave the shell pool for good, so steady-state callers should
+    /// prefer the `_into` form plus [`Aggregator::recycle_results`].
     pub fn advance_watermark(&mut self, to: Timestamp) -> Vec<QueryResult> {
+        let mut out = Vec::new();
+        self.advance_watermark_into(to, &mut out);
+        out
+    }
+
+    /// Advances event time, sweeping the joiner and *appending* a
+    /// result for every window that closed to `out` (in window-start
+    /// order, ties broken by query id).
+    ///
+    /// This is the allocation-free half of the window lifecycle: the
+    /// closed windows drain into a reused scratch buffer, each
+    /// estimator is finalized into a recycled [`QueryResult`] shell
+    /// (its `buckets` vector keeps its capacity) and then returned to
+    /// the estimator pool for the next window open. Once the pools
+    /// are warm — after one full window cycle per registered query —
+    /// a window close performs zero heap allocations (see
+    /// `tests/alloc_steady_state.rs`).
+    pub fn advance_watermark_into(&mut self, to: Timestamp, out: &mut Vec<QueryResult>) {
         self.joiner.sweep(to);
         let confidence = self.confidence;
-        let mut out = Vec::new();
+        let start_len = out.len();
         for (qid, state) in self.queries.iter_mut() {
-            for (window, est) in state.windows.advance_watermark(to) {
-                out.push(finalize_window(
+            state
+                .windows
+                .advance_watermark_into(to, &mut self.closed_scratch);
+            for (window, est) in self.closed_scratch.drain(..) {
+                let mut result = self.spare_results.pop().unwrap_or_else(result_shell);
+                finalize_window_into(
+                    &mut result,
                     *qid,
                     window,
                     &est,
                     state.params,
                     state.population,
                     confidence,
-                ));
+                );
+                out.push(result);
+                // Window close complete: the estimator goes back to
+                // the pool for the next open of this width.
+                self.estimator_pool
+                    .lock()
+                    .expect("pool lock")
+                    .entry(est.raw_counts().len())
+                    .or_default()
+                    .push(est);
             }
         }
-        out.sort_by_key(|r| (r.window.start, r.query.to_u64()));
-        out
+        out[start_len..].sort_unstable_by_key(|r| (r.window.start, r.query.to_u64()));
+    }
+
+    /// Returns consumed results to the shell pool so their buffers
+    /// can back future window closes. Callers running the
+    /// steady-state loop pair every [`Aggregator::advance_watermark_into`]
+    /// with one `recycle_results` after reading the batch.
+    pub fn recycle_results(&mut self, consumed: &mut Vec<QueryResult>) {
+        self.spare_results.append(consumed);
     }
 
     /// Count of records that failed share/answer decoding.
@@ -278,23 +355,42 @@ impl Aggregator {
     }
 }
 
-/// Turns a closed window's accumulated counts into a [`QueryResult`].
-fn finalize_window(
+/// A blank [`QueryResult`] shell for the recycling pool; every field
+/// is overwritten by [`finalize_window_into`].
+fn result_shell() -> QueryResult {
+    QueryResult {
+        query: QueryId::new(AnalystId(0), 0),
+        window: Window::of(Timestamp(0), 0),
+        sample_size: 0,
+        population: 0,
+        buckets: Vec::new(),
+        privacy: PrivacyReport::for_params(1.0, 0.9, 0.5),
+    }
+}
+
+/// Writes a closed window's accumulated counts into a recycled
+/// [`QueryResult`] shell (the `buckets` vector keeps its capacity
+/// across windows).
+fn finalize_window_into(
+    out: &mut QueryResult,
     query: QueryId,
     window: Window,
     est: &BucketEstimator,
     params: ExecutionParams,
     population: u64,
     confidence: f64,
-) -> QueryResult {
+) {
     let n = est.total();
     let u = population as f64;
     let scale = if n > 0 { u / n as f64 } else { 0.0 };
     let z = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
-    let buckets = est
-        .raw_counts()
-        .iter()
-        .map(|&ry| {
+    out.query = query;
+    out.window = window;
+    out.sample_size = n;
+    out.population = population;
+    out.privacy = PrivacyReport::for_params(params.s, params.p, params.q);
+    out.buckets.clear();
+    out.buckets.extend(est.raw_counts().iter().map(|&ry| {
             let e_sample = if n > 0 {
                 if params.p >= 1.0 {
                     ry as f64
@@ -336,16 +432,7 @@ fn finalize_window(
                 sampling_error,
                 rr_error,
             }
-        })
-        .collect();
-    QueryResult {
-        query,
-        window,
-        sample_size: n,
-        population,
-        buckets,
-        privacy: PrivacyReport::for_params(params.s, params.p, params.q),
-    }
+        }));
 }
 
 /// Empirically calibrates the accuracy loss of the randomized-response
@@ -550,6 +637,50 @@ mod tests {
         assert_eq!(results[0].sample_size, 2);
         assert_eq!(results[1].sample_size, 1);
         assert!(results[0].window.start < results[1].window.start);
+    }
+
+    #[test]
+    fn estimator_pool_reuse_stays_correct_across_window_cycles() {
+        // Three full window cycles through the recycled-shell API:
+        // every cycle's estimator comes from the pool after the
+        // first, and every cycle's result must be freshly counted
+        // (a stale estimator would inflate the counts).
+        let broker = privapprox_stream::broker::Broker::new(2);
+        let query = test_query(1_000);
+        let producer = broker.producer();
+        let mut proxies: Vec<Proxy> = (0..2).map(|i| Proxy::new(ProxyId(i), &broker)).collect();
+        let mut agg = Aggregator::new(&broker, 2, 0.95);
+        let params = ExecutionParams::checked(1.0, 1.0, 0.5);
+        agg.register_query(&query, params, 10);
+
+        let mut results: Vec<QueryResult> = Vec::new();
+        for cycle in 0u64..4 {
+            let n_answers = cycle + 1; // distinct per cycle
+            for i in 0..n_answers {
+                let mut client = make_client(100 * cycle + i, 2.5);
+                let answer = client.answer_query(&query, &params, 2).unwrap().unwrap();
+                for (pi, share) in answer.shares.iter().enumerate() {
+                    producer.send(
+                        &inbound_topic(ProxyId(pi as u16)),
+                        Some(share.mid.to_bytes().to_vec()),
+                        share.payload.clone(),
+                        Timestamp(cycle * 1_000 + 500),
+                    );
+                }
+            }
+            for p in &mut proxies {
+                p.pump();
+            }
+            agg.pump();
+            agg.advance_watermark_into(Timestamp((cycle + 1) * 1_000), &mut results);
+            assert_eq!(results.len(), 1, "cycle {cycle}");
+            let r = &results[0];
+            assert_eq!(r.sample_size, n_answers, "cycle {cycle}");
+            assert_eq!(r.buckets[2].raw_yes, n_answers, "cycle {cycle}");
+            assert!(r.buckets.iter().enumerate().all(|(b, br)| b == 2 || br.raw_yes == 0));
+            agg.recycle_results(&mut results);
+            assert!(results.is_empty(), "recycling drains the batch");
+        }
     }
 
     #[test]

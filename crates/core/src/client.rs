@@ -7,15 +7,24 @@
 //! the answer into the `A[n]` bit-vector, (iii) randomizes every bit
 //! with the two-coin mechanism, and (iv) splits the encoded message
 //! into XOR shares, one per proxy.
+//!
+//! A query is long-lived while local rows churn, so the client
+//! compiles each `QueryId`'s SQL once into a prepared plan
+//! ([`privapprox_sql::PlanCache`]) and caches a compiled bucket
+//! indexer per query ([`privapprox_types::BucketIndexer`]); the
+//! per-epoch SQL stage is then a plan-cache hit plus an
+//! allocation-free scan. Re-registering a `QueryId` with different
+//! SQL, or re-creating a local table, transparently recompiles.
 
 use crate::error::CoreError;
 use privapprox_crypto::xor::{encode_answer_into, Share, SplitScratch, XorSplitter};
 use privapprox_rr::randomize::Randomizer;
 use privapprox_sampling::srs::ParticipationCoin;
-use privapprox_sql::{execute, parse_select, Database, Value};
-use privapprox_types::{BitVec, ClientId, ExecutionParams, MessageId, Query};
+use privapprox_sql::{Database, EvalScratch, PlanCache, ValueRef};
+use privapprox_types::{BitVec, BucketIndexer, ClientId, ExecutionParams, MessageId, Query, QueryId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// One client's produced answer: `n` shares destined for `n` proxies.
 #[derive(Debug, Clone)]
@@ -25,14 +34,16 @@ pub struct ClientAnswer {
 }
 
 /// Caller-owned buffers for the client's per-epoch hot path
-/// (randomize → encode → split).
+/// (SQL → bucketize → randomize → encode → split).
 ///
-/// Reusing one `ClientScratch` across epochs makes those three stages
-/// allocation-free at steady state; only the SQL execution of the
-/// truthful answer still allocates (its result sets are variable
-/// sized by nature).
+/// Reusing one `ClientScratch` across epochs makes the whole answer
+/// pipeline allocation-free at steady state: the truthful `A[n]`
+/// vector is rebuilt in place from the prepared plan's scan, and the
+/// downstream stages reuse their buffers as before.
 #[derive(Debug, Clone, Default)]
 pub struct ClientScratch {
+    /// The truthful `A[n]` vector.
+    truth: BitVec,
     /// The randomized `A[n]` vector.
     randomized: BitVec,
     /// The encoded wire message `⟨QID, randomized answer⟩`.
@@ -54,6 +65,19 @@ impl ClientScratch {
     }
 }
 
+/// A cached [`BucketIndexer`] plus the fingerprint it was compiled
+/// under: the query's signature covers the SQL, id and answer width,
+/// so a re-registered query recompiles the indexer too. Stale
+/// indexers are merely slow, never wrong — every arithmetic
+/// candidate is verified against the live spec (see
+/// [`BucketIndexer::bucketize_num`]).
+#[derive(Debug, Clone, Copy)]
+struct CachedIndexer {
+    signature: u64,
+    answer_len: usize,
+    indexer: BucketIndexer,
+}
+
 /// A client device holding one user's private data.
 pub struct Client {
     id: ClientId,
@@ -62,6 +86,12 @@ pub struct Client {
     /// Analyst public keys this client trusts (keyed verification of
     /// query signatures, §3.1).
     analyst_key: u64,
+    /// Prepared plans keyed by `QueryId` (see the module docs).
+    plans: PlanCache,
+    /// Opcode-stack scratch for prepared execution.
+    sql_scratch: EvalScratch,
+    /// Compiled bucket indexers keyed by `QueryId`.
+    indexers: HashMap<QueryId, CachedIndexer>,
 }
 
 impl Client {
@@ -73,6 +103,9 @@ impl Client {
             db: Database::new(),
             rng: StdRng::seed_from_u64(seed ^ id.0.rotate_left(32)),
             analyst_key,
+            plans: PlanCache::new(),
+            sql_scratch: EvalScratch::new(),
+            indexers: HashMap::new(),
         }
     }
 
@@ -97,31 +130,68 @@ impl Client {
     /// Returns the all-zero vector when the query matches no local
     /// rows (the client has no answer in range — every bucket is
     /// truthfully "no").
-    pub fn truthful_answer(&self, query: &Query) -> Result<BitVec, CoreError> {
-        let stmt = parse_select(&query.sql)?;
-        let rs = execute(&stmt, &self.db)?;
-        let column = rs.single_column()?;
+    ///
+    /// Allocating wrapper over [`Client::truthful_answer_into`];
+    /// both consult the client's plan cache, so repeated calls for
+    /// one `QueryId` compile the SQL exactly once.
+    pub fn truthful_answer(&mut self, query: &Query) -> Result<BitVec, CoreError> {
         let mut vec = BitVec::zeros(query.answer.len());
+        self.truthful_answer_into(query, &mut vec)?;
+        Ok(vec)
+    }
+
+    /// [`Client::truthful_answer`] into a caller-owned vector:
+    /// plan-cache hit, prepared scan, arithmetic bucketization —
+    /// allocation-free once the plan and `out` are warm.
+    pub fn truthful_answer_into(&mut self, query: &Query, out: &mut BitVec) -> Result<(), CoreError> {
+        out.reset(query.answer.len());
+        // The indexer cache is refreshed first so its borrow ends
+        // before the plan's scan borrows the database.
+        let indexer = self.indexer_for(query);
+        let plan = self.plans.get_or_prepare(query.id, &query.sql, &self.db)?;
         // The newest row is the client's current state (clients append
         // their stream in time order).
-        let Some(value) = column.last() else {
-            return Ok(vec);
+        let Some(value) = plan.last_single_value(&self.db, &mut self.sql_scratch)? else {
+            return Ok(());
         };
         let bucket = match value {
-            Value::Null => None,
-            Value::Text(s) => query.answer.bucketize_text(s),
+            ValueRef::Null => None,
+            ValueRef::Text(s) => indexer.bucketize_text(&query.answer, s),
             other => match other.as_f64() {
-                Some(v) => query.answer.bucketize_num(v),
+                Some(v) => indexer.bucketize_num(&query.answer, v),
                 None => None,
             },
         };
         match bucket {
             Some(b) => {
-                vec.set(b, true);
-                Ok(vec)
+                out.set(b, true);
+                Ok(())
             }
-            None => Err(CoreError::Unbucketizable(value.to_string())),
+            None => Err(CoreError::Unbucketizable(value.to_value().to_string())),
         }
+    }
+
+    /// The cached bucket indexer for `query`, recompiled when the
+    /// query's signature or answer width changed.
+    fn indexer_for(&mut self, query: &Query) -> BucketIndexer {
+        let entry = self
+            .indexers
+            .entry(query.id)
+            .and_modify(|c| {
+                if c.signature != query.signature || c.answer_len != query.answer.len() {
+                    *c = CachedIndexer {
+                        signature: query.signature,
+                        answer_len: query.answer.len(),
+                        indexer: query.answer.index_plan(),
+                    };
+                }
+            })
+            .or_insert_with(|| CachedIndexer {
+                signature: query.signature,
+                answer_len: query.answer.len(),
+                indexer: query.answer.index_plan(),
+            });
+        entry.indexer
     }
 
     /// Runs one full epoch of the query-answering pipeline.
@@ -167,12 +237,12 @@ impl Client {
             return Ok(None);
         }
         // Step II: truthful answer + randomized response (§3.2.2).
-        let truth = self.truthful_answer(query)?;
+        self.truthful_answer_into(query, &mut scratch.truth)?;
         let randomized = if params.p >= 1.0 {
-            &truth // degenerate no-randomization mode (Fig 4b)
+            &scratch.truth // degenerate no-randomization mode (Fig 4b)
         } else {
             Randomizer::new(params.p, params.q).randomize_vec_into(
-                &truth,
+                &scratch.truth,
                 &mut scratch.randomized,
                 &mut self.rng,
             );
@@ -195,7 +265,7 @@ impl Client {
 mod tests {
     use super::*;
     use privapprox_crypto::xor::{combine, decode_answer};
-    use privapprox_sql::{ColumnType, Schema};
+    use privapprox_sql::{ColumnType, Schema, Value};
     use privapprox_types::ids::AnalystId;
     use privapprox_types::{AnswerSpec, QueryBuilder, QueryId};
 
@@ -233,7 +303,7 @@ mod tests {
 
     #[test]
     fn truthful_answer_is_one_hot_on_the_right_bucket() {
-        let c = client_with_speed(15.0);
+        let mut c = client_with_speed(15.0);
         let truth = c.truthful_answer(&speed_query()).unwrap();
         assert_eq!(truth.count_ones(), 1);
         assert!(truth.get(1), "15 mph is in [10,20)");
@@ -325,6 +395,53 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_invalidates_on_reregistered_sql() {
+        let mut c = client_with_speed(15.0);
+        // First registration of the QueryId: speed query → bucket 1.
+        let q1 = speed_query();
+        let truth = c.truthful_answer(&q1).unwrap();
+        assert!(truth.get(1), "15 mph is in [10,20)");
+        // The analyst re-registers the same QueryId with different
+        // SQL. The cached plan must not answer the old query.
+        let q2 = QueryBuilder::new(q1.id, "SELECT ts FROM vehicle WHERE location = 'SF'")
+            .answer(AnswerSpec::ranges_with_overflow(0.0, 110.0, 11))
+            .frequency(1_000)
+            .window(60_000, 60_000)
+            .sign_and_build(KEY);
+        let truth = c.truthful_answer(&q2).unwrap();
+        assert!(truth.get(0), "ts = 0 is in [0,10)");
+        // And flipping back re-compiles again rather than serving q2.
+        let truth = c.truthful_answer(&q1).unwrap();
+        assert!(truth.get(1));
+    }
+
+    #[test]
+    fn plan_cache_survives_table_recreation() {
+        let mut c = client_with_speed(15.0);
+        let q = speed_query();
+        assert!(c.truthful_answer(&q).unwrap().get(1));
+        // Re-creating the table moves the catalog generation; the
+        // cached plan must be recompiled against the new schema, not
+        // read through stale column indices.
+        c.db_mut().create_table(
+            "vehicle",
+            Schema::new(vec![
+                ("speed", ColumnType::Float),
+                ("ts", ColumnType::Int),
+                ("location", ColumnType::Text),
+            ]),
+        );
+        c.db_mut()
+            .insert(
+                "vehicle",
+                vec![Value::Float(95.0), Value::Int(0), "SF".into()],
+            )
+            .unwrap();
+        let truth = c.truthful_answer(&q).unwrap();
+        assert!(truth.get(9), "95 mph is in [90,100) under the new schema");
+    }
+
+    #[test]
     fn forged_queries_are_rejected() {
         let mut c = client_with_speed(15.0);
         let mut q = speed_query();
@@ -338,7 +455,7 @@ mod tests {
 
     #[test]
     fn unbucketizable_values_error() {
-        let c = client_with_speed(-5.0); // negative speed: no bucket
+        let mut c = client_with_speed(-5.0); // negative speed: no bucket
         let q = speed_query();
         assert!(matches!(
             c.truthful_answer(&q),

@@ -23,6 +23,33 @@
 //! * [`splitx`] — the synchronized-proxy baseline of Figure 6;
 //! * [`system`] — an in-process deployment harness used by examples,
 //!   integration tests and benchmarks.
+//!
+//! # Hot-path buffer conventions (`*_into`)
+//!
+//! The steady-state pipeline is allocation-free end to end, proven by
+//! the counting-allocator test in `tests/alloc_steady_state.rs`. The
+//! convention that makes this auditable: any function named `*_into`
+//! writes through a caller-owned buffer, and the *caller* keeps that
+//! buffer alive across calls so its capacity is reused.
+//!
+//! * Client side: [`Client::answer_query_into`] drives the whole
+//!   epoch (prepared SQL → bucketize → randomize → encode → split)
+//!   through one [`ClientScratch`]; the returned shares borrow from
+//!   it. The SQL stage hits the client's internal plan cache
+//!   (`privapprox_sql::PlanCache`) — the plan compiles on the first
+//!   epoch and is reused until the SQL or the local catalog changes.
+//! * Aggregator side: `pump` decodes into an internal scratch
+//!   `BitVec` and folds it by reference;
+//!   [`Aggregator::advance_watermark_into`] appends closed windows
+//!   into the caller's `Vec<QueryResult>` using recycled result
+//!   shells and pooled estimators, and
+//!   [`Aggregator::recycle_results`] returns consumed shells for the
+//!   next close.
+//!
+//! Buffer ownership, in one sentence: scratch lives with whoever
+//! loops — the client owns its `ClientScratch` epoch loop, the
+//! aggregator owns its decode scratch and pools, and the analyst-side
+//! caller owns the results vector it drains and recycles.
 
 pub mod aggregator;
 pub mod client;

@@ -279,9 +279,10 @@ impl System {
                 w.append(ts, answer.clone());
             }
         });
-        // Close the epoch's window.
-        self.pending
-            .extend(self.aggregator.advance_watermark(watermark));
+        // Close the epoch's window (appends into the pending buffer
+        // without allocating once the aggregator's pools are warm).
+        self.aggregator
+            .advance_watermark_into(watermark, &mut self.pending);
         // Return the newest result for this query.
         let idx = self
             .pending

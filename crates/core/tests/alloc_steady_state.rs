@@ -1,19 +1,33 @@
 //! Verifies the headline property of the allocation-free hot path:
-//! once scratch buffers are warm, the steady-state client→aggregator
-//! pipeline (randomize → encode → split → join → decode → fold)
-//! performs **zero** heap allocations per message.
+//! once scratch buffers, prepared plans and pools are warm, the
+//! steady-state pipeline performs **zero** heap allocations
+//!
+//! * per message — the full client answer path (plan-cache hit →
+//!   prepared SQL scan → bucketize → randomize → encode → split) and
+//!   the aggregator's join → decode → fold path, and
+//! * per window close — `advance_watermark_into` with the estimator
+//!   pool and recycled result shells.
 //!
 //! This file deliberately contains a single test: the counting
 //! allocator is process-global, and a sibling test allocating on
 //! another thread would show up in the counters.
 
+use privapprox_core::aggregator::QueryResult;
+use privapprox_core::client::{Client, ClientScratch};
+use privapprox_core::proxy::{inbound_topic, Proxy};
+use privapprox_core::Aggregator;
 use privapprox_crypto::xor::{decode_answer_into, encode_answer_into};
 use privapprox_crypto::{SplitScratch, XorSplitter};
 use privapprox_rr::estimate::BucketEstimator;
 use privapprox_rr::randomize::Randomizer;
+use privapprox_sql::{ColumnType, Schema, Value};
+use privapprox_stream::broker::Broker;
 use privapprox_stream::join::{JoinOutcome, MidJoiner};
 use privapprox_types::ids::AnalystId;
-use privapprox_types::{BitVec, MessageId, QueryId, Timestamp};
+use privapprox_types::{
+    AnswerSpec, BitVec, ClientId, ExecutionParams, MessageId, ProxyId, Query, QueryBuilder,
+    QueryId, Timestamp,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -43,8 +57,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-#[test]
-fn steady_state_pipeline_allocates_nothing() {
+const KEY: u64 = 0xA110C;
+
+/// The raw share pipeline (no SQL): randomize → encode → split →
+/// join → decode → fold, as proven since PR 1.
+fn raw_pipeline_allocates_nothing() {
     for &(proxies, buckets) in &[(2usize, 11usize), (3, 10_000)] {
         let mut rng = StdRng::seed_from_u64(42 + buckets as u64);
         let qid = QueryId::new(AnalystId(1), 1);
@@ -95,10 +112,155 @@ fn steady_state_pipeline_allocates_nothing() {
         assert_eq!(
             after - before,
             0,
-            "steady-state pipeline allocated {} times over 2000 messages \
+            "steady-state raw pipeline allocated {} times over 2000 messages \
              (proxies = {proxies}, buckets = {buckets})",
             after - before
         );
         assert_eq!(estimator.total(), 4_000);
     }
+}
+
+/// The full client answer path with the SQL stage included: plan
+/// cache hit, prepared scan over a 256-row store, bucketize,
+/// randomize, encode, split.
+fn client_pipeline_allocates_nothing() {
+    for &buckets in &[11usize, 10_000] {
+        let query = QueryBuilder::new(
+            QueryId::new(AnalystId(2), buckets as u32),
+            "SELECT speed FROM vehicle WHERE location = 'SF'",
+        )
+        .answer(AnswerSpec::ranges_with_overflow(0.0, 110.0, buckets - 1))
+        .frequency(1_000)
+        .window(60_000, 60_000)
+        .sign_and_build(KEY);
+        let params = ExecutionParams::checked(1.0, 0.9, 0.6);
+
+        let mut client = Client::new(ClientId(7), 99, KEY);
+        client.db_mut().create_table(
+            "vehicle",
+            Schema::new(vec![
+                ("ts", ColumnType::Int),
+                ("speed", ColumnType::Float),
+                ("location", ColumnType::Text),
+            ]),
+        );
+        for i in 0..256i64 {
+            client
+                .db_mut()
+                .insert(
+                    "vehicle",
+                    vec![
+                        Value::Int(i),
+                        Value::Float((i % 100) as f64),
+                        if i % 3 == 0 { "SF" } else { "Oakland" }.into(),
+                    ],
+                )
+                .unwrap();
+        }
+
+        let mut scratch = ClientScratch::new();
+        // Warm the plan cache, bucket indexer and scratch buffers.
+        for _ in 0..200 {
+            client
+                .answer_query_into(&query, &params, 2, &mut scratch)
+                .unwrap()
+                .expect("s = 1 always participates");
+        }
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..2_000 {
+            client
+                .answer_query_into(&query, &params, 2, &mut scratch)
+                .unwrap()
+                .expect("s = 1 always participates");
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state client pipeline (prepared plan warm) allocated {} times \
+             over 2000 epochs (buckets = {buckets})",
+            after - before
+        );
+    }
+}
+
+/// Window close through the pooled path: after one warm-up cycle,
+/// `advance_watermark_into` + `recycle_results` allocate nothing per
+/// cycle — the estimator returns to the pool and the result shells
+/// (with their bucket vectors) are reused.
+fn window_close_allocates_nothing() {
+    let broker = Broker::new(2);
+    let query: Query = QueryBuilder::new(QueryId::new(AnalystId(3), 1), "SELECT v FROM data")
+        .answer(AnswerSpec::ranges_with_overflow(0.0, 10.0, 10))
+        .window(1_000, 1_000)
+        .sign_and_build(KEY);
+    let params = ExecutionParams::checked(1.0, 0.9, 0.6);
+    let producer = broker.producer();
+    let mut proxies: Vec<Proxy> = (0..2).map(|i| Proxy::new(ProxyId(i), &broker)).collect();
+    let mut agg = Aggregator::new(&broker, 2, 0.95);
+    agg.register_query(&query, params, 50);
+
+    let mut client = Client::new(ClientId(9), 5, KEY);
+    client
+        .db_mut()
+        .create_table("data", Schema::new(vec![("v", ColumnType::Float)]));
+    client
+        .db_mut()
+        .insert("data", vec![Value::Float(2.5)])
+        .unwrap();
+    let mut scratch = ClientScratch::new();
+
+    let mut results: Vec<QueryResult> = Vec::new();
+    let mut close_allocs = 0u64;
+    let mut closed = 0u64;
+    let warm_cycles = 3u64;
+    let cycles = warm_cycles + 5;
+    for cycle in 0..cycles {
+        // Feed the window (broker transport allocates; that is the
+        // transport's business and stays outside the measured span).
+        for _ in 0..20 {
+            let shares = client
+                .answer_query_into(&query, &params, 2, &mut scratch)
+                .unwrap()
+                .expect("always participates");
+            for (pi, share) in shares.iter().enumerate() {
+                producer.send(
+                    &inbound_topic(ProxyId(pi as u16)),
+                    Some(share.mid.to_bytes().to_vec()),
+                    share.payload.clone(),
+                    Timestamp(cycle * 1_000 + 500),
+                );
+            }
+        }
+        for p in &mut proxies {
+            p.pump();
+        }
+        agg.pump();
+
+        // The measured span: close the cycle's window and recycle.
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        agg.advance_watermark_into(Timestamp((cycle + 1) * 1_000), &mut results);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].sample_size, 20);
+        agg.recycle_results(&mut results);
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        if cycle >= warm_cycles {
+            close_allocs += after - before;
+            closed += 1;
+        }
+    }
+    assert_eq!(
+        close_allocs, 0,
+        "steady-state window close (estimator pool warm) allocated {close_allocs} \
+         times over {closed} cycles"
+    );
+}
+
+#[test]
+fn steady_state_pipeline_allocates_nothing() {
+    raw_pipeline_allocates_nothing();
+    client_pipeline_allocates_nothing();
+    window_close_allocates_nothing();
 }

@@ -1,5 +1,5 @@
 //! Textbook RSA — the public-key baseline of the paper's Table 2
-//! (compared there as "RSA [10]", the scheme used by non-tracking web
+//! (compared there as "RSA \[10\]", the scheme used by non-tracking web
 //! analytics).
 //!
 //! This is deliberately *textbook* (no OAEP): Table 2 measures raw

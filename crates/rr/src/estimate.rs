@@ -91,6 +91,24 @@ impl BucketEstimator {
         }
     }
 
+    /// Clears the accumulated counts and re-parameterizes the
+    /// channel, keeping the bucket allocation: this is what lets an
+    /// estimator pool recycle instances across window opens instead
+    /// of re-allocating `vec![0; buckets]` per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are out of range (same domain as
+    /// [`BucketEstimator::new`]).
+    pub fn reset(&mut self, p: f64, q: f64) {
+        assert!(p > 0.0 && p <= 1.0, "p={p} outside (0,1]");
+        assert!(q > 0.0 && q < 1.0, "q={q} outside (0,1)");
+        self.p = p;
+        self.q = q;
+        self.yes_counts.fill(0);
+        self.total = 0;
+    }
+
     /// Feeds one randomized answer vector.
     ///
     /// # Panics

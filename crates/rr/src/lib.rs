@@ -21,6 +21,17 @@
 //!   for the Eq 19 substitution note);
 //! * [`inversion`] — the query-inversion mechanism of §3.3.2;
 //! * [`rappor`] — Google's RAPPOR randomizer as the Fig 5c baseline.
+//!
+//! # Hot-path conventions
+//!
+//! [`randomize::Randomizer::randomize_vec_into`] and
+//! [`estimate::BucketEstimator`] follow the workspace's caller-owned
+//! buffer discipline: `randomize_vec_into` writes into a caller-kept
+//! `BitVec` (resizing only on width changes), and an estimator can be
+//! [`estimate::BucketEstimator::reset`] in place so pools can recycle
+//! it across window opens instead of re-allocating its count vector.
+//! Both are what the zero-allocation steady-state proof in
+//! `privapprox-core` leans on.
 
 pub mod estimate;
 pub mod inversion;

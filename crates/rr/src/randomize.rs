@@ -9,29 +9,39 @@
 //! # Bit-sliced sampling and fixed-point precision
 //!
 //! The vector path ([`Randomizer::randomize_vec_into`]) resolves 64
-//! independent biased coins at a time instead of looping per bit. Each
-//! coin bias is stored as 16-bit fixed point (`t = round(bias · 2¹⁶)`,
-//! so a coin lands heads iff a uniform 16-bit value `r < t`), and the
-//! comparison `r < t` is evaluated *bit-sliced*: random word `w_j`
-//! carries bit `j` of all 64 lanes' `r` values, and a standard
-//! MSB-first ripple computes all 64 comparisons with a handful of
-//! word ops per bit of `t`. Two refinements cut the random words
-//! consumed well below the worst-case 16 per coin block:
+//! independent biased coins at a time instead of looping per bit.
+//! Rather than sampling the two coins separately (a "keep the truth"
+//! mask and a "lie Yes" mask), it samples the *composed* channel
+//! directly: the output bit is Bernoulli with marginal
+//! `p + (1−p)·q` when the truthful bit is 1 and `(1−p)·q` when it is
+//! 0, so each lane needs exactly **one** biased coin whose threshold
+//! depends on its truth bit. Thresholds are 16-bit fixed point
+//! (`t = round(bias · 2¹⁶)`; heads iff a uniform 16-bit `r < t`), and
+//! the comparison is evaluated *bit-sliced*: random word `w_j`
+//! carries bit `j` of all 64 lanes' `r` values, the per-lane
+//! threshold bit is selected word-wise from the truth limb, and a
+//! standard MSB-first ripple computes all 64 comparisons together.
+//! Two refinements cut the random words consumed below the
+//! worst-case 16 per block:
 //!
-//! * bits below `t`'s lowest set bit cannot change the outcome and
-//!   are skipped entirely (a bias of 0.5 costs exactly one word);
-//! * once every lane's comparison is decided (`eq == 0`, ~2 words in
-//!   expectation, ≤ ~7 with 64 lanes) the remaining bits are skipped.
+//! * bits below *both* thresholds' lowest set bit cannot change any
+//!   lane's outcome and are skipped entirely;
+//! * once every lane's comparison is decided (`eq == 0`, ≈ 7 words in
+//!   expectation with 64 lanes) the remaining bits are skipped.
+//!
+//! Fusing the two coins into one comparison halves the random words
+//! and ripple passes per limb versus the two-mask formulation — the
+//! difference between ~14 and ~7 words per 64 answer bits.
 //!
 //! The trade-off: per-bit marginals are quantized to multiples of
-//! 2⁻¹⁶, i.e. the realized bias is within 2⁻¹⁷ ≈ 7.6·10⁻⁶ of the
-//! requested `p`/`q`. That error is far below both the paper's
-//! reported accuracy-loss scales (Table 1: η ~ 10⁻²) and anything a
-//! χ² test over 10⁵–10⁶ bits can resolve; the privacy accounting
-//! (Equation 8) changes only in the sixth decimal place. The scalar
-//! path ([`Randomizer::randomize_bit`]) still uses exact `f64`
-//! comparisons and remains the reference the property tests compare
-//! against.
+//! 2⁻¹⁶, i.e. the realized composed bias is within 2⁻¹⁷ ≈ 7.6·10⁻⁶
+//! of the exact `p + (1−p)q` / `(1−p)q`. That error is far below both
+//! the paper's reported accuracy-loss scales (Table 1: η ~ 10⁻²) and
+//! anything a χ² test over 10⁵–10⁶ bits can resolve; the privacy
+//! accounting (Equation 8) changes only in the sixth decimal place.
+//! The scalar path ([`Randomizer::randomize_bit`]) still flips the
+//! two coins literally with exact `f64` comparisons and remains the
+//! reference the property tests compare against.
 
 use privapprox_types::BitVec;
 use rand::Rng;
@@ -48,10 +58,12 @@ const COIN_ONE: u32 = 1 << COIN_FRACTION_BITS;
 pub struct Randomizer {
     p: f64,
     q: f64,
-    /// `round(p · 2¹⁶)`, the first coin's fixed-point threshold.
-    p_fx: u32,
-    /// `round(q · 2¹⁶)`, the second coin's fixed-point threshold.
-    q_fx: u32,
+    /// `round((p + (1−p)q) · 2¹⁶)`: the composed-channel fixed-point
+    /// threshold for lanes whose truthful bit is 1.
+    yes1_fx: u32,
+    /// `round((1−p)q · 2¹⁶)`: the composed-channel threshold for
+    /// lanes whose truthful bit is 0.
+    yes0_fx: u32,
 }
 
 impl Randomizer {
@@ -70,8 +82,8 @@ impl Randomizer {
         Randomizer {
             p,
             q,
-            p_fx: to_fixed(p),
-            q_fx: to_fixed(q),
+            yes1_fx: to_fixed(p + (1.0 - p) * q),
+            yes0_fx: to_fixed((1.0 - p) * q),
         }
     }
 
@@ -108,7 +120,9 @@ impl Randomizer {
     }
 
     /// Randomizes `truth` into a caller-owned output vector, 64 bits
-    /// per step via bit-sliced coin sampling (see the module docs).
+    /// per step via fused bit-sliced coin sampling (see the module
+    /// docs): each lane draws one coin whose threshold is the
+    /// composed yes-probability for its truthful bit.
     ///
     /// `out` is resized to match `truth` if needed; at steady state
     /// (same answer width each epoch) the call is allocation-free.
@@ -121,14 +135,44 @@ impl Randomizer {
         if out.len() != truth.len() {
             out.reset(truth.len());
         }
+        if self.p >= 1.0 {
+            // Degenerate truthful mechanism: the channel is the
+            // identity, exactly (no quantization leak).
+            out.limbs_mut().copy_from_slice(truth.limbs());
+            out.mask_padding();
+            return;
+        }
+        // Bits below both thresholds' lowest set bit cannot flip any
+        // lane's comparison; skip them for every limb.
+        let stop = self
+            .yes1_fx
+            .trailing_zeros()
+            .min(self.yes0_fx.trailing_zeros());
+        // Broadcast each threshold bit to a full word once per call.
+        let mut bits = [(0u64, 0u64); COIN_FRACTION_BITS as usize];
+        for j in stop..COIN_FRACTION_BITS {
+            bits[j as usize] = (
+                (((self.yes1_fx >> j) & 1) as u64).wrapping_neg(),
+                (((self.yes0_fx >> j) & 1) as u64).wrapping_neg(),
+            );
+        }
         let truth_limbs = truth.limbs();
         let out_limbs = out.limbs_mut();
-        for (o, &t) in out_limbs.iter_mut().zip(truth_limbs) {
-            // Lane i keeps the truthful bit where `keep` is set and
-            // takes the second coin's lie otherwise.
-            let keep = coin_block(self.p_fx, rng);
-            let lie = coin_block(self.q_fx, rng);
-            *o = (keep & t) | (!keep & lie);
+        // Four limbs per step: the MSB-first ripple is a serial
+        // dependency chain within a limb, so interleaving independent
+        // limbs keeps the ALU busy while one chain's update retires.
+        let mut out_chunks = out_limbs.chunks_exact_mut(4);
+        let mut truth_chunks = truth_limbs.chunks_exact(4);
+        for (o, t) in (&mut out_chunks).zip(&mut truth_chunks) {
+            let block = yes_block4([t[0], t[1], t[2], t[3]], &bits, stop, rng);
+            o.copy_from_slice(&block);
+        }
+        for (o, &t) in out_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(truth_chunks.remainder())
+        {
+            *o = yes_block1(t, &bits, stop, rng);
         }
         out.mask_padding();
     }
@@ -145,46 +189,84 @@ impl Randomizer {
     }
 }
 
-/// Quantizes a probability to 16-bit fixed point, keeping any
-/// non-degenerate bias inside `[1, 2¹⁶ − 1]` so it never collapses to
-/// never/always-heads: a `p` within 2⁻¹⁷ of 1 must still flip a real
-/// coin (collapsing it would silently void the privacy guarantee the
-/// ε accounting reports). Exactly 1.0 maps to the deterministic
-/// always-heads threshold (the degenerate truthful mechanism).
+/// Quantizes a probability to 16-bit fixed point, clamping into
+/// `[1, 2¹⁶ − 1]` so it never collapses to never/always-heads: a
+/// composed yes-probability within 2⁻¹⁷ of 0 or 1 — including one
+/// that *float-rounds to exactly 1.0* from a `p` just under 1 —
+/// must still flip a real coin. Collapsing to 0 would deterministically
+/// erase truthful "Yes" bits (the threshold `2¹⁶` has no bits in the
+/// compared range, inverting the channel); collapsing to 1 would
+/// silently void the privacy guarantee the ε accounting reports. The
+/// only legitimately deterministic channel, `p = 1`, bypasses the
+/// coins entirely in [`Randomizer::randomize_vec_into`].
 fn to_fixed(bias: f64) -> u32 {
-    if bias >= 1.0 {
-        COIN_ONE
-    } else {
-        ((bias * COIN_ONE as f64).round() as u32).clamp(1, COIN_ONE - 1)
-    }
+    ((bias * COIN_ONE as f64).round() as u32).clamp(1, COIN_ONE - 1)
 }
 
-/// Draws 64 independent coins with bias `t_fx / 2¹⁶` as a bitmask
-/// (bit i set ⇔ lane i came up heads).
+/// Draws 64 independent coins as a bitmask (bit i set ⇔ lane i says
+/// "Yes"), where lane i's bias is `yes1_fx / 2¹⁶` when its truthful
+/// bit in `t` is set and `yes0_fx / 2¹⁶` otherwise.
 ///
-/// Bit-sliced comparison `r < t` over 64 lanes: `w_j` holds bit `j` of
-/// every lane's uniform 16-bit value `r`. Walking `t`'s bits MSB-first
-/// with the running "still equal" mask `eq`, a lane becomes less-than
-/// exactly when it is still equal at a set bit of `t` and its own bit
-/// is 0. Lanes whose comparison is already decided ignore further
-/// words, so the loop exits as soon as `eq == 0` (about two words in
-/// expectation) and never looks below `t`'s lowest set bit.
+/// Bit-sliced comparison `r < T` over 4 × 64 lanes with *per-lane*
+/// thresholds: `w_j` holds bit `j` of 64 lanes' uniform 16-bit values
+/// `r`, and the threshold word `tw` selects bit `j` of `yes1_fx` for
+/// truth-1 lanes and of `yes0_fx` for truth-0 lanes (`bits[j]` holds
+/// both choices pre-broadcast to full words). Walking MSB-first with
+/// the running "still undecided" mask `eq`, a lane resolves less-than
+/// (heads) at the first bit where its `r` bit is 0 and its threshold
+/// bit is 1, and greater-than (tails) in the mirrored case. The four
+/// limbs ride the same `j` loop so their serial `eq` chains overlap;
+/// a limb that is already fully decided keeps drawing (and ignoring)
+/// words until all four are done, which costs a little entropy but
+/// keeps the loop branch-free per limb. The loop exits as soon as
+/// every lane of every limb is decided (≈ 8 words per limb in
+/// expectation at 256 lanes) and never looks at bits where both
+/// thresholds are trailing zeros (`stop`).
+/// Single-limb form of [`yes_block4`] for the tail of the limb array
+/// — and the whole of it for narrow answers (an 11-bucket vector is
+/// one limb). Drawing one word per bit position instead of riding
+/// three dummy limbs through the 4-way block keeps the common
+/// small-answer path at the expected ~7 words per limb.
 #[inline]
-fn coin_block<R: Rng + ?Sized>(t_fx: u32, rng: &mut R) -> u64 {
-    if t_fx >= COIN_ONE {
-        return !0; // bias 1.0: every lane heads, no randomness needed
-    }
+fn yes_block1<R: Rng + ?Sized>(
+    t: u64,
+    bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
+    stop: u32,
+    rng: &mut R,
+) -> u64 {
     let mut less = 0u64;
     let mut eq = !0u64;
-    for j in (t_fx.trailing_zeros()..COIN_FRACTION_BITS).rev() {
+    for j in (stop..COIN_FRACTION_BITS).rev() {
+        let (b1, b0) = bits[j as usize];
         let w = rng.next_u64();
-        if (t_fx >> j) & 1 == 1 {
-            less |= eq & !w;
-            eq &= w;
-        } else {
-            eq &= !w;
-        }
+        let tw = (t & b1) | (!t & b0);
+        less |= eq & tw & !w;
+        eq &= !(tw ^ w);
         if eq == 0 {
+            break;
+        }
+    }
+    less
+}
+
+#[inline]
+fn yes_block4<R: Rng + ?Sized>(
+    t: [u64; 4],
+    bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
+    stop: u32,
+    rng: &mut R,
+) -> [u64; 4] {
+    let mut less = [0u64; 4];
+    let mut eq = [!0u64; 4];
+    for j in (stop..COIN_FRACTION_BITS).rev() {
+        let (b1, b0) = bits[j as usize];
+        for k in 0..4 {
+            let w = rng.next_u64();
+            let tw = (t[k] & b1) | (!t[k] & b0);
+            less[k] |= eq[k] & tw & !w;
+            eq[k] &= !(tw ^ w);
+        }
+        if eq[0] | eq[1] | eq[2] | eq[3] == 0 {
             break;
         }
     }
@@ -266,11 +348,35 @@ mod tests {
         let truth = BitVec::zeros(1 << 22); // 4M truthful "No" bits
         let mut out = BitVec::zeros(truth.len());
         r.randomize_vec_into(&truth, &mut out, &mut rng);
-        // P(lie) is quantized to 2⁻¹⁶ per bit, so ≈ 57 lies expected
-        // here; zero would mean the coin collapsed.
+        // P(lie) is clamped to at least 2⁻¹⁶ per bit, so ≈ 64 lies
+        // expected here; zero would mean the coin collapsed.
         assert!(
             out.count_ones() > 0,
             "p = 0.999995 must keep plausible deniability"
+        );
+    }
+
+    /// A `p` so close to 1 that the *composed* yes-probability
+    /// float-rounds to exactly 1.0 must not collapse the threshold to
+    /// `2¹⁶`: that value has no bits in the compared range, which
+    /// would invert the channel and deterministically erase truthful
+    /// "Yes" bits.
+    #[test]
+    fn composed_bias_rounding_to_one_does_not_invert_the_channel() {
+        let p = 0.999_999_999_999_999_9; // p + (1-p)·q == 1.0 in f64
+        let r = Randomizer::new(p, 0.9);
+        assert_eq!(r.yes_probability(true), 1.0, "premise: rounds to 1");
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth = BitVec::from_bools((0..4096).map(|_| true));
+        let mut out = BitVec::zeros(truth.len());
+        r.randomize_vec_into(&truth, &mut out, &mut rng);
+        // P(no) is clamped to 2⁻¹⁶ per bit: expect ~4096 ones, allow
+        // a handful of clamp-induced lies, but an inverted channel
+        // would produce exactly zero.
+        assert!(
+            out.count_ones() > 4_000,
+            "truth-1 bits must stay ~always Yes, got {} of 4096",
+            out.count_ones()
         );
     }
 

@@ -27,6 +27,10 @@ pub enum SqlError {
         /// Values the row supplied.
         got: usize,
     },
+    /// A prepared plan was executed against a database whose catalog
+    /// changed since the plan was compiled (see
+    /// `Database::generation`); the caller must re-prepare.
+    StalePlan,
 }
 
 impl core::fmt::Display for SqlError {
@@ -40,6 +44,9 @@ impl core::fmt::Display for SqlError {
             SqlError::DivisionByZero => write!(f, "division by zero"),
             SqlError::Arity { expected, got } => {
                 write!(f, "row has {got} values, schema expects {expected}")
+            }
+            SqlError::StalePlan => {
+                write!(f, "prepared plan is stale: the catalog changed since compilation")
             }
         }
     }

@@ -24,12 +24,47 @@
 //!
 //! Semantics follow SQL three-valued logic for NULL, with int/float
 //! coercion on comparison and arithmetic.
+//!
+//! # Prepared plans
+//!
+//! The engine has two execution paths with identical semantics:
+//!
+//! * **Interpreted** — [`parse_select`] + [`execute`]: walks the AST
+//!   per row. Simple, allocating, and the semantic reference.
+//! * **Prepared** — [`parse_select`] + [`PreparedSelect::prepare`]:
+//!   compiles the statement once (column names resolved to indices,
+//!   constants folded, expressions flattened to opcodes), then
+//!   executes it any number of times without re-parsing or
+//!   allocating. The property tests enforce that both paths return
+//!   byte-identical results *and errors* across the parser corpus.
+//!
+//! The prepared lifecycle is: `parse → prepare → execute × N →
+//! (invalidate on SQL or catalog change) → re-prepare`. Plans record
+//! the [`Database::generation`] they were compiled against and fail
+//! with [`SqlError::StalePlan`] if the catalog moved; [`PlanCache`]
+//! automates the validate-or-recompile step keyed by query id, which
+//! is how the PrivApprox client uses this crate (one long-lived query
+//! × millions of per-epoch executions).
+//!
+//! # Scratch-buffer conventions
+//!
+//! Functions named `*_into` write through caller-owned buffers
+//! instead of allocating their result, following the workspace-wide
+//! convention (see `privapprox-core`): the *caller* owns and reuses
+//! the buffer across calls, the callee only resizes it on shape
+//! changes. Here that means [`execute_prepared_into`] (recycles a
+//! [`ResultSet`]'s vectors) and the [`EvalScratch`] passed to
+//! [`PreparedSelect::for_each_row`] /
+//! [`PreparedSelect::last_single_value`], which holds the opcode
+//! stack and projected-row slots. A warm scratch makes the prepared
+//! scan allocation-free.
 
 pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod table;
 pub mod value;
 
@@ -37,5 +72,6 @@ pub use ast::{BinaryOp, Expr, SelectItem, SelectStmt, UnaryOp};
 pub use error::SqlError;
 pub use exec::{execute, ResultSet};
 pub use parser::parse_select;
+pub use plan::{execute_prepared_into, EvalScratch, PlanCache, PreparedSelect, RowView, ValueRef};
 pub use table::{ColumnType, Database, Schema, Table};
 pub use value::Value;

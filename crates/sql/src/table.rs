@@ -150,6 +150,10 @@ impl Table {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Catalog version: bumped whenever a table is created or
+    /// replaced, so prepared plans can detect that their resolved
+    /// column indices may no longer describe this catalog.
+    generation: u64,
 }
 
 impl Database {
@@ -158,8 +162,18 @@ impl Database {
         Database::default()
     }
 
+    /// The catalog generation. Prepared plans record the generation
+    /// they were compiled against and refuse to run (or are
+    /// transparently recompiled by the plan cache) once it moves.
+    /// Row-level changes (insert/prune/clear) do not bump it — only
+    /// catalog changes do.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Creates (or replaces) a table.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> &mut Table {
+        self.generation += 1;
         self.tables.insert(name.to_string(), Table::new(schema));
         self.tables.get_mut(name).expect("just inserted")
     }

@@ -1,8 +1,12 @@
 //! Property-based tests for the SQL engine: the executor must agree
 //! with a direct Rust evaluation of the same predicate over the same
-//! rows, and the parser must be total (no panics) on arbitrary input.
+//! rows, the parser must be total (no panics) on arbitrary input, and
+//! prepared plans must be indistinguishable from interpretation —
+//! same rows, same columns, same errors — across the whole corpus.
 
-use privapprox_sql::{execute, parse_select, ColumnType, Database, Schema, Value};
+use privapprox_sql::{
+    execute, parse_select, ColumnType, Database, EvalScratch, PreparedSelect, Schema, Value,
+};
 use proptest::prelude::*;
 
 fn table_with(values: &[(i64, f64)]) -> Database {
@@ -128,6 +132,54 @@ proptest! {
         let sql = format!("SELECT * FROM t LIMIT {limit}");
         let rs = execute(&parse_select(&sql).unwrap(), &db).unwrap();
         prop_assert_eq!(rs.rows.len() as u64, limit.min(rows.len() as u64));
+    }
+
+    /// Prepared execution is byte-identical to interpretation across
+    /// the corpus of query shapes the other properties exercise —
+    /// results *and* errors — and `last_single_value` matches the
+    /// interpreted execute→single_column→last pipeline.
+    #[test]
+    fn prepared_plans_match_interpretation(
+        rows in proptest::collection::vec((-50i64..50, -5.0f64..5.0), 0..40),
+        t1 in -50i64..50,
+        t2 in -5.0f64..5.0,
+        limit in 0u64..45,
+        which in 0usize..16,
+    ) {
+        let db = table_with(&rows);
+        let sql = match which {
+            0 => format!("SELECT a FROM t WHERE a = {t1}"),
+            1 => format!("SELECT a FROM t WHERE a != {t1}"),
+            2 => format!("SELECT b FROM t WHERE a < {t1}"),
+            3 => format!("SELECT b FROM t WHERE a >= {t1}"),
+            4 => format!("SELECT a FROM t WHERE a > {t1} AND b < {t2}"),
+            5 => format!("SELECT a FROM t WHERE a > {t1} OR b < {t2}"),
+            6 => format!("SELECT a FROM t WHERE NOT (a > {t1})"),
+            7 => format!("SELECT a FROM t WHERE a BETWEEN {t1} AND {}", t1 + 7),
+            8 => format!("SELECT a + {t1} FROM t"),
+            9 => format!("SELECT a * b FROM t WHERE b != 0"),
+            10 => format!("SELECT * FROM t LIMIT {limit}"),
+            11 => format!("SELECT a FROM t WHERE a IN ({t1}, {}, NULL)", t1 + 1),
+            12 => format!("SELECT a, b FROM t WHERE b <= {t2}"),
+            13 => format!("SELECT a / (a - {t1}) FROM t"), // may divide by zero
+            14 => format!("SELECT b FROM t WHERE {t1} <= a LIMIT {limit}"),
+            _ => format!("SELECT a FROM t WHERE b IS NOT NULL AND a <= {t1}"),
+        };
+        let stmt = parse_select(&sql).expect("corpus SQL parses");
+        let interpreted = execute(&stmt, &db);
+        let prepared = PreparedSelect::prepare(&stmt, &db).and_then(|p| p.execute(&db));
+        prop_assert_eq!(&prepared, &interpreted, "query: {}", &sql);
+
+        // The client's "newest value" entry point agrees with the
+        // interpreted pipeline wherever that pipeline is defined.
+        let oracle = interpreted
+            .and_then(|rs| rs.single_column())
+            .map(|col| col.last().cloned());
+        let mut scratch = EvalScratch::new();
+        let last = PreparedSelect::prepare(&stmt, &db).and_then(|p| {
+            Ok(p.last_single_value(&db, &mut scratch)?.map(|v| v.to_value()))
+        });
+        prop_assert_eq!(last, oracle, "last value of: {}", &sql);
     }
 
     /// The parser is total: arbitrary garbage returns Err, never

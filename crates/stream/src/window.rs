@@ -16,9 +16,19 @@
 //! overlapping sliding windows is folded `k` times from the same
 //! borrow, so the caller can push from a reused scratch buffer and
 //! nothing is cloned per window.
+//!
+//! The hot paths are allocation-free at steady state: open windows
+//! live in a `VecDeque` ordered by start (recurring window shapes
+//! reuse its capacity instead of churning tree nodes), events are
+//! assigned through the non-allocating [`WindowSpec::assigned`]
+//! iterator, and closed windows are emitted through
+//! [`WindowedFold::advance_watermark_into`] into a caller-owned
+//! buffer. Accumulator *creation* is delegated to the `Init` closure,
+//! so callers can recycle accumulators through a pool (see the
+//! aggregator's estimator pool in `privapprox-core`).
 
 use privapprox_types::{Millis, Timestamp, Window, WindowSpec};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// An event-time sliding-window fold over values of type `V` into
 /// per-window accumulators `A`.
@@ -32,9 +42,10 @@ where
     fold: Fold,
     allowed_lateness: Millis,
     watermark: Timestamp,
-    /// Open windows keyed by start time (BTreeMap keeps emission in
-    /// window order).
-    open: BTreeMap<Timestamp, A>,
+    /// Open windows ordered by start time; new windows open at (or
+    /// near) the back, closed windows pop from the front, and the
+    /// deque's capacity is reused across window cycles.
+    open: VecDeque<(Timestamp, A)>,
     late_events: u64,
     _marker: core::marker::PhantomData<V>,
 }
@@ -52,7 +63,7 @@ where
             fold,
             allowed_lateness,
             watermark: Timestamp(0),
-            open: BTreeMap::new(),
+            open: VecDeque::new(),
             late_events: 0,
             _marker: core::marker::PhantomData,
         }
@@ -61,46 +72,60 @@ where
     /// Feeds one event by reference (it is folded into every
     /// containing window from the same borrow). Returns `false` if the
     /// event was dropped as late (its newest containing window already
-    /// closed).
+    /// closed). Allocation-free once the open-window deque's capacity
+    /// is warm (barring what `Init` itself allocates).
     pub fn push(&mut self, ts: Timestamp, value: &V) -> bool {
-        let windows = self.spec.assign(ts);
         // Late if even the latest window containing ts has been
         // emitted already.
-        let newest_end = windows.last().map(|w| w.end).unwrap_or(Timestamp(0));
+        let newest_end = self.spec.current_window(ts).end;
         if newest_end.0 + self.allowed_lateness <= self.watermark.0 {
             self.late_events += 1;
             return false;
         }
-        for w in windows {
+        for w in self.spec.assigned(ts) {
             // Skip windows that individually closed already.
             if w.end.0 + self.allowed_lateness <= self.watermark.0 {
                 continue;
             }
-            let acc = self.open.entry(w.start).or_insert_with(&self.init);
-            (self.fold)(acc, value);
+            let idx = match self.open.binary_search_by(|(start, _)| start.cmp(&w.start)) {
+                Ok(idx) => idx,
+                Err(idx) => {
+                    self.open.insert(idx, (w.start, (self.init)()));
+                    idx
+                }
+            };
+            (self.fold)(&mut self.open[idx].1, value);
         }
         true
     }
 
     /// Advances the watermark, emitting every window whose end (plus
     /// lateness) is now behind it, in start order.
+    ///
+    /// Allocating wrapper over
+    /// [`WindowedFold::advance_watermark_into`].
     pub fn advance_watermark(&mut self, to: Timestamp) -> Vec<(Window, A)> {
+        let mut emitted = Vec::new();
+        self.advance_watermark_into(to, &mut emitted);
+        emitted
+    }
+
+    /// Advances the watermark, *appending* every window whose end
+    /// (plus lateness) is now behind it to `out` in start order. With
+    /// a warm `out` the sweep allocates nothing: closable windows are
+    /// a prefix of the start-ordered deque and pop from its front.
+    pub fn advance_watermark_into(&mut self, to: Timestamp, out: &mut Vec<(Window, A)>) {
         if to.0 <= self.watermark.0 {
-            return Vec::new();
+            return;
         }
         self.watermark = to;
-        let mut emitted = Vec::new();
-        let closes: Vec<Timestamp> = self
-            .open
-            .keys()
-            .copied()
-            .filter(|start| start.0 + self.spec.size + self.allowed_lateness <= to.0)
-            .collect();
-        for start in closes {
-            let acc = self.open.remove(&start).expect("key just listed");
-            emitted.push((Window::of(start, self.spec.size), acc));
+        while let Some((start, _)) = self.open.front() {
+            if start.0 + self.spec.size + self.allowed_lateness > to.0 {
+                break;
+            }
+            let (start, acc) = self.open.pop_front().expect("front just probed");
+            out.push((Window::of(start, self.spec.size), acc));
         }
-        emitted
     }
 
     /// Current watermark.

@@ -18,5 +18,5 @@ pub mod words;
 pub use bitvec::BitVec;
 pub use budget::{Budget, ExecutionParams};
 pub use ids::{AnalystId, ClientId, MessageId, ProxyId, QueryId};
-pub use query::{AnswerSpec, BucketRule, Query, QueryBuilder};
+pub use query::{AnswerSpec, BucketIndexer, BucketRule, Query, QueryBuilder};
 pub use time::{Millis, Timestamp, Window, WindowSpec};

@@ -149,6 +149,133 @@ impl AnswerSpec {
     pub fn bucketize_text(&self, s: &str) -> Option<usize> {
         self.buckets.iter().position(|b| b.matches_text(s))
     }
+
+    /// Compiles a [`BucketIndexer`] for this spec: an O(1) arithmetic
+    /// lookup when the spec is a uniform range ladder (the common
+    /// [`AnswerSpec::ranges_with_overflow`] shape), falling back to
+    /// the linear [`AnswerSpec::bucketize_num`] scan otherwise.
+    ///
+    /// Clients cache the indexer alongside their prepared query plan
+    /// so a 10⁴-bucket answer format does not cost a 10⁴-entry scan
+    /// per epoch.
+    pub fn index_plan(&self) -> BucketIndexer {
+        BucketIndexer::for_spec(self)
+    }
+}
+
+/// A compiled numeric-bucket lookup for one [`AnswerSpec`] (see
+/// [`AnswerSpec::index_plan`]).
+///
+/// The indexer holds only derived geometry, not the rules themselves:
+/// callers pass the spec back at lookup time, and every arithmetic
+/// candidate is verified against the actual rule before being
+/// returned, so a stale or mismatched indexer degrades to the exact
+/// linear scan instead of mis-bucketing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketIndexer {
+    uniform: Option<UniformRanges>,
+}
+
+/// Geometry of a uniform range ladder `[lo, lo+width), [lo+width,
+/// lo+2·width), …` of `count` rungs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct UniformRanges {
+    lo: f64,
+    width: f64,
+    /// Number of leading uniform-width buckets.
+    count: usize,
+}
+
+impl BucketIndexer {
+    fn for_spec(spec: &AnswerSpec) -> BucketIndexer {
+        // Detect a leading ladder of contiguous, equal-width numeric
+        // ranges. A trailing unbounded/overflow bucket (or any other
+        // tail) is handled by the verified-candidate probe below.
+        let rules = spec.buckets();
+        let mut ladder: Option<UniformRanges> = None;
+        for rule in rules {
+            let BucketRule::Range { lo, hi } = rule else {
+                break;
+            };
+            if !hi.is_finite() {
+                break;
+            }
+            match &mut ladder {
+                None => {
+                    ladder = Some(UniformRanges {
+                        lo: *lo,
+                        width: hi - lo,
+                        count: 1,
+                    });
+                }
+                Some(u) => {
+                    let expected_lo = u.lo + u.count as f64 * u.width;
+                    let expected_hi = u.lo + (u.count + 1) as f64 * u.width;
+                    if *lo != expected_lo || (hi - expected_hi).abs() > u.width * 1e-9 {
+                        break;
+                    }
+                    u.count += 1;
+                }
+            }
+        }
+        let uniform = match ladder {
+            // A one-rung ladder buys nothing; require a real ladder
+            // with positive width.
+            Some(u) if u.count >= 2 && u.width > 0.0 => Some(u),
+            _ => None,
+        };
+        BucketIndexer { uniform }
+    }
+
+    /// Index of the first bucket of `spec` matching `v` — identical
+    /// to [`AnswerSpec::bucketize_num`], in O(1) when the leading
+    /// uniform ladder covers `v`.
+    pub fn bucketize_num(&self, spec: &AnswerSpec, v: f64) -> Option<usize> {
+        if let Some(u) = self.uniform {
+            if v >= u.lo && v < u.lo + u.count as f64 * u.width {
+                // Arithmetic candidate, then verify against the real
+                // rule (float division can land one rung off at
+                // boundaries).
+                let est = (((v - u.lo) / u.width) as usize).min(u.count - 1);
+                // Ascending probe order preserves first-match
+                // semantics even if adjacent rungs overlap slightly;
+                // `get` (rather than indexing) keeps a stale indexer
+                // over a shrunken spec merely slow, never wrong.
+                for cand in [est.saturating_sub(1), est, (est + 1).min(u.count - 1)] {
+                    if spec.buckets().get(cand).is_some_and(|b| b.matches_num(v)) {
+                        return Some(cand);
+                    }
+                }
+                // Geometry disagreed with the rules (mismatched spec);
+                // fall through to the exact scan.
+            } else if v >= u.lo + u.count as f64 * u.width {
+                // Beyond the derived top. The last rung's true upper
+                // bound may exceed the derived `lo + count·width` by
+                // the ladder-acceptance tolerance, so probe it before
+                // handing off to the tail rules — otherwise a value
+                // in that float sliver would wrongly miss its bucket.
+                if spec
+                    .buckets()
+                    .get(u.count - 1)
+                    .is_some_and(|b| b.matches_num(v))
+                {
+                    return Some(u.count - 1);
+                }
+                if let Some(tail) = spec.buckets().get(u.count..) {
+                    return tail.iter().position(|b| b.matches_num(v)).map(|i| i + u.count);
+                }
+            }
+            // v below the ladder (or NaN): no ladder rung matches,
+            // but non-range tail rules still might — exact scan.
+        }
+        spec.bucketize_num(v)
+    }
+
+    /// Index of the first bucket of `spec` matching text `s` (no fast
+    /// path; text rules are scanned exactly).
+    pub fn bucketize_text(&self, spec: &AnswerSpec, s: &str) -> Option<usize> {
+        spec.bucketize_text(s)
+    }
 }
 
 /// An analyst's streaming query `⟨QID, SQL, A[n], f, w, δ⟩` (Eq. 1).
@@ -199,10 +326,13 @@ impl Query {
     }
 
     /// Verifies the signature against the analyst's key.
+    ///
+    /// Allocation-free: [`Query::sign_tag`] hashes only the canonical
+    /// fields (never the signature itself), so verification is a
+    /// straight recompute-and-compare — this runs once per client
+    /// answer on the hot path.
     pub fn verify(&self, key: u64) -> bool {
-        let mut probe = self.clone();
-        probe.signature = 0;
-        probe.sign_tag(key) == self.signature
+        self.sign_tag(key) == self.signature
     }
 }
 
@@ -371,5 +501,82 @@ mod tests {
     #[should_panic(expected = "at least 1 bucket")]
     fn empty_answer_spec_is_rejected() {
         let _ = AnswerSpec::new(vec![]);
+    }
+
+    #[test]
+    fn bucket_indexer_agrees_with_linear_scan_on_uniform_ladders() {
+        for spec in [
+            AnswerSpec::ranges_with_overflow(0.0, 110.0, 11),
+            AnswerSpec::ranges_with_overflow(-3.5, 12.25, 7),
+            AnswerSpec::ranges_with_overflow(0.0, 10.0, 10_000),
+        ] {
+            let idx = spec.index_plan();
+            let lo = match spec.buckets()[0] {
+                BucketRule::Range { lo, .. } => lo,
+                _ => unreachable!(),
+            };
+            let mut v = lo - 2.0;
+            while v < lo + 130.0 {
+                assert_eq!(
+                    idx.bucketize_num(&spec, v),
+                    spec.bucketize_num(v),
+                    "value {v}"
+                );
+                v += 0.093;
+            }
+            for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1e300, 1e300] {
+                assert_eq!(idx.bucketize_num(&spec, v), spec.bucketize_num(v));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_indexer_falls_back_on_irregular_specs() {
+        let spec = AnswerSpec::new(vec![
+            BucketRule::Value(0.0),
+            BucketRule::Range { lo: 0.0, hi: 10.0 },
+            BucketRule::Range { lo: 30.0, hi: 50.0 },
+            BucketRule::Text("other".into()),
+        ]);
+        let idx = spec.index_plan();
+        for v in [-1.0, 0.0, 5.0, 20.0, 35.0, 50.0] {
+            assert_eq!(idx.bucketize_num(&spec, v), spec.bucketize_num(v), "{v}");
+        }
+        assert_eq!(idx.bucketize_text(&spec, "other"), Some(3));
+    }
+
+    #[test]
+    fn bucket_indexer_covers_the_last_rung_tolerance_sliver() {
+        // The last rung's hi exceeds the derived uniform top by an
+        // amount inside the ladder-acceptance tolerance; values in
+        // that sliver must still bucketize identically to the scan.
+        let spec = AnswerSpec::new(vec![
+            BucketRule::Range { lo: 0.0, hi: 10.0 },
+            BucketRule::Range { lo: 10.0, hi: 20.0 },
+            BucketRule::Range {
+                lo: 20.0,
+                hi: 30.0 + 1e-10,
+            },
+            BucketRule::Range {
+                lo: 30.0 + 1e-10,
+                hi: f64::INFINITY,
+            },
+        ]);
+        let idx = spec.index_plan();
+        for v in [29.999_999_999, 30.0, 30.000_000_000_05, 30.0 + 1e-10, 31.0] {
+            assert_eq!(idx.bucketize_num(&spec, v), spec.bucketize_num(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn bucket_indexer_respects_first_match_on_exact_boundaries() {
+        // Boundary values must land in the upper rung (half-open
+        // ranges), exactly like the linear scan.
+        let spec = AnswerSpec::ranges_with_overflow(0.0, 100.0, 10);
+        let idx = spec.index_plan();
+        for k in 0..=10 {
+            let v = k as f64 * 10.0;
+            assert_eq!(idx.bucketize_num(&spec, v), spec.bucketize_num(v), "{v}");
+        }
     }
 }

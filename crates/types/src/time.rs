@@ -111,18 +111,27 @@ impl WindowSpec {
 
     /// All windows containing the event time `t`, in increasing start
     /// order.
+    ///
+    /// Allocating wrapper over [`WindowSpec::assigned`].
     pub fn assign(&self, t: Timestamp) -> Vec<Window> {
-        let mut out = Vec::with_capacity(self.windows_per_event());
+        self.assigned(t).collect()
+    }
+
+    /// Iterator over the windows containing the event time `t`, in
+    /// increasing start order — the allocation-free form of
+    /// [`WindowSpec::assign`] that the streaming hot path
+    /// (`WindowedFold::push`) walks per event.
+    pub fn assigned(&self, t: Timestamp) -> AssignedWindows {
         // Earliest window start that still contains t: the smallest
         // multiple of `slide` strictly greater than t - size.
         let lower = t.0.saturating_sub(self.size - 1); // inclusive bound on start
         let first = lower.div_ceil(self.slide) * self.slide;
-        let mut start = first;
-        while start <= t.0 {
-            out.push(Window::of(Timestamp(start), self.size));
-            start += self.slide;
+        AssignedWindows {
+            next_start: first,
+            last_start: t.0,
+            size: self.size,
+            slide: self.slide,
         }
-        out
     }
 
     /// The single window with the latest start containing `t` (the
@@ -130,6 +139,31 @@ impl WindowSpec {
     pub fn current_window(&self, t: Timestamp) -> Window {
         let start = (t.0 / self.slide) * self.slide;
         Window::of(Timestamp(start), self.size)
+    }
+}
+
+/// Iterator over the windows containing one event time (see
+/// [`WindowSpec::assigned`]).
+#[derive(Debug, Clone)]
+pub struct AssignedWindows {
+    next_start: Millis,
+    /// Inclusive bound: the event time itself (starts beyond it no
+    /// longer contain the event).
+    last_start: Millis,
+    size: Millis,
+    slide: Millis,
+}
+
+impl Iterator for AssignedWindows {
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        if self.next_start > self.last_start {
+            return None;
+        }
+        let w = Window::of(Timestamp(self.next_start), self.size);
+        self.next_start += self.slide;
+        Some(w)
     }
 }
 
