@@ -1,16 +1,22 @@
-//! Full-pipeline throughput benchmark, two pipelines per sweep point:
+//! Full-pipeline throughput benchmark, two pipelines plus a stage
+//! breakdown per sweep point:
 //!
 //! * `round_trip` — client randomize → encode → split, then
 //!   aggregator join → decode → window fold, all through the
 //!   allocation-free scratch APIs (the BENCH_1 pipeline, kept for
-//!   trajectory continuity);
+//!   trajectory continuity; randomize uses the production
+//!   `RandomizeScratch` bulk-RNG path since BENCH_3);
 //! * `full_answer_pipeline` — the Table-3-style client answer path
 //!   *including the SQL stage*: prepared-plan scan over a 256-row
 //!   local store + bucketize + randomize + encode + split via
-//!   `Client::answer_query_into`.
+//!   `Client::answer_query_into`;
+//! * `stage_breakdown` — the same client stages timed in isolation
+//!   (SQL+bucketize / randomize / encode / split), so a PR that moves
+//!   one stage can quote that stage's delta instead of inferring it
+//!   from end-to-end differences.
 //!
 //! Sweeps proxies n ∈ {2, 3} × buckets ∈ {11, 10⁴} and writes
-//! `BENCH_2.json` (machine-readable perf trajectory for later PRs;
+//! `BENCH_3.json` (machine-readable perf trajectory for later PRs;
 //! schema documented in `docs/benchmarks.md`) next to the working
 //! directory, plus the usual copy under `results/`.
 
@@ -19,12 +25,13 @@ use privapprox_core::client::{Client, ClientScratch};
 use privapprox_crypto::xor::{answer_wire_size, decode_answer_into, encode_answer_into};
 use privapprox_crypto::{SplitScratch, XorSplitter};
 use privapprox_rr::estimate::BucketEstimator;
-use privapprox_rr::randomize::Randomizer;
+use privapprox_rr::randomize::{RandomizeScratch, Randomizer};
 use privapprox_sql::{ColumnType, Schema, Value};
 use privapprox_stream::join::{JoinOutcome, MidJoiner};
 use privapprox_types::ids::AnalystId;
 use privapprox_types::{
-    AnswerSpec, BitVec, ClientId, ExecutionParams, MessageId, QueryBuilder, QueryId, Timestamp,
+    AnswerSpec, BitVec, ClientId, ExecutionParams, MessageId, Query, QueryBuilder, QueryId,
+    Timestamp,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,7 +61,32 @@ struct ThroughputRow {
     ns_per_msg: f64,
 }
 
-/// The whole run, as persisted to `BENCH_2.json`.
+/// Per-stage timings of the client answer path at one sweep point,
+/// each stage driven in its own steady-state loop.
+#[derive(Debug, Clone, Serialize)]
+struct StageRow {
+    /// Number of XOR shares per message (affects only the split stage).
+    proxies: usize,
+    /// Answer width in buckets.
+    buckets: usize,
+    /// Iterations per stage loop.
+    messages: u64,
+    /// Prepared SQL scan + bucketize (`truthful_answer_into`), ns/msg.
+    sql_bucketize_ns: f64,
+    /// Randomized response over the `A[n]` vector
+    /// (`randomize_vec_buffered`), ns/msg.
+    randomize_ns: f64,
+    /// Wire encoding (`encode_answer_into`), ns/msg.
+    encode_ns: f64,
+    /// XOR share splitting (`split_into`, ChaCha20 pads), ns/msg.
+    split_ns: f64,
+    /// Sum of the stage columns — close to, but not exactly, the
+    /// `full_answer` ns/msg (separate loops expose each stage to
+    /// better caches than the fused pipeline does).
+    stage_sum_ns: f64,
+}
+
+/// The whole run, as persisted to `BENCH_3.json`.
 #[derive(Debug, Clone, Serialize)]
 struct ThroughputReport {
     /// Which PR's trajectory point this is.
@@ -63,10 +95,14 @@ struct ThroughputReport {
     round_trip_pipeline: String,
     /// What `full_answer_pipeline` measures.
     full_answer_pipeline: String,
+    /// What `stage_breakdown` measures.
+    stage_breakdown_pipeline: String,
     /// Round-trip rows (BENCH_1-comparable).
     round_trip: Vec<ThroughputRow>,
     /// Client answer-path rows (SQL stage included).
     full_answer: Vec<ThroughputRow>,
+    /// Per-stage client answer-path rows.
+    stage_breakdown: Vec<StageRow>,
 }
 
 /// Drives `messages` full client→aggregator round trips and returns
@@ -80,6 +116,7 @@ fn run_round_trip(proxies: usize, buckets: usize, messages: u64) -> ThroughputRo
 
     // Client-side scratch.
     let mut randomized = BitVec::zeros(buckets);
+    let mut randomize_scratch = RandomizeScratch::new();
     let mut message = Vec::new();
     let mut split = SplitScratch::new();
     // Aggregator-side state.
@@ -93,8 +130,11 @@ fn run_round_trip(proxies: usize, buckets: usize, messages: u64) -> ThroughputRo
     // periodically, so its quarantine map stays bounded instead of
     // growing (and rehashing) inside the timed loop.
     let mut now = 0u64;
-    let mut pump = |rng: &mut StdRng, joiner: &mut MidJoiner, estimator: &mut BucketEstimator| {
-        randomizer.randomize_vec_into(&truth, &mut randomized, rng);
+    let mut pump = |rng: &mut StdRng,
+                    randomize_scratch: &mut RandomizeScratch,
+                    joiner: &mut MidJoiner,
+                    estimator: &mut BucketEstimator| {
+        randomizer.randomize_vec_buffered(&truth, &mut randomized, randomize_scratch, rng);
         encode_answer_into(qid, &randomized, &mut message);
         let mid = MessageId(rng.gen());
         let shares = splitter.split_into(&message, mid, rng, &mut split);
@@ -114,12 +154,12 @@ fn run_round_trip(proxies: usize, buckets: usize, messages: u64) -> ThroughputRo
         }
     };
     for _ in 0..warmup {
-        pump(&mut rng, &mut joiner, &mut estimator);
+        pump(&mut rng, &mut randomize_scratch, &mut joiner, &mut estimator);
     }
 
     let start = Instant::now();
     for _ in 0..messages {
-        pump(&mut rng, &mut joiner, &mut estimator);
+        pump(&mut rng, &mut randomize_scratch, &mut joiner, &mut estimator);
     }
     let elapsed = start.elapsed();
     assert_eq!(
@@ -130,10 +170,9 @@ fn run_round_trip(proxies: usize, buckets: usize, messages: u64) -> ThroughputRo
     row(proxies, buckets, messages, elapsed)
 }
 
-/// Drives `messages` client answer epochs — prepared SQL over a
-/// 256-row store, bucketize, randomize, encode, split — and returns
-/// the measurement row.
-fn run_full_answer(proxies: usize, buckets: usize, messages: u64) -> ThroughputRow {
+/// The query + populated client used by the full-answer pipeline and
+/// the stage breakdown.
+fn answer_rig(buckets: usize) -> (Query, Client) {
     let query = QueryBuilder::new(
         QueryId::new(AnalystId(1), 2),
         "SELECT d FROM rides WHERE ts >= 128",
@@ -142,7 +181,6 @@ fn run_full_answer(proxies: usize, buckets: usize, messages: u64) -> ThroughputR
     .frequency(1_000)
     .window(60_000, 60_000)
     .sign_and_build(KEY);
-    let params = ExecutionParams::checked(1.0, 0.9, 0.6);
 
     let mut client = Client::new(ClientId(1), 0xC11E47 ^ buckets as u64, KEY);
     client.db_mut().create_table(
@@ -155,6 +193,15 @@ fn run_full_answer(proxies: usize, buckets: usize, messages: u64) -> ThroughputR
             .insert("rides", vec![Value::Int(i), Value::Float((i % 100) as f64)])
             .unwrap();
     }
+    (query, client)
+}
+
+/// Drives `messages` client answer epochs — prepared SQL over a
+/// 256-row store, bucketize, randomize, encode, split — and returns
+/// the measurement row.
+fn run_full_answer(proxies: usize, buckets: usize, messages: u64) -> ThroughputRow {
+    let (query, mut client) = answer_rig(buckets);
+    let params = ExecutionParams::checked(1.0, 0.9, 0.6);
 
     let mut scratch = ClientScratch::new();
     let warmup = (messages / 10).clamp(10, 1_000);
@@ -176,6 +223,68 @@ fn run_full_answer(proxies: usize, buckets: usize, messages: u64) -> ThroughputR
     row(proxies, buckets, messages, start.elapsed())
 }
 
+/// Times each client answer stage in its own loop over the same data
+/// the full pipeline uses.
+fn run_stage_breakdown(proxies: usize, buckets: usize, messages: u64) -> StageRow {
+    let (query, mut client) = answer_rig(buckets);
+    let mut rng = StdRng::seed_from_u64(0x57A6E ^ (proxies as u64) << 32 ^ buckets as u64);
+    let randomizer = Randomizer::new(0.9, 0.6);
+    let splitter = XorSplitter::new(proxies);
+    let warmup = (messages / 10).clamp(10, 1_000);
+
+    // Stage: prepared SQL + bucketize.
+    let mut truth = BitVec::zeros(buckets);
+    let time_stage = |body: &mut dyn FnMut()| {
+        for _ in 0..warmup {
+            body();
+        }
+        let start = Instant::now();
+        for _ in 0..messages {
+            body();
+        }
+        start.elapsed().as_nanos() as f64 / messages as f64
+    };
+
+    let sql_bucketize_ns = time_stage(&mut || {
+        client.truthful_answer_into(&query, &mut truth).unwrap();
+        std::hint::black_box(&truth);
+    });
+
+    // Stage: randomized response (the production bulk-RNG path).
+    let mut randomized = BitVec::zeros(buckets);
+    let mut randomize_scratch = RandomizeScratch::new();
+    let randomize_ns = time_stage(&mut || {
+        randomizer.randomize_vec_buffered(&truth, &mut randomized, &mut randomize_scratch, &mut rng);
+        std::hint::black_box(&randomized);
+    });
+
+    // Stage: wire encoding.
+    let mut message = Vec::new();
+    let encode_ns = time_stage(&mut || {
+        encode_answer_into(query.id, &randomized, &mut message);
+        std::hint::black_box(&message);
+    });
+
+    // Stage: XOR share split.
+    let mut split = SplitScratch::new();
+    let split_ns = time_stage(&mut || {
+        let mid = MessageId(rng.gen());
+        let shares = splitter.split_into(&message, mid, &mut rng, &mut split);
+        std::hint::black_box(shares);
+    });
+
+    StageRow {
+        proxies,
+        buckets,
+        messages,
+        sql_bucketize_ns,
+        randomize_ns,
+        encode_ns,
+        split_ns,
+        stage_sum_ns: sql_bucketize_ns + randomize_ns + encode_ns + split_ns,
+    }
+}
+
 fn row(
     proxies: usize,
     buckets: usize,
@@ -195,15 +304,17 @@ fn row(
 }
 
 fn main() {
-    println!("Throughput sweep — round trip and client full_answer_pipeline\n");
+    println!("Throughput sweep — round trip, full_answer_pipeline, stage breakdown\n");
     let mut round_trip = Vec::new();
     let mut full_answer = Vec::new();
+    let mut stage_breakdown = Vec::new();
     for &proxies in &[2usize, 3] {
         for &buckets in &[11usize, 10_000] {
             // Size message counts so each point runs a few hundred ms.
             let messages = if buckets > 1_000 { 20_000 } else { 400_000 };
             round_trip.push(run_round_trip(proxies, buckets, messages));
             full_answer.push(run_full_answer(proxies, buckets, messages));
+            stage_breakdown.push(run_stage_breakdown(proxies, buckets, messages));
         }
     }
 
@@ -225,19 +336,47 @@ fn main() {
         println!("{}", table.render());
     }
 
+    println!("stage_breakdown (ns/msg):");
+    let mut table = Table::new(&[
+        "proxies",
+        "buckets",
+        "sql+bucketize",
+        "randomize",
+        "encode",
+        "split",
+        "sum",
+    ]);
+    for r in stage_breakdown.iter() {
+        table.row(vec![
+            r.proxies.to_string(),
+            r.buckets.to_string(),
+            format!("{:.0}", r.sql_bucketize_ns),
+            format!("{:.0}", r.randomize_ns),
+            format!("{:.0}", r.encode_ns),
+            format!("{:.0}", r.split_ns),
+            format!("{:.0}", r.stage_sum_ns),
+        ]);
+    }
+    println!("{}", table.render());
+
     let report = ThroughputReport {
-        bench_revision: 2,
+        bench_revision: 3,
         round_trip_pipeline: "client randomize→encode→split + aggregator join→decode→fold"
             .to_string(),
         full_answer_pipeline:
             "client prepared-SQL (256-row store) + bucketize + randomize + encode + split"
                 .to_string(),
+        stage_breakdown_pipeline:
+            "client answer stages timed in isolation: prepared-SQL+bucketize / randomize \
+             (WideRng bulk path) / encode / split"
+                .to_string(),
         round_trip,
         full_answer,
+        stage_breakdown,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
-    println!("trajectory written to BENCH_2.json");
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("trajectory written to BENCH_3.json");
     if let Ok(path) = privapprox_bench::save_json("throughput", &report) {
         println!("results copy at {}", path.display());
     }

@@ -525,7 +525,7 @@ mod tests {
                     producer.send(
                         &inbound_topic(ProxyId(pi as u16)),
                         Some(share.mid.to_bytes().to_vec()),
-                        share.payload.clone(),
+                        &share.payload[..],
                         Timestamp(500),
                     );
                 }
@@ -623,7 +623,7 @@ mod tests {
                 producer.send(
                     &inbound_topic(ProxyId(pi as u16)),
                     Some(share.mid.to_bytes().to_vec()),
-                    share.payload.clone(),
+                    &share.payload[..],
                     Timestamp(ts),
                 );
             }
@@ -663,7 +663,7 @@ mod tests {
                     producer.send(
                         &inbound_topic(ProxyId(pi as u16)),
                         Some(share.mid.to_bytes().to_vec()),
-                        share.payload.clone(),
+                        &share.payload[..],
                         Timestamp(cycle * 1_000 + 500),
                     );
                 }

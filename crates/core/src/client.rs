@@ -18,7 +18,7 @@
 
 use crate::error::CoreError;
 use privapprox_crypto::xor::{encode_answer_into, Share, SplitScratch, XorSplitter};
-use privapprox_rr::randomize::Randomizer;
+use privapprox_rr::randomize::{RandomizeScratch, Randomizer};
 use privapprox_sampling::srs::ParticipationCoin;
 use privapprox_sql::{Database, EvalScratch, PlanCache, ValueRef};
 use privapprox_types::{BitVec, BucketIndexer, ClientId, ExecutionParams, MessageId, Query, QueryId};
@@ -46,6 +46,11 @@ pub struct ClientScratch {
     truth: BitVec,
     /// The randomized `A[n]` vector.
     randomized: BitVec,
+    /// The randomize stage's bulk-RNG state: an 8-lane `WideRng` plus
+    /// its pre-filled word buffer, both materialized on first use
+    /// (the generator forks off the client RNG) and reused every
+    /// epoch after.
+    randomize: RandomizeScratch,
     /// The encoded wire message `⟨QID, randomized answer⟩`.
     message: Vec<u8>,
     /// The XOR share buffers.
@@ -241,9 +246,10 @@ impl Client {
         let randomized = if params.p >= 1.0 {
             &scratch.truth // degenerate no-randomization mode (Fig 4b)
         } else {
-            Randomizer::new(params.p, params.q).randomize_vec_into(
+            Randomizer::new(params.p, params.q).randomize_vec_buffered(
                 &scratch.truth,
                 &mut scratch.randomized,
+                &mut scratch.randomize,
                 &mut self.rng,
             );
             &scratch.randomized

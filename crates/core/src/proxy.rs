@@ -117,7 +117,7 @@ mod tests {
         let mut proxy = Proxy::new(ProxyId(1), &broker);
         proxy.pump();
         let got = broker.consumer("agg", &["proxy-1-out"]).poll(10);
-        assert_eq!(got[0].1.value, b"opaque-share");
+        assert_eq!(&*got[0].1.value, b"opaque-share");
         assert_eq!(got[0].1.key, Some(b"mid".to_vec()));
         assert_eq!(got[0].1.timestamp, Timestamp(777));
     }

@@ -146,8 +146,13 @@ pub struct System {
     /// Closed windows not yet returned by `run_epoch`.
     pending: Vec<QueryResult>,
     /// Reused buffers for every client's randomize → encode → split
-    /// stages (the broker clones payloads on send, so one scratch
-    /// serves the whole population allocation-free).
+    /// stages (each send copies the share once into the broker's
+    /// shared immutable buffer, so one scratch serves the whole
+    /// population). The scratch's bulk randomize generator is forked
+    /// once from the first participating client and then shared — a
+    /// harness-level economy; real deployments give each device its
+    /// own `ClientScratch`, and participation coins and MIDs still
+    /// come from each client's private RNG either way.
     scratch: ClientScratch,
 }
 
@@ -260,10 +265,13 @@ impl System {
                 client.answer_query_into(query, &params, n_proxies, &mut self.scratch)?
             {
                 for (pi, share) in shares.iter().enumerate() {
+                    // One copy of the share into a shared immutable
+                    // buffer; every downstream hop (proxy poll,
+                    // forward, aggregator poll) shares it by refcount.
                     self.producer.send(
                         &inbound_topic(ProxyId(pi as u16)),
                         Some(share.mid.to_bytes().to_vec()),
-                        share.payload.clone(),
+                        &share.payload[..],
                         ts,
                     );
                 }

@@ -4,7 +4,9 @@
 //!
 //! * per message — the full client answer path (plan-cache hit →
 //!   prepared SQL scan → bucketize → randomize → encode → split) and
-//!   the aggregator's join → decode → fold path, and
+//!   the aggregator's join → decode → fold path,
+//! * per randomize call — the `RandomizeScratch`/`WideRng` bulk-RNG
+//!   buffers materialize on first use only, and
 //! * per window close — `advance_watermark_into` with the estimator
 //!   pool and recycled result shells.
 //!
@@ -19,7 +21,7 @@ use privapprox_core::Aggregator;
 use privapprox_crypto::xor::{decode_answer_into, encode_answer_into};
 use privapprox_crypto::{SplitScratch, XorSplitter};
 use privapprox_rr::estimate::BucketEstimator;
-use privapprox_rr::randomize::Randomizer;
+use privapprox_rr::randomize::{RandomizeScratch, Randomizer};
 use privapprox_sql::{ColumnType, Schema, Value};
 use privapprox_stream::broker::Broker;
 use privapprox_stream::join::{JoinOutcome, MidJoiner};
@@ -117,6 +119,39 @@ fn raw_pipeline_allocates_nothing() {
             after - before
         );
         assert_eq!(estimator.total(), 4_000);
+    }
+}
+
+/// The bulk-RNG randomize stage in isolation: a fresh
+/// `RandomizeScratch` allocates exactly on its first use (the `WideRng`
+/// fork is inline state — only the word buffer hits the heap) and
+/// never again, across widths from one limb to 10⁴ buckets.
+fn randomize_scratch_allocates_only_on_first_use() {
+    for &buckets in &[11usize, 10_000] {
+        let mut seeder = StdRng::seed_from_u64(7 + buckets as u64);
+        let randomizer = Randomizer::new(0.9, 0.6);
+        let truth = BitVec::one_hot(buckets, buckets / 2);
+        let mut out = BitVec::zeros(buckets);
+        let mut scratch = RandomizeScratch::new();
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        randomizer.randomize_vec_buffered(&truth, &mut out, &mut scratch, &mut seeder);
+        let after_first = ALLOCATIONS.load(Ordering::Relaxed);
+        assert!(
+            after_first > before,
+            "first use must materialize the word buffer (buckets = {buckets})"
+        );
+
+        for _ in 0..2_000 {
+            randomizer.randomize_vec_buffered(&truth, &mut out, &mut scratch, &mut seeder);
+        }
+        let after_warm = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after_warm - after_first,
+            0,
+            "warm RandomizeScratch allocated {} times over 2000 messages (buckets = {buckets})",
+            after_warm - after_first
+        );
     }
 }
 
@@ -229,7 +264,7 @@ fn window_close_allocates_nothing() {
                 producer.send(
                     &inbound_topic(ProxyId(pi as u16)),
                     Some(share.mid.to_bytes().to_vec()),
-                    share.payload.clone(),
+                    &share.payload[..],
                     Timestamp(cycle * 1_000 + 500),
                 );
             }
@@ -261,6 +296,7 @@ fn window_close_allocates_nothing() {
 #[test]
 fn steady_state_pipeline_allocates_nothing() {
     raw_pipeline_allocates_nothing();
+    randomize_scratch_allocates_only_on_first_use();
     client_pipeline_allocates_nothing();
     window_close_allocates_nothing();
 }

@@ -20,7 +20,11 @@
 //!   bound, and the zero-knowledge reconstruction (see DESIGN.md §1
 //!   for the Eq 19 substitution note);
 //! * [`inversion`] — the query-inversion mechanism of §3.3.2;
-//! * [`rappor`] — Google's RAPPOR randomizer as the Fig 5c baseline.
+//! * [`rappor`] — Google's RAPPOR randomizer as the Fig 5c baseline;
+//! * [`rng`] — the bulk random-word subsystem: an 8-lane interleaved
+//!   xoshiro256++ ([`rng::WideRng`]) with an AVX2 kernel behind
+//!   runtime detection and a byte-identical portable fallback,
+//!   feeding the sampler through pre-filled word buffers.
 //!
 //! # Hot-path conventions
 //!
@@ -38,6 +42,7 @@ pub mod inversion;
 pub mod privacy;
 pub mod randomize;
 pub mod rappor;
+pub mod rng;
 
 pub use estimate::{accuracy_loss, estimate_true_yes, BucketEstimator};
 pub use inversion::{should_invert, InvertibleCount};
@@ -45,5 +50,6 @@ pub use privacy::{
     epsilon_dp_sampled, epsilon_rr, epsilon_rr_strict, epsilon_zk, p_for_epsilon, s_for_epsilon_zk,
     PrivacyReport,
 };
-pub use randomize::Randomizer;
+pub use randomize::{RandomizeScratch, Randomizer};
 pub use rappor::Rappor;
+pub use rng::WideRng;

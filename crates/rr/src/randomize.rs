@@ -33,6 +33,22 @@
 //! and ripple passes per limb versus the two-mask formulation — the
 //! difference between ~14 and ~7 words per 64 answer bits.
 //!
+//! # Bulk random words
+//!
+//! The comparison ripple no longer calls the generator per word: the
+//! driver pre-fills a word buffer in blocks ([`rand::RngCore::fill_words`])
+//! and the comparison blocks (`yes_block1`/`yes_block8`) read slices
+//! of it, so the
+//! generator's serial dependency chain stays out of the ripple loop.
+//! The block fills are sized to the worst case still reachable for
+//! the remaining limbs (`COIN_FRACTION_BITS − stop` words per limb),
+//! so narrow answers draw only a handful of words while wide answers
+//! amortize whole-buffer refills. [`Randomizer::randomize_vec_buffered`]
+//! pairs this with a [`crate::rng::WideRng`] — an 8-lane AVX2/scalar
+//! xoshiro256++ — held in a reusable [`RandomizeScratch`]; that is the
+//! client hot path. [`Randomizer::randomize_vec_into`] keeps the
+//! generic-RNG surface (any [`rand::Rng`]) over a stack buffer.
+//!
 //! The trade-off: per-bit marginals are quantized to multiples of
 //! 2⁻¹⁶, i.e. the realized composed bias is within 2⁻¹⁷ ≈ 7.6·10⁻⁶
 //! of the exact `p + (1−p)q` / `(1−p)q`. That error is far below both
@@ -43,6 +59,7 @@
 //! two coins literally with exact `f64` comparisons and remains the
 //! reference the property tests compare against.
 
+use crate::rng::WideRng;
 use privapprox_types::BitVec;
 use rand::Rng;
 
@@ -124,6 +141,12 @@ impl Randomizer {
     /// docs): each lane draws one coin whose threshold is the
     /// composed yes-probability for its truthful bit.
     ///
+    /// Random words are pre-filled through [`rand::RngCore::fill_words`]
+    /// into a stack buffer; `rng` is the generic surface, so any
+    /// generator works (a bulk generator like [`WideRng`] makes the
+    /// fills wide). For the reusable-buffer client hot path see
+    /// [`Randomizer::randomize_vec_buffered`].
+    ///
     /// `out` is resized to match `truth` if needed; at steady state
     /// (same answer width each epoch) the call is allocation-free.
     pub fn randomize_vec_into<R: Rng + ?Sized>(
@@ -131,6 +154,44 @@ impl Randomizer {
         truth: &BitVec,
         out: &mut BitVec,
         rng: &mut R,
+    ) {
+        // 4 KiB of stack: enough that a 10⁴-bucket answer refills only
+        // a few times even at the worst-case words-per-limb.
+        let mut buf = [0u64; 512];
+        self.randomize_vec_with_buf(truth, out, rng, &mut buf);
+    }
+
+    /// [`Randomizer::randomize_vec_into`] through a caller-owned
+    /// [`RandomizeScratch`]: the word buffer lives on the heap and is
+    /// reused across calls, and the generator is a private 8-lane
+    /// [`WideRng`] forked lazily (one `next_u64`) from `seeder` on the
+    /// scratch's first use. This is the client's steady-state path —
+    /// after the first call the scratch never allocates again for a
+    /// fixed answer width.
+    pub fn randomize_vec_buffered<R: Rng + ?Sized>(
+        &self,
+        truth: &BitVec,
+        out: &mut BitVec,
+        scratch: &mut RandomizeScratch,
+        seeder: &mut R,
+    ) {
+        scratch.ensure_ready(seeder);
+        let rng = scratch.rng.as_mut().expect("seeded above");
+        self.randomize_vec_with_buf(truth, out, rng, &mut scratch.words);
+    }
+
+    /// Shared driver: pre-fills `buf` in blocks sized to the remaining
+    /// worst case and hands slices to the bit-sliced comparison
+    /// blocks.
+    ///
+    /// `buf` must hold at least `8 · COIN_FRACTION_BITS` words (one
+    /// 8-limb block's worst case).
+    fn randomize_vec_with_buf<R: Rng + ?Sized>(
+        &self,
+        truth: &BitVec,
+        out: &mut BitVec,
+        rng: &mut R,
+        buf: &mut [u64],
     ) {
         if out.len() != truth.len() {
             out.reset(truth.len());
@@ -156,23 +217,62 @@ impl Randomizer {
                 (((self.yes0_fx >> j) & 1) as u64).wrapping_neg(),
             );
         }
+        // Worst-case words one limb can consume; ≥ 1 because the
+        // thresholds are clamped into [1, 2¹⁶ − 1].
+        let per_limb = (COIN_FRACTION_BITS - stop) as usize;
+        assert!(
+            buf.len() >= 8 * COIN_FRACTION_BITS as usize,
+            "word buffer too small: {} < {}",
+            buf.len(),
+            8 * COIN_FRACTION_BITS
+        );
         let truth_limbs = truth.limbs();
         let out_limbs = out.limbs_mut();
-        // Four limbs per step: the MSB-first ripple is a serial
+        // Cursor over pre-filled words: refills carry stranded words
+        // forward and top up in bounded chunks, so the generator runs
+        // a handful of wide bulk fills per call and total generation
+        // tracks actual consumption (the early exits make consumption
+        // run well below the worst case) instead of the worst case.
+        let mut cursor = WordCursor {
+            rng,
+            buf,
+            pos: 0,
+            filled: 0,
+        };
+        let mut limbs_left = truth_limbs.len();
+        #[cfg(target_arch = "x86_64")]
+        let use_avx2 = std::arch::is_x86_feature_detected!("avx2");
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_avx2 = false;
+        // Eight limbs per step: the MSB-first ripple is a serial
         // dependency chain within a limb, so interleaving independent
-        // limbs keeps the ALU busy while one chain's update retires.
-        let mut out_chunks = out_limbs.chunks_exact_mut(4);
-        let mut truth_chunks = truth_limbs.chunks_exact(4);
+        // limbs keeps the ALU busy while one chain's update retires —
+        // and makes each bit position's eight words two 256-bit lane
+        // sets for the AVX2 kernel, whose two accumulator chains and
+        // shared per-position broadcasts amortize the early-exit test
+        // down to one `vptest` per position.
+        let mut out_chunks = out_limbs.chunks_exact_mut(8);
+        let mut truth_chunks = truth_limbs.chunks_exact(8);
         for (o, t) in (&mut out_chunks).zip(&mut truth_chunks) {
-            let block = yes_block4([t[0], t[1], t[2], t[3]], &bits, stop, rng);
+            let need = 8 * per_limb;
+            cursor.ensure(need, per_limb * limbs_left);
+            let words = &cursor.buf[cursor.pos..cursor.pos + need];
+            let t8: &[u64; 8] = t.try_into().expect("chunk of 8");
+            let (block, used) = yes_block8_dispatch(use_avx2, t8, &bits, stop, words);
+            cursor.pos += used;
             o.copy_from_slice(&block);
+            limbs_left -= 8;
         }
         for (o, &t) in out_chunks
             .into_remainder()
             .iter_mut()
             .zip(truth_chunks.remainder())
         {
-            *o = yes_block1(t, &bits, stop, rng);
+            cursor.ensure(per_limb, per_limb * limbs_left);
+            let (word, used) = yes_block1(t, &bits, stop, &cursor.buf[cursor.pos..]);
+            cursor.pos += used;
+            *o = word;
+            limbs_left -= 1;
         }
         out.mask_padding();
     }
@@ -203,42 +303,253 @@ fn to_fixed(bias: f64) -> u32 {
     ((bias * COIN_ONE as f64).round() as u32).clamp(1, COIN_ONE - 1)
 }
 
+/// Reusable buffers for [`Randomizer::randomize_vec_buffered`]: a
+/// private 8-lane [`WideRng`] plus the heap word buffer its bulk
+/// fills land in.
+///
+/// Both pieces materialize on the scratch's **first** use — the
+/// generator forks off the caller's seeder RNG (consuming exactly one
+/// `next_u64`; see [`WideRng::fork_from`] for the semantics) and the
+/// buffer allocates once — after which the warm path is
+/// allocation-free, which is what lets the client answer pipeline's
+/// zero-alloc steady-state proof cover the randomize stage.
+#[derive(Debug, Clone, Default)]
+pub struct RandomizeScratch {
+    /// The scratch's private wide generator (`None` until first use).
+    rng: Option<WideRng>,
+    /// Pre-filled random words (empty until first use).
+    words: Vec<u64>,
+}
+
+/// Heap word-buffer size: 8 KiB. A 10⁴-bucket answer (157 limbs)
+/// consumes ~1 100 words in expectation, so most messages refill once
+/// or twice; narrow answers fill only what their limbs can consume.
+const SCRATCH_WORDS: usize = 1024;
+
+impl RandomizeScratch {
+    /// Creates an empty scratch (generator forked and buffer allocated
+    /// on first use).
+    pub fn new() -> RandomizeScratch {
+        RandomizeScratch::default()
+    }
+
+    /// Creates a scratch around an explicitly seeded generator
+    /// (buffer still allocates on first use).
+    pub fn with_rng(rng: WideRng) -> RandomizeScratch {
+        RandomizeScratch {
+            rng: Some(rng),
+            words: Vec::new(),
+        }
+    }
+
+    /// First-use initialization: fork the wide generator and size the
+    /// word buffer. No-ops when already warm.
+    fn ensure_ready<R: Rng + ?Sized>(&mut self, seeder: &mut R) {
+        if self.rng.is_none() {
+            self.rng = Some(WideRng::fork_from(seeder));
+        }
+        if self.words.is_empty() {
+            self.words = vec![0u64; SCRATCH_WORDS];
+        }
+    }
+}
+
+/// Words the cursor tops up per refill beyond what the next block
+/// needs: large enough to amortize the bulk generator's call
+/// overhead, small enough that generation tracks the early-exit
+/// consumption rate instead of the worst case.
+const REFILL_CHUNK: usize = 256;
+
+/// A consuming cursor over a pre-filled word buffer: blocks read
+/// `buf[pos..]` and advance `pos` by what they used; refills slide
+/// stranded words to the front and bulk-generate on top of them.
+struct WordCursor<'a, R: Rng + ?Sized> {
+    rng: &'a mut R,
+    buf: &'a mut [u64],
+    /// Next unread word.
+    pos: usize,
+    /// End of generated words.
+    filled: usize,
+}
+
+impl<R: Rng + ?Sized> WordCursor<'_, R> {
+    /// Guarantees at least `need` readable words at `pos`.
+    /// `remaining_worst` is the worst case the rest of the vector can
+    /// still consume (`≥ need`); generation never runs past it, so a
+    /// narrow answer draws only what its limbs could possibly use.
+    #[inline]
+    fn ensure(&mut self, need: usize, remaining_worst: usize) {
+        let have = self.filled - self.pos;
+        if have >= need {
+            return;
+        }
+        self.buf.copy_within(self.pos..self.filled, 0);
+        let target = (have + REFILL_CHUNK)
+            .max(need)
+            .min(remaining_worst)
+            .min(self.buf.len());
+        self.rng.fill_words(&mut self.buf[have..target]);
+        self.pos = 0;
+        self.filled = target;
+    }
+}
+
+/// Picks the widest [`yes_block8`] kernel: the AVX2 form when the
+/// caller verified support, the portable form otherwise. Both compute
+/// the identical function and consume the identical word count.
+#[inline]
+fn yes_block8_dispatch(
+    use_avx2: bool,
+    t: &[u64; 8],
+    bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
+    stop: u32,
+    words: &[u64],
+) -> ([u64; 8], usize) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        // SAFETY: the caller detected AVX2 at runtime.
+        return unsafe { yes_block8_avx2(t, bits, stop, words) };
+    }
+    let _ = use_avx2;
+    yes_block8(t, bits, stop, words)
+}
+
 /// Draws 64 independent coins as a bitmask (bit i set ⇔ lane i says
 /// "Yes"), where lane i's bias is `yes1_fx / 2¹⁶` when its truthful
 /// bit in `t` is set and `yes0_fx / 2¹⁶` otherwise.
 ///
-/// Bit-sliced comparison `r < T` over 4 × 64 lanes with *per-lane*
+/// Bit-sliced comparison `r < T` over 8 × 64 lanes with *per-lane*
 /// thresholds: `w_j` holds bit `j` of 64 lanes' uniform 16-bit values
 /// `r`, and the threshold word `tw` selects bit `j` of `yes1_fx` for
 /// truth-1 lanes and of `yes0_fx` for truth-0 lanes (`bits[j]` holds
 /// both choices pre-broadcast to full words). Walking MSB-first with
 /// the running "still undecided" mask `eq`, a lane resolves less-than
 /// (heads) at the first bit where its `r` bit is 0 and its threshold
-/// bit is 1, and greater-than (tails) in the mirrored case. The four
-/// limbs ride the same `j` loop so their serial `eq` chains overlap;
-/// a limb that is already fully decided keeps drawing (and ignoring)
-/// words until all four are done, which costs a little entropy but
-/// keeps the loop branch-free per limb. The loop exits as soon as
-/// every lane of every limb is decided (≈ 8 words per limb in
-/// expectation at 256 lanes) and never looks at bits where both
-/// thresholds are trailing zeros (`stop`).
-/// Single-limb form of [`yes_block4`] for the tail of the limb array
-/// — and the whole of it for narrow answers (an 11-bucket vector is
-/// one limb). Drawing one word per bit position instead of riding
-/// three dummy limbs through the 4-way block keeps the common
-/// small-answer path at the expected ~7 words per limb.
+/// bit is 1, and greater-than (tails) in the mirrored case. The eight
+/// limbs ride the same `j` loop so their serial `eq` chains overlap.
+/// Random words come from the caller's pre-filled slice, 8 per bit
+/// position in limb order; the loop exits as soon as every lane of
+/// every limb is decided (≈ 9 of the worst-case 16 positions per
+/// limb in expectation at 512 lanes), returning how many words it
+/// actually consumed so the caller's cursor can hand the rest to the
+/// next block. It never looks at bits where both thresholds are
+/// trailing zeros (`stop`); `words` must hold the worst case,
+/// `8 · (COIN_FRACTION_BITS − stop)`.
+///
+/// The exit test itself sits on the serial `eq` chain, so the first
+/// [`MIN_POSITIONS`] positions run unchecked: the probability that
+/// all 512 lanes decide earlier is `(1 − 2⁻⁶)⁵¹² ≈ 3·10⁻⁴`, making
+/// the skipped checks nearly-always-pointless latency.
 #[inline]
-fn yes_block1<R: Rng + ?Sized>(
+fn yes_block8(
+    t: &[u64; 8],
+    bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
+    stop: u32,
+    words: &[u64],
+) -> ([u64; 8], usize) {
+    let mut less = [0u64; 8];
+    let mut eq = [!0u64; 8];
+    let mut used = 0usize;
+    let mut position = 0u32;
+    for j in (stop..COIN_FRACTION_BITS).rev() {
+        let (b1, b0) = bits[j as usize];
+        for (k, &w) in words[used..used + 8].iter().enumerate() {
+            let tw = (t[k] & b1) | (!t[k] & b0);
+            less[k] |= eq[k] & tw & !w;
+            eq[k] &= !(tw ^ w);
+        }
+        used += 8;
+        position += 1;
+        if position >= MIN_POSITIONS && eq.iter().fold(0, |a, &e| a | e) == 0 {
+            break;
+        }
+    }
+    (less, used)
+}
+
+/// Bit positions every [`yes_block8`] kernel processes before it
+/// starts testing the all-decided early exit (see its docs).
+const MIN_POSITIONS: u32 = 6;
+
+/// [`yes_block8`] with the eight limbs held across two 256-bit lane
+/// sets: each bit position is two unaligned loads of its pre-filled
+/// words plus ~14 vector ops whose two accumulator chains are
+/// independent (so they overlap in the pipeline), and the all-decided
+/// early exit is one `vptest` of the OR of both `eq` halves.
+/// Bit-for-bit and word-for-word identical to the portable form.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime. `words`
+/// must hold `8 · (COIN_FRACTION_BITS − stop)` entries.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn yes_block8_avx2(
+    t: &[u64; 8],
+    bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
+    stop: u32,
+    words: &[u64],
+) -> ([u64; 8], usize) {
+    use core::arch::x86_64::*;
+
+    let ta = _mm256_loadu_si256(t.as_ptr() as *const __m256i);
+    let tb = _mm256_loadu_si256(t.as_ptr().add(4) as *const __m256i);
+    let mut less_a = _mm256_setzero_si256();
+    let mut less_b = _mm256_setzero_si256();
+    let mut eq_a = _mm256_set1_epi64x(-1);
+    let mut eq_b = _mm256_set1_epi64x(-1);
+    let mut used = 0usize;
+    let mut position = 0u32;
+    for j in (stop..COIN_FRACTION_BITS).rev() {
+        let (b1, b0) = bits[j as usize];
+        let wa = _mm256_loadu_si256(words.as_ptr().add(used) as *const __m256i);
+        let wb = _mm256_loadu_si256(words.as_ptr().add(used + 4) as *const __m256i);
+        used += 8;
+        let b1v = _mm256_set1_epi64x(b1 as i64);
+        let b0v = _mm256_set1_epi64x(b0 as i64);
+        // tw = (t & b1) | (!t & b0), shared broadcasts for both halves.
+        let tw_a = _mm256_or_si256(_mm256_and_si256(ta, b1v), _mm256_andnot_si256(ta, b0v));
+        let tw_b = _mm256_or_si256(_mm256_and_si256(tb, b1v), _mm256_andnot_si256(tb, b0v));
+        // less |= eq & tw & !w
+        less_a = _mm256_or_si256(less_a, _mm256_and_si256(eq_a, _mm256_andnot_si256(wa, tw_a)));
+        less_b = _mm256_or_si256(less_b, _mm256_and_si256(eq_b, _mm256_andnot_si256(wb, tw_b)));
+        // eq &= !(tw ^ w)
+        eq_a = _mm256_andnot_si256(_mm256_xor_si256(tw_a, wa), eq_a);
+        eq_b = _mm256_andnot_si256(_mm256_xor_si256(tw_b, wb), eq_b);
+        position += 1;
+        if position >= MIN_POSITIONS {
+            let any = _mm256_or_si256(eq_a, eq_b);
+            if _mm256_testz_si256(any, any) != 0 {
+                break;
+            }
+        }
+    }
+    let mut out = [0u64; 8];
+    _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, less_a);
+    _mm256_storeu_si256(out.as_mut_ptr().add(4) as *mut __m256i, less_b);
+    (out, used)
+}
+
+/// Single-limb form of [`yes_block8`] for the tail of the limb array
+/// — and the whole of it for narrow answers (an 11-bucket vector is
+/// one limb). Consuming one pre-filled word per bit position instead
+/// of riding seven dummy limbs through the 8-way block keeps the
+/// common small-answer path at the expected ~7 words per limb.
+/// `words` must hold the worst case, `COIN_FRACTION_BITS − stop`.
+#[inline]
+fn yes_block1(
     t: u64,
     bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
     stop: u32,
-    rng: &mut R,
-) -> u64 {
+    words: &[u64],
+) -> (u64, usize) {
     let mut less = 0u64;
     let mut eq = !0u64;
+    let mut used = 0usize;
     for j in (stop..COIN_FRACTION_BITS).rev() {
         let (b1, b0) = bits[j as usize];
-        let w = rng.next_u64();
+        let w = words[used];
+        used += 1;
         let tw = (t & b1) | (!t & b0);
         less |= eq & tw & !w;
         eq &= !(tw ^ w);
@@ -246,38 +557,14 @@ fn yes_block1<R: Rng + ?Sized>(
             break;
         }
     }
-    less
-}
-
-#[inline]
-fn yes_block4<R: Rng + ?Sized>(
-    t: [u64; 4],
-    bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
-    stop: u32,
-    rng: &mut R,
-) -> [u64; 4] {
-    let mut less = [0u64; 4];
-    let mut eq = [!0u64; 4];
-    for j in (stop..COIN_FRACTION_BITS).rev() {
-        let (b1, b0) = bits[j as usize];
-        for k in 0..4 {
-            let w = rng.next_u64();
-            let tw = (t[k] & b1) | (!t[k] & b0);
-            less[k] |= eq[k] & tw & !w;
-            eq[k] &= !(tw ^ w);
-        }
-        if eq[0] | eq[1] | eq[2] | eq[3] == 0 {
-            break;
-        }
-    }
-    less
+    (less, used)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     #[test]
     fn truthful_mechanism_is_identity() {
@@ -378,6 +665,96 @@ mod tests {
             "truth-1 bits must stay ~always Yes, got {} of 4096",
             out.count_ones()
         );
+    }
+
+    /// The buffered scratch path and the generic stack-buffer path
+    /// run the same channel: same marginals, and a warm scratch keeps
+    /// producing valid randomizations across width changes.
+    #[test]
+    fn buffered_path_matches_channel_rates() {
+        let r = Randomizer::new(0.5, 0.5);
+        let mut seeder = StdRng::seed_from_u64(21);
+        let mut scratch = RandomizeScratch::new();
+        let truth = BitVec::one_hot(2, 0); // bit0 = 1, bit1 = 0
+        let n = 100_000;
+        let mut ones = [0u32; 2];
+        let mut out = BitVec::zeros(2);
+        for _ in 0..n {
+            r.randomize_vec_buffered(&truth, &mut out, &mut scratch, &mut seeder);
+            for (b, count) in ones.iter_mut().enumerate() {
+                if out.get(b) {
+                    *count += 1;
+                }
+            }
+        }
+        let r0 = ones[0] as f64 / n as f64;
+        let r1 = ones[1] as f64 / n as f64;
+        assert!((r0 - 0.75).abs() < 0.01, "truth-1 bit rate {r0}");
+        assert!((r1 - 0.25).abs() < 0.01, "truth-0 bit rate {r1}");
+    }
+
+    /// A scratch survives answer-width changes (wide → narrow → wide):
+    /// the word buffer is refill-sized per call, not per width.
+    #[test]
+    fn buffered_path_handles_width_changes() {
+        let r = Randomizer::new(0.9, 0.6);
+        let mut seeder = StdRng::seed_from_u64(22);
+        let mut scratch = RandomizeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for &len in &[10_000usize, 11, 257, 64, 10_000] {
+            let truth = BitVec::one_hot(len, len / 2);
+            r.randomize_vec_buffered(&truth, &mut out, &mut scratch, &mut seeder);
+            assert_eq!(out.len(), len);
+        }
+    }
+
+    /// The degenerate p = 1 mechanism stays the exact identity through
+    /// the buffered path too (and must not fork the generator's words
+    /// into the output).
+    #[test]
+    fn buffered_truthful_mechanism_is_identity() {
+        let r = Randomizer::new(1.0, 0.5);
+        let mut seeder = StdRng::seed_from_u64(23);
+        let mut scratch = RandomizeScratch::new();
+        let truth = BitVec::from_bools((0..300).map(|i| i % 7 < 3));
+        let mut out = BitVec::zeros(300);
+        r.randomize_vec_buffered(&truth, &mut out, &mut scratch, &mut seeder);
+        assert_eq!(out, truth);
+    }
+
+    /// The AVX2 comparison-ripple kernel returns the same masks and
+    /// consumes the same word counts as the portable kernel, across
+    /// random truth limbs, pre-filled words and threshold pairs.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_ripple_matches_portable() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // fallback-only machine: nothing to cross-check
+        }
+        let mut rng = StdRng::seed_from_u64(0x51D);
+        for case in 0..500 {
+            let r = Randomizer::new(
+                0.05 + 0.9 * (case % 17) as f64 / 17.0,
+                0.05 + 0.9 * (case % 13) as f64 / 13.0,
+            );
+            let stop = r.yes1_fx.trailing_zeros().min(r.yes0_fx.trailing_zeros());
+            let mut bits = [(0u64, 0u64); COIN_FRACTION_BITS as usize];
+            for j in stop..COIN_FRACTION_BITS {
+                bits[j as usize] = (
+                    (((r.yes1_fx >> j) & 1) as u64).wrapping_neg(),
+                    (((r.yes0_fx >> j) & 1) as u64).wrapping_neg(),
+                );
+            }
+            let mut t = [0u64; 8];
+            for limb in t.iter_mut() {
+                *limb = rng.gen();
+            }
+            let mut words = vec![0u64; 8 * COIN_FRACTION_BITS as usize];
+            rng.fill_words(&mut words);
+            let scalar = yes_block8(&t, &bits, stop, &words);
+            let avx2 = unsafe { yes_block8_avx2(&t, &bits, stop, &words) };
+            assert_eq!(scalar, avx2, "case {case}");
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@ use privapprox_rr::estimate::{accuracy_loss, estimate_true_yes};
 use privapprox_rr::privacy::{
     epsilon_dp_sampled, epsilon_rr, epsilon_rr_strict, epsilon_zk, p_for_epsilon, s_for_epsilon_zk,
 };
-use privapprox_rr::randomize::Randomizer;
+use privapprox_rr::randomize::{RandomizeScratch, Randomizer};
+use privapprox_rr::rng::WideRng;
 use privapprox_types::BitVec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -154,11 +155,68 @@ proptest! {
             );
         }
     }
+
+    /// The runtime-dispatched `fill_words` (AVX2 on machines that have
+    /// it) and the pinned portable kernel produce byte-identical word
+    /// streams from the same seed, for arbitrary seeds and arbitrary
+    /// chunkings of the destination.
+    #[test]
+    fn wide_rng_kernels_are_seed_for_seed_identical(
+        seed in any::<u64>(),
+        cuts in proptest::collection::vec(1usize..97, 1..6),
+    ) {
+        let total: usize = cuts.iter().sum();
+        let mut dispatched = WideRng::seed_from_u64(seed);
+        let mut portable = WideRng::seed_from_u64(seed);
+        let mut a = vec![0u64; total];
+        let mut b = vec![0u64; total];
+        let mut at = 0;
+        for &len in &cuts {
+            dispatched.fill_words(&mut a[at..at + len]);
+            portable.fill_words_portable(&mut b[at..at + len]);
+            at += len;
+        }
+        prop_assert_eq!(a, b);
+    }
+
+    /// The buffered bulk-fill sampler and the generic per-call path
+    /// drive the same channel: matching marginals per truth class
+    /// for random `(p, q)` (5σ binomial tolerance).
+    #[test]
+    fn buffered_marginals_match_scalar(
+        p in 0.05f64..1.0,
+        q in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let r = Randomizer::new(p, q);
+        let n = 20_000usize;
+        let truth = BitVec::from_bools((0..n).map(|i| i % 3 == 0));
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let mut scratch = RandomizeScratch::new();
+        let mut out = BitVec::zeros(n);
+        r.randomize_vec_buffered(&truth, &mut out, &mut scratch, &mut seeder);
+        for class in [true, false] {
+            let total = (0..n).filter(|&i| truth.get(i) == class).count() as f64;
+            let yes = (0..n)
+                .filter(|&i| truth.get(i) == class && out.get(i))
+                .count() as f64;
+            let expect = r.yes_probability(class);
+            let sigma = (expect * (1.0 - expect) / total).sqrt();
+            prop_assert!(
+                (yes / total - expect).abs() < 5.0 * sigma + 2e-5,
+                "class {class}: rate {} vs {expect} (p={p}, q={q})",
+                yes / total
+            );
+        }
+    }
 }
 
 /// χ² goodness-of-fit of the bit-sliced randomizer against the exact
 /// two-coin channel, over ≥10⁵ bits for several `(p, q)` pairs
-/// (the paper's Table 1 settings plus boundary-ish cases).
+/// (the paper's Table 1 settings plus boundary-ish cases) — run once
+/// through the generic per-call sampler and once through the
+/// bulk-fill `WideRng` scratch path, so both production samplers face
+/// the same statistical gate.
 ///
 /// For each truth class the responses are binomial; the statistic
 /// sums `(obs − exp)²/exp` over the four (truth × response) cells.
@@ -180,21 +238,33 @@ fn bit_sliced_randomizer_chi_squared() {
     ] {
         let r = Randomizer::new(p, q);
         let truth = BitVec::from_bools((0..n).map(|i| i % 2 == 0));
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (p * 1e4) as u64 ^ (q * 1e7) as u64);
-        let mut out = BitVec::zeros(n);
-        r.randomize_vec_into(&truth, &mut out, &mut rng);
-        let mut chi2 = 0.0;
-        for class in [true, false] {
-            let total = (n / 2) as f64;
-            let yes = (0..n)
-                .filter(|&i| truth.get(i) == class && out.get(i))
-                .count() as f64;
-            let expect_yes = r.yes_probability(class) * total;
-            let expect_no = total - expect_yes;
-            chi2 += (yes - expect_yes).powi(2) / expect_yes;
-            chi2 += ((total - yes) - expect_no).powi(2) / expect_no;
+        let seed = 0xC0FFEE ^ (p * 1e4) as u64 ^ (q * 1e7) as u64;
+        for sampler in ["generic", "buffered"] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = BitVec::zeros(n);
+            match sampler {
+                "generic" => r.randomize_vec_into(&truth, &mut out, &mut rng),
+                _ => {
+                    let mut scratch = RandomizeScratch::new();
+                    r.randomize_vec_buffered(&truth, &mut out, &mut scratch, &mut rng)
+                }
+            }
+            let mut chi2 = 0.0;
+            for class in [true, false] {
+                let total = (n / 2) as f64;
+                let yes = (0..n)
+                    .filter(|&i| truth.get(i) == class && out.get(i))
+                    .count() as f64;
+                let expect_yes = r.yes_probability(class) * total;
+                let expect_no = total - expect_yes;
+                chi2 += (yes - expect_yes).powi(2) / expect_yes;
+                chi2 += ((total - yes) - expect_no).powi(2) / expect_no;
+            }
+            assert!(
+                chi2 < 40.0,
+                "χ² = {chi2} for (p, q) = ({p}, {q}), {sampler} sampler"
+            );
         }
-        assert!(chi2 < 40.0, "χ² = {chi2} for (p, q) = ({p}, {q})");
     }
 }
 

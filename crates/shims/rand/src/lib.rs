@@ -35,11 +35,33 @@ pub trait RngCore {
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
     }
+
+    /// Fills `dest` with uniform random 64-bit words.
+    ///
+    /// The bulk-generation surface for word-oriented consumers (the
+    /// bit-sliced randomized-response sampler foremost): a generator
+    /// that can produce words in batches — e.g. a multi-lane SIMD
+    /// generator — overrides this to amortize its per-call cost across
+    /// the whole buffer. The default draws one [`RngCore::next_u64`]
+    /// per word, so every generator supports it with unchanged output.
+    fn fill_words(&mut self, dest: &mut [u64]) {
+        for w in dest.iter_mut() {
+            *w = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn fill_words(&mut self, dest: &mut [u64]) {
+        (**self).fill_words(dest)
     }
 }
 
@@ -376,6 +398,17 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn fill_words_matches_next_u64_stream() {
+        let mut bulk = StdRng::seed_from_u64(6);
+        let mut scalar = StdRng::seed_from_u64(6);
+        let mut words = [0u64; 37];
+        bulk.fill_words(&mut words);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(w, scalar.next_u64(), "word {i}");
+        }
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! optional blocking. All state lives behind `parking_lot` locks and a
 //! condvar so many client/proxy/aggregator threads can share one
 //! broker, exactly like the paper's proxies share a Kafka cluster.
+//!
+//! Payloads are shared immutable buffers ([`Record::value`] is an
+//! `Arc<[u8]>`): a record is copied into the broker **once** at its
+//! first [`Producer::send`] and every subsequent hop — consumer
+//! polls, proxy forwarding, multiple consumer groups — shares that
+//! allocation by refcount. Before this, each of a message's `k`
+//! shares was cloned at every hop (client send, proxy poll, proxy
+//! re-send, aggregator poll); now the fan-out to `k` proxies costs
+//! `k` buffer copies total, not `3k–4k`.
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use privapprox_types::Timestamp;
@@ -21,8 +30,14 @@ pub struct Record {
     pub offset: u64,
     /// Optional partitioning key.
     pub key: Option<Vec<u8>>,
-    /// Payload bytes.
-    pub value: Vec<u8>,
+    /// Payload bytes, behind a shared immutable buffer: the partition
+    /// log, every consumer group's poll and every forwarding re-send
+    /// all reference the **same** allocation — cloning a `Record` (or
+    /// relaying one through [`Producer::send`]) bumps a refcount
+    /// instead of copying the bytes. One client message fanned out to
+    /// `k` proxies therefore costs one buffer per share end to end,
+    /// not one per pipeline hop.
+    pub value: Arc<[u8]>,
     /// Event timestamp assigned by the producer.
     pub timestamp: Timestamp,
 }
@@ -191,13 +206,19 @@ pub struct Producer {
 
 impl Producer {
     /// Sends a record; returns `(partition, offset)`.
+    ///
+    /// `value` is anything convertible into a shared immutable buffer:
+    /// a `Vec<u8>` or `&[u8]` (one copy into a fresh `Arc<[u8]>`), or
+    /// an `Arc<[u8]>` — e.g. a [`Record::value`] being relayed — which
+    /// is shared as-is, so forwarding paths never copy payload bytes.
     pub fn send(
         &self,
         topic: &str,
         key: Option<Vec<u8>>,
-        value: Vec<u8>,
+        value: impl Into<Arc<[u8]>>,
         timestamp: Timestamp,
     ) -> (usize, u64) {
+        let value = value.into();
         let t = self.broker.topic(topic);
         let n = t.partitions.len();
         let partition = match &key {
@@ -334,8 +355,8 @@ mod tests {
         producer.send("answers", None, b"b".to_vec(), ts(2));
         let got = consumer.poll(10);
         assert_eq!(got.len(), 2);
-        assert_eq!(got[0].1.value, b"a");
-        assert_eq!(got[1].1.value, b"b");
+        assert_eq!(&*got[0].1.value, b"a");
+        assert_eq!(&*got[1].1.value, b"b");
         // Offsets advanced: nothing left.
         assert!(consumer.poll(10).is_empty());
     }
@@ -404,6 +425,28 @@ mod tests {
         assert_eq!(consumer.poll(100).len(), 4);
     }
 
+    /// The payload allocation is shared, not copied: every consumer
+    /// group's poll and a forwarding re-send all see the producer's
+    /// original buffer.
+    #[test]
+    fn payload_buffer_is_shared_not_copied() {
+        let broker = Broker::new(1);
+        let payload: Arc<[u8]> = Arc::from(&b"one allocation"[..]);
+        broker
+            .producer()
+            .send("t", None, Arc::clone(&payload), ts(1));
+        let a = broker.consumer("g1", &["t"]).poll(10);
+        let b = broker.consumer("g2", &["t"]).poll(10);
+        assert!(Arc::ptr_eq(&payload, &a[0].1.value));
+        assert!(Arc::ptr_eq(&payload, &b[0].1.value));
+        // Relay (the proxy pattern): still the same allocation.
+        broker
+            .producer()
+            .send("fwd", None, a[0].1.value.clone(), ts(2));
+        let c = broker.consumer("g3", &["fwd"]).poll(10);
+        assert!(Arc::ptr_eq(&payload, &c[0].1.value));
+    }
+
     #[test]
     fn traffic_stats_accumulate() {
         let broker = Broker::new(1);
@@ -430,7 +473,7 @@ mod tests {
         let got = consumer.poll_blocking(10, Duration::from_secs(5));
         handle.join().unwrap();
         assert_eq!(got.len(), 1);
-        assert_eq!(got[0].1.value, b"wake");
+        assert_eq!(&*got[0].1.value, b"wake");
     }
 
     #[test]

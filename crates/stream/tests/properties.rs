@@ -33,7 +33,7 @@ proptest! {
             if batch.is_empty() {
                 break;
             }
-            got.extend(batch.into_iter().map(|(_, r)| r.value));
+            got.extend(batch.into_iter().map(|(_, r)| r.value.to_vec()));
         }
         prop_assert_eq!(got.len(), payloads.len());
         // Same multiset of payloads.

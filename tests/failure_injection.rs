@@ -59,7 +59,7 @@ fn send_share(rig: &Rig, proxy: u16, share: &privapprox::crypto::Share, ts: u64)
     rig.broker.producer().send(
         &inbound_topic(ProxyId(proxy)),
         Some(share.mid.to_bytes().to_vec()),
-        share.payload.clone(),
+        &share.payload[..],
         Timestamp(ts),
     );
 }

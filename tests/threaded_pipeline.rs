@@ -89,7 +89,7 @@ fn threaded_proxies_and_aggregator_deliver_all_answers() {
             producer.send(
                 &inbound_topic(ProxyId(pi as u16)),
                 Some(share.mid.to_bytes().to_vec()),
-                share.payload.clone(),
+                &share.payload[..],
                 Timestamp(500),
             );
         }
