@@ -1,5 +1,5 @@
-//! Full-pipeline throughput benchmark, two pipelines plus a stage
-//! breakdown per sweep point:
+//! Full-pipeline throughput benchmark, two single-thread pipelines, a
+//! stage breakdown, and the **sharded machine-level sweep** per point:
 //!
 //! * `round_trip` — client randomize → encode → split, then
 //!   aggregator join → decode → window fold, all through the
@@ -13,15 +13,25 @@
 //! * `stage_breakdown` — the same client stages timed in isolation
 //!   (SQL+bucketize / randomize / encode / split), so a PR that moves
 //!   one stage can quote that stage's delta instead of inferring it
-//!   from end-to-end differences.
+//!   from end-to-end differences;
+//! * `sharded` (BENCH_4+) — the threaded sweep across 1/2/4 shards:
+//!   the `full_answer` pipeline fanned over parallel worker threads,
+//!   and the real `ShardedSystem` runtime end to end.
+//!   `machine_msgs_per_sec` divides total messages by the **maximum
+//!   per-thread CPU time** (`thread_busy_time`), i.e. the throughput
+//!   of the deployment with one dedicated core per thread —
+//!   wall-clock rates are reported alongside and the convention is
+//!   documented in `docs/benchmarks.md`.
 //!
 //! Sweeps proxies n ∈ {2, 3} × buckets ∈ {11, 10⁴} and writes
-//! `BENCH_3.json` (machine-readable perf trajectory for later PRs;
+//! `BENCH_4.json` (machine-readable perf trajectory for later PRs;
 //! schema documented in `docs/benchmarks.md`) next to the working
 //! directory, plus the usual copy under `results/`.
 
 use privapprox_bench::report::{with_commas, Table};
 use privapprox_core::client::{Client, ClientScratch};
+use privapprox_core::deploy::thread_busy_time;
+use privapprox_core::ShardedSystem;
 use privapprox_crypto::xor::{answer_wire_size, decode_answer_into, encode_answer_into};
 use privapprox_crypto::{SplitScratch, XorSplitter};
 use privapprox_rr::estimate::BucketEstimator;
@@ -86,7 +96,41 @@ struct StageRow {
     stage_sum_ns: f64,
 }
 
-/// The whole run, as persisted to `BENCH_3.json`.
+/// One sharded (threaded) sweep point.
+#[derive(Debug, Clone, Serialize)]
+struct ShardedRow {
+    /// Which pipeline: `full_answer` (client answer path fanned over
+    /// worker threads, BENCH_3-`full_answer`-comparable per thread)
+    /// or `end_to_end` (the `ShardedSystem` runtime: workers →
+    /// proxy threads → shard threads → merge).
+    pipeline: String,
+    /// Aggregator shards (for `full_answer` this equals `threads`:
+    /// the worker fan-out is the shard-affine parallel unit).
+    shards: usize,
+    /// Client worker threads.
+    threads: usize,
+    /// Number of XOR shares per message (= proxies).
+    proxies: usize,
+    /// Answer width in buckets.
+    buckets: usize,
+    /// Total messages across all threads.
+    messages: u64,
+    /// Machine-level throughput: `messages / max per-thread CPU time`
+    /// (`full_answer`) or `messages / critical path` = max worker +
+    /// max proxy + max shard CPU time (`end_to_end`) — the rate with
+    /// one dedicated core per thread (see `docs/benchmarks.md`).
+    machine_msgs_per_sec: f64,
+    /// Mean single-thread rate (`messages / threads / max busy`) —
+    /// flat across the sweep means no cross-thread contention.
+    per_thread_msgs_per_sec: f64,
+    /// Wall-clock rate of the same run (equals `machine_msgs_per_sec`
+    /// only when every thread really has its own core).
+    wall_msgs_per_sec: f64,
+    /// The `max` term of the machine rate, for transparency.
+    max_thread_busy_ns: f64,
+}
+
+/// The whole run, as persisted to `BENCH_4.json`.
 #[derive(Debug, Clone, Serialize)]
 struct ThroughputReport {
     /// Which PR's trajectory point this is.
@@ -97,12 +141,16 @@ struct ThroughputReport {
     full_answer_pipeline: String,
     /// What `stage_breakdown` measures.
     stage_breakdown_pipeline: String,
+    /// What the `sharded` sweep measures.
+    sharded_pipeline: String,
     /// Round-trip rows (BENCH_1-comparable).
     round_trip: Vec<ThroughputRow>,
     /// Client answer-path rows (SQL stage included).
     full_answer: Vec<ThroughputRow>,
     /// Per-stage client answer-path rows.
     stage_breakdown: Vec<StageRow>,
+    /// Threaded/sharded machine-level rows (BENCH_4+).
+    sharded: Vec<ShardedRow>,
 }
 
 /// Drives `messages` full client→aggregator round trips and returns
@@ -154,12 +202,22 @@ fn run_round_trip(proxies: usize, buckets: usize, messages: u64) -> ThroughputRo
         }
     };
     for _ in 0..warmup {
-        pump(&mut rng, &mut randomize_scratch, &mut joiner, &mut estimator);
+        pump(
+            &mut rng,
+            &mut randomize_scratch,
+            &mut joiner,
+            &mut estimator,
+        );
     }
 
     let start = Instant::now();
     for _ in 0..messages {
-        pump(&mut rng, &mut randomize_scratch, &mut joiner, &mut estimator);
+        pump(
+            &mut rng,
+            &mut randomize_scratch,
+            &mut joiner,
+            &mut estimator,
+        );
     }
     let elapsed = start.elapsed();
     assert_eq!(
@@ -171,8 +229,10 @@ fn run_round_trip(proxies: usize, buckets: usize, messages: u64) -> ThroughputRo
 }
 
 /// The query + populated client used by the full-answer pipeline and
-/// the stage breakdown.
-fn answer_rig(buckets: usize) -> (Query, Client) {
+/// the stage breakdown (lane 0), and — with distinct `lane`s — by the
+/// sharded fan-out, where every worker thread must run its own client
+/// identity and RNG stream like the deployment it models.
+fn answer_rig_lane(buckets: usize, lane: u64) -> (Query, Client) {
     let query = QueryBuilder::new(
         QueryId::new(AnalystId(1), 2),
         "SELECT d FROM rides WHERE ts >= 128",
@@ -182,7 +242,11 @@ fn answer_rig(buckets: usize) -> (Query, Client) {
     .window(60_000, 60_000)
     .sign_and_build(KEY);
 
-    let mut client = Client::new(ClientId(1), 0xC11E47 ^ buckets as u64, KEY);
+    let mut client = Client::new(
+        ClientId(1 + lane),
+        0xC11E47 ^ buckets as u64 ^ (lane << 17),
+        KEY,
+    );
     client.db_mut().create_table(
         "rides",
         Schema::new(vec![("ts", ColumnType::Int), ("d", ColumnType::Float)]),
@@ -194,6 +258,12 @@ fn answer_rig(buckets: usize) -> (Query, Client) {
             .unwrap();
     }
     (query, client)
+}
+
+/// [`answer_rig_lane`] at lane 0 — the single-thread pipelines'
+/// rig, unchanged across BENCH revisions.
+fn answer_rig(buckets: usize) -> (Query, Client) {
+    answer_rig_lane(buckets, 0)
 }
 
 /// Drives `messages` client answer epochs — prepared SQL over a
@@ -254,7 +324,12 @@ fn run_stage_breakdown(proxies: usize, buckets: usize, messages: u64) -> StageRo
     let mut randomized = BitVec::zeros(buckets);
     let mut randomize_scratch = RandomizeScratch::new();
     let randomize_ns = time_stage(&mut || {
-        randomizer.randomize_vec_buffered(&truth, &mut randomized, &mut randomize_scratch, &mut rng);
+        randomizer.randomize_vec_buffered(
+            &truth,
+            &mut randomized,
+            &mut randomize_scratch,
+            &mut rng,
+        );
         std::hint::black_box(&randomized);
     });
 
@@ -285,6 +360,128 @@ fn run_stage_breakdown(proxies: usize, buckets: usize, messages: u64) -> StageRo
     }
 }
 
+/// The `full_answer` pipeline fanned over `threads` parallel worker
+/// threads, each owning its own `Client` (distinct id and seed, same
+/// 256-row store shape) and `ClientScratch` — the client half of the
+/// sharded deployment without the broker, so rows compare per-thread
+/// against BENCH_3's single-thread `full_answer`.
+fn run_sharded_full_answer(
+    threads: usize,
+    proxies: usize,
+    buckets: usize,
+    messages: u64,
+) -> ShardedRow {
+    let per_thread = messages / threads as u64;
+    let wall_start = Instant::now();
+    let busy: Vec<std::time::Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|lane| {
+                scope.spawn(move || {
+                    let (query, mut client) = answer_rig_lane(buckets, lane as u64);
+                    let params = ExecutionParams::checked(1.0, 0.9, 0.6);
+                    let mut scratch = ClientScratch::new();
+                    let warmup = (per_thread / 10).clamp(10, 1_000);
+                    for _ in 0..warmup {
+                        client
+                            .answer_query_into(&query, &params, proxies, &mut scratch)
+                            .unwrap()
+                            .expect("s = 1 always participates");
+                    }
+                    let t0 = thread_busy_time();
+                    for _ in 0..per_thread {
+                        let shares = client
+                            .answer_query_into(&query, &params, proxies, &mut scratch)
+                            .unwrap()
+                            .expect("s = 1 always participates");
+                        std::hint::black_box(shares);
+                    }
+                    thread_busy_time().saturating_sub(t0)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = wall_start.elapsed().as_secs_f64();
+    let max_busy = busy.iter().copied().max().unwrap_or_default().as_secs_f64();
+    let total = per_thread * threads as u64;
+    ShardedRow {
+        pipeline: "full_answer".to_string(),
+        shards: threads,
+        threads,
+        proxies,
+        buckets,
+        messages: total,
+        machine_msgs_per_sec: total as f64 / max_busy,
+        per_thread_msgs_per_sec: per_thread as f64 / max_busy,
+        wall_msgs_per_sec: total as f64 / wall,
+        max_thread_busy_ns: max_busy * 1e9,
+    }
+}
+
+/// The real `ShardedSystem` runtime end to end: `shards` worker
+/// threads answer a partitioned population, proxy threads forward
+/// partition-preserving, shard threads join/decode/window, the main
+/// thread merges. Machine rate divides messages by the epoch critical
+/// path (max worker + max proxy + max shard CPU time).
+fn run_sharded_end_to_end(shards: usize, proxies: usize, buckets: usize) -> ShardedRow {
+    let (population, epochs) = if buckets > 1_000 {
+        (2_000u64, 5u64)
+    } else {
+        (20_000u64, 5u64)
+    };
+    let mut system = ShardedSystem::builder()
+        .clients(population)
+        .proxies(proxies as u16)
+        .shards(shards)
+        .workers(shards)
+        .seed(0xBEAC4)
+        .build();
+    system.load_numeric_column("rides", "d", |i| (i % 100) as f64);
+    let query = system
+        .analyst()
+        .query("SELECT d FROM rides")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 110.0, buckets - 1))
+        .window(60_000, 60_000)
+        .params(ExecutionParams::checked(1.0, 0.9, 0.6))
+        .submit()
+        .expect("query accepted");
+    // One warm-up epoch: plans compiled, pools populated.
+    system.run_epoch(&query).expect("warm-up epoch");
+    let base = system.busy_profile().clone();
+    let wall_start = Instant::now();
+    for _ in 0..epochs {
+        let result = system.run_epoch(&query).expect("epoch");
+        assert_eq!(result.sample_size, population, "s = 1: everyone answers");
+    }
+    let wall = wall_start.elapsed().as_secs_f64();
+    let profile = system.busy_profile();
+    let delta_max = |now: &[std::time::Duration], then: &[std::time::Duration]| {
+        now.iter()
+            .zip(then)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .max()
+            .unwrap_or_default()
+            .as_secs_f64()
+    };
+    let workers = delta_max(&profile.workers, &base.workers);
+    let proxies_busy = delta_max(&profile.proxies, &base.proxies);
+    let shards_busy = delta_max(&profile.shards, &base.shards);
+    let critical = workers + proxies_busy + shards_busy;
+    let messages = population * epochs;
+    ShardedRow {
+        pipeline: "end_to_end".to_string(),
+        shards,
+        threads: shards,
+        proxies,
+        buckets,
+        messages,
+        machine_msgs_per_sec: messages as f64 / critical,
+        per_thread_msgs_per_sec: messages as f64 / shards as f64 / critical,
+        wall_msgs_per_sec: messages as f64 / wall,
+        max_thread_busy_ns: critical * 1e9,
+    }
+}
+
 fn row(
     proxies: usize,
     buckets: usize,
@@ -304,7 +501,7 @@ fn row(
 }
 
 fn main() {
-    println!("Throughput sweep — round trip, full_answer_pipeline, stage breakdown\n");
+    println!("Throughput sweep — round trip, full_answer_pipeline, stage breakdown, sharded\n");
     let mut round_trip = Vec::new();
     let mut full_answer = Vec::new();
     let mut stage_breakdown = Vec::new();
@@ -315,6 +512,17 @@ fn main() {
             round_trip.push(run_round_trip(proxies, buckets, messages));
             full_answer.push(run_full_answer(proxies, buckets, messages));
             stage_breakdown.push(run_stage_breakdown(proxies, buckets, messages));
+        }
+    }
+
+    // The threaded sweep: 1/2/4 shards at the paper's two answer
+    // widths, 2 proxies (the minimum deployment).
+    let mut sharded = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        for &buckets in &[11usize, 10_000] {
+            let messages = if buckets > 1_000 { 20_000 } else { 400_000 };
+            sharded.push(run_sharded_full_answer(shards, 2, buckets, messages));
+            sharded.push(run_sharded_end_to_end(shards, 2, buckets));
         }
     }
 
@@ -359,8 +567,29 @@ fn main() {
     }
     println!("{}", table.render());
 
+    println!("sharded (machine-level = msgs / max thread CPU time):");
+    let mut table = Table::new(&[
+        "pipeline",
+        "shards",
+        "buckets",
+        "machine msgs/s",
+        "per-thread msgs/s",
+        "wall msgs/s",
+    ]);
+    for r in sharded.iter() {
+        table.row(vec![
+            r.pipeline.clone(),
+            r.shards.to_string(),
+            r.buckets.to_string(),
+            with_commas(r.machine_msgs_per_sec as u64),
+            with_commas(r.per_thread_msgs_per_sec as u64),
+            with_commas(r.wall_msgs_per_sec as u64),
+        ]);
+    }
+    println!("{}", table.render());
+
     let report = ThroughputReport {
-        bench_revision: 3,
+        bench_revision: 4,
         round_trip_pipeline: "client randomize→encode→split + aggregator join→decode→fold"
             .to_string(),
         full_answer_pipeline:
@@ -370,13 +599,19 @@ fn main() {
             "client answer stages timed in isolation: prepared-SQL+bucketize / randomize \
              (WideRng bulk path) / encode / split"
                 .to_string(),
+        sharded_pipeline:
+            "threaded sweep: full_answer fanned over worker threads, and the ShardedSystem \
+             runtime end to end; machine_msgs_per_sec = messages / max per-thread CPU time \
+             (one dedicated core per thread)"
+                .to_string(),
         round_trip,
         full_answer,
         stage_breakdown,
+        sharded,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
-    println!("trajectory written to BENCH_3.json");
+    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+    println!("trajectory written to BENCH_4.json");
     if let Ok(path) = privapprox_bench::save_json("throughput", &report) {
         println!("results copy at {}", path.display());
     }

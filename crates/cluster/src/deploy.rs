@@ -1,0 +1,129 @@
+//! Mapping cluster shapes onto the real threaded runtime.
+//!
+//! The simulator's [`ClusterSpec`] describes a tier — so many nodes,
+//! so many cores each. The *real* threaded deployment
+//! (`privapprox_core::deploy::ShardedSystem`) needs the same facts in
+//! runtime terms: how many proxy relay threads, how many aggregator
+//! shards, how many client worker threads. [`DeploymentShape`] is
+//! that translation, so an experiment calibrated against the
+//! simulator's `ClusterSpec` can be re-run on the threaded runtime
+//! from the *same* spec and the two throughput stories compared like
+//! for like.
+//!
+//! The mapping follows the paper's topology (§5): each **proxy is a
+//! node** (proxies are independent relays — more cores per proxy node
+//! do not add relay lanes, because a proxy's inbound topic is a
+//! single consumer group member here), while the **aggregator tier
+//! shards per core** — the aggregation work (join → decode → window)
+//! partitions cleanly, so every core of every aggregator node runs
+//! one shard. Client workers default to the shard count: the client
+//! pipeline dominates per-message cost, so feeding the shards at
+//! ratio 1:1 keeps the stages balanced.
+
+use crate::pool::ClusterSpec;
+
+/// Thread/shard counts for a real threaded deployment, derived from
+/// simulated cluster tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploymentShape {
+    /// Proxy relay threads (= XOR shares per message, `n ≥ 2`).
+    pub proxies: u16,
+    /// Aggregator shards, each owning a disjoint partition set.
+    pub shards: usize,
+    /// Client worker threads driving the answer pipeline.
+    pub workers: usize,
+}
+
+impl DeploymentShape {
+    /// Derives the runtime shape from the two tiers' cluster specs:
+    /// one proxy per proxy-tier node, one aggregator shard per
+    /// aggregator-tier core, one client worker per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proxy tier has fewer than two nodes (PrivApprox
+    /// needs `n ≥ 2` proxies) or more than `u16::MAX`.
+    pub fn from_tiers(proxy_tier: ClusterSpec, aggregator_tier: ClusterSpec) -> DeploymentShape {
+        assert!(
+            proxy_tier.nodes >= 2,
+            "PrivApprox requires at least two proxies, got {} proxy nodes",
+            proxy_tier.nodes
+        );
+        assert!(
+            proxy_tier.nodes <= u16::MAX as usize,
+            "proxy count {} exceeds u16",
+            proxy_tier.nodes
+        );
+        let shards = aggregator_tier.total_cores().max(1);
+        DeploymentShape {
+            proxies: proxy_tier.nodes as u16,
+            shards,
+            workers: shards,
+        }
+    }
+
+    /// A single-machine shape: `n` proxies and one shard (plus
+    /// worker) per core of one node.
+    pub fn single_node(proxies: u16, cores: usize) -> DeploymentShape {
+        DeploymentShape::from_tiers(
+            ClusterSpec {
+                nodes: proxies as usize,
+                cores_per_node: 1,
+            },
+            ClusterSpec {
+                nodes: 1,
+                cores_per_node: cores,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_map_to_runtime_counts() {
+        let shape = DeploymentShape::from_tiers(
+            ClusterSpec {
+                nodes: 3,
+                cores_per_node: 8,
+            },
+            ClusterSpec {
+                nodes: 2,
+                cores_per_node: 4,
+            },
+        );
+        assert_eq!(shape.proxies, 3, "one proxy per proxy-tier node");
+        assert_eq!(shape.shards, 8, "one shard per aggregator-tier core");
+        assert_eq!(shape.workers, 8, "workers track shards");
+    }
+
+    #[test]
+    fn single_node_helper() {
+        let shape = DeploymentShape::single_node(2, 4);
+        assert_eq!(
+            shape,
+            DeploymentShape {
+                proxies: 2,
+                shards: 4,
+                workers: 4
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two proxies")]
+    fn one_proxy_node_rejected() {
+        let _ = DeploymentShape::from_tiers(
+            ClusterSpec {
+                nodes: 1,
+                cores_per_node: 8,
+            },
+            ClusterSpec {
+                nodes: 1,
+                cores_per_node: 1,
+            },
+        );
+    }
+}

@@ -17,13 +17,19 @@
 //! * [`net`] — link latency/bandwidth delays;
 //! * [`phases`] — barrier-synchronized phase execution (SplitX's
 //!   noise/intersect/shuffle pipeline);
-//! * [`events`] — a general event queue for ad-hoc models and tests.
+//! * [`events`] — a general event queue for ad-hoc models and tests;
+//! * [`deploy`] — the bridge from simulated [`ClusterSpec`] tiers to
+//!   the *real* threaded runtime's thread/shard counts
+//!   ([`DeploymentShape`], consumed by
+//!   `privapprox_core::deploy::ShardedSystem`).
 
+pub mod deploy;
 pub mod events;
 pub mod net;
 pub mod phases;
 pub mod pool;
 
+pub use deploy::DeploymentShape;
 pub use events::EventQueue;
 pub use net::Link;
 pub use phases::{run_phases, Phase};

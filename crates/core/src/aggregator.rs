@@ -181,7 +181,12 @@ impl Aggregator {
             Box::new(move || {
                 // Window open: recycle a same-width estimator when the
                 // pool has one, allocate only on a cold pool.
-                match pool.lock().expect("pool lock").get_mut(&buckets).and_then(Vec::pop) {
+                match pool
+                    .lock()
+                    .expect("pool lock")
+                    .get_mut(&buckets)
+                    .and_then(Vec::pop)
+                {
                     Some(mut est) => {
                         est.reset(p, q);
                         est
@@ -209,6 +214,22 @@ impl Aggregator {
         self.pump_with(|_, _, _| {})
     }
 
+    /// [`Aggregator::pump`] that parks instead of returning when the
+    /// proxy streams are momentarily empty: blocks up to `timeout`
+    /// for the first record, then drains everything available.
+    /// Returns the number of fully decoded answers (`0` = timed out
+    /// with nothing pending). Aggregator *threads* loop on this
+    /// instead of sleep-spinning between empty polls.
+    pub fn pump_blocking(&mut self, timeout: std::time::Duration) -> u64 {
+        let batch = self.consumer.poll_blocking(2048, timeout);
+        if batch.is_empty() {
+            return 0;
+        }
+        let mut decoded = self.process_batch(batch, &mut |_, _, _| {});
+        decoded += self.pump();
+        decoded
+    }
+
     /// [`Aggregator::pump`] with a tee: every decoded answer is also
     /// handed to `tee` (used to feed the historical warehouse of
     /// §3.3.1 without a second decode pass).
@@ -222,46 +243,61 @@ impl Aggregator {
             if batch.is_empty() {
                 break;
             }
-            for (topic, record) in batch {
-                let Some(mid) = record
-                    .key
-                    .as_deref()
-                    .and_then(|k| <[u8; 16]>::try_from(k).ok())
-                    .map(MessageId::from_bytes)
-                else {
-                    self.undecodable += 1;
-                    continue;
-                };
-                let source = self
-                    .topic_sources
-                    .get(&topic)
-                    .copied()
-                    .unwrap_or(usize::MAX);
-                match self
-                    .joiner
-                    .offer(mid, source, &record.value, record.timestamp)
-                {
-                    JoinOutcome::Pending | JoinOutcome::Duplicate | JoinOutcome::Malformed => {}
-                    JoinOutcome::Complete(message) => {
-                        // Decode into the scratch vector and fold it
-                        // by reference; the joined buffer goes back to
-                        // the joiner's pool. Nothing is allocated per
-                        // message once the scratch buffers are warm.
-                        let answer = &mut self.answer_scratch;
-                        match decode_answer_into(&message, answer) {
-                            None => self.undecodable += 1,
-                            Some(qid) => match self.queries.get_mut(&qid) {
-                                None => self.unroutable += 1,
-                                Some(state) if answer.len() == state.buckets => {
-                                    tee(qid, record.timestamp, answer);
-                                    state.windows.push(record.timestamp, answer);
-                                    decoded_count += 1;
-                                }
-                                Some(_) => self.undecodable += 1,
-                            },
-                        }
-                        self.joiner.recycle(message);
+            decoded_count += self.process_batch(batch, &mut tee);
+        }
+        decoded_count
+    }
+
+    /// Joins, decodes and windows one polled batch; returns how many
+    /// answers completed.
+    fn process_batch<F>(
+        &mut self,
+        batch: Vec<(String, privapprox_stream::broker::Record)>,
+        tee: &mut F,
+    ) -> u64
+    where
+        F: FnMut(QueryId, Timestamp, &BitVec),
+    {
+        let mut decoded_count = 0;
+        for (topic, record) in batch {
+            let Some(mid) = record
+                .key
+                .as_deref()
+                .and_then(|k| <[u8; 16]>::try_from(k).ok())
+                .map(MessageId::from_bytes)
+            else {
+                self.undecodable += 1;
+                continue;
+            };
+            let source = self
+                .topic_sources
+                .get(&topic)
+                .copied()
+                .unwrap_or(usize::MAX);
+            match self
+                .joiner
+                .offer(mid, source, &record.value, record.timestamp)
+            {
+                JoinOutcome::Pending | JoinOutcome::Duplicate | JoinOutcome::Malformed => {}
+                JoinOutcome::Complete(message) => {
+                    // Decode into the scratch vector and fold it
+                    // by reference; the joined buffer goes back to
+                    // the joiner's pool. Nothing is allocated per
+                    // message once the scratch buffers are warm.
+                    let answer = &mut self.answer_scratch;
+                    match decode_answer_into(&message, answer) {
+                        None => self.undecodable += 1,
+                        Some(qid) => match self.queries.get_mut(&qid) {
+                            None => self.unroutable += 1,
+                            Some(state) if answer.len() == state.buckets => {
+                                tee(qid, record.timestamp, answer);
+                                state.windows.push(record.timestamp, answer);
+                                decoded_count += 1;
+                            }
+                            Some(_) => self.undecodable += 1,
+                        },
                     }
+                    self.joiner.recycle(message);
                 }
             }
         }
@@ -334,6 +370,53 @@ impl Aggregator {
         self.spare_results.append(consumed);
     }
 
+    /// Advances event time like
+    /// [`Aggregator::advance_watermark_into`], but emits each closed
+    /// window's **raw accumulated counts** instead of finalized
+    /// estimates — the shard-local half of a sharded deployment:
+    /// every shard closes its windows raw, a merge step sums the
+    /// counts across shards ([`privapprox_rr::estimate::BucketEstimator::merge`])
+    /// and [`finalize_window_into`] turns the merged counts into the
+    /// *same* `QueryResult` a single aggregator would have produced
+    /// (estimation is a pure function of the counts).
+    ///
+    /// The emitted estimators leave this aggregator's pool; return
+    /// them with [`Aggregator::release_estimator`] once merged so the
+    /// per-shard steady state stays allocation-free. Output is
+    /// appended in (window start, query id) order.
+    pub fn advance_watermark_raw_into(&mut self, to: Timestamp, out: &mut Vec<RawWindow>) {
+        self.joiner.sweep(to);
+        let start_len = out.len();
+        for (qid, state) in self.queries.iter_mut() {
+            state
+                .windows
+                .advance_watermark_into(to, &mut self.closed_scratch);
+            for (window, est) in self.closed_scratch.drain(..) {
+                out.push(RawWindow {
+                    query: *qid,
+                    window,
+                    estimator: est,
+                });
+            }
+        }
+        out[start_len..].sort_unstable_by_key(|r| (r.window.start, r.query.to_u64()));
+    }
+
+    /// Returns an estimator to the open-window pool — the raw-window
+    /// counterpart of the recycling
+    /// [`Aggregator::advance_watermark_into`] performs internally.
+    /// Estimators are interchangeable within a bucket width, so a
+    /// merge step may hand back any same-width estimator, not
+    /// necessarily the exact instance this aggregator emitted.
+    pub fn release_estimator(&mut self, est: BucketEstimator) {
+        self.estimator_pool
+            .lock()
+            .expect("pool lock")
+            .entry(est.raw_counts().len())
+            .or_default()
+            .push(est);
+    }
+
     /// Count of records that failed share/answer decoding.
     pub fn undecodable(&self) -> u64 {
         self.undecodable
@@ -355,6 +438,21 @@ impl Aggregator {
     }
 }
 
+/// One shard-local closed window *before* estimation: the query it
+/// belongs to, its event-time bounds, and the accumulated randomized
+/// counts. Produced by [`Aggregator::advance_watermark_raw_into`];
+/// consumed by a cross-shard merge that sums sibling counts and
+/// finalizes once via [`finalize_window_into`].
+#[derive(Debug)]
+pub struct RawWindow {
+    /// Which query the window belongs to.
+    pub query: QueryId,
+    /// The event-time window.
+    pub window: Window,
+    /// The shard-local accumulated counts.
+    pub estimator: BucketEstimator,
+}
+
 /// A blank [`QueryResult`] shell for the recycling pool; every field
 /// is overwritten by [`finalize_window_into`].
 fn result_shell() -> QueryResult {
@@ -368,10 +466,29 @@ fn result_shell() -> QueryResult {
     }
 }
 
+impl QueryResult {
+    /// A blank shell for recycling pools: every field is overwritten
+    /// by [`finalize_window_into`], and the `buckets` vector keeps
+    /// whatever capacity it accumulates across reuses. Merge steps
+    /// outside the aggregator (the sharded deployment's result
+    /// assembly) pool these the same way the aggregator pools its
+    /// internal shells.
+    pub fn shell() -> QueryResult {
+        result_shell()
+    }
+}
+
 /// Writes a closed window's accumulated counts into a recycled
 /// [`QueryResult`] shell (the `buckets` vector keeps its capacity
 /// across windows).
-fn finalize_window_into(
+///
+/// Estimation (Equations 2–5 plus both error bounds) is a **pure
+/// function** of the accumulated counts and the query's parameters —
+/// which is the keystone of sharded-vs-single-threaded equivalence:
+/// summing shard-local counts and finalizing once is bit-identical to
+/// finalizing a single aggregator's counts, so `ShardedSystem` calls
+/// this exact function over merged [`RawWindow`]s.
+pub fn finalize_window_into(
     out: &mut QueryResult,
     query: QueryId,
     window: Window,
@@ -384,6 +501,17 @@ fn finalize_window_into(
     let u = population as f64;
     let scale = if n > 0 { u / n as f64 } else { 0.0 };
     let z = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
+    // The Student-t critical value depends only on (confidence, n),
+    // both fixed for the whole window — hoisted out of the per-bucket
+    // loop because its root-finding is the single most expensive step
+    // of a close at wide answers (a 10⁴-bucket window close dropped
+    // from ~hundreds of ms to sub-ms when this stopped being
+    // re-derived per bucket).
+    let t_crit = if n >= 2 && n < population {
+        t_critical(confidence, (n - 1) as f64)
+    } else {
+        0.0
+    };
     out.query = query;
     out.window = window;
     out.sample_size = n;
@@ -391,48 +519,48 @@ fn finalize_window_into(
     out.privacy = PrivacyReport::for_params(params.s, params.p, params.q);
     out.buckets.clear();
     out.buckets.extend(est.raw_counts().iter().map(|&ry| {
-            let e_sample = if n > 0 {
-                if params.p >= 1.0 {
-                    ry as f64
-                } else {
-                    estimate_true_yes(ry, n, params.p, params.q)
-                }
+        let e_sample = if n > 0 {
+            if params.p >= 1.0 {
+                ry as f64
             } else {
-                0.0
-            };
-            let estimate = e_sample * scale;
-            // Randomization error: normal bound on Eq 5's variance,
-            // scaled to the population like the estimate itself.
-            let rr_error = if n > 0 && params.p < 1.0 {
-                z * rr_estimator_variance(ry, n, params.p).sqrt() * scale
-            } else {
-                0.0
-            };
-            // Sampling error: Equations 3–4 with the Bernoulli
-            // plug-in variance of the estimated truthful rate.
-            let sampling_error = if n >= 2 && n < population {
-                let r = (e_sample / n as f64).clamp(0.0, 1.0);
-                let sigma2 = r * (1.0 - r) * n as f64 / (n as f64 - 1.0);
-                let var = u * u / n as f64 * sigma2 * ((u - n as f64).max(0.0) / u);
-                t_critical(confidence, (n - 1) as f64) * var.sqrt()
-            } else if n < 2 && population > 0 {
-                f64::INFINITY
-            } else {
-                0.0
-            };
-            BucketResult {
-                raw_yes: ry,
-                estimate_sample: e_sample,
-                estimate,
-                ci: ConfidenceInterval {
-                    estimate,
-                    bound: sampling_error + rr_error,
-                    confidence,
-                },
-                sampling_error,
-                rr_error,
+                estimate_true_yes(ry, n, params.p, params.q)
             }
-        }));
+        } else {
+            0.0
+        };
+        let estimate = e_sample * scale;
+        // Randomization error: normal bound on Eq 5's variance,
+        // scaled to the population like the estimate itself.
+        let rr_error = if n > 0 && params.p < 1.0 {
+            z * rr_estimator_variance(ry, n, params.p).sqrt() * scale
+        } else {
+            0.0
+        };
+        // Sampling error: Equations 3–4 with the Bernoulli
+        // plug-in variance of the estimated truthful rate.
+        let sampling_error = if n >= 2 && n < population {
+            let r = (e_sample / n as f64).clamp(0.0, 1.0);
+            let sigma2 = r * (1.0 - r) * n as f64 / (n as f64 - 1.0);
+            let var = u * u / n as f64 * sigma2 * ((u - n as f64).max(0.0) / u);
+            t_crit * var.sqrt()
+        } else if n < 2 && population > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        BucketResult {
+            raw_yes: ry,
+            estimate_sample: e_sample,
+            estimate,
+            ci: ConfidenceInterval {
+                estimate,
+                bound: sampling_error + rr_error,
+                confidence,
+            },
+            sampling_error,
+            rr_error,
+        }
+    }));
 }
 
 /// Empirically calibrates the accuracy loss of the randomized-response
@@ -677,7 +805,11 @@ mod tests {
             let r = &results[0];
             assert_eq!(r.sample_size, n_answers, "cycle {cycle}");
             assert_eq!(r.buckets[2].raw_yes, n_answers, "cycle {cycle}");
-            assert!(r.buckets.iter().enumerate().all(|(b, br)| b == 2 || br.raw_yes == 0));
+            assert!(r
+                .buckets
+                .iter()
+                .enumerate()
+                .all(|(b, br)| b == 2 || br.raw_yes == 0));
             agg.recycle_results(&mut results);
             assert!(results.is_empty(), "recycling drains the batch");
         }

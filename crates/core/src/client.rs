@@ -21,7 +21,9 @@ use privapprox_crypto::xor::{encode_answer_into, Share, SplitScratch, XorSplitte
 use privapprox_rr::randomize::{RandomizeScratch, Randomizer};
 use privapprox_sampling::srs::ParticipationCoin;
 use privapprox_sql::{Database, EvalScratch, PlanCache, ValueRef};
-use privapprox_types::{BitVec, BucketIndexer, ClientId, ExecutionParams, MessageId, Query, QueryId};
+use privapprox_types::{
+    BitVec, BucketIndexer, ClientId, ExecutionParams, MessageId, Query, QueryId,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -148,7 +150,11 @@ impl Client {
     /// [`Client::truthful_answer`] into a caller-owned vector:
     /// plan-cache hit, prepared scan, arithmetic bucketization —
     /// allocation-free once the plan and `out` are warm.
-    pub fn truthful_answer_into(&mut self, query: &Query, out: &mut BitVec) -> Result<(), CoreError> {
+    pub fn truthful_answer_into(
+        &mut self,
+        query: &Query,
+        out: &mut BitVec,
+    ) -> Result<(), CoreError> {
         out.reset(query.answer.len());
         // The indexer cache is refreshed first so its borrow ends
         // before the plan's scan borrows the database.
@@ -246,7 +252,14 @@ impl Client {
         let randomized = if params.p >= 1.0 {
             &scratch.truth // degenerate no-randomization mode (Fig 4b)
         } else {
-            Randomizer::new(params.p, params.q).randomize_vec_buffered(
+            // The *forked* path re-seeds the scratch's bulk generator
+            // from this client's private RNG on every call, so the
+            // randomized bits are a pure function of the client's own
+            // stream — independent of which (possibly shared, possibly
+            // per-shard) scratch serves the call. That per-client
+            // determinism is what makes the sharded deployment
+            // byte-identical to the single-threaded harness.
+            Randomizer::new(params.p, params.q).randomize_vec_forked(
                 &scratch.truth,
                 &mut scratch.randomized,
                 &mut scratch.randomize,

@@ -1,0 +1,1271 @@
+//! The threaded, sharded deployment runtime.
+//!
+//! [`System`](crate::System) is the deterministic *epoch-at-a-time*
+//! harness: one thread walks clients → proxies → aggregator in
+//! sequence, so every BENCH number it produces is per-core.
+//! [`ShardedSystem`] is the same deployment run the way the paper
+//! runs it (§5): **N proxy relay threads** and **M aggregator
+//! shards** over *partitioned* broker topics, fed by a pool of client
+//! worker threads — the shape that turns per-core throughput into
+//! machine-level throughput.
+//!
+//! # Topology and partition affinity
+//!
+//! ```text
+//! worker threads ──send_to(partition π(c))──► proxy-i-in[π(c)]   (i = 0..n)
+//! proxy thread i ──partition-preserving─────► proxy-i-out[π(c)]
+//! shard thread s (owns {p : p % M == s}) ───► join ⟂ decode ⟂ window (raw counts)
+//! main ──merge counts across shards──────────► finalize → QueryResult
+//! ```
+//!
+//! Every client `c` is pinned to partition `π(c) = c mod P`; all `n`
+//! of its XOR shares travel in partition `π(c)` of their respective
+//! proxy topics (proxies forward partition-preserving), and the
+//! broker's consumer-group assignment hands partition `π(c)` of
+//! *every* proxy-out topic to the same shard — so each MID's shares
+//! join **shard-locally**, with no cross-shard traffic before the
+//! window merge.
+//!
+//! # Determinism and equivalence
+//!
+//! `ShardedSystem` produces **byte-identical** `QueryResult`s to
+//! `System` for the same configuration, seed for seed, at any shard
+//! count. Three properties compose into that guarantee:
+//!
+//! 1. every client's answer is a pure function of its own RNG stream
+//!    ([`Randomizer::randomize_vec_forked`](privapprox_rr::randomize::Randomizer::randomize_vec_forked)
+//!    re-forks the bulk generator per call), so processing order and
+//!    scratch sharing are irrelevant;
+//! 2. window accumulation is commutative counting, so the partition
+//!    of answers across shards is irrelevant; and
+//! 3. estimation ([`finalize_window_into`]) is a pure function of the
+//!    merged counts, so summing shard-local counts and finalizing
+//!    once equals finalizing a single aggregator's counts.
+//!
+//! The equivalence is pinned by `tests/sharded_equivalence.rs` across
+//! seeds × bucket widths × proxy counts × shard counts.
+//!
+//! # Steady-state allocation
+//!
+//! Each shard keeps the single-aggregator guarantees: decode scratch,
+//! pooled estimators, recycled result shells. Raw-window estimators
+//! leave a shard for the merge and are handed back with the next
+//! epoch's drain command, so the per-shard window cycle stays
+//! zero-allocation once warm (extended proof in
+//! `crates/core/tests/alloc_steady_state.rs`); the merge itself runs
+//! over pooled shells and returned estimators. Per-epoch *control*
+//! traffic (channel messages, reply vectors) is deliberately outside
+//! that budget — it is O(threads) per epoch, not O(messages).
+
+use crate::aggregator::{finalize_window_into, Aggregator, QueryResult, RawWindow};
+use crate::client::{Client, ClientScratch};
+use crate::error::CoreError;
+use crate::initializer::Initializer;
+use crate::proxy::{inbound_topic, Proxy};
+use privapprox_cluster::DeploymentShape;
+use privapprox_rr::estimate::BucketEstimator;
+use privapprox_sql::{ColumnType, Schema, Value};
+use privapprox_stream::broker::{Broker, BrokerStats};
+use privapprox_types::ids::AnalystId;
+use privapprox_types::{
+    AnswerSpec, Budget, ClientId, ExecutionParams, ProxyId, Query, QueryBuilder, QueryId,
+    Timestamp, Window,
+};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a drain phase waits for in-flight records before giving
+/// up — a liveness backstop, not a tuning knob: under correct
+/// operation every drain completes as soon as the pipeline catches
+/// up.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Per-wait block granularity inside drain loops (condvar park time
+/// per `pump_blocking` call).
+const DRAIN_WAIT: Duration = Duration::from_millis(100);
+
+/// CPU time consumed by the calling thread so far (Linux:
+/// `CLOCK_THREAD_CPUTIME_ID`; elsewhere falls back to wall time,
+/// which over-counts blocked waits).
+///
+/// This is the measurement behind "machine-level" throughput claims:
+/// on an unloaded multi-core machine a pinned thread's CPU time
+/// equals its wall time, while on an oversubscribed box (CI
+/// containers) it still reports what the thread *would* sustain on a
+/// dedicated core — `messages / max_thread_busy` is the throughput of
+/// the deployment with one core per thread. `docs/benchmarks.md`
+/// documents the convention for BENCH_4.
+pub fn thread_busy_time() -> Duration {
+    #[cfg(target_os = "linux")]
+    {
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        extern "C" {
+            fn clock_gettime(clock_id: i32, tp: *mut Timespec) -> i32;
+        }
+        const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: std links libc on Linux; Timespec matches the ABI
+        // layout of struct timespec on 64-bit Linux.
+        if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } == 0 {
+            return Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32);
+        }
+    }
+    wall_clock_fallback()
+}
+
+/// Wall-clock fallback for [`thread_busy_time`] on platforms without
+/// a per-thread CPU clock.
+fn wall_clock_fallback() -> Duration {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed()
+}
+
+/// Static configuration of a threaded sharded deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of client devices.
+    pub clients: u64,
+    /// Number of proxies = relay threads (≥ 2).
+    pub proxies: u16,
+    /// Number of aggregator shards (≥ 1).
+    pub shards: usize,
+    /// Number of client worker threads (≥ 1).
+    pub workers: usize,
+    /// Partitions per broker topic; `0` means "same as `shards`".
+    pub partitions: usize,
+    /// Master seed for all client RNGs (same semantics as
+    /// [`SystemConfig::seed`](crate::SystemConfig)).
+    pub seed: u64,
+    /// Confidence level for reported intervals.
+    pub confidence: f64,
+    /// The analyst's signing key.
+    pub analyst_key: u64,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            clients: 100,
+            proxies: 2,
+            shards: 2,
+            workers: 2,
+            partitions: 0,
+            seed: 0,
+            confidence: 0.95,
+            analyst_key: 0x5EED_0000_CAFE,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// Effective partition count (`partitions`, defaulting to
+    /// `shards`).
+    pub fn effective_partitions(&self) -> usize {
+        if self.partitions == 0 {
+            self.shards
+        } else {
+            self.partitions
+        }
+    }
+}
+
+/// Builder for [`ShardedSystem`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedSystemBuilder {
+    config: ShardedConfig,
+}
+
+impl ShardedSystemBuilder {
+    /// Sets the client population size.
+    pub fn clients(mut self, n: u64) -> Self {
+        self.config.clients = n;
+        self
+    }
+
+    /// Sets the number of proxies / relay threads (≥ 2).
+    pub fn proxies(mut self, n: u16) -> Self {
+        self.config.proxies = n;
+        self
+    }
+
+    /// Sets the number of aggregator shards (≥ 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.config.shards = n;
+        self
+    }
+
+    /// Sets the number of client worker threads (≥ 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Sets the broker partition count (defaults to the shard count;
+    /// may exceed it, in which case shards own several partitions
+    /// each).
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.config.partitions = n;
+        self
+    }
+
+    /// Adopts thread/shard counts from a cluster-tier mapping — the
+    /// bridge from the simulator's `ClusterSpec`s to the real
+    /// runtime.
+    pub fn shape(mut self, shape: DeploymentShape) -> Self {
+        self.config.proxies = shape.proxies;
+        self.config.shards = shape.shards;
+        self.config.workers = shape.workers;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the reporting confidence level.
+    pub fn confidence(mut self, c: f64) -> Self {
+        self.config.confidence = c;
+        self
+    }
+
+    /// Builds and starts the deployment: spawns the worker, proxy and
+    /// shard threads and settles consumer-group membership before any
+    /// record flows (so partition assignment is fixed for the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-client population, fewer than two proxies, or
+    /// zero shards/workers.
+    pub fn build(self) -> ShardedSystem {
+        let c = self.config;
+        assert!(c.clients > 0, "population must be positive");
+        assert!(c.proxies >= 2, "PrivApprox requires at least two proxies");
+        assert!(c.shards >= 1, "need at least one aggregator shard");
+        assert!(c.workers >= 1, "need at least one client worker");
+        let partitions = c.effective_partitions();
+        let broker = Broker::new(partitions);
+
+        // Order matters: create every proxy and shard consumer *now*,
+        // on this thread, so group membership — and therefore the
+        // partition → shard mapping — is complete and deterministic
+        // before the first record is produced. (A shard joining the
+        // "aggregator" group after a sibling already polled would
+        // strand shares across joiners.)
+        let proxies: Vec<Proxy> = (0..c.proxies)
+            .map(|i| Proxy::new(ProxyId(i), &broker))
+            .collect();
+        let shards_instances: Vec<Aggregator> = (0..c.shards)
+            .map(|_| Aggregator::new(&broker, c.proxies as usize, c.confidence))
+            .collect();
+
+        let workers = (0..c.workers)
+            .map(|w| WorkerHandle::spawn(w, &c, partitions, &broker))
+            .collect();
+        let proxy_threads = proxies.into_iter().map(ProxyHandle::spawn).collect();
+        let shard_threads = shards_instances
+            .into_iter()
+            .map(ShardHandle::spawn)
+            .collect();
+
+        ShardedSystem {
+            config: c,
+            partitions,
+            broker,
+            workers,
+            proxies: proxy_threads,
+            shards: shard_threads,
+            queries: HashMap::new(),
+            initializer: Initializer::new(),
+            now_ms: 0,
+            next_serial: 1,
+            pending: Vec::new(),
+            spare_shells: Vec::new(),
+            pending_recycle: vec![Vec::new(); c.shards],
+            busy: BusyProfile::new(c.workers, c.proxies as usize, c.shards),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads: own a slice of the client population.
+
+enum WorkerCmd {
+    LoadNumeric {
+        table: String,
+        column: String,
+        f: Arc<dyn Fn(usize) -> f64 + Send + Sync>,
+    },
+    LoadRows {
+        table: String,
+        schema: Schema,
+        f: Arc<dyn Fn(usize) -> Vec<Vec<Value>> + Send + Sync>,
+    },
+    Answer {
+        query: Query,
+        params: ExecutionParams,
+        ts: Timestamp,
+    },
+    Shutdown,
+}
+
+enum WorkerReply {
+    Loaded,
+    Answered {
+        /// Messages (participating clients) sent, per partition.
+        /// Always present — even on error, the shares sent before the
+        /// failing client are in the broker and must be accounted for.
+        per_partition: Vec<u64>,
+        /// The first client-side error, if any (the worker stops at
+        /// the first failing client).
+        error: Option<CoreError>,
+        busy: Duration,
+    },
+}
+
+struct WorkerHandle {
+    cmd: Sender<WorkerCmd>,
+    reply: Receiver<WorkerReply>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Spawns worker `w`, owning clients `{i : i % workers == w}`.
+    /// Client identities (id, RNG seed) are exactly
+    /// [`System`](crate::System)'s, so per-client streams match the
+    /// single-threaded harness seed for seed.
+    fn spawn(w: usize, c: &ShardedConfig, partitions: usize, broker: &Broker) -> WorkerHandle {
+        let (cmd_tx, cmd_rx) = channel::<WorkerCmd>();
+        let (reply_tx, reply_rx) = channel::<WorkerReply>();
+        let producer = broker.producer();
+        let (workers, clients, seed, key, n_proxies) = (
+            c.workers,
+            c.clients,
+            c.seed,
+            c.analyst_key,
+            c.proxies as usize,
+        );
+        let thread = std::thread::Builder::new()
+            .name(format!("pa-worker-{w}"))
+            .spawn(move || {
+                let mut owned: Vec<(usize, Client)> = (0..clients)
+                    .filter(|i| (*i as usize) % workers == w)
+                    .map(|i| (i as usize, Client::new(ClientId(i), seed, key)))
+                    .collect();
+                let mut scratch = ClientScratch::new();
+                let in_topics: Vec<String> = (0..n_proxies)
+                    .map(|pi| inbound_topic(ProxyId(pi as u16)))
+                    .collect();
+                let mut per_partition = vec![0u64; partitions];
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        WorkerCmd::LoadNumeric { table, column, f } => {
+                            for (i, client) in &mut owned {
+                                let db = client.db_mut();
+                                db.create_table(
+                                    &table,
+                                    Schema::new(vec![
+                                        ("ts", ColumnType::Int),
+                                        (column.as_str(), ColumnType::Float),
+                                    ]),
+                                );
+                                db.insert(&table, vec![Value::Int(0), Value::Float(f(*i))])
+                                    .expect("schema arity");
+                            }
+                            let _ = reply_tx.send(WorkerReply::Loaded);
+                        }
+                        WorkerCmd::LoadRows { table, schema, f } => {
+                            for (i, client) in &mut owned {
+                                let db = client.db_mut();
+                                db.create_table(&table, schema.clone());
+                                for row in f(*i) {
+                                    db.insert(&table, row).expect("schema arity");
+                                }
+                            }
+                            let _ = reply_tx.send(WorkerReply::Loaded);
+                        }
+                        WorkerCmd::Answer { query, params, ts } => {
+                            let t0 = thread_busy_time();
+                            per_partition.iter_mut().for_each(|n| *n = 0);
+                            let mut failure = None;
+                            for (i, client) in &mut owned {
+                                match client.answer_query_into(
+                                    &query,
+                                    &params,
+                                    n_proxies,
+                                    &mut scratch,
+                                ) {
+                                    Ok(None) => {}
+                                    Ok(Some(shares)) => {
+                                        let partition = *i % partitions;
+                                        for (pi, share) in shares.iter().enumerate() {
+                                            producer.send_to(
+                                                &in_topics[pi],
+                                                partition,
+                                                Some(share.mid.to_bytes().to_vec()),
+                                                &share.payload[..],
+                                                ts,
+                                            );
+                                        }
+                                        per_partition[partition] += 1;
+                                    }
+                                    Err(e) => {
+                                        failure = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                            let busy = thread_busy_time().saturating_sub(t0);
+                            // Counts always travel with the reply,
+                            // error or not: shares sent *before* a
+                            // failing client are already in the
+                            // broker, and the main thread must drain
+                            // them through the pipeline so a later
+                            // epoch starts from clean topics.
+                            let _ = reply_tx.send(WorkerReply::Answered {
+                                per_partition: per_partition.clone(),
+                                error: failure,
+                                busy,
+                            });
+                        }
+                        WorkerCmd::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn worker thread");
+        WorkerHandle {
+            cmd: cmd_tx,
+            reply: reply_rx,
+            thread: Some(thread),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proxy threads: partition-preserving relays.
+
+enum ProxyCmd {
+    Drain { expect: u64 },
+    Shutdown,
+}
+
+struct ProxyReply {
+    forwarded: u64,
+    busy: Duration,
+}
+
+struct ProxyHandle {
+    cmd: Sender<ProxyCmd>,
+    reply: Receiver<ProxyReply>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ProxyHandle {
+    fn spawn(mut proxy: Proxy) -> ProxyHandle {
+        let (cmd_tx, cmd_rx) = channel::<ProxyCmd>();
+        let (reply_tx, reply_rx) = channel::<ProxyReply>();
+        let thread = std::thread::Builder::new()
+            .name(format!("pa-proxy-{}", proxy.id().0))
+            .spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        ProxyCmd::Drain { expect } => {
+                            let t0 = thread_busy_time();
+                            let mut forwarded = 0u64;
+                            let deadline = Instant::now() + DRAIN_DEADLINE;
+                            while forwarded < expect && Instant::now() < deadline {
+                                forwarded += proxy.pump_blocking(DRAIN_WAIT);
+                            }
+                            let _ = reply_tx.send(ProxyReply {
+                                forwarded,
+                                busy: thread_busy_time().saturating_sub(t0),
+                            });
+                        }
+                        ProxyCmd::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn proxy thread");
+        ProxyHandle {
+            cmd: cmd_tx,
+            reply: reply_rx,
+            thread: Some(thread),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard threads: join ⟂ decode ⟂ window over owned partitions.
+
+enum ShardCmd {
+    Register {
+        query: Box<Query>,
+        params: ExecutionParams,
+        population: u64,
+    },
+    Drain {
+        expect: u64,
+        watermark: Timestamp,
+        /// Estimators coming home from the previous epoch's merge.
+        recycle: Vec<BucketEstimator>,
+    },
+    Shutdown,
+}
+
+enum ShardReply {
+    Registered,
+    Drained {
+        decoded: u64,
+        windows: Vec<RawWindow>,
+        /// `(undecodable, unroutable, duplicates, expired_joins)`.
+        health: (u64, u64, u64, u64),
+        busy: Duration,
+    },
+}
+
+struct ShardHandle {
+    cmd: Sender<ShardCmd>,
+    reply: Receiver<ShardReply>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    fn spawn(mut agg: Aggregator) -> ShardHandle {
+        let (cmd_tx, cmd_rx) = channel::<ShardCmd>();
+        let (reply_tx, reply_rx) = channel::<ShardReply>();
+        let thread = std::thread::Builder::new()
+            .name("pa-shard".to_string())
+            .spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        ShardCmd::Register {
+                            query,
+                            params,
+                            population,
+                        } => {
+                            agg.register_query(&query, params, population);
+                            let _ = reply_tx.send(ShardReply::Registered);
+                        }
+                        ShardCmd::Drain {
+                            expect,
+                            watermark,
+                            recycle,
+                        } => {
+                            let t0 = thread_busy_time();
+                            for est in recycle {
+                                agg.release_estimator(est);
+                            }
+                            let mut decoded = 0u64;
+                            let deadline = Instant::now() + DRAIN_DEADLINE;
+                            while decoded < expect && Instant::now() < deadline {
+                                decoded += agg.pump_blocking(DRAIN_WAIT);
+                            }
+                            let mut windows = Vec::new();
+                            agg.advance_watermark_raw_into(watermark, &mut windows);
+                            let _ = reply_tx.send(ShardReply::Drained {
+                                decoded,
+                                windows,
+                                health: (
+                                    agg.undecodable(),
+                                    agg.unroutable(),
+                                    agg.duplicates(),
+                                    agg.expired_joins(),
+                                ),
+                                busy: thread_busy_time().saturating_sub(t0),
+                            });
+                        }
+                        ShardCmd::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn shard thread");
+        ShardHandle {
+            cmd: cmd_tx,
+            reply: reply_rx,
+            thread: Some(thread),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The deployment.
+
+/// Accumulated per-thread CPU time over a deployment's lifetime —
+/// the instrumentation behind machine-level throughput reporting
+/// (see [`thread_busy_time`]).
+#[derive(Debug, Clone)]
+pub struct BusyProfile {
+    /// Per client-worker CPU time in the answer stage.
+    pub workers: Vec<Duration>,
+    /// Per proxy-thread CPU time in the forward stage.
+    pub proxies: Vec<Duration>,
+    /// Per shard-thread CPU time in the drain/close stage.
+    pub shards: Vec<Duration>,
+}
+
+impl BusyProfile {
+    fn new(workers: usize, proxies: usize, shards: usize) -> BusyProfile {
+        BusyProfile {
+            workers: vec![Duration::ZERO; workers],
+            proxies: vec![Duration::ZERO; proxies],
+            shards: vec![Duration::ZERO; shards],
+        }
+    }
+
+    /// The critical path of one barrier-synchronized pass:
+    /// `max(workers) + max(proxies) + max(shards)` — what the epoch
+    /// costs when every thread has its own core.
+    pub fn critical_path(&self) -> Duration {
+        let max = |v: &[Duration]| v.iter().copied().max().unwrap_or(Duration::ZERO);
+        max(&self.workers) + max(&self.proxies) + max(&self.shards)
+    }
+}
+
+/// A threaded, sharded in-process PrivApprox deployment (see the
+/// module docs for topology and guarantees). Drives the same
+/// query-epoch surface as [`System`](crate::System) — `analyst()`,
+/// `load_*`, `run_epoch`, `drain_results` — and produces byte-identical
+/// results.
+pub struct ShardedSystem {
+    config: ShardedConfig,
+    partitions: usize,
+    broker: Broker,
+    workers: Vec<WorkerHandle>,
+    proxies: Vec<ProxyHandle>,
+    shards: Vec<ShardHandle>,
+    queries: HashMap<QueryId, (Query, ExecutionParams)>,
+    initializer: Initializer,
+    /// The shared event clock, advanced exactly like `System`'s.
+    now_ms: u64,
+    next_serial: u32,
+    /// Closed, merged windows not yet returned.
+    pending: Vec<QueryResult>,
+    /// Recycled result shells for the merge step.
+    spare_shells: Vec<QueryResult>,
+    /// Estimators consumed by the last merge, owed back to each shard
+    /// with its next drain command.
+    pending_recycle: Vec<Vec<BucketEstimator>>,
+    /// Cumulative per-thread busy time.
+    busy: BusyProfile,
+}
+
+impl ShardedSystem {
+    /// Starts building a deployment.
+    pub fn builder() -> ShardedSystemBuilder {
+        ShardedSystemBuilder::default()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// Replaces the initializer (e.g. to set a privacy ceiling).
+    pub fn set_initializer(&mut self, init: Initializer) {
+        self.initializer = init;
+    }
+
+    /// The partition a client is pinned to: `c mod partitions`.
+    pub fn partition_of(&self, client: u64) -> usize {
+        (client % self.partitions as u64) as usize
+    }
+
+    /// The shard owning a partition under the group assignment
+    /// (`p mod shards` — shards joined the group in order, so rank
+    /// equals shard index).
+    pub fn shard_of_partition(&self, partition: usize) -> usize {
+        partition % self.config.shards
+    }
+
+    /// Populates every client with a one-row table holding a numeric
+    /// column, exactly like
+    /// [`System::load_numeric_column`](crate::System::load_numeric_column).
+    pub fn load_numeric_column<F>(&mut self, table: &str, column: &str, f: F)
+    where
+        F: Fn(usize) -> f64 + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn(usize) -> f64 + Send + Sync> = Arc::new(f);
+        for w in &self.workers {
+            w.cmd
+                .send(WorkerCmd::LoadNumeric {
+                    table: table.to_string(),
+                    column: column.to_string(),
+                    f: Arc::clone(&f),
+                })
+                .expect("worker alive");
+        }
+        for w in &self.workers {
+            match w.reply.recv().expect("worker alive") {
+                WorkerReply::Loaded => {}
+                WorkerReply::Answered { .. } => unreachable!("load expects Loaded"),
+            }
+        }
+    }
+
+    /// Populates every client with arbitrary rows, exactly like
+    /// [`System::load_rows`](crate::System::load_rows).
+    pub fn load_rows<F>(&mut self, table: &str, schema: Schema, f: F)
+    where
+        F: Fn(usize) -> Vec<Vec<Value>> + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn(usize) -> Vec<Vec<Value>> + Send + Sync> = Arc::new(f);
+        for w in &self.workers {
+            w.cmd
+                .send(WorkerCmd::LoadRows {
+                    table: table.to_string(),
+                    schema: schema.clone(),
+                    f: Arc::clone(&f),
+                })
+                .expect("worker alive");
+        }
+        for w in &self.workers {
+            match w.reply.recv().expect("worker alive") {
+                WorkerReply::Loaded => {}
+                WorkerReply::Answered { .. } => unreachable!("load expects Loaded"),
+            }
+        }
+    }
+
+    /// Opens an analyst session for query submission.
+    pub fn analyst(&mut self) -> ShardedAnalystSession<'_> {
+        ShardedAnalystSession {
+            system: self,
+            sql: String::new(),
+            buckets: None,
+            budget: Budget::default_accuracy(),
+            window: None,
+            explicit_params: None,
+        }
+    }
+
+    /// The execution parameters currently assigned to a query.
+    pub fn params(&self, id: QueryId) -> Option<ExecutionParams> {
+        self.queries.get(&id).map(|(_, p)| *p)
+    }
+
+    /// Registers a signed query with explicit parameters on every
+    /// shard (the lower-level path under
+    /// [`ShardedAnalystSession::submit`]).
+    pub fn register(&mut self, query: Query, params: ExecutionParams) {
+        for shard in &self.shards {
+            shard
+                .cmd
+                .send(ShardCmd::Register {
+                    query: Box::new(query.clone()),
+                    params,
+                    population: self.config.clients,
+                })
+                .expect("shard alive");
+        }
+        for shard in &self.shards {
+            match shard.reply.recv().expect("shard alive") {
+                ShardReply::Registered => {}
+                ShardReply::Drained { .. } => unreachable!("register expects Registered"),
+            }
+        }
+        self.queries.insert(query.id, (query, params));
+    }
+
+    /// Runs one epoch of a query across the threaded pipeline:
+    /// workers answer in parallel, proxy threads forward, shards
+    /// join/decode/window concurrently, and the epoch's windows are
+    /// merged into single results.
+    ///
+    /// Returns the epoch's windowed result — byte-identical to what
+    /// [`System::run_epoch`](crate::System::run_epoch) returns for
+    /// the same configuration and seed.
+    pub fn run_epoch(&mut self, query: &Query) -> Result<QueryResult, CoreError> {
+        let (_, params) = *self.queries.get(&query.id).ok_or(CoreError::UnknownQuery)?;
+        let window_size = query.window.size;
+        let epoch_start = self.now_ms.div_ceil(window_size) * window_size;
+        let ts = Timestamp(epoch_start + window_size / 2);
+        let watermark = Timestamp(epoch_start + window_size);
+        self.now_ms = watermark.0;
+
+        // Stage 1: workers answer their client slices in parallel.
+        for w in &self.workers {
+            w.cmd
+                .send(WorkerCmd::Answer {
+                    query: query.clone(),
+                    params,
+                    ts,
+                })
+                .expect("worker alive");
+        }
+        let mut per_partition = vec![0u64; self.partitions];
+        let mut first_error = None;
+        for (wi, w) in self.workers.iter().enumerate() {
+            match w.reply.recv().expect("worker alive") {
+                WorkerReply::Answered {
+                    per_partition: counts,
+                    error,
+                    busy,
+                } => {
+                    self.busy.workers[wi] += busy;
+                    for (total, n) in per_partition.iter_mut().zip(&counts) {
+                        *total += n;
+                    }
+                    if let Some(e) = error {
+                        first_error = first_error.or(Some(e));
+                    }
+                }
+                WorkerReply::Loaded => unreachable!("answer expects Answered"),
+            }
+        }
+        // Even when a client errored, stages 2–4 still run: the
+        // shares sent before the failure are already in the broker,
+        // and draining them through proxies and shards is what lets a
+        // *later* epoch start from clean topics and consistent
+        // counts. Their (partial) windows close below and surface via
+        // `drain_results` — mirroring `System`, where shares sent
+        // before a failing client also reach the aggregator on the
+        // next pump. The error is returned after cleanup.
+        let participants: u64 = per_partition.iter().sum();
+
+        // Stage 2: every proxy forwards one share per participant.
+        for p in &self.proxies {
+            p.cmd
+                .send(ProxyCmd::Drain {
+                    expect: participants,
+                })
+                .expect("proxy alive");
+        }
+        for (pi, p) in self.proxies.iter().enumerate() {
+            let reply = p.reply.recv().expect("proxy alive");
+            self.busy.proxies[pi] += reply.busy;
+            assert_eq!(
+                reply.forwarded, participants,
+                "proxy {pi} drain incomplete: {}/{} shares forwarded",
+                reply.forwarded, participants
+            );
+        }
+
+        // Stage 3: shards drain their partitions and close windows.
+        // A shard's expectation: every message in the partitions the
+        // group assignment gives it (`p % shards == rank`).
+        let expects: Vec<u64> = (0..self.config.shards)
+            .map(|s| {
+                per_partition
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| p % self.config.shards == s)
+                    .map(|(_, n)| n)
+                    .sum()
+            })
+            .collect();
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard
+                .cmd
+                .send(ShardCmd::Drain {
+                    expect: expects[s],
+                    watermark,
+                    recycle: std::mem::take(&mut self.pending_recycle[s]),
+                })
+                .expect("shard alive");
+        }
+        // Stage 4: merge shard-local windows into single results.
+        let mut merged: Vec<(QueryId, Window, BucketEstimator, usize)> = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            match shard.reply.recv().expect("shard alive") {
+                ShardReply::Drained {
+                    decoded,
+                    windows,
+                    health: _,
+                    busy,
+                } => {
+                    self.busy.shards[s] += busy;
+                    assert_eq!(
+                        decoded, expects[s],
+                        "shard {s} drain incomplete: {decoded}/{} answers decoded",
+                        expects[s]
+                    );
+                    for rw in windows {
+                        match merged
+                            .iter_mut()
+                            .find(|(q, w, _, _)| *q == rw.query && *w == rw.window)
+                        {
+                            Some((_, _, est, _)) => {
+                                est.merge(&rw.estimator);
+                                self.pending_recycle[s].push(rw.estimator);
+                            }
+                            None => merged.push((rw.query, rw.window, rw.estimator, s)),
+                        }
+                    }
+                }
+                ShardReply::Registered => unreachable!("drain expects Drained"),
+            }
+        }
+        merged.sort_unstable_by_key(|(q, w, _, _)| (w.start, q.to_u64()));
+        for (qid, window, est, src) in merged {
+            let (_, qparams) = self.queries.get(&qid).expect("registered query");
+            let mut shell = self.spare_shells.pop().unwrap_or_else(QueryResult::shell);
+            finalize_window_into(
+                &mut shell,
+                qid,
+                window,
+                &est,
+                *qparams,
+                self.config.clients,
+                self.config.confidence,
+            );
+            self.pending.push(shell);
+            self.pending_recycle[src].push(est);
+        }
+
+        // Cleanup complete; now surface the epoch's client error.
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let idx = self
+            .pending
+            .iter()
+            .rposition(|r| r.query == query.id)
+            .ok_or(CoreError::UnknownQuery)?;
+        Ok(self.pending.remove(idx))
+    }
+
+    /// Drains any additional closed windows (sliding-window queries
+    /// emit several per epoch).
+    pub fn drain_results(&mut self) -> Vec<QueryResult> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Returns consumed results to the merge step's shell pool.
+    pub fn recycle_results(&mut self, consumed: &mut Vec<QueryResult>) {
+        self.spare_shells.append(consumed);
+    }
+
+    /// Broker traffic counters.
+    pub fn broker_stats(&self) -> BrokerStats {
+        self.broker.stats()
+    }
+
+    /// Aggregated shard health counters: `(undecodable, unroutable,
+    /// duplicates, expired_joins)` summed across shards.
+    pub fn aggregator_health(&mut self) -> (u64, u64, u64, u64) {
+        // Health rides the drain replies; ask for an empty drain.
+        let mut totals = (0, 0, 0, 0);
+        for shard in &self.shards {
+            shard
+                .cmd
+                .send(ShardCmd::Drain {
+                    expect: 0,
+                    watermark: Timestamp(self.now_ms),
+                    recycle: Vec::new(),
+                })
+                .expect("shard alive");
+        }
+        for (s, shard) in self.shards.iter().enumerate() {
+            match shard.reply.recv().expect("shard alive") {
+                ShardReply::Drained {
+                    windows,
+                    health,
+                    busy,
+                    ..
+                } => {
+                    self.busy.shards[s] += busy;
+                    // The watermark hasn't advanced past the last
+                    // epoch's, so no window can close here; anything
+                    // else would mean silently dropped counts and a
+                    // leaked estimator.
+                    assert!(
+                        windows.is_empty(),
+                        "health probe closed {} windows on shard {s}",
+                        windows.len()
+                    );
+                    totals.0 += health.0;
+                    totals.1 += health.1;
+                    totals.2 += health.2;
+                    totals.3 += health.3;
+                }
+                ShardReply::Registered => unreachable!(),
+            }
+        }
+        totals
+    }
+
+    /// Cumulative per-thread CPU time per stage (the machine-level
+    /// throughput instrumentation; see [`thread_busy_time`]).
+    pub fn busy_profile(&self) -> &BusyProfile {
+        &self.busy
+    }
+}
+
+impl Drop for ShardedSystem {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.cmd.send(WorkerCmd::Shutdown);
+        }
+        for p in &self.proxies {
+            let _ = p.cmd.send(ProxyCmd::Shutdown);
+        }
+        for s in &self.shards {
+            let _ = s.cmd.send(ShardCmd::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+        for p in &mut self.proxies {
+            if let Some(t) = p.thread.take() {
+                let _ = t.join();
+            }
+        }
+        for s in &mut self.shards {
+            if let Some(t) = s.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+/// A fluent analyst session against a [`ShardedSystem`] — the same
+/// SQL → buckets → budget → submit surface as
+/// [`AnalystSession`](crate::system::AnalystSession), registering the
+/// query on every shard.
+pub struct ShardedAnalystSession<'a> {
+    system: &'a mut ShardedSystem,
+    sql: String,
+    buckets: Option<AnswerSpec>,
+    budget: Budget,
+    window: Option<(u64, u64)>,
+    explicit_params: Option<ExecutionParams>,
+}
+
+impl<'a> ShardedAnalystSession<'a> {
+    /// Sets the SQL text.
+    pub fn query(mut self, sql: impl Into<String>) -> Self {
+        self.sql = sql.into();
+        self
+    }
+
+    /// Sets the answer format `A[n]`.
+    pub fn buckets(mut self, spec: AnswerSpec) -> Self {
+        self.buckets = Some(spec);
+        self
+    }
+
+    /// Sets the execution budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets sliding-window parameters `(w, δ)` in milliseconds.
+    pub fn window(mut self, size: u64, slide: u64) -> Self {
+        self.window = Some((size, slide));
+        self
+    }
+
+    /// Bypasses the initializer with explicit `(s, p, q)`.
+    pub fn params(mut self, params: ExecutionParams) -> Self {
+        self.explicit_params = Some(params);
+        self
+    }
+
+    /// Signs, registers (on every shard) and distributes the query;
+    /// returns it. Serial assignment matches
+    /// [`System`](crate::System) so the same submission order yields
+    /// the same `QueryId`s.
+    pub fn submit(self) -> Result<Query, CoreError> {
+        let spec = self.buckets.ok_or_else(|| {
+            CoreError::InfeasibleBudget("query needs an answer bucket spec".into())
+        })?;
+        let (w, d) = self.window.unwrap_or((60_000, 60_000));
+        let sys = self.system;
+        let id = QueryId::new(AnalystId(1), sys.next_serial);
+        sys.next_serial += 1;
+        let query = QueryBuilder::new(id, self.sql)
+            .answer(spec)
+            .window(w, d)
+            .sign_and_build(sys.config.analyst_key);
+        let params = match self.explicit_params {
+            Some(p) => p,
+            None => sys.initializer.derive(&self.budget, sys.config.clients)?,
+        };
+        sys.register(query.clone(), params);
+        Ok(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed_spec() -> AnswerSpec {
+        AnswerSpec::ranges_with_overflow(0.0, 110.0, 11)
+    }
+
+    #[test]
+    fn sharded_end_to_end_exact_mode() {
+        let mut system = ShardedSystem::builder()
+            .clients(200)
+            .proxies(2)
+            .shards(2)
+            .workers(2)
+            .seed(1)
+            .build();
+        system.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64);
+        let query = system
+            .analyst()
+            .query("SELECT speed FROM vehicle")
+            .buckets(speed_spec())
+            .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+            .submit()
+            .unwrap();
+        let result = system.run_epoch(&query).unwrap();
+        assert_eq!(result.sample_size, 200);
+        assert_eq!(result.population, 200);
+        let total: f64 = result.buckets.iter().map(|b| b.estimate).sum();
+        assert_eq!(total, 200.0);
+        for b in 0..9 {
+            assert_eq!(result.buckets[b].estimate, 20.0, "bucket {b}");
+        }
+        assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn sharded_epochs_advance_windows() {
+        let mut system = ShardedSystem::builder()
+            .clients(60)
+            .proxies(2)
+            .shards(4)
+            .workers(3)
+            .seed(4)
+            .build();
+        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        let query = system
+            .analyst()
+            .query("SELECT speed FROM vehicle")
+            .buckets(speed_spec())
+            .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+            .submit()
+            .unwrap();
+        let r1 = system.run_epoch(&query).unwrap();
+        let r2 = system.run_epoch(&query).unwrap();
+        assert!(r2.window.start > r1.window.start);
+        assert_eq!(r1.sample_size, 60);
+        assert_eq!(r2.sample_size, 60);
+        // Threads did real work on every stage.
+        let busy = system.busy_profile();
+        assert!(busy.workers.iter().any(|d| !d.is_zero()));
+        assert!(busy.critical_path() > Duration::ZERO);
+    }
+
+    #[test]
+    fn sharded_single_shard_degenerates_to_plain_pipeline() {
+        let mut system = ShardedSystem::builder()
+            .clients(50)
+            .proxies(3)
+            .shards(1)
+            .workers(1)
+            .seed(9)
+            .build();
+        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        let query = system
+            .analyst()
+            .query("SELECT speed FROM vehicle")
+            .buckets(speed_spec())
+            .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+            .submit()
+            .unwrap();
+        let result = system.run_epoch(&query).unwrap();
+        assert_eq!(result.sample_size, 50);
+        assert_eq!(result.buckets[1].estimate, 50.0);
+    }
+
+    #[test]
+    fn sharded_partition_affinity_is_total() {
+        let system = ShardedSystem::builder()
+            .clients(10)
+            .proxies(2)
+            .shards(3)
+            .partitions(6)
+            .build();
+        // Every client maps to a partition, every partition to a
+        // shard, and the shard set is exhaustive.
+        let mut shards_seen = std::collections::HashSet::new();
+        for c in 0..10 {
+            let p = system.partition_of(c);
+            assert!(p < 6);
+            shards_seen.insert(system.shard_of_partition(p));
+        }
+        assert_eq!(shards_seen.len(), 3);
+    }
+
+    #[test]
+    fn sharded_shape_adopts_cluster_tiers() {
+        let shape = DeploymentShape::single_node(2, 4);
+        let system = ShardedSystem::builder().clients(10).shape(shape).build();
+        assert_eq!(system.config().proxies, 2);
+        assert_eq!(system.config().shards, 4);
+        assert_eq!(system.config().workers, 4);
+    }
+
+    /// A failed epoch (one client errors mid-population) must not
+    /// poison the pipeline: the shares sent before the failure drain
+    /// through proxies and shards as cleanup, so the next epoch runs
+    /// from clean topics and exact counts instead of tripping the
+    /// drain asserts on stale records.
+    #[test]
+    fn sharded_failed_epoch_cleans_up_for_the_next() {
+        let mut system = ShardedSystem::builder()
+            .clients(40)
+            .proxies(2)
+            .shards(2)
+            .workers(2)
+            .seed(3)
+            .build();
+        // Client 25 holds an unbucketizable (negative) speed.
+        system.load_numeric_column("vehicle", "speed", |i| if i == 25 { -5.0 } else { 15.0 });
+        let query = system
+            .analyst()
+            .query("SELECT speed FROM vehicle")
+            .buckets(speed_spec())
+            .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+            .submit()
+            .unwrap();
+        assert!(matches!(
+            system.run_epoch(&query),
+            Err(CoreError::Unbucketizable(_))
+        ));
+        // The failure epoch's partial window surfaces via drain, not
+        // silently: some clients answered before the bad one.
+        let partial = system.drain_results();
+        assert_eq!(partial.len(), 1);
+        assert!(partial[0].sample_size < 40);
+        // Repair the data; the next epoch is exact and complete.
+        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        let result = system.run_epoch(&query).unwrap();
+        assert_eq!(result.sample_size, 40);
+        assert_eq!(result.buckets[1].estimate, 40.0);
+        assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn sharded_unknown_query_is_rejected() {
+        let mut system = ShardedSystem::builder().clients(10).build();
+        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        let foreign =
+            QueryBuilder::new(QueryId::new(AnalystId(1), 999), "SELECT speed FROM vehicle")
+                .answer(speed_spec())
+                .sign_and_build(system.config().analyst_key);
+        assert_eq!(
+            system.run_epoch(&foreign).unwrap_err(),
+            CoreError::UnknownQuery
+        );
+    }
+}

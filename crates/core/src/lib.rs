@@ -22,7 +22,11 @@
 //!   sampling (§3.3.1);
 //! * [`splitx`] — the synchronized-proxy baseline of Figure 6;
 //! * [`system`] — an in-process deployment harness used by examples,
-//!   integration tests and benchmarks.
+//!   integration tests and benchmarks;
+//! * [`deploy`] — the *threaded, sharded* deployment runtime
+//!   ([`ShardedSystem`]): N proxy threads + M aggregator shards over
+//!   partitioned broker topics, byte-identical to [`System`] seed for
+//!   seed.
 //!
 //! # Hot-path buffer conventions (`*_into`)
 //!
@@ -53,6 +57,7 @@
 
 pub mod aggregator;
 pub mod client;
+pub mod deploy;
 pub mod error;
 pub mod feedback;
 pub mod historical;
@@ -63,6 +68,7 @@ pub mod system;
 
 pub use aggregator::{Aggregator, BucketResult, QueryResult};
 pub use client::{Client, ClientAnswer, ClientScratch};
+pub use deploy::{ShardedConfig, ShardedSystem, ShardedSystemBuilder};
 pub use error::CoreError;
 pub use feedback::FeedbackController;
 pub use historical::Warehouse;

@@ -11,6 +11,7 @@
 
 use privapprox_stream::broker::{Broker, Consumer, Producer};
 use privapprox_types::ProxyId;
+use std::time::Duration;
 
 /// Naming convention for the client→proxy topic.
 pub fn inbound_topic(id: ProxyId) -> String {
@@ -33,14 +34,18 @@ pub struct Proxy {
 
 impl Proxy {
     /// Creates proxy `id` on the broker, subscribing to its inbound
-    /// topic.
+    /// topic. The outbound topic is created with the **same partition
+    /// count** as the inbound one, because forwarding is
+    /// partition-preserving (see [`Proxy::pump`]).
     pub fn new(id: ProxyId, broker: &Broker) -> Proxy {
         let in_topic = inbound_topic(id);
+        let out_topic = outbound_topic(id);
+        broker.create_topic(&out_topic, broker.partitions(&in_topic));
         Proxy {
             id,
             consumer: broker.consumer(&format!("proxy-{}", id.0), &[&in_topic]),
             producer: broker.producer(),
-            out_topic: outbound_topic(id),
+            out_topic,
             forwarded: 0,
         }
     }
@@ -52,21 +57,54 @@ impl Proxy {
 
     /// Drains pending inbound shares and forwards them unchanged.
     /// Returns the number forwarded in this pump.
+    ///
+    /// Forwarding is **partition-preserving**: a share polled from
+    /// inbound partition `p` is republished on outbound partition `p`,
+    /// so the client → partition affinity a sharded aggregator relies
+    /// on survives the proxy hop (all of one client's shares stay in
+    /// one partition index across every proxy's output). Key, value
+    /// (by refcount) and timestamp pass through untouched.
     pub fn pump(&mut self) -> u64 {
         let mut n = 0;
         loop {
-            let batch = self.consumer.poll(1024);
+            let batch = self.consumer.poll_partitioned(1024);
             if batch.is_empty() {
                 break;
             }
-            for (_, record) in batch {
-                // Forward-only: key and value pass through untouched.
-                self.producer
-                    .send(&self.out_topic, record.key, record.value, record.timestamp);
-                n += 1;
-            }
+            n += self.forward(batch);
         }
         self.forwarded += n;
+        n
+    }
+
+    /// Blocks up to `timeout` for inbound shares, then forwards
+    /// everything available (the blocked wait plus a non-blocking
+    /// drain). Returns the number forwarded — `0` means the wait
+    /// timed out with nothing pending. This is the building block for
+    /// proxy *threads*: a `pump_blocking` loop parks on the broker's
+    /// condvar instead of sleep-spinning.
+    pub fn pump_blocking(&mut self, timeout: Duration) -> u64 {
+        let batch = self.consumer.poll_blocking_partitioned(1024, timeout);
+        if batch.is_empty() {
+            return 0;
+        }
+        let n = self.forward(batch);
+        self.forwarded += n;
+        n + self.pump()
+    }
+
+    /// Forwards one polled batch partition-for-partition.
+    fn forward(&mut self, batch: Vec<(String, usize, privapprox_stream::broker::Record)>) -> u64 {
+        let n = batch.len() as u64;
+        for (_, partition, record) in batch {
+            self.producer.send_to(
+                &self.out_topic,
+                partition,
+                record.key,
+                record.value,
+                record.timestamp,
+            );
+        }
         n
     }
 
@@ -135,6 +173,46 @@ mod tests {
         assert_eq!(p0.pump(), 1);
         assert_eq!(p1.pump(), 0);
         assert_eq!(broker.topic_len("proxy-1-out"), 0);
+    }
+
+    #[test]
+    fn forwarding_preserves_partitions() {
+        let broker = Broker::new(4);
+        let producer = broker.producer();
+        for p in 0..4usize {
+            producer.send_to("proxy-0-in", p, None, vec![p as u8], Timestamp(0));
+        }
+        let mut proxy = Proxy::new(ProxyId(0), &broker);
+        assert_eq!(proxy.pump(), 4);
+        let agg = broker.consumer("agg", &["proxy-0-out"]);
+        let mut got: Vec<(usize, u8)> = agg
+            .poll_partitioned(100)
+            .iter()
+            .map(|(_, p, r)| (*p, r.value[0]))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![(0, 0), (1, 1), (2, 2), (3, 3)],
+            "share polled from partition p must be re-published on partition p"
+        );
+    }
+
+    #[test]
+    fn pump_blocking_wakes_on_data_and_times_out_empty() {
+        let broker = Broker::new(1);
+        let mut proxy = Proxy::new(ProxyId(0), &broker);
+        // Empty inbound: times out with nothing forwarded.
+        assert_eq!(proxy.pump_blocking(std::time::Duration::from_millis(20)), 0);
+        let producer = broker.producer();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            producer.send("proxy-0-in", None, b"wake".to_vec(), Timestamp(1));
+        });
+        let n = proxy.pump_blocking(std::time::Duration::from_secs(5));
+        t.join().unwrap();
+        assert_eq!(n, 1, "blocked pump forwards the record that woke it");
+        assert_eq!(broker.topic_len("proxy-0-out"), 1);
     }
 
     #[test]

@@ -148,11 +148,13 @@ pub struct System {
     /// Reused buffers for every client's randomize → encode → split
     /// stages (each send copies the share once into the broker's
     /// shared immutable buffer, so one scratch serves the whole
-    /// population). The scratch's bulk randomize generator is forked
-    /// once from the first participating client and then shared — a
-    /// harness-level economy; real deployments give each device its
-    /// own `ClientScratch`, and participation coins and MIDs still
-    /// come from each client's private RNG either way.
+    /// population). Sharing is safe for determinism because the
+    /// randomize stage re-forks the scratch's bulk generator from
+    /// each client's private RNG per call
+    /// (`Randomizer::randomize_vec_forked`), so every client's answer
+    /// is a pure function of its own RNG stream — which is also why
+    /// `ShardedSystem`, with one scratch per worker thread, produces
+    /// byte-identical results.
     scratch: ClientScratch,
 }
 

@@ -14,7 +14,7 @@
 //! allocator is process-global, and a sibling test allocating on
 //! another thread would show up in the counters.
 
-use privapprox_core::aggregator::QueryResult;
+use privapprox_core::aggregator::{finalize_window_into, QueryResult, RawWindow};
 use privapprox_core::client::{Client, ClientScratch};
 use privapprox_core::proxy::{inbound_topic, Proxy};
 use privapprox_core::Aggregator;
@@ -293,10 +293,125 @@ fn window_close_allocates_nothing() {
     );
 }
 
+/// The sharded deployment's per-shard window cycle, run
+/// single-threaded so the process-global allocation counter measures
+/// only the shard path itself (the real `ShardedSystem` runs the same
+/// code on shard threads; its per-epoch channel traffic is O(threads)
+/// control overhead, deliberately outside this per-message/per-window
+/// budget). Two shard aggregators split two partitions of the same
+/// consumer group; per cycle each shard closes its window **raw**,
+/// the counts merge across shards, the merged result finalizes into a
+/// recycled shell, and both estimators go home to their shards' pools
+/// — all without touching the heap once warm.
+fn sharded_window_cycle_allocates_nothing() {
+    let broker = Broker::new(2); // two partitions per topic
+    let query: Query = QueryBuilder::new(QueryId::new(AnalystId(4), 1), "SELECT v FROM data")
+        .answer(AnswerSpec::ranges_with_overflow(0.0, 10.0, 10))
+        .window(1_000, 1_000)
+        .sign_and_build(KEY);
+    let params = ExecutionParams::checked(1.0, 0.9, 0.6);
+    let producer = broker.producer();
+    let mut proxies: Vec<Proxy> = (0..2).map(|i| Proxy::new(ProxyId(i), &broker)).collect();
+    // Two shards in one consumer group: rank 0 owns partition 0,
+    // rank 1 owns partition 1, across both proxy-out topics.
+    let mut shards: Vec<Aggregator> = (0..2).map(|_| Aggregator::new(&broker, 2, 0.95)).collect();
+    for shard in &mut shards {
+        shard.register_query(&query, params, 50);
+    }
+
+    let mut clients: Vec<Client> = (0..20u64)
+        .map(|i| {
+            let mut c = Client::new(ClientId(i), 50 + i, KEY);
+            c.db_mut()
+                .create_table("data", Schema::new(vec![("v", ColumnType::Float)]));
+            c.db_mut().insert("data", vec![Value::Float(2.5)]).unwrap();
+            c
+        })
+        .collect();
+    let mut scratch = ClientScratch::new();
+
+    // Reused across cycles: raw windows per shard, merged scratch,
+    // shells, and per-shard estimator returns.
+    let mut raw: Vec<Vec<RawWindow>> = vec![Vec::new(), Vec::new()];
+    let mut merged: Vec<(
+        privapprox_types::QueryId,
+        privapprox_types::Window,
+        BucketEstimator,
+        usize,
+    )> = Vec::new();
+    let mut shells: Vec<QueryResult> = Vec::new();
+    let mut close_allocs = 0u64;
+    let warm_cycles = 3u64;
+    for cycle in 0..(warm_cycles + 5) {
+        // Feed both partitions (transport allocates; outside the
+        // measured span, as in the single-aggregator proof above).
+        for (i, client) in clients.iter_mut().enumerate() {
+            let shares = client
+                .answer_query_into(&query, &params, 2, &mut scratch)
+                .unwrap()
+                .expect("always participates");
+            let partition = i % 2;
+            for (pi, share) in shares.iter().enumerate() {
+                producer.send_to(
+                    &inbound_topic(ProxyId(pi as u16)),
+                    partition,
+                    Some(share.mid.to_bytes().to_vec()),
+                    &share.payload[..],
+                    Timestamp(cycle * 1_000 + 500),
+                );
+            }
+        }
+        for p in &mut proxies {
+            p.pump();
+        }
+        for shard in &mut shards {
+            shard.pump();
+        }
+
+        // The measured span: raw close on every shard, cross-shard
+        // merge, finalize into a recycled shell, estimators home.
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for (s, shard) in shards.iter_mut().enumerate() {
+            shard.advance_watermark_raw_into(Timestamp((cycle + 1) * 1_000), &mut raw[s]);
+        }
+        for s in 0..2 {
+            for rw in raw[s].drain(..) {
+                match merged
+                    .iter_mut()
+                    .find(|(q, w, _, _)| *q == rw.query && *w == rw.window)
+                {
+                    Some((_, _, est, _)) => {
+                        est.merge(&rw.estimator);
+                        shards[s].release_estimator(rw.estimator);
+                    }
+                    None => merged.push((rw.query, rw.window, rw.estimator, s)),
+                }
+            }
+        }
+        for (qid, window, est, src) in merged.drain(..) {
+            let mut shell = shells.pop().unwrap_or_else(QueryResult::shell);
+            finalize_window_into(&mut shell, qid, window, &est, params, 50, 0.95);
+            assert_eq!(shell.sample_size, 20, "cycle {cycle}");
+            assert_eq!(shell.buckets[2].raw_yes > 0, true);
+            shells.push(shell);
+            shards[src].release_estimator(est);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        if cycle >= warm_cycles {
+            close_allocs += after - before;
+        }
+    }
+    assert_eq!(
+        close_allocs, 0,
+        "steady-state sharded close/merge/finalize allocated {close_allocs} times"
+    );
+}
+
 #[test]
 fn steady_state_pipeline_allocates_nothing() {
     raw_pipeline_allocates_nothing();
     randomize_scratch_allocates_only_on_first_use();
     client_pipeline_allocates_nothing();
     window_close_allocates_nothing();
+    sharded_window_cycle_allocates_nothing();
 }

@@ -180,6 +180,47 @@ impl Randomizer {
         self.randomize_vec_with_buf(truth, out, rng, &mut scratch.words);
     }
 
+    /// [`Randomizer::randomize_vec_buffered`] with **deterministic
+    /// per-call forking**: the scratch's wide generator is re-forked
+    /// from `seeder` on *every* call (one `next_u64`), so the output
+    /// depends only on `truth` and the seeder's state at the call —
+    /// never on how many randomizations the scratch served before or
+    /// on whose behalf. That independence is what lets a deployment
+    /// share one scratch across a whole client population (the
+    /// epoch-at-a-time `System`) or give every shard worker its own
+    /// (`ShardedSystem`) and still produce bit-identical answers
+    /// client for client; the sharded-vs-single-threaded equivalence
+    /// tests in `privapprox-core` pin exactly this.
+    ///
+    /// Costs one 8-lane reseed (32 SplitMix64 steps, no heap) per
+    /// call on top of the buffered path; the word buffer is still
+    /// reused, so the steady state remains allocation-free. The
+    /// degenerate `p = 1` channel consumes nothing from `seeder`,
+    /// matching the identity short-circuit of the other entry points.
+    pub fn randomize_vec_forked<R: Rng + ?Sized>(
+        &self,
+        truth: &BitVec,
+        out: &mut BitVec,
+        scratch: &mut RandomizeScratch,
+        seeder: &mut R,
+    ) {
+        if self.p >= 1.0 {
+            // Identity channel, exactly as the shared driver computes
+            // it — inlined here so a cold scratch doesn't fork (and
+            // consume a seeder word) for a path that never draws.
+            if out.len() != truth.len() {
+                out.reset(truth.len());
+            }
+            out.limbs_mut().copy_from_slice(truth.limbs());
+            out.mask_padding();
+            return;
+        }
+        scratch.refork(seeder);
+        scratch.ensure_ready(seeder);
+        let rng = scratch.rng.as_mut().expect("seeded above");
+        self.randomize_vec_with_buf(truth, out, rng, &mut scratch.words);
+    }
+
     /// Shared driver: pre-fills `buf` in blocks sized to the remaining
     /// worst case and hands slices to the bit-sliced comparison
     /// blocks.
@@ -340,6 +381,16 @@ impl RandomizeScratch {
             rng: Some(rng),
             words: Vec::new(),
         }
+    }
+
+    /// Replaces the scratch generator with a fresh fork of `seeder`
+    /// (consuming exactly one `next_u64`). The per-call determinism
+    /// anchor of [`Randomizer::randomize_vec_forked`]: after a refork
+    /// the scratch's stream position is a pure function of the
+    /// seeder's state, regardless of the scratch's history. No heap —
+    /// the generator is inline state.
+    pub fn refork<R: Rng + ?Sized>(&mut self, seeder: &mut R) {
+        self.rng = Some(WideRng::fork_from(seeder));
     }
 
     /// First-use initialization: fork the wide generator and size the
@@ -511,8 +562,14 @@ unsafe fn yes_block8_avx2(
         let tw_a = _mm256_or_si256(_mm256_and_si256(ta, b1v), _mm256_andnot_si256(ta, b0v));
         let tw_b = _mm256_or_si256(_mm256_and_si256(tb, b1v), _mm256_andnot_si256(tb, b0v));
         // less |= eq & tw & !w
-        less_a = _mm256_or_si256(less_a, _mm256_and_si256(eq_a, _mm256_andnot_si256(wa, tw_a)));
-        less_b = _mm256_or_si256(less_b, _mm256_and_si256(eq_b, _mm256_andnot_si256(wb, tw_b)));
+        less_a = _mm256_or_si256(
+            less_a,
+            _mm256_and_si256(eq_a, _mm256_andnot_si256(wa, tw_a)),
+        );
+        less_b = _mm256_or_si256(
+            less_b,
+            _mm256_and_si256(eq_b, _mm256_andnot_si256(wb, tw_b)),
+        );
         // eq &= !(tw ^ w)
         eq_a = _mm256_andnot_si256(_mm256_xor_si256(tw_a, wa), eq_a);
         eq_b = _mm256_andnot_si256(_mm256_xor_si256(tw_b, wb), eq_b);
@@ -720,6 +777,53 @@ mod tests {
         let mut out = BitVec::zeros(300);
         r.randomize_vec_buffered(&truth, &mut out, &mut scratch, &mut seeder);
         assert_eq!(out, truth);
+    }
+
+    /// The forked path is a pure function of (truth, seeder state):
+    /// two scratches with arbitrarily different histories produce the
+    /// same output from the same seeder state. This is the property
+    /// the sharded deployment's seed-for-seed equivalence rests on.
+    #[test]
+    fn forked_path_is_history_independent() {
+        let r = Randomizer::new(0.9, 0.6);
+        for &len in &[11usize, 257, 10_000] {
+            let truth = BitVec::one_hot(len, len / 2);
+            // Scratch A: fresh. Scratch B: polluted by serving many
+            // unrelated randomizations from another seeder first.
+            let mut scratch_a = RandomizeScratch::new();
+            let mut scratch_b = RandomizeScratch::new();
+            let mut other = StdRng::seed_from_u64(999);
+            let junk = BitVec::one_hot(4096, 7);
+            let mut sink = BitVec::zeros(4096);
+            for _ in 0..17 {
+                r.randomize_vec_buffered(&junk, &mut sink, &mut scratch_b, &mut other);
+            }
+            let mut seeder_a = StdRng::seed_from_u64(0xD00D ^ len as u64);
+            let mut seeder_b = StdRng::seed_from_u64(0xD00D ^ len as u64);
+            let mut out_a = BitVec::zeros(len);
+            let mut out_b = BitVec::zeros(len);
+            for _ in 0..5 {
+                r.randomize_vec_forked(&truth, &mut out_a, &mut scratch_a, &mut seeder_a);
+                r.randomize_vec_forked(&truth, &mut out_b, &mut scratch_b, &mut seeder_b);
+                assert_eq!(out_a, out_b, "len {len}");
+            }
+        }
+    }
+
+    /// The degenerate p = 1 channel must not consume seeder words in
+    /// the forked path either — otherwise exact-mode and private-mode
+    /// clients would diverge in their downstream RNG draws (MIDs).
+    #[test]
+    fn forked_truthful_mechanism_consumes_no_seeder_words() {
+        let r = Randomizer::new(1.0, 0.5);
+        let mut seeder = StdRng::seed_from_u64(31);
+        let mut reference = StdRng::seed_from_u64(31);
+        let mut scratch = RandomizeScratch::new();
+        let truth = BitVec::from_bools((0..100).map(|i| i % 3 == 0));
+        let mut out = BitVec::zeros(100);
+        r.randomize_vec_forked(&truth, &mut out, &mut scratch, &mut seeder);
+        assert_eq!(out, truth);
+        assert_eq!(seeder.next_u64(), reference.next_u64(), "no draw at p = 1");
     }
 
     /// The AVX2 comparison-ripple kernel returns the same masks and

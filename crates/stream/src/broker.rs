@@ -1,11 +1,42 @@
 //! An in-process pub/sub message broker (the Kafka stand-in).
 //!
 //! Topics hold ordered partitions of records; producers append (keyed
-//! records hash to a partition, unkeyed ones round-robin); consumers
-//! poll sequentially from per-(group, topic, partition) offsets with
-//! optional blocking. All state lives behind `parking_lot` locks and a
-//! condvar so many client/proxy/aggregator threads can share one
-//! broker, exactly like the paper's proxies share a Kafka cluster.
+//! records hash to a partition, unkeyed ones round-robin, and
+//! partition-affine senders pick one explicitly via
+//! [`Producer::send_to`]); consumers poll sequentially from
+//! per-(group, topic, partition) offsets with optional blocking. All
+//! state lives behind `parking_lot` locks and a condvar so many
+//! client/proxy/aggregator threads can share one broker, exactly like
+//! the paper's proxies share a Kafka cluster.
+//!
+//! # Consumer groups and rebalancing
+//!
+//! Consumers in one group **divide** a topic's partitions instead of
+//! all reading everything: each [`Consumer`] registers as a group
+//! member on creation and deregisters on drop, and the group's
+//! partitions are assigned by rank — the member with the `k`-th
+//! smallest id owns every partition `p` with `p % members == k`, for
+//! every subscribed topic. Because the mapping depends only on rank
+//! and member count, it is *consistent across topics*: partition `p`
+//! of every topic a group consumes lands on the same member, which is
+//! what lets the sharded deployment join a message's XOR shares
+//! shard-locally (all of client `c`'s shares travel in partition
+//! `π(c)` of their respective proxy topics).
+//!
+//! Delivery is **exactly-once per group across rebalances**: the
+//! per-(group, topic, partition) offset map is the single source of
+//! truth, and a poll reads records and advances the offset atomically
+//! under one lock. A membership change merely changes *who* polls a
+//! partition next; whoever does continues from the committed offset,
+//! so records are neither dropped nor delivered twice (asserted by
+//! the sequence-numbered rebalance tests in `tests/rebalance.rs`).
+//!
+//! # Partition fairness
+//!
+//! A poll capped by `max` resumes round-robin where the previous poll
+//! stopped (a rotating cursor over the consumer's assigned
+//! partitions) instead of always draining partition 0 first, so a
+//! busy low-index partition cannot starve the rest.
 //!
 //! Payloads are shared immutable buffers ([`Record::value`] is an
 //! `Arc<[u8]>`): a record is copied into the broker **once** at its
@@ -99,9 +130,22 @@ struct Stats {
     bytes_out: AtomicU64,
 }
 
+/// Membership of one consumer group: live member ids in ascending
+/// order (ids are globally monotonic, so join order = rank order) and
+/// a generation bumped on every change — the rebalance epoch.
+#[derive(Debug, Default)]
+struct GroupState {
+    members: Vec<u64>,
+    generation: u64,
+}
+
 struct BrokerInner {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
     group_offsets: Mutex<HashMap<(String, String, usize), u64>>,
+    /// Consumer-group membership, keyed by group name.
+    groups: Mutex<HashMap<String, GroupState>>,
+    /// Monotonic member-id source for all groups.
+    next_member: AtomicU64,
     stats: Stats,
     default_partitions: usize,
 }
@@ -125,6 +169,8 @@ impl Broker {
             inner: Arc::new(BrokerInner {
                 topics: RwLock::new(HashMap::new()),
                 group_offsets: Mutex::new(HashMap::new()),
+                groups: Mutex::new(HashMap::new()),
+                next_member: AtomicU64::new(0),
                 stats: Stats::default(),
                 default_partitions,
             }),
@@ -185,16 +231,59 @@ impl Broker {
     }
 
     /// Creates a consumer in `group` subscribed to `topics`.
+    ///
+    /// The consumer **joins the group**: from now on the group's
+    /// members divide each subscribed topic's partitions between them
+    /// (see the module docs), and dropping the consumer triggers a
+    /// rebalance. Members of one group should share a subscription —
+    /// a partition is assigned to a member by rank regardless of
+    /// whether that member subscribed to its topic, exactly like a
+    /// Kafka group with mismatched subscriptions.
     pub fn consumer(&self, group: &str, topics: &[&str]) -> Consumer {
         // Materialize the topics so partition counts are stable.
         for t in topics {
             let _ = self.topic(t);
         }
+        let member = {
+            // Id allocation happens under the groups lock so members
+            // really are pushed in ascending-id order even when many
+            // threads create consumers concurrently — the "k-th
+            // smallest id has rank k" invariant the assignment rule
+            // documents.
+            let mut groups = self.inner.groups.lock();
+            let member = self.inner.next_member.fetch_add(1, Ordering::Relaxed);
+            let state = groups.entry(group.to_string()).or_default();
+            state.members.push(member); // ids are monotonic: stays sorted
+            state.generation += 1;
+            member
+        };
         Consumer {
             broker: self.clone(),
             group: group.to_string(),
             topics: topics.iter().map(|s| s.to_string()).collect(),
+            member,
+            cursor: AtomicU64::new(0),
         }
+    }
+
+    /// Live member count of a consumer group (0 if unknown).
+    pub fn group_members(&self, group: &str) -> usize {
+        self.inner
+            .groups
+            .lock()
+            .get(group)
+            .map(|g| g.members.len())
+            .unwrap_or(0)
+    }
+
+    /// The group's rebalance generation: bumped on every join/leave.
+    pub fn group_generation(&self, group: &str) -> u64 {
+        self.inner
+            .groups
+            .lock()
+            .get(group)
+            .map(|g| g.generation)
+            .unwrap_or(0)
     }
 }
 
@@ -218,13 +307,54 @@ impl Producer {
         value: impl Into<Arc<[u8]>>,
         timestamp: Timestamp,
     ) -> (usize, u64) {
-        let value = value.into();
         let t = self.broker.topic(topic);
         let n = t.partitions.len();
         let partition = match &key {
             Some(k) => (fnv1a(k) % n as u64) as usize,
             None => (t.round_robin.fetch_add(1, Ordering::Relaxed) % n as u64) as usize,
         };
+        let offset = self.append(&t, partition, key, value.into(), timestamp);
+        (partition, offset)
+    }
+
+    /// Sends a record to an **explicit partition** — the
+    /// partition-affine routing primitive: a sharded deployment maps
+    /// each client to a fixed partition so all of its shares (across
+    /// every proxy topic) meet at the aggregator shard owning that
+    /// partition, and partition-preserving forwarders relay a record
+    /// onto the same partition index they polled it from. Returns the
+    /// record's offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topic does not have partition `partition`.
+    pub fn send_to(
+        &self,
+        topic: &str,
+        partition: usize,
+        key: Option<Vec<u8>>,
+        value: impl Into<Arc<[u8]>>,
+        timestamp: Timestamp,
+    ) -> u64 {
+        let t = self.broker.topic(topic);
+        assert!(
+            partition < t.partitions.len(),
+            "topic {topic:?} has {} partitions, no partition {partition}",
+            t.partitions.len()
+        );
+        self.append(&t, partition, key, value.into(), timestamp)
+    }
+
+    /// Shared append path: writes the record, bumps the traffic
+    /// counters and wakes blocked consumers.
+    fn append(
+        &self,
+        t: &Topic,
+        partition: usize,
+        key: Option<Vec<u8>>,
+        value: Arc<[u8]>,
+        timestamp: Timestamp,
+    ) -> u64 {
         let (offset, size) = {
             let mut p = t.partitions[partition].lock();
             let offset = p.records.len() as u64;
@@ -251,61 +381,136 @@ impl Producer {
         // Wake blocked consumers.
         let _guard = t.signal.lock();
         t.data_ready.notify_all();
-        (partition, offset)
+        offset
     }
 }
 
-/// Sequentially consumes records from subscribed topics.
+/// Sequentially consumes records from subscribed topics, as one
+/// member of a consumer group (see the module docs for assignment,
+/// rebalancing and fairness semantics).
 pub struct Consumer {
     broker: Broker,
     group: String,
     topics: Vec<String>,
+    /// This consumer's globally unique member id.
+    member: u64,
+    /// Rotating start slot for partition-fair polling: the next poll
+    /// begins one past where the previous capped poll stopped.
+    cursor: AtomicU64,
 }
 
 impl Consumer {
+    /// This member's rank and the group's size, under the current
+    /// membership.
+    fn rank(&self) -> (usize, usize) {
+        let groups = self.broker.inner.groups.lock();
+        let g = groups.get(&self.group).expect("member is registered");
+        let rank = g
+            .members
+            .iter()
+            .position(|&m| m == self.member)
+            .expect("member is listed until dropped");
+        (rank, g.members.len())
+    }
+
+    /// The partitions of `topic` this member currently owns:
+    /// `p % members == rank`. Re-evaluated on every poll, so a
+    /// rebalance takes effect immediately.
+    pub fn assigned_partitions(&self, topic: &str) -> Vec<usize> {
+        let (rank, members) = self.rank();
+        let n = self.broker.partitions(topic);
+        (0..n).filter(|p| p % members == rank).collect()
+    }
+
     /// Non-blocking poll: drains up to `max` available records across
-    /// all subscribed topic-partitions, advancing group offsets.
-    pub fn poll(&self, max: usize) -> Vec<(String, Record)> {
+    /// the topic-partitions assigned to this member, advancing group
+    /// offsets, and reports each record's source partition. Offsets
+    /// advance atomically with the read (one lock), so a group
+    /// delivers every record exactly once even while members join or
+    /// leave.
+    ///
+    /// Fairness: iteration starts at a rotating cursor, so when `max`
+    /// caps the batch the next poll resumes at the following
+    /// partition instead of re-draining the lowest indices first.
+    pub fn poll_partitioned(&self, max: usize) -> Vec<(String, usize, Record)> {
         let mut out = Vec::new();
-        let mut offsets = self.broker.inner.group_offsets.lock();
-        for topic_name in &self.topics {
+        if max == 0 {
+            return out;
+        }
+        let (rank, members) = self.rank();
+        // Flatten this member's (topic, partition) slots. Topics are
+        // few and partition counts small; rebuilding per poll keeps
+        // assignment exactly as fresh as the membership.
+        let mut slots: Vec<(usize, Arc<Topic>, usize)> = Vec::new();
+        for (ti, topic_name) in self.topics.iter().enumerate() {
             let topic = self.broker.topic(topic_name);
-            for (pi, pmutex) in topic.partitions.iter().enumerate() {
-                if out.len() >= max {
-                    break;
-                }
-                let key = (self.group.clone(), topic_name.clone(), pi);
-                let start = offsets.get(&key).copied().unwrap_or(0);
-                let p = pmutex.lock();
-                let available = p.records.len() as u64;
-                let take = ((available - start.min(available)) as usize).min(max - out.len());
-                if take == 0 {
-                    continue;
-                }
-                for rec in &p.records[start as usize..start as usize + take] {
-                    self.broker
-                        .inner
-                        .stats
-                        .records_out
-                        .fetch_add(1, Ordering::Relaxed);
-                    self.broker
-                        .inner
-                        .stats
-                        .bytes_out
-                        .fetch_add(rec.wire_size(), Ordering::Relaxed);
-                    out.push((topic_name.clone(), rec.clone()));
-                }
-                offsets.insert(key, start + take as u64);
+            let parts = topic.partitions.len();
+            for pi in (0..parts).filter(|p| p % members == rank) {
+                slots.push((ti, Arc::clone(&topic), pi));
+            }
+        }
+        if slots.is_empty() {
+            return out;
+        }
+        let start = (self.cursor.load(Ordering::Relaxed) % slots.len() as u64) as usize;
+        let mut offsets = self.broker.inner.group_offsets.lock();
+        for k in 0..slots.len() {
+            let (ti, topic, pi) = &slots[(start + k) % slots.len()];
+            let topic_name = &self.topics[*ti];
+            let key = (self.group.clone(), topic_name.clone(), *pi);
+            let committed = offsets.get(&key).copied().unwrap_or(0);
+            let p = topic.partitions[*pi].lock();
+            let available = p.records.len() as u64;
+            let take = ((available - committed.min(available)) as usize).min(max - out.len());
+            if take == 0 {
+                continue;
+            }
+            for rec in &p.records[committed as usize..committed as usize + take] {
+                self.broker
+                    .inner
+                    .stats
+                    .records_out
+                    .fetch_add(1, Ordering::Relaxed);
+                self.broker
+                    .inner
+                    .stats
+                    .bytes_out
+                    .fetch_add(rec.wire_size(), Ordering::Relaxed);
+                out.push((topic_name.clone(), *pi, rec.clone()));
+            }
+            offsets.insert(key, committed + take as u64);
+            if out.len() >= max {
+                // Capped mid-rotation: resume after this partition.
+                self.cursor.store(
+                    (start + k + 1) as u64 % slots.len() as u64,
+                    Ordering::Relaxed,
+                );
+                break;
             }
         }
         out
     }
 
-    /// Blocking poll: waits up to `timeout` for at least one record.
-    pub fn poll_blocking(&self, max: usize, timeout: Duration) -> Vec<(String, Record)> {
+    /// [`Consumer::poll_partitioned`] without the partition indices —
+    /// the original poll surface, kept for callers that don't route by
+    /// partition.
+    pub fn poll(&self, max: usize) -> Vec<(String, Record)> {
+        self.poll_partitioned(max)
+            .into_iter()
+            .map(|(t, _, r)| (t, r))
+            .collect()
+    }
+
+    /// Blocking poll: waits up to `timeout` for at least one record,
+    /// reporting source partitions.
+    pub fn poll_blocking_partitioned(
+        &self,
+        max: usize,
+        timeout: Duration,
+    ) -> Vec<(String, usize, Record)> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            let batch = self.poll(max);
+            let batch = self.poll_partitioned(max);
             if !batch.is_empty() {
                 return batch;
             }
@@ -322,9 +527,41 @@ impl Consumer {
         }
     }
 
+    /// Blocking poll: waits up to `timeout` for at least one record.
+    pub fn poll_blocking(&self, max: usize, timeout: Duration) -> Vec<(String, Record)> {
+        self.poll_blocking_partitioned(max, timeout)
+            .into_iter()
+            .map(|(t, _, r)| (t, r))
+            .collect()
+    }
+
     /// The consumer group name.
     pub fn group(&self) -> &str {
         &self.group
+    }
+}
+
+impl Drop for Consumer {
+    /// Leaves the group: surviving members re-divide the partitions
+    /// (committed offsets carry over, so nothing is lost or repeated),
+    /// and blocked siblings are woken so they notice their enlarged
+    /// assignment.
+    fn drop(&mut self) {
+        {
+            let mut groups = self.broker.inner.groups.lock();
+            if let Some(state) = groups.get_mut(&self.group) {
+                state.members.retain(|&m| m != self.member);
+                state.generation += 1;
+                if state.members.is_empty() {
+                    groups.remove(&self.group);
+                }
+            }
+        }
+        for topic_name in &self.topics {
+            let topic = self.broker.topic(topic_name);
+            let _guard = topic.signal.lock();
+            topic.data_ready.notify_all();
+        }
     }
 }
 
@@ -484,6 +721,138 @@ mod tests {
         let got = consumer.poll_blocking(10, Duration::from_millis(50));
         assert!(got.is_empty());
         assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn send_to_targets_the_exact_partition() {
+        let broker = Broker::new(4);
+        let producer = broker.producer();
+        for p in 0..4usize {
+            let off = producer.send_to("t", p, None, vec![p as u8], ts(0));
+            assert_eq!(off, 0, "first record of partition {p}");
+        }
+        let consumer = broker.consumer("g", &["t"]);
+        let got = consumer.poll_partitioned(100);
+        let mut by_partition: Vec<(usize, u8)> =
+            got.iter().map(|(_, p, r)| (*p, r.value[0])).collect();
+        by_partition.sort_unstable();
+        assert_eq!(by_partition, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no partition")]
+    fn send_to_missing_partition_panics() {
+        let broker = Broker::new(2);
+        broker.producer().send_to("t", 2, None, vec![0], ts(0));
+    }
+
+    /// The round-robin cursor: a capped poll resumes at the next
+    /// partition, so consecutive poll(1) calls alternate between two
+    /// loaded partitions instead of draining partition 0 first.
+    #[test]
+    fn capped_polls_rotate_across_partitions() {
+        let broker = Broker::new(2);
+        let producer = broker.producer();
+        for i in 0..6u8 {
+            producer.send_to("t", (i % 2) as usize, None, vec![i], ts(0));
+        }
+        let consumer = broker.consumer("g", &["t"]);
+        let mut partitions = Vec::new();
+        for _ in 0..6 {
+            let got = consumer.poll_partitioned(1);
+            assert_eq!(got.len(), 1);
+            partitions.push(got[0].1);
+        }
+        assert_eq!(
+            partitions,
+            vec![0, 1, 0, 1, 0, 1],
+            "poll(1) must alternate partitions"
+        );
+    }
+
+    /// No partition starves: with partition 0 continuously refilled, a
+    /// record sitting in partition 1 is still delivered within two
+    /// capped polls.
+    #[test]
+    fn high_partitions_do_not_starve_under_load() {
+        let broker = Broker::new(2);
+        let producer = broker.producer();
+        let consumer = broker.consumer("g", &["t"]);
+        producer.send_to("t", 1, None, b"straggler".to_vec(), ts(0));
+        let mut seen_partition_1_after = None;
+        for round in 0..4 {
+            // Keep partition 0 saturated beyond the poll cap.
+            for i in 0..8u8 {
+                producer.send_to("t", 0, None, vec![i], ts(0));
+            }
+            let got = consumer.poll_partitioned(4);
+            if got.iter().any(|(_, p, _)| *p == 1) {
+                seen_partition_1_after = Some(round);
+                break;
+            }
+        }
+        assert!(
+            matches!(seen_partition_1_after, Some(r) if r <= 1),
+            "partition 1 starved: {seen_partition_1_after:?}"
+        );
+    }
+
+    /// Two members of one group own disjoint, exhaustive partition
+    /// sets, consistently across topics.
+    #[test]
+    fn group_members_divide_partitions_consistently() {
+        let broker = Broker::new(4);
+        broker.create_topic("a", 4);
+        broker.create_topic("b", 4);
+        let c1 = broker.consumer("g", &["a", "b"]);
+        let c2 = broker.consumer("g", &["a", "b"]);
+        assert_eq!(broker.group_members("g"), 2);
+        for topic in ["a", "b"] {
+            let p1 = c1.assigned_partitions(topic);
+            let p2 = c2.assigned_partitions(topic);
+            let mut all: Vec<usize> = p1.iter().chain(&p2).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3], "exhaustive on {topic}");
+            assert!(p1.iter().all(|p| !p2.contains(p)), "disjoint on {topic}");
+            // Consistent across topics: same member owns partition 0
+            // of both.
+            assert_eq!(c1.assigned_partitions("a"), c1.assigned_partitions("b"));
+        }
+    }
+
+    /// A record is delivered to exactly one member of a group, and a
+    /// leaving member's partitions continue from the committed offset
+    /// for the survivor — nothing lost, nothing repeated.
+    #[test]
+    fn rebalance_hands_off_offsets_exactly_once() {
+        let broker = Broker::new(2);
+        let producer = broker.producer();
+        for i in 0..10u8 {
+            producer.send_to("t", (i % 2) as usize, None, vec![i], ts(0));
+        }
+        let c1 = broker.consumer("g", &["t"]);
+        let c2 = broker.consumer("g", &["t"]);
+        let gen_before = broker.group_generation("g");
+        let mut delivered: Vec<u8> = Vec::new();
+        // Each member drains part of its assignment.
+        delivered.extend(c1.poll(3).iter().map(|(_, r)| r.value[0]));
+        delivered.extend(c2.poll(3).iter().map(|(_, r)| r.value[0]));
+        // c2 leaves; c1 inherits its partition mid-stream.
+        drop(c2);
+        assert!(broker.group_generation("g") > gen_before);
+        loop {
+            let batch = c1.poll(64);
+            if batch.is_empty() {
+                break;
+            }
+            delivered.extend(batch.iter().map(|(_, r)| r.value[0]));
+        }
+        delivered.sort_unstable();
+        assert_eq!(
+            delivered,
+            (0..10u8).collect::<Vec<_>>(),
+            "exactly-once across the rebalance"
+        );
     }
 
     #[test]

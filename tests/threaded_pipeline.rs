@@ -2,6 +2,13 @@
 //! over the broker's blocking polls — clients, two proxy threads and
 //! an aggregator thread, like the deployed topology (and unlike the
 //! deterministic epoch harness used elsewhere).
+//!
+//! Synchronization is condvar-based throughout: proxy threads loop on
+//! [`Proxy::pump_blocking`] and the aggregator on
+//! [`Aggregator::pump_blocking`], parking on the broker's data-ready
+//! condvar instead of sleep-spinning — the loops are tight (no fixed
+//! 1ms sleeps), wake as soon as data lands, and stay robust under
+//! load because nothing depends on a sleep being "long enough".
 
 use privapprox::core::aggregator::Aggregator;
 use privapprox::core::client::Client;
@@ -30,7 +37,8 @@ fn threaded_proxies_and_aggregator_deliver_all_answers() {
 
     let stop = Arc::new(AtomicBool::new(false));
 
-    // Two proxy threads, forwarding until told to stop.
+    // Two proxy threads, parked on the broker's condvar between
+    // batches, forwarding until told to stop.
     let mut proxy_handles = Vec::new();
     for i in 0..2u16 {
         let broker = broker.clone();
@@ -39,18 +47,17 @@ fn threaded_proxies_and_aggregator_deliver_all_answers() {
             let mut proxy = Proxy::new(ProxyId(i), &broker);
             let mut forwarded = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                let n = proxy.pump();
-                forwarded += n;
-                if n == 0 {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
+                forwarded += proxy.pump_blocking(Duration::from_millis(50));
             }
             forwarded += proxy.pump(); // final drain
             forwarded
         }));
     }
 
-    // Aggregator thread: pumps until it has decoded every answer.
+    // Aggregator thread: blocking-pumps until it has decoded every
+    // answer (the deadline is a liveness backstop, not a pacing
+    // device — under correct operation the loop exits as soon as the
+    // last share lands).
     let agg_handle = {
         let broker = broker.clone();
         let query = query.clone();
@@ -59,12 +66,8 @@ fn threaded_proxies_and_aggregator_deliver_all_answers() {
             agg.register_query(&query, params, population);
             let mut decoded = 0u64;
             let deadline = std::time::Instant::now() + Duration::from_secs(30);
-            while decoded < population {
-                decoded += agg.pump();
-                if std::time::Instant::now() > deadline {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(1));
+            while decoded < population && std::time::Instant::now() < deadline {
+                decoded += agg.pump_blocking(Duration::from_millis(50));
             }
             (decoded, agg.advance_watermark(Timestamp(10_000)))
         })
@@ -111,6 +114,41 @@ fn threaded_proxies_and_aggregator_deliver_all_answers() {
     for b in 0..10 {
         assert_eq!(result.buckets[b].estimate, 40.0, "bucket {b}");
     }
+}
+
+/// The full threaded sharded runtime driven through the facade:
+/// repeated epochs across 4 shards and 4 workers keep producing exact
+/// results with clean health counters — the "does the concurrent
+/// subsystem stay correct over time" smoke that the CI stress job
+/// repeats in release mode.
+#[test]
+fn threaded_sharded_system_survives_repeated_epochs() {
+    use privapprox::core::ShardedSystem;
+
+    let mut system = ShardedSystem::builder()
+        .clients(300)
+        .proxies(2)
+        .shards(4)
+        .workers(4)
+        .seed(0x5AD)
+        .build();
+    system.load_numeric_column("t", "v", |i| (i % 10) as f64 + 0.5);
+    let query = system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 10.0, 10))
+        .window(1_000, 1_000)
+        .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+        .submit()
+        .unwrap();
+    for epoch in 0..10 {
+        let result = system.run_epoch(&query).unwrap();
+        assert_eq!(result.sample_size, 300, "epoch {epoch}");
+        for b in 0..10 {
+            assert_eq!(result.buckets[b].estimate, 30.0, "epoch {epoch} bucket {b}");
+        }
+    }
+    assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
 }
 
 #[test]
