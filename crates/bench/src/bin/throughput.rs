@@ -16,17 +16,24 @@
 //!   from end-to-end differences;
 //! * `sharded` (BENCH_4+) — the threaded sweep across 1/2/4 shards:
 //!   the `full_answer` pipeline fanned over parallel worker threads,
-//!   and the real `ShardedSystem` runtime end to end.
-//!   `machine_msgs_per_sec` divides total messages by the **maximum
-//!   per-thread CPU time** (`thread_busy_time`), i.e. the throughput
-//!   of the deployment with one dedicated core per thread —
-//!   wall-clock rates are reported alongside and the convention is
-//!   documented in `docs/benchmarks.md`.
+//!   and the real `ShardedSystem` runtime end to end. `end_to_end`
+//!   rows keep BENCH_4's critical-path methodology (stage maxima
+//!   summed) for like-for-like deltas; **`end_to_end_overlapped`
+//!   rows (BENCH_5+)** drive the pipelined runtime
+//!   (`submit_epoch`/`flush_epochs`, depth 3, bounded partitions)
+//!   and divide messages by the **bottleneck thread's CPU time** —
+//!   the wall-clock of the pipelined run with one dedicated core per
+//!   thread. Wall-clock rates are reported alongside and the
+//!   convention is documented in `docs/benchmarks.md`.
 //!
 //! Sweeps proxies n ∈ {2, 3} × buckets ∈ {11, 10⁴} and writes
-//! `BENCH_4.json` (machine-readable perf trajectory for later PRs;
+//! `BENCH_5.json` (machine-readable perf trajectory for later PRs;
 //! schema documented in `docs/benchmarks.md`) next to the working
 //! directory, plus the usual copy under `results/`.
+//!
+//! `--quick` runs a shrunken sweep as a tier-1 CI smoke (the
+//! pipelines and their integrity asserts execute; nothing is
+//! written), so bench-harness rot is caught before a release run.
 
 use privapprox_bench::report::{with_commas, Table};
 use privapprox_core::client::{Client, ClientScratch};
@@ -100,10 +107,15 @@ struct StageRow {
 #[derive(Debug, Clone, Serialize)]
 struct ShardedRow {
     /// Which pipeline: `full_answer` (client answer path fanned over
-    /// worker threads, BENCH_3-`full_answer`-comparable per thread)
-    /// or `end_to_end` (the `ShardedSystem` runtime: workers →
-    /// proxy threads → shard threads → merge).
+    /// worker threads, BENCH_3-`full_answer`-comparable per thread),
+    /// `end_to_end` (the `ShardedSystem` runtime, epoch-at-a-time
+    /// submission, BENCH_4-comparable critical-path machine rate) or
+    /// `end_to_end_overlapped` (the pipelined runtime: overlapped
+    /// epochs at `pipeline_depth`, machine rate = messages ÷ the
+    /// bottleneck thread's CPU time).
     pipeline: String,
+    /// Epochs concurrently in flight (1 for non-overlapped rows).
+    pipeline_depth: usize,
     /// Aggregator shards (for `full_answer` this equals `threads`:
     /// the worker fan-out is the shard-affine parallel unit).
     shards: usize,
@@ -128,6 +140,13 @@ struct ShardedRow {
     wall_msgs_per_sec: f64,
     /// The `max` term of the machine rate, for transparency.
     max_thread_busy_ns: f64,
+    /// Max worker-thread CPU time over the measured span (ns; 0 for
+    /// `full_answer` rows, whose only stage is the worker).
+    workers_busy_ns: f64,
+    /// Max proxy-thread CPU time over the measured span (ns).
+    proxies_busy_ns: f64,
+    /// Max shard-thread CPU time over the measured span (ns).
+    shards_busy_ns: f64,
 }
 
 /// The whole run, as persisted to `BENCH_4.json`.
@@ -406,6 +425,7 @@ fn run_sharded_full_answer(
     let total = per_thread * threads as u64;
     ShardedRow {
         pipeline: "full_answer".to_string(),
+        pipeline_depth: 1,
         shards: threads,
         threads,
         proxies,
@@ -415,25 +435,47 @@ fn run_sharded_full_answer(
         per_thread_msgs_per_sec: per_thread as f64 / max_busy,
         wall_msgs_per_sec: total as f64 / wall,
         max_thread_busy_ns: max_busy * 1e9,
+        workers_busy_ns: max_busy * 1e9,
+        proxies_busy_ns: 0.0,
+        shards_busy_ns: 0.0,
     }
 }
 
-/// The real `ShardedSystem` runtime end to end: `shards` worker
-/// threads answer a partitioned population, proxy threads forward
-/// partition-preserving, shard threads join/decode/window, the main
-/// thread merges. Machine rate divides messages by the epoch critical
-/// path (max worker + max proxy + max shard CPU time).
-fn run_sharded_end_to_end(shards: usize, proxies: usize, buckets: usize) -> ShardedRow {
-    let (population, epochs) = if buckets > 1_000 {
-        (2_000u64, 5u64)
-    } else {
-        (20_000u64, 5u64)
+/// Per-stage max CPU-time deltas between two busy-profile snapshots.
+fn stage_deltas(
+    now: &privapprox_core::deploy::BusyProfile,
+    base: &privapprox_core::deploy::BusyProfile,
+) -> (f64, f64, f64) {
+    let delta_max = |now: &[std::time::Duration], then: &[std::time::Duration]| {
+        now.iter()
+            .zip(then)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .max()
+            .unwrap_or_default()
+            .as_secs_f64()
     };
+    (
+        delta_max(&now.workers, &base.workers),
+        delta_max(&now.proxies, &base.proxies),
+        delta_max(&now.shards, &base.shards),
+    )
+}
+
+fn sharded_rig(
+    shards: usize,
+    proxies: usize,
+    buckets: usize,
+    population: u64,
+    depth: usize,
+    capacity: usize,
+) -> (ShardedSystem, privapprox_types::Query) {
     let mut system = ShardedSystem::builder()
         .clients(population)
         .proxies(proxies as u16)
         .shards(shards)
         .workers(shards)
+        .pipeline_depth(depth)
+        .partition_capacity(capacity)
         .seed(0xBEAC4)
         .build();
     system.load_numeric_column("rides", "d", |i| (i % 100) as f64);
@@ -445,31 +487,39 @@ fn run_sharded_end_to_end(shards: usize, proxies: usize, buckets: usize) -> Shar
         .params(ExecutionParams::checked(1.0, 0.9, 0.6))
         .submit()
         .expect("query accepted");
+    (system, query)
+}
+
+/// The real `ShardedSystem` runtime end to end, epoch at a time:
+/// `shards` worker threads answer a partitioned population, proxy
+/// threads forward partition-preserving, shard threads
+/// join/decode/window, the main thread merges. Machine rate divides
+/// messages by the epoch critical path (max worker + max proxy + max
+/// shard CPU time) — BENCH_4's methodology, kept for like-for-like
+/// deltas.
+fn run_sharded_end_to_end(
+    shards: usize,
+    proxies: usize,
+    buckets: usize,
+    population: u64,
+    epochs: u64,
+) -> ShardedRow {
+    let (mut system, query) = sharded_rig(shards, proxies, buckets, population, 1, 0);
     // One warm-up epoch: plans compiled, pools populated.
     system.run_epoch(&query).expect("warm-up epoch");
-    let base = system.busy_profile().clone();
+    let base = system.busy_profile();
     let wall_start = Instant::now();
     for _ in 0..epochs {
         let result = system.run_epoch(&query).expect("epoch");
         assert_eq!(result.sample_size, population, "s = 1: everyone answers");
     }
     let wall = wall_start.elapsed().as_secs_f64();
-    let profile = system.busy_profile();
-    let delta_max = |now: &[std::time::Duration], then: &[std::time::Duration]| {
-        now.iter()
-            .zip(then)
-            .map(|(a, b)| a.saturating_sub(*b))
-            .max()
-            .unwrap_or_default()
-            .as_secs_f64()
-    };
-    let workers = delta_max(&profile.workers, &base.workers);
-    let proxies_busy = delta_max(&profile.proxies, &base.proxies);
-    let shards_busy = delta_max(&profile.shards, &base.shards);
+    let (workers, proxies_busy, shards_busy) = stage_deltas(&system.busy_profile(), &base);
     let critical = workers + proxies_busy + shards_busy;
     let messages = population * epochs;
     ShardedRow {
         pipeline: "end_to_end".to_string(),
+        pipeline_depth: 1,
         shards,
         threads: shards,
         proxies,
@@ -479,6 +529,71 @@ fn run_sharded_end_to_end(shards: usize, proxies: usize, buckets: usize) -> Shar
         per_thread_msgs_per_sec: messages as f64 / shards as f64 / critical,
         wall_msgs_per_sec: messages as f64 / wall,
         max_thread_busy_ns: critical * 1e9,
+        workers_busy_ns: workers * 1e9,
+        proxies_busy_ns: proxies_busy * 1e9,
+        shards_busy_ns: shards_busy * 1e9,
+    }
+}
+
+/// The **overlapped** `ShardedSystem` runtime: epochs submitted
+/// through a depth-`depth` pipeline over bounded partitions, so
+/// workers populate epoch `k+1` while proxies forward and shards
+/// drain epoch `k`. Machine rate divides messages by the **bottleneck
+/// thread's** CPU time — the wall-clock of the pipelined steady state
+/// with one dedicated core per thread (`docs/benchmarks.md`,
+/// BENCH_5 methodology).
+fn run_sharded_end_to_end_overlapped(
+    shards: usize,
+    proxies: usize,
+    buckets: usize,
+    population: u64,
+    epochs: u64,
+    depth: usize,
+) -> ShardedRow {
+    // Partition capacity: depth + 1 epochs' worth of records per
+    // partition — enough headroom that backpressure engages only
+    // when a stage genuinely falls behind the whole pipeline window,
+    // not as a steady-state throttle (a bound tighter than the
+    // pipeline depth serializes the stages into lock-step hand-offs).
+    let partitions = shards.max(1) as u64;
+    let capacity = ((depth as u64 + 1) * population.div_ceil(partitions)).max(64) as usize;
+    let (mut system, query) = sharded_rig(shards, proxies, buckets, population, depth, capacity);
+    // Warm-up: one full pipeline fill + flush.
+    for _ in 0..depth {
+        system.submit_epoch(&query).expect("warm-up submit");
+    }
+    system.flush_epochs().expect("warm-up flush");
+    system.drain_results();
+    let base = system.busy_profile();
+    let wall_start = Instant::now();
+    for _ in 0..epochs {
+        system.submit_epoch(&query).expect("epoch submit");
+    }
+    system.flush_epochs().expect("epoch flush");
+    let wall = wall_start.elapsed().as_secs_f64();
+    let results = system.drain_results();
+    assert_eq!(results.len(), epochs as usize, "every epoch closed");
+    for r in &results {
+        assert_eq!(r.sample_size, population, "s = 1: everyone answers");
+    }
+    let (workers, proxies_busy, shards_busy) = stage_deltas(&system.busy_profile(), &base);
+    let bottleneck = workers.max(proxies_busy).max(shards_busy);
+    let messages = population * epochs;
+    ShardedRow {
+        pipeline: "end_to_end_overlapped".to_string(),
+        pipeline_depth: depth,
+        shards,
+        threads: shards,
+        proxies,
+        buckets,
+        messages,
+        machine_msgs_per_sec: messages as f64 / bottleneck,
+        per_thread_msgs_per_sec: messages as f64 / shards as f64 / bottleneck,
+        wall_msgs_per_sec: messages as f64 / wall,
+        max_thread_busy_ns: bottleneck * 1e9,
+        workers_busy_ns: workers * 1e9,
+        proxies_busy_ns: proxies_busy * 1e9,
+        shards_busy_ns: shards_busy * 1e9,
     }
 }
 
@@ -501,14 +616,21 @@ fn row(
 }
 
 fn main() {
-    println!("Throughput sweep — round trip, full_answer_pipeline, stage breakdown, sharded\n");
+    // `--quick`: a shrunken tier-1 CI smoke — every pipeline and its
+    // integrity asserts run, nothing is written.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 20 } else { 1 };
+    println!(
+        "Throughput sweep{} — round trip, full_answer_pipeline, stage breakdown, sharded\n",
+        if quick { " (--quick smoke)" } else { "" }
+    );
     let mut round_trip = Vec::new();
     let mut full_answer = Vec::new();
     let mut stage_breakdown = Vec::new();
     for &proxies in &[2usize, 3] {
         for &buckets in &[11usize, 10_000] {
             // Size message counts so each point runs a few hundred ms.
-            let messages = if buckets > 1_000 { 20_000 } else { 400_000 };
+            let messages = (if buckets > 1_000 { 20_000 } else { 400_000 }) / scale;
             round_trip.push(run_round_trip(proxies, buckets, messages));
             full_answer.push(run_full_answer(proxies, buckets, messages));
             stage_breakdown.push(run_stage_breakdown(proxies, buckets, messages));
@@ -516,13 +638,27 @@ fn main() {
     }
 
     // The threaded sweep: 1/2/4 shards at the paper's two answer
-    // widths, 2 proxies (the minimum deployment).
+    // widths, 2 proxies (the minimum deployment). `end_to_end` rows
+    // are epoch-at-a-time (BENCH_4-comparable); the
+    // `end_to_end_overlapped` rows run the pipelined runtime at
+    // depth 3.
     let mut sharded = Vec::new();
     for &shards in &[1usize, 2, 4] {
         for &buckets in &[11usize, 10_000] {
-            let messages = if buckets > 1_000 { 20_000 } else { 400_000 };
+            let messages = (if buckets > 1_000 { 20_000 } else { 400_000 }) / scale;
+            let population = (if buckets > 1_000 { 2_000u64 } else { 20_000 }) / scale as u64;
+            let epochs = if quick { 3 } else { 5 };
+            let overlapped_epochs = if quick { 4 } else { 10 };
             sharded.push(run_sharded_full_answer(shards, 2, buckets, messages));
-            sharded.push(run_sharded_end_to_end(shards, 2, buckets));
+            sharded.push(run_sharded_end_to_end(shards, 2, buckets, population, epochs));
+            sharded.push(run_sharded_end_to_end_overlapped(
+                shards,
+                2,
+                buckets,
+                population,
+                overlapped_epochs,
+                3,
+            ));
         }
     }
 
@@ -567,9 +703,10 @@ fn main() {
     }
     println!("{}", table.render());
 
-    println!("sharded (machine-level = msgs / max thread CPU time):");
+    println!("sharded (machine-level = msgs / critical CPU time; overlapped rows = msgs / bottleneck thread):");
     let mut table = Table::new(&[
         "pipeline",
+        "depth",
         "shards",
         "buckets",
         "machine msgs/s",
@@ -579,6 +716,7 @@ fn main() {
     for r in sharded.iter() {
         table.row(vec![
             r.pipeline.clone(),
+            r.pipeline_depth.to_string(),
             r.shards.to_string(),
             r.buckets.to_string(),
             with_commas(r.machine_msgs_per_sec as u64),
@@ -588,8 +726,12 @@ fn main() {
     }
     println!("{}", table.render());
 
+    if quick {
+        println!("--quick smoke complete; no trajectory written");
+        return;
+    }
     let report = ThroughputReport {
-        bench_revision: 4,
+        bench_revision: 5,
         round_trip_pipeline: "client randomize→encode→split + aggregator join→decode→fold"
             .to_string(),
         full_answer_pipeline:
@@ -597,12 +739,14 @@ fn main() {
                 .to_string(),
         stage_breakdown_pipeline:
             "client answer stages timed in isolation: prepared-SQL+bucketize / randomize \
-             (WideRng bulk path) / encode / split"
+             (WideRng bulk path) / encode / split (fused keystream-XOR accumulation)"
                 .to_string(),
         sharded_pipeline:
-            "threaded sweep: full_answer fanned over worker threads, and the ShardedSystem \
-             runtime end to end; machine_msgs_per_sec = messages / max per-thread CPU time \
-             (one dedicated core per thread)"
+            "threaded sweep: full_answer fanned over worker threads, the ShardedSystem runtime \
+             epoch-at-a-time (end_to_end: machine = messages / summed stage maxima of CPU time, \
+             BENCH_4-comparable), and the overlapped pipelined runtime (end_to_end_overlapped: \
+             depth-3 submit/flush over bounded partitions, machine = messages / bottleneck \
+             thread CPU time — the dedicated-core wall-clock of the pipelined steady state)"
                 .to_string(),
         round_trip,
         full_answer,
@@ -610,8 +754,8 @@ fn main() {
         sharded,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
-    println!("trajectory written to BENCH_4.json");
+    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    println!("trajectory written to BENCH_5.json");
     if let Ok(path) = privapprox_bench::save_json("throughput", &report) {
         println!("results copy at {}", path.display());
     }

@@ -109,9 +109,6 @@ struct QueryState {
 /// The aggregation endpoint.
 pub struct Aggregator {
     consumer: Consumer,
-    /// Maps each subscribed proxy topic to its source index for the
-    /// joiner's provenance tracking.
-    topic_sources: HashMap<String, usize>,
     joiner: MidJoiner,
     queries: HashMap<QueryId, QueryState>,
     confidence: f64,
@@ -124,6 +121,12 @@ pub struct Aggregator {
     estimator_pool: EstimatorPool,
     /// Scratch buffer closed windows drain into before finalization.
     closed_scratch: Vec<(Window, BucketEstimator)>,
+    /// Reused poll batch: the drain loop performs no per-batch (let
+    /// alone per-record) allocation in the broker hop — records are
+    /// refcount clones, and the record's topic **index** is its
+    /// source for the joiner's provenance tracking (the consumer
+    /// subscribes to proxy outputs in proxy order).
+    batch: Vec<(u32, u32, privapprox_stream::broker::Record)>,
     /// Recycled [`QueryResult`] shells (their `buckets` vectors keep
     /// their capacity), refilled by [`Aggregator::recycle_results`].
     spare_results: Vec<QueryResult>,
@@ -146,21 +149,18 @@ impl Aggregator {
             .map(|i| crate::proxy::outbound_topic(privapprox_types::ProxyId(i as u16)))
             .collect();
         let topic_refs: Vec<&str> = topics.iter().map(|s| s.as_str()).collect();
+        // Subscribed in proxy order, so a record's topic index in the
+        // poll batch *is* its source proxy index.
         let consumer = broker.consumer("aggregator", &topic_refs);
-        let topic_sources = topics
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i))
-            .collect();
         Aggregator {
             consumer,
-            topic_sources,
             joiner: MidJoiner::new(n_proxies, JOIN_TIMEOUT_MS),
             queries: HashMap::new(),
             confidence,
             answer_scratch: BitVec::zeros(0),
             estimator_pool: Arc::new(Mutex::new(HashMap::new())),
             closed_scratch: Vec::new(),
+            batch: Vec::new(),
             spare_results: Vec::new(),
             undecodable: 0,
             unroutable: 0,
@@ -221,12 +221,26 @@ impl Aggregator {
     /// with nothing pending). Aggregator *threads* loop on this
     /// instead of sleep-spinning between empty polls.
     pub fn pump_blocking(&mut self, timeout: std::time::Duration) -> u64 {
-        let batch = self.consumer.poll_blocking(2048, timeout);
-        if batch.is_empty() {
+        self.pump_blocking_with(timeout, |_, _, _| {})
+    }
+
+    /// [`Aggregator::pump_blocking`] with a tee over every decoded
+    /// answer — the building block of the overlapped shard loop,
+    /// which counts decodes **per epoch timestamp** to know when an
+    /// epoch's expected in-flight messages have all arrived.
+    pub fn pump_blocking_with<F>(&mut self, timeout: std::time::Duration, mut tee: F) -> u64
+    where
+        F: FnMut(QueryId, Timestamp, &BitVec),
+    {
+        if self
+            .consumer
+            .poll_blocking_into(2048, timeout, &mut self.batch)
+            == 0
+        {
             return 0;
         }
-        let mut decoded = self.process_batch(batch, &mut |_, _, _| {});
-        decoded += self.pump();
+        let mut decoded = self.process_batch(&mut tee);
+        decoded += self.pump_with(tee);
         decoded
     }
 
@@ -239,27 +253,26 @@ impl Aggregator {
     {
         let mut decoded_count = 0;
         loop {
-            let batch = self.consumer.poll(2048);
-            if batch.is_empty() {
+            if self.consumer.poll_into(2048, &mut self.batch) == 0 {
                 break;
             }
-            decoded_count += self.process_batch(batch, &mut tee);
+            decoded_count += self.process_batch(&mut tee);
         }
         decoded_count
     }
 
-    /// Joins, decodes and windows one polled batch; returns how many
-    /// answers completed.
-    fn process_batch<F>(
-        &mut self,
-        batch: Vec<(String, privapprox_stream::broker::Record)>,
-        tee: &mut F,
-    ) -> u64
+    /// Joins, decodes and windows the pending poll batch; returns how
+    /// many answers completed.
+    fn process_batch<F>(&mut self, tee: &mut F) -> u64
     where
         F: FnMut(QueryId, Timestamp, &BitVec),
     {
         let mut decoded_count = 0;
-        for (topic, record) in batch {
+        // Move the batch out so its records can be consumed while the
+        // joiner and windows borrow `self`; moved back (no realloc)
+        // at the end.
+        let mut batch = std::mem::take(&mut self.batch);
+        for (source, _partition, record) in batch.drain(..) {
             let Some(mid) = record
                 .key
                 .as_deref()
@@ -269,11 +282,7 @@ impl Aggregator {
                 self.undecodable += 1;
                 continue;
             };
-            let source = self
-                .topic_sources
-                .get(&topic)
-                .copied()
-                .unwrap_or(usize::MAX);
+            let source = source as usize;
             match self
                 .joiner
                 .offer(mid, source, &record.value, record.timestamp)
@@ -301,6 +310,7 @@ impl Aggregator {
                 }
             }
         }
+        self.batch = batch;
         decoded_count
     }
 

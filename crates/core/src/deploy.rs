@@ -1,4 +1,4 @@
-//! The threaded, sharded deployment runtime.
+//! The threaded, sharded deployment runtime — **overlapped epochs**.
 //!
 //! [`System`](crate::System) is the deterministic *epoch-at-a-time*
 //! harness: one thread walks clients → proxies → aggregator in
@@ -6,16 +6,17 @@
 //! [`ShardedSystem`] is the same deployment run the way the paper
 //! runs it (§5): **N proxy relay threads** and **M aggregator
 //! shards** over *partitioned* broker topics, fed by a pool of client
-//! worker threads — the shape that turns per-core throughput into
-//! machine-level throughput.
+//! worker threads — and, since the pipelined runtime, the stages run
+//! **continuously and concurrently** instead of lock-stepping behind
+//! per-epoch barriers.
 //!
 //! # Topology and partition affinity
 //!
 //! ```text
 //! worker threads ──send_to(partition π(c))──► proxy-i-in[π(c)]   (i = 0..n)
-//! proxy thread i ──partition-preserving─────► proxy-i-out[π(c)]
-//! shard thread s (owns {p : p % M == s}) ───► join ⟂ decode ⟂ window (raw counts)
-//! main ──merge counts across shards──────────► finalize → QueryResult
+//! proxy thread i ──partition-preserving─────► proxy-i-out[π(c)]   (free-running)
+//! shard thread s (owns {p : p % M == s}) ───► join ⟂ decode ⟂ window (free-running)
+//! main ──Close(epoch) → merge counts────────► finalize → QueryResult
 //! ```
 //!
 //! Every client `c` is pinned to partition `π(c) = c mod P`; all `n`
@@ -26,66 +27,126 @@
 //! join **shard-locally**, with no cross-shard traffic before the
 //! window merge.
 //!
+//! # The overlapped pipeline
+//!
+//! The pre-pipelined runtime ran a global three-phase barrier per
+//! epoch (all workers answer → all proxies drain → all shards drain),
+//! so the epoch's critical path *summed* the stage maxima. Now:
+//!
+//! * **proxy threads free-run**: they forward whatever arrives,
+//!   whenever it arrives, with no per-epoch commands at all — a relay
+//!   has no epoch state to synchronize;
+//! * **shard threads free-run**: they continuously join/decode/window
+//!   records, counting completed decodes **per epoch tag** (the
+//!   answer timestamp, which identifies its epoch); an epoch is
+//!   closed by a `Close{epoch, expect, watermark}` control message,
+//!   which the shard satisfies as soon as its in-flight accounting
+//!   shows all `expect` answers tagged with that epoch have been
+//!   decoded — records of *later* epochs may already be flowing
+//!   through the same shard and are simply accounted under their own
+//!   tags;
+//! * **the main thread pipelines epochs**: [`ShardedSystem::submit_epoch`]
+//!   dispatches epoch `k+1` to the workers without waiting for epoch
+//!   `k` to drain, up to the configured
+//!   [pipeline depth](ShardedSystemBuilder::pipeline_depth); worker
+//!   replies, shard closes and the cross-shard merge happen when the
+//!   epoch *completes* (lazily, oldest first).
+//!
+//! Per-partition **backpressure** (see
+//! [`ShardedSystemBuilder::partition_capacity`]) bounds how far a
+//! fast stage can run ahead of a slow one in records, on top of the
+//! epoch-granular bound the pipeline depth provides — epoch `k+1`'s
+//! workers park in the broker instead of flooding a shard still
+//! draining epoch `k`.
+//!
+//! Why the epoch tag is sufficient: within one partition the broker
+//! is FIFO **per producer**, but epoch `k+1` shares from one worker
+//! may overtake epoch `k` shares from another, so a simple cumulative
+//! message count cannot tell a shard when epoch `k` is fully drained.
+//! The timestamp does: every answer of an epoch carries that epoch's
+//! event timestamp, the timestamps are strictly increasing across
+//! submitted epochs, and the per-tag counters are exact regardless of
+//! interleaving. Closing epochs in submission order then guarantees
+//! every window the watermark sweeps is complete: sliding windows
+//! only ever close once every epoch overlapping them has been
+//! accounted (earlier epochs closed earlier, later epochs only live
+//! in windows ending after this watermark).
+//!
 //! # Determinism and equivalence
 //!
 //! `ShardedSystem` produces **byte-identical** `QueryResult`s to
 //! `System` for the same configuration, seed for seed, at any shard
-//! count. Three properties compose into that guarantee:
+//! count *and any pipeline depth*. Four properties compose into that
+//! guarantee:
 //!
 //! 1. every client's answer is a pure function of its own RNG stream
 //!    ([`Randomizer::randomize_vec_forked`](privapprox_rr::randomize::Randomizer::randomize_vec_forked)
-//!    re-forks the bulk generator per call), so processing order and
-//!    scratch sharing are irrelevant;
+//!    re-forks the bulk generator per call), so processing order,
+//!    scratch sharing and epoch overlap are irrelevant;
 //! 2. window accumulation is commutative counting, so the partition
-//!    of answers across shards is irrelevant; and
-//! 3. estimation ([`finalize_window_into`]) is a pure function of the
+//!    of answers across shards — and the interleaving of epochs
+//!    within a shard — is irrelevant;
+//! 3. watermarks advance in epoch order and only after the epoch's
+//!    in-flight accounting settles, so every closed window saw
+//!    exactly the answers the single-threaded run folds; and
+//! 4. estimation ([`finalize_window_into`]) is a pure function of the
 //!    merged counts, so summing shard-local counts and finalizing
 //!    once equals finalizing a single aggregator's counts.
 //!
 //! The equivalence is pinned by `tests/sharded_equivalence.rs` across
-//! seeds × bucket widths × proxy counts × shard counts.
+//! seeds × bucket widths × proxies × shards × **pipeline depths**,
+//! including a straggler-shard stress where one shard is artificially
+//! delayed while the workers run epochs ahead.
 //!
 //! # Steady-state allocation
 //!
 //! Each shard keeps the single-aggregator guarantees: decode scratch,
-//! pooled estimators, recycled result shells. Raw-window estimators
-//! leave a shard for the merge and are handed back with the next
-//! epoch's drain command, so the per-shard window cycle stays
-//! zero-allocation once warm (extended proof in
-//! `crates/core/tests/alloc_steady_state.rs`); the merge itself runs
-//! over pooled shells and returned estimators. Per-epoch *control*
-//! traffic (channel messages, reply vectors) is deliberately outside
-//! that budget — it is O(threads) per epoch, not O(messages).
+//! pooled estimators, recycled result shells, allocation-free broker
+//! polls. The per-epoch in-flight accounting is a bounded scan list
+//! (one entry per epoch concurrently in flight), so the overlapped
+//! steady state performs no per-message heap allocation either
+//! (extended proof in `crates/core/tests/alloc_steady_state.rs`).
+//! Per-epoch *control* traffic (channel messages, reply vectors) is
+//! deliberately outside that budget — it is O(threads) per epoch,
+//! not O(messages).
 
 use crate::aggregator::{finalize_window_into, Aggregator, QueryResult, RawWindow};
 use crate::client::{Client, ClientScratch};
 use crate::error::CoreError;
 use crate::initializer::Initializer;
-use crate::proxy::{inbound_topic, Proxy};
+use crate::proxy::{inbound_topic, outbound_topic, Proxy};
 use privapprox_cluster::DeploymentShape;
 use privapprox_rr::estimate::BucketEstimator;
 use privapprox_sql::{ColumnType, Schema, Value};
-use privapprox_stream::broker::{Broker, BrokerStats};
+use privapprox_stream::broker::{Broker, BrokerStats, TopicWriter};
 use privapprox_types::ids::AnalystId;
 use privapprox_types::{
     AnswerSpec, Budget, ClientId, ExecutionParams, ProxyId, Query, QueryBuilder, QueryId,
     Timestamp, Window,
 };
-use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a drain phase waits for in-flight records before giving
-/// up — a liveness backstop, not a tuning knob: under correct
-/// operation every drain completes as soon as the pipeline catches
-/// up.
+/// How long a shard waits for an epoch's expected in-flight records
+/// before closing with what it has (making the main thread's
+/// completeness assert fire with an exact count) — a liveness
+/// backstop, not a tuning knob: under correct operation every close
+/// is satisfied as soon as the pipeline catches up.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(60);
 
-/// Per-wait block granularity inside drain loops (condvar park time
-/// per `pump_blocking` call).
-const DRAIN_WAIT: Duration = Duration::from_millis(100);
+/// Park granularity of a free-running shard thread between control
+/// checks (condvar park inside `pump_blocking_with`; close commands
+/// additionally wake the park through the broker so command latency
+/// is a wakeup, not a timeout).
+const SHARD_PARK: Duration = Duration::from_millis(10);
+
+/// Park granularity of a free-running proxy thread (shutdown latency
+/// bound; data wakes the park immediately).
+const PROXY_PARK: Duration = Duration::from_millis(50);
 
 /// CPU time consumed by the calling thread so far (Linux:
 /// `CLOCK_THREAD_CPUTIME_ID`; elsewhere falls back to wall time,
@@ -95,9 +156,10 @@ const DRAIN_WAIT: Duration = Duration::from_millis(100);
 /// on an unloaded multi-core machine a pinned thread's CPU time
 /// equals its wall time, while on an oversubscribed box (CI
 /// containers) it still reports what the thread *would* sustain on a
-/// dedicated core — `messages / max_thread_busy` is the throughput of
-/// the deployment with one core per thread. `docs/benchmarks.md`
-/// documents the convention for BENCH_4.
+/// dedicated core. For the overlapped pipeline the machine rate is
+/// `messages / max over all threads of CPU time` — the wall-clock of
+/// the bottleneck stage when every thread has its own core —
+/// documented for BENCH_5 in `docs/benchmarks.md`.
 pub fn thread_busy_time() -> Duration {
     #[cfg(target_os = "linux")]
     {
@@ -144,6 +206,16 @@ pub struct ShardedConfig {
     pub workers: usize,
     /// Partitions per broker topic; `0` means "same as `shards`".
     pub partitions: usize,
+    /// Maximum epochs concurrently in flight (≥ 1); see
+    /// [`ShardedSystemBuilder::pipeline_depth`].
+    pub pipeline_depth: usize,
+    /// Per-partition broker backlog bound (`0` = auto-sized to
+    /// pipeline-depth + 1 epochs' worth of records); see
+    /// [`ShardedSystemBuilder::partition_capacity`].
+    pub partition_capacity: usize,
+    /// Artificial per-close delay injected into one shard thread
+    /// (test/stress hook); see [`ShardedSystemBuilder::straggler`].
+    pub straggler: Option<(usize, Duration)>,
     /// Master seed for all client RNGs (same semantics as
     /// [`SystemConfig::seed`](crate::SystemConfig)).
     pub seed: u64,
@@ -161,6 +233,9 @@ impl Default for ShardedConfig {
             shards: 2,
             workers: 2,
             partitions: 0,
+            pipeline_depth: 2,
+            partition_capacity: 0,
+            straggler: None,
             seed: 0,
             confidence: 0.95,
             analyst_key: 0x5EED_0000_CAFE,
@@ -219,6 +294,40 @@ impl ShardedSystemBuilder {
         self
     }
 
+    /// Sets the **pipeline depth**: how many epochs may be in flight
+    /// at once through [`ShardedSystem::submit_epoch`] before the
+    /// oldest is completed. Depth 1 degenerates to epoch-at-a-time
+    /// submission; the default of 2 lets workers populate epoch `k+1`
+    /// while the shards drain epoch `k`. [`ShardedSystem::run_epoch`]
+    /// always flushes, so its per-call semantics are depth-invariant.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.config.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Bounds every broker partition's backlog to `records` in-flight
+    /// records: producers park when a partition is full, and consumed
+    /// records are trimmed off the bounded log. This is the
+    /// record-granular backpressure under the epoch-granular pipeline
+    /// depth: a future epoch's workers cannot flood a shard that is
+    /// still draining. Deployment topics are **always** bounded —
+    /// `0` (the default) auto-sizes the bound to pipeline-depth + 1
+    /// epochs' worth of records per partition.
+    pub fn partition_capacity(mut self, records: usize) -> Self {
+        self.config.partition_capacity = records;
+        self
+    }
+
+    /// Injects an artificial delay before every epoch close on shard
+    /// `shard` — the straggler-shard stress hook: workers run epochs
+    /// ahead (up to the pipeline depth) while the straggler lags, and
+    /// results must still be byte-identical to the single-threaded
+    /// harness.
+    pub fn straggler(mut self, shard: usize, delay: Duration) -> Self {
+        self.config.straggler = Some((shard, delay));
+        self
+    }
+
     /// Adopts thread/shard counts from a cluster-tier mapping — the
     /// bridge from the simulator's `ClusterSpec`s to the real
     /// runtime.
@@ -241,9 +350,10 @@ impl ShardedSystemBuilder {
         self
     }
 
-    /// Builds and starts the deployment: spawns the worker, proxy and
-    /// shard threads and settles consumer-group membership before any
-    /// record flows (so partition assignment is fixed for the run).
+    /// Builds and starts the deployment: creates the (optionally
+    /// bounded) topics, spawns the worker, proxy and shard threads
+    /// and settles consumer-group membership before any record flows
+    /// (so partition assignment is fixed for the run).
     ///
     /// # Panics
     ///
@@ -255,8 +365,31 @@ impl ShardedSystemBuilder {
         assert!(c.proxies >= 2, "PrivApprox requires at least two proxies");
         assert!(c.shards >= 1, "need at least one aggregator shard");
         assert!(c.workers >= 1, "need at least one client worker");
+        if let Some((s, _)) = c.straggler {
+            assert!(s < c.shards, "straggler shard {s} out of range");
+        }
         let partitions = c.effective_partitions();
         let broker = Broker::new(partitions);
+        // Every deployment topic is bounded: an explicit capacity, or
+        // the auto-bound of pipeline-depth + 1 epochs' worth of
+        // records per partition. Bounded partitions give the pipeline
+        // its record-granular backpressure AND log trimming — consumed
+        // records drop off the front, so the broker's memory (and the
+        // allocator's page-fault rate) stays flat however many epochs
+        // stream through.
+        let capacity = if c.partition_capacity > 0 {
+            c.partition_capacity
+        } else {
+            ((c.pipeline_depth as u64 + 1) * c.clients.div_ceil(partitions as u64)).max(64)
+                as usize
+        };
+        // Bounded topics must exist (with their capacity) before the
+        // proxies/shards auto-create them unbounded.
+        for i in 0..c.proxies {
+            let id = ProxyId(i);
+            broker.create_topic_with_capacity(&inbound_topic(id), partitions, capacity);
+            broker.create_topic_with_capacity(&outbound_topic(id), partitions, capacity);
+        }
 
         // Order matters: create every proxy and shard consumer *now*,
         // on this thread, so group membership — and therefore the
@@ -277,7 +410,14 @@ impl ShardedSystemBuilder {
         let proxy_threads = proxies.into_iter().map(ProxyHandle::spawn).collect();
         let shard_threads = shards_instances
             .into_iter()
-            .map(ShardHandle::spawn)
+            .enumerate()
+            .map(|(s, agg)| {
+                let straggle = match c.straggler {
+                    Some((idx, delay)) if idx == s => Some(delay),
+                    _ => None,
+                };
+                ShardHandle::spawn(s, agg, straggle)
+            })
             .collect();
 
         ShardedSystem {
@@ -291,6 +431,7 @@ impl ShardedSystemBuilder {
             initializer: Initializer::new(),
             now_ms: 0,
             next_serial: 1,
+            in_flight: VecDeque::new(),
             pending: Vec::new(),
             spare_shells: Vec::new(),
             pending_recycle: vec![Vec::new(); c.shards],
@@ -349,7 +490,7 @@ impl WorkerHandle {
     fn spawn(w: usize, c: &ShardedConfig, partitions: usize, broker: &Broker) -> WorkerHandle {
         let (cmd_tx, cmd_rx) = channel::<WorkerCmd>();
         let (reply_tx, reply_rx) = channel::<WorkerReply>();
-        let producer = broker.producer();
+        let broker = broker.clone();
         let (workers, clients, seed, key, n_proxies) = (
             c.workers,
             c.clients,
@@ -365,8 +506,12 @@ impl WorkerHandle {
                     .map(|i| (i as usize, Client::new(ClientId(i), seed, key)))
                     .collect();
                 let mut scratch = ClientScratch::new();
-                let in_topics: Vec<String> = (0..n_proxies)
-                    .map(|pi| inbound_topic(ProxyId(pi as u16)))
+                // Cached per-topic writers: no topic-name hash per
+                // share, one consumer wakeup per epoch slice (the
+                // blocking polls downstream re-check every ≤10ms, so
+                // forwarding overlaps the answer loop regardless).
+                let writers: Vec<TopicWriter> = (0..n_proxies)
+                    .map(|pi| broker.writer(&inbound_topic(ProxyId(pi as u16))))
                     .collect();
                 let mut per_partition = vec![0u64; partitions];
                 while let Ok(cmd) = cmd_rx.recv() {
@@ -411,10 +556,9 @@ impl WorkerHandle {
                                     Ok(Some(shares)) => {
                                         let partition = *i % partitions;
                                         for (pi, share) in shares.iter().enumerate() {
-                                            producer.send_to(
-                                                &in_topics[pi],
+                                            writers[pi].append_quiet(
                                                 partition,
-                                                Some(share.mid.to_bytes().to_vec()),
+                                                Some(Arc::from(&share.mid.to_bytes()[..])),
                                                 &share.payload[..],
                                                 ts,
                                             );
@@ -427,13 +571,16 @@ impl WorkerHandle {
                                     }
                                 }
                             }
+                            for writer in &writers {
+                                writer.notify();
+                            }
                             let busy = thread_busy_time().saturating_sub(t0);
                             // Counts always travel with the reply,
                             // error or not: shares sent *before* a
                             // failing client are already in the
-                            // broker, and the main thread must drain
-                            // them through the pipeline so a later
-                            // epoch starts from clean topics.
+                            // broker, and the epoch-tagged close is
+                            // what lets a later epoch run from
+                            // consistent counts.
                             let _ = reply_tx.send(WorkerReply::Answered {
                                 per_partition: per_partition.clone(),
                                 error: failure,
@@ -454,60 +601,68 @@ impl WorkerHandle {
 }
 
 // ---------------------------------------------------------------------------
-// Proxy threads: partition-preserving relays.
-
-enum ProxyCmd {
-    Drain { expect: u64 },
-    Shutdown,
-}
-
-struct ProxyReply {
-    forwarded: u64,
-    busy: Duration,
-}
+// Proxy threads: free-running partition-preserving relays.
 
 struct ProxyHandle {
-    cmd: Sender<ProxyCmd>,
-    reply: Receiver<ProxyReply>,
+    stop: Arc<AtomicBool>,
+    forwarded: Arc<AtomicU64>,
+    busy_ns: Arc<AtomicU64>,
+    in_topic: String,
     thread: Option<JoinHandle<()>>,
 }
 
 impl ProxyHandle {
+    /// Spawns a relay thread that forwards continuously until told to
+    /// stop: a proxy holds no epoch state, so it needs no epoch
+    /// commands — it parks on the broker's condvar and forwards
+    /// whatever lands, whichever epoch it belongs to.
     fn spawn(mut proxy: Proxy) -> ProxyHandle {
-        let (cmd_tx, cmd_rx) = channel::<ProxyCmd>();
-        let (reply_tx, reply_rx) = channel::<ProxyReply>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let busy_ns = Arc::new(AtomicU64::new(0));
+        let in_topic = inbound_topic(proxy.id());
+        let (stop2, forwarded2, busy2) =
+            (Arc::clone(&stop), Arc::clone(&forwarded), Arc::clone(&busy_ns));
         let thread = std::thread::Builder::new()
             .name(format!("pa-proxy-{}", proxy.id().0))
             .spawn(move || {
-                while let Ok(cmd) = cmd_rx.recv() {
-                    match cmd {
-                        ProxyCmd::Drain { expect } => {
-                            let t0 = thread_busy_time();
-                            let mut forwarded = 0u64;
-                            let deadline = Instant::now() + DRAIN_DEADLINE;
-                            while forwarded < expect && Instant::now() < deadline {
-                                forwarded += proxy.pump_blocking(DRAIN_WAIT);
-                            }
-                            let _ = reply_tx.send(ProxyReply {
-                                forwarded,
-                                busy: thread_busy_time().saturating_sub(t0),
-                            });
-                        }
-                        ProxyCmd::Shutdown => break,
+                while !stop2.load(Ordering::Relaxed) {
+                    let t0 = thread_busy_time();
+                    let n = proxy.pump_blocking(PROXY_PARK);
+                    let dt = thread_busy_time().saturating_sub(t0);
+                    busy2.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                    if n > 0 {
+                        forwarded2.fetch_add(n, Ordering::Relaxed);
                     }
                 }
+                // Final drain so shutdown leaves no stranded shares.
+                let n = proxy.pump();
+                forwarded2.fetch_add(n, Ordering::Relaxed);
             })
             .expect("spawn proxy thread");
         ProxyHandle {
-            cmd: cmd_tx,
-            reply: reply_rx,
+            stop,
+            forwarded,
+            busy_ns,
+            in_topic,
             thread: Some(thread),
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Shard threads: join ⟂ decode ⟂ window over owned partitions.
+// Shard threads: free-running join ⟂ decode ⟂ window with per-epoch
+// in-flight accounting.
+
+/// An epoch close request: "once `expect` answers tagged `epoch` have
+/// been decoded, advance the watermark and emit the closed windows".
+struct CloseCmd {
+    epoch: Timestamp,
+    expect: u64,
+    watermark: Timestamp,
+    /// Estimators coming home from a previous epoch's merge.
+    recycle: Vec<BucketEstimator>,
+}
 
 enum ShardCmd {
     Register {
@@ -515,24 +670,25 @@ enum ShardCmd {
         params: ExecutionParams,
         population: u64,
     },
-    Drain {
-        expect: u64,
-        watermark: Timestamp,
-        /// Estimators coming home from the previous epoch's merge.
-        recycle: Vec<BucketEstimator>,
-    },
+    Close(CloseCmd),
+    /// Health-counter snapshot (no watermark movement).
+    Probe,
     Shutdown,
 }
 
 enum ShardReply {
     Registered,
-    Drained {
+    Closed {
+        /// Answers decoded under the closed epoch's tag (equals the
+        /// close's `expect` unless the drain deadline fired).
         decoded: u64,
         windows: Vec<RawWindow>,
-        /// `(undecodable, unroutable, duplicates, expired_joins)`.
-        health: (u64, u64, u64, u64),
+        /// Cumulative CPU time of the shard thread (monotone).
         busy: Duration,
     },
+    /// `(undecodable, unroutable, duplicates, expired_joins)` plus
+    /// cumulative CPU time.
+    Health((u64, u64, u64, u64), Duration),
 }
 
 struct ShardHandle {
@@ -542,52 +698,88 @@ struct ShardHandle {
 }
 
 impl ShardHandle {
-    fn spawn(mut agg: Aggregator) -> ShardHandle {
+    fn spawn(index: usize, mut agg: Aggregator, straggle: Option<Duration>) -> ShardHandle {
         let (cmd_tx, cmd_rx) = channel::<ShardCmd>();
         let (reply_tx, reply_rx) = channel::<ShardReply>();
         let thread = std::thread::Builder::new()
-            .name("pa-shard".to_string())
+            .name(format!("pa-shard-{index}"))
             .spawn(move || {
-                while let Ok(cmd) = cmd_rx.recv() {
-                    match cmd {
-                        ShardCmd::Register {
-                            query,
-                            params,
-                            population,
-                        } => {
-                            agg.register_query(&query, params, population);
-                            let _ = reply_tx.send(ShardReply::Registered);
+                // Per-epoch in-flight accounting: decoded answers per
+                // epoch tag. A bounded scan list, not a map — at most
+                // pipeline-depth + 1 epochs are ever live, entries
+                // retire when their epoch closes, and the warm list
+                // never allocates per message.
+                let mut counts: Vec<(Timestamp, u64)> = Vec::new();
+                // Close requests queue in epoch order and are
+                // satisfied strictly FIFO (watermarks must advance in
+                // order); `Instant` tracks the drain deadline.
+                let mut closes: VecDeque<(CloseCmd, Instant)> = VecDeque::new();
+                'run: loop {
+                    // 1. Absorb all pending control messages.
+                    loop {
+                        match cmd_rx.try_recv() {
+                            Ok(ShardCmd::Register {
+                                query,
+                                params,
+                                population,
+                            }) => {
+                                agg.register_query(&query, params, population);
+                                let _ = reply_tx.send(ShardReply::Registered);
+                            }
+                            Ok(ShardCmd::Close(c)) => closes.push_back((c, Instant::now())),
+                            Ok(ShardCmd::Probe) => {
+                                let _ = reply_tx.send(ShardReply::Health(
+                                    (
+                                        agg.undecodable(),
+                                        agg.unroutable(),
+                                        agg.duplicates(),
+                                        agg.expired_joins(),
+                                    ),
+                                    thread_busy_time(),
+                                ));
+                            }
+                            Ok(ShardCmd::Shutdown) | Err(TryRecvError::Disconnected) => {
+                                break 'run;
+                            }
+                            Err(TryRecvError::Empty) => break,
                         }
-                        ShardCmd::Drain {
-                            expect,
-                            watermark,
-                            recycle,
-                        } => {
-                            let t0 = thread_busy_time();
-                            for est in recycle {
+                    }
+                    // 2. Satisfy the oldest close once its epoch's
+                    //    accounting settles (or its deadline fires).
+                    if let Some((front, since)) = closes.front() {
+                        let have = counts
+                            .iter()
+                            .find(|(t, _)| *t == front.epoch)
+                            .map(|(_, n)| *n)
+                            .unwrap_or(0);
+                        if have >= front.expect || since.elapsed() >= DRAIN_DEADLINE {
+                            let (c, _) = closes.pop_front().expect("front exists");
+                            if let Some(delay) = straggle {
+                                std::thread::sleep(delay);
+                            }
+                            for est in c.recycle {
                                 agg.release_estimator(est);
                             }
-                            let mut decoded = 0u64;
-                            let deadline = Instant::now() + DRAIN_DEADLINE;
-                            while decoded < expect && Instant::now() < deadline {
-                                decoded += agg.pump_blocking(DRAIN_WAIT);
-                            }
                             let mut windows = Vec::new();
-                            agg.advance_watermark_raw_into(watermark, &mut windows);
-                            let _ = reply_tx.send(ShardReply::Drained {
-                                decoded,
+                            agg.advance_watermark_raw_into(c.watermark, &mut windows);
+                            // The epoch's accounting entry retires
+                            // with the close.
+                            counts.retain(|(t, _)| *t > c.epoch);
+                            let _ = reply_tx.send(ShardReply::Closed {
+                                decoded: have,
                                 windows,
-                                health: (
-                                    agg.undecodable(),
-                                    agg.unroutable(),
-                                    agg.duplicates(),
-                                    agg.expired_joins(),
-                                ),
-                                busy: thread_busy_time().saturating_sub(t0),
+                                busy: thread_busy_time(),
                             });
+                            continue 'run;
                         }
-                        ShardCmd::Shutdown => break,
                     }
+                    // 3. Pump, tagging every decode with its epoch.
+                    agg.pump_blocking_with(SHARD_PARK, |_, ts, _| {
+                        match counts.iter_mut().find(|(t, _)| *t == ts) {
+                            Some((_, n)) => *n += 1,
+                            None => counts.push((ts, 1)),
+                        }
+                    });
                 }
             })
             .expect("spawn shard thread");
@@ -609,9 +801,11 @@ impl ShardHandle {
 pub struct BusyProfile {
     /// Per client-worker CPU time in the answer stage.
     pub workers: Vec<Duration>,
-    /// Per proxy-thread CPU time in the forward stage.
+    /// Per proxy-thread CPU time (forwarding plus the free-running
+    /// poll loop).
     pub proxies: Vec<Duration>,
-    /// Per shard-thread CPU time in the drain/close stage.
+    /// Per shard-thread CPU time (drain/close plus the free-running
+    /// poll loop).
     pub shards: Vec<Duration>,
 }
 
@@ -624,20 +818,47 @@ impl BusyProfile {
         }
     }
 
-    /// The critical path of one barrier-synchronized pass:
-    /// `max(workers) + max(proxies) + max(shards)` — what the epoch
-    /// costs when every thread has its own core.
+    /// The critical path of a *barrier-synchronized* pass:
+    /// `max(workers) + max(proxies) + max(shards)` — what an epoch
+    /// costs when the stages run one after another (the BENCH_4
+    /// methodology, kept for like-for-like comparisons).
     pub fn critical_path(&self) -> Duration {
         let max = |v: &[Duration]| v.iter().copied().max().unwrap_or(Duration::ZERO);
         max(&self.workers) + max(&self.proxies) + max(&self.shards)
     }
+
+    /// The busiest single thread — the critical resource of the
+    /// **overlapped** pipeline: with one core per thread and the
+    /// stages running concurrently, steady-state wall time converges
+    /// to this, so `messages / bottleneck()` is the pipelined machine
+    /// rate (the BENCH_5 methodology).
+    pub fn bottleneck(&self) -> Duration {
+        self.workers
+            .iter()
+            .chain(&self.proxies)
+            .chain(&self.shards)
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
 }
 
-/// A threaded, sharded in-process PrivApprox deployment (see the
-/// module docs for topology and guarantees). Drives the same
-/// query-epoch surface as [`System`](crate::System) — `analyst()`,
-/// `load_*`, `run_epoch`, `drain_results` — and produces byte-identical
-/// results.
+/// One submitted, not-yet-completed epoch.
+struct InFlightEpoch {
+    /// The epoch tag: the event timestamp every answer of this epoch
+    /// carries.
+    epoch: Timestamp,
+    /// The watermark closing the epoch's windows.
+    watermark: Timestamp,
+}
+
+/// A threaded, sharded in-process PrivApprox deployment with
+/// overlapped-epoch pipelining (see the module docs for topology,
+/// the pipeline protocol and guarantees). Drives the same query-epoch
+/// surface as [`System`](crate::System) — `analyst()`, `load_*`,
+/// `run_epoch`, `drain_results` — and produces byte-identical
+/// results; [`ShardedSystem::submit_epoch`]/[`ShardedSystem::flush_epochs`]
+/// expose the pipelined form.
 pub struct ShardedSystem {
     config: ShardedConfig,
     partitions: usize,
@@ -650,14 +871,18 @@ pub struct ShardedSystem {
     /// The shared event clock, advanced exactly like `System`'s.
     now_ms: u64,
     next_serial: u32,
+    /// Submitted epochs not yet completed, oldest first.
+    in_flight: VecDeque<InFlightEpoch>,
     /// Closed, merged windows not yet returned.
     pending: Vec<QueryResult>,
     /// Recycled result shells for the merge step.
     spare_shells: Vec<QueryResult>,
     /// Estimators consumed by the last merge, owed back to each shard
-    /// with its next drain command.
+    /// with its next close command.
     pending_recycle: Vec<Vec<BucketEstimator>>,
-    /// Cumulative per-thread busy time.
+    /// Cumulative per-thread busy time (workers accumulate deltas;
+    /// shard slots hold the latest cumulative reading; proxy times
+    /// live in the handles' atomics).
     busy: BusyProfile,
 }
 
@@ -689,13 +914,22 @@ impl ShardedSystem {
         partition % self.config.shards
     }
 
+    /// Number of epochs currently in flight (submitted, not yet
+    /// completed).
+    pub fn in_flight_epochs(&self) -> usize {
+        self.in_flight.len()
+    }
+
     /// Populates every client with a one-row table holding a numeric
     /// column, exactly like
     /// [`System::load_numeric_column`](crate::System::load_numeric_column).
+    /// Completes any in-flight epochs first: loads must not reorder
+    /// around pending answer commands.
     pub fn load_numeric_column<F>(&mut self, table: &str, column: &str, f: F)
     where
         F: Fn(usize) -> f64 + Send + Sync + 'static,
     {
+        let _ = self.flush_epochs();
         let f: Arc<dyn Fn(usize) -> f64 + Send + Sync> = Arc::new(f);
         for w in &self.workers {
             w.cmd
@@ -715,11 +949,13 @@ impl ShardedSystem {
     }
 
     /// Populates every client with arbitrary rows, exactly like
-    /// [`System::load_rows`](crate::System::load_rows).
+    /// [`System::load_rows`](crate::System::load_rows). Completes any
+    /// in-flight epochs first.
     pub fn load_rows<F>(&mut self, table: &str, schema: Schema, f: F)
     where
         F: Fn(usize) -> Vec<Vec<Value>> + Send + Sync + 'static,
     {
+        let _ = self.flush_epochs();
         let f: Arc<dyn Fn(usize) -> Vec<Vec<Value>> + Send + Sync> = Arc::new(f);
         for w in &self.workers {
             w.cmd
@@ -757,8 +993,11 @@ impl ShardedSystem {
 
     /// Registers a signed query with explicit parameters on every
     /// shard (the lower-level path under
-    /// [`ShardedAnalystSession::submit`]).
+    /// [`ShardedAnalystSession::submit`]). Completes any in-flight
+    /// epochs first so registration cannot interleave with pending
+    /// closes.
     pub fn register(&mut self, query: Query, params: ExecutionParams) {
+        let _ = self.flush_epochs();
         for shard in &self.shards {
             shard
                 .cmd
@@ -769,32 +1008,38 @@ impl ShardedSystem {
                 })
                 .expect("shard alive");
         }
+        self.wake_shards();
         for shard in &self.shards {
             match shard.reply.recv().expect("shard alive") {
                 ShardReply::Registered => {}
-                ShardReply::Drained { .. } => unreachable!("register expects Registered"),
+                _ => unreachable!("register expects Registered"),
             }
         }
         self.queries.insert(query.id, (query, params));
     }
 
-    /// Runs one epoch of a query across the threaded pipeline:
-    /// workers answer in parallel, proxy threads forward, shards
-    /// join/decode/window concurrently, and the epoch's windows are
-    /// merged into single results.
-    ///
-    /// Returns the epoch's windowed result — byte-identical to what
-    /// [`System::run_epoch`](crate::System::run_epoch) returns for
-    /// the same configuration and seed.
-    pub fn run_epoch(&mut self, query: &Query) -> Result<QueryResult, CoreError> {
+    /// Submits one epoch of a query into the pipeline: the workers
+    /// start answering immediately, while proxies forward and shards
+    /// drain whatever earlier epochs are still in flight. If the
+    /// pipeline is at [depth](ShardedSystemBuilder::pipeline_depth),
+    /// the oldest epoch is completed first (its windows land in the
+    /// [`ShardedSystem::drain_results`] buffer, and its client error —
+    /// if any — is returned here).
+    pub fn submit_epoch(&mut self, query: &Query) -> Result<(), CoreError> {
         let (_, params) = *self.queries.get(&query.id).ok_or(CoreError::UnknownQuery)?;
+        let depth = self.config.pipeline_depth.max(1);
+        let mut result = Ok(());
+        while self.in_flight.len() >= depth {
+            let r = self.complete_oldest(false);
+            if result.is_ok() {
+                result = r;
+            }
+        }
         let window_size = query.window.size;
         let epoch_start = self.now_ms.div_ceil(window_size) * window_size;
         let ts = Timestamp(epoch_start + window_size / 2);
         let watermark = Timestamp(epoch_start + window_size);
         self.now_ms = watermark.0;
-
-        // Stage 1: workers answer their client slices in parallel.
         for w in &self.workers {
             w.cmd
                 .send(WorkerCmd::Answer {
@@ -804,10 +1049,80 @@ impl ShardedSystem {
                 })
                 .expect("worker alive");
         }
+        self.in_flight.push_back(InFlightEpoch {
+            epoch: ts,
+            watermark,
+        });
+        result
+    }
+
+    /// Completes every in-flight epoch, oldest first: collects worker
+    /// replies, issues the epoch-tagged closes, merges shard windows
+    /// and finalizes results into the
+    /// [`ShardedSystem::drain_results`] buffer. Returns the first
+    /// client error encountered (later epochs still complete — the
+    /// cleanup guarantee).
+    pub fn flush_epochs(&mut self) -> Result<(), CoreError> {
+        let mut result = Ok(());
+        while !self.in_flight.is_empty() {
+            let r = self.complete_oldest(false);
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    }
+
+    /// Runs one epoch of a query through the overlapped pipeline and
+    /// waits for it: submit + flush. Within the epoch the stages
+    /// still stream concurrently (workers feed proxies feed shards);
+    /// across epochs, use [`ShardedSystem::submit_epoch`] to keep the
+    /// pipeline full.
+    ///
+    /// Returns the epoch's windowed result — byte-identical to what
+    /// [`System::run_epoch`](crate::System::run_epoch) returns for
+    /// the same configuration and seed, at any pipeline depth.
+    pub fn run_epoch(&mut self, query: &Query) -> Result<QueryResult, CoreError> {
+        let mut outcome = self.submit_epoch(query);
+        let flushed = self.flush_epochs();
+        if outcome.is_ok() {
+            outcome = flushed;
+        }
+        outcome?;
+        let idx = self
+            .pending
+            .iter()
+            .rposition(|r| r.query == query.id)
+            .ok_or(CoreError::UnknownQuery)?;
+        Ok(self.pending.remove(idx))
+    }
+
+    /// Wakes shard threads parked in their blocking polls so a
+    /// control message is observed at wakeup latency (shards park on
+    /// their first subscribed topic's condvar).
+    fn wake_shards(&self) {
+        self.broker.notify_topic(&outbound_topic(ProxyId(0)));
+    }
+
+    /// Completes the oldest in-flight epoch. `lenient` (drop path)
+    /// tolerates dead threads and incomplete drains instead of
+    /// panicking.
+    fn complete_oldest(&mut self, lenient: bool) -> Result<(), CoreError> {
+        let Some(ep) = self.in_flight.pop_front() else {
+            return Ok(());
+        };
+        // Worker replies arrive strictly in command order per worker,
+        // so the oldest pending Answered on each channel is this
+        // epoch's.
         let mut per_partition = vec![0u64; self.partitions];
         let mut first_error = None;
         for (wi, w) in self.workers.iter().enumerate() {
-            match w.reply.recv().expect("worker alive") {
+            let reply = match w.reply.recv() {
+                Ok(r) => r,
+                Err(_) if lenient => continue,
+                Err(_) => panic!("worker {wi} died mid-epoch"),
+            };
+            match reply {
                 WorkerReply::Answered {
                     per_partition: counts,
                     error,
@@ -824,37 +1139,13 @@ impl ShardedSystem {
                 WorkerReply::Loaded => unreachable!("answer expects Answered"),
             }
         }
-        // Even when a client errored, stages 2–4 still run: the
-        // shares sent before the failure are already in the broker,
-        // and draining them through proxies and shards is what lets a
-        // *later* epoch start from clean topics and consistent
-        // counts. Their (partial) windows close below and surface via
-        // `drain_results` — mirroring `System`, where shares sent
-        // before a failing client also reach the aggregator on the
-        // next pump. The error is returned after cleanup.
-        let participants: u64 = per_partition.iter().sum();
-
-        // Stage 2: every proxy forwards one share per participant.
-        for p in &self.proxies {
-            p.cmd
-                .send(ProxyCmd::Drain {
-                    expect: participants,
-                })
-                .expect("proxy alive");
-        }
-        for (pi, p) in self.proxies.iter().enumerate() {
-            let reply = p.reply.recv().expect("proxy alive");
-            self.busy.proxies[pi] += reply.busy;
-            assert_eq!(
-                reply.forwarded, participants,
-                "proxy {pi} drain incomplete: {}/{} shares forwarded",
-                reply.forwarded, participants
-            );
-        }
-
-        // Stage 3: shards drain their partitions and close windows.
-        // A shard's expectation: every message in the partitions the
-        // group assignment gives it (`p % shards == rank`).
+        // Even when a client errored, the epoch still closes: the
+        // shares sent before the failure are in the broker, and the
+        // epoch-tagged close (with the exact partial count) is what
+        // lets later — possibly already in-flight — epochs proceed
+        // from consistent accounting. The partial window surfaces via
+        // `drain_results`, mirroring `System`. The error is returned
+        // after cleanup.
         let expects: Vec<u64> = (0..self.config.shards)
             .map(|s| {
                 per_partition
@@ -866,31 +1157,36 @@ impl ShardedSystem {
             })
             .collect();
         for (s, shard) in self.shards.iter().enumerate() {
-            shard
-                .cmd
-                .send(ShardCmd::Drain {
-                    expect: expects[s],
-                    watermark,
-                    recycle: std::mem::take(&mut self.pending_recycle[s]),
-                })
-                .expect("shard alive");
+            let _ = shard.cmd.send(ShardCmd::Close(CloseCmd {
+                epoch: ep.epoch,
+                expect: expects[s],
+                watermark: ep.watermark,
+                recycle: std::mem::take(&mut self.pending_recycle[s]),
+            }));
         }
-        // Stage 4: merge shard-local windows into single results.
+        self.wake_shards();
         let mut merged: Vec<(QueryId, Window, BucketEstimator, usize)> = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {
-            match shard.reply.recv().expect("shard alive") {
-                ShardReply::Drained {
+            let reply = match shard.reply.recv() {
+                Ok(r) => r,
+                Err(_) if lenient => continue,
+                Err(_) => panic!("shard {s} died mid-epoch"),
+            };
+            match reply {
+                ShardReply::Closed {
                     decoded,
                     windows,
-                    health: _,
                     busy,
                 } => {
-                    self.busy.shards[s] += busy;
-                    assert_eq!(
-                        decoded, expects[s],
-                        "shard {s} drain incomplete: {decoded}/{} answers decoded",
-                        expects[s]
-                    );
+                    self.busy.shards[s] = busy;
+                    if !lenient {
+                        assert_eq!(
+                            decoded, expects[s],
+                            "shard {s} close incomplete: {decoded}/{} answers decoded \
+                             for epoch tagged {:?}",
+                            expects[s], ep.epoch
+                        );
+                    }
                     for rw in windows {
                         match merged
                             .iter_mut()
@@ -904,7 +1200,7 @@ impl ShardedSystem {
                         }
                     }
                 }
-                ShardReply::Registered => unreachable!("drain expects Drained"),
+                _ => unreachable!("close expects Closed"),
             }
         }
         merged.sort_unstable_by_key(|(q, w, _, _)| (w.start, q.to_u64()));
@@ -923,21 +1219,15 @@ impl ShardedSystem {
             self.pending.push(shell);
             self.pending_recycle[src].push(est);
         }
-
-        // Cleanup complete; now surface the epoch's client error.
-        if let Some(e) = first_error {
-            return Err(e);
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        let idx = self
-            .pending
-            .iter()
-            .rposition(|r| r.query == query.id)
-            .ok_or(CoreError::UnknownQuery)?;
-        Ok(self.pending.remove(idx))
     }
 
     /// Drains any additional closed windows (sliding-window queries
-    /// emit several per epoch).
+    /// emit several per epoch; pipelined submissions park every
+    /// completed epoch's results here).
     pub fn drain_results(&mut self) -> Vec<QueryResult> {
         std::mem::take(&mut self.pending)
     }
@@ -953,67 +1243,75 @@ impl ShardedSystem {
     }
 
     /// Aggregated shard health counters: `(undecodable, unroutable,
-    /// duplicates, expired_joins)` summed across shards.
+    /// duplicates, expired_joins)` summed across shards. Completes
+    /// any in-flight epochs first, so the snapshot covers everything
+    /// submitted so far.
     pub fn aggregator_health(&mut self) -> (u64, u64, u64, u64) {
-        // Health rides the drain replies; ask for an empty drain.
+        let _ = self.flush_epochs();
         let mut totals = (0, 0, 0, 0);
         for shard in &self.shards {
-            shard
-                .cmd
-                .send(ShardCmd::Drain {
-                    expect: 0,
-                    watermark: Timestamp(self.now_ms),
-                    recycle: Vec::new(),
-                })
-                .expect("shard alive");
+            shard.cmd.send(ShardCmd::Probe).expect("shard alive");
         }
+        self.wake_shards();
         for (s, shard) in self.shards.iter().enumerate() {
             match shard.reply.recv().expect("shard alive") {
-                ShardReply::Drained {
-                    windows,
-                    health,
-                    busy,
-                    ..
-                } => {
-                    self.busy.shards[s] += busy;
-                    // The watermark hasn't advanced past the last
-                    // epoch's, so no window can close here; anything
-                    // else would mean silently dropped counts and a
-                    // leaked estimator.
-                    assert!(
-                        windows.is_empty(),
-                        "health probe closed {} windows on shard {s}",
-                        windows.len()
-                    );
+                ShardReply::Health(health, busy) => {
+                    self.busy.shards[s] = busy;
                     totals.0 += health.0;
                     totals.1 += health.1;
                     totals.2 += health.2;
                     totals.3 += health.3;
                 }
-                ShardReply::Registered => unreachable!(),
+                _ => unreachable!("probe expects Health"),
             }
         }
         totals
     }
 
-    /// Cumulative per-thread CPU time per stage (the machine-level
-    /// throughput instrumentation; see [`thread_busy_time`]).
-    pub fn busy_profile(&self) -> &BusyProfile {
-        &self.busy
+    /// Snapshot of cumulative per-thread CPU time per stage (the
+    /// machine-level throughput instrumentation; see
+    /// [`thread_busy_time`] and [`BusyProfile::bottleneck`]).
+    pub fn busy_profile(&self) -> BusyProfile {
+        let mut profile = self.busy.clone();
+        for (i, p) in self.proxies.iter().enumerate() {
+            profile.proxies[i] = Duration::from_nanos(p.busy_ns.load(Ordering::Relaxed));
+        }
+        profile
+    }
+
+    /// Total shares forwarded by the relay threads so far.
+    pub fn forwarded_shares(&self) -> u64 {
+        self.proxies
+            .iter()
+            .map(|p| p.forwarded.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
 impl Drop for ShardedSystem {
     fn drop(&mut self) {
+        // Leniently complete whatever the caller left in flight: an
+        // abandoned overlapped epoch leaves answer commands, broker
+        // records and epoch-tagged closes in the pipeline, and the
+        // worker/shard threads must observe their shutdowns *after*
+        // those — not interleaved with them.
+        while !self.in_flight.is_empty() {
+            let _ = self.complete_oldest(true);
+        }
         for w in &self.workers {
             let _ = w.cmd.send(WorkerCmd::Shutdown);
-        }
-        for p in &self.proxies {
-            let _ = p.cmd.send(ProxyCmd::Shutdown);
         }
         for s in &self.shards {
             let _ = s.cmd.send(ShardCmd::Shutdown);
         }
+        for p in &self.proxies {
+            p.stop.store(true, Ordering::Relaxed);
+        }
+        // Pop parked threads out of their condvar waits.
+        for p in &self.proxies {
+            self.broker.notify_topic(&p.in_topic);
+        }
+        self.wake_shards();
         for w in &mut self.workers {
             if let Some(t) = w.thread.take() {
                 let _ = t.join();
@@ -1163,6 +1461,46 @@ mod tests {
         let busy = system.busy_profile();
         assert!(busy.workers.iter().any(|d| !d.is_zero()));
         assert!(busy.critical_path() > Duration::ZERO);
+        assert!(busy.bottleneck() <= busy.critical_path());
+    }
+
+    /// Pipelined submission: epochs overlap up to the configured
+    /// depth, results arrive in epoch order via `drain_results`, and
+    /// every epoch is exact.
+    #[test]
+    fn sharded_pipelined_epochs_overlap_and_drain_in_order() {
+        let mut system = ShardedSystem::builder()
+            .clients(90)
+            .proxies(2)
+            .shards(3)
+            .workers(3)
+            .pipeline_depth(3)
+            .seed(6)
+            .build();
+        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        let query = system
+            .analyst()
+            .query("SELECT speed FROM vehicle")
+            .buckets(speed_spec())
+            .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+            .submit()
+            .unwrap();
+        for _ in 0..5 {
+            system.submit_epoch(&query).unwrap();
+            assert!(system.in_flight_epochs() <= 3, "depth respected");
+        }
+        system.flush_epochs().unwrap();
+        assert_eq!(system.in_flight_epochs(), 0);
+        let results = system.drain_results();
+        assert_eq!(results.len(), 5);
+        for (e, r) in results.iter().enumerate() {
+            assert_eq!(r.sample_size, 90, "epoch {e}");
+            assert_eq!(r.buckets[1].estimate, 90.0, "epoch {e}");
+            if e > 0 {
+                assert!(r.window.start > results[e - 1].window.start, "epoch order");
+            }
+        }
+        assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
     }
 
     #[test]
@@ -1216,10 +1554,10 @@ mod tests {
     }
 
     /// A failed epoch (one client errors mid-population) must not
-    /// poison the pipeline: the shares sent before the failure drain
-    /// through proxies and shards as cleanup, so the next epoch runs
-    /// from clean topics and exact counts instead of tripping the
-    /// drain asserts on stale records.
+    /// poison the pipeline: the epoch still closes with its exact
+    /// partial count, so the next epoch runs from consistent
+    /// accounting instead of tripping the close asserts on stale
+    /// records.
     #[test]
     fn sharded_failed_epoch_cleans_up_for_the_next() {
         let mut system = ShardedSystem::builder()
@@ -1255,6 +1593,82 @@ mod tests {
         assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
     }
 
+    /// A client error in epoch k+1 while epoch k is still in flight
+    /// must not corrupt epoch k's windows: each overlapped epoch
+    /// closes under its own tag with its own exact (possibly partial)
+    /// count.
+    #[test]
+    fn sharded_error_in_overlapped_epoch_isolates_to_its_windows() {
+        let mut system = ShardedSystem::builder()
+            .clients(40)
+            .proxies(2)
+            .shards(2)
+            .workers(2)
+            .pipeline_depth(3)
+            .seed(8)
+            .build();
+        // Client 25 fails every epoch — so both in-flight epochs
+        // error, each mid-population.
+        system.load_numeric_column("vehicle", "speed", |i| if i == 25 { -5.0 } else { 15.0 });
+        let query = system
+            .analyst()
+            .query("SELECT speed FROM vehicle")
+            .buckets(speed_spec())
+            .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+            .submit()
+            .unwrap();
+        // Two epochs enter the pipeline back to back; neither has
+        // completed when the second is submitted.
+        system.submit_epoch(&query).unwrap();
+        assert!(system.submit_epoch(&query).is_ok(), "depth not yet hit");
+        assert_eq!(system.in_flight_epochs(), 2);
+        assert!(matches!(
+            system.flush_epochs(),
+            Err(CoreError::Unbucketizable(_))
+        ));
+        let partials = system.drain_results();
+        assert_eq!(partials.len(), 2, "both epochs closed their windows");
+        assert_eq!(
+            partials[0].sample_size, partials[1].sample_size,
+            "identical partial populations → identical counts per epoch"
+        );
+        assert!(partials[0].sample_size < 40);
+        assert!(partials[1].window.start > partials[0].window.start);
+        // Repair and verify the pipeline is clean.
+        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        let result = system.run_epoch(&query).unwrap();
+        assert_eq!(result.sample_size, 40);
+        assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
+    }
+
+    /// Dropping a system with epochs still in flight (an aborted
+    /// overlapped run) must drain the epoch-tagged control messages
+    /// and shut down cleanly instead of interleaving shutdowns with
+    /// pending answers/closes.
+    #[test]
+    fn sharded_drop_with_in_flight_epochs_shuts_down_cleanly() {
+        let mut system = ShardedSystem::builder()
+            .clients(30)
+            .proxies(2)
+            .shards(2)
+            .workers(2)
+            .pipeline_depth(3)
+            .seed(12)
+            .build();
+        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        let query = system
+            .analyst()
+            .query("SELECT speed FROM vehicle")
+            .buckets(speed_spec())
+            .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+            .submit()
+            .unwrap();
+        system.submit_epoch(&query).unwrap();
+        system.submit_epoch(&query).unwrap();
+        assert_eq!(system.in_flight_epochs(), 2);
+        drop(system); // must not hang or panic
+    }
+
     #[test]
     fn sharded_unknown_query_is_rejected() {
         let mut system = ShardedSystem::builder().clients(10).build();
@@ -1265,6 +1679,10 @@ mod tests {
                 .sign_and_build(system.config().analyst_key);
         assert_eq!(
             system.run_epoch(&foreign).unwrap_err(),
+            CoreError::UnknownQuery
+        );
+        assert_eq!(
+            system.submit_epoch(&foreign).unwrap_err(),
             CoreError::UnknownQuery
         );
     }

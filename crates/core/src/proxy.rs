@@ -9,7 +9,7 @@
 //! keeps no per-client state: source rewriting means the records it
 //! sees carry no client identity at all.
 
-use privapprox_stream::broker::{Broker, Consumer, Producer};
+use privapprox_stream::broker::{Broker, Consumer, Record, TopicWriter};
 use privapprox_types::ProxyId;
 use std::time::Duration;
 
@@ -27,8 +27,11 @@ pub fn outbound_topic(id: ProxyId) -> String {
 pub struct Proxy {
     id: ProxyId,
     consumer: Consumer,
-    producer: Producer,
-    out_topic: String,
+    writer: TopicWriter,
+    /// Reused poll batch: the forward loop allocates nothing per
+    /// record (poll clones are refcounts, the writer's topic handle
+    /// is cached, and consumers are woken once per batch).
+    batch: Vec<(u32, u32, Record)>,
     forwarded: u64,
 }
 
@@ -44,8 +47,8 @@ impl Proxy {
         Proxy {
             id,
             consumer: broker.consumer(&format!("proxy-{}", id.0), &[&in_topic]),
-            producer: broker.producer(),
-            out_topic,
+            writer: broker.writer(&out_topic),
+            batch: Vec::new(),
             forwarded: 0,
         }
     }
@@ -67,11 +70,10 @@ impl Proxy {
     pub fn pump(&mut self) -> u64 {
         let mut n = 0;
         loop {
-            let batch = self.consumer.poll_partitioned(1024);
-            if batch.is_empty() {
+            if self.consumer.poll_into(1024, &mut self.batch) == 0 {
                 break;
             }
-            n += self.forward(batch);
+            n += self.forward();
         }
         self.forwarded += n;
         n
@@ -84,27 +86,28 @@ impl Proxy {
     /// proxy *threads*: a `pump_blocking` loop parks on the broker's
     /// condvar instead of sleep-spinning.
     pub fn pump_blocking(&mut self, timeout: Duration) -> u64 {
-        let batch = self.consumer.poll_blocking_partitioned(1024, timeout);
-        if batch.is_empty() {
+        if self.consumer.poll_blocking_into(1024, timeout, &mut self.batch) == 0 {
             return 0;
         }
-        let n = self.forward(batch);
+        let n = self.forward();
         self.forwarded += n;
         n + self.pump()
     }
 
-    /// Forwards one polled batch partition-for-partition.
-    fn forward(&mut self, batch: Vec<(String, usize, privapprox_stream::broker::Record)>) -> u64 {
-        let n = batch.len() as u64;
-        for (_, partition, record) in batch {
-            self.producer.send_to(
-                &self.out_topic,
-                partition,
+    /// Forwards the pending poll batch partition-for-partition: key
+    /// and value pass through by refcount, and consumers are woken
+    /// once at the end of the batch.
+    fn forward(&mut self) -> u64 {
+        let n = self.batch.len() as u64;
+        for (_, partition, record) in self.batch.drain(..) {
+            self.writer.append_quiet(
+                partition as usize,
                 record.key,
                 record.value,
                 record.timestamp,
             );
         }
+        self.writer.notify();
         n
     }
 
@@ -156,7 +159,7 @@ mod tests {
         proxy.pump();
         let got = broker.consumer("agg", &["proxy-1-out"]).poll(10);
         assert_eq!(&*got[0].1.value, b"opaque-share");
-        assert_eq!(got[0].1.key, Some(b"mid".to_vec()));
+        assert_eq!(got[0].1.key.as_deref(), Some(&b"mid"[..]));
         assert_eq!(got[0].1.timestamp, Timestamp(777));
     }
 

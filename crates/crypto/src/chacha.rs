@@ -378,6 +378,92 @@ impl ChaCha20 {
         self.xor_into(data)
     }
 
+    /// Writes keystream into `pad` **and** XORs the same keystream
+    /// into `acc`, in one fused pass: each block is consumed for both
+    /// targets while it is still in registers/L1, instead of
+    /// materializing the whole pad and re-walking it with a second
+    /// full-length XOR pass.
+    ///
+    /// This is the split-stage fusion primitive: `XorSplitter` emits
+    /// every key string `MKᵢ` as a share payload (`pad`) while
+    /// accumulating `M_E = M ⊕ MK₂ ⊕ … ⊕ MKₙ` (`acc`), so the
+    /// previously separate `words::xor_into` accumulation rides the
+    /// keystream write for free. Byte-identical to
+    /// [`ChaCha20::keystream`] into `pad` followed by
+    /// `words::xor_into(acc, pad)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pad` and `acc` differ in length.
+    pub fn xor_keystream_into(&mut self, pad: &mut [u8], acc: &mut [u8]) {
+        assert_eq!(
+            pad.len(),
+            acc.len(),
+            "pad and accumulator must have equal lengths"
+        );
+        #[inline(always)]
+        fn fuse(pad: &mut [u8], acc: &mut [u8], src: &[u8]) {
+            for ((p, a), s) in pad.iter_mut().zip(acc.iter_mut()).zip(src) {
+                *p = *s;
+                *a ^= *s;
+            }
+        }
+        // Buffered bytes from a previous partial read come first.
+        let take = pad.len().min(self.buffered);
+        if take > 0 {
+            let start = 64 - self.buffered;
+            fuse(
+                &mut pad[..take],
+                &mut acc[..take],
+                &self.buffer[start..start + take],
+            );
+            self.buffered -= take;
+        }
+        let mut pad_rest = &mut pad[take..];
+        let mut acc_rest = &mut acc[take..];
+        #[cfg(target_arch = "x86_64")]
+        if pad_rest.len() >= 512 && std::arch::is_x86_feature_detected!("avx2") {
+            while pad_rest.len() >= 512 {
+                // SAFETY: AVX2 support was just verified at runtime.
+                let blocks = unsafe { block8_avx2(&self.initial_state(self.counter)) };
+                self.counter = self.counter.wrapping_add(8);
+                let (pc, pt) = pad_rest.split_at_mut(512);
+                let (ac, at) = acc_rest.split_at_mut(512);
+                pc.copy_from_slice(&blocks);
+                privapprox_types::words::xor_into(ac, &blocks);
+                pad_rest = pt;
+                acc_rest = at;
+            }
+        }
+        while pad_rest.len() >= 256 {
+            let blocks = self.block4();
+            self.counter = self.counter.wrapping_add(4);
+            let (pc, pt) = pad_rest.split_at_mut(256);
+            let (ac, at) = acc_rest.split_at_mut(256);
+            pc.copy_from_slice(&blocks);
+            privapprox_types::words::xor_into(ac, &blocks);
+            pad_rest = pt;
+            acc_rest = at;
+        }
+        while pad_rest.len() >= 64 {
+            let block = self.block();
+            self.counter = self.counter.wrapping_add(1);
+            let (pc, pt) = pad_rest.split_at_mut(64);
+            let (ac, at) = acc_rest.split_at_mut(64);
+            pc.copy_from_slice(&block);
+            privapprox_types::words::xor_into(ac, &block);
+            pad_rest = pt;
+            acc_rest = at;
+        }
+        if !pad_rest.is_empty() {
+            self.refill_buffer();
+            let start = 64 - self.buffered;
+            let len = pad_rest.len();
+            fuse(pad_rest, acc_rest, &self.buffer[start..start + len]);
+            self.buffered -= len;
+        }
+    }
+
     /// The shared bulk engine behind [`ChaCha20::keystream`]
     /// (`xor = false`: overwrite) and [`ChaCha20::xor_into`]
     /// (`xor = true`: combine). Widest available kernel first:
@@ -548,6 +634,45 @@ mod tests {
             let expect: Vec<u8> = data.iter().zip(&ks).map(|(d, k)| d ^ k).collect();
             assert_eq!(a, expect, "len {len}");
         }
+    }
+
+    /// The fused pad-write + accumulator-XOR must equal the two-pass
+    /// form (keystream then xor) for every kernel size and for
+    /// chunkings that leave partial blocks in the internal buffer.
+    #[test]
+    fn fused_xor_keystream_matches_two_pass() {
+        for len in [0usize, 1, 11, 63, 64, 255, 256, 511, 512, 1261, 4096 + 37] {
+            let mut pad_fused = vec![0u8; len];
+            let mut acc_fused: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+            let mut fused = ChaCha20::from_seed(13, 2);
+            fused.xor_keystream_into(&mut pad_fused, &mut acc_fused);
+
+            let mut two_pass = ChaCha20::from_seed(13, 2);
+            let mut pad_plain = vec![0u8; len];
+            two_pass.keystream(&mut pad_plain);
+            let mut acc_plain: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+            for (a, p) in acc_plain.iter_mut().zip(&pad_plain) {
+                *a ^= *p;
+            }
+            assert_eq!(pad_fused, pad_plain, "pad len {len}");
+            assert_eq!(acc_fused, acc_plain, "acc len {len}");
+        }
+        // Interleaved chunked reads: fused calls must continue the
+        // stream exactly where plain reads (and earlier fused calls)
+        // left off, including mid-block.
+        let mut stream = ChaCha20::from_seed(77, 5);
+        let mut reference = ChaCha20::from_seed(77, 5);
+        let mut consumed = Vec::new();
+        for &len in &[7usize, 64, 13, 500, 129, 3] {
+            let mut pad = vec![0u8; len];
+            let mut acc = vec![0xA5u8; len];
+            stream.xor_keystream_into(&mut pad, &mut acc);
+            consumed.extend_from_slice(&pad);
+            for (a, p) in acc.iter().zip(&pad) {
+                assert_eq!(*a, 0xA5 ^ *p);
+            }
+        }
+        assert_eq!(consumed, reference.next_bytes(consumed.len()));
     }
 
     #[test]

@@ -102,9 +102,13 @@ impl XorSplitter {
     /// This is the steady-state client path: once `scratch` has been
     /// warmed by one message of each size, no heap allocation occurs —
     /// share 0's buffer accumulates `M_E` starting from a copy of the
-    /// message, each key string is written by ChaCha20 directly into
-    /// its reused share buffer, and the XOR accumulation runs in `u64`
-    /// words.
+    /// message, and each key string is written by ChaCha20 directly
+    /// into its reused share buffer **with the `M_E` accumulation
+    /// fused into the keystream write**
+    /// ([`ChaCha20::xor_keystream_into`]): every keystream block is
+    /// consumed for both the share payload and the accumulator while
+    /// it is hot, instead of a second full-length XOR pass per key
+    /// string.
     pub fn split_into<'a, R: Rng + ?Sized>(
         &self,
         message: &[u8],
@@ -130,10 +134,10 @@ impl XorSplitter {
             share.payload.resize(message.len(), 0);
             // Fresh ChaCha20 keystream per key string, seeded from the
             // caller's RNG ("seeded with a cryptographically strong
-            // random number"), written straight into the share buffer.
+            // random number"), written straight into the share buffer
+            // while the same blocks accumulate into M_E.
             let mut stream = ChaCha20::from_seed(rng.gen(), (i + 1) as u64);
-            stream.fill_bytes(&mut share.payload);
-            words::xor_into(&mut encrypted.payload, &share.payload);
+            stream.xor_keystream_into(&mut share.payload, &mut encrypted.payload);
         }
         shares
     }

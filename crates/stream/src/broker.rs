@@ -39,17 +39,36 @@
 //! busy low-index partition cannot starve the rest.
 //!
 //! Payloads are shared immutable buffers ([`Record::value`] is an
-//! `Arc<[u8]>`): a record is copied into the broker **once** at its
-//! first [`Producer::send`] and every subsequent hop — consumer
-//! polls, proxy forwarding, multiple consumer groups — shares that
+//! `Arc<[u8]>`, and since the pipelined deployment [`Record::key`]
+//! too): a record is copied into the broker **once** at its first
+//! [`Producer::send`] and every subsequent hop — consumer polls,
+//! proxy forwarding, multiple consumer groups — shares that
 //! allocation by refcount. Before this, each of a message's `k`
 //! shares was cloned at every hop (client send, proxy poll, proxy
 //! re-send, aggregator poll); now the fan-out to `k` proxies costs
 //! `k` buffer copies total, not `3k–4k`.
+//!
+//! The poll hot path is allocation-free: [`Consumer::poll_into`]
+//! appends `(topic_index, partition, record)` triples into a
+//! caller-owned buffer (records are refcount clones) over a partition
+//! assignment cached per rebalance generation, and forwarders append
+//! through a [`TopicWriter`] (topic resolved once, one consumer
+//! wakeup per batch). The allocating `poll`/`poll_partitioned`
+//! wrappers remain for control paths and tests.
+//!
+//! # Bounded partitions (backpressure)
+//!
+//! Topics created with [`Broker::create_topic_with_capacity`] bound
+//! each partition's backlog: a producer appending to a partition
+//! whose `appended − slowest group's committed offset` has reached
+//! the capacity blocks until a consumer polls the backlog down. This
+//! is what keeps an overlapped deployment's epoch `k+1` from flooding
+//! a shard still draining epoch `k`: the producer side parks instead
+//! of growing the log without bound.
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use privapprox_types::Timestamp;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,8 +78,12 @@ use std::time::Duration;
 pub struct Record {
     /// Position within the partition.
     pub offset: u64,
-    /// Optional partitioning key.
-    pub key: Option<Vec<u8>>,
+    /// Optional partitioning key, behind a shared immutable buffer
+    /// like the payload: polling a record out of the log (which must
+    /// retain its copy) bumps a refcount instead of reallocating the
+    /// key bytes — previously every hop of every share re-allocated
+    /// its 16-byte MID key.
+    pub key: Option<Arc<[u8]>>,
     /// Payload bytes, behind a shared immutable buffer: the partition
     /// log, every consumer group's poll and every forwarding re-send
     /// all reference the **same** allocation — cloning a `Record` (or
@@ -84,27 +107,50 @@ impl Record {
 
 #[derive(Debug, Default)]
 struct Partition {
-    records: Vec<Record>,
+    /// Retained records; the front holds offset `base`. Bounded
+    /// topics **trim**: records below every registered group's
+    /// committed floor pop off the front, so consumed payloads drop
+    /// their last log reference and the allocator recycles warm pages
+    /// instead of faulting fresh ones for every message (an unbounded
+    /// log costs ~3× per append in page faults alone at 1.3 KB
+    /// payloads). Unbounded topics retain everything, preserving
+    /// read-from-zero semantics for late-joining groups.
+    records: VecDeque<Record>,
+    /// Offset of the record at the front of `records`.
+    base: u64,
+    /// Per-group committed offsets, mirrored here from the global
+    /// offset map so a bounded producer can compute its backlog — and
+    /// the trim point — with only the partition lock held. Maintained
+    /// only for topics with a capacity limit (empty map = no
+    /// registered consumer yet = no backpressure, no trimming).
+    committed: HashMap<String, u64>,
 }
 
 struct Topic {
     partitions: Vec<Mutex<Partition>>,
     /// Signalled whenever any partition receives data.
     data_ready: Condvar,
-    /// Paired mutex for `data_ready` (condvar protocol only).
+    /// Signalled whenever a bounded topic's consumer frees backlog.
+    space_ready: Condvar,
+    /// Paired mutex for both condvars (condvar protocol only).
     signal: Mutex<()>,
     round_robin: AtomicU64,
+    /// Maximum per-partition backlog (appended − slowest group's
+    /// committed offset) before producers block; `0` = unbounded.
+    capacity: usize,
 }
 
 impl Topic {
-    fn new(partitions: usize) -> Topic {
+    fn new(partitions: usize, capacity: usize) -> Topic {
         Topic {
             partitions: (0..partitions)
                 .map(|_| Mutex::new(Partition::default()))
                 .collect(),
             data_ready: Condvar::new(),
+            space_ready: Condvar::new(),
             signal: Mutex::new(()),
             round_robin: AtomicU64::new(0),
+            capacity,
         }
     }
 }
@@ -180,11 +226,32 @@ impl Broker {
     /// Creates a topic explicitly with a partition count; a no-op if
     /// the topic already exists.
     pub fn create_topic(&self, name: &str, partitions: usize) {
+        self.create_topic_with_capacity(name, partitions, 0)
+    }
+
+    /// Creates a topic whose partitions apply **backpressure**: a
+    /// producer appending to a partition whose backlog (records
+    /// appended minus the slowest consumer group's committed offset)
+    /// has reached `capacity` blocks until a consumer polls the
+    /// backlog down. `capacity = 0` means unbounded (the default).
+    ///
+    /// Bounded partitions also **trim**: records below every
+    /// registered group's committed offset drop off the log (their
+    /// last log reference), so a pipeline topic's memory stays flat
+    /// instead of growing — and page-faulting — without bound. A
+    /// group joining after trimming reads from the earliest retained
+    /// record.
+    ///
+    /// Backpressure engages only once at least one consumer group has
+    /// registered for the topic — producers racing ahead of consumer
+    /// creation would otherwise deadlock on a floor nobody advances.
+    /// A no-op if the topic already exists.
+    pub fn create_topic_with_capacity(&self, name: &str, partitions: usize, capacity: usize) {
         assert!(partitions > 0, "topics need at least 1 partition");
         let mut topics = self.inner.topics.write();
         topics
             .entry(name.to_string())
-            .or_insert_with(|| Arc::new(Topic::new(partitions)));
+            .or_insert_with(|| Arc::new(Topic::new(partitions, capacity)));
     }
 
     fn topic(&self, name: &str) -> Arc<Topic> {
@@ -195,8 +262,19 @@ impl Broker {
         Arc::clone(
             topics
                 .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Topic::new(self.inner.default_partitions))),
+                .or_insert_with(|| Arc::new(Topic::new(self.inner.default_partitions, 0))),
         )
+    }
+
+    /// Wakes every consumer parked on `topic`'s data-ready condvar
+    /// without producing a record — used by control planes (e.g. the
+    /// sharded deployment sending a close command to a shard thread
+    /// that is parked in a blocking poll) to bound command latency to
+    /// a wakeup instead of a poll timeout.
+    pub fn notify_topic(&self, topic: &str) {
+        let t = self.topic(topic);
+        let _guard = t.signal.lock();
+        t.data_ready.notify_all();
     }
 
     /// Number of partitions of a topic (auto-creating it if absent).
@@ -240,9 +318,27 @@ impl Broker {
     /// whether that member subscribed to its topic, exactly like a
     /// Kafka group with mismatched subscriptions.
     pub fn consumer(&self, group: &str, topics: &[&str]) -> Consumer {
-        // Materialize the topics so partition counts are stable.
+        // Materialize the topics so partition counts are stable, and
+        // register this group's committed-offset floors on bounded
+        // topics so producers start honoring the backlog limit (the
+        // floor starts at the group's committed offset, which is 0
+        // for a fresh group).
         for t in topics {
-            let _ = self.topic(t);
+            let topic = self.topic(t);
+            if topic.capacity > 0 {
+                let offsets = self.inner.group_offsets.lock();
+                for (pi, p) in topic.partitions.iter().enumerate() {
+                    let committed = offsets
+                        .get(&(group.to_string(), t.to_string(), pi))
+                        .copied()
+                        .unwrap_or(0);
+                    let mut p = p.lock();
+                    // A group joining after trimming starts from the
+                    // earliest retained record.
+                    let floor = committed.max(p.base);
+                    p.committed.entry(group.to_string()).or_insert(floor);
+                }
+            }
         }
         let member = {
             // Id allocation happens under the groups lock so members
@@ -263,6 +359,21 @@ impl Broker {
             topics: topics.iter().map(|s| s.to_string()).collect(),
             member,
             cursor: AtomicU64::new(0),
+            slots: Mutex::new(SlotCache {
+                generation: u64::MAX,
+                slots: Vec::new(),
+            }),
+        }
+    }
+
+    /// Creates a [`TopicWriter`] bound to one topic — the hot-path
+    /// producer for forwarders: the topic handle is resolved once
+    /// instead of a name lookup per record, and appends can defer the
+    /// consumer wakeup to one notify per batch.
+    pub fn writer(&self, topic: &str) -> TopicWriter {
+        TopicWriter {
+            broker: self.clone(),
+            topic: self.topic(topic),
         }
     }
 
@@ -313,7 +424,15 @@ impl Producer {
             Some(k) => (fnv1a(k) % n as u64) as usize,
             None => (t.round_robin.fetch_add(1, Ordering::Relaxed) % n as u64) as usize,
         };
-        let offset = self.append(&t, partition, key, value.into(), timestamp);
+        let offset = append(
+            &self.broker,
+            &t,
+            partition,
+            key.map(Arc::from),
+            value.into(),
+            timestamp,
+            true,
+        );
         (partition, offset)
     }
 
@@ -342,46 +461,149 @@ impl Producer {
             "topic {topic:?} has {} partitions, no partition {partition}",
             t.partitions.len()
         );
-        self.append(&t, partition, key, value.into(), timestamp)
+        append(
+            &self.broker,
+            &t,
+            partition,
+            key.map(Arc::from),
+            value.into(),
+            timestamp,
+            true,
+        )
     }
+}
 
-    /// Shared append path: writes the record, bumps the traffic
-    /// counters and wakes blocked consumers.
-    fn append(
-        &self,
-        t: &Topic,
-        partition: usize,
-        key: Option<Vec<u8>>,
-        value: Arc<[u8]>,
-        timestamp: Timestamp,
-    ) -> u64 {
-        let (offset, size) = {
-            let mut p = t.partitions[partition].lock();
-            let offset = p.records.len() as u64;
-            let rec = Record {
-                offset,
-                key,
-                value,
-                timestamp,
-            };
-            let size = rec.wire_size();
-            p.records.push(rec);
-            (offset, size)
+/// How long a bounded producer waits on a full partition before
+/// giving up — a deadlock backstop (a correctly wired deployment
+/// always drains), not a tuning knob.
+const BACKPRESSURE_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Shared append path: waits for backlog space on bounded topics,
+/// writes the record, bumps the traffic counters and (unless the
+/// caller batches wakeups) wakes blocked consumers.
+fn append(
+    broker: &Broker,
+    t: &Topic,
+    partition: usize,
+    key: Option<Arc<[u8]>>,
+    value: Arc<[u8]>,
+    timestamp: Timestamp,
+    notify: bool,
+) -> u64 {
+    let mut waited = false;
+    let deadline = std::time::Instant::now() + BACKPRESSURE_DEADLINE;
+    let (offset, size) = loop {
+        let mut p = t.partitions[partition].lock();
+        let next = p.base + p.records.len() as u64;
+        if t.capacity > 0 {
+            // Backlog against the slowest registered group; an empty
+            // floor map (no consumer yet) leaves the topic unbounded.
+            let floor = p.committed.values().copied().min().unwrap_or(next);
+            if next - floor.min(next) >= t.capacity as u64 {
+                drop(p);
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "backpressure deadline: partition {partition} stayed full for \
+                     {BACKPRESSURE_DEADLINE:?} — is a consumer group stalled?"
+                );
+                let mut guard = t.signal.lock();
+                t.space_ready
+                    .wait_for(&mut guard, Duration::from_millis(10));
+                waited = true;
+                continue;
+            }
+        }
+        let offset = next;
+        let rec = Record {
+            offset,
+            key,
+            value,
+            timestamp,
         };
-        self.broker
-            .inner
-            .stats
-            .records_in
-            .fetch_add(1, Ordering::Relaxed);
-        self.broker
-            .inner
-            .stats
-            .bytes_in
-            .fetch_add(size, Ordering::Relaxed);
-        // Wake blocked consumers.
+        let size = rec.wire_size();
+        p.records.push_back(rec);
+        break (offset, size);
+    };
+    broker
+        .inner
+        .stats
+        .records_in
+        .fetch_add(1, Ordering::Relaxed);
+    broker.inner.stats.bytes_in.fetch_add(size, Ordering::Relaxed);
+    if notify || waited {
+        // Wake blocked consumers (always after a backpressure wait:
+        // the record the consumer is parked for may be this one).
         let _guard = t.signal.lock();
         t.data_ready.notify_all();
-        offset
+    }
+    offset
+}
+
+/// A producer handle bound to a single topic, for forwarding-shaped
+/// hot paths: no per-record topic-name hash lookup, shared-buffer key
+/// and value pass-through, and batched consumer wakeups
+/// ([`TopicWriter::append_quiet`] + one [`TopicWriter::notify`] per
+/// batch instead of a condvar broadcast per record).
+#[derive(Clone)]
+pub struct TopicWriter {
+    broker: Broker,
+    topic: Arc<Topic>,
+}
+
+impl TopicWriter {
+    /// Appends to an explicit partition and wakes consumers, like
+    /// [`Producer::send_to`] but without the topic lookup and with
+    /// shared (refcounted) key bytes.
+    pub fn send_to(
+        &self,
+        partition: usize,
+        key: Option<Arc<[u8]>>,
+        value: impl Into<Arc<[u8]>>,
+        timestamp: Timestamp,
+    ) -> u64 {
+        append(
+            &self.broker,
+            &self.topic,
+            partition,
+            key,
+            value.into(),
+            timestamp,
+            true,
+        )
+    }
+
+    /// Appends without waking consumers; callers forwarding a batch
+    /// follow up with one [`TopicWriter::notify`]. (A backpressure
+    /// wait still notifies, so a bounded pipeline cannot stall on a
+    /// deferred wakeup.)
+    pub fn append_quiet(
+        &self,
+        partition: usize,
+        key: Option<Arc<[u8]>>,
+        value: impl Into<Arc<[u8]>>,
+        timestamp: Timestamp,
+    ) -> u64 {
+        append(
+            &self.broker,
+            &self.topic,
+            partition,
+            key,
+            value.into(),
+            timestamp,
+            false,
+        )
+    }
+
+    /// Wakes consumers parked on this topic — the batch-end pair of
+    /// [`TopicWriter::append_quiet`].
+    pub fn notify(&self) {
+        let _guard = self.topic.signal.lock();
+        self.topic.data_ready.notify_all();
+    }
+
+    /// Number of partitions of the bound topic.
+    pub fn partitions(&self) -> usize {
+        self.topic.partitions.len()
     }
 }
 
@@ -397,12 +619,32 @@ pub struct Consumer {
     /// Rotating start slot for partition-fair polling: the next poll
     /// begins one past where the previous capped poll stopped.
     cursor: AtomicU64,
+    /// The flattened (topic, partition) assignment, cached per
+    /// rebalance generation so steady-state polls neither re-derive
+    /// the assignment nor allocate.
+    slots: Mutex<SlotCache>,
+}
+
+/// Cached partition assignment of one consumer, valid for one group
+/// generation. Each slot carries its pre-built offset-map key, so the
+/// steady-state poll updates committed offsets in place without
+/// cloning group/topic strings per slot per poll.
+struct SlotCache {
+    generation: u64,
+    slots: Vec<Slot>,
+}
+
+struct Slot {
+    topic_idx: u32,
+    topic: Arc<Topic>,
+    partition: u32,
+    offset_key: (String, String, usize),
 }
 
 impl Consumer {
-    /// This member's rank and the group's size, under the current
-    /// membership.
-    fn rank(&self) -> (usize, usize) {
+    /// This member's rank, the group's size and the rebalance
+    /// generation, under the current membership.
+    fn rank(&self) -> (usize, usize, u64) {
         let groups = self.broker.inner.groups.lock();
         let g = groups.get(&self.group).expect("member is registered");
         let rank = g
@@ -410,62 +652,81 @@ impl Consumer {
             .iter()
             .position(|&m| m == self.member)
             .expect("member is listed until dropped");
-        (rank, g.members.len())
+        (rank, g.members.len(), g.generation)
     }
 
     /// The partitions of `topic` this member currently owns:
     /// `p % members == rank`. Re-evaluated on every poll, so a
     /// rebalance takes effect immediately.
     pub fn assigned_partitions(&self, topic: &str) -> Vec<usize> {
-        let (rank, members) = self.rank();
+        let (rank, members, _) = self.rank();
         let n = self.broker.partitions(topic);
         (0..n).filter(|p| p % members == rank).collect()
     }
 
-    /// Non-blocking poll: drains up to `max` available records across
-    /// the topic-partitions assigned to this member, advancing group
-    /// offsets, and reports each record's source partition. Offsets
-    /// advance atomically with the read (one lock), so a group
-    /// delivers every record exactly once even while members join or
-    /// leave.
+    /// Non-blocking poll into a caller-owned buffer — the hot-path
+    /// form of [`Consumer::poll_partitioned`]: appends up to `max`
+    /// `(topic_index, partition, record)` triples to `out` and
+    /// returns how many were appended. The topic index is the
+    /// record's position in this consumer's subscription list
+    /// (subscription order), so routing-by-source costs an array
+    /// index instead of a topic-name clone per record; with a warm
+    /// `out` the poll allocates nothing (records are refcount
+    /// clones, and the partition assignment is cached per rebalance
+    /// generation).
     ///
-    /// Fairness: iteration starts at a rotating cursor, so when `max`
-    /// caps the batch the next poll resumes at the following
-    /// partition instead of re-draining the lowest indices first.
-    pub fn poll_partitioned(&self, max: usize) -> Vec<(String, usize, Record)> {
-        let mut out = Vec::new();
+    /// Offsets advance atomically with the read (one lock), so a
+    /// group delivers every record exactly once even while members
+    /// join or leave. Fairness: iteration starts at a rotating
+    /// cursor, so when `max` caps the batch the next poll resumes at
+    /// the following partition instead of re-draining the lowest
+    /// indices first.
+    pub fn poll_into(&self, max: usize, out: &mut Vec<(u32, u32, Record)>) -> usize {
         if max == 0 {
-            return out;
+            return 0;
         }
-        let (rank, members) = self.rank();
-        // Flatten this member's (topic, partition) slots. Topics are
-        // few and partition counts small; rebuilding per poll keeps
-        // assignment exactly as fresh as the membership.
-        let mut slots: Vec<(usize, Arc<Topic>, usize)> = Vec::new();
-        for (ti, topic_name) in self.topics.iter().enumerate() {
-            let topic = self.broker.topic(topic_name);
-            let parts = topic.partitions.len();
-            for pi in (0..parts).filter(|p| p % members == rank) {
-                slots.push((ti, Arc::clone(&topic), pi));
+        let (rank, members, generation) = self.rank();
+        let mut cache = self.slots.lock();
+        if cache.generation != generation {
+            cache.slots.clear();
+            for (ti, topic_name) in self.topics.iter().enumerate() {
+                let topic = self.broker.topic(topic_name);
+                let parts = topic.partitions.len();
+                for pi in (0..parts).filter(|p| p % members == rank) {
+                    cache.slots.push(Slot {
+                        topic_idx: ti as u32,
+                        topic: Arc::clone(&topic),
+                        partition: pi as u32,
+                        offset_key: (self.group.clone(), topic_name.clone(), pi),
+                    });
+                }
             }
+            cache.generation = generation;
         }
+        let slots = &cache.slots;
         if slots.is_empty() {
-            return out;
+            return 0;
         }
+        let pushed_at_entry = out.len();
         let start = (self.cursor.load(Ordering::Relaxed) % slots.len() as u64) as usize;
         let mut offsets = self.broker.inner.group_offsets.lock();
+        let mut freed_bounded = false;
         for k in 0..slots.len() {
-            let (ti, topic, pi) = &slots[(start + k) % slots.len()];
-            let topic_name = &self.topics[*ti];
-            let key = (self.group.clone(), topic_name.clone(), *pi);
-            let committed = offsets.get(&key).copied().unwrap_or(0);
-            let p = topic.partitions[*pi].lock();
-            let available = p.records.len() as u64;
-            let take = ((available - committed.min(available)) as usize).min(max - out.len());
+            let slot = &slots[(start + k) % slots.len()];
+            let committed = offsets.get(&slot.offset_key).copied().unwrap_or(0);
+            let mut p = slot.topic.partitions[slot.partition as usize].lock();
+            let next = p.base + p.records.len() as u64;
+            // Reads resume from the earliest retained record if this
+            // group's offset predates the trim point (late joiner on
+            // a bounded topic).
+            let read_from = committed.max(p.base).min(next);
+            let take =
+                ((next - read_from) as usize).min(max - (out.len() - pushed_at_entry));
             if take == 0 {
                 continue;
             }
-            for rec in &p.records[committed as usize..committed as usize + take] {
+            let idx = (read_from - p.base) as usize;
+            for rec in p.records.range(idx..idx + take) {
                 self.broker
                     .inner
                     .stats
@@ -476,10 +737,42 @@ impl Consumer {
                     .stats
                     .bytes_out
                     .fetch_add(rec.wire_size(), Ordering::Relaxed);
-                out.push((topic_name.clone(), *pi, rec.clone()));
+                out.push((slot.topic_idx, slot.partition, rec.clone()));
             }
-            offsets.insert(key, committed + take as u64);
-            if out.len() >= max {
+            let advanced = read_from + take as u64;
+            if slot.topic.capacity > 0 {
+                // Mirror the committed floor for bounded producers and
+                // remember to wake any of them parked on this topic.
+                // In-place on the warm path: the floor entry exists
+                // from consumer registration.
+                match p.committed.get_mut(&self.group) {
+                    Some(v) => *v = advanced,
+                    None => {
+                        p.committed.insert(self.group.clone(), advanced);
+                    }
+                }
+                // Trim: drop records every registered group has
+                // consumed — their last log reference — so the pages
+                // backing consumed payloads recycle instead of the
+                // log growing (and faulting) without bound.
+                if let Some(floor) = p.committed.values().copied().min() {
+                    while p.base < floor && !p.records.is_empty() {
+                        p.records.pop_front();
+                        p.base += 1;
+                    }
+                }
+                freed_bounded = true;
+            }
+            drop(p);
+            // In-place on the warm path: the offset entry exists after
+            // this slot's first non-empty poll.
+            match offsets.get_mut(&slot.offset_key) {
+                Some(v) => *v = advanced,
+                None => {
+                    offsets.insert(slot.offset_key.clone(), advanced);
+                }
+            }
+            if out.len() - pushed_at_entry >= max {
                 // Capped mid-rotation: resume after this partition.
                 self.cursor.store(
                     (start + k + 1) as u64 % slots.len() as u64,
@@ -488,7 +781,42 @@ impl Consumer {
                 break;
             }
         }
-        out
+        drop(offsets);
+        if freed_bounded {
+            // Wake producers blocked on backlog space. One notify per
+            // poll batch: bounded topics trade per-record wakeup
+            // latency for batch-granular signalling.
+            let mut notified: [Option<&Arc<Topic>>; 8] = [None; 8];
+            let mut n = 0;
+            for slot in slots.iter() {
+                let topic = &slot.topic;
+                if topic.capacity == 0
+                    || notified[..n]
+                        .iter()
+                        .any(|t| t.map(|t| Arc::ptr_eq(t, topic)).unwrap_or(false))
+                {
+                    continue;
+                }
+                let _guard = topic.signal.lock();
+                topic.space_ready.notify_all();
+                if n < notified.len() {
+                    notified[n] = Some(topic);
+                    n += 1;
+                }
+            }
+        }
+        out.len() - pushed_at_entry
+    }
+
+    /// Allocating wrapper over [`Consumer::poll_into`] reporting topic
+    /// names: drains up to `max` available records across the
+    /// topic-partitions assigned to this member.
+    pub fn poll_partitioned(&self, max: usize) -> Vec<(String, usize, Record)> {
+        let mut buf = Vec::new();
+        self.poll_into(max, &mut buf);
+        buf.into_iter()
+            .map(|(ti, pi, r)| (self.topics[ti as usize].clone(), pi as usize, r))
+            .collect()
     }
 
     /// [`Consumer::poll_partitioned`] without the partition indices —
@@ -499,6 +827,35 @@ impl Consumer {
             .into_iter()
             .map(|(t, _, r)| (t, r))
             .collect()
+    }
+
+    /// Blocking poll into a caller-owned buffer: waits up to `timeout`
+    /// for at least one record, then appends everything available (up
+    /// to `max`) like [`Consumer::poll_into`]. Returns the number
+    /// appended (`0` = timed out empty).
+    pub fn poll_blocking_into(
+        &self,
+        max: usize,
+        timeout: Duration,
+        out: &mut Vec<(u32, u32, Record)>,
+    ) -> usize {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let n = self.poll_into(max, out);
+            if n > 0 {
+                return n;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return 0;
+            }
+            // Wait on the first topic's condvar (all producers notify
+            // their own topic; a short timeout re-checks the rest).
+            let topic = self.broker.topic(&self.topics[0]);
+            let mut guard = topic.signal.lock();
+            let wait = (deadline - now).min(Duration::from_millis(10));
+            topic.data_ready.wait_for(&mut guard, wait);
+        }
     }
 
     /// Blocking poll: waits up to `timeout` for at least one record,
@@ -545,20 +902,42 @@ impl Drop for Consumer {
     /// Leaves the group: surviving members re-divide the partitions
     /// (committed offsets carry over, so nothing is lost or repeated),
     /// and blocked siblings are woken so they notice their enlarged
-    /// assignment.
+    /// assignment. When the **last** member leaves, the group's
+    /// committed floors are withdrawn from its bounded topics — a
+    /// departed group must not freeze backpressure and trimming at
+    /// its final offset (it re-registers a floor, resuming from the
+    /// earliest retained record, if it ever comes back).
     fn drop(&mut self) {
-        {
+        let group_emptied = {
             let mut groups = self.broker.inner.groups.lock();
-            if let Some(state) = groups.get_mut(&self.group) {
-                state.members.retain(|&m| m != self.member);
-                state.generation += 1;
-                if state.members.is_empty() {
-                    groups.remove(&self.group);
+            match groups.get_mut(&self.group) {
+                Some(state) => {
+                    state.members.retain(|&m| m != self.member);
+                    state.generation += 1;
+                    if state.members.is_empty() {
+                        groups.remove(&self.group);
+                        true
+                    } else {
+                        false
+                    }
                 }
+                None => false,
             }
-        }
+        };
         for topic_name in &self.topics {
             let topic = self.broker.topic(topic_name);
+            if group_emptied && topic.capacity > 0 {
+                let mut freed = false;
+                for p in &topic.partitions {
+                    freed |= p.lock().committed.remove(&self.group).is_some();
+                }
+                if freed {
+                    // Producers parked against the departed group's
+                    // floor can re-evaluate their backlog now.
+                    let _guard = topic.signal.lock();
+                    topic.space_ready.notify_all();
+                }
+            }
             let _guard = topic.signal.lock();
             topic.data_ready.notify_all();
         }
@@ -853,6 +1232,163 @@ mod tests {
             (0..10u8).collect::<Vec<_>>(),
             "exactly-once across the rebalance"
         );
+    }
+
+    /// A bounded partition blocks its producer at capacity and
+    /// releases it as soon as a consumer polls the backlog down —
+    /// nothing lost, nothing reordered.
+    #[test]
+    fn bounded_partition_applies_backpressure() {
+        let broker = Broker::new(1);
+        broker.create_topic_with_capacity("b", 1, 4);
+        let consumer = broker.consumer("g", &["b"]);
+        let producer = broker.producer();
+        // Fill to capacity without blocking.
+        for i in 0..4u8 {
+            producer.send_to("b", 0, None, vec![i], ts(0));
+        }
+        // The fifth send must block until the consumer drains.
+        let blocked = thread::spawn({
+            let producer = producer.clone();
+            move || {
+                let start = std::time::Instant::now();
+                producer.send_to("b", 0, None, vec![4], ts(0));
+                start.elapsed()
+            }
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(consumer.poll(2).len(), 2, "drain frees space");
+        let waited = blocked.join().unwrap();
+        assert!(
+            waited >= Duration::from_millis(40),
+            "producer should have blocked (waited {waited:?})"
+        );
+        // Everything arrives exactly once, in order.
+        let mut seen: Vec<u8> = vec![0, 1];
+        loop {
+            let batch = consumer.poll(16);
+            if batch.is_empty() {
+                break;
+            }
+            seen.extend(batch.iter().map(|(_, r)| r.value[0]));
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Bounded topics trim consumed records: once every registered
+    /// group's committed offset passes a record, it leaves the log
+    /// (memory stays flat), while offsets remain absolute and a
+    /// late-joining group reads from the earliest retained record.
+    #[test]
+    fn bounded_topics_trim_consumed_records() {
+        let broker = Broker::new(1);
+        broker.create_topic_with_capacity("b", 1, 100);
+        let c1 = broker.consumer("g1", &["b"]);
+        let producer = broker.producer();
+        for i in 0..10u8 {
+            producer.send_to("b", 0, None, vec![i], ts(0));
+        }
+        assert_eq!(broker.topic_len("b"), 10);
+        let got = c1.poll(6);
+        assert_eq!(got.len(), 6);
+        assert_eq!(
+            broker.topic_len("b"),
+            4,
+            "consumed records trimmed off the log"
+        );
+        // Offsets stay absolute across the trim.
+        let more = c1.poll(10);
+        assert_eq!(more.len(), 4);
+        assert_eq!(more[0].1.offset, 6);
+        assert_eq!(broker.topic_len("b"), 0);
+        // A group joining after the trim starts at the earliest
+        // retained record (nothing retained here → sees only new
+        // records), without stalling producers.
+        let c2 = broker.consumer("g2", &["b"]);
+        producer.send_to("b", 0, None, vec![99], ts(1));
+        let late = c2.poll(10);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].1.value[0], 99);
+        assert_eq!(late[0].1.offset, 10);
+        // g1 sees it too, exactly once.
+        assert_eq!(c1.poll(10).len(), 1);
+    }
+
+    /// A group that fully departs a bounded topic releases its
+    /// committed floor: backpressure and trimming must track the
+    /// *live* slowest group, not a ghost.
+    #[test]
+    fn departed_group_releases_its_backpressure_floor() {
+        let broker = Broker::new(1);
+        broker.create_topic_with_capacity("b", 1, 4);
+        let slow = broker.consumer("slow", &["b"]);
+        let fast = broker.consumer("fast", &["b"]);
+        let producer = broker.producer();
+        for i in 0..4u8 {
+            producer.send_to("b", 0, None, vec![i], ts(0));
+        }
+        // `fast` is caught up; `slow` never polls, pinning the floor.
+        assert_eq!(fast.poll(10).len(), 4);
+        assert_eq!(broker.topic_len("b"), 4, "slow group pins retention");
+        // Once `slow` departs, its floor must not wedge producers.
+        drop(slow);
+        for i in 4..8u8 {
+            producer.send_to("b", 0, None, vec![i], ts(0));
+        }
+        assert_eq!(fast.poll(10).len(), 4, "fast sees the new records");
+        assert_eq!(broker.topic_len("b"), 0, "trimming resumed");
+    }
+
+    /// Backpressure only engages once a consumer group exists: a
+    /// producer racing ahead of consumer creation must not deadlock
+    /// against a floor nobody advances.
+    #[test]
+    fn bounded_topic_without_consumers_does_not_block() {
+        let broker = Broker::new(1);
+        broker.create_topic_with_capacity("b", 1, 2);
+        let producer = broker.producer();
+        for i in 0..10u8 {
+            producer.send_to("b", 0, None, vec![i], ts(0));
+        }
+        assert_eq!(broker.topic_len("b"), 10);
+        // A late consumer still sees everything.
+        let consumer = broker.consumer("g", &["b"]);
+        assert_eq!(consumer.poll(100).len(), 10);
+    }
+
+    /// `poll_into` reports subscription-order topic indices and reuses
+    /// the caller's buffer.
+    #[test]
+    fn poll_into_reports_topic_indices() {
+        let broker = Broker::new(2);
+        broker.create_topic("alpha", 2);
+        broker.create_topic("beta", 2);
+        let producer = broker.producer();
+        producer.send_to("alpha", 0, None, b"a".to_vec(), ts(1));
+        producer.send_to("beta", 1, None, b"b".to_vec(), ts(2));
+        let consumer = broker.consumer("g", &["alpha", "beta"]);
+        let mut buf = Vec::new();
+        let n = consumer.poll_into(16, &mut buf);
+        assert_eq!(n, 2);
+        let mut got: Vec<(u32, u32, u8)> =
+            buf.iter().map(|(t, p, r)| (*t, *p, r.value[0])).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 0, b'a'), (1, 1, b'b')]);
+        // The buffer is appended to, not cleared.
+        consumer_send_and_poll_appends(&broker, &consumer, &mut buf);
+    }
+
+    fn consumer_send_and_poll_appends(
+        broker: &Broker,
+        consumer: &Consumer,
+        buf: &mut Vec<(u32, u32, Record)>,
+    ) {
+        broker
+            .producer()
+            .send_to("alpha", 1, None, b"c".to_vec(), ts(3));
+        let before = buf.len();
+        assert_eq!(consumer.poll_into(16, buf), 1);
+        assert_eq!(buf.len(), before + 1);
     }
 
     #[test]

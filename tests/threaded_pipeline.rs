@@ -151,6 +151,115 @@ fn threaded_sharded_system_survives_repeated_epochs() {
     assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
 }
 
+/// The overlapped runtime under sustained pipelined load: 10 epochs
+/// submitted through a depth-3 pipeline over bounded partitions, all
+/// exact, all in order, with clean health counters — the overlapped
+/// counterpart of the epoch-at-a-time smoke above (both run 10× in
+/// release by the CI stress job).
+#[test]
+fn threaded_sharded_pipelined_epochs_stay_exact_under_load() {
+    use privapprox::core::ShardedSystem;
+
+    let mut system = ShardedSystem::builder()
+        .clients(300)
+        .proxies(2)
+        .shards(4)
+        .workers(4)
+        .pipeline_depth(3)
+        .partition_capacity(128)
+        .seed(0xF10)
+        .build();
+    system.load_numeric_column("t", "v", |i| (i % 10) as f64 + 0.5);
+    let query = system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 10.0, 10))
+        .window(1_000, 1_000)
+        .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+        .submit()
+        .unwrap();
+    for _ in 0..10 {
+        system.submit_epoch(&query).unwrap();
+    }
+    system.flush_epochs().unwrap();
+    let results = system.drain_results();
+    assert_eq!(results.len(), 10);
+    for (epoch, result) in results.iter().enumerate() {
+        assert_eq!(result.sample_size, 300, "epoch {epoch}");
+        for b in 0..10 {
+            assert_eq!(result.buckets[b].estimate, 30.0, "epoch {epoch} bucket {b}");
+        }
+        if epoch > 0 {
+            assert!(result.window.start > results[epoch - 1].window.start);
+        }
+    }
+    assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
+    // Every share of every epoch was really relayed by the free-running
+    // proxy threads (2 proxies × 300 clients × 11 epochs incl. warm
+    // submit... none here — exactly 10 epochs).
+    assert_eq!(system.forwarded_shares(), 2 * 300 * 10);
+}
+
+/// Control-plane traffic around an active overlapped pipeline: a
+/// data reload and a second query registration both land between
+/// in-flight epochs (they flush the pipeline first), so the
+/// epoch-tagged control messages of the aborted overlap drain instead
+/// of interleaving with loads/registrations — yesterday's cleanup
+/// assumed quiescent topics between epochs.
+#[test]
+fn threaded_sharded_control_plane_flushes_in_flight_epochs() {
+    use privapprox::core::ShardedSystem;
+
+    let mut system = ShardedSystem::builder()
+        .clients(80)
+        .proxies(2)
+        .shards(2)
+        .workers(2)
+        .pipeline_depth(3)
+        .seed(0xCAB)
+        .build();
+    system.load_numeric_column("t", "v", |_| 2.5);
+    let query = system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 10.0, 10))
+        .window(1_000, 1_000)
+        .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+        .submit()
+        .unwrap();
+    // Two epochs left hanging in the pipeline...
+    system.submit_epoch(&query).unwrap();
+    system.submit_epoch(&query).unwrap();
+    // ...then a reload: must flush both epochs first (their results
+    // land in the drain buffer), then load.
+    system.load_numeric_column("t", "v", |_| 7.5);
+    let drained = system.drain_results();
+    assert_eq!(drained.len(), 2, "in-flight epochs completed by the load");
+    for r in &drained {
+        assert_eq!(r.sample_size, 80);
+        assert_eq!(r.buckets[2].estimate, 80.0, "old data (2.5 → bucket 2)");
+    }
+    // A new query registration mid-pipeline flushes too.
+    system.submit_epoch(&query).unwrap();
+    let second = system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(AnswerSpec::ranges_with_overflow(0.0, 10.0, 10))
+        .window(1_000, 1_000)
+        .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+        .submit()
+        .unwrap();
+    let drained = system.drain_results();
+    assert_eq!(drained.len(), 1, "in-flight epoch completed by register");
+    assert_eq!(drained[0].buckets[7].estimate, 80.0, "new data (7.5 → bucket 7)");
+    // Both queries keep answering cleanly afterwards.
+    let r1 = system.run_epoch(&query).unwrap();
+    let r2 = system.run_epoch(&second).unwrap();
+    assert_eq!(r1.buckets[7].estimate, 80.0);
+    assert_eq!(r2.buckets[7].estimate, 80.0);
+    assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
+}
+
 #[test]
 fn blocking_consumers_wake_across_threads() {
     // A slow producer feeding a blocked consumer through the broker —
