@@ -30,7 +30,7 @@ pub mod phases;
 pub mod pool;
 
 pub use deploy::DeploymentShape;
-pub use events::EventQueue;
+pub use events::{EventQueue, Heartbeat, HeartbeatStatus, Watchdog};
 pub use net::Link;
 pub use phases::{run_phases, Phase};
 pub use pool::{ClusterSpec, ServerPool};

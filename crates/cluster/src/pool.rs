@@ -25,6 +25,17 @@ impl ClusterSpec {
     pub fn total_cores(&self) -> usize {
         self.nodes * self.cores_per_node
     }
+
+    /// The spec after `failed_nodes` nodes drop out — the capacity a
+    /// supervised deployment degrades to while failed nodes respawn
+    /// (never below one node: a cluster that lost everything is a
+    /// different model than a slow one).
+    pub fn degraded(&self, failed_nodes: usize) -> ClusterSpec {
+        ClusterSpec {
+            nodes: self.nodes.saturating_sub(failed_nodes).max(1),
+            cores_per_node: self.cores_per_node,
+        }
+    }
 }
 
 /// A pool of identical cores with earliest-free scheduling.
@@ -229,5 +240,21 @@ mod tests {
         };
         assert_eq!(spec.total_cores(), 32);
         assert_eq!(ServerPool::for_cluster(spec).cores(), 32);
+    }
+
+    #[test]
+    fn degraded_spec_loses_whole_nodes_but_never_everything() {
+        let spec = ClusterSpec {
+            nodes: 4,
+            cores_per_node: 8,
+        };
+        assert_eq!(spec.degraded(1).total_cores(), 24);
+        assert_eq!(spec.degraded(4).total_cores(), 8, "floor of one node");
+        assert_eq!(spec.degraded(100).total_cores(), 8);
+        // A degraded pool runs the same batch slower, not wrong.
+        let n = 10_000u64;
+        let full = ServerPool::for_cluster(spec).submit_batch(0, n, 2.0);
+        let degraded = ServerPool::for_cluster(spec.degraded(2)).submit_batch(0, n, 2.0);
+        assert!(degraded > full, "fewer cores → longer makespan");
     }
 }

@@ -16,7 +16,7 @@ use privapprox_sampling::srs::ParticipationCoin;
 use privapprox_stats::estimate::ConfidenceInterval;
 use privapprox_stats::normal::normal_quantile;
 use privapprox_stats::tdist::t_critical;
-use privapprox_stream::broker::{Broker, Consumer};
+use privapprox_stream::broker::{Broker, Consumer, TopicWriter};
 use privapprox_stream::join::{JoinOutcome, MidJoiner};
 use privapprox_stream::window::WindowedFold;
 use privapprox_types::ids::AnalystId;
@@ -134,6 +134,12 @@ pub struct Aggregator {
     undecodable: u64,
     /// Decoded answers for unregistered queries.
     unroutable: u64,
+    /// Quarantine sink for undecodable / unroutable records; when
+    /// set, poisoned input is preserved for post-mortem instead of
+    /// silently dropped.
+    dead_letter: Option<TopicWriter>,
+    /// Records written to the dead-letter topic.
+    dead_lettered: u64,
 }
 
 impl Aggregator {
@@ -164,7 +170,17 @@ impl Aggregator {
             spare_results: Vec::new(),
             undecodable: 0,
             unroutable: 0,
+            dead_letter: None,
+            dead_lettered: 0,
         }
+    }
+
+    /// Routes undecodable / unroutable records to a quarantine topic
+    /// instead of dropping them. The writer's topic must have at
+    /// least as many partitions as the proxy output topics; writes
+    /// preserve the original key, payload and timestamp.
+    pub fn set_dead_letter(&mut self, writer: TopicWriter) {
+        self.dead_letter = Some(writer);
     }
 
     /// Registers a query so its answers can be windowed and estimated.
@@ -268,11 +284,12 @@ impl Aggregator {
         F: FnMut(QueryId, Timestamp, &BitVec),
     {
         let mut decoded_count = 0;
+        let mut quarantined = 0u64;
         // Move the batch out so its records can be consumed while the
         // joiner and windows borrow `self`; moved back (no realloc)
         // at the end.
         let mut batch = std::mem::take(&mut self.batch);
-        for (source, _partition, record) in batch.drain(..) {
+        for (source, partition, record) in batch.drain(..) {
             let Some(mid) = record
                 .key
                 .as_deref()
@@ -280,6 +297,10 @@ impl Aggregator {
                 .map(MessageId::from_bytes)
             else {
                 self.undecodable += 1;
+                if let Some(w) = &self.dead_letter {
+                    w.append_quiet(partition as usize, record.key, record.value, record.timestamp);
+                    quarantined += 1;
+                }
                 continue;
             };
             let source = source as usize;
@@ -294,23 +315,53 @@ impl Aggregator {
                     // the joiner's pool. Nothing is allocated per
                     // message once the scratch buffers are warm.
                     let answer = &mut self.answer_scratch;
+                    let mut poisoned = false;
                     match decode_answer_into(&message, answer) {
-                        None => self.undecodable += 1,
+                        None => {
+                            self.undecodable += 1;
+                            poisoned = true;
+                        }
                         Some(qid) => match self.queries.get_mut(&qid) {
-                            None => self.unroutable += 1,
+                            None => {
+                                self.unroutable += 1;
+                                poisoned = true;
+                            }
                             Some(state) if answer.len() == state.buckets => {
                                 tee(qid, record.timestamp, answer);
                                 state.windows.push(record.timestamp, answer);
                                 decoded_count += 1;
                             }
-                            Some(_) => self.undecodable += 1,
+                            Some(_) => {
+                                self.undecodable += 1;
+                                poisoned = true;
+                            }
                         },
+                    }
+                    if poisoned {
+                        // Quarantine the share that completed the
+                        // poisoned join — enough to recover the MID
+                        // and inspect the payload post-mortem.
+                        if let Some(w) = &self.dead_letter {
+                            w.append_quiet(
+                                partition as usize,
+                                record.key,
+                                record.value,
+                                record.timestamp,
+                            );
+                            quarantined += 1;
+                        }
                     }
                     self.joiner.recycle(message);
                 }
             }
         }
         self.batch = batch;
+        if quarantined > 0 {
+            self.dead_lettered += quarantined;
+            if let Some(w) = &self.dead_letter {
+                w.notify();
+            }
+        }
         decoded_count
     }
 
@@ -435,6 +486,18 @@ impl Aggregator {
     /// Count of decoded answers with no registered query.
     pub fn unroutable(&self) -> u64 {
         self.unroutable
+    }
+
+    /// Records quarantined to the dead-letter topic (0 unless
+    /// [`Aggregator::set_dead_letter`] was called).
+    pub fn dead_lettered(&self) -> u64 {
+        self.dead_lettered
+    }
+
+    /// Decoded answers that arrived behind the watermark and were
+    /// dropped by window assignment, summed over registered queries.
+    pub fn late_events(&self) -> u64 {
+        self.queries.values().map(|s| s.windows.late_events()).sum()
     }
 
     /// Joiner-level duplicate rejections (adversarial repeats).

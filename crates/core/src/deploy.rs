@@ -109,13 +109,56 @@
 //! Per-epoch *control* traffic (channel messages, reply vectors) is
 //! deliberately outside that budget — it is O(threads) per epoch,
 //! not O(messages).
+//!
+//! # Failure model (supervised runtime)
+//!
+//! Every deployment thread runs under a supervisor: panics are caught
+//! ([`std::panic::catch_unwind`]), recorded in a crash log, surfaced
+//! as typed [`DeployError`]s from the epoch API (never hangs), and —
+//! by default — the dead thread is **respawned**:
+//!
+//! * a **worker** respawns with the same index, hence the same client
+//!   ids and RNG seeds, and replays the command history — loads for
+//!   real, past answers muted — so its clients' tables are rebuilt
+//!   and their RNG streams resume byte-identically where the dead
+//!   worker's stopped;
+//! * a **shard** respawns by rejoining the `"aggregator"` consumer
+//!   group — committed offsets persist across membership changes, so
+//!   the replacement resumes exactly where the dead shard stopped
+//!   (no replay, no loss beyond what died in its windows) — and is
+//!   pre-registered with every live query;
+//! * a **proxy** respawns onto its own single-member group, resuming
+//!   from the committed offset.
+//!
+//! Epoch closes carry a **deadline**
+//! ([`ShardedSystemBuilder::epoch_deadline`]): a close that cannot
+//! account for all expected answers in time fires anyway with the
+//! decodes at hand — a *partial close*. The estimate stays unbiased
+//! because [`finalize_window_into`] scales by `U/n` with `n` the
+//! answers actually observed: losing answers degrades the deployment
+//! to a smaller effective sampling fraction with a correspondingly
+//! wider confidence interval (degrade-to-sampling), never a biased
+//! number. Partial closes and lost answers are counted in
+//! [`DeployHealth`].
+//!
+//! Epoch-completion accounting is **global**, not per shard: every
+//! decode bumps a shared epoch ledger keyed by epoch tag, and a
+//! close is satisfied when the ledger reaches the epoch's total
+//! expectation. This keeps closes correct across respawns, where the
+//! consumer group's partition → shard assignment reshuffles.
+//!
+//! Poisoned input (malformed keys, undecodable or unroutable
+//! payloads) is quarantined to a dead-letter topic (see
+//! [`Aggregator::set_dead_letter`]) and counted, and every thread
+//! carries a [`Heartbeat`] surfaced through
+//! [`ShardedSystem::thread_health`].
 
 use crate::aggregator::{finalize_window_into, Aggregator, QueryResult, RawWindow};
 use crate::client::{Client, ClientScratch};
-use crate::error::CoreError;
+use crate::error::{CoreError, DeployError};
 use crate::initializer::Initializer;
 use crate::proxy::{inbound_topic, outbound_topic, Proxy};
-use privapprox_cluster::DeploymentShape;
+use privapprox_cluster::{DeploymentShape, Heartbeat, HeartbeatStatus, Watchdog};
 use privapprox_rr::estimate::BucketEstimator;
 use privapprox_sql::{ColumnType, Schema, Value};
 use privapprox_stream::broker::{Broker, BrokerStats, TopicWriter};
@@ -125,18 +168,27 @@ use privapprox_types::{
     Timestamp, Window,
 };
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a shard waits for an epoch's expected in-flight records
-/// before closing with what it has (making the main thread's
-/// completeness assert fire with an exact count) — a liveness
-/// backstop, not a tuning knob: under correct operation every close
-/// is satisfied as soon as the pipeline catches up.
-const DRAIN_DEADLINE: Duration = Duration::from_secs(60);
+/// Default epoch deadline: how long a shard waits for an epoch's
+/// expected in-flight records before closing partially with what it
+/// has — a liveness backstop under correct operation, the
+/// degrade-to-sampling trigger under faults. Configurable via
+/// [`ShardedSystemBuilder::epoch_deadline`].
+const DEFAULT_EPOCH_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Topic poisoned records are quarantined to (unbounded; same
+/// partition count as the data topics).
+const DEAD_LETTER_TOPIC: &str = "dead-letter";
+
+/// How often an idle worker wakes from its command wait to beat its
+/// heartbeat.
+const WORKER_IDLE_BEAT: Duration = Duration::from_millis(250);
 
 /// Park granularity of a free-running shard thread between control
 /// checks (condvar park inside `pump_blocking_with`; close commands
@@ -193,6 +245,98 @@ fn wall_clock_fallback() -> Duration {
     EPOCH.get_or_init(Instant::now).elapsed()
 }
 
+// ---------------------------------------------------------------------------
+// Supervision primitives.
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One caught thread panic, recorded by the supervisor wrapper
+/// *before* the thread's reply channel disconnects — so the main
+/// thread's recv-error path always finds the message waiting.
+struct Crash {
+    role: &'static str,
+    index: usize,
+    message: String,
+}
+
+type CrashLog = Arc<Mutex<Vec<Crash>>>;
+
+/// Removes and returns the crash message recorded for `(role,
+/// index)`, if any.
+fn take_crash(crashes: &CrashLog, role: &'static str, index: usize) -> Option<String> {
+    let mut log = crashes.lock().expect("crash log lock");
+    let pos = log
+        .iter()
+        .position(|c| c.role == role && c.index == index)?;
+    Some(log.remove(pos).message)
+}
+
+/// Global per-epoch decode counts, shared by every shard thread.
+///
+/// Closes are satisfied against the **global** count (the close
+/// command carries the epoch's *total* expectation), which keeps
+/// epoch accounting correct across shard respawns: a consumer-group
+/// rebalance reshuffles the partition → shard assignment, so any
+/// per-shard split of the expectation would go permanently stale the
+/// first time a shard dies.
+///
+/// Shards batch their bumps (one ledger update per poll batch, not
+/// per record), and the entry list is a bounded scan list — at most
+/// pipeline-depth + 1 epochs are live, and the main thread retires
+/// entries once an epoch fully closes — so the warm ledger costs an
+/// uncontended mutex plus a ≤ depth-entry scan per batch and
+/// allocates nothing.
+struct EpochLedger {
+    counts: Mutex<Vec<(Timestamp, u64)>>,
+}
+
+impl EpochLedger {
+    fn new() -> EpochLedger {
+        EpochLedger {
+            counts: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Adds `delta` decodes under `epoch`'s tag.
+    fn add(&self, epoch: Timestamp, delta: u64) {
+        let mut counts = self.counts.lock().expect("ledger lock");
+        match counts.iter_mut().find(|(t, _)| *t == epoch) {
+            Some((_, n)) => *n += delta,
+            None => counts.push((epoch, delta)),
+        }
+    }
+
+    /// Total decodes recorded under `epoch`'s tag.
+    fn count(&self, epoch: Timestamp) -> u64 {
+        self.counts
+            .lock()
+            .expect("ledger lock")
+            .iter()
+            .find(|(t, _)| *t == epoch)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Retires every entry tagged `epoch` or earlier (epoch tags are
+    /// strictly increasing, so this also sweeps stale zombie entries
+    /// from threads that died mid-publish).
+    fn retire(&self, epoch: Timestamp) {
+        self.counts
+            .lock()
+            .expect("ledger lock")
+            .retain(|(t, _)| *t > epoch);
+    }
+}
+
 /// Static configuration of a threaded sharded deployment.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedConfig {
@@ -223,6 +367,23 @@ pub struct ShardedConfig {
     pub confidence: f64,
     /// The analyst's signing key.
     pub analyst_key: u64,
+    /// How long an epoch close may wait for its expected answers
+    /// before closing partially; see
+    /// [`ShardedSystemBuilder::epoch_deadline`].
+    pub epoch_deadline: Duration,
+    /// Whether dead threads are automatically respawned; see
+    /// [`ShardedSystemBuilder::auto_respawn`].
+    pub auto_respawn: bool,
+    /// Fault injection: worker `w` panics after sending its `n`-th
+    /// answer; see [`ShardedSystemBuilder::worker_panic_after`].
+    pub worker_panic_after: Option<(usize, u64)>,
+    /// Fault injection: shard `s` panics after its `n`-th decode; see
+    /// [`ShardedSystemBuilder::shard_panic_after`].
+    pub shard_panic_after: Option<(usize, u64)>,
+    /// Fault injection: workers drop (never send) every share bound
+    /// for shard `s`'s partitions while still accounting the answers;
+    /// see [`ShardedSystemBuilder::drop_shard_traffic`].
+    pub drop_shard_traffic: Option<usize>,
 }
 
 impl Default for ShardedConfig {
@@ -239,6 +400,11 @@ impl Default for ShardedConfig {
             seed: 0,
             confidence: 0.95,
             analyst_key: 0x5EED_0000_CAFE,
+            epoch_deadline: DEFAULT_EPOCH_DEADLINE,
+            auto_respawn: true,
+            worker_panic_after: None,
+            shard_panic_after: None,
+            drop_shard_traffic: None,
         }
     }
 }
@@ -328,6 +494,52 @@ impl ShardedSystemBuilder {
         self
     }
 
+    /// Sets the **epoch deadline**: how long a shard waits for an
+    /// epoch's expected answers before closing with the decodes it
+    /// has (a *partial close*). The estimate of a partial close stays
+    /// unbiased — [`finalize_window_into`] scales by the answers
+    /// actually observed, so losing answers widens the confidence
+    /// interval exactly as a smaller sampling fraction would
+    /// (degrade-to-sampling). Default 60 s.
+    pub fn epoch_deadline(mut self, deadline: Duration) -> Self {
+        self.config.epoch_deadline = deadline;
+        self
+    }
+
+    /// Enables or disables automatic respawn of dead threads
+    /// (default: enabled). With respawn disabled, a dead thread is
+    /// reported as a [`DeployError`] and permanently retired — its
+    /// clients/partitions degrade every subsequent epoch.
+    pub fn auto_respawn(mut self, enabled: bool) -> Self {
+        self.config.auto_respawn = enabled;
+        self
+    }
+
+    /// Fault injection: worker `worker` panics immediately after
+    /// sending its `answers`-th answer (counted across epochs). The
+    /// hook does not survive a respawn — the fault fires once.
+    pub fn worker_panic_after(mut self, worker: usize, answers: u64) -> Self {
+        self.config.worker_panic_after = Some((worker, answers));
+        self
+    }
+
+    /// Fault injection: shard `shard` panics on its `decodes`-th
+    /// decoded answer. The hook does not survive a respawn.
+    pub fn shard_panic_after(mut self, shard: usize, decodes: u64) -> Self {
+        self.config.shard_panic_after = Some((shard, decodes));
+        self
+    }
+
+    /// Fault injection: every worker *accounts* answers bound for
+    /// shard `shard`'s partitions but never sends their shares — the
+    /// deterministic straggler-loss hook behind the partial-close
+    /// tests (the epoch's expectation includes the dropped answers,
+    /// so the close can only fire on its deadline).
+    pub fn drop_shard_traffic(mut self, shard: usize) -> Self {
+        self.config.drop_shard_traffic = Some(shard);
+        self
+    }
+
     /// Adopts thread/shard counts from a cluster-tier mapping — the
     /// bridge from the simulator's `ClusterSpec`s to the real
     /// runtime.
@@ -357,16 +569,52 @@ impl ShardedSystemBuilder {
     ///
     /// # Panics
     ///
-    /// Panics on a zero-client population, fewer than two proxies, or
-    /// zero shards/workers.
+    /// Panics on an invalid configuration; see
+    /// [`ShardedSystemBuilder::try_build`] for the typed-error form.
     pub fn build(self) -> ShardedSystem {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ShardedSystemBuilder::build`] reporting an impossible
+    /// configuration as [`DeployError::InvalidConfig`] instead of
+    /// panicking.
+    pub fn try_build(self) -> Result<ShardedSystem, DeployError> {
         let c = self.config;
-        assert!(c.clients > 0, "population must be positive");
-        assert!(c.proxies >= 2, "PrivApprox requires at least two proxies");
-        assert!(c.shards >= 1, "need at least one aggregator shard");
-        assert!(c.workers >= 1, "need at least one client worker");
+        let invalid = |m: String| Err(DeployError::InvalidConfig(m));
+        if c.clients == 0 {
+            return invalid("population must be positive".into());
+        }
+        if c.proxies < 2 {
+            return invalid("PrivApprox requires at least two proxies".into());
+        }
+        if c.shards < 1 {
+            return invalid("need at least one aggregator shard".into());
+        }
+        if c.workers < 1 {
+            return invalid("need at least one client worker".into());
+        }
         if let Some((s, _)) = c.straggler {
-            assert!(s < c.shards, "straggler shard {s} out of range");
+            if s >= c.shards {
+                return invalid(format!("straggler shard {s} out of range"));
+            }
+        }
+        if let Some((w, _)) = c.worker_panic_after {
+            if w >= c.workers {
+                return invalid(format!("fault-injected worker {w} out of range"));
+            }
+        }
+        if let Some((s, _)) = c.shard_panic_after {
+            if s >= c.shards {
+                return invalid(format!("fault-injected shard {s} out of range"));
+            }
+        }
+        if let Some(s) = c.drop_shard_traffic {
+            if s >= c.shards {
+                return invalid(format!("traffic-dropped shard {s} out of range"));
+            }
+        }
+        if c.epoch_deadline.is_zero() {
+            return invalid("epoch deadline must be positive".into());
         }
         let partitions = c.effective_partitions();
         let broker = Broker::new(partitions);
@@ -390,6 +638,9 @@ impl ShardedSystemBuilder {
             broker.create_topic_with_capacity(&inbound_topic(id), partitions, capacity);
             broker.create_topic_with_capacity(&outbound_topic(id), partitions, capacity);
         }
+        // The quarantine topic is unbounded: poisoned input must
+        // never backpressure the healthy pipeline.
+        broker.create_topic(DEAD_LETTER_TOPIC, partitions);
 
         // Order matters: create every proxy and shard consumer *now*,
         // on this thread, so group membership — and therefore the
@@ -401,13 +652,36 @@ impl ShardedSystemBuilder {
             .map(|i| Proxy::new(ProxyId(i), &broker))
             .collect();
         let shards_instances: Vec<Aggregator> = (0..c.shards)
-            .map(|_| Aggregator::new(&broker, c.proxies as usize, c.confidence))
+            .map(|_| {
+                let mut agg = Aggregator::new(&broker, c.proxies as usize, c.confidence);
+                agg.set_dead_letter(broker.writer(DEAD_LETTER_TOPIC));
+                agg
+            })
             .collect();
 
+        let crashes: CrashLog = Arc::new(Mutex::new(Vec::new()));
+        let ledger = Arc::new(EpochLedger::new());
+        let mut watchdog = Watchdog::new();
+
         let workers = (0..c.workers)
-            .map(|w| WorkerHandle::spawn(w, &c, partitions, &broker))
+            .map(|w| {
+                WorkerHandle::spawn(
+                    w,
+                    &c,
+                    partitions,
+                    &broker,
+                    Arc::clone(&crashes),
+                    watchdog.register(&format!("worker-{w}")),
+                )
+            })
             .collect();
-        let proxy_threads = proxies.into_iter().map(ProxyHandle::spawn).collect();
+        let proxy_threads = proxies
+            .into_iter()
+            .map(|p| {
+                let hb = watchdog.register(&format!("proxy-{}", p.id().0));
+                ProxyHandle::spawn(p, Arc::clone(&crashes), hb, (0, 0, 0))
+            })
+            .collect();
         let shard_threads = shards_instances
             .into_iter()
             .enumerate()
@@ -416,11 +690,25 @@ impl ShardedSystemBuilder {
                     Some((idx, delay)) if idx == s => Some(delay),
                     _ => None,
                 };
-                ShardHandle::spawn(s, agg, straggle)
+                let fuse = match c.shard_panic_after {
+                    Some((idx, n)) if idx == s => Some(n),
+                    _ => None,
+                };
+                ShardHandle::spawn(ShardSpawn {
+                    index: s,
+                    agg,
+                    straggle,
+                    deadline: c.epoch_deadline,
+                    fuse,
+                    ledger: Arc::clone(&ledger),
+                    crashes: Arc::clone(&crashes),
+                    heartbeat: watchdog.register(&format!("shard-{s}")),
+                    broker: broker.clone(),
+                })
             })
             .collect();
 
-        ShardedSystem {
+        Ok(ShardedSystem {
             config: c,
             partitions,
             broker,
@@ -436,29 +724,69 @@ impl ShardedSystemBuilder {
             spare_shells: Vec::new(),
             pending_recycle: vec![Vec::new(); c.shards],
             busy: BusyProfile::new(c.workers, c.proxies as usize, c.shards),
-        }
+            crashes,
+            ledger,
+            watchdog,
+            history: Vec::new(),
+            faults: Vec::new(),
+            partial_closes: 0,
+            lost_answers: 0,
+            respawns: 0,
+        })
     }
 }
 
 // ---------------------------------------------------------------------------
 // Worker threads: own a slice of the client population.
 
-enum WorkerCmd {
-    LoadNumeric {
+/// A replayable load: the worker respawn path re-runs the full load
+/// log on the replacement thread (creates replace tables, so replay
+/// in order is idempotent), rebuilding every owned client's local
+/// store.
+#[derive(Clone)]
+enum LoadCmd {
+    Numeric {
         table: String,
         column: String,
         f: Arc<dyn Fn(usize) -> f64 + Send + Sync>,
     },
-    LoadRows {
+    Rows {
         table: String,
         schema: Schema,
         f: Arc<dyn Fn(usize) -> Vec<Vec<Value>> + Send + Sync>,
     },
+}
+
+/// A replayable worker command, logged by the main thread: the
+/// respawn path re-runs the full history on the replacement thread —
+/// loads for real, answers **muted** (the clients run the complete
+/// answer pipeline, but nothing is sent). The muted replay advances
+/// every owned client's RNG stream to exactly where the dead
+/// worker's was; without it a respawned client would re-issue its
+/// past MIDs, and the aggregator's duplicate defence would silently
+/// swallow its next epoch's answers.
+#[derive(Clone)]
+enum ReplayCmd {
+    Load(LoadCmd),
     Answer {
         query: Query,
         params: ExecutionParams,
         ts: Timestamp,
     },
+}
+
+enum WorkerCmd {
+    Load(LoadCmd),
+    Answer {
+        query: Query,
+        params: ExecutionParams,
+        ts: Timestamp,
+        /// `false` on a respawn's muted history replay: answer (to
+        /// advance the client RNGs), but send and reply nothing.
+        live: bool,
+    },
+    /// Chaos hook: panic on receipt.
+    Die,
     Shutdown,
 }
 
@@ -480,14 +808,31 @@ struct WorkerHandle {
     cmd: Sender<WorkerCmd>,
     reply: Receiver<WorkerReply>,
     thread: Option<JoinHandle<()>>,
+    /// Replies the previous incarnation owed that will never arrive:
+    /// a respawned worker knows nothing of the epochs already
+    /// submitted to its predecessor, so the completion loop skips
+    /// this many recvs (their answers are part of the epoch's lost
+    /// count).
+    reply_debt: usize,
+    /// Permanently retired (respawn disabled or failed, or the thread
+    /// wedged past the deadline and cannot be safely replaced).
+    dead: bool,
 }
 
 impl WorkerHandle {
     /// Spawns worker `w`, owning clients `{i : i % workers == w}`.
     /// Client identities (id, RNG seed) are exactly
     /// [`System`](crate::System)'s, so per-client streams match the
-    /// single-threaded harness seed for seed.
-    fn spawn(w: usize, c: &ShardedConfig, partitions: usize, broker: &Broker) -> WorkerHandle {
+    /// single-threaded harness seed for seed — including across a
+    /// respawn, which reuses the same index.
+    fn spawn(
+        w: usize,
+        c: &ShardedConfig,
+        partitions: usize,
+        broker: &Broker,
+        crashes: CrashLog,
+        heartbeat: Heartbeat,
+    ) -> WorkerHandle {
         let (cmd_tx, cmd_rx) = channel::<WorkerCmd>();
         let (reply_tx, reply_rx) = channel::<WorkerReply>();
         let broker = broker.clone();
@@ -498,104 +843,183 @@ impl WorkerHandle {
             c.analyst_key,
             c.proxies as usize,
         );
+        let mut fuse = match c.worker_panic_after {
+            Some((idx, n)) if idx == w => Some(n),
+            _ => None,
+        };
+        let drop_hook = c.drop_shard_traffic.map(|s| (s, c.shards));
         let thread = std::thread::Builder::new()
             .name(format!("pa-worker-{w}"))
             .spawn(move || {
-                let mut owned: Vec<(usize, Client)> = (0..clients)
-                    .filter(|i| (*i as usize) % workers == w)
-                    .map(|i| (i as usize, Client::new(ClientId(i), seed, key)))
-                    .collect();
-                let mut scratch = ClientScratch::new();
-                // Cached per-topic writers: no topic-name hash per
-                // share, one consumer wakeup per epoch slice (the
-                // blocking polls downstream re-check every ≤10ms, so
-                // forwarding overlaps the answer loop regardless).
-                let writers: Vec<TopicWriter> = (0..n_proxies)
-                    .map(|pi| broker.writer(&inbound_topic(ProxyId(pi as u16))))
-                    .collect();
-                let mut per_partition = vec![0u64; partitions];
-                while let Ok(cmd) = cmd_rx.recv() {
-                    match cmd {
-                        WorkerCmd::LoadNumeric { table, column, f } => {
-                            for (i, client) in &mut owned {
-                                let db = client.db_mut();
-                                db.create_table(
-                                    &table,
-                                    Schema::new(vec![
-                                        ("ts", ColumnType::Int),
-                                        (column.as_str(), ColumnType::Float),
-                                    ]),
-                                );
-                                db.insert(&table, vec![Value::Int(0), Value::Float(f(*i))])
-                                    .expect("schema arity");
-                            }
-                            let _ = reply_tx.send(WorkerReply::Loaded);
-                        }
-                        WorkerCmd::LoadRows { table, schema, f } => {
-                            for (i, client) in &mut owned {
-                                let db = client.db_mut();
-                                db.create_table(&table, schema.clone());
-                                for row in f(*i) {
-                                    db.insert(&table, row).expect("schema arity");
+                // The reply sender stays owned OUTSIDE the caught
+                // closure: a panic is recorded in the crash log
+                // before the channel disconnects, so the main
+                // thread's recv-error path always finds the message.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut owned: Vec<(usize, Client)> = (0..clients)
+                        .filter(|i| (*i as usize) % workers == w)
+                        .map(|i| (i as usize, Client::new(ClientId(i), seed, key)))
+                        .collect();
+                    let mut scratch = ClientScratch::new();
+                    // Cached per-topic writers: no topic-name hash per
+                    // share, one consumer wakeup per epoch slice (the
+                    // blocking polls downstream re-check every ≤10ms, so
+                    // forwarding overlaps the answer loop regardless).
+                    let writers: Vec<TopicWriter> = (0..n_proxies)
+                        .map(|pi| broker.writer(&inbound_topic(ProxyId(pi as u16))))
+                        .collect();
+                    let mut per_partition = vec![0u64; partitions];
+                    loop {
+                        heartbeat.beat();
+                        let cmd = match cmd_rx.recv_timeout(WORKER_IDLE_BEAT) {
+                            Ok(cmd) => cmd,
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
+                        match cmd {
+                            WorkerCmd::Load(LoadCmd::Numeric { table, column, f }) => {
+                                for (i, client) in &mut owned {
+                                    let db = client.db_mut();
+                                    db.create_table(
+                                        &table,
+                                        Schema::new(vec![
+                                            ("ts", ColumnType::Int),
+                                            (column.as_str(), ColumnType::Float),
+                                        ]),
+                                    );
+                                    db.insert(&table, vec![Value::Int(0), Value::Float(f(*i))])
+                                        .expect("schema arity");
                                 }
+                                let _ = reply_tx.send(WorkerReply::Loaded);
                             }
-                            let _ = reply_tx.send(WorkerReply::Loaded);
-                        }
-                        WorkerCmd::Answer { query, params, ts } => {
-                            let t0 = thread_busy_time();
-                            per_partition.iter_mut().for_each(|n| *n = 0);
-                            let mut failure = None;
-                            for (i, client) in &mut owned {
-                                match client.answer_query_into(
-                                    &query,
-                                    &params,
-                                    n_proxies,
-                                    &mut scratch,
-                                ) {
-                                    Ok(None) => {}
-                                    Ok(Some(shares)) => {
-                                        let partition = *i % partitions;
-                                        for (pi, share) in shares.iter().enumerate() {
-                                            writers[pi].append_quiet(
-                                                partition,
-                                                Some(Arc::from(&share.mid.to_bytes()[..])),
-                                                &share.payload[..],
-                                                ts,
-                                            );
+                            WorkerCmd::Load(LoadCmd::Rows { table, schema, f }) => {
+                                for (i, client) in &mut owned {
+                                    let db = client.db_mut();
+                                    db.create_table(&table, schema.clone());
+                                    for row in f(*i) {
+                                        db.insert(&table, row).expect("schema arity");
+                                    }
+                                }
+                                let _ = reply_tx.send(WorkerReply::Loaded);
+                            }
+                            WorkerCmd::Answer {
+                                query,
+                                params,
+                                ts,
+                                live,
+                            } => {
+                                if !live {
+                                    // Muted history replay (respawn
+                                    // catch-up): every client runs
+                                    // the full answer pipeline so its
+                                    // RNG advances exactly as the
+                                    // predecessor's did, stopping at
+                                    // the first error like the live
+                                    // path — but nothing is sent and
+                                    // nothing is replied.
+                                    for (_, client) in &mut owned {
+                                        if client
+                                            .answer_query_into(
+                                                &query,
+                                                &params,
+                                                n_proxies,
+                                                &mut scratch,
+                                            )
+                                            .is_err()
+                                        {
+                                            break;
                                         }
-                                        per_partition[partition] += 1;
                                     }
-                                    Err(e) => {
-                                        failure = Some(e);
-                                        break;
+                                    let _ = ts;
+                                    continue;
+                                }
+                                let t0 = thread_busy_time();
+                                per_partition.iter_mut().for_each(|n| *n = 0);
+                                let mut failure = None;
+                                'clients: for (i, client) in &mut owned {
+                                    match client.answer_query_into(
+                                        &query,
+                                        &params,
+                                        n_proxies,
+                                        &mut scratch,
+                                    ) {
+                                        Ok(None) => {}
+                                        Ok(Some(shares)) => {
+                                            let partition = *i % partitions;
+                                            let dropped = drop_hook
+                                                .is_some_and(|(s, m)| partition % m == s);
+                                            if !dropped {
+                                                for (pi, share) in shares.iter().enumerate() {
+                                                    let sent = writers[pi].try_append_quiet(
+                                                        partition,
+                                                        Some(Arc::from(
+                                                            &share.mid.to_bytes()[..],
+                                                        )),
+                                                        &share.payload[..],
+                                                        ts,
+                                                    );
+                                                    if let Err(e) = sent {
+                                                        // The client's earlier shares
+                                                        // become an expired join; its
+                                                        // answer stays unaccounted.
+                                                        failure = Some(e.into());
+                                                        break 'clients;
+                                                    }
+                                                }
+                                            }
+                                            per_partition[partition] += 1;
+                                            if let Some(n) = fuse.as_mut() {
+                                                if *n <= 1 {
+                                                    panic!("injected worker fault");
+                                                }
+                                                *n -= 1;
+                                            }
+                                        }
+                                        Err(e) => {
+                                            failure = Some(e);
+                                            break;
+                                        }
                                     }
                                 }
+                                for writer in &writers {
+                                    writer.notify();
+                                }
+                                let busy = thread_busy_time().saturating_sub(t0);
+                                // Counts always travel with the reply,
+                                // error or not: shares sent *before* a
+                                // failing client are already in the
+                                // broker, and the epoch-tagged close is
+                                // what lets a later epoch run from
+                                // consistent counts.
+                                let _ = reply_tx.send(WorkerReply::Answered {
+                                    per_partition: per_partition.clone(),
+                                    error: failure,
+                                    busy,
+                                });
                             }
-                            for writer in &writers {
-                                writer.notify();
-                            }
-                            let busy = thread_busy_time().saturating_sub(t0);
-                            // Counts always travel with the reply,
-                            // error or not: shares sent *before* a
-                            // failing client are already in the
-                            // broker, and the epoch-tagged close is
-                            // what lets a later epoch run from
-                            // consistent counts.
-                            let _ = reply_tx.send(WorkerReply::Answered {
-                                per_partition: per_partition.clone(),
-                                error: failure,
-                                busy,
-                            });
+                            WorkerCmd::Die => panic!("injected worker fault"),
+                            WorkerCmd::Shutdown => break,
                         }
-                        WorkerCmd::Shutdown => break,
                     }
+                }));
+                if let Err(payload) = outcome {
+                    crashes.lock().expect("crash log lock").push(Crash {
+                        role: "worker",
+                        index: w,
+                        message: panic_message(&*payload),
+                    });
                 }
+                // reply_tx (and cmd_rx) drop here — after the crash
+                // record is visible.
+                drop(reply_tx);
             })
             .expect("spawn worker thread");
         WorkerHandle {
             cmd: cmd_tx,
             reply: reply_rx,
             thread: Some(thread),
+            reply_debt: 0,
+            dead: false,
         }
     }
 }
@@ -607,8 +1031,12 @@ struct ProxyHandle {
     stop: Arc<AtomicBool>,
     forwarded: Arc<AtomicU64>,
     busy_ns: Arc<AtomicU64>,
+    /// Backpressure deadlines the relay rode out (the batch is
+    /// retained and retried, so these are stalls, not losses).
+    backpressure: Arc<AtomicU64>,
     in_topic: String,
     thread: Option<JoinHandle<()>>,
+    dead: bool,
 }
 
 impl ProxyHandle {
@@ -616,36 +1044,73 @@ impl ProxyHandle {
     /// stop: a proxy holds no epoch state, so it needs no epoch
     /// commands — it parks on the broker's condvar and forwards
     /// whatever lands, whichever epoch it belongs to.
-    fn spawn(mut proxy: Proxy) -> ProxyHandle {
+    ///
+    /// `base` seeds the `(forwarded, busy_ns, backpressure)` counters
+    /// so a respawned relay reports monotone cumulative values.
+    fn spawn(
+        mut proxy: Proxy,
+        crashes: CrashLog,
+        heartbeat: Heartbeat,
+        base: (u64, u64, u64),
+    ) -> ProxyHandle {
+        let index = proxy.id().0 as usize;
         let stop = Arc::new(AtomicBool::new(false));
-        let forwarded = Arc::new(AtomicU64::new(0));
-        let busy_ns = Arc::new(AtomicU64::new(0));
+        let forwarded = Arc::new(AtomicU64::new(base.0));
+        let busy_ns = Arc::new(AtomicU64::new(base.1));
+        let backpressure = Arc::new(AtomicU64::new(base.2));
         let in_topic = inbound_topic(proxy.id());
-        let (stop2, forwarded2, busy2) =
-            (Arc::clone(&stop), Arc::clone(&forwarded), Arc::clone(&busy_ns));
+        let (stop2, forwarded2, busy2, bp2) = (
+            Arc::clone(&stop),
+            Arc::clone(&forwarded),
+            Arc::clone(&busy_ns),
+            Arc::clone(&backpressure),
+        );
         let thread = std::thread::Builder::new()
-            .name(format!("pa-proxy-{}", proxy.id().0))
+            .name(format!("pa-proxy-{index}"))
             .spawn(move || {
-                while !stop2.load(Ordering::Relaxed) {
-                    let t0 = thread_busy_time();
-                    let n = proxy.pump_blocking(PROXY_PARK);
-                    let dt = thread_busy_time().saturating_sub(t0);
-                    busy2.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
-                    if n > 0 {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    while !stop2.load(Ordering::Relaxed) {
+                        heartbeat.beat();
+                        let t0 = thread_busy_time();
+                        let pumped = proxy.try_pump_blocking(PROXY_PARK);
+                        let dt = thread_busy_time().saturating_sub(t0);
+                        busy2.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                        match pumped {
+                            Ok(0) => {}
+                            Ok(n) => {
+                                forwarded2.fetch_add(n, Ordering::Relaxed);
+                            }
+                            // A backpressure deadline is a stall
+                            // downstream, not a relay fault: the
+                            // unforwarded tail stays buffered and the
+                            // next pump retries it.
+                            Err(_) => {
+                                bp2.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    // Final drain so shutdown leaves no stranded shares.
+                    if let Ok(n) = proxy.try_pump() {
                         forwarded2.fetch_add(n, Ordering::Relaxed);
                     }
+                }));
+                if let Err(payload) = outcome {
+                    crashes.lock().expect("crash log lock").push(Crash {
+                        role: "proxy",
+                        index,
+                        message: panic_message(&*payload),
+                    });
                 }
-                // Final drain so shutdown leaves no stranded shares.
-                let n = proxy.pump();
-                forwarded2.fetch_add(n, Ordering::Relaxed);
             })
             .expect("spawn proxy thread");
         ProxyHandle {
             stop,
             forwarded,
             busy_ns,
+            backpressure,
             in_topic,
             thread: Some(thread),
+            dead: false,
         }
     }
 }
@@ -673,48 +1138,98 @@ enum ShardCmd {
     Close(CloseCmd),
     /// Health-counter snapshot (no watermark movement).
     Probe,
+    /// Chaos hook: panic on receipt.
+    Die,
     Shutdown,
 }
 
 enum ShardReply {
     Registered,
     Closed {
-        /// Answers decoded under the closed epoch's tag (equals the
-        /// close's `expect` unless the drain deadline fired).
+        /// Answers **this shard** decoded under the closed epoch's
+        /// tag. The main thread sums the replies: a total below the
+        /// close's global `expect` is a partial close.
         decoded: u64,
         windows: Vec<RawWindow>,
-        /// Cumulative CPU time of the shard thread (monotone).
+        /// Cumulative CPU time of the shard thread (monotone within
+        /// one incarnation; the handle adds the respawn base).
         busy: Duration,
     },
-    /// `(undecodable, unroutable, duplicates, expired_joins)` plus
-    /// cumulative CPU time.
-    Health((u64, u64, u64, u64), Duration),
+    Health {
+        /// `(undecodable, unroutable, duplicates, expired_joins)`.
+        quad: (u64, u64, u64, u64),
+        /// Records quarantined to the dead-letter topic.
+        dead_lettered: u64,
+        /// Decoded answers dropped behind the watermark.
+        late_answers: u64,
+        /// Cumulative CPU time.
+        busy: Duration,
+    },
 }
 
 struct ShardHandle {
     cmd: Sender<ShardCmd>,
     reply: Receiver<ShardReply>,
     thread: Option<JoinHandle<()>>,
+    /// CPU time accumulated by dead predecessor incarnations, added
+    /// to this incarnation's readings so the busy profile stays
+    /// monotone across respawns.
+    busy_base: Duration,
+    dead: bool,
+}
+
+/// Everything a shard thread needs at spawn — grouped because the
+/// respawn path rebuilds the full set.
+struct ShardSpawn {
+    index: usize,
+    agg: Aggregator,
+    straggle: Option<Duration>,
+    deadline: Duration,
+    /// Fault injection: panic on the `n`-th decode.
+    fuse: Option<u64>,
+    ledger: Arc<EpochLedger>,
+    crashes: CrashLog,
+    heartbeat: Heartbeat,
+    broker: Broker,
 }
 
 impl ShardHandle {
-    fn spawn(index: usize, mut agg: Aggregator, straggle: Option<Duration>) -> ShardHandle {
+    fn spawn(spec: ShardSpawn) -> ShardHandle {
+        let ShardSpawn {
+            index,
+            mut agg,
+            straggle,
+            deadline,
+            mut fuse,
+            ledger,
+            crashes,
+            heartbeat,
+            broker,
+        } = spec;
         let (cmd_tx, cmd_rx) = channel::<ShardCmd>();
         let (reply_tx, reply_rx) = channel::<ShardReply>();
         let thread = std::thread::Builder::new()
             .name(format!("pa-shard-{index}"))
             .spawn(move || {
+                // The reply sender stays owned outside the caught
+                // closure — crash record before channel disconnect.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
                 // Per-epoch in-flight accounting: decoded answers per
                 // epoch tag. A bounded scan list, not a map — at most
                 // pipeline-depth + 1 epochs are ever live, entries
                 // retire when their epoch closes, and the warm list
-                // never allocates per message.
+                // never allocates per message. `published` mirrors
+                // what this shard has already reported to the global
+                // ledger (bumps are batched per poll, not per
+                // record).
                 let mut counts: Vec<(Timestamp, u64)> = Vec::new();
+                let mut published: Vec<(Timestamp, u64)> = Vec::new();
                 // Close requests queue in epoch order and are
                 // satisfied strictly FIFO (watermarks must advance in
-                // order); `Instant` tracks the drain deadline.
+                // order); `Instant` tracks the epoch deadline.
                 let mut closes: VecDeque<(CloseCmd, Instant)> = VecDeque::new();
                 'run: loop {
+                    heartbeat.beat();
                     // 1. Absorb all pending control messages.
                     loop {
                         match cmd_rx.try_recv() {
@@ -728,31 +1243,36 @@ impl ShardHandle {
                             }
                             Ok(ShardCmd::Close(c)) => closes.push_back((c, Instant::now())),
                             Ok(ShardCmd::Probe) => {
-                                let _ = reply_tx.send(ShardReply::Health(
-                                    (
+                                let _ = reply_tx.send(ShardReply::Health {
+                                    quad: (
                                         agg.undecodable(),
                                         agg.unroutable(),
                                         agg.duplicates(),
                                         agg.expired_joins(),
                                     ),
-                                    thread_busy_time(),
-                                ));
+                                    dead_lettered: agg.dead_lettered(),
+                                    late_answers: agg.late_events(),
+                                    busy: thread_busy_time(),
+                                });
                             }
+                            Ok(ShardCmd::Die) => panic!("injected shard fault"),
                             Ok(ShardCmd::Shutdown) | Err(TryRecvError::Disconnected) => {
                                 break 'run;
                             }
                             Err(TryRecvError::Empty) => break,
                         }
                     }
-                    // 2. Satisfy the oldest close once its epoch's
-                    //    accounting settles (or its deadline fires).
+                    // 2. Satisfy the oldest close once the epoch's
+                    //    GLOBAL accounting settles (or its deadline
+                    //    fires → partial close).
                     if let Some((front, since)) = closes.front() {
                         let have = counts
                             .iter()
                             .find(|(t, _)| *t == front.epoch)
                             .map(|(_, n)| *n)
                             .unwrap_or(0);
-                        if have >= front.expect || since.elapsed() >= DRAIN_DEADLINE {
+                        let global = ledger.count(front.epoch);
+                        if global >= front.expect || since.elapsed() >= deadline {
                             let (c, _) = closes.pop_front().expect("front exists");
                             if let Some(delay) = straggle {
                                 std::thread::sleep(delay);
@@ -762,14 +1282,20 @@ impl ShardHandle {
                             }
                             let mut windows = Vec::new();
                             agg.advance_watermark_raw_into(c.watermark, &mut windows);
-                            // The epoch's accounting entry retires
+                            // The epoch's accounting entries retire
                             // with the close.
                             counts.retain(|(t, _)| *t > c.epoch);
+                            published.retain(|(t, _)| *t > c.epoch);
                             let _ = reply_tx.send(ShardReply::Closed {
                                 decoded: have,
                                 windows,
                                 busy: thread_busy_time(),
                             });
+                            // Kick sibling shards out of their parks:
+                            // their own close checks re-read the
+                            // ledger at wakeup latency instead of
+                            // park-timeout latency.
+                            broker.notify_topic(&outbound_topic(ProxyId(0)));
                             continue 'run;
                         }
                     }
@@ -779,14 +1305,48 @@ impl ShardHandle {
                             Some((_, n)) => *n += 1,
                             None => counts.push((ts, 1)),
                         }
+                        if let Some(n) = fuse.as_mut() {
+                            if *n <= 1 {
+                                panic!("injected shard fault");
+                            }
+                            *n -= 1;
+                        }
+                    });
+                    // 4. Publish this poll's decode deltas to the
+                    //    global ledger (one bounded-scan lock per
+                    //    poll batch).
+                    for (t, n) in &counts {
+                        match published.iter_mut().find(|(pt, _)| pt == t) {
+                            Some((_, pn)) => {
+                                if *n > *pn {
+                                    ledger.add(*t, *n - *pn);
+                                    *pn = *n;
+                                }
+                            }
+                            None => {
+                                ledger.add(*t, *n);
+                                published.push((*t, *n));
+                            }
+                        }
+                    }
+                }
+                }));
+                if let Err(payload) = outcome {
+                    crashes.lock().expect("crash log lock").push(Crash {
+                        role: "shard",
+                        index,
+                        message: panic_message(&*payload),
                     });
                 }
+                drop(reply_tx);
             })
             .expect("spawn shard thread");
         ShardHandle {
             cmd: cmd_tx,
             reply: reply_rx,
             thread: Some(thread),
+            busy_base: Duration::ZERO,
+            dead: false,
         }
     }
 }
@@ -884,6 +1444,61 @@ pub struct ShardedSystem {
     /// shard slots hold the latest cumulative reading; proxy times
     /// live in the handles' atomics).
     busy: BusyProfile,
+    /// Panic records from supervised threads, drained as faults are
+    /// reported.
+    crashes: CrashLog,
+    /// Global per-epoch decode accounting shared with every shard.
+    ledger: Arc<EpochLedger>,
+    /// Liveness registry: every thread beats a heartbeat here.
+    watchdog: Watchdog,
+    /// Every load and answer command ever issued, for worker-respawn
+    /// replay (loads re-applied, answers muted; see [`ReplayCmd`]).
+    history: Vec<ReplayCmd>,
+    /// Deployment faults observed so far (panics, wedges, respawn
+    /// failures), oldest first.
+    faults: Vec<DeployError>,
+    /// Epochs that closed with fewer answers than expected.
+    partial_closes: u64,
+    /// Answers expected but never accounted across all partial
+    /// closes.
+    lost_answers: u64,
+    /// Threads respawned so far.
+    respawns: u64,
+}
+
+/// A deployment-wide health snapshot: the aggregator quad plus the
+/// quarantine, degradation and supervision counters. See
+/// [`ShardedSystem::deploy_health`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeployHealth {
+    /// Records that failed decode (malformed / corrupt shares).
+    pub undecodable: u64,
+    /// Decoded answers for unregistered queries.
+    pub unroutable: u64,
+    /// Duplicate shares dropped by the joiner.
+    pub duplicates: u64,
+    /// Joins evicted incomplete after the join timeout.
+    pub expired_joins: u64,
+    /// Poisoned records preserved on the dead-letter topic.
+    pub dead_lettered: u64,
+    /// Decoded answers dropped behind the watermark (e.g. records
+    /// arriving after their epoch partially closed).
+    pub late_answers: u64,
+    /// Epochs that closed on their deadline with fewer answers than
+    /// expected (each one degraded to a smaller effective sample).
+    pub partial_closes: u64,
+    /// Answers expected but never accounted across partial closes.
+    pub lost_answers: u64,
+    /// Worker threads that panicked or wedged.
+    pub worker_panics: u64,
+    /// Shard threads that panicked or wedged.
+    pub shard_panics: u64,
+    /// Proxy threads that panicked.
+    pub proxy_panics: u64,
+    /// Threads respawned.
+    pub respawns: u64,
+    /// Backpressure deadlines ridden out by the relays.
+    pub backpressure_stalls: u64,
 }
 
 impl ShardedSystem {
@@ -924,54 +1539,72 @@ impl ShardedSystem {
     /// column, exactly like
     /// [`System::load_numeric_column`](crate::System::load_numeric_column).
     /// Completes any in-flight epochs first: loads must not reorder
-    /// around pending answer commands.
-    pub fn load_numeric_column<F>(&mut self, table: &str, column: &str, f: F)
+    /// around pending answer commands. The load is appended to the
+    /// replay log, so respawned workers rebuild it.
+    pub fn load_numeric_column<F>(&mut self, table: &str, column: &str, f: F) -> Result<(), CoreError>
     where
         F: Fn(usize) -> f64 + Send + Sync + 'static,
     {
-        let _ = self.flush_epochs();
-        let f: Arc<dyn Fn(usize) -> f64 + Send + Sync> = Arc::new(f);
-        for w in &self.workers {
-            w.cmd
-                .send(WorkerCmd::LoadNumeric {
-                    table: table.to_string(),
-                    column: column.to_string(),
-                    f: Arc::clone(&f),
-                })
-                .expect("worker alive");
-        }
-        for w in &self.workers {
-            match w.reply.recv().expect("worker alive") {
-                WorkerReply::Loaded => {}
-                WorkerReply::Answered { .. } => unreachable!("load expects Loaded"),
-            }
-        }
+        self.apply_load(LoadCmd::Numeric {
+            table: table.to_string(),
+            column: column.to_string(),
+            f: Arc::new(f),
+        })
     }
 
     /// Populates every client with arbitrary rows, exactly like
     /// [`System::load_rows`](crate::System::load_rows). Completes any
-    /// in-flight epochs first.
-    pub fn load_rows<F>(&mut self, table: &str, schema: Schema, f: F)
+    /// in-flight epochs first; appended to the replay log.
+    pub fn load_rows<F>(&mut self, table: &str, schema: Schema, f: F) -> Result<(), CoreError>
     where
         F: Fn(usize) -> Vec<Vec<Value>> + Send + Sync + 'static,
     {
+        self.apply_load(LoadCmd::Rows {
+            table: table.to_string(),
+            schema,
+            f: Arc::new(f),
+        })
+    }
+
+    /// Sends a load to every live worker and waits for the acks. A
+    /// worker dying mid-load is respawned — and the respawn replays
+    /// the full load log, which already includes this load, so the
+    /// replacement comes back fully populated.
+    fn apply_load(&mut self, load: LoadCmd) -> Result<(), CoreError> {
         let _ = self.flush_epochs();
-        let f: Arc<dyn Fn(usize) -> Vec<Vec<Value>> + Send + Sync> = Arc::new(f);
+        self.repair();
+        // Log before sending: a respawn triggered below must replay
+        // this load too.
+        self.history.push(ReplayCmd::Load(load.clone()));
         for w in &self.workers {
-            w.cmd
-                .send(WorkerCmd::LoadRows {
-                    table: table.to_string(),
-                    schema: schema.clone(),
-                    f: Arc::clone(&f),
-                })
-                .expect("worker alive");
+            if w.dead {
+                continue;
+            }
+            let _ = w.cmd.send(WorkerCmd::Load(load.clone()));
         }
-        for w in &self.workers {
-            match w.reply.recv().expect("worker alive") {
-                WorkerReply::Loaded => {}
-                WorkerReply::Answered { .. } => unreachable!("load expects Loaded"),
+        let mut result = Ok(());
+        for wi in 0..self.workers.len() {
+            if self.workers[wi].dead {
+                continue;
+            }
+            match self.workers[wi].reply.recv_timeout(self.control_wait()) {
+                Ok(WorkerReply::Loaded) => {}
+                Ok(WorkerReply::Answered { .. }) => unreachable!("load expects Loaded"),
+                Err(err) => {
+                    let fault = self.worker_down(wi, err);
+                    if result.is_ok() {
+                        result = Err(fault.into());
+                    }
+                    // A successful respawn replayed the log (this
+                    // load included), so the deployment is whole
+                    // again even though the fault is reported.
+                    if self.respawn_worker(wi).is_ok() {
+                        result = Ok(());
+                    }
+                }
             }
         }
+        result
     }
 
     /// Opens an analyst session for query submission.
@@ -995,27 +1628,46 @@ impl ShardedSystem {
     /// shard (the lower-level path under
     /// [`ShardedAnalystSession::submit`]). Completes any in-flight
     /// epochs first so registration cannot interleave with pending
-    /// closes.
-    pub fn register(&mut self, query: Query, params: ExecutionParams) {
+    /// closes. A shard dying mid-registration is respawned
+    /// pre-registered (respawns register every known query), so the
+    /// deployment never runs with a query known to some shards only.
+    pub fn register(&mut self, query: Query, params: ExecutionParams) -> Result<(), CoreError> {
         let _ = self.flush_epochs();
+        self.repair();
+        // Record before sending: a respawn triggered below registers
+        // from this map, covering the in-flight registration.
+        self.queries.insert(query.id, (query.clone(), params));
         for shard in &self.shards {
-            shard
-                .cmd
-                .send(ShardCmd::Register {
-                    query: Box::new(query.clone()),
-                    params,
-                    population: self.config.clients,
-                })
-                .expect("shard alive");
+            if shard.dead {
+                continue;
+            }
+            let _ = shard.cmd.send(ShardCmd::Register {
+                query: Box::new(query.clone()),
+                params,
+                population: self.config.clients,
+            });
         }
         self.wake_shards();
-        for shard in &self.shards {
-            match shard.reply.recv().expect("shard alive") {
-                ShardReply::Registered => {}
-                _ => unreachable!("register expects Registered"),
+        let mut result = Ok(());
+        for s in 0..self.shards.len() {
+            if self.shards[s].dead {
+                continue;
+            }
+            match self.shards[s].reply.recv_timeout(self.control_wait()) {
+                Ok(ShardReply::Registered) => {}
+                Ok(_) => unreachable!("register expects Registered"),
+                Err(err) => {
+                    let fault = self.shard_down(s, err);
+                    if result.is_ok() {
+                        result = Err(fault.into());
+                    }
+                    if self.respawn_shard(s).is_ok() {
+                        result = Ok(());
+                    }
+                }
             }
         }
-        self.queries.insert(query.id, (query, params));
+        result
     }
 
     /// Submits one epoch of a query into the pipeline: the workers
@@ -1040,15 +1692,47 @@ impl ShardedSystem {
         let ts = Timestamp(epoch_start + window_size / 2);
         let watermark = Timestamp(epoch_start + window_size);
         self.now_ms = watermark.0;
-        for w in &self.workers {
-            w.cmd
-                .send(WorkerCmd::Answer {
+        for wi in 0..self.workers.len() {
+            if self.workers[wi].dead {
+                continue;
+            }
+            let cmd = WorkerCmd::Answer {
+                query: query.clone(),
+                params,
+                ts,
+                live: true,
+            };
+            if self.workers[wi].cmd.send(cmd).is_ok() {
+                continue;
+            }
+            // The command channel disconnected: the worker died since
+            // its last reply. Report, respawn, and re-send this
+            // epoch's command to the replacement (which replayed the
+            // history, so its clients answer identically). This
+            // epoch enters the history only below, after the send
+            // loop — the replacement must receive it live, not as a
+            // muted replay.
+            let fault = self.worker_down(wi, RecvTimeoutError::Disconnected);
+            if result.is_ok() {
+                result = Err(fault.into());
+            }
+            if self.respawn_worker(wi).is_ok() {
+                let resend = WorkerCmd::Answer {
                     query: query.clone(),
                     params,
                     ts,
-                })
-                .expect("worker alive");
+                    live: true,
+                };
+                if self.workers[wi].cmd.send(resend).is_ok() {
+                    result = Ok(());
+                }
+            }
         }
+        self.history.push(ReplayCmd::Answer {
+            query: query.clone(),
+            params,
+            ts,
+        });
         self.in_flight.push_back(InFlightEpoch {
             epoch: ts,
             watermark,
@@ -1105,22 +1789,47 @@ impl ShardedSystem {
     }
 
     /// Completes the oldest in-flight epoch. `lenient` (drop path)
-    /// tolerates dead threads and incomplete drains instead of
-    /// panicking.
+    /// tolerates dead threads and incomplete drains without reporting
+    /// faults or respawning.
+    ///
+    /// This is the supervised heart of the runtime: every wait is
+    /// deadlined, a worker or shard that died mid-epoch surfaces as a
+    /// typed [`DeployError`] (and is respawned), and an epoch whose
+    /// global accounting cannot settle closes **partially** — the
+    /// shards emit the decodes they have, the estimate scales by the
+    /// observed sample (degrade-to-sampling), and the loss is counted
+    /// in [`DeployHealth`].
     fn complete_oldest(&mut self, lenient: bool) -> Result<(), CoreError> {
         let Some(ep) = self.in_flight.pop_front() else {
             return Ok(());
         };
         // Worker replies arrive strictly in command order per worker,
         // so the oldest pending Answered on each channel is this
-        // epoch's.
+        // epoch's. A respawned worker skips the replies its dead
+        // predecessor still owed (`reply_debt`).
+        let wait = self.control_wait();
         let mut per_partition = vec![0u64; self.partitions];
-        let mut first_error = None;
-        for (wi, w) in self.workers.iter().enumerate() {
-            let reply = match w.reply.recv() {
+        let mut first_error: Option<CoreError> = None;
+        for wi in 0..self.workers.len() {
+            if self.workers[wi].dead {
+                continue;
+            }
+            if self.workers[wi].reply_debt > 0 {
+                self.workers[wi].reply_debt -= 1;
+                continue;
+            }
+            let reply = match self.workers[wi].reply.recv_timeout(wait) {
                 Ok(r) => r,
-                Err(_) if lenient => continue,
-                Err(_) => panic!("worker {wi} died mid-epoch"),
+                Err(err) => {
+                    if lenient {
+                        self.workers[wi].dead = true;
+                    } else {
+                        let fault = self.worker_down(wi, err);
+                        first_error = first_error.or(Some(fault.into()));
+                        let _ = self.respawn_worker(wi);
+                    }
+                    continue;
+                }
             };
             match reply {
                 WorkerReply::Answered {
@@ -1139,6 +1848,12 @@ impl ShardedSystem {
                 WorkerReply::Loaded => unreachable!("answer expects Answered"),
             }
         }
+        // Sweep dead relays before waiting on the closes: a dead
+        // proxy strands shares on its inbound topic, and respawning
+        // it now lets the close drain instead of deadlining.
+        if !lenient {
+            self.check_proxies();
+        }
         // Even when a client errored, the epoch still closes: the
         // shares sent before the failure are in the broker, and the
         // epoch-tagged close (with the exact partial count) is what
@@ -1146,63 +1861,95 @@ impl ShardedSystem {
         // from consistent accounting. The partial window surfaces via
         // `drain_results`, mirroring `System`. The error is returned
         // after cleanup.
-        let expects: Vec<u64> = (0..self.config.shards)
-            .map(|s| {
-                per_partition
-                    .iter()
-                    .enumerate()
-                    .filter(|(p, _)| p % self.config.shards == s)
-                    .map(|(_, n)| n)
-                    .sum()
-            })
-            .collect();
+        //
+        // The close carries the epoch's *total* expectation — every
+        // shard closes against the global ledger, which stays correct
+        // when a respawn reshuffles the partition → shard assignment.
+        let expect: u64 = per_partition.iter().sum();
         for (s, shard) in self.shards.iter().enumerate() {
+            if shard.dead {
+                continue;
+            }
             let _ = shard.cmd.send(ShardCmd::Close(CloseCmd {
                 epoch: ep.epoch,
-                expect: expects[s],
+                expect,
                 watermark: ep.watermark,
                 recycle: std::mem::take(&mut self.pending_recycle[s]),
             }));
         }
         self.wake_shards();
+        // A live shard replies within the epoch deadline by
+        // construction (the deadline fires the close even when the
+        // accounting cannot settle); the slack on top only covers
+        // scheduling, so a miss means the thread is gone.
+        let shard_wait = self.config.epoch_deadline + wait;
         let mut merged: Vec<(QueryId, Window, BucketEstimator, usize)> = Vec::new();
-        for (s, shard) in self.shards.iter().enumerate() {
-            let reply = match shard.reply.recv() {
-                Ok(r) => r,
-                Err(_) if lenient => continue,
-                Err(_) => panic!("shard {s} died mid-epoch"),
-            };
-            match reply {
-                ShardReply::Closed {
-                    decoded,
-                    windows,
-                    busy,
-                } => {
-                    self.busy.shards[s] = busy;
-                    if !lenient {
-                        assert_eq!(
-                            decoded, expects[s],
-                            "shard {s} close incomplete: {decoded}/{} answers decoded \
-                             for epoch tagged {:?}",
-                            expects[s], ep.epoch
-                        );
-                    }
-                    for rw in windows {
-                        match merged
-                            .iter_mut()
-                            .find(|(q, w, _, _)| *q == rw.query && *w == rw.window)
-                        {
-                            Some((_, _, est, _)) => {
-                                est.merge(&rw.estimator);
-                                self.pending_recycle[s].push(rw.estimator);
+        let mut total_decoded = 0u64;
+        for s in 0..self.shards.len() {
+            if self.shards[s].dead {
+                continue;
+            }
+            let mut retried = false;
+            loop {
+                match self.shards[s].reply.recv_timeout(shard_wait) {
+                    Ok(ShardReply::Closed {
+                        decoded,
+                        windows,
+                        busy,
+                    }) => {
+                        self.busy.shards[s] = self.shards[s].busy_base + busy;
+                        total_decoded += decoded;
+                        for rw in windows {
+                            match merged
+                                .iter_mut()
+                                .find(|(q, w, _, _)| *q == rw.query && *w == rw.window)
+                            {
+                                Some((_, _, est, _)) => {
+                                    est.merge(&rw.estimator);
+                                    self.pending_recycle[s].push(rw.estimator);
+                                }
+                                None => merged.push((rw.query, rw.window, rw.estimator, s)),
                             }
-                            None => merged.push((rw.query, rw.window, rw.estimator, s)),
                         }
+                        break;
+                    }
+                    Ok(_) => unreachable!("close expects Closed"),
+                    Err(err) => {
+                        if lenient {
+                            self.shards[s].dead = true;
+                            break;
+                        }
+                        let fault = self.shard_down(s, err);
+                        first_error = first_error.or(Some(fault.into()));
+                        if retried || self.respawn_shard(s).is_err() {
+                            break;
+                        }
+                        // Re-issue the close to the replacement: the
+                        // windows the dead shard held are lost (the
+                        // close goes partial), but the watermark
+                        // still advances on every shard — in order.
+                        retried = true;
+                        let _ = self.shards[s].cmd.send(ShardCmd::Close(CloseCmd {
+                            epoch: ep.epoch,
+                            expect,
+                            watermark: ep.watermark,
+                            recycle: Vec::new(),
+                        }));
+                        self.wake_shards();
                     }
                 }
-                _ => unreachable!("close expects Closed"),
             }
         }
+        // Fewer decodes accounted than answers sent: the epoch closed
+        // partially (deadline fired, or a shard died with decodes in
+        // its windows). More is also possible — a dead worker's
+        // pre-crash shares decode without a reply to expect them —
+        // and is not a degradation.
+        if !lenient && total_decoded < expect {
+            self.partial_closes += 1;
+            self.lost_answers += expect - total_decoded;
+        }
+        self.ledger.retire(ep.epoch);
         merged.sort_unstable_by_key(|(q, w, _, _)| (w.start, q.to_u64()));
         for (qid, window, est, src) in merged {
             let (_, qparams) = self.queries.get(&qid).expect("registered query");
@@ -1247,25 +1994,382 @@ impl ShardedSystem {
     /// any in-flight epochs first, so the snapshot covers everything
     /// submitted so far.
     pub fn aggregator_health(&mut self) -> (u64, u64, u64, u64) {
+        let t = self.probe_shards();
+        (t.0, t.1, t.2, t.3)
+    }
+
+    /// Probes every live shard for its cumulative counters:
+    /// `(undecodable, unroutable, duplicates, expired_joins,
+    /// dead_lettered, late_answers)` summed across shards.
+    fn probe_shards(&mut self) -> (u64, u64, u64, u64, u64, u64) {
         let _ = self.flush_epochs();
-        let mut totals = (0, 0, 0, 0);
+        self.repair();
+        let mut totals = (0, 0, 0, 0, 0, 0);
         for shard in &self.shards {
-            shard.cmd.send(ShardCmd::Probe).expect("shard alive");
+            if shard.dead {
+                continue;
+            }
+            let _ = shard.cmd.send(ShardCmd::Probe);
         }
         self.wake_shards();
-        for (s, shard) in self.shards.iter().enumerate() {
-            match shard.reply.recv().expect("shard alive") {
-                ShardReply::Health(health, busy) => {
-                    self.busy.shards[s] = busy;
-                    totals.0 += health.0;
-                    totals.1 += health.1;
-                    totals.2 += health.2;
-                    totals.3 += health.3;
+        for s in 0..self.shards.len() {
+            if self.shards[s].dead {
+                continue;
+            }
+            match self.shards[s].reply.recv_timeout(self.control_wait()) {
+                Ok(ShardReply::Health {
+                    quad,
+                    dead_lettered,
+                    late_answers,
+                    busy,
+                }) => {
+                    self.busy.shards[s] = self.shards[s].busy_base + busy;
+                    totals.0 += quad.0;
+                    totals.1 += quad.1;
+                    totals.2 += quad.2;
+                    totals.3 += quad.3;
+                    totals.4 += dead_lettered;
+                    totals.5 += late_answers;
                 }
-                _ => unreachable!("probe expects Health"),
+                Ok(_) => unreachable!("probe expects Health"),
+                Err(err) => {
+                    // A shard that died since its last close: its
+                    // counters are lost with it (the respawn restarts
+                    // them at zero).
+                    let _ = self.shard_down(s, err);
+                    let _ = self.respawn_shard(s);
+                }
             }
         }
         totals
+    }
+
+    /// The deployment-wide health snapshot: data-plane quarantine and
+    /// degradation counters plus the supervision record. Completes
+    /// in-flight epochs and repairs dead threads first.
+    pub fn deploy_health(&mut self) -> DeployHealth {
+        let t = self.probe_shards();
+        let mut health = DeployHealth {
+            undecodable: t.0,
+            unroutable: t.1,
+            duplicates: t.2,
+            expired_joins: t.3,
+            dead_lettered: t.4,
+            late_answers: t.5,
+            partial_closes: self.partial_closes,
+            lost_answers: self.lost_answers,
+            respawns: self.respawns,
+            backpressure_stalls: self
+                .proxies
+                .iter()
+                .map(|p| p.backpressure.load(Ordering::Relaxed))
+                .sum(),
+            ..DeployHealth::default()
+        };
+        for fault in &self.faults {
+            match fault {
+                DeployError::WorkerPanic { .. } => health.worker_panics += 1,
+                DeployError::ShardPanic { .. } => health.shard_panics += 1,
+                DeployError::ProxyPanic { .. } => health.proxy_panics += 1,
+                _ => {}
+            }
+        }
+        health
+    }
+
+    /// Every deployment fault observed so far (panics, wedges,
+    /// respawn failures), oldest first. Faults are also returned from
+    /// the epoch API as they happen; this is the cumulative record.
+    pub fn faults(&self) -> &[DeployError] {
+        &self.faults
+    }
+
+    /// Liveness snapshot of every supervised thread from the
+    /// heartbeat registry: `(thread name, status)`, stale when the
+    /// thread has not beaten within `stale_after`. Workers beat at
+    /// least every [`WORKER_IDLE_BEAT`](ShardedSystemBuilder) while
+    /// idle; proxies and shards beat once per park interval — pass a
+    /// `stale_after` comfortably above ~250 ms.
+    pub fn thread_health(&self, stale_after: Duration) -> Vec<(String, HeartbeatStatus)> {
+        self.watchdog.statuses(stale_after)
+    }
+
+    /// Records quarantined on the dead-letter topic and not yet
+    /// consumed by an operator (poisoned input is preserved verbatim
+    /// for offline inspection, never silently dropped).
+    pub fn dead_letter_backlog(&self) -> u64 {
+        self.broker.topic_len(DEAD_LETTER_TOPIC)
+    }
+
+    /// Chaos hook: makes worker `w` panic on its next command poll.
+    pub fn inject_worker_panic(&mut self, w: usize) {
+        let _ = self.workers[w].cmd.send(WorkerCmd::Die);
+    }
+
+    /// Chaos hook: makes shard `s` panic on its next control check.
+    pub fn inject_shard_panic(&mut self, s: usize) {
+        let _ = self.shards[s].cmd.send(ShardCmd::Die);
+        self.wake_shards();
+    }
+
+    // -- supervision internals ---------------------------------------------
+
+    /// How long a control wait (load ack, registration ack, worker
+    /// epoch reply) may block before the peer is declared dead: the
+    /// epoch deadline, floored at the default so short-deadline
+    /// configurations (partial-close tests) don't misread a healthy
+    /// but slow thread as dead.
+    fn control_wait(&self) -> Duration {
+        self.config.epoch_deadline.max(DEFAULT_EPOCH_DEADLINE)
+    }
+
+    /// Declares worker `wi` dead after a failed wait and returns the
+    /// typed fault. Distinguishes a *wedge* (deadline elapsed, thread
+    /// still running — retired but never respawned, because a live
+    /// predecessor could double-send shares) from real death (thread
+    /// gone; the crash log holds the panic message).
+    fn worker_down(&mut self, wi: usize, err: RecvTimeoutError) -> DeployError {
+        let wedged = err == RecvTimeoutError::Timeout
+            && self.workers[wi]
+                .thread
+                .as_ref()
+                .is_some_and(|t| !t.is_finished());
+        let message = if wedged {
+            // The handle keeps the JoinHandle: its presence is what
+            // marks the slot non-respawnable.
+            "wedged: no reply within the control deadline".to_string()
+        } else {
+            if let Some(t) = self.workers[wi].thread.take() {
+                let _ = t.join();
+            }
+            take_crash(&self.crashes, "worker", wi)
+                .unwrap_or_else(|| "thread exited without a panic record".to_string())
+        };
+        self.workers[wi].dead = true;
+        let fault = DeployError::WorkerPanic {
+            worker: wi,
+            message,
+        };
+        self.faults.push(fault.clone());
+        fault
+    }
+
+    /// Declares shard `s` dead after a failed wait; see
+    /// [`ShardedSystem::worker_down`] for the wedge distinction.
+    fn shard_down(&mut self, s: usize, err: RecvTimeoutError) -> DeployError {
+        let wedged = err == RecvTimeoutError::Timeout
+            && self.shards[s]
+                .thread
+                .as_ref()
+                .is_some_and(|t| !t.is_finished());
+        let message = if wedged {
+            "wedged: no reply within the control deadline".to_string()
+        } else {
+            if let Some(t) = self.shards[s].thread.take() {
+                let _ = t.join();
+            }
+            take_crash(&self.crashes, "shard", s)
+                .unwrap_or_else(|| "thread exited without a panic record".to_string())
+        };
+        self.shards[s].dead = true;
+        let fault = DeployError::ShardPanic { shard: s, message };
+        self.faults.push(fault.clone());
+        fault
+    }
+
+    /// Sweeps the relay threads for silent deaths (proxies have no
+    /// reply channel, so death shows as a finished thread) and
+    /// respawns them.
+    fn check_proxies(&mut self) {
+        for i in 0..self.proxies.len() {
+            if self.proxies[i].dead {
+                continue;
+            }
+            let finished = self.proxies[i]
+                .thread
+                .as_ref()
+                .is_some_and(|t| t.is_finished());
+            if !finished {
+                continue;
+            }
+            if let Some(t) = self.proxies[i].thread.take() {
+                let _ = t.join();
+            }
+            self.proxies[i].dead = true;
+            let message = take_crash(&self.crashes, "proxy", i)
+                .unwrap_or_else(|| "thread exited unexpectedly".to_string());
+            self.faults.push(DeployError::ProxyPanic { proxy: i, message });
+            let _ = self.respawn_proxy(i);
+        }
+    }
+
+    /// Respawns every dead-but-respawnable thread — the control-path
+    /// repair pass run before loads, registrations and probes.
+    fn repair(&mut self) {
+        self.check_proxies();
+        for wi in 0..self.workers.len() {
+            if self.workers[wi].dead && self.workers[wi].thread.is_none() && self.config.auto_respawn
+            {
+                let _ = self.respawn_worker(wi);
+            }
+        }
+        for s in 0..self.shards.len() {
+            if self.shards[s].dead && self.shards[s].thread.is_none() && self.config.auto_respawn {
+                let _ = self.respawn_shard(s);
+            }
+        }
+    }
+
+    /// Respawns worker `wi` under the same index — same client ids
+    /// and RNG seeds — and replays the command history: loads for
+    /// real (rebuilding the clients' tables), past answers muted
+    /// (advancing each client's RNG to exactly where the dead
+    /// worker's was, so the replacement's future MIDs and coin flips
+    /// are byte-identical to what the dead worker would have
+    /// produced). Injected fault hooks do not survive the respawn.
+    fn respawn_worker(&mut self, wi: usize) -> Result<(), DeployError> {
+        if !self.config.auto_respawn || self.workers[wi].thread.is_some() {
+            let fault = DeployError::RespawnFailed {
+                role: "worker",
+                index: wi,
+            };
+            self.faults.push(fault.clone());
+            return Err(fault);
+        }
+        let mut cfg = self.config;
+        cfg.worker_panic_after = None;
+        let heartbeat = self.watchdog.register(&format!("worker-{wi}"));
+        let handle = WorkerHandle::spawn(
+            wi,
+            &cfg,
+            self.partitions,
+            &self.broker,
+            Arc::clone(&self.crashes),
+            heartbeat,
+        );
+        let mut loads = 0usize;
+        for cmd in &self.history {
+            let msg = match cmd {
+                ReplayCmd::Load(load) => {
+                    loads += 1;
+                    WorkerCmd::Load(load.clone())
+                }
+                ReplayCmd::Answer { query, params, ts } => WorkerCmd::Answer {
+                    query: query.clone(),
+                    params: *params,
+                    ts: *ts,
+                    live: false,
+                },
+            };
+            let _ = handle.cmd.send(msg);
+        }
+        // Only the loads ack (muted answers reply nothing); commands
+        // are FIFO per channel, so once the last load acks, any live
+        // command sent next runs after the whole replay.
+        let wait = self.control_wait();
+        for _ in 0..loads {
+            match handle.reply.recv_timeout(wait) {
+                Ok(WorkerReply::Loaded) => {}
+                _ => {
+                    let fault = DeployError::RespawnFailed {
+                        role: "worker",
+                        index: wi,
+                    };
+                    self.faults.push(fault.clone());
+                    return Err(fault);
+                }
+            }
+        }
+        self.workers[wi] = handle;
+        // Answer commands sent to the dead predecessor will never be
+        // replied to (and any replies it queued died with its
+        // channel): the completion loop skips that many waits.
+        self.workers[wi].reply_debt = self.in_flight.len();
+        self.respawns += 1;
+        Ok(())
+    }
+
+    /// Respawns shard `s`: a fresh [`Aggregator`] rejoins the
+    /// `"aggregator"` consumer group (committed offsets persist, so
+    /// the replacement resumes exactly where the group left off) and
+    /// is registered with every live query before the slot goes back
+    /// into service. Decodes held in the dead shard's open windows
+    /// are lost — the affected epochs close partially.
+    fn respawn_shard(&mut self, s: usize) -> Result<(), DeployError> {
+        let failed = |faults: &mut Vec<DeployError>| {
+            let fault = DeployError::RespawnFailed {
+                role: "shard",
+                index: s,
+            };
+            faults.push(fault.clone());
+            Err(fault)
+        };
+        if !self.config.auto_respawn || self.shards[s].thread.is_some() {
+            return failed(&mut self.faults);
+        }
+        let mut agg = Aggregator::new(&self.broker, self.config.proxies as usize, self.config.confidence);
+        agg.set_dead_letter(self.broker.writer(DEAD_LETTER_TOPIC));
+        let straggle = match self.config.straggler {
+            Some((idx, delay)) if idx == s => Some(delay),
+            _ => None,
+        };
+        let busy_base = self.busy.shards[s];
+        let handle = ShardHandle::spawn(ShardSpawn {
+            index: s,
+            agg,
+            straggle,
+            deadline: self.config.epoch_deadline,
+            // Injected fault hooks fire once; never re-armed.
+            fuse: None,
+            ledger: Arc::clone(&self.ledger),
+            crashes: Arc::clone(&self.crashes),
+            heartbeat: self.watchdog.register(&format!("shard-{s}")),
+            broker: self.broker.clone(),
+        });
+        for (query, params) in self.queries.values() {
+            let _ = handle.cmd.send(ShardCmd::Register {
+                query: Box::new(query.clone()),
+                params: *params,
+                population: self.config.clients,
+            });
+        }
+        self.wake_shards();
+        let wait = self.control_wait();
+        for _ in 0..self.queries.len() {
+            match handle.reply.recv_timeout(wait) {
+                Ok(ShardReply::Registered) => {}
+                _ => return failed(&mut self.faults),
+            }
+        }
+        self.shards[s] = handle;
+        self.shards[s].busy_base = busy_base;
+        self.respawns += 1;
+        Ok(())
+    }
+
+    /// Respawns relay `i` onto its (single-member) consumer group; it
+    /// resumes from the committed offset, and shares produced while
+    /// it was dead are still on the topic — a dead relay delays
+    /// forwarding, it never loses records.
+    fn respawn_proxy(&mut self, i: usize) -> Result<(), DeployError> {
+        if !self.config.auto_respawn {
+            let fault = DeployError::RespawnFailed {
+                role: "proxy",
+                index: i,
+            };
+            self.faults.push(fault.clone());
+            return Err(fault);
+        }
+        let proxy = Proxy::new(ProxyId(i as u16), &self.broker);
+        let base = (
+            self.proxies[i].forwarded.load(Ordering::Relaxed),
+            self.proxies[i].busy_ns.load(Ordering::Relaxed),
+            self.proxies[i].backpressure.load(Ordering::Relaxed),
+        );
+        let heartbeat = self.watchdog.register(&format!("proxy-{i}"));
+        self.proxies[i] = ProxyHandle::spawn(proxy, Arc::clone(&self.crashes), heartbeat, base);
+        self.respawns += 1;
+        Ok(())
     }
 
     /// Snapshot of cumulative per-thread CPU time per stage (the
@@ -1312,9 +2416,14 @@ impl Drop for ShardedSystem {
             self.broker.notify_topic(&p.in_topic);
         }
         self.wake_shards();
+        // A wedged thread (dead flag up, thread never finished) is
+        // skipped: its command channel just disconnected, so it exits
+        // on its own, and joining it could hang the drop.
         for w in &mut self.workers {
             if let Some(t) = w.thread.take() {
-                let _ = t.join();
+                if !w.dead || t.is_finished() {
+                    let _ = t.join();
+                }
             }
         }
         for p in &mut self.proxies {
@@ -1324,7 +2433,9 @@ impl Drop for ShardedSystem {
         }
         for s in &mut self.shards {
             if let Some(t) = s.thread.take() {
-                let _ = t.join();
+                if !s.dead || t.is_finished() {
+                    let _ = t.join();
+                }
             }
         }
     }
@@ -1394,7 +2505,7 @@ impl<'a> ShardedAnalystSession<'a> {
             Some(p) => p,
             None => sys.initializer.derive(&self.budget, sys.config.clients)?,
         };
-        sys.register(query.clone(), params);
+        sys.register(query.clone(), params)?;
         Ok(query)
     }
 }
@@ -1416,7 +2527,7 @@ mod tests {
             .workers(2)
             .seed(1)
             .build();
-        system.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64);
+        system.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64).unwrap();
         let query = system
             .analyst()
             .query("SELECT speed FROM vehicle")
@@ -1444,7 +2555,7 @@ mod tests {
             .workers(3)
             .seed(4)
             .build();
-        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        system.load_numeric_column("vehicle", "speed", |_| 15.0).unwrap();
         let query = system
             .analyst()
             .query("SELECT speed FROM vehicle")
@@ -1477,7 +2588,7 @@ mod tests {
             .pipeline_depth(3)
             .seed(6)
             .build();
-        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        system.load_numeric_column("vehicle", "speed", |_| 15.0).unwrap();
         let query = system
             .analyst()
             .query("SELECT speed FROM vehicle")
@@ -1512,7 +2623,7 @@ mod tests {
             .workers(1)
             .seed(9)
             .build();
-        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        system.load_numeric_column("vehicle", "speed", |_| 15.0).unwrap();
         let query = system
             .analyst()
             .query("SELECT speed FROM vehicle")
@@ -1568,7 +2679,7 @@ mod tests {
             .seed(3)
             .build();
         // Client 25 holds an unbucketizable (negative) speed.
-        system.load_numeric_column("vehicle", "speed", |i| if i == 25 { -5.0 } else { 15.0 });
+        system.load_numeric_column("vehicle", "speed", |i| if i == 25 { -5.0 } else { 15.0 }).unwrap();
         let query = system
             .analyst()
             .query("SELECT speed FROM vehicle")
@@ -1586,7 +2697,7 @@ mod tests {
         assert_eq!(partial.len(), 1);
         assert!(partial[0].sample_size < 40);
         // Repair the data; the next epoch is exact and complete.
-        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        system.load_numeric_column("vehicle", "speed", |_| 15.0).unwrap();
         let result = system.run_epoch(&query).unwrap();
         assert_eq!(result.sample_size, 40);
         assert_eq!(result.buckets[1].estimate, 40.0);
@@ -1609,7 +2720,7 @@ mod tests {
             .build();
         // Client 25 fails every epoch — so both in-flight epochs
         // error, each mid-population.
-        system.load_numeric_column("vehicle", "speed", |i| if i == 25 { -5.0 } else { 15.0 });
+        system.load_numeric_column("vehicle", "speed", |i| if i == 25 { -5.0 } else { 15.0 }).unwrap();
         let query = system
             .analyst()
             .query("SELECT speed FROM vehicle")
@@ -1635,7 +2746,7 @@ mod tests {
         assert!(partials[0].sample_size < 40);
         assert!(partials[1].window.start > partials[0].window.start);
         // Repair and verify the pipeline is clean.
-        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        system.load_numeric_column("vehicle", "speed", |_| 15.0).unwrap();
         let result = system.run_epoch(&query).unwrap();
         assert_eq!(result.sample_size, 40);
         assert_eq!(system.aggregator_health(), (0, 0, 0, 0));
@@ -1655,7 +2766,7 @@ mod tests {
             .pipeline_depth(3)
             .seed(12)
             .build();
-        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        system.load_numeric_column("vehicle", "speed", |_| 15.0).unwrap();
         let query = system
             .analyst()
             .query("SELECT speed FROM vehicle")
@@ -1670,9 +2781,91 @@ mod tests {
     }
 
     #[test]
+    fn try_build_rejects_impossible_configs() {
+        let invalid = |b: ShardedSystemBuilder| {
+            matches!(b.try_build(), Err(DeployError::InvalidConfig(_)))
+        };
+        assert!(invalid(ShardedSystem::builder().clients(0)));
+        assert!(invalid(ShardedSystem::builder().clients(10).proxies(1)));
+        assert!(invalid(ShardedSystem::builder().clients(10).shards(0)));
+        assert!(invalid(ShardedSystem::builder().clients(10).workers(0)));
+        assert!(invalid(
+            ShardedSystem::builder()
+                .clients(10)
+                .epoch_deadline(Duration::ZERO)
+        ));
+        assert!(invalid(
+            ShardedSystem::builder().clients(10).worker_panic_after(9, 1)
+        ));
+        assert!(invalid(
+            ShardedSystem::builder().clients(10).shard_panic_after(9, 1)
+        ));
+        assert!(invalid(
+            ShardedSystem::builder().clients(10).drop_shard_traffic(9)
+        ));
+        assert!(invalid(
+            ShardedSystem::builder()
+                .clients(10)
+                .straggler(9, Duration::from_millis(1))
+        ));
+    }
+
+    #[test]
+    fn thread_health_reports_every_supervised_thread() {
+        let system = ShardedSystem::builder()
+            .clients(10)
+            .proxies(2)
+            .shards(2)
+            .workers(2)
+            .build();
+        let statuses = system.thread_health(Duration::from_secs(5));
+        assert_eq!(statuses.len(), 6, "2 workers + 2 proxies + 2 shards");
+        assert!(statuses.iter().all(|(_, s)| s.is_alive()));
+    }
+
+    /// Poisoned input (malformed key) is quarantined to the
+    /// dead-letter topic and counted — never silently dropped, never
+    /// blocking the healthy stream.
+    #[test]
+    fn poisoned_records_are_dead_lettered() {
+        let mut system = ShardedSystem::builder()
+            .clients(20)
+            .proxies(2)
+            .shards(2)
+            .workers(2)
+            .seed(5)
+            .build();
+        system
+            .load_numeric_column("vehicle", "speed", |_| 15.0)
+            .unwrap();
+        let query = system
+            .analyst()
+            .query("SELECT speed FROM vehicle")
+            .buckets(speed_spec())
+            .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+            .submit()
+            .unwrap();
+        // A key of the wrong width, injected straight onto a shard
+        // inbound topic.
+        system.broker.producer().send(
+            "proxy-0-out",
+            Some(vec![9; 5]),
+            vec![1, 2, 3],
+            Timestamp(0),
+        );
+        let result = system.run_epoch(&query).unwrap();
+        assert_eq!(result.sample_size, 20, "healthy stream unaffected");
+        let health = system.deploy_health();
+        assert_eq!(health.dead_lettered, 1);
+        assert_eq!(system.dead_letter_backlog(), 1);
+        assert_eq!(health.partial_closes, 0);
+        assert_eq!(health.respawns, 0);
+    }
+
+    #[test]
     fn sharded_unknown_query_is_rejected() {
         let mut system = ShardedSystem::builder().clients(10).build();
-        system.load_numeric_column("vehicle", "speed", |_| 15.0);
+        system.load_numeric_column("vehicle", "speed", |_| 15.0).unwrap();
         let foreign =
             QueryBuilder::new(QueryId::new(AnalystId(1), 999), "SELECT speed FROM vehicle")
                 .answer(speed_spec())

@@ -68,8 +68,8 @@ pub mod system;
 
 pub use aggregator::{Aggregator, BucketResult, QueryResult};
 pub use client::{Client, ClientAnswer, ClientScratch};
-pub use deploy::{ShardedConfig, ShardedSystem, ShardedSystemBuilder};
-pub use error::CoreError;
+pub use deploy::{DeployHealth, ShardedConfig, ShardedSystem, ShardedSystemBuilder};
+pub use error::{CoreError, DeployError};
 pub use feedback::FeedbackController;
 pub use historical::Warehouse;
 pub use initializer::Initializer;

@@ -9,7 +9,7 @@
 //! keeps no per-client state: source rewriting means the records it
 //! sees carry no client identity at all.
 
-use privapprox_stream::broker::{Broker, Consumer, Record, TopicWriter};
+use privapprox_stream::broker::{Broker, BrokerError, Consumer, Record, TopicWriter};
 use privapprox_types::ProxyId;
 use std::time::Duration;
 
@@ -68,15 +68,23 @@ impl Proxy {
     /// one partition index across every proxy's output). Key, value
     /// (by refcount) and timestamp pass through untouched.
     pub fn pump(&mut self) -> u64 {
+        self.try_pump().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Proxy::pump`] reporting a backpressure deadline on the
+    /// outbound topic as a typed error instead of panicking. Shares
+    /// already polled but not yet re-published stay in the batch
+    /// buffer, so a later pump retries them — nothing is dropped.
+    pub fn try_pump(&mut self) -> Result<u64, BrokerError> {
         let mut n = 0;
         loop {
+            n += self.try_forward()?;
             if self.consumer.poll_into(1024, &mut self.batch) == 0 {
                 break;
             }
-            n += self.forward();
         }
         self.forwarded += n;
-        n
+        Ok(n)
     }
 
     /// Blocks up to `timeout` for inbound shares, then forwards
@@ -86,29 +94,57 @@ impl Proxy {
     /// proxy *threads*: a `pump_blocking` loop parks on the broker's
     /// condvar instead of sleep-spinning.
     pub fn pump_blocking(&mut self, timeout: Duration) -> u64 {
-        if self.consumer.poll_blocking_into(1024, timeout, &mut self.batch) == 0 {
-            return 0;
+        self.try_pump_blocking(timeout)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Proxy::pump_blocking`] reporting a backpressure deadline as
+    /// a typed error; see [`Proxy::try_pump`] for the retry
+    /// semantics of the pending batch.
+    pub fn try_pump_blocking(&mut self, timeout: Duration) -> Result<u64, BrokerError> {
+        if self.batch.is_empty()
+            && self.consumer.poll_blocking_into(1024, timeout, &mut self.batch) == 0
+        {
+            return Ok(0);
         }
-        let n = self.forward();
+        let n = self.try_forward()?;
         self.forwarded += n;
-        n + self.pump()
+        Ok(n + self.try_pump()?)
     }
 
     /// Forwards the pending poll batch partition-for-partition: key
     /// and value pass through by refcount, and consumers are woken
-    /// once at the end of the batch.
-    fn forward(&mut self) -> u64 {
-        let n = self.batch.len() as u64;
-        for (_, partition, record) in self.batch.drain(..) {
-            self.writer.append_quiet(
-                partition as usize,
-                record.key,
-                record.value,
+    /// once at the end of the batch. On a backpressure error the
+    /// unforwarded tail (including the failing record) is retained
+    /// for retry.
+    fn try_forward(&mut self) -> Result<u64, BrokerError> {
+        let mut sent = 0usize;
+        let mut fault = None;
+        for (_, partition, record) in &self.batch {
+            match self.writer.try_append_quiet(
+                *partition as usize,
+                record.key.clone(),
+                record.value.clone(),
                 record.timestamp,
-            );
+            ) {
+                Ok(_) => sent += 1,
+                Err(e) => {
+                    fault = Some(e);
+                    break;
+                }
+            }
         }
-        self.writer.notify();
-        n
+        if sent > 0 {
+            self.batch.drain(..sent);
+            self.writer.notify();
+        }
+        match fault {
+            None => Ok(sent as u64),
+            Some(e) => {
+                self.forwarded += sent as u64;
+                Err(e)
+            }
+        }
     }
 
     /// Total shares forwarded over the proxy's lifetime.

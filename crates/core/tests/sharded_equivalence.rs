@@ -165,7 +165,7 @@ fn run_case(case: &Case) {
     let mut sharded = builder.build();
 
     single.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64);
-    sharded.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64);
+    sharded.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64).unwrap();
 
     let q_single = single
         .analyst()
@@ -456,7 +456,7 @@ fn sharded_watermark_interleave_stress() {
             .seed(seed)
             .build();
         single.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64);
-        sharded.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64);
+        sharded.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64).unwrap();
         let params = ExecutionParams::checked(0.85, 0.75, 0.6);
         let qa = single
             .analyst()

@@ -1,5 +1,7 @@
 //! Offline stand-in for `serde_json`: renders the serde shim's
-//! [`serde::Value`] tree as (pretty) JSON text.
+//! [`serde::Value`] tree as (pretty) JSON text, and parses JSON text
+//! back into the same tree (enough for the benches to read their own
+//! committed trajectory files).
 
 use serde::{Serialize, Value};
 
@@ -28,6 +30,220 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&value.to_value(), 0, false, &mut out);
     Ok(out)
+}
+
+/// Parses JSON text into the shim's [`serde::Value`] tree — the
+/// inverse of [`to_string`]. Numbers without a fraction or exponent
+/// parse as `UInt` (non-negative) or `Int`; everything else parses as
+/// `Float`. Trailing non-whitespace after the top-level value is an
+/// error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Ok(v)
+    } else {
+        Err(Error)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied().ok_or(Error)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied().ok_or(Error)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            self.pos += 1; // past the 'u'
+                            let code = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                self.eat(b'\\').and_then(|()| self.eat(b'u'))?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error);
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(char::from_u32(c).ok_or(Error)?);
+                            continue;
+                        }
+                        _ => return Err(Error),
+                    }
+                    self.pos += 1;
+                }
+                // Raw control characters are invalid JSON; multi-byte
+                // UTF-8 passes through byte-for-byte (the input is a
+                // valid &str, so collecting its bytes is safe here).
+                b if b < 0x20 => return Err(Error),
+                b => {
+                    out.push_str(
+                        core::str::from_utf8(&self.bytes[self.pos..self.pos + utf8_len(b)])
+                            .map_err(|_| Error)?,
+                    );
+                    self.pos += utf8_len(b);
+                }
+            }
+        }
+    }
+
+    /// Consumes four hex digits at the cursor (the caller has already
+    /// advanced past `\u`).
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let digits = self.bytes.get(self.pos..self.pos + 4).ok_or(Error)?;
+        let s = core::str::from_utf8(digits).map_err(|_| Error)?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| Error)?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error)?;
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| Error)
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
 }
 
 fn write_value(v: &Value, indent: usize, pretty: bool, out: &mut String) {
@@ -146,5 +362,38 @@ mod tests {
     #[test]
     fn strings_escape() {
         assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_trees() {
+        let v = Value::Object(vec![
+            ("rate".into(), Value::Float(402563.25)),
+            ("shards".into(), Value::UInt(4)),
+            ("delta".into(), Value::Int(-7)),
+            ("name".into(), Value::Str("end_to_end \"quoted\" →".into())),
+            (
+                "rows".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true), Value::Float(0.5)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_navigation() {
+        let v = from_str(r#"{"s": "a\u0041\ud83d\ude00\n", "arr": [{"k": 10000}]}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("aA😀\n"));
+        let row = &v.get("arr").unwrap().as_array().unwrap()[0];
+        assert_eq!(row.get("k").unwrap().as_u64(), Some(10_000));
+        assert_eq!(row.get("k").unwrap().as_f64(), Some(10_000.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\x\""] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -73,6 +73,41 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Broker-level failures surfaced to producers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// A bounded partition stayed full past the broker's backpressure
+    /// deadline (see [`Broker::set_backpressure_deadline`]): the
+    /// consumer group holding the floor is stalled or dead, and the
+    /// producer gives up instead of parking forever.
+    Backpressure {
+        /// Topic whose partition stayed full.
+        topic: String,
+        /// The full partition.
+        partition: usize,
+        /// How long the producer waited before giving up.
+        waited: Duration,
+    },
+}
+
+impl core::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BrokerError::Backpressure {
+                topic,
+                partition,
+                waited,
+            } => write!(
+                f,
+                "backpressure deadline: partition {partition} of topic {topic:?} stayed \
+                 full for {waited:?} — is a consumer group stalled?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
 /// One record in a partition log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
@@ -127,6 +162,8 @@ struct Partition {
 }
 
 struct Topic {
+    /// The topic's name, for error reporting.
+    name: String,
     partitions: Vec<Mutex<Partition>>,
     /// Signalled whenever any partition receives data.
     data_ready: Condvar,
@@ -141,8 +178,9 @@ struct Topic {
 }
 
 impl Topic {
-    fn new(partitions: usize, capacity: usize) -> Topic {
+    fn new(name: &str, partitions: usize, capacity: usize) -> Topic {
         Topic {
+            name: name.to_string(),
             partitions: (0..partitions)
                 .map(|_| Mutex::new(Partition::default()))
                 .collect(),
@@ -187,6 +225,9 @@ struct GroupState {
 
 struct BrokerInner {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
+    /// How long a producer parks on a full bounded partition before
+    /// failing with [`BrokerError::Backpressure`], in nanoseconds.
+    backpressure_deadline_ns: AtomicU64,
     group_offsets: Mutex<HashMap<(String, String, usize), u64>>,
     /// Consumer-group membership, keyed by group name.
     groups: Mutex<HashMap<String, GroupState>>,
@@ -214,6 +255,9 @@ impl Broker {
         Broker {
             inner: Arc::new(BrokerInner {
                 topics: RwLock::new(HashMap::new()),
+                backpressure_deadline_ns: AtomicU64::new(
+                    DEFAULT_BACKPRESSURE_DEADLINE.as_nanos() as u64,
+                ),
                 group_offsets: Mutex::new(HashMap::new()),
                 groups: Mutex::new(HashMap::new()),
                 next_member: AtomicU64::new(0),
@@ -251,7 +295,24 @@ impl Broker {
         let mut topics = self.inner.topics.write();
         topics
             .entry(name.to_string())
-            .or_insert_with(|| Arc::new(Topic::new(partitions, capacity)));
+            .or_insert_with(|| Arc::new(Topic::new(name, partitions, capacity)));
+    }
+
+    /// Sets how long producers park on a full bounded partition
+    /// before failing with [`BrokerError::Backpressure`] (default 60
+    /// seconds — a deadlock backstop). Deployments that degrade to
+    /// sampling on overload set this near their epoch deadline so a
+    /// stalled consumer surfaces as a typed error instead of a wedged
+    /// producer thread.
+    pub fn set_backpressure_deadline(&self, deadline: Duration) {
+        self.inner
+            .backpressure_deadline_ns
+            .store(deadline.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The current producer-park deadline for full bounded partitions.
+    pub fn backpressure_deadline(&self) -> Duration {
+        Duration::from_nanos(self.inner.backpressure_deadline_ns.load(Ordering::Relaxed))
     }
 
     fn topic(&self, name: &str) -> Arc<Topic> {
@@ -262,7 +323,7 @@ impl Broker {
         Arc::clone(
             topics
                 .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Topic::new(self.inner.default_partitions, 0))),
+                .or_insert_with(|| Arc::new(Topic::new(name, self.inner.default_partitions, 0))),
         )
     }
 
@@ -411,6 +472,12 @@ impl Producer {
     /// a `Vec<u8>` or `&[u8]` (one copy into a fresh `Arc<[u8]>`), or
     /// an `Arc<[u8]>` — e.g. a [`Record::value`] being relayed — which
     /// is shared as-is, so forwarding paths never copy payload bytes.
+    /// # Panics
+    ///
+    /// Panics if a bounded partition stays full past the broker's
+    /// backpressure deadline; fault-tolerant producers use
+    /// [`Producer::try_send_to`] (or a [`TopicWriter`]'s `try_` forms)
+    /// to receive the [`BrokerError`] instead.
     pub fn send(
         &self,
         topic: &str,
@@ -432,7 +499,8 @@ impl Producer {
             value.into(),
             timestamp,
             true,
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         (partition, offset)
     }
 
@@ -446,7 +514,9 @@ impl Producer {
     ///
     /// # Panics
     ///
-    /// Panics if the topic does not have partition `partition`.
+    /// Panics if the topic does not have partition `partition`, or if
+    /// a bounded partition stays full past the broker's backpressure
+    /// deadline (use [`Producer::try_send_to`] to handle the latter).
     pub fn send_to(
         &self,
         topic: &str,
@@ -455,6 +525,26 @@ impl Producer {
         value: impl Into<Arc<[u8]>>,
         timestamp: Timestamp,
     ) -> u64 {
+        self.try_send_to(topic, partition, key, value, timestamp)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Producer::send_to`] that reports a full-past-deadline
+    /// partition as [`BrokerError::Backpressure`] instead of
+    /// panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topic does not have partition `partition` (a
+    /// wiring bug, not a runtime fault).
+    pub fn try_send_to(
+        &self,
+        topic: &str,
+        partition: usize,
+        key: Option<Vec<u8>>,
+        value: impl Into<Arc<[u8]>>,
+        timestamp: Timestamp,
+    ) -> Result<u64, BrokerError> {
         let t = self.broker.topic(topic);
         assert!(
             partition < t.partitions.len(),
@@ -473,14 +563,21 @@ impl Producer {
     }
 }
 
-/// How long a bounded producer waits on a full partition before
-/// giving up — a deadlock backstop (a correctly wired deployment
-/// always drains), not a tuning knob.
-const BACKPRESSURE_DEADLINE: Duration = Duration::from_secs(60);
+/// Default producer park bound on a full partition — a deadlock
+/// backstop (a correctly wired deployment always drains), not a
+/// tuning knob; see [`Broker::set_backpressure_deadline`].
+const DEFAULT_BACKPRESSURE_DEADLINE: Duration = Duration::from_secs(60);
 
 /// Shared append path: waits for backlog space on bounded topics,
 /// writes the record, bumps the traffic counters and (unless the
-/// caller batches wakeups) wakes blocked consumers.
+/// caller batches wakeups) wakes blocked consumers. The bounded wait
+/// is deadline-limited: a partition that stays full past the broker's
+/// backpressure deadline fails with [`BrokerError::Backpressure`]
+/// instead of parking the producer forever. A consumer group dying
+/// mid-park is detected without waiting for the deadline — the
+/// departing member withdraws its group's committed floors and
+/// signals `space_ready`, and every wait iteration re-evaluates the
+/// backlog against the remaining floors.
 fn append(
     broker: &Broker,
     t: &Topic,
@@ -489,9 +586,10 @@ fn append(
     value: Arc<[u8]>,
     timestamp: Timestamp,
     notify: bool,
-) -> u64 {
+) -> Result<u64, BrokerError> {
     let mut waited = false;
-    let deadline = std::time::Instant::now() + BACKPRESSURE_DEADLINE;
+    let started = std::time::Instant::now();
+    let deadline = started + broker.backpressure_deadline();
     let (offset, size) = loop {
         let mut p = t.partitions[partition].lock();
         let next = p.base + p.records.len() as u64;
@@ -501,11 +599,13 @@ fn append(
             let floor = p.committed.values().copied().min().unwrap_or(next);
             if next - floor.min(next) >= t.capacity as u64 {
                 drop(p);
-                assert!(
-                    std::time::Instant::now() < deadline,
-                    "backpressure deadline: partition {partition} stayed full for \
-                     {BACKPRESSURE_DEADLINE:?} — is a consumer group stalled?"
-                );
+                if std::time::Instant::now() >= deadline {
+                    return Err(BrokerError::Backpressure {
+                        topic: t.name.clone(),
+                        partition,
+                        waited: started.elapsed(),
+                    });
+                }
                 let mut guard = t.signal.lock();
                 t.space_ready
                     .wait_for(&mut guard, Duration::from_millis(10));
@@ -536,7 +636,7 @@ fn append(
         let _guard = t.signal.lock();
         t.data_ready.notify_all();
     }
-    offset
+    Ok(offset)
 }
 
 /// A producer handle bound to a single topic, for forwarding-shaped
@@ -554,6 +654,11 @@ impl TopicWriter {
     /// Appends to an explicit partition and wakes consumers, like
     /// [`Producer::send_to`] but without the topic lookup and with
     /// shared (refcounted) key bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a backpressure deadline; see
+    /// [`TopicWriter::try_send_to`].
     pub fn send_to(
         &self,
         partition: usize,
@@ -561,6 +666,20 @@ impl TopicWriter {
         value: impl Into<Arc<[u8]>>,
         timestamp: Timestamp,
     ) -> u64 {
+        self.try_send_to(partition, key, value, timestamp)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`TopicWriter::send_to`] returning
+    /// [`BrokerError::Backpressure`] when a bounded partition stays
+    /// full past the broker's deadline.
+    pub fn try_send_to(
+        &self,
+        partition: usize,
+        key: Option<Arc<[u8]>>,
+        value: impl Into<Arc<[u8]>>,
+        timestamp: Timestamp,
+    ) -> Result<u64, BrokerError> {
         append(
             &self.broker,
             &self.topic,
@@ -576,6 +695,11 @@ impl TopicWriter {
     /// follow up with one [`TopicWriter::notify`]. (A backpressure
     /// wait still notifies, so a bounded pipeline cannot stall on a
     /// deferred wakeup.)
+    ///
+    /// # Panics
+    ///
+    /// Panics on a backpressure deadline; see
+    /// [`TopicWriter::try_append_quiet`].
     pub fn append_quiet(
         &self,
         partition: usize,
@@ -583,6 +707,22 @@ impl TopicWriter {
         value: impl Into<Arc<[u8]>>,
         timestamp: Timestamp,
     ) -> u64 {
+        self.try_append_quiet(partition, key, value, timestamp)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`TopicWriter::append_quiet`] returning
+    /// [`BrokerError::Backpressure`] when a bounded partition stays
+    /// full past the broker's deadline — the form the supervised
+    /// deployment's hot paths use, so a stalled consumer degrades the
+    /// epoch instead of wedging (or killing) a producer thread.
+    pub fn try_append_quiet(
+        &self,
+        partition: usize,
+        key: Option<Arc<[u8]>>,
+        value: impl Into<Arc<[u8]>>,
+        timestamp: Timestamp,
+    ) -> Result<u64, BrokerError> {
         append(
             &self.broker,
             &self.topic,
@@ -1337,6 +1477,76 @@ mod tests {
         }
         assert_eq!(fast.poll(10).len(), 4, "fast sees the new records");
         assert_eq!(broker.topic_len("b"), 0, "trimming resumed");
+    }
+
+    /// A producer parked on a full partition when its only consumer
+    /// **dies mid-park** must unblock promptly: the departing member
+    /// withdraws the group's committed floors and signals the waiters,
+    /// so the park re-evaluates against the remaining (none) floors
+    /// instead of sleeping to the deadline.
+    #[test]
+    fn consumer_death_mid_park_releases_the_producer() {
+        let broker = Broker::new(1);
+        broker.create_topic_with_capacity("b", 1, 4);
+        let stalled = broker.consumer("g", &["b"]);
+        let producer = broker.producer();
+        for i in 0..4u8 {
+            producer.send_to("b", 0, None, vec![i], ts(0));
+        }
+        // Deadline far away: only the death can release the park.
+        broker.set_backpressure_deadline(Duration::from_secs(30));
+        let parked = thread::spawn({
+            let producer = producer.clone();
+            move || {
+                let start = std::time::Instant::now();
+                let r = producer.try_send_to("b", 0, None, vec![4], ts(0));
+                (r, start.elapsed())
+            }
+        });
+        thread::sleep(Duration::from_millis(50));
+        // Kill the consumer while the producer is parked.
+        drop(stalled);
+        let (result, waited) = parked.join().unwrap();
+        assert!(result.is_ok(), "park released by the dead consumer");
+        assert!(
+            waited < Duration::from_secs(5),
+            "must not sleep to the deadline (waited {waited:?})"
+        );
+    }
+
+    /// A partition full past the configured deadline fails the append
+    /// with a typed `Backpressure` error instead of panicking or
+    /// parking forever.
+    #[test]
+    fn backpressure_deadline_returns_typed_error() {
+        let broker = Broker::new(1);
+        broker.create_topic_with_capacity("b", 1, 2);
+        broker.set_backpressure_deadline(Duration::from_millis(50));
+        let _stalled = broker.consumer("g", &["b"]);
+        let producer = broker.producer();
+        producer.send_to("b", 0, None, vec![0], ts(0));
+        producer.send_to("b", 0, None, vec![1], ts(0));
+        // Partition full, consumer never polls: deadline fires.
+        let err = producer
+            .try_send_to("b", 0, None, vec![2], ts(0))
+            .unwrap_err();
+        match err {
+            BrokerError::Backpressure {
+                topic,
+                partition,
+                waited,
+            } => {
+                assert_eq!(topic, "b");
+                assert_eq!(partition, 0);
+                assert!(waited >= Duration::from_millis(50));
+            }
+        }
+        // The writer's try form reports the same.
+        let writer = broker.writer("b");
+        assert!(writer.try_append_quiet(0, None, vec![3u8], ts(0)).is_err());
+        // Draining recovers the topic for good.
+        assert_eq!(_stalled.poll(10).len(), 2);
+        assert!(producer.try_send_to("b", 0, None, vec![4], ts(0)).is_ok());
     }
 
     /// Backpressure only engages once a consumer group exists: a

@@ -205,3 +205,231 @@ fn forged_query_harvests_nothing() {
         assert!(result.is_err(), "client {i} must reject the forgery");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Supervised sharded runtime: thread deaths surface as typed errors,
+// dead threads respawn, and deadline-fired partial closes degrade to
+// sampling instead of biasing the estimate.
+
+use privapprox::core::deploy::ShardedSystem;
+use privapprox::core::{CoreError, DeployError};
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+fn bucket_spec() -> AnswerSpec {
+    AnswerSpec::ranges_with_overflow(0.0, 10.0, 10)
+}
+
+fn submit_query(system: &mut ShardedSystem) -> Query {
+    system
+        .analyst()
+        .query("SELECT v FROM t")
+        .buckets(bucket_spec())
+        .window(1_000, 1_000)
+        .params(ExecutionParams::checked(1.0, 1.0, 0.5))
+        .submit()
+        .unwrap()
+}
+
+/// A worker thread panicking mid-epoch surfaces as a typed
+/// `DeployError` from the epoch API (not a hang or a panic on the
+/// main thread); the supervisor respawns the worker — replaying the
+/// load log — and the next epoch is whole again.
+#[test]
+fn worker_panic_mid_epoch_surfaces_and_respawns() {
+    let mut system = ShardedSystem::builder()
+        .clients(40)
+        .proxies(2)
+        .shards(2)
+        .workers(2)
+        .seed(7)
+        .epoch_deadline(Duration::from_millis(400))
+        .worker_panic_after(0, 5)
+        .build();
+    system.load_numeric_column("t", "v", |_| 2.5).unwrap();
+    let query = submit_query(&mut system);
+    let err = system.run_epoch(&query).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::Deploy(DeployError::WorkerPanic { worker: 0, .. })
+        ),
+        "expected a typed worker fault, got {err}"
+    );
+    // The failure epoch still closed — partially — with the answers
+    // the dead worker sent before the panic plus the healthy
+    // worker's full slice.
+    let partial = system.drain_results();
+    assert_eq!(partial.len(), 1);
+    assert!(partial[0].sample_size < 40, "worker 0's tail is missing");
+    assert!(partial[0].sample_size >= 5, "pre-crash answers survived");
+    let health = system.deploy_health();
+    assert_eq!(health.worker_panics, 1);
+    assert!(health.respawns >= 1);
+    // The respawned worker replayed the load log: the next epoch is
+    // exact again.
+    let result = system.run_epoch(&query).unwrap();
+    assert_eq!(result.sample_size, 40);
+    assert_eq!(result.buckets[2].estimate, 40.0);
+}
+
+/// A shard thread panicking mid-epoch surfaces as a typed
+/// `DeployError` from the epoch API within the deadline (no hang);
+/// the decodes that died in its open windows are honestly accounted
+/// as a partial close, and the respawned shard serves the next epoch
+/// exactly.
+#[test]
+fn shard_panic_mid_epoch_surfaces_within_deadline() {
+    let mut system = ShardedSystem::builder()
+        .clients(40)
+        .proxies(2)
+        .shards(2)
+        .workers(2)
+        .seed(11)
+        .epoch_deadline(Duration::from_millis(400))
+        .shard_panic_after(0, 5)
+        .build();
+    system.load_numeric_column("t", "v", |_| 2.5).unwrap();
+    let query = submit_query(&mut system);
+    let started = Instant::now();
+    let err = system.run_epoch(&query).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::Deploy(DeployError::ShardPanic { shard: 0, .. })
+        ),
+        "expected a typed shard fault, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "fault must surface within the deadline budget, took {:?}",
+        started.elapsed()
+    );
+    let health = system.deploy_health();
+    assert_eq!(health.shard_panics, 1);
+    assert!(health.respawns >= 1);
+    assert_eq!(
+        health.partial_closes, 1,
+        "the decodes in the dead shard's windows are a partial close"
+    );
+    assert!(health.lost_answers >= 1);
+    let result = system.run_epoch(&query).unwrap();
+    assert_eq!(result.sample_size, 40, "respawned shard serves exactly");
+    assert_eq!(result.buckets[2].estimate, 40.0);
+}
+
+/// The degrade-to-sampling guarantee, deterministically: an epoch
+/// that loses a fixed half of its answers (every share bound for
+/// shard 0's partitions is dropped in transit) closes on its
+/// deadline, and the partial estimate equals the full-population
+/// estimate — scaled by `U/n`, it is unbiased — while the confidence
+/// interval widens from zero to a real sampling error.
+#[test]
+fn partial_close_estimate_scales_like_sampling() {
+    let value = |i: usize| if i % 4 < 2 { 1.5 } else { 2.5 };
+
+    let mut full = ShardedSystem::builder()
+        .clients(60)
+        .proxies(2)
+        .shards(2)
+        .workers(2)
+        .seed(21)
+        .build();
+    full.load_numeric_column("t", "v", value).unwrap();
+    let query = submit_query(&mut full);
+    let full_result = full.run_epoch(&query).unwrap();
+    assert_eq!(full_result.sample_size, 60);
+
+    let mut lossy = ShardedSystem::builder()
+        .clients(60)
+        .proxies(2)
+        .shards(2)
+        .workers(2)
+        .seed(21)
+        .epoch_deadline(Duration::from_millis(300))
+        .drop_shard_traffic(0)
+        .build();
+    lossy.load_numeric_column("t", "v", value).unwrap();
+    let query = submit_query(&mut lossy);
+    // No thread died: the loss is pure degradation, not an error.
+    let partial = lossy.run_epoch(&query).unwrap();
+    assert_eq!(
+        partial.sample_size, 30,
+        "exactly the non-dropped half observed"
+    );
+
+    // Unbiasedness: every bucket's population estimate matches the
+    // full run exactly (counts halve, the U/n scale doubles).
+    for (b, (pb, fb)) in partial.buckets.iter().zip(&full_result.buckets).enumerate() {
+        assert_eq!(
+            pb.estimate, fb.estimate,
+            "bucket {b}: partial estimate must equal the full-population estimate"
+        );
+    }
+    // Degraded precision: the full run samples the whole population
+    // (zero sampling error); the partial close reports a real one.
+    assert_eq!(full_result.buckets[1].sampling_error, 0.0);
+    assert!(
+        partial.buckets[1].sampling_error > 0.0,
+        "partial close must widen the confidence interval"
+    );
+    let health = lossy.deploy_health();
+    assert_eq!(health.partial_closes, 1);
+    assert_eq!(health.lost_answers, 30);
+}
+
+/// Chaos: random worker/shard kills over 50 epochs. Every window the
+/// runtime produces must still be unbiased (the estimate scales by
+/// the observed sample, so any sample size reproduces the exact
+/// population histogram), nothing hangs, and shutdown stays clean.
+#[test]
+#[ignore = "chaos sweep (~1 min); run with --include-ignored"]
+fn chaos_random_kills_over_fifty_epochs() {
+    let mut rng = StdRng::seed_from_u64(0xC4A05);
+    let mut system = ShardedSystem::builder()
+        .clients(60)
+        .proxies(2)
+        .shards(2)
+        .workers(3)
+        .pipeline_depth(2)
+        .seed(13)
+        .epoch_deadline(Duration::from_millis(500))
+        .build();
+    system.load_numeric_column("t", "v", |_| 2.5).unwrap();
+    let query = submit_query(&mut system);
+    for _ in 0..50 {
+        match rng.gen_range(0..10u32) {
+            0 => {
+                let w = rng.gen_range(0..3);
+                system.inject_worker_panic(w);
+            }
+            1 => {
+                let s = rng.gen_range(0..2);
+                system.inject_shard_panic(s);
+            }
+            _ => {}
+        }
+        // Faults are expected and typed; corruption is not.
+        let _ = system.submit_epoch(&query);
+    }
+    let _ = system.flush_epochs();
+    let results = system.drain_results();
+    assert!(!results.is_empty());
+    for r in &results {
+        assert!(r.sample_size <= 60, "never more answers than clients");
+        if r.sample_size > 0 {
+            // U/n scaling: any observed sample estimates the same
+            // exact histogram — all 60 clients in bucket 2.
+            assert_eq!(
+                r.buckets[2].estimate, 60.0,
+                "estimate stays unbiased at sample {}",
+                r.sample_size
+            );
+        }
+    }
+    let health = system.deploy_health();
+    assert!(health.respawns > 0, "chaos must have killed something");
+    assert_eq!(health.undecodable, 0, "kills must not corrupt payloads");
+    assert_eq!(health.dead_lettered, 0);
+    drop(system);
+}

@@ -132,7 +132,7 @@ fn threaded_sharded_system_survives_repeated_epochs() {
         .workers(4)
         .seed(0x5AD)
         .build();
-    system.load_numeric_column("t", "v", |i| (i % 10) as f64 + 0.5);
+    system.load_numeric_column("t", "v", |i| (i % 10) as f64 + 0.5).unwrap();
     let query = system
         .analyst()
         .query("SELECT v FROM t")
@@ -169,7 +169,7 @@ fn threaded_sharded_pipelined_epochs_stay_exact_under_load() {
         .partition_capacity(128)
         .seed(0xF10)
         .build();
-    system.load_numeric_column("t", "v", |i| (i % 10) as f64 + 0.5);
+    system.load_numeric_column("t", "v", |i| (i % 10) as f64 + 0.5).unwrap();
     let query = system
         .analyst()
         .query("SELECT v FROM t")
@@ -218,7 +218,7 @@ fn threaded_sharded_control_plane_flushes_in_flight_epochs() {
         .pipeline_depth(3)
         .seed(0xCAB)
         .build();
-    system.load_numeric_column("t", "v", |_| 2.5);
+    system.load_numeric_column("t", "v", |_| 2.5).unwrap();
     let query = system
         .analyst()
         .query("SELECT v FROM t")
@@ -232,7 +232,7 @@ fn threaded_sharded_control_plane_flushes_in_flight_epochs() {
     system.submit_epoch(&query).unwrap();
     // ...then a reload: must flush both epochs first (their results
     // land in the drain buffer), then load.
-    system.load_numeric_column("t", "v", |_| 7.5);
+    system.load_numeric_column("t", "v", |_| 7.5).unwrap();
     let drained = system.drain_results();
     assert_eq!(drained.len(), 2, "in-flight epochs completed by the load");
     for r in &drained {
