@@ -398,13 +398,13 @@ impl Aggregator {
             state
                 .windows
                 .advance_watermark_into(to, &mut self.closed_scratch);
-            for (window, est) in self.closed_scratch.drain(..) {
+            for (window, mut est) in self.closed_scratch.drain(..) {
                 let mut result = self.spare_results.pop().unwrap_or_else(result_shell);
                 finalize_window_into(
                     &mut result,
                     *qid,
                     window,
-                    &est,
+                    &mut est,
                     state.params,
                     state.population,
                     confidence,
@@ -415,7 +415,7 @@ impl Aggregator {
                 self.estimator_pool
                     .lock()
                     .expect("pool lock")
-                    .entry(est.raw_counts().len())
+                    .entry(est.buckets())
                     .or_default()
                     .push(est);
             }
@@ -473,7 +473,7 @@ impl Aggregator {
         self.estimator_pool
             .lock()
             .expect("pool lock")
-            .entry(est.raw_counts().len())
+            .entry(est.buckets())
             .or_default()
             .push(est);
     }
@@ -565,7 +565,7 @@ pub fn finalize_window_into(
     out: &mut QueryResult,
     query: QueryId,
     window: Window,
-    est: &BucketEstimator,
+    est: &mut BucketEstimator,
     params: ExecutionParams,
     population: u64,
     confidence: f64,

@@ -22,7 +22,7 @@ use privapprox_rr::randomize::{RandomizeScratch, Randomizer};
 use privapprox_sampling::srs::ParticipationCoin;
 use privapprox_sql::{Database, EvalScratch, PlanCache, ValueRef};
 use privapprox_types::{
-    BitVec, BucketIndexer, ClientId, ExecutionParams, MessageId, Query, QueryId,
+    BitVec, BucketIndexer, ClientId, ExecutionParams, FastState, MessageId, Query, QueryId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,8 +97,9 @@ pub struct Client {
     plans: PlanCache,
     /// Opcode-stack scratch for prepared execution.
     sql_scratch: EvalScratch,
-    /// Compiled bucket indexers keyed by `QueryId`.
-    indexers: HashMap<QueryId, CachedIndexer>,
+    /// Compiled bucket indexers keyed by `QueryId`. `FastState`: hit
+    /// once per answered message, analyst-assigned keys.
+    indexers: HashMap<QueryId, CachedIndexer, FastState>,
 }
 
 impl Client {
@@ -112,7 +113,7 @@ impl Client {
             analyst_key,
             plans: PlanCache::new(),
             sql_scratch: EvalScratch::new(),
-            indexers: HashMap::new(),
+            indexers: HashMap::default(),
         }
     }
 
@@ -235,13 +236,34 @@ impl Client {
         n_proxies: usize,
         scratch: &'a mut ClientScratch,
     ) -> Result<Option<&'a [Share]>, CoreError> {
+        if !query.verify(self.analyst_key) {
+            // Invalidate *before* erroring so a stale previous answer
+            // can never leak through `scratch.shares()`.
+            scratch.split.invalidate();
+            return Err(CoreError::BadSignature);
+        }
+        self.answer_query_into_preverified(query, params, n_proxies, scratch)
+    }
+
+    /// [`Client::answer_query_into`] minus the signature check: for
+    /// drivers that verified `query` against the same analyst key
+    /// **once** and then fan one immutable `Query` value out to a
+    /// whole client population (the deployment's worker threads).
+    /// Re-hashing the canonical fields per client is pure overhead
+    /// there — the verdict cannot change between clients — and
+    /// skipping it consumes no RNG, so answers are byte-identical to
+    /// the verifying path.
+    pub fn answer_query_into_preverified<'a>(
+        &mut self,
+        query: &Query,
+        params: &ExecutionParams,
+        n_proxies: usize,
+        scratch: &'a mut ClientScratch,
+    ) -> Result<Option<&'a [Share]>, CoreError> {
         // Until a split completes below, `scratch.shares()` must not
         // expose the previous epoch's shares (a stale read could
         // resubmit the old message).
         scratch.split.invalidate();
-        if !query.verify(self.analyst_key) {
-            return Err(CoreError::BadSignature);
-        }
         // Step I: sampling at the client (§3.2.1).
         let coin = ParticipationCoin::new(params.s);
         if !coin.flip(&mut self.rng) {

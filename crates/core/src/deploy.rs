@@ -161,7 +161,8 @@ use crate::proxy::{inbound_topic, outbound_topic, Proxy};
 use privapprox_cluster::{DeploymentShape, Heartbeat, HeartbeatStatus, Watchdog};
 use privapprox_rr::estimate::BucketEstimator;
 use privapprox_sql::{ColumnType, Schema, Value};
-use privapprox_stream::broker::{Broker, BrokerStats, TopicWriter};
+use privapprox_crypto::xor::SlotPool;
+use privapprox_stream::broker::{BatchEntry, Broker, BrokerStats, TopicWriter};
 use privapprox_types::ids::AnalystId;
 use privapprox_types::{
     AnswerSpec, Budget, ClientId, ExecutionParams, ProxyId, Query, QueryBuilder, QueryId,
@@ -189,6 +190,16 @@ const DEAD_LETTER_TOPIC: &str = "dead-letter";
 /// How often an idle worker wakes from its command wait to beat its
 /// heartbeat.
 const WORKER_IDLE_BEAT: Duration = Duration::from_millis(250);
+
+/// Records a worker accumulates per (proxy topic, partition) before
+/// flushing the run as one batch append — the lock-amortization
+/// grain of the batched send path. Long enough to amortize the
+/// partition lock and capacity check to noise, short enough that a
+/// run publishes well inside an epoch (downstream blocking polls
+/// re-check every ≤10 ms regardless) and the payload slot pools stay
+/// small. Clamped to the topic capacity on bounded topics, since a
+/// batch wider than the capacity can never publish.
+const WORKER_FLUSH_RUN: usize = 64;
 
 /// Park granularity of a free-running shard thread between control
 /// checks (condvar park inside `pump_blocking_with`; close commands
@@ -618,6 +629,11 @@ impl ShardedSystemBuilder {
         }
         let partitions = c.effective_partitions();
         let broker = Broker::new(partitions);
+        // A producer parked on a full partition gives up (with a
+        // typed `Backpressure` fault) on the same horizon the epoch
+        // degrades to sampling: a stalled consumer surfaces as an
+        // error plus a partial close, never a wedged producer thread.
+        broker.set_backpressure_deadline(c.epoch_deadline.max(Duration::from_millis(10)));
         // Every deployment topic is bounded: an explicit capacity, or
         // the auto-bound of pipeline-depth + 1 epochs' worth of
         // records per partition. Bounded partitions give the pipeline
@@ -732,6 +748,7 @@ impl ShardedSystemBuilder {
             partial_closes: 0,
             lost_answers: 0,
             respawns: 0,
+            worker_backpressure: 0,
         })
     }
 }
@@ -869,6 +886,51 @@ impl WorkerHandle {
                         .map(|pi| broker.writer(&inbound_topic(ProxyId(pi as u16))))
                         .collect();
                     let mut per_partition = vec![0u64; partitions];
+                    // Batched send state, reused across epochs so the
+                    // steady state allocates nothing: one pending run
+                    // per (proxy topic, partition) — all of a
+                    // message's shares enter their runs together, and
+                    // a run flushes as ONE all-or-nothing batch
+                    // append (one partition lock, one capacity check)
+                    // once it reaches the flush grain. Entries hold
+                    // refcount clones of the split scratch's payload
+                    // slots and a pooled 16-byte MID key built once
+                    // per message — no per-share allocation or copy.
+                    let mut batches: Vec<Vec<Vec<BatchEntry>>> = (0..n_proxies)
+                        .map(|_| vec![Vec::new(); partitions])
+                        .collect();
+                    let mut key_pool = SlotPool::new();
+                    let flush_run = match writers.first().map(|w| w.capacity()) {
+                        Some(cap) if cap > 0 => WORKER_FLUSH_RUN.min(cap),
+                        _ => WORKER_FLUSH_RUN,
+                    };
+                    // Flushes one partition's pending runs across all
+                    // proxy topics; returns the number of messages
+                    // published. Each topic's run is all-or-nothing;
+                    // if topic `j` hits its backpressure deadline,
+                    // topics `< j` have already published this run
+                    // (those share sets expire at the join, exactly
+                    // like the pre-batching failure path) and the
+                    // run's messages stay uncounted.
+                    // Flushes stay quiet (no condvar signal): the
+                    // downstream blocking polls re-check on their park
+                    // timeouts, and the single epoch-end notify is the
+                    // only forced wakeup — mid-epoch signals measured
+                    // strictly slower on oversubscribed machines (each
+                    // one preempts the answer loop into a proxy drain
+                    // and back, thrashing both stages' caches).
+                    let flush_partition = |writers: &[TopicWriter],
+                                           batches: &mut [Vec<Vec<BatchEntry>>],
+                                           partition: usize|
+                     -> Result<u64, CoreError> {
+                        let n = batches[0][partition].len() as u64;
+                        for (pi, writer) in writers.iter().enumerate() {
+                            writer
+                                .try_append_batch(partition, &mut batches[pi][partition])
+                                .map_err(CoreError::from)?;
+                        }
+                        Ok(n)
+                    };
                     loop {
                         heartbeat.beat();
                         let cmd = match cmd_rx.recv_timeout(WORKER_IDLE_BEAT) {
@@ -917,17 +979,19 @@ impl WorkerHandle {
                                     // the first error like the live
                                     // path — but nothing is sent and
                                     // nothing is replied.
-                                    for (_, client) in &mut owned {
-                                        if client
-                                            .answer_query_into(
-                                                &query,
-                                                &params,
-                                                n_proxies,
-                                                &mut scratch,
-                                            )
-                                            .is_err()
-                                        {
-                                            break;
+                                    if query.verify(key) {
+                                        for (_, client) in &mut owned {
+                                            if client
+                                                .answer_query_into_preverified(
+                                                    &query,
+                                                    &params,
+                                                    n_proxies,
+                                                    &mut scratch,
+                                                )
+                                                .is_err()
+                                            {
+                                                break;
+                                            }
                                         }
                                     }
                                     let _ = ts;
@@ -935,9 +999,25 @@ impl WorkerHandle {
                                 }
                                 let t0 = thread_busy_time();
                                 per_partition.iter_mut().for_each(|n| *n = 0);
-                                let mut failure = None;
+                                // One signature check for the whole
+                                // population: the query is a single
+                                // immutable value, so the per-client
+                                // verdicts cannot differ, and verify
+                                // consumes no RNG — answers stay
+                                // byte-identical to per-client
+                                // verification. A forgery surfaces
+                                // exactly like the first client
+                                // failing (zero sent, error reply).
+                                let mut failure = if query.verify(key) {
+                                    None
+                                } else {
+                                    Some(CoreError::BadSignature)
+                                };
                                 'clients: for (i, client) in &mut owned {
-                                    match client.answer_query_into(
+                                    if failure.is_some() {
+                                        break;
+                                    }
+                                    match client.answer_query_into_preverified(
                                         &query,
                                         &params,
                                         n_proxies,
@@ -948,26 +1028,49 @@ impl WorkerHandle {
                                             let partition = *i % partitions;
                                             let dropped = drop_hook
                                                 .is_some_and(|(s, m)| partition % m == s);
-                                            if !dropped {
-                                                for (pi, share) in shares.iter().enumerate() {
-                                                    let sent = writers[pi].try_append_quiet(
-                                                        partition,
-                                                        Some(Arc::from(
-                                                            &share.mid.to_bytes()[..],
-                                                        )),
-                                                        &share.payload[..],
-                                                        ts,
+                                            if dropped {
+                                                // Accounted but never sent —
+                                                // the drop-traffic fault.
+                                                per_partition[partition] += 1;
+                                            } else {
+                                                // One pooled MID key per
+                                                // message, refcounted across
+                                                // its n shares; payloads ride
+                                                // by refcount from the split
+                                                // scratch's slots.
+                                                let mut key = key_pool.acquire(16);
+                                                Arc::get_mut(&mut key)
+                                                    .expect("acquired key slot is unique")
+                                                    .copy_from_slice(
+                                                        &shares[0].mid.to_bytes(),
                                                     );
-                                                    if let Err(e) = sent {
-                                                        // The client's earlier shares
-                                                        // become an expired join; its
-                                                        // answer stays unaccounted.
-                                                        failure = Some(e.into());
-                                                        break 'clients;
+                                                for (pi, share) in shares.iter().enumerate()
+                                                {
+                                                    batches[pi][partition].push((
+                                                        Some(Arc::clone(&key)),
+                                                        Arc::clone(&share.payload),
+                                                        ts,
+                                                    ));
+                                                }
+                                                key_pool.release(key);
+                                                if batches[0][partition].len() >= flush_run {
+                                                    match flush_partition(
+                                                        &writers,
+                                                        &mut batches,
+                                                        partition,
+                                                    ) {
+                                                        Ok(n) => per_partition[partition] += n,
+                                                        Err(e) => {
+                                                            // The run's messages stay
+                                                            // unaccounted; any topic
+                                                            // already flushed leaves
+                                                            // expired joins.
+                                                            failure = Some(e);
+                                                            break 'clients;
+                                                        }
                                                     }
                                                 }
                                             }
-                                            per_partition[partition] += 1;
                                             if let Some(n) = fuse.as_mut() {
                                                 if *n <= 1 {
                                                     panic!("injected worker fault");
@@ -979,6 +1082,32 @@ impl WorkerHandle {
                                             failure = Some(e);
                                             break;
                                         }
+                                    }
+                                }
+                                if failure.is_none() {
+                                    // Drain the partial runs; a failure here
+                                    // surfaces like a mid-epoch one.
+                                    for partition in 0..partitions {
+                                        if batches[0][partition].is_empty() {
+                                            continue;
+                                        }
+                                        match flush_partition(&writers, &mut batches, partition)
+                                        {
+                                            Ok(n) => per_partition[partition] += n,
+                                            Err(e) => {
+                                                failure = Some(e);
+                                                break;
+                                            }
+                                        }
+                                    }
+                                }
+                                // On failure, abandon whatever runs remain:
+                                // clearing drops the payload/key refcounts so
+                                // the scratch slots recycle, and the next
+                                // epoch starts from clean batches.
+                                for topic_batches in &mut batches {
+                                    for b in topic_batches {
+                                        b.clear();
                                     }
                                 }
                                 for writer in &writers {
@@ -1464,6 +1593,10 @@ pub struct ShardedSystem {
     lost_answers: u64,
     /// Threads respawned so far.
     respawns: u64,
+    /// Worker batch flushes that hit the backpressure deadline (the
+    /// proxies' stalls live in their handles' atomics; workers report
+    /// theirs through epoch replies, tallied here).
+    worker_backpressure: u64,
 }
 
 /// A deployment-wide health snapshot: the aggregator quad plus the
@@ -1497,7 +1630,8 @@ pub struct DeployHealth {
     pub proxy_panics: u64,
     /// Threads respawned.
     pub respawns: u64,
-    /// Backpressure deadlines ridden out by the relays.
+    /// Backpressure deadlines hit by producers: relay retries plus
+    /// worker batch flushes that gave up at the deadline.
     pub backpressure_stalls: u64,
 }
 
@@ -1842,6 +1976,9 @@ impl ShardedSystem {
                         *total += n;
                     }
                     if let Some(e) = error {
+                        if matches!(e, CoreError::Deploy(DeployError::Backpressure { .. })) {
+                            self.worker_backpressure += 1;
+                        }
                         first_error = first_error.or(Some(e));
                     }
                 }
@@ -1951,14 +2088,14 @@ impl ShardedSystem {
         }
         self.ledger.retire(ep.epoch);
         merged.sort_unstable_by_key(|(q, w, _, _)| (w.start, q.to_u64()));
-        for (qid, window, est, src) in merged {
+        for (qid, window, mut est, src) in merged {
             let (_, qparams) = self.queries.get(&qid).expect("registered query");
             let mut shell = self.spare_shells.pop().unwrap_or_else(QueryResult::shell);
             finalize_window_into(
                 &mut shell,
                 qid,
                 window,
-                &est,
+                &mut est,
                 *qparams,
                 self.config.clients,
                 self.config.confidence,
@@ -1987,6 +2124,13 @@ impl ShardedSystem {
     /// Broker traffic counters.
     pub fn broker_stats(&self) -> BrokerStats {
         self.broker.stats()
+    }
+
+    /// The deployment's broker, for tests and external taps that
+    /// attach extra consumers (e.g. mirroring a topic, or wedging a
+    /// partition's committed floor to exercise backpressure).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
     }
 
     /// Aggregated shard health counters: `(undecodable, unroutable,
@@ -2059,11 +2203,12 @@ impl ShardedSystem {
             partial_closes: self.partial_closes,
             lost_answers: self.lost_answers,
             respawns: self.respawns,
-            backpressure_stalls: self
-                .proxies
-                .iter()
-                .map(|p| p.backpressure.load(Ordering::Relaxed))
-                .sum(),
+            backpressure_stalls: self.worker_backpressure
+                + self
+                    .proxies
+                    .iter()
+                    .map(|p| p.backpressure.load(Ordering::Relaxed))
+                    .sum::<u64>(),
             ..DeployHealth::default()
         };
         for fault in &self.faults {

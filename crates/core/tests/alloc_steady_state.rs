@@ -18,12 +18,12 @@ use privapprox_core::aggregator::{finalize_window_into, QueryResult, RawWindow};
 use privapprox_core::client::{Client, ClientScratch};
 use privapprox_core::proxy::{inbound_topic, Proxy};
 use privapprox_core::Aggregator;
-use privapprox_crypto::xor::{decode_answer_into, encode_answer_into};
+use privapprox_crypto::xor::{combine, decode_answer_into, encode_answer_into, Share, SlotPool};
 use privapprox_crypto::{SplitScratch, XorSplitter};
 use privapprox_rr::estimate::BucketEstimator;
 use privapprox_rr::randomize::{RandomizeScratch, Randomizer};
 use privapprox_sql::{ColumnType, Schema, Value};
-use privapprox_stream::broker::Broker;
+use privapprox_stream::broker::{BatchEntry, Broker, TopicWriter};
 use privapprox_stream::join::{JoinOutcome, MidJoiner};
 use privapprox_types::ids::AnalystId;
 use privapprox_types::{
@@ -34,6 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Allocator wrapper counting every allocation and reallocation.
 struct CountingAllocator;
@@ -428,9 +429,9 @@ fn sharded_overlapped_window_cycle_allocates_nothing() {
                 }
             }
         }
-        for (qid, window, est, src) in merged.drain(..) {
+        for (qid, window, mut est, src) in merged.drain(..) {
             let mut shell = shells.pop().unwrap_or_else(QueryResult::shell);
-            finalize_window_into(&mut shell, qid, window, &est, params, 50, 0.95);
+            finalize_window_into(&mut shell, qid, window, &mut est, params, 50, 0.95);
             assert_eq!(shell.sample_size, 20, "cycle {cycle}");
             assert_eq!(shell.buckets[2].raw_yes > 0, true);
             shells.push(shell);
@@ -447,6 +448,171 @@ fn sharded_overlapped_window_cycle_allocates_nothing() {
     );
 }
 
+/// The batched worker send path, single-threaded: split into pooled
+/// `Arc` slots, stamp one pooled MID key per message, accumulate
+/// `BatchEntry` runs per writer, flush with `try_append_batch`, and
+/// drain on the consumer side so the bounded log trims and the slots
+/// come home. Once the slot pools, batch vectors, broker ring and
+/// poll buffer are warm, the whole send→publish→drain cycle performs
+/// **zero** heap allocations — the property the real worker threads
+/// rely on (`deploy.rs` runs this exact sequence per epoch).
+fn batched_worker_send_allocates_nothing() {
+    const PROXIES: usize = 2;
+    const FLUSH_RUN: usize = 8;
+    let broker = Broker::new(1);
+    for pi in 0..PROXIES {
+        broker.create_topic_with_capacity(&inbound_topic(ProxyId(pi as u16)), 1, 64);
+    }
+    let topics: Vec<String> = (0..PROXIES).map(|pi| inbound_topic(ProxyId(pi as u16))).collect();
+    let writers: Vec<TopicWriter> = topics.iter().map(|t| broker.writer(t)).collect();
+    let topic_refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+    let consumer = broker.consumer("drain", &topic_refs);
+
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let splitter = XorSplitter::new(PROXIES);
+    let message = vec![0xABu8; 64];
+    let mut split = SplitScratch::new();
+    let mut key_pool = SlotPool::new();
+    let mut batches: Vec<Vec<BatchEntry>> = (0..PROXIES).map(|_| Vec::new()).collect();
+    let mut buf = Vec::new();
+    let mut drained = 0u64;
+
+    let send = |rng: &mut StdRng,
+                    split: &mut SplitScratch,
+                    key_pool: &mut SlotPool,
+                    batches: &mut Vec<Vec<BatchEntry>>,
+                    buf: &mut Vec<(u32, u32, privapprox_stream::Record)>,
+                    drained: &mut u64,
+                    i: u64| {
+        let mid = MessageId(rng.gen());
+        let shares = splitter.split_into(&message, mid, rng, split);
+        let mut key = key_pool.acquire(16);
+        Arc::get_mut(&mut key)
+            .expect("acquired slots are uniquely owned")
+            .copy_from_slice(&mid.to_bytes());
+        for (pi, share) in shares.iter().enumerate() {
+            batches[pi].push((Some(Arc::clone(&key)), Arc::clone(&share.payload), Timestamp(i)));
+        }
+        key_pool.release(key);
+        if batches[0].len() >= FLUSH_RUN {
+            for (pi, writer) in writers.iter().enumerate() {
+                writer
+                    .try_append_batch(0, &mut batches[pi])
+                    .expect("drained log never backpressures");
+            }
+            // Drain what was just published: committing the offsets
+            // trims the bounded log, dropping its payload refs so the
+            // split scratch and key pool recycle their slots.
+            loop {
+                buf.clear();
+                if consumer.poll_into(64, buf) == 0 {
+                    break;
+                }
+                *drained += buf.len() as u64;
+            }
+            buf.clear();
+        }
+    };
+
+    // Warm: grow the slot pools to the in-flight window, the batch
+    // vectors to the flush run, the broker ring to capacity and the
+    // poll buffer to the drain width.
+    for i in 0..512u64 {
+        send(&mut rng, &mut split, &mut key_pool, &mut batches, &mut buf, &mut drained, i);
+    }
+    let slots_warm = split.payload_slots();
+    let keys_warm = key_pool.len();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 512..2_560u64 {
+        send(&mut rng, &mut split, &mut key_pool, &mut batches, &mut buf, &mut drained, i);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched send path allocated {} times over 2048 messages",
+        after - before
+    );
+    assert_eq!(split.payload_slots(), slots_warm, "payload pool plateaued");
+    assert_eq!(key_pool.len(), keys_warm, "key pool plateaued");
+    assert_eq!(drained, 2_560 / FLUSH_RUN as u64 * FLUSH_RUN as u64 * PROXIES as u64);
+}
+
+/// Invalidate-then-reuse safety: after a batch is published, the
+/// broker retains the producer's payload buffers by refcount. An
+/// `invalidate` + new split on the same scratch must hand out
+/// **different** buffers — the retained records' bytes never change
+/// and still recombine to the original message. (`Arc::strong_count`
+/// is the evidence: a retained slot is not unique, so the pool may
+/// not recycle it.)
+fn invalidated_scratch_reuse_never_mutates_retained_payloads() {
+    let broker = Broker::new(1);
+    let topic = "retained";
+    // Unbounded: the log keeps every record, as a slow consumer would.
+    broker.create_topic(topic, 1);
+    let writer = broker.writer(topic);
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let splitter = XorSplitter::new(3);
+    let mut split = SplitScratch::new();
+
+    // Message A: publish its shares, snapshot what the broker holds.
+    let message_a = vec![0x11u8; 48];
+    let mid_a = MessageId(rng.gen());
+    let retained: Vec<Share> = splitter
+        .split_into(&message_a, mid_a, &mut rng, &mut split)
+        .to_vec();
+    let mut batch: Vec<BatchEntry> = retained
+        .iter()
+        .map(|s| (None, Arc::clone(&s.payload), Timestamp(0)))
+        .collect();
+    writer.try_append_batch(0, &mut batch).unwrap();
+    let snapshots: Vec<Vec<u8>> = retained.iter().map(|s| s.payload.to_vec()).collect();
+    for share in &retained {
+        assert!(
+            Arc::strong_count(&share.payload) >= 3,
+            "scratch + our clone + the log all hold the buffer"
+        );
+    }
+
+    // Invalidate and reuse the scratch for fresh messages while the
+    // log still holds message A's buffers.
+    split.invalidate();
+    assert!(split.shares().is_empty(), "stale reads see nothing");
+    for round in 0..16u64 {
+        let message_b = vec![round as u8 ^ 0xEE; 48];
+        let shares_b = splitter.split_into(&message_b, MessageId(rng.gen()), &mut rng, &mut split);
+        for (share_b, share_a) in shares_b.iter().zip(&retained) {
+            assert!(
+                !Arc::ptr_eq(&share_b.payload, &share_a.payload),
+                "a broker-retained slot must never be handed out again"
+            );
+        }
+        assert_eq!(combine(shares_b).unwrap(), message_b);
+    }
+
+    // The retained records are bit-for-bit what was published.
+    for (share, snap) in retained.iter().zip(&snapshots) {
+        assert_eq!(&share.payload[..], &snap[..], "retained payload mutated");
+    }
+    let consumer = broker.consumer("late", &[topic]);
+    let polled = consumer.poll(8);
+    assert_eq!(polled.len(), 3);
+    let from_log: Vec<Share> = polled
+        .iter()
+        .map(|(_, rec)| Share {
+            mid: mid_a,
+            payload: Arc::clone(&rec.value),
+        })
+        .collect();
+    assert_eq!(
+        combine(&from_log).unwrap(),
+        message_a,
+        "the log's copies still recombine to the original message"
+    );
+}
+
 #[test]
 fn steady_state_pipeline_allocates_nothing() {
     raw_pipeline_allocates_nothing();
@@ -454,4 +620,6 @@ fn steady_state_pipeline_allocates_nothing() {
     client_pipeline_allocates_nothing();
     window_close_allocates_nothing();
     sharded_overlapped_window_cycle_allocates_nothing();
+    batched_worker_send_allocates_nothing();
+    invalidated_scratch_reuse_never_mutates_retained_payloads();
 }

@@ -18,16 +18,20 @@ pub struct ChaCha20 {
     buffered: usize,
 }
 
-/// Eight consecutive blocks from `initial` (whose word 12 holds the
-/// first counter), interleaved in AVX2 registers. The 16/8-bit
-/// rotations use byte shuffles (one µop) instead of shift+shift+or.
+/// The 16 summed state vectors of eight consecutive blocks from
+/// `initial` (whose word 12 holds the first counter), interleaved in
+/// AVX2 registers: vector `i` holds word `i` of blocks 0..8 across
+/// its lanes. The 16/8-bit rotations use byte shuffles (one µop)
+/// instead of shift+shift+or.
 ///
 /// # Safety
 ///
 /// The caller must have verified AVX2 support at runtime.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn block8_avx2(initial: &[u32; 16]) -> [u8; 512] {
+unsafe fn block8_avx2_core(
+    initial: &[u32; 16],
+) -> [core::arch::x86_64::__m256i; 16] {
     use core::arch::x86_64::*;
 
     macro_rules! rotl {
@@ -91,21 +95,234 @@ unsafe fn block8_avx2(initial: &[u32; 16]) -> [u8; 512] {
         qr!(working, 2, 7, 8, 13);
         qr!(working, 3, 4, 9, 14);
     }
-    // De-interleave: block `lane` is the lane-th element of each of
-    // the 16 vectors, in word order.
-    let mut lanes = [[0u32; 8]; 16];
+    let mut summed = [_mm256_setzero_si256(); 16];
     for i in 0..16 {
-        let summed = _mm256_add_epi32(working[i], state[i]);
-        _mm256_storeu_si256(lanes[i].as_mut_ptr() as *mut __m256i, summed);
+        summed[i] = _mm256_add_epi32(working[i], state[i]);
     }
+    summed
+}
+
+/// [`block8_avx2_core`] with every rotation a single `vprold`:
+/// AVX-512VL's native 32-bit rotate replaces both the byte-shuffle
+/// (16/8) and shift+shift+or (12/7) forms, cutting roughly a third of
+/// the round ops. Same function, same interleaved layout.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512F + AVX-512VL support at
+/// runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl")]
+unsafe fn block8_avx512_core(
+    initial: &[u32; 16],
+) -> [core::arch::x86_64::__m256i; 16] {
+    use core::arch::x86_64::*;
+
+    macro_rules! qr {
+        ($s:ident, $a:expr, $b:expr, $c:expr, $d:expr) => {
+            $s[$a] = _mm256_add_epi32($s[$a], $s[$b]);
+            $s[$d] = _mm256_rol_epi32::<16>(_mm256_xor_si256($s[$d], $s[$a]));
+            $s[$c] = _mm256_add_epi32($s[$c], $s[$d]);
+            $s[$b] = _mm256_rol_epi32::<12>(_mm256_xor_si256($s[$b], $s[$c]));
+            $s[$a] = _mm256_add_epi32($s[$a], $s[$b]);
+            $s[$d] = _mm256_rol_epi32::<8>(_mm256_xor_si256($s[$d], $s[$a]));
+            $s[$c] = _mm256_add_epi32($s[$c], $s[$d]);
+            $s[$b] = _mm256_rol_epi32::<7>(_mm256_xor_si256($s[$b], $s[$c]));
+        };
+    }
+
+    let mut state = [_mm256_setzero_si256(); 16];
+    for i in 0..16 {
+        state[i] = _mm256_set1_epi32(initial[i] as i32);
+    }
+    let c = initial[12];
+    state[12] = _mm256_setr_epi32(
+        c as i32,
+        c.wrapping_add(1) as i32,
+        c.wrapping_add(2) as i32,
+        c.wrapping_add(3) as i32,
+        c.wrapping_add(4) as i32,
+        c.wrapping_add(5) as i32,
+        c.wrapping_add(6) as i32,
+        c.wrapping_add(7) as i32,
+    );
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        qr!(working, 0, 4, 8, 12);
+        qr!(working, 1, 5, 9, 13);
+        qr!(working, 2, 6, 10, 14);
+        qr!(working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        qr!(working, 0, 5, 10, 15);
+        qr!(working, 1, 6, 11, 12);
+        qr!(working, 2, 7, 8, 13);
+        qr!(working, 3, 4, 9, 14);
+    }
+    let mut summed = [_mm256_setzero_si256(); 16];
+    for i in 0..16 {
+        summed[i] = _mm256_add_epi32(working[i], state[i]);
+    }
+    summed
+}
+
+/// 8×8 `u32` register transpose: row `L` of the result holds lane `L`
+/// of each input vector, in input order. Used to de-interleave the
+/// block function's word-major vectors into byte-order blocks without
+/// a scalar pass.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose8x8_epi32(
+    v: &[core::arch::x86_64::__m256i; 8],
+) -> [core::arch::x86_64::__m256i; 8] {
+    use core::arch::x86_64::*;
+    let t0 = _mm256_unpacklo_epi32(v[0], v[1]);
+    let t1 = _mm256_unpackhi_epi32(v[0], v[1]);
+    let t2 = _mm256_unpacklo_epi32(v[2], v[3]);
+    let t3 = _mm256_unpackhi_epi32(v[2], v[3]);
+    let t4 = _mm256_unpacklo_epi32(v[4], v[5]);
+    let t5 = _mm256_unpackhi_epi32(v[4], v[5]);
+    let t6 = _mm256_unpacklo_epi32(v[6], v[7]);
+    let t7 = _mm256_unpackhi_epi32(v[6], v[7]);
+    let u0 = _mm256_unpacklo_epi64(t0, t2);
+    let u1 = _mm256_unpackhi_epi64(t0, t2);
+    let u2 = _mm256_unpacklo_epi64(t1, t3);
+    let u3 = _mm256_unpackhi_epi64(t1, t3);
+    let u4 = _mm256_unpacklo_epi64(t4, t6);
+    let u5 = _mm256_unpackhi_epi64(t4, t6);
+    let u6 = _mm256_unpacklo_epi64(t5, t7);
+    let u7 = _mm256_unpackhi_epi64(t5, t7);
+    [
+        _mm256_permute2x128_si256::<0x20>(u0, u4),
+        _mm256_permute2x128_si256::<0x20>(u1, u5),
+        _mm256_permute2x128_si256::<0x20>(u2, u6),
+        _mm256_permute2x128_si256::<0x20>(u3, u7),
+        _mm256_permute2x128_si256::<0x31>(u0, u4),
+        _mm256_permute2x128_si256::<0x31>(u1, u5),
+        _mm256_permute2x128_si256::<0x31>(u2, u6),
+        _mm256_permute2x128_si256::<0x31>(u3, u7),
+    ]
+}
+
+/// Eight consecutive blocks from `initial`, de-interleaved to byte
+/// order via two register transposes (no scalar pass).
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn block8_avx2(initial: &[u32; 16]) -> [u8; 512] {
+    let summed = block8_avx2_core(initial);
     let mut out = [0u8; 512];
-    for lane in 0..8 {
-        for i in 0..16 {
-            let at = lane * 64 + i * 4;
-            out[at..at + 4].copy_from_slice(&lanes[i][lane].to_le_bytes());
-        }
-    }
+    store_blocks8(&summed, &mut out);
     out
+}
+
+/// [`block8_avx2`] on the AVX-512 round core: same 512 bytes, fewer
+/// round ops (see [`block8_avx512_core`]).
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512F + AVX-512VL support at
+/// runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl")]
+unsafe fn block8_avx512(initial: &[u32; 16]) -> [u8; 512] {
+    let summed = block8_avx512_core(initial);
+    let mut out = [0u8; 512];
+    store_blocks8(&summed, &mut out);
+    out
+}
+
+/// Shared store epilogue of the plain block8 wrappers: de-interleave
+/// the 16 summed word-major vectors via two register transposes and
+/// write the 512 keystream bytes to `out`.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime; `out` must
+/// hold at least 512 bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn store_blocks8(summed: &[core::arch::x86_64::__m256i; 16], out: &mut [u8]) {
+    use core::arch::x86_64::*;
+    debug_assert!(out.len() >= 512);
+    let lo = transpose8x8_epi32(summed[..8].try_into().expect("8 vectors"));
+    let hi = transpose8x8_epi32(summed[8..].try_into().expect("8 vectors"));
+    for lane in 0..8 {
+        let at = out.as_mut_ptr().add(lane * 64);
+        _mm256_storeu_si256(at as *mut __m256i, lo[lane]);
+        _mm256_storeu_si256(at.add(32) as *mut __m256i, hi[lane]);
+    }
+}
+
+/// Eight consecutive blocks from `initial`, written straight into
+/// `pad[..512]` while XOR-combining into `acc[..512]` — the split
+/// stage's fused form, skipping the 512-byte materialize + copy of
+/// [`block8_avx2`] entirely.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime, and `pad`
+/// and `acc` must each hold at least 512 bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn block8_avx2_fused(initial: &[u32; 16], pad: &mut [u8], acc: &mut [u8]) {
+    let summed = block8_avx2_core(initial);
+    store_xor_blocks8(&summed, pad, acc);
+}
+
+/// [`block8_avx2_fused`] on the AVX-512 round core: same bytes into
+/// `pad` and `acc`, fewer round ops (see [`block8_avx512_core`]).
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512F + AVX-512VL support at
+/// runtime, and `pad` and `acc` must each hold at least 512 bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl")]
+unsafe fn block8_avx512_fused(initial: &[u32; 16], pad: &mut [u8], acc: &mut [u8]) {
+    let summed = block8_avx512_core(initial);
+    store_xor_blocks8(&summed, pad, acc);
+}
+
+/// Shared store epilogue of the fused block8 wrappers: de-interleave
+/// the 16 summed vectors, write the keystream into `pad[..512]` and
+/// XOR it into `acc[..512]`.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime, and `pad`
+/// and `acc` must each hold at least 512 bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn store_xor_blocks8(
+    summed: &[core::arch::x86_64::__m256i; 16],
+    pad: &mut [u8],
+    acc: &mut [u8],
+) {
+    use core::arch::x86_64::*;
+    debug_assert!(pad.len() >= 512 && acc.len() >= 512);
+    let lo = transpose8x8_epi32(summed[..8].try_into().expect("8 vectors"));
+    let hi = transpose8x8_epi32(summed[8..].try_into().expect("8 vectors"));
+    for lane in 0..8 {
+        let p = pad.as_mut_ptr().add(lane * 64);
+        let a = acc.as_mut_ptr().add(lane * 64);
+        _mm256_storeu_si256(p as *mut __m256i, lo[lane]);
+        _mm256_storeu_si256(p.add(32) as *mut __m256i, hi[lane]);
+        let a0 = _mm256_loadu_si256(a as *const __m256i);
+        let a1 = _mm256_loadu_si256(a.add(32) as *const __m256i);
+        _mm256_storeu_si256(a as *mut __m256i, _mm256_xor_si256(a0, lo[lane]));
+        _mm256_storeu_si256(
+            a.add(32) as *mut __m256i,
+            _mm256_xor_si256(a1, hi[lane]),
+        );
+    }
 }
 
 /// Four consecutive blocks from `initial` (whose word 12 holds the
@@ -423,14 +640,21 @@ impl ChaCha20 {
         let mut acc_rest = &mut acc[take..];
         #[cfg(target_arch = "x86_64")]
         if pad_rest.len() >= 512 && std::arch::is_x86_feature_detected!("avx2") {
+            let rol = std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl");
             while pad_rest.len() >= 512 {
-                // SAFETY: AVX2 support was just verified at runtime.
-                let blocks = unsafe { block8_avx2(&self.initial_state(self.counter)) };
+                let (pc, pt) = std::mem::take(&mut pad_rest).split_at_mut(512);
+                let (ac, at) = std::mem::take(&mut acc_rest).split_at_mut(512);
+                // SAFETY: the kernel's features were just verified at
+                // runtime, and both chunks hold exactly 512 bytes.
+                unsafe {
+                    if rol {
+                        block8_avx512_fused(&self.initial_state(self.counter), pc, ac);
+                    } else {
+                        block8_avx2_fused(&self.initial_state(self.counter), pc, ac);
+                    }
+                }
                 self.counter = self.counter.wrapping_add(8);
-                let (pc, pt) = pad_rest.split_at_mut(512);
-                let (ac, at) = acc_rest.split_at_mut(512);
-                pc.copy_from_slice(&blocks);
-                privapprox_types::words::xor_into(ac, &blocks);
                 pad_rest = pt;
                 acc_rest = at;
             }
@@ -445,17 +669,37 @@ impl ChaCha20 {
             pad_rest = pt;
             acc_rest = at;
         }
-        while pad_rest.len() >= 64 {
-            let block = self.block();
-            self.counter = self.counter.wrapping_add(1);
-            let (pc, pt) = pad_rest.split_at_mut(64);
-            let (ac, at) = acc_rest.split_at_mut(64);
-            pc.copy_from_slice(&block);
-            privapprox_types::words::xor_into(ac, &block);
+        // Tail past the wide kernels (65..=255 bytes): one interleaved
+        // 4-block call covers the remaining whole blocks AND the
+        // buffered partial together — previously up to four sequential
+        // scalar blocks (the common case for answer-sized payloads,
+        // whose 2¹⁰-byte AVX2 runs leave a ~200-byte tail).
+        if pad_rest.len() > 64 {
+            let blocks = self.block4();
+            let whole = pad_rest.len() / 64; // 1..=3
+            let take = whole * 64;
+            self.counter = self.counter.wrapping_add(whole as u32);
+            let (pc, pt) = pad_rest.split_at_mut(take);
+            let (ac, at) = acc_rest.split_at_mut(take);
+            pc.copy_from_slice(&blocks[..take]);
+            privapprox_types::words::xor_into(ac, &blocks[..take]);
             pad_rest = pt;
             acc_rest = at;
-        }
-        if !pad_rest.is_empty() {
+            if !pad_rest.is_empty() {
+                // The next block is already computed: buffer it.
+                self.buffer.copy_from_slice(&blocks[take..take + 64]);
+                self.counter = self.counter.wrapping_add(1);
+                self.buffered = 64;
+                let len = pad_rest.len();
+                fuse(pad_rest, acc_rest, &self.buffer[..len]);
+                self.buffered -= len;
+            }
+        } else if pad_rest.len() == 64 {
+            let block = self.block();
+            self.counter = self.counter.wrapping_add(1);
+            pad_rest.copy_from_slice(&block);
+            privapprox_types::words::xor_into(acc_rest, &block);
+        } else if !pad_rest.is_empty() {
             self.refill_buffer();
             let start = 64 - self.buffered;
             let len = pad_rest.len();
@@ -484,10 +728,19 @@ impl ChaCha20 {
         let mut rest = &mut out[drained..];
         #[cfg(target_arch = "x86_64")]
         if rest.len() >= 512 && std::arch::is_x86_feature_detected!("avx2") {
+            let rol = std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl");
             while rest.len() >= 512 {
                 let (chunk, tail) = rest.split_at_mut(512);
-                // SAFETY: AVX2 support was just verified at runtime.
-                let blocks = unsafe { block8_avx2(&self.initial_state(self.counter)) };
+                // SAFETY: the kernel's features were just verified at
+                // runtime.
+                let blocks = unsafe {
+                    if rol {
+                        block8_avx512(&self.initial_state(self.counter))
+                    } else {
+                        block8_avx2(&self.initial_state(self.counter))
+                    }
+                };
                 self.counter = self.counter.wrapping_add(8);
                 if xor {
                     privapprox_types::words::xor_into(chunk, &blocks);
@@ -508,18 +761,30 @@ impl ChaCha20 {
             }
             rest = tail;
         }
-        while rest.len() >= 64 {
-            let (chunk, tail) = rest.split_at_mut(64);
+        // Tail (65..=255 bytes): one interleaved 4-block call covers
+        // the remaining whole blocks and the buffered partial together
+        // instead of up to four sequential scalar blocks.
+        if rest.len() > 64 {
+            let blocks = self.block4();
+            let whole = rest.len() / 64; // 1..=3
+            let take = whole * 64;
+            self.counter = self.counter.wrapping_add(whole as u32);
+            let (chunk, tail) = rest.split_at_mut(take);
+            consume(chunk, &blocks[..take]);
+            rest = tail;
+            if !rest.is_empty() {
+                self.buffer.copy_from_slice(&blocks[take..take + 64]);
+                self.counter = self.counter.wrapping_add(1);
+                self.buffered = 64;
+                let len = rest.len();
+                consume(rest, &self.buffer[..len]);
+                self.buffered -= len;
+            }
+        } else if rest.len() == 64 {
             let block = self.block();
             self.counter = self.counter.wrapping_add(1);
-            if xor {
-                privapprox_types::words::xor_into(chunk, &block);
-            } else {
-                chunk.copy_from_slice(&block);
-            }
-            rest = tail;
-        }
-        if !rest.is_empty() {
+            consume(rest, &block);
+        } else if !rest.is_empty() {
             self.refill_buffer();
             let start = 64 - self.buffered;
             let len = rest.len();
@@ -620,6 +885,36 @@ mod tests {
             bulk.keystream(&mut wide);
             let narrow: Vec<u8> = (0..len).map(|_| scalar.next_bytes(1)[0]).collect();
             assert_eq!(wide, narrow, "len {len}");
+        }
+    }
+
+    /// The AVX-512 round core must emit the exact bytes of the AVX2
+    /// form, in both the plain and the fused wrapper.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_block8_matches_avx2() {
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl"))
+        {
+            return; // no AVX-512: nothing to cross-check
+        }
+        for seed in [0u64, 1, 0xFEED_FACE, u64::MAX] {
+            let state = ChaCha20::from_seed(seed, 0).initial_state(seed as u32);
+            let a = unsafe { block8_avx2(&state) };
+            let b = unsafe { block8_avx512(&state) };
+            assert_eq!(a[..], b[..], "seed {seed}");
+
+            let mut pad_a = vec![0u8; 512];
+            let mut pad_b = vec![0u8; 512];
+            let mut acc_a: Vec<u8> = (0..512).map(|i| (i * 7) as u8).collect();
+            let mut acc_b = acc_a.clone();
+            unsafe {
+                block8_avx2_fused(&state, &mut pad_a, &mut acc_a);
+                block8_avx512_fused(&state, &mut pad_b, &mut acc_b);
+            }
+            assert_eq!(pad_a, pad_b, "fused pad, seed {seed}");
+            assert_eq!(acc_a, acc_b, "fused acc, seed {seed}");
         }
     }
 

@@ -34,5 +34,5 @@ pub use rsa::RsaKeyPair;
 pub use ubig::UBig;
 pub use xor::{
     answer_wire_size, combine, combine_into, decode_answer, decode_answer_into, encode_answer,
-    encode_answer_into, CombineError, Share, SplitScratch, XorSplitter,
+    encode_answer_into, CombineError, Share, SlotPool, SplitScratch, XorSplitter,
 };

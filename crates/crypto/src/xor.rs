@@ -12,6 +12,8 @@
 use crate::chacha::ChaCha20;
 use privapprox_types::{words, BitVec, MessageId, QueryId};
 use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Current wire-format version byte.
 pub const WIRE_VERSION: u8 = 1;
@@ -22,7 +24,83 @@ pub struct Share {
     /// Join key: identical across the `n` shares of one message.
     pub mid: MessageId,
     /// `M_E` or one of the `MKᵢ` — indistinguishable by design.
-    pub payload: Vec<u8>,
+    ///
+    /// A shared immutable buffer: [`XorSplitter::split_into`] builds
+    /// the share directly into an `Arc` slot from the scratch's
+    /// [`SlotPool`], so a producer can hand the **same allocation**
+    /// to a broker log (`Record::value` is `Arc<[u8]>` too) with a
+    /// refcount bump instead of a payload copy. The slot is never
+    /// rewritten while any such reference is alive.
+    pub payload: Arc<[u8]>,
+}
+
+/// A FIFO recycling pool of shared `Arc<[u8]>` buffers — the
+/// double-buffering behind zero-copy share payloads.
+///
+/// `acquire` hands out a buffer that is **uniquely owned** (strong
+/// count 1): a recycled slot whose previous consumers (broker log,
+/// in-flight batch) have all dropped their references, or a fresh
+/// allocation when none has. Consumers release buffers in roughly the
+/// order they were acquired (a bounded broker log trims oldest
+/// first; a flushed batch drops all at once), so the pool probes only
+/// the oldest slots and stays O(1) per acquire; it grows to the
+/// in-flight window's size and then recycles — zero allocation at
+/// steady state.
+#[derive(Debug, Clone, Default)]
+pub struct SlotPool {
+    slots: VecDeque<Arc<[u8]>>,
+}
+
+impl SlotPool {
+    /// Creates an empty pool (slots are allocated on demand).
+    pub fn new() -> SlotPool {
+        SlotPool::default()
+    }
+
+    /// Number of buffers the pool currently tracks (free or still
+    /// referenced downstream) — the steady-state plateau the
+    /// allocation tests pin.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool holds no buffers yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Hands out a uniquely owned buffer of exactly `len` bytes,
+    /// recycling the oldest free slot when one exists.
+    ///
+    /// A slot still referenced downstream is **never** handed out
+    /// (its bytes may be live in a broker log), only rotated behind
+    /// the queue; a unique slot of the wrong length (the message
+    /// width changed) is dropped and replaced. Pair every acquire
+    /// with a [`SlotPool::release`] once the buffer's refcount has
+    /// been handed to its consumers.
+    pub fn acquire(&mut self, len: usize) -> Arc<[u8]> {
+        // Probe the two oldest slots: releases are FIFO-shaped, so
+        // the head is the first to free up; the second probe rides
+        // over one straggler without degrading to a scan.
+        for _ in 0..self.slots.len().min(2) {
+            let slot = self.slots.pop_front().expect("probed within len");
+            if Arc::strong_count(&slot) == 1 {
+                if slot.len() == len {
+                    return slot;
+                }
+                break;
+            }
+            self.slots.push_back(slot);
+        }
+        Arc::from(vec![0u8; len])
+    }
+
+    /// Returns an acquired buffer to the back of the pool. The pool's
+    /// reference is what keeps the slot recyclable after every
+    /// downstream consumer drops theirs.
+    pub fn release(&mut self, slot: Arc<[u8]>) {
+        self.slots.push_back(slot);
+    }
 }
 
 /// Errors from share recombination.
@@ -109,6 +187,14 @@ impl XorSplitter {
     /// consumed for both the share payload and the accumulator while
     /// it is hot, instead of a second full-length XOR pass per key
     /// string.
+    ///
+    /// Each share is built **directly into an `Arc<[u8]>` slot** from
+    /// the scratch's per-share-index [`SlotPool`], so a producer can
+    /// append `share.payload` to a broker log by refcount — no copy.
+    /// The pool is double-buffered (and grows on demand): a payload
+    /// still referenced by the broker or a pending batch is never
+    /// rewritten, the next split simply builds into the other buffer
+    /// (or a fresh one while the in-flight window is still warming).
     pub fn split_into<'a, R: Rng + ?Sized>(
         &self,
         message: &[u8],
@@ -117,28 +203,44 @@ impl XorSplitter {
         scratch: &'a mut SplitScratch,
     ) -> &'a [Share] {
         scratch.valid = true;
+        let empty = Arc::clone(&scratch.empty);
         let shares = &mut scratch.shares;
         shares.truncate(self.n);
         while shares.len() < self.n {
             shares.push(Share {
                 mid,
-                payload: Vec::new(),
+                payload: Arc::clone(&empty),
             });
         }
-        let (encrypted, keys) = shares.split_first_mut().expect("n >= 2");
-        encrypted.mid = mid;
-        encrypted.payload.clear();
-        encrypted.payload.extend_from_slice(message);
-        for (i, share) in keys.iter_mut().enumerate() {
+        if scratch.pools.len() < self.n {
+            scratch.pools.resize_with(self.n, SlotPool::new);
+        }
+        // Drop the previous message's payload references before
+        // acquiring: each one is the second refcount on a pool slot,
+        // and releasing it here is what lets the double buffer
+        // recycle as soon as the downstream consumers let go too.
+        for share in shares.iter_mut() {
             share.mid = mid;
-            share.payload.resize(message.len(), 0);
+            share.payload = Arc::clone(&empty);
+        }
+        // Share 0 accumulates M_E starting from a copy of the message.
+        let mut acc = scratch.pools[0].acquire(message.len());
+        let acc_buf = Arc::get_mut(&mut acc).expect("acquired slot is uniquely owned");
+        acc_buf.copy_from_slice(message);
+        for i in 1..self.n {
+            let mut pad = scratch.pools[i].acquire(message.len());
+            let pad_buf = Arc::get_mut(&mut pad).expect("acquired slot is uniquely owned");
             // Fresh ChaCha20 keystream per key string, seeded from the
             // caller's RNG ("seeded with a cryptographically strong
             // random number"), written straight into the share buffer
             // while the same blocks accumulate into M_E.
-            let mut stream = ChaCha20::from_seed(rng.gen(), (i + 1) as u64);
-            stream.xor_keystream_into(&mut share.payload, &mut encrypted.payload);
+            let mut stream = ChaCha20::from_seed(rng.gen(), i as u64);
+            stream.xor_keystream_into(pad_buf, acc_buf);
+            shares[i].payload = Arc::clone(&pad);
+            scratch.pools[i].release(pad);
         }
+        shares[0].payload = Arc::clone(&acc);
+        scratch.pools[0].release(acc);
         shares
     }
 }
@@ -146,10 +248,19 @@ impl XorSplitter {
 /// Caller-owned share buffers for [`XorSplitter::split_into`].
 ///
 /// Reusing one `SplitScratch` across messages keeps the client's
-/// split stage allocation-free at steady state.
+/// split stage allocation-free at steady state. Payloads live in
+/// per-share-index [`SlotPool`]s of shared `Arc<[u8]>` buffers: a
+/// payload handed to a broker (or held in a pending batch) pins its
+/// slot, and the pool builds the next message into another buffer —
+/// a consumer-retained payload is never mutated.
 #[derive(Debug, Clone, Default)]
 pub struct SplitScratch {
     shares: Vec<Share>,
+    /// One payload-slot pool per share index.
+    pools: Vec<SlotPool>,
+    /// Zero-length placeholder cloned into a share whose previous
+    /// payload reference is being released back to its pool.
+    empty: Arc<[u8]>,
     /// Whether `shares` holds the result of a completed
     /// [`XorSplitter::split_into`] (as opposed to leftovers from an
     /// earlier message after an [`SplitScratch::invalidate`]).
@@ -160,6 +271,14 @@ impl SplitScratch {
     /// Creates an empty scratch (buffers grow on first use).
     pub fn new() -> SplitScratch {
         SplitScratch::default()
+    }
+
+    /// Total payload buffers tracked across the per-share-index
+    /// pools — free or still referenced downstream. Plateaus at the
+    /// in-flight window's size; the allocation tests pin that it
+    /// stops growing once warm.
+    pub fn payload_slots(&self) -> usize {
+        self.pools.iter().map(SlotPool::len).sum()
     }
 
     /// The shares produced by the most recent
@@ -364,7 +483,9 @@ mod tests {
         mixed[1] = other[1].clone();
         assert_eq!(combine(&mixed).unwrap_err(), CombineError::MixedIds);
 
-        shares[1].payload.pop();
+        let mut short = shares[1].payload.to_vec();
+        short.pop();
+        shares[1].payload = short.into();
         assert_eq!(combine(&shares).unwrap_err(), CombineError::LengthMismatch);
     }
 
@@ -430,7 +551,9 @@ mod tests {
         let splitter = XorSplitter::new(2);
         let msg = encode_answer(qid(), &BitVec::one_hot(11, 4));
         let mut shares = splitter.split(&msg, &mut rng);
-        shares[1].payload[3] ^= 0xFF;
+        let mut corrupt = shares[1].payload.to_vec();
+        corrupt[3] ^= 0xFF;
+        shares[1].payload = corrupt.into();
         let combined = combine(&shares).unwrap();
         assert_ne!(combined, msg, "corruption must not cancel out");
     }
@@ -439,5 +562,79 @@ mod tests {
     #[should_panic(expected = "at least 2 proxies")]
     fn one_proxy_is_rejected() {
         let _ = XorSplitter::new(1);
+    }
+
+    #[test]
+    fn free_slots_recycle_across_messages() {
+        // With no downstream reference pinning them, consecutive
+        // splits reuse the same double-buffered allocations: the pool
+        // stays at one slot per share index.
+        let mut rng = StdRng::seed_from_u64(9);
+        let splitter = XorSplitter::new(3);
+        let mut scratch = SplitScratch::new();
+        splitter.split_into(b"warm-up message", MessageId(1), &mut rng, &mut scratch);
+        let ptrs: Vec<*const u8> = scratch
+            .shares()
+            .iter()
+            .map(|s| s.payload.as_ptr())
+            .collect();
+        for m in 2..20u128 {
+            splitter.split_into(b"warm-up message", MessageId(m), &mut rng, &mut scratch);
+            let again: Vec<*const u8> = scratch
+                .shares()
+                .iter()
+                .map(|s| s.payload.as_ptr())
+                .collect();
+            assert_eq!(ptrs, again, "free slots must recycle, not reallocate");
+        }
+        assert_eq!(scratch.payload_slots(), 3, "one slot per share index");
+    }
+
+    #[test]
+    fn retained_payloads_are_never_mutated() {
+        // A consumer (broker log, pending batch) holding a payload
+        // reference pins the slot: the next split builds into another
+        // buffer and the retained bytes stay byte-for-byte intact.
+        let mut rng = StdRng::seed_from_u64(10);
+        let splitter = XorSplitter::new(2);
+        let mut scratch = SplitScratch::new();
+        splitter.split_into(b"first message!", MessageId(1), &mut rng, &mut scratch);
+        let retained: Vec<Arc<[u8]>> = scratch
+            .shares()
+            .iter()
+            .map(|s| Arc::clone(&s.payload))
+            .collect();
+        let snapshot: Vec<Vec<u8>> = retained.iter().map(|p| p.to_vec()).collect();
+        for m in 2..6u128 {
+            splitter.split_into(b"later message#", MessageId(m), &mut rng, &mut scratch);
+            for (share, held) in scratch.shares().iter().zip(&retained) {
+                assert!(
+                    !Arc::ptr_eq(&share.payload, held),
+                    "a retained slot must not be handed out again"
+                );
+            }
+        }
+        for (held, snap) in retained.iter().zip(&snapshot) {
+            assert_eq!(&held[..], &snap[..], "retained payload bytes mutated");
+        }
+        // Dropping the retained references frees the slots; the pool
+        // settles back onto them instead of growing further.
+        drop(retained);
+        let grown = scratch.payload_slots();
+        for m in 6..12u128 {
+            splitter.split_into(b"later message#", MessageId(m), &mut rng, &mut scratch);
+        }
+        assert_eq!(scratch.payload_slots(), grown, "pool must plateau once freed");
+    }
+
+    #[test]
+    fn pool_replaces_slots_when_the_message_width_changes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let splitter = XorSplitter::new(2);
+        let mut scratch = SplitScratch::new();
+        splitter.split_into(&[7u8; 32], MessageId(1), &mut rng, &mut scratch);
+        splitter.split_into(&[9u8; 96], MessageId(2), &mut rng, &mut scratch);
+        assert!(scratch.shares().iter().all(|s| s.payload.len() == 96));
+        assert_eq!(combine(scratch.shares()).unwrap(), vec![9u8; 96]);
     }
 }

@@ -64,13 +64,42 @@ pub fn rr_estimator_variance(ry: u64, n: u64, p: f64) -> f64 {
 
 /// Per-bucket histogram estimator: accumulates randomized `A[n]`
 /// vectors and inverts each bucket count with Equation 5.
+///
+/// # Bit-plane accumulation
+///
+/// [`BucketEstimator::push`] is the aggregator shard's per-message
+/// hot path. Walking the answer's set bits and incrementing a `u64`
+/// per bucket costs one data-dependent scattered store per set bit —
+/// ~600 of them per 10⁴-bucket message at typical noise densities.
+/// Instead, pushes land in `PLANES` (8) *bit planes*: plane `ℓ`, limb
+/// `k` holds bit `ℓ` of a small per-bucket counter for buckets
+/// `64k..64k+64`, and adding an answer is a ripple-carry add over
+/// whole limbs (`carry = plane & v; plane ^= v`) — straight-line
+/// word-parallel code the compiler vectorizes, touching ~1.5 KiB of
+/// sequential memory per plane instead of a 78 KiB count array at
+/// random. A bucket only spills to its wide counter when its plane
+/// counter wraps (every `2^PLANES` observations), so the scattered
+/// stores drop by ~256×. Reads fold the planes back into
+/// `yes_counts` first — which is why every counts accessor takes
+/// `&mut self`.
 #[derive(Debug, Clone)]
 pub struct BucketEstimator {
     p: f64,
     q: f64,
+    /// Wide per-bucket counts: the settled base plus plane spills.
+    /// Only current after a fold — read via [`BucketEstimator::raw_counts`].
     yes_counts: Vec<u64>,
+    /// [`PLANES`] bit planes of `limbs` words each, level-major:
+    /// `planes[ℓ·limbs + k]` is bit `ℓ` of buckets `64k..64k+64`.
+    planes: Vec<u64>,
+    /// Ripple-carry scratch (one limb row).
+    carry: Vec<u64>,
     total: u64,
 }
+
+/// Bit planes per bucket: plane counters wrap (and spill to the wide
+/// counts) every `2^PLANES = 256` observations of a bucket.
+const PLANES: usize = 8;
 
 impl BucketEstimator {
     /// Creates an estimator for `buckets`-wide answers randomized with
@@ -83,10 +112,13 @@ impl BucketEstimator {
         assert!(buckets > 0, "need at least one bucket");
         assert!(p > 0.0 && p <= 1.0, "p={p} outside (0,1]");
         assert!(q > 0.0 && q < 1.0, "q={q} outside (0,1)");
+        let limbs = buckets.div_ceil(64);
         BucketEstimator {
             p,
             q,
             yes_counts: vec![0; buckets],
+            planes: vec![0; PLANES * limbs],
+            carry: vec![0; limbs],
             total: 0,
         }
     }
@@ -106,10 +138,14 @@ impl BucketEstimator {
         self.p = p;
         self.q = q;
         self.yes_counts.fill(0);
+        self.planes.fill(0);
         self.total = 0;
     }
 
-    /// Feeds one randomized answer vector.
+    /// Feeds one randomized answer vector: a ripple-carry add of the
+    /// whole bit vector into the planes (see the type docs). The carry
+    /// dies within a few planes for typical densities, and only
+    /// plane-counter wraps touch the wide count array.
     ///
     /// # Panics
     ///
@@ -117,17 +153,96 @@ impl BucketEstimator {
     /// malformed message should have been rejected upstream.
     pub fn push(&mut self, answer: &BitVec) {
         assert_eq!(answer.len(), self.yes_counts.len(), "answer width mismatch");
-        for i in answer.iter_ones() {
-            self.yes_counts[i] += 1;
-        }
         self.total += 1;
+        let limbs = answer.limbs();
+        let n = limbs.len();
+        self.carry[..n].copy_from_slice(limbs);
+        for level in 0..PLANES {
+            let plane = &mut self.planes[level * n..(level + 1) * n];
+            let mut alive = 0u64;
+            for (p, c) in plane.iter_mut().zip(self.carry[..n].iter_mut()) {
+                let next = *p & *c;
+                *p ^= *c;
+                *c = next;
+                alive |= next;
+            }
+            if alive == 0 {
+                return;
+            }
+        }
+        self.spill_carry(n);
     }
 
-    /// Merges another estimator over the same bucket space.
+    /// Adds `2^PLANES` to every bucket whose bit is set in the carry
+    /// row — the overflow out of the top plane — and clears the row.
+    fn spill_carry(&mut self, n: usize) {
+        for (k, c) in self.carry[..n].iter_mut().enumerate() {
+            let mut bits = *c;
+            *c = 0;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                self.yes_counts[k * 64 + b] += 1 << PLANES;
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Folds the bit planes into `yes_counts` and clears them: after
+    /// this, `yes_counts[i]` is the exact observation count of bucket
+    /// `i`. Idempotent; every counts accessor runs it first.
+    fn fold_planes(&mut self) {
+        let n = self.carry.len();
+        for level in 0..PLANES {
+            let weight = 1u64 << level;
+            for k in 0..n {
+                let mut bits = self.planes[level * n + k];
+                if bits == 0 {
+                    continue;
+                }
+                self.planes[level * n + k] = 0;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    self.yes_counts[k * 64 + b] += weight;
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+
+    /// Merges another estimator over the same bucket space, without
+    /// disturbing `other`: its wide counts add directly, and each of
+    /// its planes ripple-adds into this estimator's planes at the
+    /// matching level.
     pub fn merge(&mut self, other: &BucketEstimator) {
         assert_eq!(self.yes_counts.len(), other.yes_counts.len());
         for (a, b) in self.yes_counts.iter_mut().zip(&other.yes_counts) {
             *a += *b;
+        }
+        let n = self.carry.len();
+        for level in 0..PLANES {
+            let src = &other.planes[level * n..(level + 1) * n];
+            if src.iter().all(|&w| w == 0) {
+                continue;
+            }
+            self.carry[..n].copy_from_slice(src);
+            let mut overflowed = true;
+            for upper in level..PLANES {
+                let plane = &mut self.planes[upper * n..(upper + 1) * n];
+                let mut alive = 0u64;
+                for (p, c) in plane.iter_mut().zip(self.carry[..n].iter_mut()) {
+                    let next = *p & *c;
+                    *p ^= *c;
+                    *c = next;
+                    alive |= next;
+                }
+                if alive == 0 {
+                    overflowed = false;
+                    break;
+                }
+            }
+            if overflowed {
+                self.spill_carry(n);
+            }
         }
         self.total += other.total;
     }
@@ -137,13 +252,20 @@ impl BucketEstimator {
         self.total
     }
 
-    /// Raw randomized "Yes" counts per bucket.
-    pub fn raw_counts(&self) -> &[u64] {
+    /// Bucket count (answer width) this estimator was built for.
+    pub fn buckets(&self) -> usize {
+        self.yes_counts.len()
+    }
+
+    /// Raw randomized "Yes" counts per bucket (folds pending planes).
+    pub fn raw_counts(&mut self) -> &[u64] {
+        self.fold_planes();
         &self.yes_counts
     }
 
     /// Equation 5 estimates per bucket (not clamped).
-    pub fn estimates(&self) -> Vec<f64> {
+    pub fn estimates(&mut self) -> Vec<f64> {
+        self.fold_planes();
         self.yes_counts
             .iter()
             .map(|&ry| estimate_true_yes(ry, self.total, self.p, self.q))
@@ -152,7 +274,8 @@ impl BucketEstimator {
 
     /// Per-bucket confidence intervals from the normal approximation
     /// of the randomization channel.
-    pub fn intervals(&self, confidence: f64) -> Vec<ConfidenceInterval> {
+    pub fn intervals(&mut self, confidence: f64) -> Vec<ConfidenceInterval> {
+        self.fold_planes();
         let z = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
         self.yes_counts
             .iter()
@@ -287,6 +410,52 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total(), 3);
         assert_eq!(a.raw_counts(), &[1, 2]);
+    }
+
+    /// The bit-plane accumulator must count exactly like the naive
+    /// per-bit increment loop — across spills (a bucket observed more
+    /// than 2^PLANES times), merges of unfolded estimators, resets,
+    /// and pushes after a fold.
+    #[test]
+    fn bit_plane_counts_match_naive_reference() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for &buckets in &[1usize, 7, 64, 65, 300] {
+            let mut est = BucketEstimator::new(buckets, 0.5, 0.5);
+            let mut other = BucketEstimator::new(buckets, 0.5, 0.5);
+            let mut reference = vec![0u64; buckets];
+            // Enough pushes of a dense vector to wrap plane counters
+            // (capacity 2^PLANES) several times over.
+            for round in 0..700 {
+                let mut v = BitVec::zeros(buckets);
+                for i in 0..buckets {
+                    // Bucket 0 set every round → guaranteed spills.
+                    if i == 0 || rng.gen_bool(0.3) {
+                        v.set(i, true);
+                        reference[i] += 1;
+                    }
+                }
+                if round % 3 == 0 {
+                    other.push(&v);
+                } else {
+                    est.push(&v);
+                }
+                if round == 350 {
+                    // Interleave a fold mid-stream: counts must keep
+                    // accumulating correctly on top of settled state.
+                    let _ = est.raw_counts();
+                }
+            }
+            let expected_total = est.total() + other.total();
+            est.merge(&other);
+            assert_eq!(est.total(), expected_total);
+            assert_eq!(est.raw_counts(), &reference[..], "{buckets} buckets");
+            // Fold is idempotent.
+            assert_eq!(est.raw_counts(), &reference[..]);
+            est.reset(0.5, 0.5);
+            assert_eq!(est.total(), 0);
+            assert!(est.raw_counts().iter().all(|&c| c == 0));
+        }
     }
 
     #[test]

@@ -282,6 +282,10 @@ impl Randomizer {
         };
         let mut limbs_left = truth_limbs.len();
         #[cfg(target_arch = "x86_64")]
+        let use_avx512 = std::arch::is_x86_feature_detected!("avx512f");
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_avx512 = false;
+        #[cfg(target_arch = "x86_64")]
         let use_avx2 = std::arch::is_x86_feature_detected!("avx2");
         #[cfg(not(target_arch = "x86_64"))]
         let use_avx2 = false;
@@ -299,7 +303,7 @@ impl Randomizer {
             cursor.ensure(need, per_limb * limbs_left);
             let words = &cursor.buf[cursor.pos..cursor.pos + need];
             let t8: &[u64; 8] = t.try_into().expect("chunk of 8");
-            let (block, used) = yes_block8_dispatch(use_avx2, t8, &bits, stop, words);
+            let (block, used) = yes_block8_dispatch(use_avx512, use_avx2, t8, &bits, stop, words);
             cursor.pos += used;
             o.copy_from_slice(&block);
             limbs_left -= 8;
@@ -445,11 +449,13 @@ impl<R: Rng + ?Sized> WordCursor<'_, R> {
     }
 }
 
-/// Picks the widest [`yes_block8`] kernel: the AVX2 form when the
-/// caller verified support, the portable form otherwise. Both compute
-/// the identical function and consume the identical word count.
+/// Picks the widest [`yes_block8`] kernel: the AVX-512 form when the
+/// caller verified support, then the AVX2 form, the portable form
+/// otherwise. All compute the identical function and consume the
+/// identical word count.
 #[inline]
 fn yes_block8_dispatch(
+    use_avx512: bool,
     use_avx2: bool,
     t: &[u64; 8],
     bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
@@ -457,11 +463,16 @@ fn yes_block8_dispatch(
     words: &[u64],
 ) -> ([u64; 8], usize) {
     #[cfg(target_arch = "x86_64")]
+    if use_avx512 {
+        // SAFETY: the caller detected AVX-512F at runtime.
+        return unsafe { yes_block8_avx512(t, bits, stop, words) };
+    }
+    #[cfg(target_arch = "x86_64")]
     if use_avx2 {
         // SAFETY: the caller detected AVX2 at runtime.
         return unsafe { yes_block8_avx2(t, bits, stop, words) };
     }
-    let _ = use_avx2;
+    let _ = (use_avx512, use_avx2);
     yes_block8(t, bits, stop, words)
 }
 
@@ -584,6 +595,57 @@ unsafe fn yes_block8_avx2(
     let mut out = [0u64; 8];
     _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, less_a);
     _mm256_storeu_si256(out.as_mut_ptr().add(4) as *mut __m256i, less_b);
+    (out, used)
+}
+
+/// [`yes_block8`] with the eight limbs in a single 512-bit register.
+/// AVX-512F's three-input `vpternlogq` fuses each of the ripple's
+/// boolean update expressions into one instruction — the threshold
+/// select `(t & b1) | (!t & b0)`, the decide-accumulate
+/// `less |= eq & tw & !w`, and the undecided-mask update
+/// `eq &= !(tw ^ w)` are one op each — and the early exit is one
+/// `vptestmq` against the single `eq` register. Bit-for-bit and
+/// word-for-word identical to the portable form.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512F support at runtime. `words`
+/// must hold `8 · (COIN_FRACTION_BITS − stop)` entries.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn yes_block8_avx512(
+    t: &[u64; 8],
+    bits: &[(u64, u64); COIN_FRACTION_BITS as usize],
+    stop: u32,
+    words: &[u64],
+) -> ([u64; 8], usize) {
+    use core::arch::x86_64::*;
+
+    let tv = _mm512_loadu_si512(t.as_ptr() as *const __m512i);
+    let mut less = _mm512_setzero_si512();
+    let mut eq = _mm512_set1_epi64(-1);
+    let mut used = 0usize;
+    let mut position = 0u32;
+    for j in (stop..COIN_FRACTION_BITS).rev() {
+        let (b1, b0) = bits[j as usize];
+        let w = _mm512_loadu_si512(words.as_ptr().add(used) as *const __m512i);
+        used += 8;
+        let b1v = _mm512_set1_epi64(b1 as i64);
+        let b0v = _mm512_set1_epi64(b0 as i64);
+        // tw = t ? b1 : b0 (0xCA = bitwise select by the first operand).
+        let tw = _mm512_ternarylogic_epi64::<0xCA>(tv, b1v, b0v);
+        // less |= (eq & tw) & !w (0xF4 = a | (b & !c)).
+        let dec = _mm512_and_si512(eq, tw);
+        less = _mm512_ternarylogic_epi64::<0xF4>(less, dec, w);
+        // eq &= !(tw ^ w) (0x90 = a & !(b ^ c)).
+        eq = _mm512_ternarylogic_epi64::<0x90>(eq, tw, w);
+        position += 1;
+        if position >= MIN_POSITIONS && _mm512_test_epi64_mask(eq, eq) == 0 {
+            break;
+        }
+    }
+    let mut out = [0u64; 8];
+    _mm512_storeu_si512(out.as_mut_ptr() as *mut __m512i, less);
     (out, used)
 }
 
@@ -858,6 +920,39 @@ mod tests {
             let scalar = yes_block8(&t, &bits, stop, &words);
             let avx2 = unsafe { yes_block8_avx2(&t, &bits, stop, &words) };
             assert_eq!(scalar, avx2, "case {case}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_ripple_matches_portable() {
+        if !std::arch::is_x86_feature_detected!("avx512f") {
+            return; // no AVX-512: nothing to cross-check
+        }
+        let mut rng = StdRng::seed_from_u64(0x512);
+        for case in 0..500 {
+            let r = Randomizer::new(
+                0.05 + 0.9 * (case % 17) as f64 / 17.0,
+                0.05 + 0.9 * (case % 13) as f64 / 13.0,
+            );
+            let stop = r.yes1_fx.trailing_zeros().min(r.yes0_fx.trailing_zeros());
+            let mut bits = [(0u64, 0u64); COIN_FRACTION_BITS as usize];
+            for j in stop..COIN_FRACTION_BITS {
+                bits[j as usize] = (
+                    (((r.yes1_fx >> j) & 1) as u64).wrapping_neg(),
+                    (((r.yes0_fx >> j) & 1) as u64).wrapping_neg(),
+                );
+            }
+            let mut t = [0u64; 8];
+            for limb in t.iter_mut() {
+                *limb = rng.gen();
+            }
+            let mut words = vec![0u64; 8 * COIN_FRACTION_BITS as usize];
+            rng.fill_words(&mut words);
+            let scalar = yes_block8(&t, &bits, stop, &words);
+            let avx512 = unsafe { yes_block8_avx512(&t, &bits, stop, &words) };
+            assert_eq!(scalar.0, avx512.0, "case {case} mask");
+            assert_eq!(scalar.1, avx512.1, "case {case} words used");
         }
     }
 

@@ -49,6 +49,7 @@ use crate::error::SqlError;
 use crate::exec::ResultSet;
 use crate::table::{Database, Schema, Table};
 use crate::value::Value;
+use privapprox_types::fasthash::FastState;
 use privapprox_types::ids::QueryId;
 use privapprox_types::query::like_match;
 use std::collections::hash_map::Entry;
@@ -620,7 +621,9 @@ pub fn execute_prepared_into(
 ///   invalidates every plan compiled before it).
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: HashMap<QueryId, CachedPlan>,
+    // `FastState`: looked up once per answered message; QueryIds are
+    // analyst-assigned, not attacker-chosen, so SipHash buys nothing.
+    plans: HashMap<QueryId, CachedPlan, FastState>,
 }
 
 #[derive(Debug)]

@@ -639,6 +639,96 @@ fn append(
     Ok(offset)
 }
 
+/// One record of a batch append: `(key, value, timestamp)`. Key and
+/// value are shared immutable buffers, so batching costs refcount
+/// moves, never payload copies.
+pub type BatchEntry = (Option<Arc<[u8]>>, Arc<[u8]>, Timestamp);
+
+/// Batch form of [`append`]: publishes every entry of `records` onto
+/// one partition under a **single** lock acquisition, with a single
+/// capacity/backpressure evaluation and one stats/notify pass —
+/// per-record cost collapses to a `VecDeque` push.
+///
+/// The contract is **all-or-nothing**: either every record is
+/// published at consecutive offsets (returning the first offset and
+/// draining `records`, so the caller's buffer can be reused
+/// allocation-free) or none is (`records` is left intact, so a retry
+/// after `Err` cannot double-publish). This is what lets a producer
+/// treat one client message's `n` shares as atomic: a mid-batch
+/// `Backpressure` can never half-publish a share set.
+///
+/// The wait condition generalizes the per-record one: the producer
+/// parks while `backlog + records.len() > capacity`, which for a
+/// 1-record batch is exactly the `backlog ≥ capacity` check of
+/// [`append`]. A batch wider than the whole capacity (which no
+/// amount of consumer progress could ever admit) fails fast with
+/// [`BrokerError::Backpressure`] instead of parking to the deadline;
+/// callers split oversized runs on [`TopicWriter::capacity`]. As in
+/// [`append`], backpressure engages only once a consumer group has
+/// registered a floor.
+fn append_batch(
+    broker: &Broker,
+    t: &Topic,
+    partition: usize,
+    records: &mut Vec<BatchEntry>,
+    notify: bool,
+) -> Result<u64, BrokerError> {
+    let n = records.len() as u64;
+    if n == 0 {
+        return Ok(0);
+    }
+    let mut waited = false;
+    let started = std::time::Instant::now();
+    let deadline = started + broker.backpressure_deadline();
+    let (first, size) = loop {
+        let mut p = t.partitions[partition].lock();
+        let next = p.base + p.records.len() as u64;
+        if t.capacity > 0 {
+            if let Some(floor) = p.committed.values().copied().min() {
+                let backlog = next - floor.min(next);
+                if backlog + n > t.capacity as u64 {
+                    drop(p);
+                    if n > t.capacity as u64 || std::time::Instant::now() >= deadline {
+                        return Err(BrokerError::Backpressure {
+                            topic: t.name.clone(),
+                            partition,
+                            waited: started.elapsed(),
+                        });
+                    }
+                    let mut guard = t.signal.lock();
+                    t.space_ready
+                        .wait_for(&mut guard, Duration::from_millis(10));
+                    waited = true;
+                    continue;
+                }
+            }
+        }
+        let mut size = 0u64;
+        for (i, (key, value, timestamp)) in records.drain(..).enumerate() {
+            let rec = Record {
+                offset: next + i as u64,
+                key,
+                value,
+                timestamp,
+            };
+            size += rec.wire_size();
+            p.records.push_back(rec);
+        }
+        break (next, size);
+    };
+    broker
+        .inner
+        .stats
+        .records_in
+        .fetch_add(n, Ordering::Relaxed);
+    broker.inner.stats.bytes_in.fetch_add(size, Ordering::Relaxed);
+    if notify || waited {
+        let _guard = t.signal.lock();
+        t.data_ready.notify_all();
+    }
+    Ok(first)
+}
+
 /// A producer handle bound to a single topic, for forwarding-shaped
 /// hot paths: no per-record topic-name hash lookup, shared-buffer key
 /// and value pass-through, and batched consumer wakeups
@@ -734,6 +824,45 @@ impl TopicWriter {
         )
     }
 
+    /// Publishes a run of records onto one partition atomically —
+    /// one lock acquisition, one capacity check, consecutive offsets
+    /// — and wakes consumers. Returns the first record's offset;
+    /// `records` is drained on success (reuse the buffer) and left
+    /// intact on failure. See [`TopicWriter::try_append_batch`] for
+    /// the full contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a backpressure deadline; see
+    /// [`TopicWriter::try_append_batch`].
+    pub fn append_batch(&self, partition: usize, records: &mut Vec<BatchEntry>) -> u64 {
+        append_batch(&self.broker, &self.topic, partition, records, true)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Batch form of [`TopicWriter::try_append_quiet`]: publishes
+    /// every entry of `records` onto `partition` under a single lock
+    /// acquisition and a single backpressure evaluation, **without**
+    /// waking consumers (follow a flush with one
+    /// [`TopicWriter::notify`]).
+    ///
+    /// All-or-nothing: on `Ok` every record was appended at
+    /// consecutive offsets (the returned offset is the first) and
+    /// `records` is drained, so the caller's buffer — and the
+    /// `Arc<[u8]>` payload slots inside it — can be reused without
+    /// reallocating; on `Err` **nothing** was published and `records`
+    /// is untouched, so retrying the same batch cannot double-publish
+    /// and abandoning it cannot half-publish a share set. A batch
+    /// larger than the partition capacity fails fast (it could never
+    /// fit); chunk on [`TopicWriter::capacity`] first.
+    pub fn try_append_batch(
+        &self,
+        partition: usize,
+        records: &mut Vec<BatchEntry>,
+    ) -> Result<u64, BrokerError> {
+        append_batch(&self.broker, &self.topic, partition, records, false)
+    }
+
     /// Wakes consumers parked on this topic — the batch-end pair of
     /// [`TopicWriter::append_quiet`].
     pub fn notify(&self) {
@@ -744,6 +873,13 @@ impl TopicWriter {
     /// Number of partitions of the bound topic.
     pub fn partitions(&self) -> usize {
         self.topic.partitions.len()
+    }
+
+    /// The bound topic's per-partition backlog capacity (`0` =
+    /// unbounded) — what batching producers chunk oversized runs on,
+    /// since a single batch wider than this can never publish.
+    pub fn capacity(&self) -> usize {
+        self.topic.capacity
     }
 }
 

@@ -9,7 +9,7 @@
 //! flagged — that is the duplicate-answer defence the paper addresses
 //! with triple splitting.
 
-use privapprox_types::{words, MessageId, Timestamp};
+use privapprox_types::{words, FastState, MessageId, Timestamp};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -41,8 +41,11 @@ struct Pending {
 pub struct MidJoiner {
     expected: usize,
     timeout: u64,
-    pending: HashMap<MessageId, Pending>,
-    quarantined: HashMap<MessageId, Timestamp>,
+    // `FastState`: one lookup per received share, keyed by MIDs drawn
+    // from the client RNG — no adversarial key control to defend
+    // against, so SipHash is pure overhead here.
+    pending: HashMap<MessageId, Pending, FastState>,
+    quarantined: HashMap<MessageId, Timestamp, FastState>,
     /// Recycled accumulator buffers: evicted groups and buffers handed
     /// back via [`MidJoiner::recycle`] are reused for new groups, so
     /// the steady-state join allocates nothing per message.
@@ -65,8 +68,8 @@ impl MidJoiner {
         MidJoiner {
             expected: n,
             timeout: timeout_ms,
-            pending: HashMap::new(),
-            quarantined: HashMap::new(),
+            pending: HashMap::default(),
+            quarantined: HashMap::default(),
             spare: Vec::new(),
             completed: 0,
             expired: 0,

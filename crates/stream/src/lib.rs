@@ -22,6 +22,6 @@ pub mod dataflow;
 pub mod join;
 pub mod window;
 
-pub use broker::{Broker, BrokerError, BrokerStats, Consumer, Producer, Record};
+pub use broker::{BatchEntry, Broker, BrokerError, BrokerStats, Consumer, Producer, Record, TopicWriter};
 pub use join::{JoinOutcome, MidJoiner};
 pub use window::WindowedFold;

@@ -10,6 +10,7 @@
 
 pub mod bitvec;
 pub mod budget;
+pub mod fasthash;
 pub mod ids;
 pub mod query;
 pub mod time;
@@ -17,6 +18,7 @@ pub mod words;
 
 pub use bitvec::BitVec;
 pub use budget::{Budget, ExecutionParams};
+pub use fasthash::{FastHasher, FastState};
 pub use ids::{AnalystId, ClientId, MessageId, ProxyId, QueryId};
 pub use query::{AnswerSpec, BucketIndexer, BucketRule, Query, QueryBuilder};
 pub use time::{Millis, Timestamp, Window, WindowSpec};

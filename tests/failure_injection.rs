@@ -433,3 +433,72 @@ fn chaos_random_kills_over_fifty_epochs() {
     assert_eq!(health.dead_lettered, 0);
     drop(system);
 }
+
+/// A consumer group that stops draining a bounded inbound topic must
+/// surface as a typed `Backpressure` fault from the epoch API — not a
+/// wedged worker thread, not a partially published share set. The
+/// worker's batched flush parks on the full partition, gives up at
+/// the epoch-deadline-derived broker deadline, and the stall is
+/// counted in `DeployHealth::backpressure_stalls`; un-wedging the
+/// topic restores exact epochs.
+#[test]
+fn worker_flush_backpressure_surfaces_and_counts() {
+    let mut system = ShardedSystem::builder()
+        .clients(48)
+        .proxies(2)
+        .shards(1)
+        .workers(1)
+        .seed(13)
+        .partition_capacity(8)
+        .epoch_deadline(Duration::from_millis(300))
+        .build();
+    system.load_numeric_column("t", "v", |_| 2.5).unwrap();
+    let query = submit_query(&mut system);
+    // A never-polling group pins proxy 0's committed floor at zero:
+    // the worker's first flush run (8 records, == capacity) fits, the
+    // second can never fit until someone drains.
+    let wedge = system
+        .broker()
+        .consumer("wedge", &[&inbound_topic(ProxyId(0))]);
+    let started = Instant::now();
+    let err = system.run_epoch(&query).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::Deploy(DeployError::Backpressure { .. })
+        ),
+        "expected a typed backpressure fault, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the parked flush must give up at the deadline, took {:?}",
+        started.elapsed()
+    );
+    // The epoch still closed — partially — with the runs flushed
+    // before the wedge bit; nothing beyond them was published to
+    // either proxy (all-or-nothing per batch), so every counted
+    // answer is a complete share pair.
+    let partial = system.drain_results();
+    assert_eq!(partial.len(), 1);
+    assert!(
+        partial[0].sample_size < 48,
+        "the wedged partition's tail is missing"
+    );
+    if partial[0].sample_size > 0 {
+        assert_eq!(
+            partial[0].buckets[2].estimate, 48.0,
+            "partial close scales like sampling"
+        );
+    }
+    let health = system.deploy_health();
+    assert!(
+        health.backpressure_stalls >= 1,
+        "the worker's abandoned flush must be counted, health: {health:?}"
+    );
+    // Withdraw the wedge: the departed group releases its floor, and
+    // the next epoch is exact again.
+    drop(wedge);
+    let result = system.run_epoch(&query).unwrap();
+    assert_eq!(result.sample_size, 48, "un-wedged epoch is whole");
+    assert_eq!(result.buckets[2].estimate, 48.0);
+}
