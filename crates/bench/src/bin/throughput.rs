@@ -27,7 +27,7 @@
 //!   convention is documented in `docs/benchmarks.md`.
 //!
 //! Sweeps proxies n ∈ {2, 3} × buckets ∈ {11, 10⁴} and writes
-//! `BENCH_7.json` (machine-readable perf trajectory for later PRs;
+//! `BENCH_8.json` (machine-readable perf trajectory for later PRs;
 //! schema documented in `docs/benchmarks.md`) next to the working
 //! directory, plus the usual copy under `results/`.
 //!
@@ -53,6 +53,7 @@ use privapprox_types::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const KEY: u64 = 0xB0B;
@@ -147,6 +148,11 @@ struct ShardedRow {
     proxies_busy_ns: f64,
     /// Max shard-thread CPU time over the measured span (ns).
     shards_busy_ns: f64,
+    /// Max single `privapprox-node` child-process CPU time over the
+    /// measured span (ns; 0 for in-process rows). Children count as
+    /// pipeline stages in the machine rate: under the dedicated-core
+    /// convention a child process owns a core exactly like a thread.
+    children_busy_ns: f64,
 }
 
 /// BENCH_6's supervision-overhead gate: the supervised runtime's
@@ -197,7 +203,68 @@ struct BatchedSendGate {
     required_speedup: f64,
 }
 
-/// The whole run, as persisted to `BENCH_7.json`.
+/// BENCH_8's transport gate: the multi-process deployment — every
+/// proxy and aggregator shard a spawned `privapprox-node` process
+/// behind supervised loopback sockets — re-runs the 4-shard /
+/// 10⁴-bucket `end_to_end_overlapped` row (depth 3: with epochs in
+/// flight the per-hop socket latency overlaps with compute, so the
+/// gate prices the transport's real cost, not a chain of poll
+/// timeouts) against a **fresh in-process rate measured back to
+/// back** (same machine, same build, same workload — not a committed
+/// file, because the gate prices the transport, not the codebase's
+/// drift). The basis is the BENCH_5 **machine rate** — messages ÷
+/// the bottleneck *stage's* CPU time, one dedicated core per stage —
+/// with the child processes counted as stages via their
+/// `/proc/<pid>/schedstat` on-CPU time, so their work is priced
+/// exactly like a parent thread's. Wall-clock is recorded for
+/// transparency but not gated: the bench container has a single
+/// core, where the wall-clock of a 6-process deployment measures the
+/// *sum* of every process's work serialized onto one CPU rather than
+/// the pipeline's bottleneck — the quantity the repo's rate
+/// trajectory has never used.
+///
+/// The floor is **0.25×**, and why it is not higher deserves the
+/// numbers. The in-process "transport" moves zero bytes — a share
+/// travels the broker as an `Arc` refcount bump, so the in-process
+/// bottleneck is the *worker* stage's real compute (~1 µs/msg). The
+/// socket path must move every 10⁴-bucket share (~1.25 KB × 2 XOR
+/// shares) through four mandatory passes per hop — frame encode,
+/// kernel send, kernel receive, frame decode — and after stripping
+/// every avoidable copy (shared-buffer `DataMsg`, exact-size frame
+/// reservation, zero-temporary batch encode) the busiest stage (a
+/// proxy bridge or proxy child, each carrying all 20 k records of
+/// its run) still spends ~2.3 µs/record moving ~100 MB of traffic,
+/// measured at 0.34–0.40× here. A floor of 0.25× therefore polices
+/// regressions — reintroducing one full-payload copy on the hot
+/// path drops the ratio below it — without demanding that a real
+/// wire beat pointer passing. Both sides take the best of up to
+/// three attempts, and the socket run must finish fault-free (no
+/// reconnects, rejections, retries or partial closes — the gate
+/// measures the happy path, `net_chaos.rs` measures repair).
+#[derive(Debug, Clone, Serialize)]
+struct TransportGate {
+    /// Where the baseline rate came from.
+    baseline: String,
+    /// Fresh in-process 4-shard/10⁴-bucket `end_to_end_overlapped`
+    /// machine rate (msgs ÷ bottleneck thread CPU).
+    inprocess_machine_msgs_per_sec: f64,
+    /// The socket deployment's machine rate on the identical workload
+    /// (bottleneck over parent threads *and* child processes).
+    socket_machine_msgs_per_sec: f64,
+    /// In-process wall rate, recorded for transparency (not gated).
+    inprocess_wall_msgs_per_sec: f64,
+    /// Socket wall rate, recorded for transparency (not gated — on a
+    /// single-core bench host this is total-work, not bottleneck).
+    socket_wall_msgs_per_sec: f64,
+    /// `socket / inprocess` machine rates; the gate asserts this
+    /// meets the floor.
+    ratio: f64,
+    /// The acceptance floor the gate asserts (`0.25`; see the type
+    /// docs for why).
+    required_ratio: f64,
+}
+
+/// The whole run, as persisted to `BENCH_8.json`.
 #[derive(Debug, Clone, Serialize)]
 struct ThroughputReport {
     /// Which PR's trajectory point this is.
@@ -224,6 +291,10 @@ struct ThroughputReport {
     /// The batched zero-copy send-path gate vs BENCH_5's overlapped
     /// row (absent only when `BENCH_5.json` is not readable).
     batched_send: Option<BatchedSendGate>,
+    /// The multi-process transport gate vs a fresh in-process run
+    /// (absent only when no `privapprox-node` binary sits next to
+    /// this one).
+    transport: Option<TransportGate>,
 }
 
 /// Drives `messages` full client→aggregator round trips and returns
@@ -492,7 +563,33 @@ fn run_sharded_full_answer(
         workers_busy_ns: max_busy * 1e9,
         proxies_busy_ns: 0.0,
         shards_busy_ns: 0.0,
+        children_busy_ns: 0.0,
     }
+}
+
+/// Max per-role child-process CPU deltas (busiest proxy child,
+/// busiest shard child) between two `ShardedSystem::child_cpu`
+/// snapshots, in seconds. Both zero for in-process runs.
+fn child_deltas(
+    now: &[(String, std::time::Duration)],
+    base: &[(String, std::time::Duration)],
+) -> (f64, f64) {
+    let mut proxy = 0f64;
+    let mut shard = 0f64;
+    for (label, cpu) in now {
+        let before = base
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, c)| *c)
+            .unwrap_or_default();
+        let delta = cpu.saturating_sub(before).as_secs_f64();
+        if label.starts_with("proxy-") {
+            proxy = proxy.max(delta);
+        } else {
+            shard = shard.max(delta);
+        }
+    }
+    (proxy, shard)
 }
 
 /// Per-stage max CPU-time deltas between two busy-profile snapshots.
@@ -515,23 +612,39 @@ fn stage_deltas(
     )
 }
 
-fn sharded_rig(
+/// Builds the `ShardedSystem` + query rig for the end-to-end rows.
+/// `node: Some(path)` runs every proxy and shard as a spawned
+/// `privapprox-node` process over loopback sockets (the BENCH_8
+/// transport-gate deployment); `None` keeps them in-process threads.
+fn sharded_rig_with(
     shards: usize,
     proxies: usize,
     buckets: usize,
     population: u64,
     depth: usize,
     capacity: usize,
+    node: Option<&Path>,
 ) -> (ShardedSystem, privapprox_types::Query) {
-    let mut system = ShardedSystem::builder()
+    let mut builder = ShardedSystem::builder()
         .clients(population)
         .proxies(proxies as u16)
         .shards(shards)
         .workers(shards)
         .pipeline_depth(depth)
         .partition_capacity(capacity)
-        .seed(0xBEAC4)
-        .build();
+        .seed(0xBEAC4);
+    if let Some(node) = node {
+        // A fault-free gate run must not count scheduler-induced
+        // ack-stall resends as repairs: on an oversubscribed bench
+        // host (CI runners, the single-core trajectory machine) a
+        // child's ack can lag the 250 ms loss-suspicion default
+        // purely from CPU contention. Two seconds keeps the resend
+        // path armed for genuine stalls without tripping on load.
+        builder = builder
+            .process_transport(node)
+            .link_resend_after(std::time::Duration::from_secs(2));
+    }
+    let mut system = builder.build();
     system.load_numeric_column("rides", "d", |i| (i % 100) as f64).unwrap();
     let query = system
         .analyst()
@@ -558,10 +671,26 @@ fn run_sharded_end_to_end(
     population: u64,
     epochs: u64,
 ) -> ShardedRow {
-    let (mut system, query) = sharded_rig(shards, proxies, buckets, population, 1, 0);
+    run_sharded_end_to_end_with(shards, proxies, buckets, population, epochs, None)
+}
+
+/// [`run_sharded_end_to_end`] with an optional node binary (the
+/// process-transport deployment for the BENCH_8 gate). The row's
+/// `pipeline` label records which transport ran.
+fn run_sharded_end_to_end_with(
+    shards: usize,
+    proxies: usize,
+    buckets: usize,
+    population: u64,
+    epochs: u64,
+    node: Option<&Path>,
+) -> ShardedRow {
+    let (mut system, query) =
+        sharded_rig_with(shards, proxies, buckets, population, 1, 0, node);
     // One warm-up epoch: plans compiled, pools populated.
     system.run_epoch(&query).expect("warm-up epoch");
     let base = system.busy_profile();
+    let child_base = system.child_cpu();
     let wall_start = Instant::now();
     for _ in 0..epochs {
         let result = system.run_epoch(&query).expect("epoch");
@@ -569,11 +698,19 @@ fn run_sharded_end_to_end(
     }
     let wall = wall_start.elapsed().as_secs_f64();
     let (workers, proxies_busy, shards_busy) = stage_deltas(&system.busy_profile(), &base);
-    let critical = workers + proxies_busy + shards_busy;
+    // Process transport adds the child processes as epoch critical-path
+    // stages: worker → proxy bridge → proxy child → shard bridge →
+    // shard child, each on its own dedicated core.
+    let (proxy_child, shard_child) = child_deltas(&system.child_cpu(), &child_base);
+    let critical = workers + proxies_busy + shards_busy + proxy_child + shard_child;
     assert_fault_free(&mut system);
     let messages = population * epochs;
     ShardedRow {
-        pipeline: "end_to_end".to_string(),
+        pipeline: if node.is_some() {
+            "end_to_end_process".to_string()
+        } else {
+            "end_to_end".to_string()
+        },
         pipeline_depth: 1,
         shards,
         threads: shards,
@@ -587,6 +724,7 @@ fn run_sharded_end_to_end(
         workers_busy_ns: workers * 1e9,
         proxies_busy_ns: proxies_busy * 1e9,
         shards_busy_ns: shards_busy * 1e9,
+        children_busy_ns: proxy_child.max(shard_child) * 1e9,
     }
 }
 
@@ -605,6 +743,20 @@ fn run_sharded_end_to_end_overlapped(
     epochs: u64,
     depth: usize,
 ) -> ShardedRow {
+    run_sharded_end_to_end_overlapped_with(shards, proxies, buckets, population, epochs, depth, None)
+}
+
+/// [`run_sharded_end_to_end_overlapped`] with an optional node binary
+/// (the process-transport deployment for the BENCH_8 gate).
+fn run_sharded_end_to_end_overlapped_with(
+    shards: usize,
+    proxies: usize,
+    buckets: usize,
+    population: u64,
+    epochs: u64,
+    depth: usize,
+    node: Option<&Path>,
+) -> ShardedRow {
     // Partition capacity: depth + 1 epochs' worth of records per
     // partition — enough headroom that backpressure engages only
     // when a stage genuinely falls behind the whole pipeline window,
@@ -612,7 +764,8 @@ fn run_sharded_end_to_end_overlapped(
     // pipeline depth serializes the stages into lock-step hand-offs).
     let partitions = shards.max(1) as u64;
     let capacity = ((depth as u64 + 1) * population.div_ceil(partitions)).max(64) as usize;
-    let (mut system, query) = sharded_rig(shards, proxies, buckets, population, depth, capacity);
+    let (mut system, query) =
+        sharded_rig_with(shards, proxies, buckets, population, depth, capacity, node);
     // Warm-up: one full pipeline fill + flush.
     for _ in 0..depth {
         system.submit_epoch(&query).expect("warm-up submit");
@@ -620,6 +773,7 @@ fn run_sharded_end_to_end_overlapped(
     system.flush_epochs().expect("warm-up flush");
     system.drain_results();
     let base = system.busy_profile();
+    let child_base = system.child_cpu();
     let wall_start = Instant::now();
     for _ in 0..epochs {
         system.submit_epoch(&query).expect("epoch submit");
@@ -632,11 +786,23 @@ fn run_sharded_end_to_end_overlapped(
         assert_eq!(r.sample_size, population, "s = 1: everyone answers");
     }
     let (workers, proxies_busy, shards_busy) = stage_deltas(&system.busy_profile(), &base);
-    let bottleneck = workers.max(proxies_busy).max(shards_busy);
+    // A child process is a pipeline stage on its own dedicated core,
+    // exactly like a parent thread — the busiest one can be the
+    // machine-rate bottleneck (zeros for in-process runs).
+    let (proxy_child, shard_child) = child_deltas(&system.child_cpu(), &child_base);
+    let bottleneck = workers
+        .max(proxies_busy)
+        .max(shards_busy)
+        .max(proxy_child)
+        .max(shard_child);
     assert_fault_free(&mut system);
     let messages = population * epochs;
     ShardedRow {
-        pipeline: "end_to_end_overlapped".to_string(),
+        pipeline: if node.is_some() {
+            "end_to_end_overlapped_process".to_string()
+        } else {
+            "end_to_end_overlapped".to_string()
+        },
         pipeline_depth: depth,
         shards,
         threads: shards,
@@ -650,6 +816,7 @@ fn run_sharded_end_to_end_overlapped(
         workers_busy_ns: workers * 1e9,
         proxies_busy_ns: proxies_busy * 1e9,
         shards_busy_ns: shards_busy * 1e9,
+        children_busy_ns: proxy_child.max(shard_child) * 1e9,
     }
 }
 
@@ -666,8 +833,12 @@ fn assert_fault_free(system: &mut ShardedSystem) {
             + health.partial_closes
             + health.lost_answers
             + health.dead_lettered
+            + health.dead_letter_dropped
             + health.undecodable
-            + health.unroutable,
+            + health.unroutable
+            + health.reconnects
+            + health.rejections
+            + health.retries,
         0,
         "fault-free bench run exercised supervision repairs: {health:?}"
     );
@@ -809,6 +980,95 @@ fn run_batched_send_gate() -> Option<BatchedSendGate> {
     })
 }
 
+/// The `privapprox-node` binary next to this one (both are cargo bin
+/// targets, so a workspace build puts them in the same directory);
+/// `None` — and a graceful gate skip — when it was not built.
+fn node_binary_beside_exe() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let node = exe.parent()?.join("privapprox-node");
+    node.exists().then_some(node)
+}
+
+/// Runs the BENCH_8 transport gate: the 4-shard / 10⁴-bucket
+/// `end_to_end_overlapped` row over real loopback sockets (spawned
+/// `privapprox-node` children) against a fresh in-process run of the
+/// identical workload, measured back to back at gate time. The
+/// overlapped pipeline is the right basis for a *throughput* gate:
+/// with epochs in flight the per-hop socket latency overlaps with
+/// compute, so the ratio prices the transport's real cost
+/// (serialization + syscalls), not a chain of poll timeouts. Machine
+/// rates (BENCH_5 methodology, children priced as stages from
+/// `/proc` on-CPU time — see [`TransportGate`]), best of up to three
+/// attempts per side; the socket run must be fault-free (its
+/// `assert_fault_free` covers reconnects, rejections and retries)
+/// and hold the 0.25× floor ([`TransportGate`] derives it from the
+/// copy cost an honest wire cannot avoid).
+fn run_transport_gate() -> Option<TransportGate> {
+    let Some(node) = node_binary_beside_exe() else {
+        println!(
+            "transport gate: skipped (no privapprox-node binary beside this one; \
+             `cargo build --release` builds it)\n"
+        );
+        return None;
+    };
+    let required = 0.25;
+    let mut inprocess = 0.0f64;
+    let mut socket = 0.0f64;
+    let mut inprocess_wall = 0.0f64;
+    let mut socket_wall = 0.0f64;
+    for _ in 0..3 {
+        let base = run_sharded_end_to_end_overlapped_with(4, 2, 10_000, 2_000, 10, 3, None);
+        let over = run_sharded_end_to_end_overlapped_with(4, 2, 10_000, 2_000, 10, 3, Some(&node));
+        println!(
+            "transport attempt: in-process {} msgs/s, sockets {} msgs/s \
+             (socket bottleneck ms: workers {:.1}, proxy bridges {:.1}, \
+             shard bridges {:.1}, busiest child {:.1})",
+            with_commas(base.machine_msgs_per_sec as u64),
+            with_commas(over.machine_msgs_per_sec as u64),
+            over.workers_busy_ns / 1e6,
+            over.proxies_busy_ns / 1e6,
+            over.shards_busy_ns / 1e6,
+            over.children_busy_ns / 1e6,
+        );
+        inprocess = inprocess.max(base.machine_msgs_per_sec);
+        socket = socket.max(over.machine_msgs_per_sec);
+        inprocess_wall = inprocess_wall.max(base.wall_msgs_per_sec);
+        socket_wall = socket_wall.max(over.wall_msgs_per_sec);
+        if socket / inprocess >= required {
+            break;
+        }
+    }
+    let ratio = socket / inprocess;
+    println!(
+        "transport gate (end_to_end_overlapped, 4 shards, 10000 buckets): in-process {} msgs/s \
+         → sockets {} msgs/s ({:.2}x, floor {:.2}x)\n",
+        with_commas(inprocess as u64),
+        with_commas(socket as u64),
+        ratio,
+        required,
+    );
+    assert!(
+        ratio >= required,
+        "socket transport holds only {:.2}x of the in-process machine rate, below the \
+         {:.2}x BENCH_8 floor (in-process {:.0} msgs/s, sockets {:.0} msgs/s)",
+        ratio,
+        required,
+        inprocess,
+        socket,
+    );
+    Some(TransportGate {
+        baseline: "fresh in-process end_to_end_overlapped run (depth 3), 4 shards, \
+                   10000 buckets, measured at gate time"
+            .to_string(),
+        inprocess_machine_msgs_per_sec: inprocess,
+        socket_machine_msgs_per_sec: socket,
+        inprocess_wall_msgs_per_sec: inprocess_wall,
+        socket_wall_msgs_per_sec: socket_wall,
+        ratio,
+        required_ratio: required,
+    })
+}
+
 fn row(
     proxies: usize,
     buckets: usize,
@@ -830,15 +1090,16 @@ fn row(
 fn main() {
     // `--quick`: a shrunken tier-1 CI smoke — every pipeline and its
     // integrity asserts run, nothing is written.
-    // `--gate-only`: just the two acceptance gates at full scale
-    // (supervision + batched send), for fast triage of a gate failure
-    // without the whole sweep. Nothing is written.
+    // `--gate-only`: just the acceptance gates at full scale
+    // (supervision + batched send + transport), for fast triage of a
+    // gate failure without the whole sweep. Nothing is written.
     let quick = std::env::args().any(|a| a == "--quick");
     let gate_only = std::env::args().any(|a| a == "--gate-only");
     if gate_only {
         println!("Acceptance gates only (--gate-only)\n");
         run_supervision_gate();
         run_batched_send_gate();
+        run_transport_gate();
         println!("--gate-only complete; no trajectory written");
         return;
     }
@@ -951,18 +1212,22 @@ fn main() {
 
     // The acceptance rows run in both modes: `--quick` CI re-asserts
     // the BENCH_6 supervision gate (fault-free supervised runtime
-    // within 5% of BENCH_5's end_to_end rate) and the BENCH_7
+    // within 5% of BENCH_5's end_to_end rate), the BENCH_7
     // batched-send gate (the zero-copy batched send path ≥1.15×
-    // BENCH_5's overlapped rate), both on the 4-shard/10⁴-bucket row.
+    // BENCH_5's overlapped rate) and the BENCH_8 transport gate (the
+    // multi-process socket deployment holding ≥0.25× of a fresh
+    // in-process run's machine rate), all on the 4-shard/10⁴-bucket
+    // row.
     let supervision = run_supervision_gate();
     let batched_send = run_batched_send_gate();
+    let transport = run_transport_gate();
 
     if quick {
         println!("--quick smoke complete; no trajectory written");
         return;
     }
     let report = ThroughputReport {
-        bench_revision: 7,
+        bench_revision: 8,
         round_trip_pipeline: "client randomize→encode→split + aggregator join→decode→fold"
             .to_string(),
         full_answer_pipeline:
@@ -988,10 +1253,11 @@ fn main() {
         sharded,
         supervision,
         batched_send,
+        transport,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
-    println!("trajectory written to BENCH_7.json");
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+    println!("trajectory written to BENCH_8.json");
     if let Ok(path) = privapprox_bench::save_json("throughput", &report) {
         println!("results copy at {}", path.display());
     }

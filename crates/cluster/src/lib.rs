@@ -22,18 +22,45 @@
 //!   the *real* threaded runtime's thread/shard counts
 //!   ([`DeploymentShape`], consumed by
 //!   `privapprox_core::deploy::ShardedSystem`).
+//!
+//! Since PR 8 the crate also carries the **real** multi-process
+//! transport the simulator used to stand in for:
+//!
+//! * [`wire`] — length-prefixed frame codec with a version header
+//!   (layout in `docs/wire-format.md`);
+//! * [`transport`] — the [`Transport`] trait over loopback TCP, an
+//!   in-process channel pair, and a deterministic fault-injection
+//!   wrapper ([`FaultyTransport`]) shaped by the [`Link`] model;
+//! * [`supervise`] — per-connection supervision: reconnect with
+//!   exponential backoff + jitter + retry budget, idempotent resend
+//!   windows, link health counters;
+//! * [`frontdoor`] — the node acceptor: connection multiplexing,
+//!   admission control (connection cap, in-flight cap, typed
+//!   `Overloaded` rejections) and per-client token-bucket rate
+//!   limits.
 
 pub mod deploy;
 pub mod events;
+pub mod frontdoor;
 pub mod net;
 pub mod phases;
 pub mod pool;
+pub mod supervise;
+pub mod transport;
+pub mod wire;
 
 pub use deploy::DeploymentShape;
 pub use events::{EventQueue, Heartbeat, HeartbeatStatus, Watchdog};
+pub use frontdoor::{Admitted, AdmissionPolicy, FrontDoor, TokenBucket};
 pub use net::Link;
 pub use phases::{run_phases, Phase};
 pub use pool::{ClusterSpec, ServerPool};
+pub use supervise::{BackoffPolicy, LinkStats, Reassembly, SupervisedLink};
+pub use transport::{ChannelTransport, FaultPlan, FaultyTransport, TcpTransport, Transport};
+pub use wire::{
+    decode_data_batch, encode_data_batch, DataMsg, Frame, FrameKind, Hello, RejectReason,
+    MAX_FRAME, WIRE_VERSION,
+};
 
 /// Simulated time in microseconds.
 pub type SimTime = u64;

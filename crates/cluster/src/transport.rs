@@ -1,0 +1,516 @@
+//! The [`Transport`] abstraction: framed, bidirectional, fallible.
+//!
+//! Three implementations share one contract so the deployment runtime
+//! is transport-agnostic:
+//!
+//! * [`TcpTransport`] — loopback TCP, the real multi-process path;
+//! * [`ChannelTransport`] — in-process mpsc pair, proving the trait is
+//!   honest (the equivalence matrix runs the same bridge code over
+//!   both) and giving tests a socket-free harness;
+//! * [`FaultyTransport`] — a deterministic fault-injection wrapper
+//!   (seeded drop/duplicate/delay/reorder/partition/cut) shaped by the
+//!   [`Link`] latency/bandwidth model, driving the network-chaos
+//!   suite.
+
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::time::Duration;
+
+use crate::net::Link;
+use crate::wire::{read_frame, write_frame, Frame, FrameKind};
+
+/// How long a receiver keeps reading once a frame has *started*
+/// arriving (mid-frame stall budget; see [`read_frame`]).
+const MAX_FRAME_WAIT: Duration = Duration::from_secs(10);
+
+/// A framed, bidirectional, fallible message link.
+///
+/// `recv` blocks up to the configured read timeout and returns
+/// `Ok(None)` when nothing arrived — so callers can interleave polling
+/// several sources on one thread. Any `Err` means the link is broken
+/// and must be re-dialed (see `supervise::SupervisedLink`).
+pub trait Transport: Send {
+    /// Queues one frame for transmission (possibly buffered; see
+    /// [`Transport::flush`]).
+    fn send(&mut self, frame: &Frame) -> io::Result<()>;
+
+    /// Flushes any buffered writes to the peer.
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Receives one frame, waiting at most the read timeout;
+    /// `Ok(None)` = nothing arrived.
+    fn recv(&mut self) -> io::Result<Option<Frame>>;
+
+    /// Sets the read timeout governing how long [`Transport::recv`]
+    /// waits for a frame to begin.
+    fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()>;
+
+    /// Human-readable peer description for error messages.
+    fn peer(&self) -> String;
+}
+
+/// [`Transport`] over a TCP stream (loopback in this deployment).
+pub struct TcpTransport {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Dials `addr` with `connect_timeout`, disables Nagle, and
+    /// applies `read_timeout`.
+    pub fn connect(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> io::Result<TcpTransport> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        TcpTransport::from_stream(stream, read_timeout)
+    }
+
+    /// Wraps an accepted or connected stream.
+    pub fn from_stream(stream: TcpStream, read_timeout: Duration) -> io::Result<TcpTransport> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        let writer = BufWriter::with_capacity(64 << 10, stream.try_clone()?);
+        Ok(TcpTransport {
+            reader: stream,
+            writer,
+            peer,
+        })
+    }
+
+    /// A second handle onto the same socket (shared fd), so a node can
+    /// run its read loop and its write path on different threads. Each
+    /// half carries its own buffer; writers on *different* handles
+    /// must not interleave frames.
+    pub fn try_clone(&self) -> io::Result<TcpTransport> {
+        let stream = self.reader.try_clone()?;
+        let timeout = self.reader.read_timeout()?.unwrap_or(MAX_FRAME_WAIT);
+        stream.set_read_timeout(Some(timeout))?;
+        let writer = BufWriter::with_capacity(64 << 10, stream.try_clone()?);
+        Ok(TcpTransport {
+            reader: stream,
+            writer,
+            peer: self.peer.clone(),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Frame>> {
+        read_frame(&mut self.reader, MAX_FRAME_WAIT)
+    }
+
+    fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.reader.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// [`Transport`] over in-process channels: the second implementation
+/// pinning the trait's contract, and the socket-free path for unit
+/// tests of bridge/supervision logic.
+pub struct ChannelTransport {
+    tx: SyncSender<Frame>,
+    rx: Receiver<Frame>,
+    read_timeout: Duration,
+}
+
+impl ChannelTransport {
+    /// Builds a connected pair of endpoints with `depth` frames of
+    /// buffering per direction.
+    pub fn pair(depth: usize) -> (ChannelTransport, ChannelTransport) {
+        let (a_tx, b_rx) = mpsc::sync_channel(depth);
+        let (b_tx, a_rx) = mpsc::sync_channel(depth);
+        let mk = |tx, rx| ChannelTransport {
+            tx,
+            rx,
+            read_timeout: Duration::from_millis(10),
+        };
+        (mk(a_tx, a_rx), mk(b_tx, b_rx))
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.tx
+            .send(frame.clone())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "channel peer gone"))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Frame>> {
+        match self.rx.recv_timeout(self.read_timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "channel peer gone",
+            )),
+        }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    fn peer(&self) -> String {
+        "<channel>".into()
+    }
+}
+
+/// Deterministic fault plan for [`FaultyTransport`].
+///
+/// All probabilities are per *data* frame (control frames stay clean
+/// unless `data_only` is false — losing a `Register` reply forever is
+/// a different failure class, covered by the cut/reconnect path).
+/// Faults are driven by a seeded xorshift generator, so a given
+/// `(plan, traffic)` pair replays identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; two transports with equal seeds and equal traffic
+    /// fault identically.
+    pub seed: u64,
+    /// Probability a sent frame is silently dropped.
+    pub drop: f64,
+    /// Probability a sent frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a sent frame is delayed by the link model's
+    /// transfer time for its size.
+    pub delay: f64,
+    /// Probability a sent frame is held back and swapped with the
+    /// next one (adjacent reorder).
+    pub reorder: f64,
+    /// Link model shaping delay durations; `None` = 1 ms flat.
+    pub link: Option<Link>,
+    /// After this many sent data frames the connection is cut with an
+    /// I/O error (a partition: everything until re-dial fails). `0`
+    /// disables. Each new connection gets a fresh count, so a
+    /// supervised link makes progress between cuts.
+    pub cut_after: u64,
+    /// Apply faults only to [`FrameKind::Data`] frames (default).
+    pub data_only: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 1,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            reorder: 0.0,
+            link: None,
+            cut_after: 0,
+            data_only: true,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True if every fault is disabled (the wrapper is a no-op).
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.delay == 0.0
+            && self.reorder == 0.0
+            && self.cut_after == 0
+    }
+}
+
+/// Wraps any [`Transport`] with the seeded faults of a [`FaultPlan`].
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    rng: u64,
+    /// Data frames sent on this connection (drives `cut_after`).
+    sent: u64,
+    /// True once the cut fired: all traffic fails until re-dial.
+    severed: bool,
+    /// Frame held back by a reorder fault, delivered on next send.
+    held: Option<Frame>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with `plan`'s faults.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            plan,
+            rng: plan.seed | 1,
+            sent: 0,
+            severed: false,
+            held: None,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — tiny, seedable, good enough for fault dice.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    fn shaped_delay(&self, bytes: usize) -> Duration {
+        match self.plan.link {
+            Some(link) => Duration::from_micros(link.transfer(0, bytes as u64)),
+            None => Duration::from_millis(1),
+        }
+    }
+
+    fn cut_error(&self) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected partition: link severed",
+        )
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        if self.severed {
+            return Err(self.cut_error());
+        }
+        if self.plan.data_only && frame.kind != FrameKind::Data {
+            return self.inner.send(frame);
+        }
+        self.sent += 1;
+        if self.plan.cut_after > 0 && self.sent > self.plan.cut_after {
+            self.severed = true;
+            return Err(self.cut_error());
+        }
+        if self.chance(self.plan.drop) {
+            return Ok(()); // silently lost; resend path repairs it
+        }
+        if self.chance(self.plan.delay) {
+            std::thread::sleep(self.shaped_delay(frame.payload.len() + 6));
+        }
+        if self.chance(self.plan.reorder) && self.held.is_none() {
+            self.held = Some(frame.clone());
+            return Ok(());
+        }
+        self.inner.send(frame)?;
+        if self.chance(self.plan.duplicate) {
+            self.inner.send(frame)?;
+        }
+        if let Some(held) = self.held.take() {
+            self.inner.send(&held)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.severed {
+            return Err(self.cut_error());
+        }
+        // A reorder hold must not outlive the batch: flush delivers it
+        // so the last frame before a quiet period is never stranded.
+        if let Some(held) = self.held.take() {
+            self.inner.send(&held)?;
+        }
+        self.inner.flush()
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Frame>> {
+        if self.severed {
+            return Err(self.cut_error());
+        }
+        self.inner.recv()
+    }
+
+    fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    fn peer(&self) -> String {
+        format!("{} (faulty)", self.inner.peer())
+    }
+}
+
+/// Drains every immediately-available frame from `t` into `out`
+/// (stops at the first quiet read). Convenience for bridge loops and
+/// tests.
+pub fn drain_ready(t: &mut dyn Transport, out: &mut VecDeque<Frame>) -> io::Result<()> {
+    while let Some(frame) = t.recv()? {
+        out.push_back(frame);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::DataMsg;
+
+    fn data_frame(seq: u64) -> Frame {
+        Frame::new(
+            FrameKind::Data,
+            DataMsg {
+                seq,
+                stream: 0,
+                partition: 0,
+                timestamp: 0,
+                key: None,
+                value: vec![seq as u8].into(),
+            }
+            .encode(),
+        )
+    }
+
+    #[test]
+    fn channel_pair_roundtrip_and_timeout() {
+        let (mut a, mut b) = ChannelTransport::pair(16);
+        a.set_read_timeout(Duration::from_millis(5)).unwrap();
+        b.set_read_timeout(Duration::from_millis(5)).unwrap();
+        assert!(b.recv().unwrap().is_none()); // quiet read
+        a.send(&data_frame(1)).unwrap();
+        a.flush().unwrap();
+        let got = b.recv().unwrap().unwrap();
+        assert_eq!(got.kind, FrameKind::Data);
+        drop(a);
+        assert!(b.recv().is_err()); // peer gone is a hard error
+    }
+
+    #[test]
+    fn tcp_pair_roundtrip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream, Duration::from_millis(50)).unwrap();
+            let f = t.recv().unwrap().unwrap();
+            t.send(&f).unwrap();
+            t.flush().unwrap();
+        });
+        let mut c =
+            TcpTransport::connect(addr, Duration::from_secs(5), Duration::from_secs(5)).unwrap();
+        c.send(&data_frame(9)).unwrap();
+        c.flush().unwrap();
+        let echoed = c.recv().unwrap().unwrap();
+        assert_eq!(echoed, data_frame(9));
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn faulty_drop_is_deterministic() {
+        let run = || {
+            let (a, mut b) = ChannelTransport::pair(1024);
+            let mut f = FaultyTransport::new(
+                a,
+                FaultPlan {
+                    seed: 7,
+                    drop: 0.5,
+                    ..FaultPlan::default()
+                },
+            );
+            for i in 0..200 {
+                f.send(&data_frame(i)).unwrap();
+            }
+            f.flush().unwrap();
+            b.set_read_timeout(Duration::from_millis(1)).unwrap();
+            let mut got = Vec::new();
+            while let Some(frame) = b.recv().unwrap() {
+                got.push(DataMsg::decode(&frame.payload).unwrap().seq);
+            }
+            got
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "seeded faults must replay identically");
+        assert!(first.len() < 200 && !first.is_empty());
+    }
+
+    #[test]
+    fn faulty_duplicate_and_reorder_deliver_everything() {
+        let (a, mut b) = ChannelTransport::pair(4096);
+        let mut f = FaultyTransport::new(
+            a,
+            FaultPlan {
+                seed: 3,
+                duplicate: 0.3,
+                reorder: 0.3,
+                ..FaultPlan::default()
+            },
+        );
+        for i in 0..100 {
+            f.send(&data_frame(i)).unwrap();
+        }
+        f.flush().unwrap(); // delivers any held reorder frame
+        b.set_read_timeout(Duration::from_millis(1)).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0;
+        while let Some(frame) = b.recv().unwrap() {
+            seen.insert(DataMsg::decode(&frame.payload).unwrap().seq);
+            total += 1;
+        }
+        assert_eq!(seen.len(), 100, "no frame may be lost");
+        assert!(total > 100, "duplicates should have occurred");
+    }
+
+    #[test]
+    fn cut_after_severs_until_redial() {
+        let (a, _b) = ChannelTransport::pair(64);
+        let mut f = FaultyTransport::new(
+            a,
+            FaultPlan {
+                cut_after: 3,
+                ..FaultPlan::default()
+            },
+        );
+        for i in 0..3 {
+            f.send(&data_frame(i)).unwrap();
+        }
+        assert!(f.send(&data_frame(3)).is_err());
+        assert!(f.recv().is_err(), "a severed link fails both directions");
+        // Control frames are also dead once severed.
+        assert!(f.send(&Frame::bare(FrameKind::Shutdown)).is_err());
+    }
+
+    #[test]
+    fn control_frames_bypass_data_faults() {
+        let (a, mut b) = ChannelTransport::pair(64);
+        let mut f = FaultyTransport::new(
+            a,
+            FaultPlan {
+                seed: 5,
+                drop: 1.0, // every data frame dropped
+                ..FaultPlan::default()
+            },
+        );
+        f.send(&data_frame(0)).unwrap();
+        f.send(&Frame::bare(FrameKind::Shutdown)).unwrap();
+        b.set_read_timeout(Duration::from_millis(1)).unwrap();
+        let got = b.recv().unwrap().unwrap();
+        assert_eq!(got.kind, FrameKind::Shutdown);
+        assert!(b.recv().unwrap().is_none());
+    }
+}

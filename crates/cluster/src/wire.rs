@@ -1,0 +1,590 @@
+//! Length-prefixed frame codec for the multi-process transport.
+//!
+//! Layout (all integers little-endian, documented in
+//! `docs/wire-format.md`):
+//!
+//! ```text
+//! [u32 len][u8 version][u8 kind][payload: len-2 bytes]
+//! ```
+//!
+//! `len` counts everything after the prefix (version byte + kind byte
+//! + payload). `version` must equal [`WIRE_VERSION`]; a mismatch is a
+//! hard decode error, never a negotiation. Data-plane payloads
+//! ([`DataMsg`]) are hand-rolled binary — the serde shims have no
+//! typed deserializer and the share hot path should not pay for JSON
+//! anyway; control-plane payloads are JSON text produced and parsed by
+//! the existing serde shims (see `privapprox-core`'s remote module).
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use privapprox_types::wire::{MAX_FRAME, WIRE_VERSION};
+
+/// Discriminates what a frame's payload means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Connection handshake: `[u8 channel][u8 role][u32 index]`.
+    Hello = 1,
+    /// Handshake accept (empty payload).
+    HelloAck = 2,
+    /// One broker record in flight; binary [`DataMsg`] payload.
+    Data = 3,
+    /// Cumulative acknowledgement: `[u64 seq]` — every data frame up
+    /// to and including `seq` has been durably handed to the peer's
+    /// local broker.
+    DataAck = 4,
+    /// Decode-progress report from an aggregator node:
+    /// `[u64 epoch][u64 delta]` answers newly decoded for `epoch`.
+    Progress = 5,
+    /// Control request (JSON payload, type-tagged object).
+    Ctrl = 6,
+    /// Control reply (JSON payload, type-tagged object).
+    CtrlReply = 7,
+    /// Admission-control rejection: `[u8 reason]` (see
+    /// [`RejectReason`]). The rejected frame is dropped by the
+    /// receiver; senders repair via the idempotent resend path.
+    Reject = 8,
+    /// Orderly connection shutdown (empty payload).
+    Shutdown = 9,
+}
+
+impl FrameKind {
+    /// Parses the kind byte; `None` for unknown kinds.
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            1 => FrameKind::Hello,
+            2 => FrameKind::HelloAck,
+            3 => FrameKind::Data,
+            4 => FrameKind::DataAck,
+            5 => FrameKind::Progress,
+            6 => FrameKind::Ctrl,
+            7 => FrameKind::CtrlReply,
+            8 => FrameKind::Reject,
+            9 => FrameKind::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Why the front door bounced a frame or connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// Too many connections or too many unacknowledged frames in
+    /// flight for this client.
+    Overloaded = 1,
+    /// The client's token bucket is empty.
+    RateLimited = 2,
+}
+
+impl RejectReason {
+    /// Parses the reason byte; unknown bytes degrade to `Overloaded`.
+    pub fn from_u8(b: u8) -> RejectReason {
+        match b {
+            2 => RejectReason::RateLimited,
+            _ => RejectReason::Overloaded,
+        }
+    }
+}
+
+/// One decoded frame: a kind plus its raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload means.
+    pub kind: FrameKind,
+    /// Raw payload bytes (layout depends on `kind`).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame from a kind and payload.
+    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        Frame { kind, payload }
+    }
+
+    /// An empty-payload frame (handshake acks, shutdown).
+    pub fn bare(kind: FrameKind) -> Frame {
+        Frame {
+            kind,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A rejection frame carrying `reason`.
+    pub fn reject(reason: RejectReason) -> Frame {
+        Frame {
+            kind: FrameKind::Reject,
+            payload: vec![reason as u8],
+        }
+    }
+}
+
+/// Serializes `frame` onto `w` (one `write_all` for the header, one
+/// for the payload; callers wrap `w` in a `BufWriter` and flush at
+/// batch boundaries).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    if frame.payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} exceeds MAX_FRAME", frame.payload.len()),
+        ));
+    }
+    let len = (frame.payload.len() + 2) as u32;
+    let mut header = [0u8; 6];
+    header[..4].copy_from_slice(&len.to_le_bytes());
+    header[4] = WIRE_VERSION;
+    header[5] = frame.kind as u8;
+    w.write_all(&header)?;
+    w.write_all(&frame.payload)
+}
+
+/// Reads exactly `buf.len()` bytes, retrying through read-timeout
+/// interruptions (`WouldBlock`/`TimedOut`) until `deadline`.
+///
+/// Used for everything after a frame's first byte: once a frame has
+/// started arriving, the rest is in flight and a mid-frame timeout
+/// would desynchronize the stream, so we keep reading until the frame
+/// completes or the hard deadline says the peer is gone.
+fn read_exact_deadline(r: &mut impl Read, buf: &mut [u8], deadline: Instant) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "read deadline elapsed mid-frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame from `r`, returning `Ok(None)` if no frame *began*
+/// arriving before the reader's own read timeout fired.
+///
+/// `r` is expected to carry a read timeout (socket `SO_RCVTIMEO` or a
+/// channel poll); a timeout on the *first* header byte is a quiet
+/// `None`, while a timeout mid-frame (bounded by `max_frame_wait`) is
+/// a hard error because the stream can no longer be resynchronized.
+pub fn read_frame(r: &mut impl Read, max_frame_wait: Duration) -> io::Result<Option<Frame>> {
+    // First byte: a timeout here just means "nothing to read".
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed connection",
+                ))
+            }
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let deadline = Instant::now() + max_frame_wait;
+    let mut rest = [0u8; 5];
+    read_exact_deadline(r, &mut rest, deadline)?;
+    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+    if len < 2 || len - 2 > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt frame length {len}"),
+        ));
+    }
+    let version = rest[3];
+    if version != WIRE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wire version mismatch: got {version}, want {WIRE_VERSION}"),
+        ));
+    }
+    let kind = FrameKind::from_u8(rest[4]).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown frame kind {}", rest[4]),
+        )
+    })?;
+    let mut payload = vec![0u8; len - 2];
+    read_exact_deadline(r, &mut payload, deadline)?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// A data-plane frame body: one broker record plus routing metadata.
+///
+/// Binary layout:
+///
+/// ```text
+/// [u64 seq][u8 stream][u32 partition][u64 timestamp]
+/// [u16 key_len][key][u32 val_len][value]
+/// ```
+///
+/// `seq` is the per-connection send sequence driving cumulative
+/// [`FrameKind::DataAck`]s and idempotent resend; `stream` indexes
+/// which logical topic the record belongs to (e.g. which proxy's
+/// outbound topic on an aggregator link); `key_len == u16::MAX` means
+/// "no key".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataMsg {
+    /// Per-connection send sequence number (starts at 1).
+    pub seq: u64,
+    /// Logical stream index within the connection.
+    pub stream: u8,
+    /// Destination partition.
+    pub partition: u32,
+    /// Record timestamp (epoch tag), milliseconds.
+    pub timestamp: u64,
+    /// Optional partitioning key (the MID bytes on share topics).
+    /// Shared buffer, matching the broker's `Record`: building a
+    /// `DataMsg` from a polled record bumps a refcount, and a decoded
+    /// one hands its single allocation straight to the local broker.
+    pub key: Option<Arc<[u8]>>,
+    /// Record payload (shared buffer, same rationale as `key`).
+    pub value: Arc<[u8]>,
+}
+
+/// Sentinel `key_len` meaning "record has no key".
+const NO_KEY: u16 = u16::MAX;
+
+impl DataMsg {
+    /// Encoded size on the wire, in bytes.
+    pub fn encoded_len(&self) -> usize {
+        27 + self.key.as_ref().map_or(0, |k| k.len()) + self.value.len()
+    }
+
+    /// Appends the encoded record body to `out` (the zero-temporary
+    /// path batch encoding rides on).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let klen = self.key.as_ref().map_or(0, |k| k.len());
+        assert!(klen < NO_KEY as usize, "key too long for wire format");
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.push(self.stream);
+        out.extend_from_slice(&self.partition.to_le_bytes());
+        out.extend_from_slice(&self.timestamp.to_le_bytes());
+        match &self.key {
+            Some(k) => {
+                out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                out.extend_from_slice(k);
+            }
+            None => out.extend_from_slice(&NO_KEY.to_le_bytes()),
+        }
+        out.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.value);
+    }
+
+    /// Encodes into a payload buffer for a [`FrameKind::Data`] frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a [`FrameKind::Data`] payload.
+    pub fn decode(payload: &[u8]) -> io::Result<DataMsg> {
+        let corrupt = || io::Error::new(io::ErrorKind::InvalidData, "corrupt data frame");
+        let mut at = 0usize;
+        let mut take = |n: usize| -> io::Result<&[u8]> {
+            let slice = payload.get(at..at + n).ok_or_else(corrupt)?;
+            at += n;
+            Ok(slice)
+        };
+        let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let stream = take(1)?[0];
+        let partition = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let timestamp = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let klen = u16::from_le_bytes(take(2)?.try_into().unwrap());
+        let key = if klen == NO_KEY {
+            None
+        } else {
+            Some(Arc::from(take(klen as usize)?))
+        };
+        let vlen = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let value: Arc<[u8]> = Arc::from(take(vlen)?);
+        if at != payload.len() {
+            return Err(corrupt());
+        }
+        Ok(DataMsg {
+            seq,
+            stream,
+            partition,
+            timestamp,
+            key,
+            value,
+        })
+    }
+}
+
+/// Encodes a run of records as one [`FrameKind::Data`] payload: the
+/// concatenation of each record's [`DataMsg::encode`] body. The
+/// *frame's* sequence number is the first record's `seq` (the
+/// supervised link rewrites the leading 8 bytes); the remaining
+/// records ride under it, so acks and resends operate on whole
+/// batches.
+pub fn encode_data_batch(msgs: &[DataMsg]) -> Vec<u8> {
+    assert!(!msgs.is_empty(), "empty data batch");
+    // Exact-size reservation: share values dwarf the fixed header, so
+    // a guessed capacity would mean several doubling reallocations
+    // (each one a full copy of the partially built frame).
+    let mut out = Vec::with_capacity(msgs.iter().map(DataMsg::encoded_len).sum());
+    for m in msgs {
+        m.encode_into(&mut out);
+    }
+    out
+}
+
+/// Decodes a [`FrameKind::Data`] payload holding one **or more**
+/// concatenated records (see [`encode_data_batch`]), appending them to
+/// `out`. Returns how many records were appended. The frame-level
+/// sequence number is `out[first].seq`; per-record `seq` fields after
+/// the first are not meaningful.
+pub fn decode_data_batch(payload: &[u8], out: &mut Vec<DataMsg>) -> io::Result<usize> {
+    let corrupt = || io::Error::new(io::ErrorKind::InvalidData, "corrupt data batch");
+    let mut at = 0usize;
+    let mut n = 0usize;
+    while at < payload.len() {
+        // Peek the record's framing to find its end, then reuse the
+        // strict single-record decoder on the exact slice.
+        let head = payload.get(at..at + 23).ok_or_else(corrupt)?;
+        let klen = u16::from_le_bytes(head[21..23].try_into().unwrap());
+        let key_bytes = if klen == NO_KEY { 0 } else { klen as usize };
+        let vlen_at = at + 23 + key_bytes;
+        let vlen_bytes = payload.get(vlen_at..vlen_at + 4).ok_or_else(corrupt)?;
+        let vlen = u32::from_le_bytes(vlen_bytes.try_into().unwrap()) as usize;
+        let end = vlen_at + 4 + vlen;
+        let slice = payload.get(at..end).ok_or_else(corrupt)?;
+        out.push(DataMsg::decode(slice)?);
+        at = end;
+        n += 1;
+    }
+    if n == 0 {
+        return Err(corrupt());
+    }
+    Ok(n)
+}
+
+/// Encodes a cumulative [`FrameKind::DataAck`] payload.
+pub fn encode_ack(seq: u64) -> Vec<u8> {
+    seq.to_le_bytes().to_vec()
+}
+
+/// Decodes a [`FrameKind::DataAck`] payload.
+pub fn decode_ack(payload: &[u8]) -> io::Result<u64> {
+    let bytes: [u8; 8] = payload
+        .try_into()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "corrupt ack frame"))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Encodes a [`FrameKind::Progress`] payload.
+pub fn encode_progress(epoch: u64, delta: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&delta.to_le_bytes());
+    out
+}
+
+/// Decodes a [`FrameKind::Progress`] payload into `(epoch, delta)`.
+pub fn decode_progress(payload: &[u8]) -> io::Result<(u64, u64)> {
+    if payload.len() != 16 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "corrupt progress frame",
+        ));
+    }
+    let epoch = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let delta = u64::from_le_bytes(payload[8..].try_into().unwrap());
+    Ok((epoch, delta))
+}
+
+/// Which logical channel a connection carries (handshake byte 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Channel {
+    /// Control RPC: register/close/probe requests and replies.
+    Ctrl = 1,
+    /// Data plane: share records, acks, progress reports.
+    Data = 2,
+}
+
+/// Handshake payload: who is connecting and what for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Control or data.
+    pub channel: Channel,
+    /// Logical stream index the peer will send (e.g. which proxy's
+    /// records a data link carries toward an aggregator node).
+    pub index: u32,
+}
+
+impl Hello {
+    /// Encodes a [`FrameKind::Hello`] payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.channel as u8, 0];
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out
+    }
+
+    /// Decodes a [`FrameKind::Hello`] payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Hello> {
+        if payload.len() != 6 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "corrupt hello frame",
+            ));
+        }
+        let channel = match payload[0] {
+            1 => Channel::Ctrl,
+            2 => Channel::Data,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown channel {other}"),
+                ))
+            }
+        };
+        Ok(Hello {
+            channel,
+            index: u32::from_le_bytes(payload[2..6].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_buffer() {
+        let frames = [
+            Frame::bare(FrameKind::HelloAck),
+            Frame::new(FrameKind::Data, b"payload".to_vec()),
+            Frame::reject(RejectReason::RateLimited),
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for f in &frames {
+            let got = read_frame(&mut cursor, Duration::from_secs(1))
+                .unwrap()
+                .unwrap();
+            assert_eq!(&got, f);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::bare(FrameKind::Shutdown)).unwrap();
+        buf[4] ^= 0xFF; // corrupt the version byte
+        let err = read_frame(&mut std::io::Cursor::new(buf), Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::bare(FrameKind::Shutdown)).unwrap();
+        buf[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(buf), Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn data_msg_roundtrip_with_and_without_key() {
+        for key in [Some(vec![1u8, 2, 3].into()), None] {
+            let msg = DataMsg {
+                seq: 42,
+                stream: 3,
+                partition: 7,
+                timestamp: 123_456,
+                key: key.clone(),
+                value: vec![9; 257].into(),
+            };
+            let decoded = DataMsg::decode(&msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn truncated_data_payload_is_error() {
+        let msg = DataMsg {
+            seq: 1,
+            stream: 0,
+            partition: 0,
+            timestamp: 5,
+            key: None,
+            value: vec![1, 2, 3, 4].into(),
+        };
+        let enc = msg.encode();
+        for cut in [0, 5, enc.len() - 1] {
+            assert!(DataMsg::decode(&enc[..cut]).is_err());
+        }
+        // Trailing garbage is also corruption, not silently ignored.
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(DataMsg::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn data_batch_roundtrip_and_corruption() {
+        let msgs: Vec<DataMsg> = (0..5)
+            .map(|i| DataMsg {
+                seq: 100 + i,
+                stream: (i % 2) as u8,
+                partition: i as u32,
+                timestamp: 1_000 + i,
+                key: if i % 2 == 0 { Some(vec![i as u8; 16].into()) } else { None },
+                value: vec![i as u8; 3 + i as usize].into(),
+            })
+            .collect();
+        let enc = encode_data_batch(&msgs);
+        let mut out = Vec::new();
+        assert_eq!(decode_data_batch(&enc, &mut out).unwrap(), 5);
+        assert_eq!(out, msgs);
+        // A single record still decodes through the batch path.
+        out.clear();
+        assert_eq!(decode_data_batch(&msgs[0].encode(), &mut out).unwrap(), 1);
+        assert_eq!(out[0], msgs[0]);
+        // Truncation and empty payloads are corruption.
+        assert!(decode_data_batch(&enc[..enc.len() - 1], &mut Vec::new()).is_err());
+        assert!(decode_data_batch(&[], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn ack_progress_hello_roundtrip() {
+        assert_eq!(decode_ack(&encode_ack(77)).unwrap(), 77);
+        assert_eq!(
+            decode_progress(&encode_progress(3, 250)).unwrap(),
+            (3, 250)
+        );
+        let hello = Hello {
+            channel: Channel::Data,
+            index: 2,
+        };
+        assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
+    }
+}

@@ -1,0 +1,9 @@
+//! The `privapprox-node` child-process entry point: one proxy or one
+//! aggregator shard behind a loopback front door, driven by a parent
+//! `ShardedSystem` in process-transport mode (see
+//! `privapprox_core::remote`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(privapprox_core::remote::node_main(&args));
+}

@@ -158,11 +158,16 @@ use crate::client::{Client, ClientScratch};
 use crate::error::{CoreError, DeployError};
 use crate::initializer::Initializer;
 use crate::proxy::{inbound_topic, outbound_topic, Proxy};
-use privapprox_cluster::{DeploymentShape, Heartbeat, HeartbeatStatus, Watchdog};
+use crate::remote::{self, NodeChild};
+use privapprox_cluster::wire::{decode_data_batch, decode_progress, DataMsg};
+use privapprox_cluster::{
+    DeploymentShape, FaultPlan, Frame, FrameKind, Heartbeat, HeartbeatStatus, LinkStats,
+    SupervisedLink, Watchdog,
+};
 use privapprox_rr::estimate::BucketEstimator;
 use privapprox_sql::{ColumnType, Schema, Value};
 use privapprox_crypto::xor::SlotPool;
-use privapprox_stream::broker::{BatchEntry, Broker, BrokerStats, TopicWriter};
+use privapprox_stream::broker::{BatchEntry, Broker, BrokerStats, Consumer, Record, TopicWriter};
 use privapprox_types::ids::AnalystId;
 use privapprox_types::{
     AnswerSpec, Budget, ClientId, ExecutionParams, ProxyId, Query, QueryBuilder, QueryId,
@@ -170,6 +175,7 @@ use privapprox_types::{
 };
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -183,9 +189,15 @@ use std::time::{Duration, Instant};
 /// [`ShardedSystemBuilder::epoch_deadline`].
 const DEFAULT_EPOCH_DEADLINE: Duration = Duration::from_secs(60);
 
-/// Topic poisoned records are quarantined to (unbounded; same
-/// partition count as the data topics).
-const DEAD_LETTER_TOPIC: &str = "dead-letter";
+/// Topic poisoned records are quarantined to (drop-oldest bounded at
+/// [`DEAD_LETTER_CAP`]; same partition count as the data topics).
+pub(crate) const DEAD_LETTER_TOPIC: &str = "dead-letter";
+
+/// Dead-letter quarantine capacity per partition. A poisoned-input
+/// storm evicts the *oldest* quarantined records rather than growing
+/// without bound; evictions are surfaced as
+/// [`DeployHealth::dead_letter_dropped`].
+pub(crate) const DEAD_LETTER_CAP: usize = 4_096;
 
 /// How often an idle worker wakes from its command wait to beat its
 /// heartbeat.
@@ -395,6 +407,11 @@ pub struct ShardedConfig {
     /// for shard `s`'s partitions while still accounting the answers;
     /// see [`ShardedSystemBuilder::drop_shard_traffic`].
     pub drop_shard_traffic: Option<usize>,
+    /// Ack-stall threshold before a supervised link proactively
+    /// resends its unacked window; see
+    /// [`ShardedSystemBuilder::link_resend_after`]. `None` keeps the
+    /// link's default (250 ms).
+    pub link_resend_after: Option<Duration>,
 }
 
 impl Default for ShardedConfig {
@@ -416,6 +433,7 @@ impl Default for ShardedConfig {
             worker_panic_after: None,
             shard_panic_after: None,
             drop_shard_traffic: None,
+            link_resend_after: None,
         }
     }
 }
@@ -432,13 +450,57 @@ impl ShardedConfig {
     }
 }
 
+/// How the deployment's proxies and aggregator shards are hosted.
+///
+/// The epoch protocol, supervision and health roll-up are identical
+/// either way — [`ShardedSystem`] drives both through the same handle
+/// types, and the equivalence matrix pins the process transport
+/// byte-identical to in-process threads.
+#[derive(Debug, Clone, Default)]
+pub enum TransportMode {
+    /// Proxies and shards run as supervised threads sharing this
+    /// process's broker (the default).
+    #[default]
+    InProcess,
+    /// Proxies and shards run as spawned `privapprox-node` child
+    /// processes reached over loopback TCP, each behind a supervised,
+    /// optionally fault-injected link (see [`crate::remote`]).
+    Process {
+        /// Path to the `privapprox-node` binary.
+        node: PathBuf,
+        /// Fault plan applied to every parent→child link's dials
+        /// ([`FaultPlan::default`] = clean links).
+        faults: FaultPlan,
+    },
+}
+
 /// Builder for [`ShardedSystem`].
 #[derive(Debug, Clone, Default)]
 pub struct ShardedSystemBuilder {
     config: ShardedConfig,
+    /// `Some(path)` switches the build to process transport.
+    node_binary: Option<PathBuf>,
+    /// Link fault plan for process transport (ignored in-process).
+    link_faults: FaultPlan,
 }
 
 impl ShardedSystemBuilder {
+    /// Hosts proxies and shards as `privapprox-node` child processes
+    /// (spawned from `node`) connected over loopback TCP instead of
+    /// in-process threads. Everything else — epoch pipeline,
+    /// supervision, respawn, results — behaves identically.
+    pub fn process_transport(mut self, node: impl Into<PathBuf>) -> Self {
+        self.node_binary = Some(node.into());
+        self
+    }
+
+    /// Injects deterministic network faults (drop / duplicate / delay
+    /// / reorder / cut) into every parent→child link. Only meaningful
+    /// together with [`ShardedSystemBuilder::process_transport`].
+    pub fn transport_faults(mut self, plan: FaultPlan) -> Self {
+        self.link_faults = plan;
+        self
+    }
     /// Sets the client population size.
     pub fn clients(mut self, n: u64) -> Self {
         self.config.clients = n;
@@ -517,6 +579,20 @@ impl ShardedSystemBuilder {
         self
     }
 
+    /// Overrides how long a supervised link waits for ack progress
+    /// before proactively resending its unacked window (process
+    /// transport only; default 250 ms). The resend is a *loss
+    /// suspicion* heuristic: on a healthy but heavily oversubscribed
+    /// host (e.g. a single-core CI runner with every node process
+    /// competing for the same CPU), acks can lag behind the
+    /// scheduler rather than the network, and a larger threshold
+    /// avoids redundant — though harmless, MID-deduplicated —
+    /// resend traffic.
+    pub fn link_resend_after(mut self, after: Duration) -> Self {
+        self.config.link_resend_after = Some(after);
+        self
+    }
+
     /// Enables or disables automatic respawn of dead threads
     /// (default: enabled). With respawn disabled, a dead thread is
     /// reported as a [`DeployError`] and permanently retired — its
@@ -591,6 +667,13 @@ impl ShardedSystemBuilder {
     /// panicking.
     pub fn try_build(self) -> Result<ShardedSystem, DeployError> {
         let c = self.config;
+        let transport = match self.node_binary {
+            Some(node) => TransportMode::Process {
+                node,
+                faults: self.link_faults,
+            },
+            None => TransportMode::InProcess,
+        };
         let invalid = |m: String| Err(DeployError::InvalidConfig(m));
         if c.clients == 0 {
             return invalid("population must be positive".into());
@@ -654,26 +737,63 @@ impl ShardedSystemBuilder {
             broker.create_topic_with_capacity(&inbound_topic(id), partitions, capacity);
             broker.create_topic_with_capacity(&outbound_topic(id), partitions, capacity);
         }
-        // The quarantine topic is unbounded: poisoned input must
-        // never backpressure the healthy pipeline.
-        broker.create_topic(DEAD_LETTER_TOPIC, partitions);
+        // The quarantine topic is bounded drop-oldest: poisoned input
+        // must never backpressure the healthy pipeline, and a
+        // poisoned-input storm must not grow memory without bound —
+        // beyond the cap the oldest quarantined records are evicted
+        // and counted ([`DeployHealth::dead_letter_dropped`]).
+        broker.create_topic_drop_oldest(DEAD_LETTER_TOPIC, partitions, DEAD_LETTER_CAP);
 
         // Order matters: create every proxy and shard consumer *now*,
         // on this thread, so group membership — and therefore the
         // partition → shard mapping — is complete and deterministic
         // before the first record is produced. (A shard joining the
         // "aggregator" group after a sibling already polled would
-        // strand shares across joiners.)
-        let proxies: Vec<Proxy> = (0..c.proxies)
-            .map(|i| Proxy::new(ProxyId(i), &broker))
-            .collect();
-        let shards_instances: Vec<Aggregator> = (0..c.shards)
-            .map(|_| {
-                let mut agg = Aggregator::new(&broker, c.proxies as usize, c.confidence);
-                agg.set_dead_letter(broker.writer(DEAD_LETTER_TOPIC));
-                agg
-            })
-            .collect();
+        // strand shares across joiners.) The process transport keeps
+        // the exact same group names and join order, just with bridge
+        // consumers in place of the in-process relay/aggregator ones —
+        // that is what pins its partition→shard mapping (and so its
+        // results) byte-identical to in-process.
+        enum StagePlan {
+            InProc {
+                proxies: Vec<Proxy>,
+                aggs: Vec<Aggregator>,
+            },
+            Remote {
+                proxy_consumers: Vec<Consumer>,
+                shard_consumers: Vec<Consumer>,
+            },
+        }
+        let plan = match &transport {
+            TransportMode::InProcess => StagePlan::InProc {
+                proxies: (0..c.proxies)
+                    .map(|i| Proxy::new(ProxyId(i), &broker))
+                    .collect(),
+                aggs: (0..c.shards)
+                    .map(|_| {
+                        let mut agg = Aggregator::new(&broker, c.proxies as usize, c.confidence);
+                        agg.set_dead_letter(broker.writer(DEAD_LETTER_TOPIC));
+                        agg
+                    })
+                    .collect(),
+            },
+            TransportMode::Process { .. } => {
+                let out_names: Vec<String> = (0..c.proxies)
+                    .map(|i| outbound_topic(ProxyId(i)))
+                    .collect();
+                let out_refs: Vec<&str> = out_names.iter().map(String::as_str).collect();
+                StagePlan::Remote {
+                    proxy_consumers: (0..c.proxies)
+                        .map(|i| {
+                            broker.consumer(&format!("proxy-{i}"), &[&inbound_topic(ProxyId(i))])
+                        })
+                        .collect(),
+                    shard_consumers: (0..c.shards)
+                        .map(|_| broker.consumer("aggregator", &out_refs))
+                        .collect(),
+                }
+            }
+        };
 
         let crashes: CrashLog = Arc::new(Mutex::new(Vec::new()));
         let ledger = Arc::new(EpochLedger::new());
@@ -691,41 +811,133 @@ impl ShardedSystemBuilder {
                 )
             })
             .collect();
-        let proxy_threads = proxies
-            .into_iter()
-            .map(|p| {
-                let hb = watchdog.register(&format!("proxy-{}", p.id().0));
-                ProxyHandle::spawn(p, Arc::clone(&crashes), hb, (0, 0, 0))
-            })
-            .collect();
-        let shard_threads = shards_instances
-            .into_iter()
-            .enumerate()
-            .map(|(s, agg)| {
-                let straggle = match c.straggler {
-                    Some((idx, delay)) if idx == s => Some(delay),
-                    _ => None,
+        let mut link_stats: Vec<Arc<LinkStats>> = Vec::new();
+        let mut children: Vec<(String, u32)> = Vec::new();
+        let (proxy_threads, shard_threads): (Vec<ProxyHandle>, Vec<ShardHandle>) = match plan {
+            StagePlan::InProc { proxies, aggs } => {
+                let proxy_threads = proxies
+                    .into_iter()
+                    .map(|p| {
+                        let hb = watchdog.register(&format!("proxy-{}", p.id().0));
+                        ProxyHandle::spawn(p, Arc::clone(&crashes), hb, (0, 0, 0))
+                    })
+                    .collect();
+                let shard_threads = aggs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, agg)| {
+                        let straggle = match c.straggler {
+                            Some((idx, delay)) if idx == s => Some(delay),
+                            _ => None,
+                        };
+                        let fuse = match c.shard_panic_after {
+                            Some((idx, n)) if idx == s => Some(n),
+                            _ => None,
+                        };
+                        ShardHandle::spawn(ShardSpawn {
+                            index: s,
+                            agg,
+                            straggle,
+                            deadline: c.epoch_deadline,
+                            fuse,
+                            ledger: Arc::clone(&ledger),
+                            crashes: Arc::clone(&crashes),
+                            heartbeat: watchdog.register(&format!("shard-{s}")),
+                            broker: broker.clone(),
+                        })
+                    })
+                    .collect();
+                (proxy_threads, shard_threads)
+            }
+            StagePlan::Remote {
+                proxy_consumers,
+                shard_consumers,
+            } => {
+                let (node, faults) = match &transport {
+                    TransportMode::Process { node, faults } => (node.clone(), *faults),
+                    TransportMode::InProcess => unreachable!("remote plan implies process mode"),
                 };
-                let fuse = match c.shard_panic_after {
-                    Some((idx, n)) if idx == s => Some(n),
-                    _ => None,
-                };
-                ShardHandle::spawn(ShardSpawn {
-                    index: s,
-                    agg,
-                    straggle,
-                    deadline: c.epoch_deadline,
-                    fuse,
-                    ledger: Arc::clone(&ledger),
-                    crashes: Arc::clone(&crashes),
-                    heartbeat: watchdog.register(&format!("shard-{s}")),
-                    broker: broker.clone(),
-                })
-            })
-            .collect();
+                let mut proxy_threads = Vec::with_capacity(c.proxies as usize);
+                for (i, consumer) in proxy_consumers.into_iter().enumerate() {
+                    let child = spawn_node_or_invalid(
+                        &node,
+                        "proxy",
+                        i,
+                        &proxy_node_args(i, partitions),
+                    )?;
+                    children.push((format!("proxy-{i}"), child.pid()));
+                    let stats = LinkStats::shared();
+                    link_stats.push(Arc::clone(&stats));
+                    let mut link = remote::node_link(
+                        child.addr(),
+                        i as u32,
+                        faults,
+                        Arc::clone(&stats),
+                        link_seed(c.seed, "proxy", i),
+                    );
+                    if let Some(after) = c.link_resend_after {
+                        link.set_resend_after(after);
+                    }
+                    proxy_threads.push(ProxyHandle::spawn_remote(RemoteProxySpawn {
+                        index: i,
+                        consumer,
+                        link,
+                        child,
+                        crashes: Arc::clone(&crashes),
+                        heartbeat: watchdog.register(&format!("proxy-{i}")),
+                        broker: broker.clone(),
+                        base: (0, 0, 0),
+                    }));
+                }
+                let mut shard_threads = Vec::with_capacity(c.shards);
+                for (s, consumer) in shard_consumers.into_iter().enumerate() {
+                    let straggle = match c.straggler {
+                        Some((idx, delay)) if idx == s => Some(delay),
+                        _ => None,
+                    };
+                    let fuse = match c.shard_panic_after {
+                        Some((idx, n)) if idx == s => Some(n),
+                        _ => None,
+                    };
+                    let child = spawn_node_or_invalid(
+                        &node,
+                        "shard",
+                        s,
+                        &shard_node_args(s, partitions, c.proxies as usize, c.confidence, fuse),
+                    )?;
+                    children.push((format!("shard-{s}"), child.pid()));
+                    let stats = LinkStats::shared();
+                    link_stats.push(Arc::clone(&stats));
+                    let mut link = remote::node_link(
+                        child.addr(),
+                        s as u32,
+                        faults,
+                        Arc::clone(&stats),
+                        link_seed(c.seed, "shard", s),
+                    );
+                    if let Some(after) = c.link_resend_after {
+                        link.set_resend_after(after);
+                    }
+                    shard_threads.push(ShardHandle::spawn_remote(RemoteShardSpawn {
+                        index: s,
+                        consumer,
+                        link,
+                        child,
+                        straggle,
+                        deadline: c.epoch_deadline,
+                        ledger: Arc::clone(&ledger),
+                        crashes: Arc::clone(&crashes),
+                        heartbeat: watchdog.register(&format!("shard-{s}")),
+                    }));
+                }
+                (proxy_threads, shard_threads)
+            }
+        };
 
         Ok(ShardedSystem {
             config: c,
+            transport,
+            link_stats,
             partitions,
             broker,
             workers,
@@ -749,6 +961,7 @@ impl ShardedSystemBuilder {
             lost_answers: 0,
             respawns: 0,
             worker_backpressure: 0,
+            children,
         })
     }
 }
@@ -1481,6 +1694,424 @@ impl ShardHandle {
 }
 
 // ---------------------------------------------------------------------------
+// Process-transport bridges: each remote proxy/shard slot is a spawned
+// `privapprox-node` child plus a bridge thread that speaks the wire
+// protocol on one side and the in-process handle protocol (the same
+// `ProxyHandle` atomics / `ShardCmd` channels) on the other — so the
+// main thread's epoch, supervision and respawn machinery is shared
+// verbatim between the two transports.
+
+/// Deterministic per-link jitter seed: deployment seed × role × slot,
+/// so backoff schedules are stable run to run and distinct link to
+/// link.
+fn link_seed(seed: u64, role: &str, index: usize) -> u64 {
+    let role_tag = role
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+    seed ^ role_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+fn proxy_node_args(index: usize, partitions: usize) -> Vec<String> {
+    vec![
+        "proxy".into(),
+        "--index".into(),
+        index.to_string(),
+        "--partitions".into(),
+        partitions.to_string(),
+    ]
+}
+
+fn shard_node_args(
+    index: usize,
+    partitions: usize,
+    proxies: usize,
+    confidence: f64,
+    fuse: Option<u64>,
+) -> Vec<String> {
+    let mut args = vec![
+        "shard".into(),
+        "--index".into(),
+        index.to_string(),
+        "--partitions".into(),
+        partitions.to_string(),
+        "--proxies".into(),
+        proxies.to_string(),
+        "--confidence-bits".into(),
+        confidence.to_bits().to_string(),
+    ];
+    if let Some(n) = fuse {
+        args.push("--fuse".into());
+        args.push(n.to_string());
+    }
+    args
+}
+
+/// Spawns a node child, mapping a spawn/banner failure to the typed
+/// build error (a missing or broken node binary is a configuration
+/// fault, not a runtime one).
+fn spawn_node_or_invalid(
+    node: &Path,
+    role: &str,
+    index: usize,
+    args: &[String],
+) -> Result<NodeChild, DeployError> {
+    remote::spawn_node(node, args)
+        .map_err(|e| DeployError::InvalidConfig(format!("spawn {role} node {index}: {e}")))
+}
+
+/// Appends one share relayed back by a child to the local broker,
+/// riding out backpressure deadlines exactly like the in-process
+/// relay: the record is retried, the stall is counted, nothing is
+/// dropped.
+fn deliver_share(writer: &TopicWriter, m: DataMsg, stalls: &AtomicU64) {
+    let key = m.key;
+    let value = m.value;
+    loop {
+        match writer.try_append_quiet(
+            m.partition as usize,
+            key.clone(),
+            Arc::clone(&value),
+            Timestamp(m.timestamp),
+        ) {
+            Ok(_) => return,
+            Err(_) => {
+                stalls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Everything a remote proxy bridge needs at spawn (the respawn path
+/// rebuilds the full set, like [`ShardSpawn`]).
+struct RemoteProxySpawn {
+    index: usize,
+    /// Bridge consumer on the proxy's inbound topic — same group name
+    /// as the in-process relay, joined on the main thread.
+    consumer: Consumer,
+    link: SupervisedLink,
+    child: NodeChild,
+    crashes: CrashLog,
+    heartbeat: Heartbeat,
+    broker: Broker,
+    base: (u64, u64, u64),
+}
+
+impl ProxyHandle {
+    /// Spawns the bridge thread for one remote proxy: polls the
+    /// inbound topic into batched data frames toward the child, and
+    /// lands the child's relayed shares on the local outbound topic.
+    /// Same thread name and crash role as the in-process relay, so
+    /// supervision and respawn treat both transports identically. The
+    /// bridge owns the child: a panic (including a link whose retry
+    /// budget ran out) drops the guard and kills the process.
+    fn spawn_remote(spec: RemoteProxySpawn) -> ProxyHandle {
+        let RemoteProxySpawn {
+            index,
+            consumer,
+            mut link,
+            child,
+            crashes,
+            heartbeat,
+            broker,
+            base,
+        } = spec;
+        let stop = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::new(AtomicU64::new(base.0));
+        let busy_ns = Arc::new(AtomicU64::new(base.1));
+        let backpressure = Arc::new(AtomicU64::new(base.2));
+        let in_topic = inbound_topic(ProxyId(index as u16));
+        let (stop2, forwarded2, busy2, bp2) = (
+            Arc::clone(&stop),
+            Arc::clone(&forwarded),
+            Arc::clone(&busy_ns),
+            Arc::clone(&backpressure),
+        );
+        let thread = std::thread::Builder::new()
+            .name(format!("pa-proxy-{index}"))
+            .spawn(move || {
+                let _child = child;
+                let out_writer = broker.writer(&outbound_topic(ProxyId(index as u16)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut batch: Vec<(u32, u32, Record)> = Vec::new();
+                    let mut msgs: Vec<DataMsg> = Vec::new();
+                    let mut inbound: Vec<DataMsg> = Vec::new();
+                    loop {
+                        // Read the flag before the final round so one
+                        // last poll + drain runs after it is raised.
+                        let stopping = stop2.load(Ordering::Relaxed);
+                        heartbeat.beat();
+                        let t0 = thread_busy_time();
+                        // 1. Ship produced shares to the child.
+                        loop {
+                            if consumer.poll_into(remote::BATCH_RECORDS, &mut batch) == 0 {
+                                break;
+                            }
+                            msgs.clear();
+                            for (stream, partition, rec) in batch.drain(..) {
+                                msgs.push(remote::record_to_msg(stream, partition, &rec));
+                            }
+                            if let Err(e) = remote::send_batched(&mut link, &msgs) {
+                                panic!("proxy {index} link: {e}");
+                            }
+                        }
+                        // 2. Land relayed shares coming back. The
+                        //    socket read poll doubles as the idle
+                        //    park.
+                        loop {
+                            match link.recv() {
+                                Ok(Some(f)) if f.kind == FrameKind::Data => {
+                                    inbound.clear();
+                                    if let Err(e) = decode_data_batch(&f.payload, &mut inbound) {
+                                        panic!("proxy {index} link: {e}");
+                                    }
+                                    let n = inbound.len() as u64;
+                                    for m in inbound.drain(..) {
+                                        deliver_share(&out_writer, m, &bp2);
+                                    }
+                                    out_writer.notify();
+                                    forwarded2.fetch_add(n, Ordering::Relaxed);
+                                }
+                                Ok(Some(_)) => {}
+                                Ok(None) => break,
+                                Err(e) => panic!("proxy {index} link: {e}"),
+                            }
+                        }
+                        if let Err(e) = link.maybe_resend() {
+                            panic!("proxy {index} link: {e}");
+                        }
+                        let dt = thread_busy_time().saturating_sub(t0);
+                        busy2.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                        if stopping {
+                            // Best-effort goodbye; the child guard
+                            // kills the process regardless.
+                            let _ = link.send(Frame::bare(FrameKind::Shutdown));
+                            let _ = link.flush();
+                            break;
+                        }
+                    }
+                }));
+                if let Err(payload) = outcome {
+                    crashes.lock().expect("crash log lock").push(Crash {
+                        role: "proxy",
+                        index,
+                        message: panic_message(&*payload),
+                    });
+                }
+            })
+            .expect("spawn proxy bridge thread");
+        ProxyHandle {
+            stop,
+            forwarded,
+            busy_ns,
+            backpressure,
+            in_topic,
+            thread: Some(thread),
+            dead: false,
+        }
+    }
+}
+
+/// Everything a remote shard bridge needs at spawn.
+struct RemoteShardSpawn {
+    index: usize,
+    /// Bridge consumer over every proxy's outbound topic — same
+    /// `"aggregator"` group as the in-process shards, joined on the
+    /// main thread in shard order.
+    consumer: Consumer,
+    link: SupervisedLink,
+    child: NodeChild,
+    straggle: Option<Duration>,
+    deadline: Duration,
+    ledger: Arc<EpochLedger>,
+    crashes: CrashLog,
+    heartbeat: Heartbeat,
+}
+
+impl ShardHandle {
+    /// Spawns the bridge (translator) thread for one remote shard: it
+    /// speaks `ShardCmd`/`ShardReply` with the main thread and the
+    /// control-frame protocol with the child. The close condition —
+    /// global ledger count reaches the epoch's expectation, or the
+    /// epoch deadline fires — is evaluated *here*, against the shared
+    /// ledger fed by every child's `Progress` frames, so partial-close
+    /// degradation under faults is identical to in-process.
+    fn spawn_remote(spec: RemoteShardSpawn) -> ShardHandle {
+        let RemoteShardSpawn {
+            index,
+            consumer,
+            mut link,
+            child,
+            straggle,
+            deadline,
+            ledger,
+            crashes,
+            heartbeat,
+        } = spec;
+        let (cmd_tx, cmd_rx) = channel::<ShardCmd>();
+        let (reply_tx, reply_rx) = channel::<ShardReply>();
+        let thread = std::thread::Builder::new()
+            .name(format!("pa-shard-{index}"))
+            .spawn(move || {
+                let _child = child;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut batch: Vec<(u32, u32, Record)> = Vec::new();
+                    let mut msgs: Vec<DataMsg> = Vec::new();
+                    let mut closes: VecDeque<(CloseCmd, Instant)> = VecDeque::new();
+                    // The epoch whose `Finish` is outstanding: further
+                    // closes are held until the child's reply so
+                    // watermarks advance strictly in order.
+                    let mut awaiting: Option<u64> = None;
+                    let send_ctrl = |link: &mut SupervisedLink, payload: Vec<u8>| {
+                        let sent = link
+                            .send(Frame::new(FrameKind::Ctrl, payload))
+                            .and_then(|_| link.flush());
+                        if let Err(e) = sent {
+                            panic!("shard {index} link: {e}");
+                        }
+                    };
+                    'run: loop {
+                        heartbeat.beat();
+                        // 1. Absorb control commands.
+                        loop {
+                            match cmd_rx.try_recv() {
+                                Ok(ShardCmd::Register {
+                                    query,
+                                    params,
+                                    population,
+                                }) => send_ctrl(
+                                    &mut link,
+                                    remote::encode_register(&query, params, population),
+                                ),
+                                Ok(ShardCmd::Close(c)) => closes.push_back((c, Instant::now())),
+                                Ok(ShardCmd::Probe) => {
+                                    send_ctrl(&mut link, remote::encode_probe())
+                                }
+                                Ok(ShardCmd::Die) => panic!("injected shard fault"),
+                                Ok(ShardCmd::Shutdown) | Err(TryRecvError::Disconnected) => {
+                                    break 'run;
+                                }
+                                Err(TryRecvError::Empty) => break,
+                            }
+                        }
+                        // 2. Issue the oldest close once its global
+                        //    accounting settles or its deadline fires.
+                        if awaiting.is_none() {
+                            if let Some((front, since)) = closes.front() {
+                                let global = ledger.count(front.epoch);
+                                if global >= front.expect || since.elapsed() >= deadline {
+                                    let (c, _) = closes.pop_front().expect("front exists");
+                                    if let Some(delay) = straggle {
+                                        std::thread::sleep(delay);
+                                    }
+                                    // Recycled estimators have no home
+                                    // here — the child owns its own
+                                    // pool — so they are dropped.
+                                    drop(c.recycle);
+                                    send_ctrl(
+                                        &mut link,
+                                        remote::encode_finish(c.epoch.0, c.watermark.0),
+                                    );
+                                    awaiting = Some(c.epoch.0);
+                                }
+                            }
+                        }
+                        // 3. Forward relayed shares to the child.
+                        loop {
+                            if consumer.poll_into(remote::BATCH_RECORDS, &mut batch) == 0 {
+                                break;
+                            }
+                            msgs.clear();
+                            for (stream, partition, rec) in batch.drain(..) {
+                                msgs.push(remote::record_to_msg(stream, partition, &rec));
+                            }
+                            if let Err(e) = remote::send_batched(&mut link, &msgs) {
+                                panic!("shard {index} link: {e}");
+                            }
+                        }
+                        // 4. Drain the child's frames (the socket read
+                        //    poll doubles as the idle park).
+                        loop {
+                            match link.recv() {
+                                Ok(Some(f)) => match f.kind {
+                                    FrameKind::Progress => match decode_progress(&f.payload) {
+                                        Ok((epoch, delta)) => ledger.add(Timestamp(epoch), delta),
+                                        Err(e) => panic!("shard {index} link: {e}"),
+                                    },
+                                    FrameKind::CtrlReply => {
+                                        match remote::decode_reply(&f.payload) {
+                                            Ok(remote::NodeReply::Registered) => {
+                                                let _ = reply_tx.send(ShardReply::Registered);
+                                            }
+                                            Ok(remote::NodeReply::Closed {
+                                                epoch,
+                                                decoded,
+                                                busy,
+                                                windows,
+                                            }) => {
+                                                assert_eq!(
+                                                    awaiting.take(),
+                                                    Some(epoch),
+                                                    "shard {index}: close reply out of order"
+                                                );
+                                                let _ = reply_tx.send(ShardReply::Closed {
+                                                    decoded,
+                                                    windows,
+                                                    busy,
+                                                });
+                                            }
+                                            Ok(remote::NodeReply::Health {
+                                                quad,
+                                                dead_lettered,
+                                                late_answers,
+                                                busy,
+                                            }) => {
+                                                let _ = reply_tx.send(ShardReply::Health {
+                                                    quad,
+                                                    dead_lettered,
+                                                    late_answers,
+                                                    busy,
+                                                });
+                                            }
+                                            Err(e) => panic!("shard {index} link: {e}"),
+                                        }
+                                    }
+                                    _ => {}
+                                },
+                                Ok(None) => break,
+                                Err(e) => panic!("shard {index} link: {e}"),
+                            }
+                        }
+                        if let Err(e) = link.maybe_resend() {
+                            panic!("shard {index} link: {e}");
+                        }
+                    }
+                    // Best-effort goodbye so the child exits cleanly
+                    // before the guard kills it.
+                    let _ = link.send(Frame::bare(FrameKind::Shutdown));
+                    let _ = link.flush();
+                }));
+                if let Err(payload) = outcome {
+                    crashes.lock().expect("crash log lock").push(Crash {
+                        role: "shard",
+                        index,
+                        message: panic_message(&*payload),
+                    });
+                }
+                drop(reply_tx);
+            })
+            .expect("spawn shard bridge thread");
+        ShardHandle {
+            cmd: cmd_tx,
+            reply: reply_rx,
+            thread: Some(thread),
+            busy_base: Duration::ZERO,
+            dead: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The deployment.
 
 /// Accumulated per-thread CPU time over a deployment's lifetime —
@@ -1550,6 +2181,13 @@ struct InFlightEpoch {
 /// expose the pipelined form.
 pub struct ShardedSystem {
     config: ShardedConfig,
+    /// How proxies and shards are hosted: in-process threads or
+    /// spawned `privapprox-node` children behind supervised sockets.
+    transport: TransportMode,
+    /// Per-link supervision counters (one entry per proxy/shard link
+    /// ever dialed, including respawn replacements). Empty in
+    /// in-process mode.
+    link_stats: Vec<Arc<LinkStats>>,
     partitions: usize,
     broker: Broker,
     workers: Vec<WorkerHandle>,
@@ -1597,6 +2235,10 @@ pub struct ShardedSystem {
     /// proxies' stalls live in their handles' atomics; workers report
     /// theirs through epoch replies, tallied here).
     worker_backpressure: u64,
+    /// Every `privapprox-node` child ever spawned (label, OS pid),
+    /// including respawn replacements. Empty in in-process mode; used
+    /// by [`ShardedSystem::child_cpu`].
+    children: Vec<(String, u32)>,
 }
 
 /// A deployment-wide health snapshot: the aggregator quad plus the
@@ -1633,6 +2275,17 @@ pub struct DeployHealth {
     /// Backpressure deadlines hit by producers: relay retries plus
     /// worker batch flushes that gave up at the deadline.
     pub backpressure_stalls: u64,
+    /// Socket links re-dialed after a severed connection (process
+    /// transport; always zero in-process).
+    pub reconnects: u64,
+    /// Frames bounced by a node's admission control (`Overloaded` /
+    /// `RateLimited` rejections observed by the parent's links).
+    pub rejections: u64,
+    /// Unacknowledged frames retransmitted after a resend stall.
+    pub retries: u64,
+    /// Poisoned records evicted from the bounded dead-letter topic to
+    /// admit newer ones (drop-oldest overflow).
+    pub dead_letter_dropped: u64,
 }
 
 impl ShardedSystem {
@@ -2209,6 +2862,22 @@ impl ShardedSystem {
                     .iter()
                     .map(|p| p.backpressure.load(Ordering::Relaxed))
                     .sum::<u64>(),
+            reconnects: self
+                .link_stats
+                .iter()
+                .map(|l| l.reconnects.load(Ordering::Relaxed))
+                .sum(),
+            rejections: self
+                .link_stats
+                .iter()
+                .map(|l| l.rejections.load(Ordering::Relaxed))
+                .sum(),
+            retries: self
+                .link_stats
+                .iter()
+                .map(|l| l.resends.load(Ordering::Relaxed))
+                .sum(),
+            dead_letter_dropped: self.broker.topic_dropped(DEAD_LETTER_TOPIC),
             ..DeployHealth::default()
         };
         for fault in &self.faults {
@@ -2452,25 +3121,81 @@ impl ShardedSystem {
         if !self.config.auto_respawn || self.shards[s].thread.is_some() {
             return failed(&mut self.faults);
         }
-        let mut agg = Aggregator::new(&self.broker, self.config.proxies as usize, self.config.confidence);
-        agg.set_dead_letter(self.broker.writer(DEAD_LETTER_TOPIC));
         let straggle = match self.config.straggler {
             Some((idx, delay)) if idx == s => Some(delay),
             _ => None,
         };
         let busy_base = self.busy.shards[s];
-        let handle = ShardHandle::spawn(ShardSpawn {
-            index: s,
-            agg,
-            straggle,
-            deadline: self.config.epoch_deadline,
-            // Injected fault hooks fire once; never re-armed.
-            fuse: None,
-            ledger: Arc::clone(&self.ledger),
-            crashes: Arc::clone(&self.crashes),
-            heartbeat: self.watchdog.register(&format!("shard-{s}")),
-            broker: self.broker.clone(),
-        });
+        let remote_cfg = match &self.transport {
+            TransportMode::Process { node, faults } => Some((node.clone(), *faults)),
+            TransportMode::InProcess => None,
+        };
+        let handle = match remote_cfg {
+            None => {
+                let mut agg =
+                    Aggregator::new(&self.broker, self.config.proxies as usize, self.config.confidence);
+                agg.set_dead_letter(self.broker.writer(DEAD_LETTER_TOPIC));
+                ShardHandle::spawn(ShardSpawn {
+                    index: s,
+                    agg,
+                    straggle,
+                    deadline: self.config.epoch_deadline,
+                    // Injected fault hooks fire once; never re-armed.
+                    fuse: None,
+                    ledger: Arc::clone(&self.ledger),
+                    crashes: Arc::clone(&self.crashes),
+                    heartbeat: self.watchdog.register(&format!("shard-{s}")),
+                    broker: self.broker.clone(),
+                })
+            }
+            Some((node, faults)) => {
+                // A fresh child plus a fresh bridge. The dead bridge's
+                // consumer left the `"aggregator"` group when its
+                // thread unwound; the replacement rejoins here and
+                // resumes from the group's committed offsets.
+                let out_names: Vec<String> = (0..self.config.proxies)
+                    .map(|i| outbound_topic(ProxyId(i)))
+                    .collect();
+                let out_refs: Vec<&str> = out_names.iter().map(String::as_str).collect();
+                let consumer = self.broker.consumer("aggregator", &out_refs);
+                let args = shard_node_args(
+                    s,
+                    self.partitions,
+                    self.config.proxies as usize,
+                    self.config.confidence,
+                    // Injected fault hooks fire once; never re-armed.
+                    None,
+                );
+                let child = match spawn_node_or_invalid(&node, "shard", s, &args) {
+                    Ok(c) => c,
+                    Err(_) => return failed(&mut self.faults),
+                };
+                self.children.push((format!("shard-{s}"), child.pid()));
+                let stats = LinkStats::shared();
+                self.link_stats.push(Arc::clone(&stats));
+                let mut link = remote::node_link(
+                    child.addr(),
+                    s as u32,
+                    faults,
+                    stats,
+                    link_seed(self.config.seed, "shard-respawn", s),
+                );
+                if let Some(after) = self.config.link_resend_after {
+                    link.set_resend_after(after);
+                }
+                ShardHandle::spawn_remote(RemoteShardSpawn {
+                    index: s,
+                    consumer,
+                    link,
+                    child,
+                    straggle,
+                    deadline: self.config.epoch_deadline,
+                    ledger: Arc::clone(&self.ledger),
+                    crashes: Arc::clone(&self.crashes),
+                    heartbeat: self.watchdog.register(&format!("shard-{s}")),
+                })
+            }
+        };
         for (query, params) in self.queries.values() {
             let _ = handle.cmd.send(ShardCmd::Register {
                 query: Box::new(query.clone()),
@@ -2505,16 +3230,86 @@ impl ShardedSystem {
             self.faults.push(fault.clone());
             return Err(fault);
         }
-        let proxy = Proxy::new(ProxyId(i as u16), &self.broker);
         let base = (
             self.proxies[i].forwarded.load(Ordering::Relaxed),
             self.proxies[i].busy_ns.load(Ordering::Relaxed),
             self.proxies[i].backpressure.load(Ordering::Relaxed),
         );
-        let heartbeat = self.watchdog.register(&format!("proxy-{i}"));
-        self.proxies[i] = ProxyHandle::spawn(proxy, Arc::clone(&self.crashes), heartbeat, base);
+        let remote_cfg = match &self.transport {
+            TransportMode::Process { node, faults } => Some((node.clone(), *faults)),
+            TransportMode::InProcess => None,
+        };
+        self.proxies[i] = match remote_cfg {
+            None => {
+                let proxy = Proxy::new(ProxyId(i as u16), &self.broker);
+                let heartbeat = self.watchdog.register(&format!("proxy-{i}"));
+                ProxyHandle::spawn(proxy, Arc::clone(&self.crashes), heartbeat, base)
+            }
+            Some((node, faults)) => {
+                // Fresh child + bridge; the single-member group rejoin
+                // resumes the inbound topic at its committed offset.
+                // Shares that reached the dead child but were not yet
+                // relayed back died with its private broker — the
+                // epoch ledger accounts them as a partial close.
+                let consumer = self
+                    .broker
+                    .consumer(&format!("proxy-{i}"), &[&inbound_topic(ProxyId(i as u16))]);
+                let child =
+                    match spawn_node_or_invalid(&node, "proxy", i, &proxy_node_args(i, self.partitions))
+                    {
+                        Ok(c) => c,
+                        Err(_) => {
+                            let fault = DeployError::RespawnFailed {
+                                role: "proxy",
+                                index: i,
+                            };
+                            self.faults.push(fault.clone());
+                            return Err(fault);
+                        }
+                    };
+                self.children.push((format!("proxy-{i}"), child.pid()));
+                let stats = LinkStats::shared();
+                self.link_stats.push(Arc::clone(&stats));
+                let mut link = remote::node_link(
+                    child.addr(),
+                    i as u32,
+                    faults,
+                    stats,
+                    link_seed(self.config.seed, "proxy-respawn", i),
+                );
+                if let Some(after) = self.config.link_resend_after {
+                    link.set_resend_after(after);
+                }
+                ProxyHandle::spawn_remote(RemoteProxySpawn {
+                    index: i,
+                    consumer,
+                    link,
+                    child,
+                    crashes: Arc::clone(&self.crashes),
+                    heartbeat: self.watchdog.register(&format!("proxy-{i}")),
+                    broker: self.broker.clone(),
+                    base,
+                })
+            }
+        };
         self.respawns += 1;
         Ok(())
+    }
+
+    /// Cumulative on-CPU time of every live `privapprox-node` child
+    /// process, labelled `proxy-<i>` / `shard-<s>`. Empty in
+    /// in-process mode and on platforms without `/proc`; children
+    /// that already exited (e.g. a pre-respawn casualty) are skipped.
+    /// The bench harness folds these into the machine-rate bottleneck
+    /// so a child process counts as a pipeline stage exactly like a
+    /// parent thread does under the dedicated-core convention.
+    pub fn child_cpu(&self) -> Vec<(String, Duration)> {
+        self.children
+            .iter()
+            .filter_map(|(label, pid)| {
+                remote::process_cpu(*pid).map(|cpu| (label.clone(), cpu))
+            })
+            .collect()
     }
 
     /// Snapshot of cumulative per-thread CPU time per stage (the

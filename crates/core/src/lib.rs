@@ -63,6 +63,7 @@ pub mod feedback;
 pub mod historical;
 pub mod initializer;
 pub mod proxy;
+pub mod remote;
 pub mod splitx;
 pub mod system;
 

@@ -263,6 +263,37 @@ impl BucketEstimator {
         &self.yes_counts
     }
 
+    /// Decomposes the estimator into its wire-serializable parts:
+    /// `(p, q, total, raw per-bucket counts)`. Folds pending bit
+    /// planes first, so the returned counts are complete — together
+    /// with [`BucketEstimator::from_raw_parts`] this round-trips the
+    /// estimator **exactly** (counts are integers and `p`/`q` travel
+    /// as IEEE bit patterns on the wire), which is what lets a remote
+    /// aggregator ship windows across a socket and the parent merge
+    /// them byte-identically to the in-process path.
+    pub fn raw_parts(&mut self) -> (f64, f64, u64, &[u64]) {
+        self.fold_planes();
+        (self.p, self.q, self.total, &self.yes_counts)
+    }
+
+    /// Reassembles an estimator from [`BucketEstimator::raw_parts`]
+    /// output. The planes start empty (all mass in the folded
+    /// counts), so merges and estimates behave identically to the
+    /// original instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty `counts` slice or out-of-range channel
+    /// parameters (same domain as [`BucketEstimator::new`]); the
+    /// counts themselves are trusted (they are integer tallies, not
+    /// parameters).
+    pub fn from_raw_parts(p: f64, q: f64, total: u64, counts: &[u64]) -> BucketEstimator {
+        let mut est = BucketEstimator::new(counts.len(), p, q);
+        est.yes_counts.copy_from_slice(counts);
+        est.total = total;
+        est
+    }
+
     /// Equation 5 estimates per bucket (not clamped).
     pub fn estimates(&mut self) -> Vec<f64> {
         self.fold_planes();
@@ -456,6 +487,41 @@ mod tests {
             assert_eq!(est.total(), 0);
             assert!(est.raw_counts().iter().all(|&c| c == 0));
         }
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_exact() {
+        let mut est = BucketEstimator::new(130, 0.9, 0.55);
+        let mut answer = BitVec::zeros(130);
+        for i in 0..300usize {
+            answer.reset(130);
+            answer.set(i % 130, true);
+            answer.set((i * 7) % 130, true);
+            est.push(&answer);
+        }
+        let (p, q, total, counts) = est.raw_parts();
+        let counts = counts.to_vec();
+        let mut rebuilt = BucketEstimator::from_raw_parts(p, q, total, &counts);
+        assert_eq!(rebuilt.total(), est.total());
+        assert_eq!(rebuilt.buckets(), est.buckets());
+        assert_eq!(rebuilt.raw_counts(), est.raw_counts());
+        // Estimates are bit-identical (same pure function of the same
+        // integers and the same p/q bit patterns).
+        let a = est.estimates();
+        let b = rebuilt.estimates();
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        // Merging a reconstructed estimator behaves like the original.
+        let mut into_a = BucketEstimator::new(130, 0.9, 0.55);
+        let mut into_b = BucketEstimator::new(130, 0.9, 0.55);
+        into_a.push(&answer);
+        into_b.push(&answer);
+        into_a.merge(&est);
+        into_b.merge(&rebuilt);
+        assert_eq!(into_a.raw_counts(), into_b.raw_counts());
+        assert_eq!(into_a.total(), into_b.total());
     }
 
     #[test]

@@ -175,10 +175,23 @@ struct Topic {
     /// Maximum per-partition backlog (appended − slowest group's
     /// committed offset) before producers block; `0` = unbounded.
     capacity: usize,
+    /// Overflow policy for a full bounded partition: `true` evicts
+    /// the oldest retained record (quarantine semantics — the topic
+    /// is a ring of the most recent `capacity` records, producers
+    /// never park); `false` applies backpressure (pipeline
+    /// semantics). With `drop_oldest`, `capacity` bounds the retained
+    /// record count directly, independent of consumer floors.
+    drop_oldest: bool,
+    /// Records evicted by the `drop_oldest` policy.
+    dropped: AtomicU64,
 }
 
 impl Topic {
     fn new(name: &str, partitions: usize, capacity: usize) -> Topic {
+        Topic::with_policy(name, partitions, capacity, false)
+    }
+
+    fn with_policy(name: &str, partitions: usize, capacity: usize, drop_oldest: bool) -> Topic {
         Topic {
             name: name.to_string(),
             partitions: (0..partitions)
@@ -189,6 +202,8 @@ impl Topic {
             signal: Mutex::new(()),
             round_robin: AtomicU64::new(0),
             capacity,
+            drop_oldest,
+            dropped: AtomicU64::new(0),
         }
     }
 }
@@ -296,6 +311,45 @@ impl Broker {
         topics
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Topic::new(name, partitions, capacity)));
+    }
+
+    /// Creates a bounded topic with **drop-oldest** overflow: each
+    /// partition retains at most `capacity` records, and appending to
+    /// a full partition evicts the oldest retained record instead of
+    /// parking the producer. Evictions are counted per topic (see
+    /// [`Broker::topic_dropped`]).
+    ///
+    /// This is the right policy for quarantine streams like the
+    /// deployment's `dead-letter` topic: poisoned input must never
+    /// backpressure the hot path, but it must not grow memory without
+    /// limit either — under sustained poison the topic becomes a ring
+    /// of the most recent `capacity` casualties. Consumers whose
+    /// committed offset falls below the trim point resume from the
+    /// earliest retained record, exactly like a late joiner on a
+    /// bounded pipeline topic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (an unbounded ring is a
+    /// contradiction) or `partitions` is zero. A no-op if the topic
+    /// already exists.
+    pub fn create_topic_drop_oldest(&self, name: &str, partitions: usize, capacity: usize) {
+        assert!(partitions > 0, "topics need at least 1 partition");
+        assert!(capacity > 0, "drop-oldest topics need a capacity");
+        let mut topics = self.inner.topics.write();
+        topics
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Topic::with_policy(name, partitions, capacity, true)));
+    }
+
+    /// Records evicted from `name` by the drop-oldest policy so far
+    /// (0 for unknown or backpressure-bounded topics).
+    pub fn topic_dropped(&self, name: &str) -> u64 {
+        self.inner
+            .topics
+            .read()
+            .get(name)
+            .map_or(0, |t| t.dropped.load(Ordering::Relaxed))
     }
 
     /// Sets how long producers park on a full bounded partition
@@ -435,6 +489,7 @@ impl Broker {
         TopicWriter {
             broker: self.clone(),
             topic: self.topic(topic),
+            park: None,
         }
     }
 
@@ -499,6 +554,7 @@ impl Producer {
             value.into(),
             timestamp,
             true,
+            None,
         )
         .unwrap_or_else(|e| panic!("{e}"));
         (partition, offset)
@@ -559,6 +615,7 @@ impl Producer {
             value.into(),
             timestamp,
             true,
+            None,
         )
     }
 }
@@ -586,14 +643,15 @@ fn append(
     value: Arc<[u8]>,
     timestamp: Timestamp,
     notify: bool,
+    park: Option<Duration>,
 ) -> Result<u64, BrokerError> {
     let mut waited = false;
     let started = std::time::Instant::now();
-    let deadline = started + broker.backpressure_deadline();
+    let deadline = started + park.unwrap_or_else(|| broker.backpressure_deadline());
     let (offset, size) = loop {
         let mut p = t.partitions[partition].lock();
         let next = p.base + p.records.len() as u64;
-        if t.capacity > 0 {
+        if t.capacity > 0 && !t.drop_oldest {
             // Backlog against the slowest registered group; an empty
             // floor map (no consumer yet) leaves the topic unbounded.
             let floor = p.committed.values().copied().min().unwrap_or(next);
@@ -622,6 +680,7 @@ fn append(
         };
         let size = rec.wire_size();
         p.records.push_back(rec);
+        evict_over_capacity(t, &mut p);
         break (offset, size);
     };
     broker
@@ -637,6 +696,27 @@ fn append(
         t.data_ready.notify_all();
     }
     Ok(offset)
+}
+
+/// Drop-oldest overflow: after an append, evicts from the log front
+/// until at most `capacity` records remain, counting evictions.
+/// Ring semantics for quarantine topics — producers never park and
+/// memory stays bounded even with no consumer at all; a consumer
+/// whose offset falls below the new base resumes from the earliest
+/// retained record. No-op for unbounded or backpressure topics.
+fn evict_over_capacity(t: &Topic, p: &mut Partition) {
+    if t.capacity == 0 || !t.drop_oldest {
+        return;
+    }
+    let mut evicted = 0u64;
+    while p.records.len() > t.capacity {
+        p.records.pop_front();
+        p.base += 1;
+        evicted += 1;
+    }
+    if evicted > 0 {
+        t.dropped.fetch_add(evicted, Ordering::Relaxed);
+    }
 }
 
 /// One record of a batch append: `(key, value, timestamp)`. Key and
@@ -672,6 +752,7 @@ fn append_batch(
     partition: usize,
     records: &mut Vec<BatchEntry>,
     notify: bool,
+    park: Option<Duration>,
 ) -> Result<u64, BrokerError> {
     let n = records.len() as u64;
     if n == 0 {
@@ -679,11 +760,11 @@ fn append_batch(
     }
     let mut waited = false;
     let started = std::time::Instant::now();
-    let deadline = started + broker.backpressure_deadline();
+    let deadline = started + park.unwrap_or_else(|| broker.backpressure_deadline());
     let (first, size) = loop {
         let mut p = t.partitions[partition].lock();
         let next = p.base + p.records.len() as u64;
-        if t.capacity > 0 {
+        if t.capacity > 0 && !t.drop_oldest {
             if let Some(floor) = p.committed.values().copied().min() {
                 let backlog = next - floor.min(next);
                 if backlog + n > t.capacity as u64 {
@@ -714,6 +795,7 @@ fn append_batch(
             size += rec.wire_size();
             p.records.push_back(rec);
         }
+        evict_over_capacity(t, &mut p);
         break (next, size);
     };
     broker
@@ -738,9 +820,31 @@ fn append_batch(
 pub struct TopicWriter {
     broker: Broker,
     topic: Arc<Topic>,
+    /// Per-writer override of the broker's backpressure deadline;
+    /// `None` inherits [`Broker::backpressure_deadline`].
+    park: Option<Duration>,
 }
 
 impl TopicWriter {
+    /// Returns a writer whose bounded-partition park is limited to
+    /// `timeout` instead of the broker-wide deadline. A partition
+    /// still full when it elapses surfaces the existing typed
+    /// [`BrokerError::Backpressure`] from the `try_` appends —
+    /// crucial when every consumer of a group is gone *without*
+    /// withdrawing its committed floors (a leaked or wedged consumer
+    /// handle): the floor never advances, `space_ready` is never
+    /// signalled again, and only this deadline stands between the
+    /// producer and an unbounded park.
+    pub fn with_park_timeout(mut self, timeout: Duration) -> TopicWriter {
+        self.park = Some(timeout);
+        self
+    }
+
+    /// The effective park bound this writer applies to full bounded
+    /// partitions.
+    pub fn park_timeout(&self) -> Duration {
+        self.park.unwrap_or_else(|| self.broker.backpressure_deadline())
+    }
     /// Appends to an explicit partition and wakes consumers, like
     /// [`Producer::send_to`] but without the topic lookup and with
     /// shared (refcounted) key bytes.
@@ -778,6 +882,7 @@ impl TopicWriter {
             value.into(),
             timestamp,
             true,
+            self.park,
         )
     }
 
@@ -821,6 +926,7 @@ impl TopicWriter {
             value.into(),
             timestamp,
             false,
+            self.park,
         )
     }
 
@@ -836,7 +942,7 @@ impl TopicWriter {
     /// Panics on a backpressure deadline; see
     /// [`TopicWriter::try_append_batch`].
     pub fn append_batch(&self, partition: usize, records: &mut Vec<BatchEntry>) -> u64 {
-        append_batch(&self.broker, &self.topic, partition, records, true)
+        append_batch(&self.broker, &self.topic, partition, records, true, self.park)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -860,7 +966,7 @@ impl TopicWriter {
         partition: usize,
         records: &mut Vec<BatchEntry>,
     ) -> Result<u64, BrokerError> {
-        append_batch(&self.broker, &self.topic, partition, records, false)
+        append_batch(&self.broker, &self.topic, partition, records, false, self.park)
     }
 
     /// Wakes consumers parked on this topic — the batch-end pair of
@@ -1236,6 +1342,83 @@ mod tests {
 
     fn ts(v: u64) -> Timestamp {
         Timestamp(v)
+    }
+
+    #[test]
+    fn drop_oldest_topic_evicts_instead_of_parking() {
+        let broker = Broker::new(1);
+        broker.create_topic_drop_oldest("quarantine", 1, 3);
+        let w = broker.writer("quarantine");
+        // No consumer at all — a backpressure topic would be
+        // unbounded here; a drop-oldest topic must stay capped.
+        for i in 0..10u8 {
+            w.send_to(0, None, vec![i], ts(i as u64));
+        }
+        assert_eq!(broker.topic_len("quarantine"), 3);
+        assert_eq!(broker.topic_dropped("quarantine"), 7);
+        // A late consumer reads the newest `capacity` records.
+        let c = broker.consumer("auditor", &["quarantine"]);
+        let got: Vec<u8> = c.poll(10).into_iter().map(|(_, r)| r.value[0]).collect();
+        assert_eq!(got, vec![7, 8, 9]);
+        // Batches never park or fail either, even oversized ones.
+        let mut batch: Vec<BatchEntry> = (10..15u8)
+            .map(|i| (None, Arc::from(vec![i]), ts(i as u64)))
+            .collect();
+        w.append_batch(0, &mut batch);
+        assert!(batch.is_empty());
+        let got: Vec<u8> = c.poll(10).into_iter().map(|(_, r)| r.value[0]).collect();
+        assert_eq!(got, vec![12, 13, 14]);
+        // Consumed records trim off like any bounded topic's; the
+        // retained count never exceeds the ring capacity.
+        assert!(broker.topic_len("quarantine") <= 3);
+    }
+
+    #[test]
+    fn drop_oldest_counter_unknown_topic_is_zero() {
+        let broker = Broker::new(1);
+        assert_eq!(broker.topic_dropped("nope"), 0);
+        broker.create_topic_with_capacity("bounded", 1, 4);
+        assert_eq!(broker.topic_dropped("bounded"), 0);
+    }
+
+    #[test]
+    fn writer_park_timeout_surfaces_backpressure_when_consumers_leak() {
+        let broker = Broker::new(1);
+        broker.create_topic_with_capacity("pipe", 1, 2);
+        // A consumer registers a floor then leaks without running its
+        // Drop (a wedged thread still holding the handle): the floor
+        // never advances and nobody will ever signal space_ready.
+        let consumer = broker.consumer("g", &["pipe"]);
+        std::mem::forget(consumer);
+        let w = broker
+            .writer("pipe")
+            .with_park_timeout(Duration::from_millis(30));
+        assert_eq!(w.park_timeout(), Duration::from_millis(30));
+        w.send_to(0, None, b"a".to_vec(), ts(1));
+        w.send_to(0, None, b"b".to_vec(), ts(2));
+        let started = std::time::Instant::now();
+        let err = w
+            .try_send_to(0, None, b"c".to_vec(), ts(3))
+            .expect_err("full partition with a leaked consumer must time out");
+        let waited = started.elapsed();
+        match err {
+            BrokerError::Backpressure { topic, partition, .. } => {
+                assert_eq!(topic, "pipe");
+                assert_eq!(partition, 0);
+            }
+        }
+        // The per-writer bound, not the broker's 60 s default.
+        assert!(waited < Duration::from_secs(5), "waited {waited:?}");
+        // The batch path honors the same override.
+        let mut batch: Vec<BatchEntry> = vec![(None, Arc::from(b"d".as_slice()), ts(4))];
+        assert!(w.try_append_batch(0, &mut batch).is_err());
+        assert_eq!(batch.len(), 1, "failed batch left intact");
+        // A writer without the override still inherits the broker
+        // deadline (shortened here so the test stays fast).
+        broker.set_backpressure_deadline(Duration::from_millis(10));
+        let plain = broker.writer("pipe");
+        assert_eq!(plain.park_timeout(), Duration::from_millis(10));
+        assert!(plain.try_send_to(0, None, b"e".to_vec(), ts(5)).is_err());
     }
 
     #[test]

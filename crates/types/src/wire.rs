@@ -1,0 +1,24 @@
+//! Cross-process wire-format constants.
+//!
+//! The multi-process deployment (see `privapprox-cluster`'s transport
+//! layer and `docs/wire-format.md`) exchanges length-prefixed frames
+//! over loopback TCP. Every frame carries a one-byte format version so
+//! a parent and a spawned node from different builds fail loudly at
+//! the first frame instead of silently mis-decoding shares.
+
+/// Current frame-format version.
+///
+/// Bumped whenever the frame header, a payload layout, or the control
+/// JSON schema changes incompatibly. A peer receiving a frame with a
+/// different version must drop the connection with a decode error —
+/// there is no cross-version negotiation (both ends of a deployment
+/// come from one build).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Maximum accepted frame payload length in bytes (16 MiB).
+///
+/// A length prefix beyond this is treated as stream corruption rather
+/// than an allocation request: the largest legitimate frame is a
+/// `Closed` control reply carrying per-bucket counts for a 10⁴-bucket
+/// window set, well under a mebibyte.
+pub const MAX_FRAME: usize = 16 << 20;

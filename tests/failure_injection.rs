@@ -318,6 +318,90 @@ fn shard_panic_mid_epoch_surfaces_within_deadline() {
     assert_eq!(result.buckets[2].estimate, 40.0);
 }
 
+/// Respawn under load: a shard is killed while overlapped epochs are
+/// genuinely in flight (pipeline depth 2, both slots full), the
+/// stream keeps going, and afterwards the supervision books are
+/// consistent with what happened — exactly one shard panic, at least
+/// one respawn, every heartbeat (including the respawned shard's,
+/// re-registered under the same name) beating again, any loss
+/// accounted under a partial close, and the next epoch exact.
+#[test]
+fn shard_respawn_under_load_keeps_heartbeats_and_books_consistent() {
+    let mut system = ShardedSystem::builder()
+        .clients(40)
+        .proxies(2)
+        .shards(2)
+        .workers(2)
+        .pipeline_depth(2)
+        .seed(17)
+        .epoch_deadline(Duration::from_millis(400))
+        .build();
+    system.load_numeric_column("t", "v", |_| 2.5).unwrap();
+    let query = submit_query(&mut system);
+
+    // Fill the pipeline, then kill shard 1 with both slots in flight.
+    system.submit_epoch(&query).unwrap();
+    system.submit_epoch(&query).unwrap();
+    system.inject_shard_panic(1);
+
+    // Keep the load coming while the supervisor repairs: the fault
+    // must surface as a typed error from the epoch API, nothing may
+    // hang, and no submission may be silently swallowed.
+    let mut shard_faults = 0;
+    for _ in 0..4 {
+        match system.submit_epoch(&query) {
+            Ok(()) => {}
+            Err(CoreError::Deploy(DeployError::ShardPanic { shard, .. })) => {
+                assert_eq!(shard, 1, "the injected shard is the one that died");
+                shard_faults += 1;
+            }
+            Err(e) => panic!("unexpected fault under shard respawn: {e}"),
+        }
+    }
+    match system.flush_epochs() {
+        Ok(()) => {}
+        Err(CoreError::Deploy(DeployError::ShardPanic { shard, .. })) => {
+            assert_eq!(shard, 1);
+            shard_faults += 1;
+        }
+        Err(e) => panic!("unexpected fault on flush: {e}"),
+    }
+    assert_eq!(shard_faults, 1, "one injection, one typed fault");
+
+    // The books balance: one panic, a respawn, loss (if any) rides a
+    // partial close.
+    let health = system.deploy_health();
+    assert_eq!(health.shard_panics, 1);
+    assert!(health.respawns >= 1);
+    if health.lost_answers > 0 {
+        assert!(
+            health.partial_closes > 0,
+            "lost answers must ride a partial close, health: {health:?}"
+        );
+    }
+
+    // Every emitted window stayed unbiased through the churn.
+    for r in system.drain_results() {
+        assert!(r.sample_size <= 40);
+        if r.sample_size > 0 {
+            assert_eq!(r.buckets[2].estimate, 40.0, "U/n scaling holds");
+        }
+    }
+
+    // The respawned shard re-registered its heartbeat under the same
+    // name: the full roster is present and beating.
+    let statuses = system.thread_health(Duration::from_secs(5));
+    assert_eq!(statuses.len(), 6, "2 workers + 2 proxies + 2 shards");
+    for (name, status) in &statuses {
+        assert!(status.is_alive(), "{name} must beat after the repair");
+    }
+
+    // And the repaired deployment serves exactly again.
+    let result = system.run_epoch(&query).unwrap();
+    assert_eq!(result.sample_size, 40);
+    assert_eq!(result.buckets[2].estimate, 40.0);
+}
+
 /// The degrade-to-sampling guarantee, deterministically: an epoch
 /// that loses a fixed half of its answers (every share bound for
 /// shard 0's partitions is dropped in transit) closes on its
