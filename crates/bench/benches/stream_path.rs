@@ -59,7 +59,7 @@ fn bench_stream(c: &mut Criterion) {
             for shares in &batch {
                 for (source, s) in shares.iter().enumerate() {
                     if let privapprox_stream::join::JoinOutcome::Complete(msg) =
-                        joiner.offer(s.mid, source, &s.payload, Timestamp(0))
+                        joiner.offer(0, s.mid, source, &s.payload, Timestamp(0))
                     {
                         if privapprox_crypto::decode_answer(&msg).is_some() {
                             decoded += 1;

@@ -98,7 +98,7 @@ fn join_timeout_ablation() -> Vec<JoinTimeoutRow> {
             let mut peak = 0usize;
             for (t, idx, share_idx) in events {
                 let share = &arrivals[idx].2[share_idx];
-                let _ = joiner.offer(share.mid, share_idx, &share.payload, Timestamp(t));
+                let _ = joiner.offer(0, share.mid, share_idx, &share.payload, Timestamp(t));
                 if t % 251 == 0 {
                     joiner.sweep(Timestamp(t));
                     peak = peak.max(joiner.pending_len());

@@ -89,7 +89,7 @@ pub fn calibrate() -> Calibration {
     for pair in &shares {
         for (source, share) in pair.iter().enumerate() {
             if let privapprox_stream::join::JoinOutcome::Complete(msg) =
-                joiner.offer(share.mid, source, &share.payload, Timestamp(0))
+                joiner.offer(0, share.mid, source, &share.payload, Timestamp(0))
             {
                 std::hint::black_box(privapprox_crypto::xor::decode_answer(&msg));
             }

@@ -227,7 +227,7 @@ impl Aggregator {
     /// feeding decoded answers into their query windows. Returns the
     /// number of fully decoded answers processed.
     pub fn pump(&mut self) -> u64 {
-        self.pump_with(|_, _, _| {})
+        self.pump_with(|_, _, _, _| {})
     }
 
     /// [`Aggregator::pump`] that parks instead of returning when the
@@ -237,7 +237,7 @@ impl Aggregator {
     /// with nothing pending). Aggregator *threads* loop on this
     /// instead of sleep-spinning between empty polls.
     pub fn pump_blocking(&mut self, timeout: std::time::Duration) -> u64 {
-        self.pump_blocking_with(timeout, |_, _, _| {})
+        self.pump_blocking_with(timeout, |_, _, _, _| {})
     }
 
     /// [`Aggregator::pump_blocking`] with a tee over every decoded
@@ -246,7 +246,7 @@ impl Aggregator {
     /// epoch's expected in-flight messages have all arrived.
     pub fn pump_blocking_with<F>(&mut self, timeout: std::time::Duration, mut tee: F) -> u64
     where
-        F: FnMut(QueryId, Timestamp, &BitVec),
+        F: FnMut(QueryId, Timestamp, MessageId, &BitVec),
     {
         if self
             .consumer
@@ -265,7 +265,7 @@ impl Aggregator {
     /// §3.3.1 without a second decode pass).
     pub fn pump_with<F>(&mut self, mut tee: F) -> u64
     where
-        F: FnMut(QueryId, Timestamp, &BitVec),
+        F: FnMut(QueryId, Timestamp, MessageId, &BitVec),
     {
         let mut decoded_count = 0;
         loop {
@@ -281,7 +281,7 @@ impl Aggregator {
     /// many answers completed.
     fn process_batch<F>(&mut self, tee: &mut F) -> u64
     where
-        F: FnMut(QueryId, Timestamp, &BitVec),
+        F: FnMut(QueryId, Timestamp, MessageId, &BitVec),
     {
         let mut decoded_count = 0;
         let mut quarantined = 0u64;
@@ -290,12 +290,17 @@ impl Aggregator {
         // at the end.
         let mut batch = std::mem::take(&mut self.batch);
         for (source, partition, record) in batch.drain(..) {
-            let Some(mid) = record
-                .key
-                .as_deref()
-                .and_then(|k| <[u8; 16]>::try_from(k).ok())
-                .map(MessageId::from_bytes)
-            else {
+            // Wire key layout (24 bytes): query tag (u64 BE) ‖ MID
+            // (16 bytes). The tag routes shares to per-(query, shard)
+            // join state *before* decode — concurrent queries draw
+            // identical MID sequences per client (same-seed streams),
+            // so a MID-only join would fuse shares across queries.
+            let Some((qtag, mid)) = record.key.as_deref().and_then(|k| {
+                let k = <[u8; 24]>::try_from(k).ok()?;
+                let qtag = u64::from_be_bytes(k[..8].try_into().expect("8-byte slice"));
+                let mid = MessageId::from_bytes(k[8..].try_into().expect("16-byte slice"));
+                Some((qtag, mid))
+            }) else {
                 self.undecodable += 1;
                 if let Some(w) = &self.dead_letter {
                     w.append_quiet(partition as usize, record.key, record.value, record.timestamp);
@@ -306,7 +311,7 @@ impl Aggregator {
             let source = source as usize;
             match self
                 .joiner
-                .offer(mid, source, &record.value, record.timestamp)
+                .offer(qtag, mid, source, &record.value, record.timestamp)
             {
                 JoinOutcome::Pending | JoinOutcome::Duplicate | JoinOutcome::Malformed => {}
                 JoinOutcome::Complete(message) => {
@@ -321,13 +326,21 @@ impl Aggregator {
                             self.undecodable += 1;
                             poisoned = true;
                         }
+                        // A decoded QID that disagrees with the key's
+                        // query tag means the share was routed under
+                        // the wrong join key — corrupt, not merely
+                        // unregistered.
+                        Some(qid) if qid.to_u64() != qtag => {
+                            self.undecodable += 1;
+                            poisoned = true;
+                        }
                         Some(qid) => match self.queries.get_mut(&qid) {
                             None => {
                                 self.unroutable += 1;
                                 poisoned = true;
                             }
                             Some(state) if answer.len() == state.buckets => {
-                                tee(qid, record.timestamp, answer);
+                                tee(qid, record.timestamp, mid, answer);
                                 state.windows.push(record.timestamp, answer);
                                 decoded_count += 1;
                             }
@@ -681,6 +694,7 @@ mod tests {
     use super::*;
     use crate::client::Client;
     use crate::proxy::{inbound_topic, Proxy};
+    use privapprox_crypto::xor::wire_key;
     use privapprox_sql::{ColumnType, Schema, Value};
     use privapprox_types::ids::AnalystId;
     use privapprox_types::{AnswerSpec, ClientId, ProxyId, Query, QueryBuilder};
@@ -725,7 +739,7 @@ mod tests {
                 for (pi, share) in answer.shares.iter().enumerate() {
                     producer.send(
                         &inbound_topic(ProxyId(pi as u16)),
-                        Some(share.mid.to_bytes().to_vec()),
+                        Some(wire_key(query.id, share.mid).to_vec()),
                         &share.payload[..],
                         Timestamp(500),
                     );
@@ -823,7 +837,7 @@ mod tests {
             for (pi, share) in answer.shares.iter().enumerate() {
                 producer.send(
                     &inbound_topic(ProxyId(pi as u16)),
-                    Some(share.mid.to_bytes().to_vec()),
+                    Some(wire_key(query.id, share.mid).to_vec()),
                     &share.payload[..],
                     Timestamp(ts),
                 );
@@ -863,7 +877,7 @@ mod tests {
                 for (pi, share) in answer.shares.iter().enumerate() {
                     producer.send(
                         &inbound_topic(ProxyId(pi as u16)),
-                        Some(share.mid.to_bytes().to_vec()),
+                        Some(wire_key(query.id, share.mid).to_vec()),
                         &share.payload[..],
                         Timestamp(cycle * 1_000 + 500),
                     );
@@ -902,15 +916,16 @@ mod tests {
             vec![0; 13],
             Timestamp(0),
         );
-        // A pair of "shares" that join to garbage.
-        let mid = MessageId(77).to_bytes().to_vec();
+        // A pair of "shares" under a well-formed 24-byte key that
+        // joins to garbage (decode failure, not key failure).
+        let key = wire_key(query.id, MessageId(77)).to_vec();
         producer.send(
             "proxy-0-out",
-            Some(mid.clone()),
+            Some(key.clone()),
             vec![0xAB; 13],
             Timestamp(0),
         );
-        producer.send("proxy-1-out", Some(mid), vec![0xCD; 13], Timestamp(0));
+        producer.send("proxy-1-out", Some(key), vec![0xCD; 13], Timestamp(0));
         agg.pump();
         assert_eq!(agg.undecodable(), 2);
         // No valid answer ever arrived, so no window opened at all.

@@ -89,7 +89,22 @@ struct CachedIndexer {
 pub struct Client {
     id: ClientId,
     db: Database,
-    rng: StdRng,
+    /// Seed material for per-query RNG streams (see `rngs`).
+    rng_seed: u64,
+    /// One independent RNG stream per subscribed query, lazily
+    /// created on first answer. Every stream is seeded from the SAME
+    /// `rng_seed` — deliberately NOT mixed with the `QueryId` — so a
+    /// query answered inside a multi-tenant schedule consumes exactly
+    /// the draws it would consume running alone in a fresh system.
+    /// That same-seed design is what makes K concurrent queries
+    /// byte-identical to K sequential isolation runs (the
+    /// `multi_query` equivalence suite), at the cost of concurrent
+    /// queries drawing identical MID sequences — which is why the
+    /// share join is keyed by (query, MID), not MID alone.
+    ///
+    /// Linear scan: a client subscribes to a handful of queries, so a
+    /// `Vec` beats a hash map here.
+    rngs: Vec<(QueryId, StdRng)>,
     /// Analyst public keys this client trusts (keyed verification of
     /// query signatures, §3.1).
     analyst_key: u64,
@@ -109,11 +124,26 @@ impl Client {
         Client {
             id,
             db: Database::new(),
-            rng: StdRng::seed_from_u64(seed ^ id.0.rotate_left(32)),
+            rng_seed: seed ^ id.0.rotate_left(32),
+            rngs: Vec::new(),
             analyst_key,
             plans: PlanCache::new(),
             sql_scratch: EvalScratch::new(),
             indexers: HashMap::default(),
+        }
+    }
+
+    /// Index into `rngs` of the RNG stream for `query`, creating it
+    /// on first use. Returns an index rather than a borrow so callers
+    /// can interleave RNG draws with other `&mut self` stages.
+    fn rng_for(&mut self, query: QueryId) -> usize {
+        match self.rngs.iter().position(|(q, _)| *q == query) {
+            Some(i) => i,
+            None => {
+                self.rngs
+                    .push((query, StdRng::seed_from_u64(self.rng_seed)));
+                self.rngs.len() - 1
+            }
         }
     }
 
@@ -264,9 +294,10 @@ impl Client {
         // expose the previous epoch's shares (a stale read could
         // resubmit the old message).
         scratch.split.invalidate();
+        let rng = self.rng_for(query.id);
         // Step I: sampling at the client (§3.2.1).
         let coin = ParticipationCoin::new(params.s);
-        if !coin.flip(&mut self.rng) {
+        if !coin.flip(&mut self.rngs[rng].1) {
             return Ok(None);
         }
         // Step II: truthful answer + randomized response (§3.2.2).
@@ -285,18 +316,18 @@ impl Client {
                 &scratch.truth,
                 &mut scratch.randomized,
                 &mut scratch.randomize,
-                &mut self.rng,
+                &mut self.rngs[rng].1,
             );
             &scratch.randomized
         };
         // Step III: encode and split (§3.2.3).
         encode_answer_into(query.id, randomized, &mut scratch.message);
         let splitter = XorSplitter::new(n_proxies);
-        let mid = MessageId(self.rng.gen());
+        let mid = MessageId(self.rngs[rng].1.gen());
         Ok(Some(splitter.split_into(
             &scratch.message,
             mid,
-            &mut self.rng,
+            &mut self.rngs[rng].1,
             &mut scratch.split,
         )))
     }

@@ -156,6 +156,8 @@
 use crate::aggregator::{finalize_window_into, Aggregator, QueryResult, RawWindow};
 use crate::client::{Client, ClientScratch};
 use crate::error::{CoreError, DeployError};
+use crate::feedback::FeedbackController;
+use crate::historical::Warehouse;
 use crate::initializer::Initializer;
 use crate::proxy::{inbound_topic, outbound_topic, Proxy};
 use crate::remote::{self, NodeChild};
@@ -165,14 +167,17 @@ use privapprox_cluster::{
     SupervisedLink, Watchdog,
 };
 use privapprox_rr::estimate::BucketEstimator;
+use privapprox_rr::privacy::epsilon_zk;
 use privapprox_sql::{ColumnType, Schema, Value};
 use privapprox_crypto::xor::SlotPool;
 use privapprox_stream::broker::{BatchEntry, Broker, BrokerStats, Consumer, Record, TopicWriter};
 use privapprox_types::ids::AnalystId;
 use privapprox_types::{
-    AnswerSpec, Budget, ClientId, ExecutionParams, ProxyId, Query, QueryBuilder, QueryId,
-    Timestamp, Window,
+    AnswerSpec, BitVec, Budget, BudgetLedger, ClientId, ExecutionParams, MessageId, PrivacyBudget,
+    ProxyId, Query, QueryBuilder, QueryId, Timestamp, Window,
 };
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -380,6 +385,11 @@ pub struct ShardedConfig {
     /// pipeline-depth + 1 epochs' worth of records); see
     /// [`ShardedSystemBuilder::partition_capacity`].
     pub partition_capacity: usize,
+    /// Expected multi-tenant schedule width, used by the capacity
+    /// auto-sizing (a scheduled epoch carries one record per client
+    /// *per admitted query*); see
+    /// [`ShardedSystemBuilder::concurrent_queries`].
+    pub concurrent_queries: usize,
     /// Artificial per-close delay injected into one shard thread
     /// (test/stress hook); see [`ShardedSystemBuilder::straggler`].
     pub straggler: Option<(usize, Duration)>,
@@ -424,6 +434,7 @@ impl Default for ShardedConfig {
             partitions: 0,
             pipeline_depth: 2,
             partition_capacity: 0,
+            concurrent_queries: 1,
             straggler: None,
             seed: 0,
             confidence: 0.95,
@@ -554,6 +565,17 @@ impl ShardedSystemBuilder {
     /// epochs' worth of records per partition.
     pub fn partition_capacity(mut self, records: usize) -> Self {
         self.config.partition_capacity = records;
+        self
+    }
+
+    /// Declares how many queries the deployment expects to run
+    /// concurrently (the multi-tenant schedule width, default 1).
+    /// Only the capacity auto-sizing uses it: a scheduled epoch
+    /// appends one record per client **per admitted query**, so the
+    /// per-partition bound scales accordingly. An explicit
+    /// [`ShardedSystemBuilder::partition_capacity`] overrides it.
+    pub fn concurrent_queries(mut self, queries: usize) -> Self {
+        self.config.concurrent_queries = queries.max(1);
         self
     }
 
@@ -727,8 +749,10 @@ impl ShardedSystemBuilder {
         let capacity = if c.partition_capacity > 0 {
             c.partition_capacity
         } else {
-            ((c.pipeline_depth as u64 + 1) * c.clients.div_ceil(partitions as u64)).max(64)
-                as usize
+            ((c.pipeline_depth as u64 + 1)
+                * c.concurrent_queries.max(1) as u64
+                * c.clients.div_ceil(partitions as u64))
+            .max(64) as usize
         };
         // Bounded topics must exist (with their capacity) before the
         // proxies/shards auto-create them unbounded.
@@ -962,6 +986,14 @@ impl ShardedSystemBuilder {
             respawns: 0,
             worker_backpressure: 0,
             children,
+            admitted: Vec::new(),
+            ledgers: HashMap::new(),
+            retired: Vec::new(),
+            terminal: Vec::new(),
+            feedback: HashMap::new(),
+            last_error: HashMap::new(),
+            retain_set: Vec::new(),
+            batch_scratch: None,
         })
     }
 }
@@ -1107,8 +1139,9 @@ impl WorkerHandle {
                     // append (one partition lock, one capacity check)
                     // once it reaches the flush grain. Entries hold
                     // refcount clones of the split scratch's payload
-                    // slots and a pooled 16-byte MID key built once
-                    // per message — no per-share allocation or copy.
+                    // slots and a pooled 24-byte query-tagged key
+                    // built once per message — no per-share
+                    // allocation or copy.
                     let mut batches: Vec<Vec<Vec<BatchEntry>>> = (0..n_proxies)
                         .map(|_| vec![Vec::new(); partitions])
                         .collect();
@@ -1211,6 +1244,7 @@ impl WorkerHandle {
                                     continue;
                                 }
                                 let t0 = thread_busy_time();
+                                let qtag = query.id.to_u64().to_be_bytes();
                                 per_partition.iter_mut().for_each(|n| *n = 0);
                                 // One signature check for the whole
                                 // population: the query is a single
@@ -1246,17 +1280,20 @@ impl WorkerHandle {
                                                 // the drop-traffic fault.
                                                 per_partition[partition] += 1;
                                             } else {
-                                                // One pooled MID key per
-                                                // message, refcounted across
-                                                // its n shares; payloads ride
-                                                // by refcount from the split
-                                                // scratch's slots.
-                                                let mut key = key_pool.acquire(16);
-                                                Arc::get_mut(&mut key)
-                                                    .expect("acquired key slot is unique")
-                                                    .copy_from_slice(
-                                                        &shares[0].mid.to_bytes(),
-                                                    );
+                                                // One pooled 24-byte key per
+                                                // message — query tag (u64
+                                                // BE) ‖ MID — refcounted
+                                                // across its n shares;
+                                                // payloads ride by refcount
+                                                // from the split scratch's
+                                                // slots.
+                                                let mut key = key_pool.acquire(24);
+                                                let slot = Arc::get_mut(&mut key)
+                                                    .expect("acquired key slot is unique");
+                                                slot[..8].copy_from_slice(&qtag);
+                                                slot[8..].copy_from_slice(
+                                                    &shares[0].mid.to_bytes(),
+                                                );
                                                 for (pi, share) in shares.iter().enumerate()
                                                 {
                                                     batches[pi][partition].push((
@@ -1476,8 +1513,14 @@ enum ShardCmd {
         query: Box<Query>,
         params: ExecutionParams,
         population: u64,
+        /// Keep this query's decoded answers for batch queries
+        /// (historical retention, §3.3.1).
+        retain: bool,
     },
     Close(CloseCmd),
+    /// Historical fetch: return the retained answers of `query`
+    /// within `range`.
+    Fetch { query: QueryId, range: Window },
     /// Health-counter snapshot (no watermark movement).
     Probe,
     /// Chaos hook: panic on receipt.
@@ -1487,6 +1530,11 @@ enum ShardCmd {
 
 enum ShardReply {
     Registered,
+    /// Retained `(timestamp, MID, randomized answer)` triples for a
+    /// [`ShardCmd::Fetch`].
+    Stored {
+        answers: Vec<(u64, u128, BitVec)>,
+    },
     Closed {
         /// Answers **this shard** decoded under the closed epoch's
         /// tag. The main thread sums the replies: a total below the
@@ -1566,6 +1614,11 @@ impl ShardHandle {
                 // record).
                 let mut counts: Vec<(Timestamp, u64)> = Vec::new();
                 let mut published: Vec<(Timestamp, u64)> = Vec::new();
+                // Retained histories for queries registered with
+                // `retain`: the §3.3.1 at-rest store (randomized
+                // answers only), fetched by the main thread to serve
+                // batch queries.
+                let mut retained: HashMap<QueryId, Vec<(u64, u128, BitVec)>> = HashMap::new();
                 // Close requests queue in epoch order and are
                 // satisfied strictly FIFO (watermarks must advance in
                 // order); `Instant` tracks the epoch deadline.
@@ -1579,9 +1632,29 @@ impl ShardHandle {
                                 query,
                                 params,
                                 population,
+                                retain,
                             }) => {
+                                if retain {
+                                    // Keep whatever is already stored:
+                                    // re-registration (a feedback
+                                    // retune) must not wipe history.
+                                    retained.entry(query.id).or_default();
+                                }
                                 agg.register_query(&query, params, population);
                                 let _ = reply_tx.send(ShardReply::Registered);
+                            }
+                            Ok(ShardCmd::Fetch { query, range }) => {
+                                let answers = retained
+                                    .get(&query)
+                                    .map(|stored| {
+                                        stored
+                                            .iter()
+                                            .filter(|(ts, _, _)| range.contains(Timestamp(*ts)))
+                                            .cloned()
+                                            .collect()
+                                    })
+                                    .unwrap_or_default();
+                                let _ = reply_tx.send(ShardReply::Stored { answers });
                             }
                             Ok(ShardCmd::Close(c)) => closes.push_back((c, Instant::now())),
                             Ok(ShardCmd::Probe) => {
@@ -1642,10 +1715,13 @@ impl ShardHandle {
                         }
                     }
                     // 3. Pump, tagging every decode with its epoch.
-                    agg.pump_blocking_with(SHARD_PARK, |_, ts, _| {
+                    agg.pump_blocking_with(SHARD_PARK, |qid, ts, mid, answer| {
                         match counts.iter_mut().find(|(t, _)| *t == ts) {
                             Some((_, n)) => *n += 1,
                             None => counts.push((ts, 1)),
+                        }
+                        if let Some(stored) = retained.get_mut(&qid) {
+                            stored.push((ts.0, mid.0, answer.clone()));
                         }
                         if let Some(n) = fuse.as_mut() {
                             if *n <= 1 {
@@ -1979,10 +2055,24 @@ impl ShardHandle {
                                     query,
                                     params,
                                     population,
+                                    // Retention is rejected for process
+                                    // transport before any command is
+                                    // sent, so the flag is never set
+                                    // here.
+                                    retain: _,
                                 }) => send_ctrl(
                                     &mut link,
                                     remote::encode_register(&query, params, population),
                                 ),
+                                Ok(ShardCmd::Fetch { .. }) => {
+                                    // Unreachable by construction (see
+                                    // `retain` above); reply empty so a
+                                    // misdirected fetch cannot wedge the
+                                    // caller.
+                                    let _ = reply_tx.send(ShardReply::Stored {
+                                        answers: Vec::new(),
+                                    });
+                                }
                                 Ok(ShardCmd::Close(c)) => closes.push_back((c, Instant::now())),
                                 Ok(ShardCmd::Probe) => {
                                     send_ctrl(&mut link, remote::encode_probe())
@@ -2170,6 +2260,10 @@ struct InFlightEpoch {
     epoch: Timestamp,
     /// The watermark closing the epoch's windows.
     watermark: Timestamp,
+    /// Worker commands issued for this epoch — one per scheduled
+    /// query — so completion knows how many `Answered` replies each
+    /// worker owes.
+    cmds: usize,
 }
 
 /// A threaded, sharded in-process PrivApprox deployment with
@@ -2239,6 +2333,44 @@ pub struct ShardedSystem {
     /// including respawn replacements. Empty in in-process mode; used
     /// by [`ShardedSystem::child_cpu`].
     children: Vec<(String, u32)>,
+    /// Multi-tenant schedule: queries admitted to
+    /// [`ShardedSystem::submit_epoch_all`], in admission order.
+    admitted: Vec<QueryId>,
+    /// Per-query privacy-budget spend ledgers (unbounded unless
+    /// [`ShardedSystem::set_budget`] assigned a cap).
+    ledgers: HashMap<QueryId, BudgetLedger>,
+    /// Typed terminal results of budget-retired queries, each
+    /// reported exactly once via [`ShardedSystem::drain_retired`].
+    retired: Vec<Retirement>,
+    /// Every query ever retired (permanent — draining the terminal
+    /// results must not let a spent query back into the schedule).
+    terminal: Vec<QueryId>,
+    /// Per-query feedback controllers (opt-in).
+    feedback: HashMap<QueryId, FeedbackController>,
+    /// Worst relative CI bound of each query's most recently
+    /// finalized window — the feedback signal.
+    last_error: HashMap<QueryId, f64>,
+    /// Queries whose shards retain decoded answers for batch queries.
+    retain_set: Vec<QueryId>,
+    /// Recycled estimator for the batch-query path (the pooled
+    /// estimator lifecycle the historical regression suite pins).
+    batch_scratch: Option<BucketEstimator>,
+}
+
+/// The typed terminal result of a query retired mid-stream by budget
+/// exhaustion: its ledger rejected an epoch's `ε_zk` debit, so the
+/// query left the schedule having sent nothing that epoch. Reported
+/// exactly once via [`ShardedSystem::drain_retired`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retirement {
+    /// The retired query.
+    pub query: QueryId,
+    /// Total ε spent across the query's lifetime (≤ `allocated`).
+    pub spent: f64,
+    /// The lifetime allowance the ledger enforced.
+    pub allocated: f64,
+    /// Epochs the query answered before exhaustion.
+    pub epochs: u64,
 }
 
 /// A deployment-wide health snapshot: the aggregator quad plus the
@@ -2432,6 +2564,7 @@ impl ShardedSystem {
                 query: Box::new(query.clone()),
                 params,
                 population: self.config.clients,
+                retain: self.retain_set.contains(&query.id),
             });
         }
         self.wake_shards();
@@ -2523,6 +2656,7 @@ impl ShardedSystem {
         self.in_flight.push_back(InFlightEpoch {
             epoch: ts,
             watermark,
+            cmds: 1,
         });
         result
     }
@@ -2568,6 +2702,357 @@ impl ShardedSystem {
         Ok(self.pending.remove(idx))
     }
 
+    // ----- multi-tenant schedule ------------------------------------
+
+    /// Admits a registered query to the multi-tenant schedule:
+    /// [`ShardedSystem::submit_epoch_all`] answers every admitted
+    /// query each epoch, sharing the worker pool. Queries on one
+    /// schedule must agree on window size (one shared event clock
+    /// tags each epoch). Re-admitting is a no-op; a budget-retired
+    /// query cannot come back (its allowance is spent).
+    pub fn admit(&mut self, query: QueryId) -> Result<(), CoreError> {
+        let (q, _) = self.queries.get(&query).ok_or(CoreError::UnknownQuery)?;
+        if self.terminal.contains(&query) {
+            return Err(CoreError::Deploy(DeployError::InvalidConfig(format!(
+                "query {query:?} was retired: its privacy budget is spent"
+            ))));
+        }
+        if self.admitted.contains(&query) {
+            return Ok(());
+        }
+        if let Some(first) = self.admitted.first() {
+            let shared = self.queries[first].0.window.size;
+            if q.window.size != shared {
+                return Err(CoreError::Deploy(DeployError::InvalidConfig(format!(
+                    "scheduled queries must share a window size: {} != {}",
+                    q.window.size, shared
+                ))));
+            }
+        }
+        self.admitted.push(query);
+        Ok(())
+    }
+
+    /// The queries currently admitted to the epoch schedule, in
+    /// admission order.
+    pub fn admitted(&self) -> &[QueryId] {
+        &self.admitted
+    }
+
+    /// Withdraws a query from the schedule without retiring it: the
+    /// ledger keeps its spend and the query may be re-admitted.
+    pub fn withdraw(&mut self, query: QueryId) {
+        self.admitted.retain(|q| *q != query);
+    }
+
+    /// Assigns a lifetime privacy budget to a query, replacing its
+    /// ledger. Every scheduled epoch debits `ε_zk(s, p, q)` — the
+    /// zero-knowledge privacy spend of one answer under sampling and
+    /// randomized response (paper Equation 9). Once a debit would
+    /// overdraw, the query is retired mid-stream: it answers no
+    /// further epochs and its typed terminal [`Retirement`] surfaces
+    /// via [`ShardedSystem::drain_retired`].
+    pub fn set_budget(&mut self, query: QueryId, budget: PrivacyBudget) -> Result<(), CoreError> {
+        if !self.queries.contains_key(&query) {
+            return Err(CoreError::UnknownQuery);
+        }
+        self.ledgers.insert(query, BudgetLedger::new(budget));
+        Ok(())
+    }
+
+    /// The query's spend ledger, if one exists (assigned by
+    /// [`ShardedSystem::set_budget`] or created unbounded on its
+    /// first scheduled epoch).
+    pub fn budget_ledger(&self, query: QueryId) -> Option<&BudgetLedger> {
+        self.ledgers.get(&query)
+    }
+
+    /// Terminal results of queries retired by budget exhaustion since
+    /// the last drain, in retirement order. Each retirement is
+    /// reported exactly once.
+    pub fn drain_retired(&mut self) -> Vec<Retirement> {
+        std::mem::take(&mut self.retired)
+    }
+
+    /// Attaches a StreamApprox-style feedback controller: each
+    /// [`ShardedSystem::apply_feedback`] re-tunes the query's
+    /// execution parameters from the previous window's observed
+    /// error.
+    pub fn enable_feedback(
+        &mut self,
+        query: QueryId,
+        controller: FeedbackController,
+    ) -> Result<(), CoreError> {
+        if !self.queries.contains_key(&query) {
+            return Err(CoreError::UnknownQuery);
+        }
+        self.feedback.insert(query, controller);
+        Ok(())
+    }
+
+    /// The worst relative CI bound observed in the query's most
+    /// recently finalized window — the feedback signal.
+    pub fn last_observed_error(&self, query: QueryId) -> Option<f64> {
+        self.last_error.get(&query).copied()
+    }
+
+    /// Flushes the pipeline, then re-tunes every admitted query that
+    /// has a controller and an observed error, re-registering changed
+    /// parameters on every shard. Flushing first keeps the pipelined
+    /// schedule equivalent to an isolated run: the retune takes
+    /// effect at exactly the same epoch boundary in both.
+    pub fn apply_feedback(&mut self) -> Result<(), CoreError> {
+        let mut result = self.flush_epochs();
+        let mut retunes = Vec::new();
+        for qid in &self.admitted {
+            let (Some(ctrl), Some(err)) = (self.feedback.get(qid), self.last_error.get(qid))
+            else {
+                continue;
+            };
+            let params = self.queries[qid].1;
+            let (next, changed) = ctrl.retune(params, *err);
+            if changed {
+                retunes.push((*qid, next));
+            }
+        }
+        for (qid, next) in retunes {
+            let query = self.queries[&qid].0.clone();
+            let r = self.register(query, next);
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    }
+
+    /// Submits one multi-tenant epoch: every admitted query is
+    /// answered by every client under ONE shared epoch timestamp —
+    /// one participation flip, randomization, split and send per
+    /// (client, query), batched through the zero-copy `append_batch`
+    /// path — after charging each query's budget ledger for the
+    /// epoch. A query whose ledger cannot cover the `ε_zk` debit is
+    /// retired *before* any command is sent (exactly one
+    /// [`Retirement`], zero shares this epoch) and the epoch proceeds
+    /// with the survivors; with no survivors, nothing is submitted.
+    pub fn submit_epoch_all(&mut self) -> Result<(), CoreError> {
+        // Budget pass first: charging happens strictly before any
+        // worker command, so an exhausted query contributes nothing
+        // to the epoch it was retired in.
+        let schedule = std::mem::take(&mut self.admitted);
+        let mut batch: Vec<(Query, ExecutionParams)> = Vec::with_capacity(schedule.len());
+        for qid in schedule {
+            let (query, params) = self
+                .queries
+                .get(&qid)
+                .expect("admitted queries are registered")
+                .clone();
+            let eps = epsilon_zk(params.s, params.p, params.q);
+            let ledger = self
+                .ledgers
+                .entry(qid)
+                .or_insert_with(|| BudgetLedger::new(PrivacyBudget::unbounded()));
+            match ledger.try_charge(eps) {
+                Ok(()) => {
+                    self.admitted.push(qid);
+                    batch.push((query, params));
+                }
+                Err(exhausted) => {
+                    self.terminal.push(qid);
+                    self.retired.push(Retirement {
+                        query: qid,
+                        spent: exhausted.spent,
+                        allocated: exhausted.allocated,
+                        epochs: exhausted.epochs,
+                    });
+                }
+            }
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let depth = self.config.pipeline_depth.max(1);
+        let mut result = Ok(());
+        while self.in_flight.len() >= depth {
+            let r = self.complete_oldest(false);
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        // One shared clock step for the whole schedule (`admit`
+        // validated the equal window sizes).
+        let window_size = batch[0].0.window.size;
+        let epoch_start = self.now_ms.div_ceil(window_size) * window_size;
+        let ts = Timestamp(epoch_start + window_size / 2);
+        let watermark = Timestamp(epoch_start + window_size);
+        self.now_ms = watermark.0;
+        for wi in 0..self.workers.len() {
+            if self.workers[wi].dead {
+                continue;
+            }
+            let mut sent = 0;
+            while sent < batch.len() {
+                let (query, params) = &batch[sent];
+                let cmd = WorkerCmd::Answer {
+                    query: query.clone(),
+                    params: *params,
+                    ts,
+                    live: true,
+                };
+                if self.workers[wi].cmd.send(cmd).is_ok() {
+                    sent += 1;
+                    continue;
+                }
+                // Dead since its last reply: report, respawn (the
+                // replacement replays prior history muted), then
+                // replay this epoch's batch live from the top — the
+                // dead channel swallowed the commands already sent.
+                let fault = self.worker_down(wi, RecvTimeoutError::Disconnected);
+                if result.is_ok() {
+                    result = Err(fault.into());
+                }
+                if self.respawn_worker(wi).is_err() {
+                    break;
+                }
+                sent = 0;
+                result = Ok(());
+            }
+        }
+        for (query, params) in &batch {
+            self.history.push(ReplayCmd::Answer {
+                query: query.clone(),
+                params: *params,
+                ts,
+            });
+        }
+        self.in_flight.push_back(InFlightEpoch {
+            epoch: ts,
+            watermark,
+            cmds: batch.len(),
+        });
+        result
+    }
+
+    /// Runs one multi-tenant epoch to completion: submit + flush.
+    /// Every admitted query's windows land in
+    /// [`ShardedSystem::drain_results`], sorted by window start then
+    /// query id; retirements surface via
+    /// [`ShardedSystem::drain_retired`].
+    pub fn run_epoch_all(&mut self) -> Result<(), CoreError> {
+        let mut outcome = self.submit_epoch_all();
+        let flushed = self.flush_epochs();
+        if outcome.is_ok() {
+            outcome = flushed;
+        }
+        outcome
+    }
+
+    /// Turns on historical retention for a registered query: every
+    /// shard keeps the decoded randomized answers it routes to the
+    /// query, and [`ShardedSystem::batch_query`] answers batch
+    /// queries over the retained stream (paper §3.3.1). In-process
+    /// transport only — a remote shard child holds no fetchable
+    /// store.
+    pub fn retain_history(&mut self, query: QueryId) -> Result<(), CoreError> {
+        if !matches!(self.transport, TransportMode::InProcess) {
+            return Err(CoreError::Deploy(DeployError::InvalidConfig(
+                "historical retention requires in-process shards".into(),
+            )));
+        }
+        if self.retain_set.contains(&query) {
+            return Ok(());
+        }
+        let (q, params) = self
+            .queries
+            .get(&query)
+            .ok_or(CoreError::UnknownQuery)?
+            .clone();
+        self.retain_set.push(query);
+        // Re-register with the retain flag; `register` flushes
+        // in-flight epochs first, so retention starts at an epoch
+        // boundary.
+        self.register(q, params)
+    }
+
+    /// Answers a historical/batch query over the retained stream:
+    /// the shards' stored answers for `query` within `range` are
+    /// merged in canonical `(timestamp, MID)` order — threaded
+    /// arrival interleavings cannot show — and re-sampled down to
+    /// `batch_budget` answers (the §3.3.1 second sampling round)
+    /// with an RNG derived deterministically from the deployment
+    /// seed, the query and the range.
+    pub fn batch_query(
+        &mut self,
+        query: QueryId,
+        range: Window,
+        batch_budget: usize,
+    ) -> Result<QueryResult, CoreError> {
+        if !self.retain_set.contains(&query) {
+            return Err(CoreError::Deploy(DeployError::InvalidConfig(
+                "historical retention is not enabled for this query".into(),
+            )));
+        }
+        let mut first_error = self.flush_epochs().err();
+        self.repair();
+        let (q, params) = self
+            .queries
+            .get(&query)
+            .ok_or(CoreError::UnknownQuery)?
+            .clone();
+        for shard in &self.shards {
+            if shard.dead {
+                continue;
+            }
+            let _ = shard.cmd.send(ShardCmd::Fetch { query, range });
+        }
+        self.wake_shards();
+        let mut warehouse = Warehouse::new(query, q.answer.len(), params, self.config.clients);
+        let wait = self.control_wait();
+        for s in 0..self.shards.len() {
+            if self.shards[s].dead {
+                continue;
+            }
+            match self.shards[s].reply.recv_timeout(wait) {
+                Ok(ShardReply::Stored { answers }) => {
+                    for (ts, mid, answer) in answers {
+                        warehouse.append(Timestamp(ts), MessageId(mid), answer);
+                    }
+                }
+                Ok(_) => unreachable!("fetch expects Stored"),
+                Err(err) => {
+                    // The dead shard's retained history died with it:
+                    // the batch answer degrades to the surviving
+                    // stores, and the fault is reported.
+                    let fault = self.shard_down(s, err);
+                    first_error = first_error.or(Some(fault.into()));
+                    let _ = self.respawn_shard(s);
+                }
+            }
+        }
+        // Deterministic batch sampling: the same seed, query and
+        // range always draw the same reservoir, so concurrent and
+        // isolated runs agree byte for byte.
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ query.to_u64().rotate_left(17)
+                ^ range.start.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                ^ range.end.0,
+        );
+        // The estimator comes from the recycled scratch slot — the
+        // pooled lifecycle the historical regression suite pins (a
+        // dirty estimator must never leak a prior query's counts).
+        let mut est = self
+            .batch_scratch
+            .take()
+            .unwrap_or_else(|| BucketEstimator::new(q.answer.len(), params.p.min(1.0), params.q));
+        let result =
+            warehouse.batch_query_with(&mut est, range, batch_budget, self.config.confidence, &mut rng);
+        self.batch_scratch = Some(est);
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(result),
+        }
+    }
+
     /// Wakes shard threads parked in their blocking polls so a
     /// control message is observed at wakeup latency (shards park on
     /// their first subscribed topic's condvar).
@@ -2598,44 +3083,51 @@ impl ShardedSystem {
         let mut per_partition = vec![0u64; self.partitions];
         let mut first_error: Option<CoreError> = None;
         for wi in 0..self.workers.len() {
-            if self.workers[wi].dead {
-                continue;
-            }
-            if self.workers[wi].reply_debt > 0 {
-                self.workers[wi].reply_debt -= 1;
-                continue;
-            }
-            let reply = match self.workers[wi].reply.recv_timeout(wait) {
-                Ok(r) => r,
-                Err(err) => {
-                    if lenient {
-                        self.workers[wi].dead = true;
-                    } else {
-                        let fault = self.worker_down(wi, err);
-                        first_error = first_error.or(Some(fault.into()));
-                        let _ = self.respawn_worker(wi);
-                    }
+            // A multi-tenant epoch issued one Answer per scheduled
+            // query; each worker owes that many replies.
+            'replies: for _ in 0..ep.cmds {
+                if self.workers[wi].dead {
+                    break 'replies;
+                }
+                if self.workers[wi].reply_debt > 0 {
+                    self.workers[wi].reply_debt -= 1;
                     continue;
                 }
-            };
-            match reply {
-                WorkerReply::Answered {
-                    per_partition: counts,
-                    error,
-                    busy,
-                } => {
-                    self.busy.workers[wi] += busy;
-                    for (total, n) in per_partition.iter_mut().zip(&counts) {
-                        *total += n;
-                    }
-                    if let Some(e) = error {
-                        if matches!(e, CoreError::Deploy(DeployError::Backpressure { .. })) {
-                            self.worker_backpressure += 1;
+                let reply = match self.workers[wi].reply.recv_timeout(wait) {
+                    Ok(r) => r,
+                    Err(err) => {
+                        if lenient {
+                            self.workers[wi].dead = true;
+                        } else {
+                            let fault = self.worker_down(wi, err);
+                            first_error = first_error.or(Some(fault.into()));
+                            let _ = self.respawn_worker(wi);
                         }
-                        first_error = first_error.or(Some(e));
+                        // The dead worker's remaining replies for this
+                        // epoch died with it; a successful respawn owes
+                        // replies only for the *later* in-flight epochs.
+                        break 'replies;
                     }
+                };
+                match reply {
+                    WorkerReply::Answered {
+                        per_partition: counts,
+                        error,
+                        busy,
+                    } => {
+                        self.busy.workers[wi] += busy;
+                        for (total, n) in per_partition.iter_mut().zip(&counts) {
+                            *total += n;
+                        }
+                        if let Some(e) = error {
+                            if matches!(e, CoreError::Deploy(DeployError::Backpressure { .. })) {
+                                self.worker_backpressure += 1;
+                            }
+                            first_error = first_error.or(Some(e));
+                        }
+                    }
+                    WorkerReply::Loaded => unreachable!("answer expects Answered"),
                 }
-                WorkerReply::Loaded => unreachable!("answer expects Answered"),
             }
         }
         // Sweep dead relays before waiting on the closes: a dead
@@ -2753,6 +3245,10 @@ impl ShardedSystem {
                 self.config.clients,
                 self.config.confidence,
             );
+            // Feedback signal: the most recent window's worst relative
+            // CI bound (windows are sorted by start, so the newest
+            // observation wins).
+            self.last_error.insert(qid, shell.worst_relative_bound());
             self.pending.push(shell);
             self.pending_recycle[src].push(est);
         }
@@ -2916,8 +3412,21 @@ impl ShardedSystem {
     }
 
     /// Chaos hook: makes worker `w` panic on its next command poll.
+    /// Waits for the thread to finish unwinding before returning, so
+    /// the fault lands at a deterministic point: a command sent after
+    /// this call fails fast (dead channel → respawn + live replay)
+    /// instead of racing the unwind and being accepted-then-lost —
+    /// the equivalence suites inject between epochs and need both
+    /// runs of a pair on the same side of that race.
     pub fn inject_worker_panic(&mut self, w: usize) {
         let _ = self.workers[w].cmd.send(WorkerCmd::Die);
+        while self.workers[w]
+            .thread
+            .as_ref()
+            .is_some_and(|t| !t.is_finished())
+        {
+            std::thread::yield_now();
+        }
     }
 
     /// Chaos hook: makes shard `s` panic on its next control check.
@@ -3098,7 +3607,7 @@ impl ShardedSystem {
         // Answer commands sent to the dead predecessor will never be
         // replied to (and any replies it queued died with its
         // channel): the completion loop skips that many waits.
-        self.workers[wi].reply_debt = self.in_flight.len();
+        self.workers[wi].reply_debt = self.in_flight.iter().map(|e| e.cmds).sum();
         self.respawns += 1;
         Ok(())
     }
@@ -3201,6 +3710,11 @@ impl ShardedSystem {
                 query: Box::new(query.clone()),
                 params: *params,
                 population: self.config.clients,
+                // The dead shard's retained store died with it;
+                // re-enabling retention lets later epochs accumulate
+                // again (the batch answer degrades, reported as the
+                // respawn fault).
+                retain: self.retain_set.contains(&query.id),
             });
         }
         self.wake_shards();

@@ -20,7 +20,7 @@ use privapprox_sampling::reservoir::Reservoir;
 use privapprox_stats::estimate::ConfidenceInterval;
 use privapprox_stats::normal::normal_quantile;
 use privapprox_stats::tdist::t_critical;
-use privapprox_types::{BitVec, ExecutionParams, QueryId, Timestamp, Window};
+use privapprox_types::{BitVec, ExecutionParams, MessageId, QueryId, Timestamp, Window};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -36,10 +36,14 @@ pub struct Warehouse {
     buckets: usize,
     params: ExecutionParams,
     population: u64,
-    /// Time-ordered storage (BTreeMap keyed by timestamp, then
-    /// arrival sequence to keep duplicates at one instant).
-    store: BTreeMap<(Timestamp, u64), StoredAnswer>,
-    seq: u64,
+    /// Time-ordered storage keyed by `(timestamp, MID)`. MIDs are
+    /// unique per message and deterministic per client RNG stream, so
+    /// the iteration order — and therefore every reservoir draw in
+    /// [`Warehouse::batch_query`] — is canonical regardless of the
+    /// arrival interleaving that fed the warehouse (threaded shards
+    /// deliver answers in nondeterministic order; a sequence-number
+    /// key would leak that nondeterminism into batch results).
+    store: BTreeMap<(Timestamp, u128), StoredAnswer>,
 }
 
 impl Warehouse {
@@ -57,20 +61,21 @@ impl Warehouse {
             params,
             population,
             store: BTreeMap::new(),
-            seq: 0,
         }
     }
 
-    /// Appends one randomized answer observed at `ts`.
+    /// Appends the randomized answer of message `mid` observed at
+    /// `ts`. Re-appending the same `(ts, mid)` pair overwrites — the
+    /// joiner already rejects duplicate shares, so a repeat here is a
+    /// replay of the identical answer.
     ///
     /// # Panics
     ///
     /// Panics on a width mismatch (the streaming pipeline validates
     /// widths before storage).
-    pub fn append(&mut self, ts: Timestamp, answer: BitVec) {
+    pub fn append(&mut self, ts: Timestamp, mid: MessageId, answer: BitVec) {
         assert_eq!(answer.len(), self.buckets, "answer width mismatch");
-        self.store.insert((ts, self.seq), StoredAnswer { answer });
-        self.seq += 1;
+        self.store.insert((ts, mid.0), StoredAnswer { answer });
     }
 
     /// Number of stored answers.
@@ -93,7 +98,31 @@ impl Warehouse {
         confidence: f64,
         rng: &mut R,
     ) -> QueryResult {
+        let mut est = BucketEstimator::new(self.buckets, self.params.p.min(1.0), self.params.q);
+        self.batch_query_with(&mut est, range, batch_budget, confidence, rng)
+    }
+
+    /// [`Warehouse::batch_query`] through a caller-owned (typically
+    /// pool-recycled) estimator. The estimator is unconditionally
+    /// re-initialized before any answer is counted: a recycled
+    /// estimator arrives dirty with another query's window counts, and
+    /// any surviving count would silently bias the historical answer
+    /// (the `multi_query` suite pins this with a regression test
+    /// against the PR-2 pooled window lifecycle).
+    pub fn batch_query_with<R: Rng + ?Sized>(
+        &self,
+        est: &mut BucketEstimator,
+        range: Window,
+        batch_budget: usize,
+        confidence: f64,
+        rng: &mut R,
+    ) -> QueryResult {
         assert!(batch_budget > 0, "batch budget must be positive");
+        if est.buckets() == self.buckets {
+            est.reset(self.params.p.min(1.0), self.params.q);
+        } else {
+            *est = BucketEstimator::new(self.buckets, self.params.p.min(1.0), self.params.q);
+        }
         // Pass 1: count the in-range stored answers (the batch
         // population) while reservoir-sampling them.
         let mut reservoir: Reservoir<&StoredAnswer> = Reservoir::new(batch_budget);
@@ -104,7 +133,6 @@ impl Warehouse {
                 reservoir.offer(stored, rng);
             }
         }
-        let mut est = BucketEstimator::new(self.buckets, self.params.p.min(1.0), self.params.q);
         for stored in reservoir.sample() {
             est.push(&stored.answer);
         }
@@ -205,7 +233,7 @@ mod tests {
             } else {
                 randomizer.randomize_vec(&truth, &mut rng)
             };
-            w.append(Timestamp(i), stored);
+            w.append(Timestamp(i), MessageId(i as u128), stored);
         }
         w
     }
@@ -270,6 +298,6 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn width_mismatch_panics() {
         let mut w = fill_warehouse(1.0);
-        w.append(Timestamp(0), BitVec::zeros(5));
+        w.append(Timestamp(0), MessageId(1), BitVec::zeros(5));
     }
 }

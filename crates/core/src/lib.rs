@@ -69,7 +69,7 @@ pub mod system;
 
 pub use aggregator::{Aggregator, BucketResult, QueryResult};
 pub use client::{Client, ClientAnswer, ClientScratch};
-pub use deploy::{DeployHealth, ShardedConfig, ShardedSystem, ShardedSystemBuilder};
+pub use deploy::{DeployHealth, Retirement, ShardedConfig, ShardedSystem, ShardedSystemBuilder};
 pub use error::{CoreError, DeployError};
 pub use feedback::FeedbackController;
 pub use historical::Warehouse;

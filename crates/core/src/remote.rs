@@ -898,7 +898,7 @@ impl ShardNode {
         let t0 = Instant::now();
         let counts = &mut self.counts;
         let fuse = &mut self.fuse;
-        let n = self.agg.pump_with(|_q, ts, _answer| {
+        let n = self.agg.pump_with(|_q, ts, _mid, _answer| {
             bump(counts, ts.0, 1);
             if let Some(left) = fuse {
                 assert!(*left > 0, "injected shard fault (fuse)");

@@ -15,6 +15,7 @@ use crate::error::CoreError;
 use crate::historical::Warehouse;
 use crate::initializer::Initializer;
 use crate::proxy::{inbound_topic, Proxy};
+use privapprox_crypto::xor::wire_key;
 use privapprox_sql::{ColumnType, Schema, Value};
 use privapprox_stream::broker::{Broker, BrokerStats, Producer};
 use privapprox_types::ids::AnalystId;
@@ -272,7 +273,7 @@ impl System {
                     // forward, aggregator poll) shares it by refcount.
                     self.producer.send(
                         &inbound_topic(ProxyId(pi as u16)),
-                        Some(share.mid.to_bytes().to_vec()),
+                        Some(wire_key(query.id, share.mid).to_vec()),
                         &share.payload[..],
                         ts,
                     );
@@ -284,9 +285,9 @@ impl System {
             proxy.pump();
         }
         let warehouses = &mut self.warehouses;
-        self.aggregator.pump_with(|qid, ts, answer| {
+        self.aggregator.pump_with(|qid, ts, mid, answer| {
             if let Some(w) = warehouses.get_mut(&qid) {
-                w.append(ts, answer.clone());
+                w.append(ts, mid, answer.clone());
             }
         });
         // Close the epoch's window (appends into the pending buffer

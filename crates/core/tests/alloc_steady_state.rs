@@ -18,7 +18,7 @@ use privapprox_core::aggregator::{finalize_window_into, QueryResult, RawWindow};
 use privapprox_core::client::{Client, ClientScratch};
 use privapprox_core::proxy::{inbound_topic, Proxy};
 use privapprox_core::Aggregator;
-use privapprox_crypto::xor::{combine, decode_answer_into, encode_answer_into, Share, SlotPool};
+use privapprox_crypto::xor::{combine, decode_answer_into, encode_answer_into, wire_key, Share, SlotPool};
 use privapprox_crypto::{SplitScratch, XorSplitter};
 use privapprox_rr::estimate::BucketEstimator;
 use privapprox_rr::randomize::{RandomizeScratch, Randomizer};
@@ -91,7 +91,7 @@ fn raw_pipeline_allocates_nothing() {
             let shares = splitter.split_into(&message, mid, rng, &mut split);
             for (source, share) in shares.iter().enumerate() {
                 if let JoinOutcome::Complete(joined) =
-                    joiner.offer(share.mid, source, &share.payload, Timestamp(now))
+                    joiner.offer(0, share.mid, source, &share.payload, Timestamp(now))
                 {
                     decode_answer_into(&joined, &mut decoded).expect("decodes");
                     estimator.push(&decoded);
@@ -264,7 +264,7 @@ fn window_close_allocates_nothing() {
             for (pi, share) in shares.iter().enumerate() {
                 producer.send(
                     &inbound_topic(ProxyId(pi as u16)),
-                    Some(share.mid.to_bytes().to_vec()),
+                    Some(wire_key(query.id, share.mid).to_vec()),
                     &share.payload[..],
                     Timestamp(cycle * 1_000 + 500),
                 );
@@ -360,7 +360,7 @@ fn sharded_overlapped_window_cycle_allocates_nothing() {
                 producer.send_to(
                     &inbound_topic(ProxyId(pi as u16)),
                     partition,
-                    Some(share.mid.to_bytes().to_vec()),
+                    Some(wire_key(query.id, share.mid).to_vec()),
                     &share.payload[..],
                     epoch_ts(epoch),
                 );
@@ -399,7 +399,7 @@ fn sharded_overlapped_window_cycle_allocates_nothing() {
         let before = ALLOCATIONS.load(Ordering::Relaxed);
         for (s, shard) in shards.iter_mut().enumerate() {
             let tags = &mut counts[s];
-            shard.pump_with(|_, ts, _| match tags.iter_mut().find(|(t, _)| *t == ts) {
+            shard.pump_with(|_, ts, _, _| match tags.iter_mut().find(|(t, _)| *t == ts) {
                 Some((_, n)) => *n += 1,
                 None => tags.push((ts, 1)),
             });
@@ -449,7 +449,8 @@ fn sharded_overlapped_window_cycle_allocates_nothing() {
 }
 
 /// The batched worker send path, single-threaded: split into pooled
-/// `Arc` slots, stamp one pooled MID key per message, accumulate
+/// `Arc` slots, stamp one pooled query-tagged key per message,
+/// accumulate
 /// `BatchEntry` runs per writer, flush with `try_append_batch`, and
 /// drain on the consumer side so the bounded log trims and the slots
 /// come home. Once the slot pools, batch vectors, broker ring and
@@ -486,10 +487,10 @@ fn batched_worker_send_allocates_nothing() {
                     i: u64| {
         let mid = MessageId(rng.gen());
         let shares = splitter.split_into(&message, mid, rng, split);
-        let mut key = key_pool.acquire(16);
-        Arc::get_mut(&mut key)
-            .expect("acquired slots are uniquely owned")
-            .copy_from_slice(&mid.to_bytes());
+        let mut key = key_pool.acquire(24);
+        let slot = Arc::get_mut(&mut key).expect("acquired slots are uniquely owned");
+        slot[..8].copy_from_slice(&1u64.to_be_bytes());
+        slot[8..].copy_from_slice(&mid.to_bytes());
         for (pi, share) in shares.iter().enumerate() {
             batches[pi].push((Some(Arc::clone(&key)), Arc::clone(&share.payload), Timestamp(i)));
         }

@@ -389,6 +389,23 @@ pub fn answer_wire_size(buckets: usize) -> usize {
     11 + buckets.div_ceil(8)
 }
 
+/// Bytes in a share's broker record key: query tag (u64 BE) ‖ MID.
+pub const WIRE_KEY_LEN: usize = 24;
+
+/// Builds the broker record key carried by every share of `qid`'s
+/// message `mid`: the query tag routes the share to per-(query, shard)
+/// join state before any decode, and the MID pairs the `n` shares at
+/// the aggregator. The tag is load-bearing for multi-tenant runs:
+/// per-(client, query) RNG streams are seeded from the same material,
+/// so concurrent queries draw identical MID sequences and a MID-only
+/// key would collide across queries.
+pub fn wire_key(qid: QueryId, mid: MessageId) -> [u8; WIRE_KEY_LEN] {
+    let mut key = [0u8; WIRE_KEY_LEN];
+    key[..8].copy_from_slice(&qid.to_u64().to_be_bytes());
+    key[8..].copy_from_slice(&mid.to_bytes());
+    key
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,15 +37,22 @@ struct Pending {
     first_seen: Timestamp,
 }
 
-/// Joins XOR shares by message identifier.
+/// Joins XOR shares by `(query, message identifier)`.
+///
+/// Keying on the pair — not the MID alone — is what makes the joiner
+/// multi-tenant safe: per-(client, query) RNG streams are seeded from
+/// the same material so two concurrent queries draw *identical* MID
+/// sequences from each client, and a MID-only join would fuse shares
+/// across queries. The query tag comes from the record key's leading
+/// 8 bytes (see the aggregator's wire-key layout).
 pub struct MidJoiner {
     expected: usize,
     timeout: u64,
     // `FastState`: one lookup per received share, keyed by MIDs drawn
     // from the client RNG — no adversarial key control to defend
     // against, so SipHash is pure overhead here.
-    pending: HashMap<MessageId, Pending, FastState>,
-    quarantined: HashMap<MessageId, Timestamp, FastState>,
+    pending: HashMap<(u64, MessageId), Pending, FastState>,
+    quarantined: HashMap<(u64, MessageId), Timestamp, FastState>,
     /// Recycled accumulator buffers: evicted groups and buffers handed
     /// back via [`MidJoiner::recycle`] are reused for new groups, so
     /// the steady-state join allocates nothing per message.
@@ -77,15 +84,16 @@ impl MidJoiner {
         }
     }
 
-    /// Offers one share observed at `now` from proxy stream `source`
-    /// (`0 ≤ source < n`).
+    /// Offers one share of `query`'s message observed at `now` from
+    /// proxy stream `source` (`0 ≤ source < n`).
     ///
     /// Provenance matters: a message's shares must arrive one per
     /// proxy, so a second share from the same source under the same
-    /// MID is an adversarial replay and is rejected before it can
-    /// XOR-poison the accumulator.
+    /// (query, MID) is an adversarial replay and is rejected before it
+    /// can XOR-poison the accumulator.
     pub fn offer(
         &mut self,
+        query: u64,
         mid: MessageId,
         source: usize,
         payload: &[u8],
@@ -94,11 +102,12 @@ impl MidJoiner {
         if source >= self.expected {
             return JoinOutcome::Malformed;
         }
-        if self.quarantined.contains_key(&mid) {
+        let key = (query, mid);
+        if self.quarantined.contains_key(&key) {
             self.duplicates += 1;
             return JoinOutcome::Duplicate;
         }
-        let entry = match self.pending.entry(mid) {
+        let entry = match self.pending.entry(key) {
             Entry::Vacant(slot) => {
                 // First share of this MID: seed the accumulator from
                 // the payload directly (saves the zero-fill + XOR),
@@ -121,19 +130,19 @@ impl MidJoiner {
         }
         if entry.acc.len() != payload.len() {
             // Remove the poisoned group entirely.
-            if let Some(poisoned) = self.pending.remove(&mid) {
+            if let Some(poisoned) = self.pending.remove(&key) {
                 self.recycle(poisoned.acc);
             }
-            self.quarantined.insert(mid, now);
+            self.quarantined.insert(key, now);
             return JoinOutcome::Malformed;
         }
         words::xor_into(&mut entry.acc, payload);
         entry.seen |= 1 << source;
         if entry.seen.count_ones() as usize == self.expected {
-            let done = self.pending.remove(&mid).expect("present");
+            let done = self.pending.remove(&key).expect("present");
             self.completed += 1;
-            // Remember the MID briefly so late duplicates are caught.
-            self.quarantined.insert(mid, now);
+            // Remember the key briefly so late duplicates are caught.
+            self.quarantined.insert(key, now);
             JoinOutcome::Complete(done.acc)
         } else {
             JoinOutcome::Pending
@@ -212,11 +221,11 @@ mod tests {
         let shares = splitter.split(&msg, &mut rng);
         let mut joiner = MidJoiner::new(2, 1000);
         assert_eq!(
-            joiner.offer(shares[0].mid, 0, &shares[0].payload, ts(0)),
+            joiner.offer(0, shares[0].mid, 0, &shares[0].payload, ts(0)),
             JoinOutcome::Pending
         );
         assert_eq!(
-            joiner.offer(shares[1].mid, 1, &shares[1].payload, ts(1)),
+            joiner.offer(0, shares[1].mid, 1, &shares[1].payload, ts(1)),
             JoinOutcome::Complete(msg)
         );
         assert_eq!(joiner.completed(), 1);
@@ -230,15 +239,15 @@ mod tests {
         let shares = splitter.split(&msg, &mut rng);
         let mut joiner = MidJoiner::new(3, 1000);
         assert_eq!(
-            joiner.offer(shares[2].mid, 2, &shares[2].payload, ts(0)),
+            joiner.offer(0, shares[2].mid, 2, &shares[2].payload, ts(0)),
             JoinOutcome::Pending
         );
         assert_eq!(
-            joiner.offer(shares[0].mid, 0, &shares[0].payload, ts(0)),
+            joiner.offer(0, shares[0].mid, 0, &shares[0].payload, ts(0)),
             JoinOutcome::Pending
         );
         assert_eq!(
-            joiner.offer(shares[1].mid, 1, &shares[1].payload, ts(0)),
+            joiner.offer(0, shares[1].mid, 1, &shares[1].payload, ts(0)),
             JoinOutcome::Complete(msg)
         );
     }
@@ -252,14 +261,14 @@ mod tests {
         let s1 = splitter.split(&m1, &mut rng);
         let s2 = splitter.split(&m2, &mut rng);
         let mut joiner = MidJoiner::new(2, 1000);
-        joiner.offer(s1[0].mid, 0, &s1[0].payload, ts(0));
-        joiner.offer(s2[0].mid, 0, &s2[0].payload, ts(0));
+        joiner.offer(0, s1[0].mid, 0, &s1[0].payload, ts(0));
+        joiner.offer(0, s2[0].mid, 0, &s2[0].payload, ts(0));
         assert_eq!(
-            joiner.offer(s2[1].mid, 1, &s2[1].payload, ts(1)),
+            joiner.offer(0, s2[1].mid, 1, &s2[1].payload, ts(1)),
             JoinOutcome::Complete(m2)
         );
         assert_eq!(
-            joiner.offer(s1[1].mid, 1, &s1[1].payload, ts(1)),
+            joiner.offer(0, s1[1].mid, 1, &s1[1].payload, ts(1)),
             JoinOutcome::Complete(m1)
         );
     }
@@ -270,11 +279,11 @@ mod tests {
         let splitter = XorSplitter::new(2);
         let shares = splitter.split(b"msg", &mut rng);
         let mut joiner = MidJoiner::new(2, 1000);
-        joiner.offer(shares[0].mid, 0, &shares[0].payload, ts(0));
-        joiner.offer(shares[1].mid, 1, &shares[1].payload, ts(0));
+        joiner.offer(0, shares[0].mid, 0, &shares[0].payload, ts(0));
+        joiner.offer(0, shares[1].mid, 1, &shares[1].payload, ts(0));
         // A replayed share (adversarial client answering many times).
         assert_eq!(
-            joiner.offer(shares[0].mid, 0, &shares[0].payload, ts(1)),
+            joiner.offer(0, shares[0].mid, 0, &shares[0].payload, ts(1)),
             JoinOutcome::Duplicate
         );
         assert_eq!(joiner.duplicates(), 1);
@@ -285,13 +294,13 @@ mod tests {
         let mid = MessageId(42);
         let mut joiner = MidJoiner::new(2, 1000);
         assert_eq!(
-            joiner.offer(mid, 0, &[1, 2, 3], ts(0)),
+            joiner.offer(0, mid, 0, &[1, 2, 3], ts(0)),
             JoinOutcome::Pending
         );
-        assert_eq!(joiner.offer(mid, 1, &[1, 2], ts(0)), JoinOutcome::Malformed);
+        assert_eq!(joiner.offer(0, mid, 1, &[1, 2], ts(0)), JoinOutcome::Malformed);
         // Subsequent shares with that MID are rejected too.
         assert_eq!(
-            joiner.offer(mid, 0, &[9, 9, 9], ts(1)),
+            joiner.offer(0, mid, 0, &[9, 9, 9], ts(1)),
             JoinOutcome::Duplicate
         );
     }
@@ -299,8 +308,8 @@ mod tests {
     #[test]
     fn sweep_evicts_stale_groups() {
         let mut joiner = MidJoiner::new(2, 100);
-        joiner.offer(MessageId(1), 0, &[1], ts(0));
-        joiner.offer(MessageId(2), 0, &[2], ts(90));
+        joiner.offer(0, MessageId(1), 0, &[1], ts(0));
+        joiner.offer(0, MessageId(2), 0, &[2], ts(90));
         assert_eq!(joiner.pending_len(), 2);
         let dropped = joiner.sweep(ts(150));
         assert_eq!(dropped, 1, "only the old group expires");
@@ -308,7 +317,7 @@ mod tests {
         assert_eq!(joiner.expired(), 1);
         // The evicted message can never complete now.
         assert_eq!(
-            joiner.offer(MessageId(1), 0, &[1], ts(151)),
+            joiner.offer(0, MessageId(1), 0, &[1], ts(151)),
             JoinOutcome::Pending
         );
     }
@@ -317,12 +326,37 @@ mod tests {
     fn quarantine_expires_eventually() {
         let mut joiner = MidJoiner::new(2, 100);
         let mid = MessageId(7);
-        joiner.offer(mid, 0, &[1], ts(0));
-        joiner.offer(mid, 1, &[1], ts(0)); // completes (XOR = 0)
-        assert_eq!(joiner.offer(mid, 0, &[1], ts(1)), JoinOutcome::Duplicate);
+        joiner.offer(0, mid, 0, &[1], ts(0));
+        joiner.offer(0, mid, 1, &[1], ts(0)); // completes (XOR = 0)
+        assert_eq!(joiner.offer(0, mid, 0, &[1], ts(1)), JoinOutcome::Duplicate);
         // After 4× timeout the quarantine entry ages out.
         joiner.sweep(ts(500));
-        assert_eq!(joiner.offer(mid, 0, &[1], ts(501)), JoinOutcome::Pending);
+        assert_eq!(joiner.offer(0, mid, 0, &[1], ts(501)), JoinOutcome::Pending);
+    }
+
+    #[test]
+    fn identical_mids_under_distinct_queries_join_independently() {
+        // Concurrent queries draw identical MID sequences from each
+        // client (same-seed per-query RNG streams), so the joiner must
+        // treat (q, mid) — not mid — as the join key.
+        let mid = MessageId(0xDEAD_BEEF);
+        let mut joiner = MidJoiner::new(2, 1000);
+        assert_eq!(joiner.offer(1, mid, 0, &[0xAA], ts(0)), JoinOutcome::Pending);
+        assert_eq!(joiner.offer(2, mid, 0, &[0x55], ts(0)), JoinOutcome::Pending);
+        assert_eq!(
+            joiner.offer(1, mid, 1, &[0x0F], ts(1)),
+            JoinOutcome::Complete(vec![0xAA ^ 0x0F])
+        );
+        assert_eq!(
+            joiner.offer(2, mid, 1, &[0xF0], ts(1)),
+            JoinOutcome::Complete(vec![0x55 ^ 0xF0])
+        );
+        assert_eq!(joiner.completed(), 2);
+        assert_eq!(joiner.duplicates(), 0);
+        // Completion quarantine is also per-query: query 3 may still
+        // open a fresh group under the same MID.
+        assert_eq!(joiner.offer(3, mid, 0, &[1], ts(2)), JoinOutcome::Pending);
+        assert_eq!(joiner.offer(1, mid, 0, &[1], ts(2)), JoinOutcome::Duplicate);
     }
 
     #[test]

@@ -58,7 +58,7 @@ proptest! {
         let mut completed = false;
         for &raw in &order {
             let source = raw % n;
-            let outcome = joiner.offer(mid, source, &[payload_byte], Timestamp(0));
+            let outcome = joiner.offer(0, mid, source, &[payload_byte], Timestamp(0));
             match outcome {
                 JoinOutcome::Complete(_) => {
                     seen.insert(source);

@@ -102,6 +102,152 @@ impl Default for ExecutionParams {
     }
 }
 
+/// A per-query differential-privacy allowance (journal version §4.3):
+/// the total zero-knowledge ε a query may consume across its lifetime.
+/// Each answered epoch spends `epsilon_zk(s, p, q)`; once the
+/// remaining allowance cannot cover the next epoch the query must be
+/// retired. Stored as a plain `f64` so the leaf `types` crate needs no
+/// knowledge of the ε formulas (those live in `privapprox-rr`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    allocated: f64,
+}
+
+impl PrivacyBudget {
+    /// A finite lifetime allowance of `epsilon > 0`.
+    pub fn new(epsilon: f64) -> Result<PrivacyBudget, ParamError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(ParamError::Epsilon(epsilon));
+        }
+        Ok(PrivacyBudget { allocated: epsilon })
+    }
+
+    /// No cap: every epoch charge is admitted. Required for exact-mode
+    /// runs (`p ≥ 1` disables randomization, so per-epoch ε is
+    /// infinite) and for open-ended monitoring queries.
+    pub fn unbounded() -> PrivacyBudget {
+        PrivacyBudget {
+            allocated: f64::INFINITY,
+        }
+    }
+
+    /// The lifetime allowance (infinite for [`PrivacyBudget::unbounded`]).
+    pub fn allocated(&self) -> f64 {
+        self.allocated
+    }
+
+    /// Whether this budget admits every charge.
+    pub fn is_unbounded(&self) -> bool {
+        self.allocated.is_infinite()
+    }
+}
+
+/// Append-only spend ledger for one query's [`PrivacyBudget`].
+///
+/// The single mutating operation, [`BudgetLedger::try_charge`], either
+/// debits a whole epoch or rejects it — there is no partial spend and
+/// no refund, so `spent() <= allocated()` holds by construction over
+/// any interleaving of charges (the `multi_query` property suite
+/// replays arbitrary interleavings against this invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    allocated: f64,
+    spent: f64,
+    epochs: u64,
+}
+
+impl BudgetLedger {
+    /// A fresh ledger with nothing spent.
+    pub fn new(budget: PrivacyBudget) -> BudgetLedger {
+        BudgetLedger {
+            allocated: budget.allocated(),
+            spent: 0.0,
+            epochs: 0,
+        }
+    }
+
+    /// Debits one epoch worth of `epsilon`, or rejects the charge —
+    /// leaving the ledger untouched — when it would overdraw the
+    /// allowance. Non-finite charges (exact mode: ε = ∞) are admitted
+    /// only by an unbounded budget, and do not advance `spent`.
+    pub fn try_charge(&mut self, epsilon: f64) -> Result<(), BudgetExhausted> {
+        if epsilon.is_nan() || epsilon < 0.0 {
+            return Err(self.exhausted(epsilon));
+        }
+        if self.allocated.is_infinite() {
+            if epsilon.is_finite() {
+                self.spent += epsilon;
+            }
+            self.epochs += 1;
+            return Ok(());
+        }
+        if !epsilon.is_finite() || self.spent + epsilon > self.allocated {
+            return Err(self.exhausted(epsilon));
+        }
+        self.spent += epsilon;
+        self.epochs += 1;
+        Ok(())
+    }
+
+    fn exhausted(&self, requested: f64) -> BudgetExhausted {
+        BudgetExhausted {
+            requested,
+            spent: self.spent,
+            allocated: self.allocated,
+            epochs: self.epochs,
+        }
+    }
+
+    /// Total ε debited so far. Never exceeds [`BudgetLedger::allocated`].
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// The lifetime allowance this ledger enforces.
+    pub fn allocated(&self) -> f64 {
+        self.allocated
+    }
+
+    /// Allowance still available (infinite for unbounded budgets).
+    pub fn remaining(&self) -> f64 {
+        if self.allocated.is_infinite() {
+            f64::INFINITY
+        } else {
+            (self.allocated - self.spent).max(0.0)
+        }
+    }
+
+    /// Number of epochs successfully charged.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+/// A rejected [`BudgetLedger::try_charge`]: the query must be retired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExhausted {
+    /// The per-epoch ε that could not be covered.
+    pub requested: f64,
+    /// Total ε spent before the rejected charge.
+    pub spent: f64,
+    /// The lifetime allowance.
+    pub allocated: f64,
+    /// Epochs successfully charged before exhaustion.
+    pub epochs: u64,
+}
+
+impl core::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "privacy budget exhausted: charge {} after spending {} of {} over {} epochs",
+            self.requested, self.spent, self.allocated, self.epochs
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
 /// Rejection reasons for out-of-range execution parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ParamError {
@@ -111,6 +257,8 @@ pub enum ParamError {
     FirstCoin(f64),
     /// `q` outside (0, 1).
     SecondCoin(f64),
+    /// Privacy budget ε not a positive finite number.
+    Epsilon(f64),
 }
 
 impl core::fmt::Display for ParamError {
@@ -119,6 +267,7 @@ impl core::fmt::Display for ParamError {
             ParamError::Sampling(s) => write!(f, "sampling parameter s={s} outside (0, 1]"),
             ParamError::FirstCoin(p) => write!(f, "randomization parameter p={p} outside (0, 1]"),
             ParamError::SecondCoin(q) => write!(f, "randomization parameter q={q} outside (0, 1)"),
+            ParamError::Epsilon(e) => write!(f, "privacy budget epsilon={e} not positive finite"),
         }
     }
 }
@@ -156,6 +305,54 @@ mod tests {
         assert!(e.to_string().contains("p=2"));
         let e = ExecutionParams::new(0.5, 0.5, 2.0).unwrap_err();
         assert!(e.to_string().contains("q=2"));
+    }
+
+    #[test]
+    fn ledger_rejects_overdraft_without_mutation() {
+        let mut l = BudgetLedger::new(PrivacyBudget::new(1.0).unwrap());
+        l.try_charge(0.4).unwrap();
+        l.try_charge(0.4).unwrap();
+        let err = l.try_charge(0.4).unwrap_err();
+        assert_eq!(err.spent, 0.8);
+        assert_eq!(err.allocated, 1.0);
+        assert_eq!(err.epochs, 2);
+        // Rejected charge leaves the ledger untouched and chargeable.
+        assert_eq!(l.spent(), 0.8);
+        assert_eq!(l.epochs(), 2);
+        l.try_charge(0.2).unwrap();
+        assert!(l.spent() <= l.allocated());
+        assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_ledger_admits_infinite_charges() {
+        let mut l = BudgetLedger::new(PrivacyBudget::unbounded());
+        l.try_charge(f64::INFINITY).unwrap();
+        l.try_charge(3.0).unwrap();
+        assert_eq!(l.epochs(), 2);
+        assert_eq!(l.spent(), 3.0);
+        assert!(l.remaining().is_infinite());
+    }
+
+    #[test]
+    fn bounded_ledger_rejects_infinite_and_invalid_charges() {
+        let mut l = BudgetLedger::new(PrivacyBudget::new(10.0).unwrap());
+        assert!(l.try_charge(f64::INFINITY).is_err());
+        assert!(l.try_charge(f64::NAN).is_err());
+        assert!(l.try_charge(-1.0).is_err());
+        assert_eq!(l.epochs(), 0);
+        assert_eq!(l.spent(), 0.0);
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(-1.0).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY).is_err());
+        assert!(PrivacyBudget::new(f64::NAN).is_err());
+        assert!(PrivacyBudget::new(2.5).is_ok());
+        assert!(PrivacyBudget::unbounded().is_unbounded());
+        assert!(!PrivacyBudget::new(2.5).unwrap().is_unbounded());
     }
 
     #[test]

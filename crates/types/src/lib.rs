@@ -18,7 +18,7 @@ pub mod wire;
 pub mod words;
 
 pub use bitvec::BitVec;
-pub use budget::{Budget, ExecutionParams};
+pub use budget::{Budget, BudgetExhausted, BudgetLedger, ExecutionParams, PrivacyBudget};
 pub use fasthash::{FastHasher, FastState};
 pub use ids::{AnalystId, ClientId, MessageId, ProxyId, QueryId};
 pub use query::{AnswerSpec, BucketIndexer, BucketRule, Query, QueryBuilder};

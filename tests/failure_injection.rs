@@ -58,7 +58,7 @@ fn rig(population: u64) -> Rig {
 fn send_share(rig: &Rig, proxy: u16, share: &privapprox::crypto::Share, ts: u64) {
     rig.broker.producer().send(
         &inbound_topic(ProxyId(proxy)),
-        Some(share.mid.to_bytes().to_vec()),
+        Some(privapprox::crypto::xor::wire_key(rig.query.id, share.mid).to_vec()),
         &share.payload[..],
         Timestamp(ts),
     );

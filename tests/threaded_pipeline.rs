@@ -91,7 +91,7 @@ fn threaded_proxies_and_aggregator_deliver_all_answers() {
         for (pi, share) in answer.shares.iter().enumerate() {
             producer.send(
                 &inbound_topic(ProxyId(pi as u16)),
-                Some(share.mid.to_bytes().to_vec()),
+                Some(privapprox::crypto::xor::wire_key(query.id, share.mid).to_vec()),
                 &share.payload[..],
                 Timestamp(500),
             );
