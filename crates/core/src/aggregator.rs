@@ -30,7 +30,7 @@ use std::sync::{Arc, Mutex};
 pub const JOIN_TIMEOUT_MS: u64 = 30_000;
 
 /// Per-bucket output of one window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BucketResult {
     /// Raw randomized "Yes" count `R_y` observed in the window.
     pub raw_yes: u64,
@@ -48,7 +48,7 @@ pub struct BucketResult {
 }
 
 /// One window's query result delivered to the analyst.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
     /// Which query.
     pub query: QueryId,

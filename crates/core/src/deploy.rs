@@ -159,8 +159,12 @@ use crate::error::{CoreError, DeployError};
 use crate::feedback::FeedbackController;
 use crate::historical::Warehouse;
 use crate::initializer::Initializer;
+use crate::persist::{
+    self, persist_err, CloseRecord, DurableState, OpenEpoch, RecoveredState, SnapshotContents,
+};
 use crate::proxy::{inbound_topic, outbound_topic, Proxy};
 use crate::remote::{self, NodeChild};
+use privapprox_store::wal::DEFAULT_SEGMENT_BYTES;
 use privapprox_cluster::wire::{decode_data_batch, decode_progress, DataMsg};
 use privapprox_cluster::{
     DeploymentShape, FaultPlan, Frame, FrameKind, Heartbeat, HeartbeatStatus, LinkStats,
@@ -178,7 +182,7 @@ use privapprox_types::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -493,9 +497,67 @@ pub struct ShardedSystemBuilder {
     node_binary: Option<PathBuf>,
     /// Link fault plan for process transport (ignored in-process).
     link_faults: FaultPlan,
+    /// `Some(dir)` enables the durable store (journal + snapshots).
+    durable_dir: Option<PathBuf>,
+    /// Epoch closes between snapshots (`0` = default of 8).
+    snapshot_every: u64,
+    /// Journal segment rotation threshold (`0` = store default).
+    journal_segment_bytes: u64,
+    /// Crash-injection hook: `abort()` right after the n-th submitted
+    /// epoch's journal records are fsynced, before any worker send.
+    crash_after_journal: Option<u64>,
 }
 
 impl ShardedSystemBuilder {
+    /// Enables **durable crash recovery** backed by `dir`: budget
+    /// charges are journaled (and fsynced) strictly before the
+    /// debit-gated sends of every epoch, committed offsets and window
+    /// high-water marks are checkpointed at each epoch close, and the
+    /// full supervisor state (ledgers, schedule, muted-replay history,
+    /// retained warehouses, undrained results) is snapshotted every
+    /// [`snapshot_every`](ShardedSystemBuilder::snapshot_every) closes
+    /// with the journal pruned beneath the snapshot floor.
+    ///
+    /// If `dir` already holds a store, the build loads it and the
+    /// system starts **pending recovery**: re-issue the original loads
+    /// (closures cannot be journaled), then call
+    /// [`ShardedSystem::resume`]. Works under both the in-process and
+    /// the process transport — journaling is entirely supervisor-side.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets how many epoch closes elapse between snapshots (default
+    /// 8). `1` snapshots at every close — the exactness setting for
+    /// retained-warehouse recovery; larger intervals trade a longer
+    /// journal replay for less checkpoint I/O. Disk usage stays
+    /// O(snapshot interval) either way: each snapshot prunes journal
+    /// segments below its floor.
+    pub fn snapshot_every(mut self, closes: u64) -> Self {
+        self.snapshot_every = closes.max(1);
+        self
+    }
+
+    /// Overrides the journal's segment rotation threshold in bytes
+    /// (default 1 MiB). Small segments make the disk bound tight —
+    /// pruning deletes whole segments — at the cost of more files.
+    pub fn journal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.journal_segment_bytes = bytes.max(1 << 12);
+        self
+    }
+
+    /// Crash-injection hook for the kill-9 recovery harness: the
+    /// process calls [`std::process::abort`] immediately after the
+    /// `epoch`-th (0-based, counted across the deployment's lifetime)
+    /// submitted epoch's journal records hit disk — after the fsync
+    /// barrier, **before** any worker send. This is the exact point
+    /// the durability contract pivots on: the charge is spent on disk
+    /// but no answer escaped.
+    pub fn crash_after_journal(mut self, epoch: u64) -> Self {
+        self.crash_after_journal = Some(epoch);
+        self
+    }
     /// Hosts proxies and shards as `privapprox-node` child processes
     /// (spawned from `node`) connected over loopback TCP instead of
     /// in-process threads. Everything else — epoch pipeline,
@@ -689,6 +751,18 @@ impl ShardedSystemBuilder {
     /// panicking.
     pub fn try_build(self) -> Result<ShardedSystem, DeployError> {
         let c = self.config;
+        let durable_dir = self.durable_dir;
+        let snapshot_every = if self.snapshot_every == 0 {
+            8
+        } else {
+            self.snapshot_every
+        };
+        let journal_segment_bytes = if self.journal_segment_bytes == 0 {
+            DEFAULT_SEGMENT_BYTES
+        } else {
+            self.journal_segment_bytes
+        };
+        let crash_after_journal = self.crash_after_journal;
         let transport = match self.node_binary {
             Some(node) => TransportMode::Process {
                 node,
@@ -958,7 +1032,7 @@ impl ShardedSystemBuilder {
             }
         };
 
-        Ok(ShardedSystem {
+        let mut system = ShardedSystem {
             config: c,
             transport,
             link_stats,
@@ -994,7 +1068,26 @@ impl ShardedSystemBuilder {
             last_error: HashMap::new(),
             retain_set: Vec::new(),
             batch_scratch: None,
-        })
+            durable: None,
+            recovered: None,
+            high_water: HashMap::new(),
+            recovered_offsets: Vec::new(),
+            recovered_warehouses: HashMap::new(),
+            epochs_closed_total: 0,
+            epochs_submitted_total: 0,
+            crash_after_journal,
+        };
+        if let Some(dir) = durable_dir {
+            let (durable, recovered) =
+                DurableState::open(&dir, journal_segment_bytes, snapshot_every).map_err(|e| {
+                    DeployError::Persist {
+                        detail: e.to_string(),
+                    }
+                })?;
+            system.durable = Some(durable);
+            system.recovered = recovered.map(Box::new);
+        }
+        Ok(system)
     }
 }
 
@@ -2264,6 +2357,11 @@ struct InFlightEpoch {
     /// query — so completion knows how many `Answered` replies each
     /// worker owes.
     cmds: usize,
+    /// Journal index of this epoch's first record (charge or
+    /// submitted). A snapshot taken while the epoch is open must not
+    /// prune below this: recovery rebuilds open epochs from exactly
+    /// these records. `0` when the deployment is not durable.
+    journal_mark: u64,
 }
 
 /// A threaded, sharded in-process PrivApprox deployment with
@@ -2355,6 +2453,30 @@ pub struct ShardedSystem {
     /// Recycled estimator for the batch-query path (the pooled
     /// estimator lifecycle the historical regression suite pins).
     batch_scratch: Option<BucketEstimator>,
+    /// The durable store (journal + snapshots), when enabled.
+    durable: Option<DurableState>,
+    /// State reconstructed from the store at build time, consumed by
+    /// [`ShardedSystem::resume`].
+    recovered: Option<Box<RecoveredState>>,
+    /// Per-(query, shard) window high-water marks: the largest window
+    /// end each shard has contributed for each query, checkpointed in
+    /// every close record.
+    high_water: HashMap<(QueryId, usize), u64>,
+    /// Committed `"aggregator"`-group offsets checkpointed by the
+    /// crashed incarnation's last close. A restart rebuilds the broker
+    /// log, so these are the *pre-crash* floors for audit/rebasing,
+    /// not live positions; see [`ShardedSystem::recovered_offsets`].
+    recovered_offsets: Vec<(String, usize, u64)>,
+    /// Retained-warehouse contents recovered from the last snapshot,
+    /// merged into [`ShardedSystem::batch_query`] answers (the shards'
+    /// in-memory stores die with the crash).
+    recovered_warehouses: HashMap<QueryId, Vec<(u64, u128, BitVec)>>,
+    /// Lifetime epoch closes (snapshot meta; survives restarts).
+    epochs_closed_total: u64,
+    /// Lifetime submitted epochs (drives the crash-injection hook).
+    epochs_submitted_total: u64,
+    /// Test hook: abort after this submitted epoch's journal fsync.
+    crash_after_journal: Option<u64>,
 }
 
 /// The typed terminal result of a query retired mid-stream by budget
@@ -2418,6 +2540,17 @@ pub struct DeployHealth {
     /// Poisoned records evicted from the bounded dead-letter topic to
     /// admit newer ones (drop-oldest overflow).
     pub dead_letter_dropped: u64,
+    /// Successful crash recoveries of the durable store directory
+    /// (persisted in snapshot meta, so it survives further restarts).
+    /// Zero when the deployment is not durable.
+    pub recoveries: u64,
+    /// On-disk bytes of the recovery journal: live WAL segments plus
+    /// the unsynced append buffer. Bounded to O(snapshot interval) by
+    /// segment pruning at each snapshot.
+    pub journal_bytes: u64,
+    /// Snapshot files currently retained on disk (the newest plus one
+    /// predecessor kept as a fallback).
+    pub snapshot_count: u64,
 }
 
 impl ShardedSystem {
@@ -2556,6 +2689,19 @@ impl ShardedSystem {
         // Record before sending: a respawn triggered below registers
         // from this map, covering the in-flight registration.
         self.queries.insert(query.id, (query.clone(), params));
+        // Journal before the shard sends: a crash mid-registration
+        // recovers the query (re-registration appends a fresh record;
+        // the latest wins at replay).
+        if self.durable.is_some() {
+            let rec = persist::rec_registered(
+                &query,
+                params,
+                self.retain_set.contains(&query.id),
+                self.next_serial as u64,
+            );
+            self.journal(persist::K_REGISTERED, rec)?;
+            self.journal_sync()?;
+        }
         for shard in &self.shards {
             if shard.dead {
                 continue;
@@ -2612,6 +2758,17 @@ impl ShardedSystem {
         let ts = Timestamp(epoch_start + window_size / 2);
         let watermark = Timestamp(epoch_start + window_size);
         self.now_ms = watermark.0;
+        // Durable barrier: the epoch's `Submitted` record is fsynced
+        // before the first worker send, so a crash can never lose an
+        // epoch whose shares escaped.
+        let journal_mark = self.durable.as_ref().map_or(0, |d| d.wal.next_index());
+        if self.durable.is_some() {
+            let rec =
+                persist::rec_submitted(ts, watermark, std::slice::from_ref(&(query.clone(), params)));
+            self.journal(persist::K_SUBMITTED, rec)?;
+            self.journal_sync()?;
+        }
+        self.crash_hook();
         for wi in 0..self.workers.len() {
             if self.workers[wi].dead {
                 continue;
@@ -2657,6 +2814,7 @@ impl ShardedSystem {
             epoch: ts,
             watermark,
             cmds: 1,
+            journal_mark,
         });
         result
     }
@@ -2730,6 +2888,10 @@ impl ShardedSystem {
             }
         }
         self.admitted.push(query);
+        if self.durable.is_some() {
+            self.journal(persist::K_ADMITTED, persist::rec_query_only(query))?;
+            self.journal_sync()?;
+        }
         Ok(())
     }
 
@@ -2743,6 +2905,17 @@ impl ShardedSystem {
     /// ledger keeps its spend and the query may be re-admitted.
     pub fn withdraw(&mut self, query: QueryId) {
         self.admitted.retain(|q| *q != query);
+        // Buffered append only: the withdrawal becomes durable with
+        // the next epoch's sync. Losing it re-admits the query on
+        // recovery — a scheduling hiccup, never a privacy leak (every
+        // epoch still charges before sending).
+        if self.durable.is_some() {
+            if let Err(CoreError::Deploy(fault)) =
+                self.journal(persist::K_WITHDRAWN, persist::rec_query_only(query))
+            {
+                self.faults.push(fault);
+            }
+        }
     }
 
     /// Assigns a lifetime privacy budget to a query, replacing its
@@ -2756,7 +2929,13 @@ impl ShardedSystem {
         if !self.queries.contains_key(&query) {
             return Err(CoreError::UnknownQuery);
         }
-        self.ledgers.insert(query, BudgetLedger::new(budget));
+        let ledger = BudgetLedger::new(budget);
+        let allocated = ledger.allocated();
+        self.ledgers.insert(query, ledger);
+        if self.durable.is_some() {
+            self.journal(persist::K_BUDGET, persist::rec_budget(query, allocated))?;
+            self.journal_sync()?;
+        }
         Ok(())
     }
 
@@ -2840,6 +3019,13 @@ impl ShardedSystem {
         // to the epoch it was retired in.
         let schedule = std::mem::take(&mut self.admitted);
         let mut batch: Vec<(Query, ExecutionParams)> = Vec::with_capacity(schedule.len());
+        // Journal material gathered during the pass: each successful
+        // debit's *absolute* post-charge state (idempotent at replay)
+        // and each retirement. The charge records themselves are
+        // appended below, once the epoch timestamp is known.
+        let mut charged: Vec<(QueryId, f64, f64, u64)> = Vec::new();
+        let mut retire_recs: Vec<Vec<u8>> = Vec::new();
+        let durable_on = self.durable.is_some();
         for qid in schedule {
             let (query, params) = self
                 .queries
@@ -2853,21 +3039,34 @@ impl ShardedSystem {
                 .or_insert_with(|| BudgetLedger::new(PrivacyBudget::unbounded()));
             match ledger.try_charge(eps) {
                 Ok(()) => {
+                    if durable_on {
+                        charged.push((qid, eps, ledger.spent(), ledger.epochs()));
+                    }
                     self.admitted.push(qid);
                     batch.push((query, params));
                 }
                 Err(exhausted) => {
-                    self.terminal.push(qid);
-                    self.retired.push(Retirement {
+                    let retirement = Retirement {
                         query: qid,
                         spent: exhausted.spent,
                         allocated: exhausted.allocated,
                         epochs: exhausted.epochs,
-                    });
+                    };
+                    if durable_on {
+                        retire_recs.push(persist::rec_retired(&retirement));
+                    }
+                    self.terminal.push(qid);
+                    self.retired.push(retirement);
                 }
             }
         }
+        for rec in retire_recs {
+            self.journal(persist::K_RETIRED, rec)?;
+        }
         if batch.is_empty() {
+            // No epoch sync will follow: make any retirements durable
+            // now.
+            self.journal_sync()?;
             return Ok(());
         }
         let depth = self.config.pipeline_depth.max(1);
@@ -2885,6 +3084,23 @@ impl ShardedSystem {
         let ts = Timestamp(epoch_start + window_size / 2);
         let watermark = Timestamp(epoch_start + window_size);
         self.now_ms = watermark.0;
+        // Durable barrier: every ledger debit plus the epoch's
+        // `Submitted` record land under ONE fsync, strictly before the
+        // first worker send. A crash after the sync re-runs the epoch
+        // without re-charging; a crash before it leaves (at worst)
+        // orphan charges that reconstruction drops — the recovered
+        // spend can only under-report, never over-spend ε.
+        let journal_mark = self.durable.as_ref().map_or(0, |d| d.wal.next_index());
+        if durable_on {
+            for (qid, eps, spent_after, epochs_after) in &charged {
+                let rec = persist::rec_charge(*qid, ts, *eps, *spent_after, *epochs_after);
+                self.journal(persist::K_CHARGE, rec)?;
+            }
+            let rec = persist::rec_submitted(ts, watermark, &batch);
+            self.journal(persist::K_SUBMITTED, rec)?;
+            self.journal_sync()?;
+        }
+        self.crash_hook();
         for wi in 0..self.workers.len() {
             if self.workers[wi].dead {
                 continue;
@@ -2928,6 +3144,7 @@ impl ShardedSystem {
             epoch: ts,
             watermark,
             cmds: batch.len(),
+            journal_mark,
         });
         result
     }
@@ -3025,6 +3242,17 @@ impl ShardedSystem {
                     let fault = self.shard_down(s, err);
                     first_error = first_error.or(Some(fault.into()));
                     let _ = self.respawn_shard(s);
+                }
+            }
+        }
+        // Answers retained before a crash live in the recovered
+        // snapshot, not in the restarted shards' stores; the
+        // warehouse's `(timestamp, MID)` keying dedups any overlap
+        // with post-restart retention.
+        if let Some(prev) = self.recovered_warehouses.get(&query) {
+            for (ts, mid, answer) in prev {
+                if range.contains(Timestamp(*ts)) {
+                    warehouse.append(Timestamp(*ts), MessageId(*mid), answer.clone());
                 }
             }
         }
@@ -3233,7 +3461,15 @@ impl ShardedSystem {
         }
         self.ledger.retire(ep.epoch);
         merged.sort_unstable_by_key(|(q, w, _, _)| (w.start, q.to_u64()));
+        let pending_base = self.pending.len();
         for (qid, window, mut est, src) in merged {
+            if self.durable.is_some() {
+                // Per-(query, shard) window high-water mark: the
+                // largest window end this shard has contributed,
+                // checkpointed in the close record below.
+                let hw = self.high_water.entry((qid, src)).or_insert(0);
+                *hw = (*hw).max(window.end.0);
+            }
             let (_, qparams) = self.queries.get(&qid).expect("registered query");
             let mut shell = self.spare_shells.pop().unwrap_or_else(QueryResult::shell);
             finalize_window_into(
@@ -3251,6 +3487,46 @@ impl ShardedSystem {
             self.last_error.insert(qid, shell.worst_relative_bound());
             self.pending.push(shell);
             self.pending_recycle[src].push(est);
+        }
+        // Checkpoint the close: finalized results, the shard group's
+        // committed offsets and the window high-water marks, fsynced
+        // before the results can be drained. The lenient (drop) path
+        // never journals — an epoch abandoned at drop stays open in
+        // the journal and is re-run on recovery (at-least-once).
+        if !lenient && self.durable.is_some() {
+            let offsets = self.broker.committed_offsets("aggregator");
+            let mut marks: Vec<(QueryId, usize, u64)> = self
+                .high_water
+                .iter()
+                .map(|(&(q, s), &hw)| (q, s, hw))
+                .collect();
+            marks.sort_unstable_by_key(|&(q, s, _)| (q.to_u64(), s));
+            let rec = persist::rec_closed(&CloseRecord {
+                epoch: ep.epoch,
+                watermark: ep.watermark,
+                partial: total_decoded < expect,
+                lost: expect.saturating_sub(total_decoded),
+                results: &self.pending[pending_base..],
+                offsets: &offsets,
+                marks: &marks,
+            });
+            let journaled = self
+                .journal(persist::K_CLOSED, rec)
+                .and_then(|()| self.journal_sync());
+            if let Err(e) = journaled {
+                first_error = first_error.or(Some(e));
+            }
+            self.epochs_closed_total += 1;
+            let due = {
+                let d = self.durable.as_mut().expect("durable checked above");
+                d.closes_since_snapshot += 1;
+                d.closes_since_snapshot >= d.snapshot_every
+            };
+            if due {
+                if let Err(e) = self.write_snapshot_now() {
+                    first_error = first_error.or(Some(e));
+                }
+            }
         }
         match first_error {
             Some(e) => Err(e),
@@ -3374,6 +3650,9 @@ impl ShardedSystem {
                 .map(|l| l.resends.load(Ordering::Relaxed))
                 .sum(),
             dead_letter_dropped: self.broker.topic_dropped(DEAD_LETTER_TOPIC),
+            recoveries: self.durable.as_ref().map_or(0, |d| d.recoveries),
+            journal_bytes: self.durable.as_ref().map_or(0, |d| d.journal_bytes()),
+            snapshot_count: self.durable.as_ref().map_or(0, |d| d.snapshot_count()),
             ..DeployHealth::default()
         };
         for fault in &self.faults {
@@ -3433,6 +3712,383 @@ impl ShardedSystem {
     pub fn inject_shard_panic(&mut self, s: usize) {
         let _ = self.shards[s].cmd.send(ShardCmd::Die);
         self.wake_shards();
+    }
+
+    // -- durability --------------------------------------------------------
+
+    /// Buffers one journal record when the deployment is durable
+    /// (no-op otherwise, and while a recovery replay is muted).
+    fn journal(&mut self, kind: u8, payload: Vec<u8>) -> Result<(), CoreError> {
+        match self.durable.as_mut() {
+            Some(d) => d.append(kind, &payload).map_err(persist_err),
+            None => Ok(()),
+        }
+    }
+
+    /// Fsyncs every buffered journal record — the durability barrier
+    /// the submit paths cross before their first worker send.
+    fn journal_sync(&mut self) -> Result<(), CoreError> {
+        match self.durable.as_mut() {
+            Some(d) => d.sync().map_err(persist_err),
+            None => Ok(()),
+        }
+    }
+
+    /// Counts a submitted epoch and fires the
+    /// [`crash_after_journal`](ShardedSystemBuilder::crash_after_journal)
+    /// hook: `abort()` exactly *after* the chosen epoch's journal
+    /// fsync and *before* any of its worker sends — the widest gap
+    /// the recovery contract must close.
+    fn crash_hook(&mut self) {
+        let n = self.epochs_submitted_total;
+        self.epochs_submitted_total += 1;
+        if self.crash_after_journal == Some(n) {
+            std::process::abort();
+        }
+    }
+
+    /// True when the store directory held a previous incarnation's
+    /// state at build time; call [`ShardedSystem::resume`] (after
+    /// re-issuing loads) to adopt it.
+    pub fn needs_recovery(&self) -> bool {
+        self.recovered.is_some()
+    }
+
+    /// The `"aggregator"` consumer group's committed offsets as
+    /// checkpointed by the crashed incarnation's last close:
+    /// `(topic, partition, next offset)`. A restart rebuilds the
+    /// broker log from its origin, so these are reported as the
+    /// pre-crash floors (everything below them was consumed by
+    /// closed, journaled epochs) rather than force-restored — the
+    /// rebuilt log's origin *is* the rebased floor, and re-run open
+    /// epochs must be consumable above it.
+    pub fn recovered_offsets(&self) -> &[(String, usize, u64)] {
+        &self.recovered_offsets
+    }
+
+    /// Adopts the state recovered from the durable store: queries are
+    /// re-registered on every shard, budget ledgers restored to their
+    /// journaled spend, the schedule and retirement set rebuilt, the
+    /// muted command history replayed into every worker (advancing
+    /// client RNG streams to exactly where the crashed deployment's
+    /// were — the same mechanism as a worker respawn), pending results
+    /// and retained warehouses restored, and every submitted-but-
+    /// unclosed epoch re-run live **without re-charging** (its debits
+    /// are already in the restored ledgers). Returns the recovered
+    /// queries, oldest first.
+    ///
+    /// Call order matters: loads hold closures the store cannot
+    /// serialize, so the caller re-issues
+    /// [`load_numeric_column`](ShardedSystem::load_numeric_column) /
+    /// [`load_rows`](ShardedSystem::load_rows) *before* `resume` —
+    /// the replayed answers need the tables in place. With nothing to
+    /// recover this is a no-op returning an empty list.
+    pub fn resume(&mut self) -> Result<Vec<Query>, CoreError> {
+        let Some(rec) = self.recovered.take() else {
+            return Ok(Vec::new());
+        };
+        let rec = *rec;
+        // Everything restored below *came from* the journal:
+        // re-journaling it would duplicate records, so appends are
+        // muted until the live re-submissions at the end.
+        if let Some(d) = self.durable.as_mut() {
+            d.muted = true;
+        }
+        self.now_ms = self.now_ms.max(rec.now_ms);
+        self.next_serial = self.next_serial.max(rec.next_serial as u32);
+        self.partial_closes = rec.partial_closes;
+        self.lost_answers = rec.lost_answers;
+        self.epochs_closed_total = rec.epochs_closed;
+        self.terminal = rec.terminal;
+        self.recovered_offsets = rec.offsets;
+        for (qid, shard, hw) in rec.marks {
+            self.high_water.insert((qid, shard), hw);
+        }
+        for (qid, entries) in rec.warehouses {
+            self.recovered_warehouses.insert(qid, entries);
+        }
+        self.pending.extend(rec.pending);
+        // Retention flags first: `register` reads them to re-enable
+        // shard-side retention for recovered queries.
+        for rq in &rec.queries {
+            if rq.retain && !self.retain_set.contains(&rq.query.id) {
+                self.retain_set.push(rq.query.id);
+            }
+        }
+        let mut result = Ok(());
+        let mut queries = Vec::with_capacity(rec.queries.len());
+        for rq in rec.queries {
+            let r = self.register(rq.query.clone(), rq.params);
+            if result.is_ok() {
+                result = r;
+            }
+            if let Some(ledger) = rq.ledger {
+                self.ledgers.insert(rq.query.id, ledger);
+            }
+            queries.push(rq.query);
+        }
+        for qid in rec.admitted {
+            if self.queries.contains_key(&qid)
+                && !self.terminal.contains(&qid)
+                && !self.admitted.contains(&qid)
+            {
+                self.admitted.push(qid);
+            }
+        }
+        // Muted replay of the closed-epoch history: every live worker
+        // advances its clients' RNG streams without sending a share
+        // (muted answers reply nothing, so there is nothing to wait
+        // for — FIFO channels order any live command after these).
+        for (qid, params, ts) in rec.history {
+            let Some((query, _)) = self.queries.get(&qid).cloned() else {
+                continue;
+            };
+            for w in &self.workers {
+                if w.dead {
+                    continue;
+                }
+                let _ = w.cmd.send(WorkerCmd::Answer {
+                    query: query.clone(),
+                    params,
+                    ts,
+                    live: false,
+                });
+            }
+            self.history.push(ReplayCmd::Answer { query, params, ts });
+        }
+        if let Some(d) = self.durable.as_mut() {
+            d.muted = false;
+            d.recoveries += 1;
+        }
+        // Checkpoint the adopted state before re-running the open
+        // epochs: their fresh `Submitted` records land *after* this
+        // snapshot's floor, so a second crash — even mid-recovery —
+        // reconstructs from here plus the journal suffix.
+        let snap = self.write_snapshot_now();
+        if result.is_ok() {
+            result = snap;
+        }
+        for ep in rec.open_epochs {
+            let r = self.resubmit_open_epoch(ep);
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result.map(|()| queries)
+    }
+
+    /// Re-runs one submitted-but-unclosed epoch recovered from the
+    /// journal: a fresh `Submitted` record is journaled and fsynced
+    /// (NO charge records — the epoch's debits are already in the
+    /// restored ledgers), then the batch is sent live under its
+    /// original epoch timestamp. The replayed history left every
+    /// client's RNG stream exactly where the crashed run's was when
+    /// this epoch first went out, so the re-run produces the same
+    /// shares the crash may or may not have let escape.
+    fn resubmit_open_epoch(&mut self, ep: OpenEpoch) -> Result<(), CoreError> {
+        let mut batch: Vec<(Query, ExecutionParams)> = Vec::with_capacity(ep.entries.len());
+        for (qid, params) in &ep.entries {
+            let Some((query, _)) = self.queries.get(qid) else {
+                continue;
+            };
+            batch.push((query.clone(), *params));
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let ts = ep.ts;
+        let watermark = ep.watermark;
+        self.now_ms = self.now_ms.max(watermark.0);
+        let journal_mark = self.durable.as_ref().map_or(0, |d| d.wal.next_index());
+        if self.durable.is_some() {
+            let rec = persist::rec_submitted(ts, watermark, &batch);
+            self.journal(persist::K_SUBMITTED, rec)?;
+            self.journal_sync()?;
+        }
+        self.crash_hook();
+        let mut result = Ok(());
+        for wi in 0..self.workers.len() {
+            if self.workers[wi].dead {
+                continue;
+            }
+            let mut sent = 0;
+            while sent < batch.len() {
+                let (query, params) = &batch[sent];
+                let cmd = WorkerCmd::Answer {
+                    query: query.clone(),
+                    params: *params,
+                    ts,
+                    live: true,
+                };
+                if self.workers[wi].cmd.send(cmd).is_ok() {
+                    sent += 1;
+                    continue;
+                }
+                let fault = self.worker_down(wi, RecvTimeoutError::Disconnected);
+                if result.is_ok() {
+                    result = Err(fault.into());
+                }
+                if self.respawn_worker(wi).is_err() {
+                    break;
+                }
+                sent = 0;
+                result = Ok(());
+            }
+        }
+        for (query, params) in &batch {
+            self.history.push(ReplayCmd::Answer {
+                query: query.clone(),
+                params: *params,
+                ts,
+            });
+        }
+        self.in_flight.push_back(InFlightEpoch {
+            epoch: ts,
+            watermark,
+            cmds: batch.len(),
+            journal_mark,
+        });
+        result
+    }
+
+    /// Captures every retained query's warehouse for the snapshot:
+    /// the shards' in-memory stores (in-process transport) merged
+    /// with anything recovered from the previous snapshot, deduped by
+    /// `(timestamp, MID)` in canonical order.
+    fn capture_warehouses(&mut self) -> Vec<(QueryId, Vec<(u64, u128, BitVec)>)> {
+        let retained = self.retain_set.clone();
+        let mut out = Vec::with_capacity(retained.len());
+        for qid in retained {
+            let mut merged: BTreeMap<(u64, u128), BitVec> = BTreeMap::new();
+            if let Some(prev) = self.recovered_warehouses.get(&qid) {
+                for (ts, mid, answer) in prev {
+                    merged.insert((*ts, *mid), answer.clone());
+                }
+            }
+            if matches!(self.transport, TransportMode::InProcess) {
+                for shard in &self.shards {
+                    if shard.dead {
+                        continue;
+                    }
+                    let _ = shard.cmd.send(ShardCmd::Fetch {
+                        query: qid,
+                        range: Window {
+                            start: Timestamp(0),
+                            end: Timestamp(u64::MAX),
+                        },
+                    });
+                }
+                self.wake_shards();
+                let wait = self.control_wait();
+                for s in 0..self.shards.len() {
+                    if self.shards[s].dead {
+                        continue;
+                    }
+                    match self.shards[s].reply.recv_timeout(wait) {
+                        Ok(ShardReply::Stored { answers }) => {
+                            for (ts, mid, answer) in answers {
+                                merged.insert((ts, mid), answer);
+                            }
+                        }
+                        Ok(_) => unreachable!("fetch expects Stored"),
+                        Err(err) => {
+                            let _ = self.shard_down(s, err);
+                            let _ = self.respawn_shard(s);
+                        }
+                    }
+                }
+            }
+            out.push((
+                qid,
+                merged
+                    .into_iter()
+                    .map(|((ts, mid), answer)| (ts, mid, answer))
+                    .collect(),
+            ));
+        }
+        out
+    }
+
+    /// Writes a full snapshot now and prunes the journal beneath it,
+    /// bounding disk to O(snapshot interval). The prune floor is
+    /// capped at the lowest open epoch's journal mark: open epochs
+    /// are rebuilt from their journal records, never from snapshots.
+    fn write_snapshot_now(&mut self) -> Result<(), CoreError> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        let warehouses = self.capture_warehouses();
+        let offsets = self.broker.committed_offsets("aggregator");
+        let mut marks: Vec<(QueryId, usize, u64)> = self
+            .high_water
+            .iter()
+            .map(|(&(q, s), &hw)| (q, s, hw))
+            .collect();
+        marks.sort_unstable_by_key(|&(q, s, _)| (q.to_u64(), s));
+        let history: Vec<(QueryId, ExecutionParams, Timestamp)> = self
+            .history
+            .iter()
+            .filter_map(|cmd| match cmd {
+                ReplayCmd::Answer { query, params, ts } => Some((query.id, *params, *ts)),
+                ReplayCmd::Load(_) => None,
+            })
+            .collect();
+        let mut queries: Vec<(&Query, ExecutionParams, bool, Option<&BudgetLedger>)> = self
+            .queries
+            .values()
+            .map(|(q, p)| {
+                (
+                    q,
+                    *p,
+                    self.retain_set.contains(&q.id),
+                    self.ledgers.get(&q.id),
+                )
+            })
+            .collect();
+        queries.sort_unstable_by_key(|(q, _, _, _)| q.id.to_u64());
+        let mut durable = self.durable.take().expect("durable checked above");
+        let contents = SnapshotContents {
+            now_ms: self.now_ms,
+            next_serial: self.next_serial as u64,
+            recoveries: durable.recoveries,
+            partial_closes: self.partial_closes,
+            lost_answers: self.lost_answers,
+            epochs_closed: self.epochs_closed_total,
+            queries,
+            admitted: &self.admitted,
+            terminal: &self.terminal,
+            history: &history,
+            pending: &self.pending,
+            offsets: &offsets,
+            marks: &marks,
+            warehouses: &warehouses,
+        };
+        let floor_cap = self
+            .in_flight
+            .iter()
+            .map(|e| e.journal_mark)
+            .min()
+            .unwrap_or(u64::MAX);
+        let outcome = durable
+            .snapshot(&contents, floor_cap)
+            .map(|_| ())
+            .map_err(persist_err);
+        self.durable = Some(durable);
+        outcome
+    }
+
+    /// Simulates a hard crash (the in-process analogue of `kill -9`):
+    /// the journal's unsynced append buffer is discarded — nothing
+    /// else touches disk — and the deployment is torn down without
+    /// journaling its shutdown. A store directory left by `crash()`
+    /// recovers exactly like one left by a real SIGKILL: from the
+    /// last fsync barrier.
+    pub fn crash(mut self) {
+        if let Some(d) = self.durable.take() {
+            d.wal.simulate_crash();
+        }
+        self.recovered = None;
+        // Implicit Drop: lenient pipeline teardown, journaling off.
     }
 
     // -- supervision internals ---------------------------------------------
@@ -3817,6 +4473,15 @@ impl ShardedSystem {
     /// The bench harness folds these into the machine-rate bottleneck
     /// so a child process counts as a pipeline stage exactly like a
     /// parent thread does under the dedicated-core convention.
+    /// `(label, OS pid)` of every `privapprox-node` child ever
+    /// spawned (`proxy-<i>` / `shard-<s>`, including respawn
+    /// replacements, oldest first). Empty in in-process mode. The
+    /// kill-9 recovery harness uses this to SIGKILL specific children
+    /// mid-epoch.
+    pub fn children(&self) -> &[(String, u32)] {
+        &self.children
+    }
+
     pub fn child_cpu(&self) -> Vec<(String, Duration)> {
         self.children
             .iter()

@@ -77,6 +77,15 @@ pub enum DeployError {
         /// Thread index within its role.
         index: usize,
     },
+    /// The durable store failed: a journal/snapshot I/O error, or
+    /// corruption detected by the store's CRC framing. Carried as a
+    /// rendered [`StoreError`](privapprox_store::StoreError) — the
+    /// typed detail (corruption kind, offset, path) is preserved in
+    /// the text.
+    Persist {
+        /// The rendered store error.
+        detail: String,
+    },
 }
 
 impl From<SqlError> for CoreError {
@@ -147,6 +156,7 @@ impl core::fmt::Display for DeployError {
             DeployError::RespawnFailed { role, index } => {
                 write!(f, "could not respawn dead {role} thread {index}")
             }
+            DeployError::Persist { detail } => write!(f, "durable store fault: {detail}"),
         }
     }
 }

@@ -62,6 +62,7 @@ pub mod error;
 pub mod feedback;
 pub mod historical;
 pub mod initializer;
+pub mod persist;
 pub mod proxy;
 pub mod remote;
 pub mod splitx;

@@ -118,16 +118,16 @@ fn need_array<'a>(v: &'a Value, key: &'static str) -> io::Result<&'a [Value]> {
     need(v, key)?.as_array().ok_or_else(|| corrupt(key))
 }
 
-fn parse(payload: &[u8]) -> io::Result<Value> {
+pub(crate) fn parse(payload: &[u8]) -> io::Result<Value> {
     let s = std::str::from_utf8(payload).map_err(|_| corrupt("utf8"))?;
     serde_json::from_str(s).map_err(|e| corrupt(&format!("json: {e:?}")))
 }
 
-fn render(v: &Value) -> Vec<u8> {
+pub(crate) fn render(v: &Value) -> Vec<u8> {
     serde_json::to_string(v).expect("ctrl json render").into_bytes()
 }
 
-fn query_to_value(q: &Query) -> Value {
+pub(crate) fn query_to_value(q: &Query) -> Value {
     let rules: Vec<Value> = q
         .answer
         .buckets()
@@ -152,7 +152,7 @@ fn query_to_value(q: &Query) -> Value {
     ])
 }
 
-fn query_from_value(v: &Value) -> io::Result<Query> {
+pub(crate) fn query_from_value(v: &Value) -> io::Result<Query> {
     let mut rules = Vec::new();
     for r in need_array(v, "answer")? {
         rules.push(match need_str(r, "t")? {

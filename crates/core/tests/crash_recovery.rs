@@ -1,0 +1,651 @@
+//! Kill-9 crash recovery: a durable `ShardedSystem` killed without
+//! warning — `abort()` between an epoch's journal fsync and its first
+//! worker send, a SIGKILLed child node, or a whole-system teardown
+//! with the unsynced journal tail discarded — must recover from its
+//! store directory to a state whose drained results are
+//! **byte-identical** to an uninterrupted run, and whose budget
+//! ledgers never exceed the uninterrupted spend.
+//!
+//! Why byte-identity is achievable at all: the journal captures the
+//! control plane (registrations, charges, submitted epochs, closes),
+//! and the data plane is a deterministic function of the seed plus
+//! that command history — recovery replays the history *muted* to
+//! advance every client's RNG stream, then re-runs the open epochs
+//! live, reproducing the exact shares the crash may have swallowed.
+//!
+//! The privacy half of the contract: charges are journaled and
+//! fsynced strictly before any send, so a recovered ledger has spent
+//! at least as much as any answer that escaped the crash — replaying
+//! can only under-spend ε, never over-spend. The matrix asserts the
+//! recovered spend never exceeds the pre-crash spend and that the
+//! finished run's spend equals the uninterrupted run's to the bit.
+//!
+//! Results are delivered at-least-once across a crash (a result
+//! drained just before the crash can be re-emitted from the journal
+//! after it); duplicates are keyed by `(query, window start)` and
+//! must themselves be byte-identical.
+//!
+//! The quick matrix (1/2/4 shards × widths {11, 10⁴}) runs in tier-1;
+//! the seeded exhaustive sweep is `#[ignore]`d and run by the CI
+//! stress job.
+
+use privapprox_core::aggregator::QueryResult;
+use privapprox_core::{ShardedSystem, ShardedSystemBuilder};
+use privapprox_rr::privacy::epsilon_zk;
+use privapprox_types::{
+    AnswerSpec, ExecutionParams, PrivacyBudget, Query, QueryId, Timestamp, Window,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+const POPULATION: u64 = 120;
+const WINDOW_MS: u64 = 1_000;
+
+fn node_binary() -> &'static str {
+    env!("CARGO_BIN_EXE_privapprox-node")
+}
+
+/// A fresh store directory under the system temp dir; any leftover
+/// from a previous run of the same test is cleared first.
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("privapprox-crashrec-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Exact (bit-level for floats) equality of two results.
+fn assert_results_identical(a: &QueryResult, b: &QueryResult, context: &str) {
+    assert_eq!(a.query, b.query, "{context}: query id");
+    assert_eq!(a.window, b.window, "{context}: window");
+    assert_eq!(a.sample_size, b.sample_size, "{context}: sample size");
+    assert_eq!(a.population, b.population, "{context}: population");
+    assert_eq!(a.buckets.len(), b.buckets.len(), "{context}: bucket count");
+    let bits = f64::to_bits;
+    for (i, (x, y)) in a.buckets.iter().zip(&b.buckets).enumerate() {
+        let c = format!("{context}: bucket {i}");
+        assert_eq!(x.raw_yes, y.raw_yes, "{c} raw_yes");
+        assert_eq!(
+            bits(x.estimate_sample),
+            bits(y.estimate_sample),
+            "{c} estimate_sample"
+        );
+        assert_eq!(bits(x.estimate), bits(y.estimate), "{c} estimate");
+        assert_eq!(bits(x.ci.estimate), bits(y.ci.estimate), "{c} ci.estimate");
+        assert_eq!(bits(x.ci.bound), bits(y.ci.bound), "{c} ci.bound");
+        assert_eq!(
+            bits(x.sampling_error),
+            bits(y.sampling_error),
+            "{c} sampling_error"
+        );
+        assert_eq!(bits(x.rr_error), bits(y.rr_error), "{c} rr_error");
+    }
+    assert_eq!(
+        bits(a.privacy.eps_zk),
+        bits(b.privacy.eps_zk),
+        "{context}: eps_zk"
+    );
+}
+
+/// One crash-matrix configuration.
+struct Rig {
+    seed: u64,
+    shards: usize,
+    buckets: usize,
+    epochs: usize,
+}
+
+fn rig_params() -> ExecutionParams {
+    ExecutionParams::checked(0.9, 0.8, 0.6)
+}
+
+fn builder(r: &Rig) -> ShardedSystemBuilder {
+    ShardedSystem::builder()
+        .clients(POPULATION)
+        .proxies(2)
+        .shards(r.shards)
+        .workers(r.shards)
+        .seed(r.seed)
+}
+
+fn load(sys: &mut ShardedSystem) {
+    sys.load_numeric_column("vehicle", "speed", |i| (i % 110) as f64)
+        .unwrap();
+}
+
+/// Registers the rig's single budgeted, scheduled query (the serial
+/// is deterministic, so every incarnation agrees on the `QueryId`).
+fn register(sys: &mut ShardedSystem, buckets: usize) -> Query {
+    let spec = AnswerSpec::ranges_with_overflow(0.0, 110.0, buckets - 1);
+    let q = sys
+        .analyst()
+        .query("SELECT speed FROM vehicle")
+        .buckets(spec)
+        .window(WINDOW_MS, WINDOW_MS)
+        .params(rig_params())
+        .submit()
+        .unwrap();
+    sys.set_budget(q.id, PrivacyBudget::new(10_000.0).unwrap())
+        .unwrap();
+    sys.admit(q.id).unwrap();
+    q
+}
+
+/// The uninterrupted run every crashed run is measured against:
+/// drained results in close order plus the final ledger spend.
+fn reference_run(r: &Rig) -> (Vec<QueryResult>, f64) {
+    let mut sys = builder(r).build();
+    load(&mut sys);
+    let q = register(&mut sys, r.buckets);
+    let mut results = Vec::new();
+    for _ in 0..r.epochs {
+        sys.run_epoch_all().unwrap();
+        results.extend(sys.drain_results());
+    }
+    let spent = sys.budget_ledger(q.id).unwrap().spent();
+    (results, spent)
+}
+
+/// Merges result streams from before and after crashes, dropping
+/// at-least-once duplicates — which must be byte-identical to the
+/// copy that was kept — and sorting into canonical order.
+fn merge_dedup(runs: Vec<Vec<QueryResult>>) -> Vec<QueryResult> {
+    let mut seen: HashMap<(QueryId, u64), usize> = HashMap::new();
+    let mut out: Vec<QueryResult> = Vec::new();
+    for run in runs {
+        for r in run {
+            let key = (r.query, r.window.start.0);
+            match seen.get(&key) {
+                Some(&i) => assert_results_identical(&out[i], &r, "at-least-once duplicate"),
+                None => {
+                    seen.insert(key, out.len());
+                    out.push(r);
+                }
+            }
+        }
+    }
+    out.sort_by_key(|r| (r.window.start.0, r.query.to_u64()));
+    out
+}
+
+fn assert_sequences_identical(got: &[QueryResult], want: &[QueryResult], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: result count");
+    for (g, w) in got.iter().zip(want) {
+        assert_results_identical(g, w, context);
+    }
+}
+
+/// The whole-system crash matrix body: run `crash_after` full epochs
+/// durably, submit one more, tear the system down kill-9 style (the
+/// unsynced journal tail is discarded), recover from the store
+/// directory, finish the run, and require byte-identity with the
+/// uninterrupted reference plus ledger spend that never exceeded the
+/// true spend.
+fn crash_recover_case(r: &Rig, crash_after: usize, tag: &str) {
+    assert!(crash_after + 1 <= r.epochs);
+    let (mut reference, ref_spent) = reference_run(r);
+    reference.sort_by_key(|x| (x.window.start.0, x.query.to_u64()));
+    let dir = store_dir(tag);
+
+    // Phase 1: crash with one epoch submitted (journal fsynced) but
+    // never completed.
+    let mut pre = Vec::new();
+    let pre_spent;
+    {
+        let mut sys = builder(r).durable(&dir).snapshot_every(2).build();
+        assert!(!sys.needs_recovery(), "fresh directory has nothing to recover");
+        load(&mut sys);
+        let q = register(&mut sys, r.buckets);
+        for _ in 0..crash_after {
+            sys.run_epoch_all().unwrap();
+            pre.extend(sys.drain_results());
+        }
+        sys.submit_epoch_all().unwrap();
+        pre_spent = sys.budget_ledger(q.id).unwrap().spent();
+        sys.crash();
+    }
+
+    // Phase 2: recover, verify the ledger, finish the run.
+    let mut sys = builder(r).durable(&dir).snapshot_every(2).build();
+    assert!(sys.needs_recovery(), "the journal holds a crashed incarnation");
+    load(&mut sys);
+    let recovered = sys.resume().unwrap();
+    assert_eq!(recovered.len(), 1, "one registered query recovers");
+    let qid = recovered[0].id;
+    let spent_recovered = sys.budget_ledger(qid).unwrap().spent();
+    assert!(
+        spent_recovered <= pre_spent,
+        "recovered ledger may under-report but never over-spend: {spent_recovered} > {pre_spent}"
+    );
+    sys.flush_epochs().unwrap();
+    let mut post = sys.drain_results();
+    for _ in (crash_after + 1)..r.epochs {
+        sys.run_epoch_all().unwrap();
+        post.extend(sys.drain_results());
+    }
+    assert_eq!(
+        sys.budget_ledger(qid).unwrap().spent().to_bits(),
+        ref_spent.to_bits(),
+        "finished recovered run spends exactly what the uninterrupted run spent"
+    );
+    let health = sys.deploy_health();
+    assert_eq!(health.recoveries, 1, "exactly one recovery counted");
+    assert!(health.snapshot_count >= 1, "resume checkpointed the adopted state");
+    assert!(health.journal_bytes > 0, "the journal is live");
+
+    let combined = merge_dedup(vec![pre, post]);
+    assert_sequences_identical(&combined, &reference, tag);
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----- the quick whole-system matrix (tier-1) ----------------------
+
+#[test]
+fn crash_recovery_one_shard_narrow() {
+    let r = Rig { seed: 3, shards: 1, buckets: 11, epochs: 4 };
+    crash_recover_case(&r, 1, "1shard-11");
+}
+
+#[test]
+fn crash_recovery_two_shards_narrow() {
+    let r = Rig { seed: 5, shards: 2, buckets: 11, epochs: 4 };
+    crash_recover_case(&r, 2, "2shard-11");
+}
+
+#[test]
+fn crash_recovery_four_shards_wide() {
+    let r = Rig { seed: 9, shards: 4, buckets: 10_000, epochs: 3 };
+    crash_recover_case(&r, 1, "4shard-10k");
+}
+
+#[test]
+fn crash_before_any_close_recovers() {
+    // Crash point 0: the journal holds a registration, charges and
+    // one submitted epoch — no close, no snapshot.
+    let r = Rig { seed: 13, shards: 2, buckets: 11, epochs: 3 };
+    crash_recover_case(&r, 0, "first-epoch");
+}
+
+/// The exhaustive seeded sweep the CI stress job runs: every crash
+/// point of every matrix cell.
+#[test]
+#[ignore]
+fn crash_recovery_full_sweep() {
+    for &shards in &[1usize, 2, 4] {
+        for &buckets in &[11usize, 10_000] {
+            let epochs = if buckets > 1_000 { 3 } else { 5 };
+            for crash_after in 0..epochs - 1 {
+                for seed in 0..3u64 {
+                    let r = Rig { seed: 21 + seed, shards, buckets, epochs };
+                    let tag = format!("sweep-{shards}-{buckets}-{crash_after}-{seed}");
+                    crash_recover_case(&r, crash_after, &tag);
+                }
+            }
+        }
+    }
+}
+
+// ----- ledger monotonicity across every crash point ----------------
+
+/// At every possible crash point, the persisted spend equals the
+/// charged spend (charges are fsynced before sends, and `crash()`
+/// models the widest loss — everything unsynced gone): recovery can
+/// never manufacture spend above the true ledger, and the epoch
+/// count restores exactly.
+#[test]
+fn ledger_never_overspends_at_any_crash_point() {
+    let r = Rig { seed: 17, shards: 2, buckets: 11, epochs: 5 };
+    let eps = epsilon_zk(0.9, 0.8, 0.6);
+    for crash_after in 0..r.epochs {
+        let dir = store_dir(&format!("ledger-{crash_after}"));
+        let true_spent;
+        {
+            let mut sys = builder(&r).durable(&dir).snapshot_every(3).build();
+            load(&mut sys);
+            let q = register(&mut sys, r.buckets);
+            for _ in 0..crash_after {
+                sys.run_epoch_all().unwrap();
+                sys.drain_results();
+            }
+            sys.submit_epoch_all().unwrap();
+            true_spent = sys.budget_ledger(q.id).unwrap().spent();
+            sys.crash();
+        }
+        let mut sys = builder(&r).durable(&dir).snapshot_every(3).build();
+        load(&mut sys);
+        let recovered = sys.resume().unwrap();
+        let ledger = sys.budget_ledger(recovered[0].id).unwrap();
+        assert!(
+            ledger.spent() <= true_spent,
+            "crash point {crash_after}: recovered spend {} exceeds true spend {true_spent}",
+            ledger.spent()
+        );
+        assert_eq!(
+            ledger.spent().to_bits(),
+            true_spent.to_bits(),
+            "crash point {crash_after}: every synced charge restores exactly"
+        );
+        assert_eq!(ledger.epochs(), crash_after as u64 + 1);
+        assert!((ledger.spent() - eps * (crash_after as f64 + 1.0)).abs() < 1e-9);
+        drop(sys);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ----- abort() between fsync and send (re-exec harness) ------------
+
+/// Re-executes this test binary so `crash_after_journal` can
+/// `abort()` the victim for real. With `PRIVAPPROX_CRASH_RESUME` set
+/// the child recovers first and aborts during the open-epoch
+/// *re-submission* — a crash in the middle of recovery itself.
+fn spawn_crash_child(dir: &Path, crash_at: u64, resume_first: bool) {
+    let exe = std::env::current_exe().unwrap();
+    let mut cmd = Command::new(exe);
+    cmd.args(["--exact", "child_abort_workload", "--nocapture", "--test-threads=1"])
+        .env("PRIVAPPROX_CRASH_DIR", dir)
+        .env("PRIVAPPROX_CRASH_AT", crash_at.to_string());
+    if resume_first {
+        cmd.env("PRIVAPPROX_CRASH_RESUME", "1");
+    }
+    let out = cmd.output().unwrap();
+    assert!(
+        !out.status.success(),
+        "the child was supposed to abort mid-epoch; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+const ABORT_RIG: Rig = Rig { seed: 7, shards: 2, buckets: 11, epochs: 6 };
+
+/// Not an independent test: the crash *victim*, re-executed by the
+/// abort harness below with the env set (a plain `cargo test` run
+/// sees no env and returns immediately). `crash_after_journal` fires
+/// `abort()` after the chosen epoch's journal fsync and before any
+/// worker send — the widest window the recovery contract must close.
+#[test]
+fn child_abort_workload() {
+    let Ok(dir) = std::env::var("PRIVAPPROX_CRASH_DIR") else {
+        return;
+    };
+    let crash_at: u64 = std::env::var("PRIVAPPROX_CRASH_AT").unwrap().parse().unwrap();
+    let r = ABORT_RIG;
+    let mut sys = builder(&r)
+        .durable(&dir)
+        .snapshot_every(2)
+        .crash_after_journal(crash_at)
+        .build();
+    load(&mut sys);
+    if std::env::var("PRIVAPPROX_CRASH_RESUME").is_ok() {
+        // Recovery replays, then aborts while re-submitting the open
+        // epoch (the first submission counted after a restart).
+        let _ = sys.resume();
+    } else {
+        register(&mut sys, r.buckets);
+    }
+    // Deliberately never drains: a result handed to the analyst by a
+    // process that then dies is *delivered* and gone, which the
+    // parent could not verify. Undrained results stay in `pending`,
+    // ride the snapshot and the journal's close records, and must all
+    // resurface after recovery.
+    for _ in 0..r.epochs {
+        let _ = sys.run_epoch_all();
+    }
+    // The hook should have killed us above.
+    std::process::exit(3);
+}
+
+#[test]
+fn abort_after_fsync_recovers_byte_identically() {
+    let r = ABORT_RIG;
+    let (mut reference, ref_spent) = reference_run(&r);
+    reference.sort_by_key(|x| (x.window.start.0, x.query.to_u64()));
+    let dir = store_dir("abort");
+    std::fs::create_dir_all(&dir).unwrap();
+    spawn_crash_child(&dir, 2, false);
+
+    let mut sys = builder(&r).durable(&dir).snapshot_every(2).build();
+    assert!(sys.needs_recovery());
+    load(&mut sys);
+    let recovered = sys.resume().unwrap();
+    let qid = recovered[0].id;
+    sys.flush_epochs().unwrap();
+    let mut post = sys.drain_results();
+    // The child aborted while submitting its third epoch (index 2):
+    // two epochs closed, the third re-ran above. Finish the rest.
+    for _ in 3..r.epochs {
+        sys.run_epoch_all().unwrap();
+        post.extend(sys.drain_results());
+    }
+    assert_eq!(sys.budget_ledger(qid).unwrap().spent().to_bits(), ref_spent.to_bits());
+    let combined = merge_dedup(vec![post]);
+    assert_sequences_identical(&combined, &reference, "abort recovery");
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Double crash: the first `abort()` mid-epoch, the second mid-*
+/// recovery* (while the open epoch is being re-submitted). The third
+/// incarnation must still finish byte-identically and never
+/// over-spend — re-submission journals no new charges, so repeating
+/// it is idempotent on the ledger.
+#[test]
+fn double_crash_during_recovery_still_byte_identical() {
+    let r = ABORT_RIG;
+    let (mut reference, ref_spent) = reference_run(&r);
+    reference.sort_by_key(|x| (x.window.start.0, x.query.to_u64()));
+    let dir = store_dir("double");
+    std::fs::create_dir_all(&dir).unwrap();
+    spawn_crash_child(&dir, 2, false);
+    // Second victim: recovers, then aborts during the open epoch's
+    // re-submission (submission index 0 of the new incarnation).
+    spawn_crash_child(&dir, 0, true);
+
+    let mut sys = builder(&r).durable(&dir).snapshot_every(2).build();
+    assert!(sys.needs_recovery());
+    load(&mut sys);
+    let recovered = sys.resume().unwrap();
+    let qid = recovered[0].id;
+    let ledger = sys.budget_ledger(qid).unwrap();
+    assert_eq!(
+        ledger.epochs(),
+        3,
+        "three charged epochs — the re-submission never re-charges"
+    );
+    sys.flush_epochs().unwrap();
+    let mut post = sys.drain_results();
+    for _ in 3..r.epochs {
+        sys.run_epoch_all().unwrap();
+        post.extend(sys.drain_results());
+    }
+    assert_eq!(sys.budget_ledger(qid).unwrap().spent().to_bits(), ref_spent.to_bits());
+    let combined = merge_dedup(vec![post]);
+    assert_sequences_identical(&combined, &reference, "double-crash recovery");
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----- retained warehouses survive restart -------------------------
+
+/// `retain_history` + `batch_query` across a crash: the snapshot
+/// carries the retained warehouse, so a historical answer after
+/// recovery is byte-identical to the same question asked before the
+/// crash (the batch reservoir is seeded deterministically).
+#[test]
+fn retained_batch_answers_survive_restart() {
+    let r = Rig { seed: 23, shards: 2, buckets: 11, epochs: 3 };
+    let dir = store_dir("retain");
+    let range = Window {
+        start: Timestamp(0),
+        end: Timestamp(u64::MAX),
+    };
+    let before;
+    {
+        let mut sys = builder(&r).durable(&dir).snapshot_every(1).build();
+        load(&mut sys);
+        let q = register(&mut sys, r.buckets);
+        sys.retain_history(q.id).unwrap();
+        for _ in 0..r.epochs {
+            sys.run_epoch_all().unwrap();
+            sys.drain_results();
+        }
+        before = sys.batch_query(q.id, range, 50).unwrap();
+        sys.crash();
+    }
+    let mut sys = builder(&r).durable(&dir).snapshot_every(1).build();
+    load(&mut sys);
+    let recovered = sys.resume().unwrap();
+    sys.flush_epochs().unwrap();
+    sys.drain_results();
+    let after = sys.batch_query(recovered[0].id, range, 50).unwrap();
+    assert_results_identical(&after, &before, "batch answer across restart");
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----- disk stays O(snapshot interval) (satellite: bounded journal) -
+
+/// 200-epoch soak with a tiny (4 KiB) segment threshold: rotation
+/// plus pruning below each snapshot's floor must keep the journal —
+/// and the whole store directory — bounded by the snapshot interval,
+/// not the run length.
+#[test]
+fn journal_disk_stays_bounded_over_soak() {
+    let r = Rig { seed: 11, shards: 1, buckets: 11, epochs: 200 };
+    let dir = store_dir("soak");
+    let mut sys = builder(&r)
+        .durable(&dir)
+        .snapshot_every(10)
+        .journal_segment_bytes(4 * 1024)
+        .build();
+    load(&mut sys);
+    register(&mut sys, r.buckets);
+    let mut max_journal = 0u64;
+    let mut max_segments = 0usize;
+    for e in 0..r.epochs {
+        sys.run_epoch_all().unwrap();
+        sys.drain_results();
+        if e % 10 == 9 {
+            let h = sys.deploy_health();
+            max_journal = max_journal.max(h.journal_bytes);
+            assert!(
+                h.snapshot_count <= 2,
+                "epoch {e}: old snapshots must be retired, found {}",
+                h.snapshot_count
+            );
+            let segments = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|f| {
+                    f.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .starts_with("wal-")
+                })
+                .count();
+            max_segments = max_segments.max(segments);
+        }
+    }
+    assert!(
+        max_journal < 256 * 1024,
+        "journal grew past the snapshot-interval bound: {max_journal} bytes"
+    );
+    assert!(
+        max_segments <= 16,
+        "segment pruning fell behind: {max_segments} live segments"
+    );
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----- SIGKILLed child node (process transport) --------------------
+
+/// Process transport: SIGKILL a child node mid-run, let supervision
+/// respawn it (epochs may close partially — degrade-to-sampling, not
+/// corruption), then kill the whole deployment and recover. The
+/// *accounting* contract holds even though a dead shard's in-flight
+/// decodes are legitimately lost: every charged epoch restores, spend
+/// never exceeds the charge sequence, and the recovered deployment
+/// keeps producing windows.
+#[test]
+fn sigkilled_child_node_then_whole_system_recovery() {
+    let r = Rig { seed: 29, shards: 2, buckets: 11, epochs: 6 };
+    let eps = epsilon_zk(0.9, 0.8, 0.6);
+    let dir = store_dir("sigkill");
+    let charged_epochs;
+    {
+        let mut sys = builder(&r)
+            .process_transport(node_binary())
+            .epoch_deadline(Duration::from_secs(2))
+            .durable(&dir)
+            .snapshot_every(2)
+            .build();
+        load(&mut sys);
+        let q = register(&mut sys, r.buckets);
+        for _ in 0..2 {
+            sys.run_epoch_all().unwrap();
+            sys.drain_results();
+        }
+        // SIGKILL the first shard child: no unwind, no goodbye — the
+        // parent discovers the death through its supervised link.
+        let (_, pid) = sys
+            .children()
+            .iter()
+            .find(|(label, _)| label == "shard-0")
+            .cloned()
+            .expect("process transport spawns shard children");
+        Command::new("kill")
+            .args(["-9", &pid.to_string()])
+            .status()
+            .unwrap();
+        for _ in 2..4 {
+            // Faults surface as typed errors while the pipeline keeps
+            // going (respawn + partial close are legitimate here).
+            let _ = sys.run_epoch_all();
+            let _ = sys.flush_epochs();
+            sys.drain_results();
+        }
+        let ledger = sys.budget_ledger(q.id).unwrap();
+        charged_epochs = ledger.epochs();
+        assert_eq!(charged_epochs, 4, "every submitted epoch charged exactly once");
+        assert!((ledger.spent() - eps * 4.0).abs() < 1e-9);
+        sys.crash();
+    }
+    // Whole-system recovery of the process deployment.
+    let mut sys = builder(&r)
+        .process_transport(node_binary())
+        .epoch_deadline(Duration::from_secs(2))
+        .durable(&dir)
+        .snapshot_every(2)
+        .build();
+    assert!(sys.needs_recovery());
+    load(&mut sys);
+    let recovered = sys.resume().unwrap();
+    let qid = recovered[0].id;
+    assert_eq!(
+        sys.budget_ledger(qid).unwrap().epochs(),
+        charged_epochs,
+        "charged epochs restore exactly across a process-mode restart"
+    );
+    let _ = sys.flush_epochs();
+    let mut produced = sys.drain_results();
+    for _ in 4..r.epochs {
+        sys.run_epoch_all().unwrap();
+        produced.extend(sys.drain_results());
+    }
+    assert!(
+        !produced.is_empty(),
+        "the recovered process deployment keeps producing windows"
+    );
+    let ledger = sys.budget_ledger(qid).unwrap();
+    assert_eq!(ledger.epochs(), r.epochs as u64);
+    assert!(
+        ledger.spent() <= eps * r.epochs as f64 + 1e-9,
+        "spend never exceeds the charge sequence"
+    );
+    let health = sys.deploy_health();
+    assert_eq!(health.recoveries, 1);
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,233 @@
+//! Little-endian payload primitives for record bodies.
+//!
+//! Frame payloads (journal records, snapshot sections) are hand-rolled
+//! binary — the in-tree serde shim has no typed deserializer, and the
+//! hot journal path should not pay for JSON anyway. These helpers keep
+//! the encoders/decoders symmetric and make every decoder total: a
+//! short or malformed payload yields [`StoreError::BadRecord`], never
+//! a panic.
+//!
+//! Floats are stored as raw IEEE-754 bit patterns so a value survives
+//! the round trip bit-for-bit (the same convention the remote control
+//! plane uses), which matters because recovery must reproduce ledger
+//! spends and estimator state *exactly*.
+
+use crate::error::StoreError;
+
+/// Append-only payload builder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty payload.
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u128`.
+    pub fn u128(&mut self, v: u128) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64` as its raw bit pattern.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+}
+
+/// Cursor over a payload with typed, non-panicking reads.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf`; `what` names the record type in error messages.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Reader<'a> {
+        Reader { buf, pos: 0, what }
+    }
+
+    fn short(&self, need: usize) -> StoreError {
+        StoreError::BadRecord {
+            what: self.what,
+            detail: format!(
+                "payload too short: need {need} more bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            ),
+        }
+    }
+
+    /// Structural-validation error at the current position.
+    pub fn invalid(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::BadRecord {
+            what: self.what,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.short(n));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a `u128`.
+    pub fn u128(&mut self) -> Result<u128, StoreError> {
+        let b = self.take(16)?;
+        Ok(u128::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` stored as raw bits.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], StoreError> {
+        let len = self.u64()?;
+        if len > self.buf.len() as u64 {
+            return Err(self.invalid(format!("byte string length {len} exceeds payload")));
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, StoreError> {
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw).map_err(|e| StoreError::BadRecord {
+            what: self.what,
+            detail: format!("invalid utf-8: {e}"),
+        })
+    }
+
+    /// Reads a `u64` count for a repeated section, bounding it by the
+    /// remaining payload so a corrupt count cannot drive a huge loop.
+    pub fn count(&mut self, min_item_bytes: usize) -> Result<usize, StoreError> {
+        let n = self.u64()?;
+        let cap = self.buf.len() - self.pos;
+        let bound = if min_item_bytes == 0 { cap } else { cap / min_item_bytes };
+        if n as usize > bound {
+            return Err(self.invalid(format!("count {n} impossible for {cap} remaining bytes")));
+        }
+        Ok(n as usize)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Requires the payload to be fully consumed (catches writer/
+    /// reader drift that would otherwise pass silently).
+    pub fn done(&self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::BadRecord {
+                what: self.what,
+                detail: format!("{} trailing bytes after record", self.buf.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7).u32(0xDEAD_BEEF).u64(u64::MAX).u128(1 << 100);
+        w.f64(-0.0).f64(f64::NAN).str("naïve").bytes(&[1, 2, 3]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u128().unwrap(), 1 << 100);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "naïve");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn short_reads_are_typed_errors() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf, "test");
+        assert!(matches!(r.u64(), Err(StoreError::BadRecord { .. })));
+        let mut r2 = Reader::new(&buf, "test");
+        r2.u8().unwrap();
+        assert!(r2.done().is_err());
+    }
+
+    #[test]
+    fn hostile_count_bounded() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf, "test");
+        assert!(r.count(8).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Durable persistence for the PrivApprox runtime.
+//!
+//! Two primitives, deliberately small and dependency-free:
+//!
+//! * [`wal::Wal`] — an append-only journal over CRC-framed segment
+//!   files with explicit sync points, segment rotation, and
+//!   prune-below-floor deletion. Replay tolerates exactly one crash
+//!   artifact (a torn frame at the tail of the newest segment) and
+//!   rejects everything else with typed [`StoreError`]s.
+//! * [`snapshot`] — whole-state checkpoint files written via
+//!   temp-file + `fsync` + atomic rename + directory `fsync`, so a
+//!   reader sees a complete snapshot or none at all.
+//!
+//! The frame layout ([`frame`]) mirrors the versioned transport frames
+//! in `cluster/src/wire.rs` with a CRC-32 trailer added; payload
+//! bodies are hand-rolled little-endian binary ([`codec`]) because the
+//! in-tree serde shim cannot deserialize and a journal should not pay
+//! for JSON anyway. What the records *mean* — budget charges, epoch
+//! lifecycle, consumer offsets, retained windows — is defined by the
+//! runtime's persistence schema in `privapprox-core`; this crate only
+//! guarantees that bytes come back exactly as written or fail loudly.
+
+pub mod codec;
+pub mod crc;
+pub mod error;
+pub mod frame;
+pub mod snapshot;
+pub mod test_dir;
+pub mod wal;
+
+pub use error::{CorruptKind, StoreError};
+pub use frame::{decode_frame, encode_frame_into, DecodedFrame, MAX_FRAME, STORE_VERSION};
+pub use snapshot::{load_latest, prune_snapshots, snapshot_count, write_snapshot, Snapshot};
+pub use wal::{dir_bytes, TornTail, Wal, WalRecord, WalRecovery, DEFAULT_SEGMENT_BYTES};

@@ -512,6 +512,38 @@ impl Broker {
             .map(|g| g.generation)
             .unwrap_or(0)
     }
+
+    /// Snapshot of one group's committed offsets as `(topic,
+    /// partition, next offset)` triples, sorted for deterministic
+    /// serialization. This is the durable-checkpoint export hook: the
+    /// runtime journals these floors at epoch close so a restarted
+    /// deployment knows exactly how far each group's consumption got.
+    pub fn committed_offsets(&self, group: &str) -> Vec<(String, usize, u64)> {
+        let offsets = self.inner.group_offsets.lock();
+        let mut out: Vec<(String, usize, u64)> = offsets
+            .iter()
+            .filter(|((g, _, _), _)| g == group)
+            .map(|((_, topic, partition), &off)| (topic.clone(), *partition, off))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Pre-seeds a group's committed offsets from a durable
+    /// checkpoint, before its members join. Restoration is monotonic —
+    /// an entry never moves an existing committed offset backwards —
+    /// so replaying a stale checkpoint cannot cause re-consumption of
+    /// records the group already processed. Members joining afterwards
+    /// resume past the restored floors exactly as a PR-6 respawn
+    /// resumes past in-memory ones.
+    pub fn restore_committed(&self, group: &str, entries: &[(String, usize, u64)]) {
+        let mut offsets = self.inner.group_offsets.lock();
+        for (topic, partition, off) in entries {
+            let key = (group.to_string(), topic.clone(), *partition);
+            let slot = offsets.entry(key).or_insert(0);
+            *slot = (*slot).max(*off);
+        }
+    }
 }
 
 /// Appends records to topics.
@@ -1771,6 +1803,48 @@ mod tests {
         assert_eq!(late[0].1.offset, 10);
         // g1 sees it too, exactly once.
         assert_eq!(c1.poll(10).len(), 1);
+    }
+
+    /// The durable-checkpoint hooks: a group's committed offsets
+    /// export after consumption, and restoring them into a *fresh*
+    /// broker makes a newly joined member resume past the restored
+    /// floor instead of re-reading from zero. Restoration is monotonic
+    /// — a stale checkpoint can never rewind progress.
+    #[test]
+    fn committed_offsets_export_and_restore() {
+        let broker = Broker::new(1);
+        broker.create_topic("t", 2);
+        let c = broker.consumer("g", &["t"]);
+        let producer = broker.producer();
+        for i in 0..6u8 {
+            producer.send_to("t", (i % 2) as usize, None, vec![i], ts(0));
+        }
+        assert_eq!(c.poll(10).len(), 6);
+        let snap = broker.committed_offsets("g");
+        assert_eq!(
+            snap,
+            vec![("t".to_string(), 0, 3), ("t".to_string(), 1, 3)],
+            "both partitions consumed through offset 3"
+        );
+
+        // A restarted broker: same topic, the log rebuilt by re-runs.
+        let fresh = Broker::new(1);
+        fresh.create_topic("t", 2);
+        fresh.restore_committed("g", &snap);
+        assert_eq!(fresh.committed_offsets("g"), snap);
+        let producer = fresh.producer();
+        for i in 0..8u8 {
+            producer.send_to("t", (i % 2) as usize, None, vec![i], ts(0));
+        }
+        let rejoined = fresh.consumer("g", &["t"]);
+        let got = rejoined.poll_partitioned(16);
+        assert_eq!(got.len(), 2, "records below the restored floor skipped");
+        assert!(got.iter().all(|(_, _, r)| r.offset == 3));
+
+        // Monotonic: restoring an older checkpoint is a no-op.
+        let current = fresh.committed_offsets("g");
+        fresh.restore_committed("g", &[("t".to_string(), 0, 1)]);
+        assert_eq!(fresh.committed_offsets("g"), current);
     }
 
     /// A group that fully departs a bounded topic releases its

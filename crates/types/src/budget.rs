@@ -166,26 +166,59 @@ impl BudgetLedger {
         }
     }
 
+    /// Reconstructs a ledger from journaled state (crash recovery).
+    /// The restored spend is clamped to the allowance: a journal can
+    /// only under-report spend (charges are journaled before any
+    /// send), so recovery must never manufacture an over-spent — or
+    /// worse, free-budget — ledger from a corrupt pair.
+    pub fn restore(allocated: f64, spent: f64, epochs: u64) -> BudgetLedger {
+        BudgetLedger {
+            allocated,
+            spent: if spent.is_finite() && spent >= 0.0 {
+                spent.min(allocated)
+            } else {
+                0.0
+            },
+            epochs,
+        }
+    }
+
     /// Debits one epoch worth of `epsilon`, or rejects the charge —
     /// leaving the ledger untouched — when it would overdraw the
     /// allowance. Non-finite charges (exact mode: ε = ∞) are admitted
     /// only by an unbounded budget, and do not advance `spent`.
+    ///
+    /// The debit arithmetic is deliberately conservative (never
+    /// under-counting): a positive ε that naive `f64` addition would
+    /// round away entirely is bumped to the next representable value
+    /// instead, and a sum that would overflow past the largest finite
+    /// double is treated as exceeding any finite allowance. Without
+    /// this, a crafted ε near the budget cap parks `spent` at a value
+    /// whose rounding absorbs every later charge — unlimited epochs
+    /// against a finite ε allowance, i.e. free privacy budget.
     pub fn try_charge(&mut self, epsilon: f64) -> Result<(), BudgetExhausted> {
         if epsilon.is_nan() || epsilon < 0.0 {
             return Err(self.exhausted(epsilon));
         }
         if self.allocated.is_infinite() {
             if epsilon.is_finite() {
-                self.spent += epsilon;
+                // The unbounded meter saturates at the largest finite
+                // double rather than degrading to ∞ (which would make
+                // `spent` indistinguishable from the allowance).
+                self.spent = charge_up(self.spent, epsilon).min(f64::MAX);
             }
-            self.epochs += 1;
+            self.epochs = self.epochs.saturating_add(1);
             return Ok(());
         }
-        if !epsilon.is_finite() || self.spent + epsilon > self.allocated {
+        if !epsilon.is_finite() {
             return Err(self.exhausted(epsilon));
         }
-        self.spent += epsilon;
-        self.epochs += 1;
+        let debited = charge_up(self.spent, epsilon);
+        if debited > self.allocated {
+            return Err(self.exhausted(epsilon));
+        }
+        self.spent = debited;
+        self.epochs = self.epochs.saturating_add(1);
         Ok(())
     }
 
@@ -221,6 +254,28 @@ impl BudgetLedger {
     pub fn epochs(&self) -> u64 {
         self.epochs
     }
+}
+
+/// Total ε after debiting `epsilon` from `spent`, rounded *up*: a
+/// positive charge always strictly advances the sum (absorption by
+/// rounding becomes the next representable double instead), and a sum
+/// past the largest finite double lands on ∞, which every finite
+/// allowance then rejects. Both inputs are finite and non-negative at
+/// the call sites.
+fn charge_up(spent: f64, epsilon: f64) -> f64 {
+    let sum = spent + epsilon;
+    if epsilon > 0.0 && sum <= spent {
+        next_up(spent)
+    } else {
+        sum
+    }
+}
+
+/// Smallest double strictly greater than finite non-negative `x`
+/// (`f64::MAX` maps to ∞). Hand-rolled while `f64::next_up` is
+/// unstable on the pinned toolchain.
+fn next_up(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() + 1)
 }
 
 /// A rejected [`BudgetLedger::try_charge`]: the query must be retired.
@@ -342,6 +397,66 @@ mod tests {
         assert!(l.try_charge(-1.0).is_err());
         assert_eq!(l.epochs(), 0);
         assert_eq!(l.spent(), 0.0);
+    }
+
+    #[test]
+    fn charge_near_cap_cannot_wrap_into_free_budget() {
+        // The regression this pins: a crafted ε at the largest finite
+        // double. The allowance covers it exactly; after that the
+        // ledger sits at saturation, and *no* further positive charge
+        // — huge (sum overflows) or tiny (sum rounds back to spent) —
+        // may be admitted. Pre-fix, both were: `MAX + MAX` overflowed
+        // to ∞ on an unbounded meter, and `MAX + tiny == MAX` passed
+        // the `> allocated` test forever, i.e. unlimited epochs.
+        let mut l = BudgetLedger::new(PrivacyBudget::new(f64::MAX).unwrap());
+        l.try_charge(f64::MAX).unwrap();
+        assert_eq!(l.spent(), f64::MAX);
+        assert!(l.try_charge(f64::MAX).is_err(), "overflowing re-charge admitted");
+        assert!(l.try_charge(1.0).is_err(), "absorbed re-charge admitted");
+        assert!(l.try_charge(1e-300).is_err());
+        assert_eq!(l.epochs(), 1);
+        assert_eq!(l.spent(), f64::MAX);
+        assert!(l.spent() <= l.allocated());
+    }
+
+    #[test]
+    fn tiny_charges_always_register_or_reject() {
+        // ε small enough that naive addition absorbs it: the debit
+        // must still strictly advance `spent` (never a free epoch).
+        let mut l = BudgetLedger::new(PrivacyBudget::new(1.0).unwrap());
+        l.try_charge(0.5).unwrap();
+        let before = l.spent();
+        l.try_charge(1e-20).unwrap();
+        assert!(
+            l.spent() > before,
+            "positive charge admitted without advancing spent"
+        );
+        // And the strictly-monotone debit composes: hammering the
+        // ledger with absorbed charges can only march spent upward,
+        // never park it below the allowance forever at zero cost.
+        let mut last = l.spent();
+        for _ in 0..1000 {
+            match l.try_charge(1e-20) {
+                Ok(()) => {
+                    assert!(l.spent() > last);
+                    last = l.spent();
+                }
+                Err(_) => break,
+            }
+        }
+        assert!(l.spent() <= l.allocated());
+    }
+
+    #[test]
+    fn unbounded_meter_saturates_instead_of_degrading() {
+        let mut l = BudgetLedger::new(PrivacyBudget::unbounded());
+        l.try_charge(f64::MAX).unwrap();
+        l.try_charge(f64::MAX).unwrap();
+        assert_eq!(l.spent(), f64::MAX, "meter saturates, never reads ∞");
+        assert_eq!(l.epochs(), 2);
+        assert!(l.remaining().is_infinite());
+        l.try_charge(f64::INFINITY).unwrap();
+        assert_eq!(l.spent(), f64::MAX);
     }
 
     #[test]
